@@ -1,0 +1,64 @@
+// Command audit2rbac infers the minimal RBAC policy covering a user's
+// observed API interactions from a JSONL audit log — the baseline-setup
+// tool of the paper's §VI-D (after liggitt/audit2rbac).
+//
+//	audit2rbac -audit audit.jsonl -user operator:nginx > rbac.yaml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/audit"
+	"repro/internal/yaml"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "audit2rbac:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("audit2rbac", flag.ExitOnError)
+	auditPath := fs.String("audit", "", "JSONL audit log (required)")
+	user := fs.String("user", "", "user to infer a policy for (required)")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *auditPath == "" || *user == "" {
+		return fmt.Errorf("-audit and -user are required")
+	}
+	f, err := os.Open(*auditPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := audit.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	policy := audit.InferPolicy(events, *user)
+	objs := policy.Objects()
+	if len(objs) == 0 {
+		return fmt.Errorf("no interactions recorded for user %q", *user)
+	}
+	docs := make([]any, len(objs))
+	for i, o := range objs {
+		docs[i] = o
+	}
+	data, err := yaml.MarshalAll(docs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "audit2rbac: %d events → %d roles, %d cluster roles for %s\n",
+		len(events), len(policy.Roles), len(policy.ClusterRoles), *user)
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}

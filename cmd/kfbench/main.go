@@ -1,0 +1,113 @@
+// Command kfbench regenerates the paper's tables and figures (§VI):
+//
+//	kfbench -experiment fig5       # motivation: e2e coverage vs CVEs
+//	kfbench -experiment fig9       # API usage matrix
+//	kfbench -experiment table1     # attack-surface reduction
+//	kfbench -experiment table2     # malicious-spec catalog
+//	kfbench -experiment table3     # mitigation, RBAC vs KubeFence
+//	kfbench -experiment table4     # deployment latency (-reps N)
+//	kfbench -experiment resources  # proxy CPU/memory overhead
+//	kfbench -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/audit"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kfbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kfbench", flag.ExitOnError)
+	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | all")
+	reps := fs.Int("reps", 10, "repetitions for table4 (paper: 10)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runners := map[string]func() error{
+		"fig5": func() error {
+			fmt.Println(experiments.Fig5())
+			return nil
+		},
+		"fig9": func() error {
+			out, err := experiments.Fig9()
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+			return nil
+		},
+		"table1": func() error {
+			out, err := experiments.TableI()
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+			return nil
+		},
+		"table2": func() error {
+			fmt.Println(experiments.TableII())
+			return nil
+		},
+		"table3": func() error {
+			rows, err := experiments.TableIII()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderTableIII(rows))
+			return nil
+		},
+		"table4": func() error {
+			rows, err := experiments.TableIV(*reps)
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderTableIV(rows))
+			return nil
+		},
+		"resources": func() error {
+			usage, err := experiments.Resources()
+			if err != nil {
+				return err
+			}
+			fmt.Println(experiments.RenderResources(usage))
+			return nil
+		},
+		"fig11": func() error {
+			out, err := audit.RenderFig11(audit.Event{
+				User: "operator:mlflow", Verb: "create", APIGroup: "apps",
+				Resource: "deployments", Namespace: "default", Name: "mlflow",
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+			return nil
+		},
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"fig5", "fig9", "fig11", "table1", "table2", "table3", "table4", "resources"} {
+			fmt.Printf("================ %s ================\n", name)
+			if err := runners[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	runner, ok := runners[*experiment]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	return runner()
+}

@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "nope"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunFastExperiments(t *testing.T) {
+	for _, name := range []string{"fig5", "fig9", "fig11", "table1", "table2"} {
+		if err := run([]string{"-experiment", name}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunTable3EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end experiment")
+	}
+	if err := run([]string{"-experiment", "table3"}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Command kubeapi runs the simulated Kubernetes API server: the RESTful
+// resource interface over an in-memory versioned store, with header-based
+// authentication, optional RBAC enforcement, and JSONL audit logging.
+//
+//	kubeapi -listen :6443 -audit audit.jsonl -enforce-rbac -superuser admin
+//
+// It is the substrate the KubeFence proxy fronts; see cmd/kubefence.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/apiserver"
+	"repro/internal/audit"
+	"repro/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "kubeapi:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("kubeapi", flag.ExitOnError)
+	listen := fs.String("listen", ":6443", "listen address")
+	auditPath := fs.String("audit", "", "write JSONL audit log to this file on shutdown")
+	enforce := fs.Bool("enforce-rbac", false, "enable RBAC authorization (deny-all until policies are created)")
+	superusers := fs.String("superusers", "admin", "comma-separated users bypassing authorization")
+	frontProxies := fs.String("front-proxy-users", "kubefence-proxy", "comma-separated trusted front-proxy identities")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	auditLog := &audit.Log{}
+	srv, err := apiserver.New(apiserver.Config{
+		Store:           store.New(),
+		Audit:           auditLog,
+		EnforceAuthz:    *enforce,
+		Superusers:      splitList(*superusers),
+		FrontProxyUsers: splitList(*frontProxies),
+		DynamicRBAC:     true,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpServer := &http.Server{
+		Addr:              *listen,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpServer.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "kubeapi: serving on %s (rbac=%v)\n", *listen, *enforce)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case <-sigCh:
+	}
+	if *auditPath != "" {
+		f, err := os.Create(*auditPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := auditLog.WriteJSONL(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "kubeapi: wrote %d audit events to %s\n",
+			auditLog.Len(), *auditPath)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

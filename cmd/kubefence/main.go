@@ -1,0 +1,194 @@
+// Command kubefence generates KubeFence security policies from Helm
+// charts and runs the enforcement proxy.
+//
+// Generate a policy from a chart directory (or a builtin workload):
+//
+//	kubefence generate -chart ./mychart -o policy.yaml
+//	kubefence generate -workload nginx
+//
+// Run the enforcement proxy in front of an API server:
+//
+//	kubefence proxy -workload nginx -upstream http://127.0.0.1:8001 -listen :8443
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/chart"
+	"repro/internal/charts"
+	"repro/internal/core"
+	"repro/internal/proxy"
+	"repro/internal/schema"
+	"repro/internal/validator"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = runGenerate(os.Args[2:])
+	case "proxy":
+		err = runProxy(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "kubefence: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kubefence:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  kubefence generate [-chart DIR | -workload NAME] [-o FILE] [-mode lenient|strict] [-schema]
+  kubefence proxy    [-chart DIR | -workload NAME] -upstream URL [-listen ADDR] [-proxy-user USER]`)
+}
+
+// loadChart resolves -chart / -workload into a chart.
+func loadChart(chartDir, workload string) (*chart.Chart, error) {
+	switch {
+	case workload != "":
+		return charts.Load(workload)
+	case chartDir != "":
+		return loadChartDir(chartDir)
+	default:
+		return nil, fmt.Errorf("one of -chart or -workload is required (builtins: %s)",
+			strings.Join(charts.Names(), ", "))
+	}
+}
+
+// loadChartDir reads a chart from disk: Chart.yaml, values.yaml, and
+// templates/*.
+func loadChartDir(dir string) (*chart.Chart, error) {
+	files := chart.Fileset{}
+	for _, name := range []string{"Chart.yaml", "values.yaml"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("reading %s: %w", name, err)
+		}
+		files[name] = string(data)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "templates"))
+	if err != nil {
+		return nil, fmt.Errorf("reading templates/: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, "templates", e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		files["templates/"+e.Name()] = string(data)
+	}
+	return chart.Load(files)
+}
+
+func generate(chartDir, workload, mode string, disableLocks bool) (*core.Result, error) {
+	c, err := loadChart(chartDir, workload)
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{Schema: schema.Options{DisableLocks: disableLocks}}
+	switch mode {
+	case "", "lenient":
+		opts.Mode = validator.LockIfPresent
+	case "strict":
+		opts.Mode = validator.LockRequired
+	default:
+		return nil, fmt.Errorf("unknown -mode %q (lenient or strict)", mode)
+	}
+	return core.GeneratePolicy(c, opts)
+}
+
+func runGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	chartDir := fs.String("chart", "", "chart directory (Chart.yaml, values.yaml, templates/)")
+	workload := fs.String("workload", "", "builtin evaluation chart name")
+	out := fs.String("o", "", "output file (default stdout)")
+	mode := fs.String("mode", "lenient", "lock mode: lenient (lock-if-present) or strict (lock-required)")
+	emitSchema := fs.Bool("schema", false, "emit the intermediate values schema instead of the validator")
+	noLocks := fs.Bool("no-locks", false, "disable security locks (ablation)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	res, err := generate(*chartDir, *workload, *mode, *noLocks)
+	if err != nil {
+		return err
+	}
+	var data []byte
+	if *emitSchema {
+		data, err = res.Schema.MarshalYAML()
+	} else {
+		data, err = res.Validator.MarshalYAML()
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr,
+		"kubefence: workload %s: %d variants, %d manifests, %d kinds\n",
+		res.Workload, res.Variants, res.Manifests, len(res.Validator.Kinds))
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+func runProxy(args []string) error {
+	fs := flag.NewFlagSet("proxy", flag.ExitOnError)
+	chartDir := fs.String("chart", "", "chart directory")
+	workload := fs.String("workload", "", "builtin evaluation chart name")
+	upstream := fs.String("upstream", "", "API server base URL (required)")
+	listen := fs.String("listen", ":8443", "listen address")
+	proxyUser := fs.String("proxy-user", "kubefence-proxy", "identity asserted upstream")
+	mode := fs.String("mode", "lenient", "lock mode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *upstream == "" {
+		return fmt.Errorf("-upstream is required")
+	}
+	res, err := generate(*chartDir, *workload, *mode, false)
+	if err != nil {
+		return err
+	}
+	p, err := proxy.New(proxy.Config{
+		Upstream:  *upstream,
+		Validator: res.Validator,
+		ProxyUser: *proxyUser,
+		OnViolation: func(r proxy.ViolationRecord) {
+			fmt.Fprintf(os.Stderr, "[%s] DENY %s %s %s/%s: %d violation(s)\n",
+				r.Time.Format(time.RFC3339), r.User, r.Method, r.Kind, r.Name, len(r.Violations))
+			for _, v := range r.Violations {
+				fmt.Fprintf(os.Stderr, "    %s\n", v)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "kubefence: enforcing %s policy, %s -> %s\n",
+		res.Workload, *listen, *upstream)
+	server := &http.Server{
+		Addr:              *listen,
+		Handler:           p,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return server.ListenAndServe()
+}

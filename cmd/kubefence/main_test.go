@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeChartDir(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"Chart.yaml":  "name: disk\nversion: 0.1.0\n",
+		"values.yaml": "replicas: 2\nimage:\n  registry: docker.io\n  repository: corp/app\n  tag: \"1.0\"\n",
+		"templates/deploy.yaml": `
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ .Release.Name }}-disk
+spec:
+  replicas: {{ .Values.replicas }}
+  template:
+    spec:
+      containers:
+        - name: app
+          image: "{{ .Values.image.registry }}/{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+          securityContext:
+            runAsNonRoot: true
+`,
+	}
+	for name, content := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadChartDir(t *testing.T) {
+	dir := writeChartDir(t)
+	c, err := loadChartDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "disk" || len(c.Templates) != 1 {
+		t.Errorf("chart = %+v", c)
+	}
+	if _, err := loadChartDir(t.TempDir()); err == nil {
+		t.Error("empty dir should error")
+	}
+}
+
+func TestGenerateFromDirAndWorkload(t *testing.T) {
+	dir := writeChartDir(t)
+	res, err := generate(dir, "", "lenient", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Validator.Kinds["Deployment"]; !ok {
+		t.Errorf("kinds = %v", res.Validator.AllowedKinds())
+	}
+	res, err = generate("", "nginx", "strict", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "nginx" {
+		t.Errorf("workload = %s", res.Workload)
+	}
+	if _, err := generate("", "", "lenient", false); err == nil {
+		t.Error("missing chart/workload should error")
+	}
+	if _, err := generate("", "nginx", "bogus", false); err == nil {
+		t.Error("bad mode should error")
+	}
+}
+
+func TestRunGenerateToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "policy.yaml")
+	if err := runGenerate([]string{"-workload", "mlflow", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Deployment:") {
+		t.Errorf("policy file malformed:\n%.300s", data)
+	}
+	// Schema emission.
+	outSchema := filepath.Join(t.TempDir(), "schema.yaml")
+	if err := runGenerate([]string{"-workload", "mlflow", "-schema", "-o", outSchema}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(outSchema)
+	if !strings.Contains(string(data), "registry: docker.io") {
+		t.Errorf("schema should lock registry:\n%.300s", data)
+	}
+}
+
+func TestRunProxyValidation(t *testing.T) {
+	if err := runProxy([]string{"-workload", "nginx"}); err == nil {
+		t.Error("missing -upstream should error")
+	}
+}

@@ -1,0 +1,92 @@
+// Quickstart: generate a KubeFence policy from a Helm chart and validate
+// API requests against it — the offline half of the paper's pipeline.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	kubefence "repro"
+)
+
+func main() {
+	// 1. Load an operator chart. The five charts from the paper's
+	//    evaluation are embedded; LoadChart accepts your own fileset.
+	c, err := kubefence.LoadBuiltinChart("mlflow")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Generate the workload-specific policy: values-schema
+	//    generalization, configuration-space exploration, manifest
+	//    rendering, and validator consolidation (paper §V-A).
+	policy, err := kubefence.GeneratePolicy(c, kubefence.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("policy for %q: %d variants explored, %d manifests consolidated\n",
+		policy.Workload, policy.Variants, policy.Manifests)
+	fmt.Printf("allowed kinds: %v\n\n", policy.AllowedKinds())
+
+	// 3. Validate a legitimate request: a Service within the chart's
+	//    configuration space.
+	legitimate := []byte(`
+apiVersion: v1
+kind: Service
+metadata:
+  name: my-mlflow
+  namespace: ml-team
+spec:
+  type: ClusterIP
+  ports:
+    - name: http
+      port: 5000
+      targetPort: http
+      protocol: TCP
+  selector:
+    app.kubernetes.io/name: mlflow
+`)
+	violations, err := policy.ValidateManifest(legitimate)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("legitimate Service: %d violations (allowed)\n", len(violations))
+
+	// 4. Validate an attack: CVE-2017-1002101 — the subPath host-escape
+	//    from the paper's Fig. 4. The field is not in MLflow's
+	//    configuration space, so the request is denied.
+	attack := []byte(`
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: my-mlflow
+spec:
+  replicas: 1
+  template:
+    spec:
+      initContainers:
+        - name: busybox
+          image: busybox
+          command: ["ln", "-s", "/", "/mnt/data/symlink-door"]
+      containers:
+        - name: mlflow
+          image: docker.io/bitnami/mlflow:2.9.2
+          volumeMounts:
+            - mountPath: /test
+              name: my-volume
+              subPath: symlink-door
+      volumes:
+        - name: my-volume
+          emptyDir: {}
+`)
+	violations, err = policy.ValidateManifest(attack)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nCVE-2017-1002101 exploit: %d violations (denied)\n", len(violations))
+	for _, v := range violations {
+		fmt.Printf("  - %s\n", v)
+	}
+}

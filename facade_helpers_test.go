@@ -1,0 +1,10 @@
+package kubefence
+
+import (
+	"repro/internal/object"
+)
+
+// parseManifest is a test helper bridging rendered YAML back to objects.
+func parseManifest(data []byte) (object.Object, error) {
+	return object.ParseManifest(data)
+}

@@ -1,0 +1,212 @@
+// Package anomaly implements the complementary residual-risk strategy the
+// paper proposes in §VIII: anomaly detection on API calls, for the
+// interfaces KubeFence cannot restrict because legitimate workloads use
+// them. A detector trains on attack-free traffic (the same capture used
+// for audit2rbac) and scores live requests by novelty: unseen
+// authorization tuples, unseen request-body field paths, and unseen kinds
+// per user. Scores above threshold flag misuse attempts *within* the
+// allowed surface — e.g. an allowed field suddenly exercised by a client
+// that never used it.
+package anomaly
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/audit"
+	"repro/internal/object"
+)
+
+// Sample is one training observation: an audit event with, for write
+// requests, the request body.
+type Sample struct {
+	Event audit.Event
+	// Body is the request object for create/update/patch, nil otherwise.
+	Body object.Object
+}
+
+// Profile is a learned behavioral baseline. Build with Train.
+type Profile struct {
+	// tuples holds observed (user|verb|group|resource|namespace) keys.
+	tuples map[string]bool
+	// kindsByUser holds observed request-body kinds per user.
+	kindsByUser map[string]map[string]bool
+	// pathsByKind holds observed body field paths per kind.
+	pathsByKind map[string]map[string]bool
+	// boolDomains holds, per kind+path, the boolean values observed.
+	// Booleans get value-level profiling because flipping a security
+	// boolean (runAsNonRoot: true → false) changes no path set.
+	boolDomains map[string]map[bool]bool
+}
+
+// Train builds a profile from attack-free samples.
+func Train(samples []Sample) *Profile {
+	p := &Profile{
+		tuples:      map[string]bool{},
+		kindsByUser: map[string]map[string]bool{},
+		pathsByKind: map[string]map[string]bool{},
+		boolDomains: map[string]map[bool]bool{},
+	}
+	for _, s := range samples {
+		p.tuples[tupleKey(s.Event)] = true
+		if s.Body == nil {
+			continue
+		}
+		kind := s.Body.Kind()
+		if kind == "" {
+			continue
+		}
+		if p.kindsByUser[s.Event.User] == nil {
+			p.kindsByUser[s.Event.User] = map[string]bool{}
+		}
+		p.kindsByUser[s.Event.User][kind] = true
+		if p.pathsByKind[kind] == nil {
+			p.pathsByKind[kind] = map[string]bool{}
+		}
+		for _, path := range object.Paths(map[string]any(s.Body)) {
+			if serverPath(path) {
+				continue
+			}
+			p.pathsByKind[kind][path] = true
+		}
+		collectBools(map[string]any(s.Body), "", func(path string, v bool) {
+			key := kind + "\x00" + path
+			if p.boolDomains[key] == nil {
+				p.boolDomains[key] = map[bool]bool{}
+			}
+			p.boolDomains[key][v] = true
+		})
+	}
+	return p
+}
+
+// collectBools visits every boolean leaf with its dotted path (list
+// elements share the parent path, as in object.Paths).
+func collectBools(v any, prefix string, visit func(string, bool)) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, val := range t {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			collectBools(val, p, visit)
+		}
+	case []any:
+		for _, val := range t {
+			collectBools(val, prefix, visit)
+		}
+	case bool:
+		if prefix != "" {
+			visit(prefix, t)
+		}
+	}
+}
+
+// Signal weights: a novel authorization tuple is the strongest signal (a
+// client doing something it never did); a boolean leaving its observed
+// domain (security flag flipped) is equally serious; novel body paths and
+// a novel kind for a known user follow.
+const (
+	weightNovelTuple = 0.5
+	weightNovelBool  = 0.5
+	weightNovelKind  = 0.3
+	weightNovelPath  = 0.2
+)
+
+// Score is the anomaly verdict for one request.
+type Score struct {
+	// Value is in [0, 1]; 0 means fully within profile.
+	Value float64
+	// Reasons explain each contributing signal.
+	Reasons []string
+}
+
+// Anomalous applies the conventional threshold of 0.5.
+func (s Score) Anomalous() bool { return s.Value >= 0.5 }
+
+// ScoreRequest scores a live request against the profile.
+func (p *Profile) ScoreRequest(ev audit.Event, body object.Object) Score {
+	var score Score
+	if !p.tuples[tupleKey(ev)] {
+		score.Value += weightNovelTuple
+		score.Reasons = append(score.Reasons,
+			fmt.Sprintf("novel authorization tuple: %s %s/%s in %q by %s",
+				ev.Verb, ev.APIGroup, ev.Resource, ev.Namespace, ev.User))
+	}
+	if body == nil {
+		return clamp(score)
+	}
+	kind := body.Kind()
+	if kind != "" {
+		if kinds := p.kindsByUser[ev.User]; kinds == nil || !kinds[kind] {
+			score.Value += weightNovelKind
+			score.Reasons = append(score.Reasons,
+				fmt.Sprintf("user %s never submitted kind %s during training", ev.User, kind))
+		}
+		known := p.pathsByKind[kind]
+		var novel []string
+		for _, path := range object.Paths(map[string]any(body)) {
+			if serverPath(path) {
+				continue
+			}
+			if !known[path] {
+				novel = append(novel, path)
+			}
+		}
+		if len(novel) > 0 {
+			sort.Strings(novel)
+			score.Value += weightNovelPath
+			score.Reasons = append(score.Reasons,
+				fmt.Sprintf("novel field paths for kind %s: %s", kind, strings.Join(novel, ", ")))
+		}
+		var flipped []string
+		collectBools(map[string]any(body), "", func(path string, v bool) {
+			domain, trained := p.boolDomains[kind+"\x00"+path]
+			if trained && !domain[v] {
+				flipped = append(flipped, fmt.Sprintf("%s=%v", path, v))
+			}
+		})
+		if len(flipped) > 0 {
+			sort.Strings(flipped)
+			score.Value += weightNovelBool
+			score.Reasons = append(score.Reasons,
+				fmt.Sprintf("boolean outside observed domain for kind %s: %s",
+					kind, strings.Join(flipped, ", ")))
+		}
+	}
+	return clamp(score)
+}
+
+func clamp(s Score) Score {
+	if s.Value > 1 {
+		s.Value = 1
+	}
+	return s
+}
+
+func tupleKey(ev audit.Event) string {
+	return ev.User + "|" + ev.Verb + "|" + ev.APIGroup + "|" + ev.Resource + "|" + ev.Namespace
+}
+
+// serverPath reports whether a path is server-populated metadata that
+// differs per object but carries no behavioral signal.
+func serverPath(path string) bool {
+	switch path {
+	case "metadata.resourceVersion", "metadata.uid", "metadata.generation",
+		"metadata.creationTimestamp":
+		return true
+	}
+	return false
+}
+
+// TrainingSize reports how many distinct tuples and per-kind paths the
+// profile holds (introspection for reports).
+func (p *Profile) TrainingSize() (tuples int, paths int) {
+	tuples = len(p.tuples)
+	for _, set := range p.pathsByKind {
+		paths += len(set)
+	}
+	return tuples, paths
+}

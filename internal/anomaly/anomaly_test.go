@@ -1,0 +1,165 @@
+package anomaly
+
+import (
+	"testing"
+
+	"repro/internal/attacks"
+	"repro/internal/audit"
+	"repro/internal/chart"
+	"repro/internal/charts"
+	"repro/internal/object"
+)
+
+// trainOnWorkload builds a profile from an operator's rendered manifests,
+// as if captured during an attack-free deployment.
+func trainOnWorkload(t *testing.T, name string) (*Profile, []object.Object) {
+	t.Helper()
+	c := charts.MustLoad(name)
+	files, err := c.Render(nil, chart.ReleaseOptions{Name: "prod", Namespace: "default"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := chart.Objects(files)
+	var samples []Sample
+	for _, o := range objs {
+		info, _ := object.LookupKind(o.Kind())
+		samples = append(samples, Sample{
+			Event: audit.Event{
+				User: "operator:" + name, Verb: "create",
+				APIGroup: info.GVK.Group, Resource: info.Resource,
+				Namespace: o.Namespace(),
+			},
+			Body: o,
+		})
+	}
+	return Train(samples), objs
+}
+
+func eventFor(user string, o object.Object) audit.Event {
+	info, _ := object.LookupKind(o.Kind())
+	return audit.Event{
+		User: user, Verb: "create",
+		APIGroup: info.GVK.Group, Resource: info.Resource,
+		Namespace: o.Namespace(),
+	}
+}
+
+func TestTrainedTrafficScoresZero(t *testing.T) {
+	p, objs := trainOnWorkload(t, "nginx")
+	for _, o := range objs {
+		s := p.ScoreRequest(eventFor("operator:nginx", o), o)
+		if s.Value != 0 {
+			t.Errorf("trained %s scored %.2f: %v", o.Kind(), s.Value, s.Reasons)
+		}
+		if s.Anomalous() {
+			t.Errorf("trained %s flagged anomalous", o.Kind())
+		}
+	}
+}
+
+func TestNovelTupleFlagged(t *testing.T) {
+	p, objs := trainOnWorkload(t, "nginx")
+	// Same object, different user: novel tuple + novel kind for user.
+	s := p.ScoreRequest(eventFor("intruder", objs[0]), objs[0])
+	if !s.Anomalous() {
+		t.Errorf("intruder traffic not flagged: %.2f %v", s.Value, s.Reasons)
+	}
+	// Known user, never-used verb.
+	ev := eventFor("operator:nginx", objs[0])
+	ev.Verb = "delete"
+	s = p.ScoreRequest(ev, nil)
+	if s.Value == 0 {
+		t.Error("novel verb should contribute a signal")
+	}
+}
+
+func TestAttackBodiesScoreNovelPaths(t *testing.T) {
+	// Every Table II attack adds field paths the training never saw, so
+	// the detector flags them even where a coarser policy might not.
+	p, objs := trainOnWorkload(t, "nginx")
+	for _, a := range attacks.Catalog() {
+		target, ok := a.SelectTarget(objs)
+		if !ok {
+			continue
+		}
+		evil, err := a.Craft(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := p.ScoreRequest(eventFor("operator:nginx", evil), evil)
+		if a.ID == "E5" {
+			// E5 *removes* a field; novelty detection cannot see an
+			// absence. Documented limitation: the policy validator's
+			// required-field check catches it instead.
+			continue
+		}
+		if s.Value == 0 {
+			t.Errorf("%s produced no anomaly signal", a.ID)
+		}
+		hasBodyReason := false
+		for _, r := range s.Reasons {
+			if contains(r, "novel field paths") || contains(r, "boolean outside observed domain") {
+				hasBodyReason = true
+			}
+		}
+		if !hasBodyReason {
+			t.Errorf("%s: expected a body-level reason, got %v", a.ID, s.Reasons)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(s) > 0 && indexOf(s, sub) >= 0)
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestServerMetadataNotNovel(t *testing.T) {
+	p, objs := trainOnWorkload(t, "mlflow")
+	// A read-modify-write carries server-populated metadata; it must not
+	// trip the detector.
+	live := objs[0].DeepCopy()
+	if err := object.Set(live, "metadata.resourceVersion", "42"); err != nil {
+		t.Fatal(err)
+	}
+	if err := object.Set(live, "metadata.uid", "uid-42"); err != nil {
+		t.Fatal(err)
+	}
+	s := p.ScoreRequest(eventFor("operator:mlflow", live), live)
+	for _, r := range s.Reasons {
+		if contains(r, "resourceVersion") || contains(r, "uid") {
+			t.Errorf("server metadata flagged: %v", s.Reasons)
+		}
+	}
+}
+
+func TestScoreClamped(t *testing.T) {
+	p := Train(nil)
+	evil := object.Object{
+		"apiVersion": "v1", "kind": "Pod",
+		"metadata": map[string]any{"name": "x"},
+		"spec":     map[string]any{"hostPID": true},
+	}
+	s := p.ScoreRequest(audit.Event{User: "u", Verb: "create", Resource: "pods"}, evil)
+	if s.Value > 1 {
+		t.Errorf("score %.2f > 1", s.Value)
+	}
+	if !s.Anomalous() {
+		t.Error("everything is novel for an empty profile")
+	}
+}
+
+func TestTrainingSize(t *testing.T) {
+	p, _ := trainOnWorkload(t, "postgresql")
+	tuples, paths := p.TrainingSize()
+	if tuples == 0 || paths == 0 {
+		t.Errorf("training size = %d tuples, %d paths", tuples, paths)
+	}
+}

@@ -1,0 +1,174 @@
+package apischema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogHas20Kinds(t *testing.T) {
+	if got := len(Catalog()); got != 20 {
+		t.Errorf("catalog has %d kinds, want 20 (Fig. 9 endpoints)", got)
+	}
+	seen := map[string]bool{}
+	for _, r := range Catalog() {
+		if seen[r.Kind] {
+			t.Errorf("duplicate kind %s", r.Kind)
+		}
+		seen[r.Kind] = true
+	}
+}
+
+func TestTotalFieldsMagnitude(t *testing.T) {
+	// The paper counts 4,882 configurable fields across the 20 endpoints.
+	// Our curated catalog must land in the same order of magnitude so the
+	// Table I percentages are comparable.
+	total := TotalFields()
+	if total < 3000 || total > 7000 {
+		t.Errorf("TotalFields = %d, want within [3000, 7000] (paper: 4882)", total)
+	}
+	t.Logf("catalog total fields = %d (paper: 4882)", total)
+}
+
+func TestPodBearingKindsShareLargePodSpec(t *testing.T) {
+	dep, _ := Lookup("Deployment")
+	pod, _ := Lookup("Pod")
+	sts, _ := Lookup("StatefulSet")
+	if dep.Count() < 500 {
+		t.Errorf("Deployment field count = %d, want >= 500 (embeds PodSpec)", dep.Count())
+	}
+	if pod.Count() >= dep.Count() {
+		t.Errorf("Pod (%d) should be smaller than Deployment (%d): no template wrapper",
+			pod.Count(), dep.Count())
+	}
+	if sts.Count() <= dep.Count() {
+		t.Errorf("StatefulSet (%d) should exceed Deployment (%d): volumeClaimTemplates",
+			sts.Count(), dep.Count())
+	}
+}
+
+func TestSmallKindsAreSmall(t *testing.T) {
+	for _, k := range []string{"ConfigMap", "Secret", "Role", "RoleBinding", "PodDisruptionBudget"} {
+		r, ok := Lookup(k)
+		if !ok {
+			t.Fatalf("missing kind %s", k)
+		}
+		if r.Count() > 60 {
+			t.Errorf("%s field count = %d, unexpectedly large", k, r.Count())
+		}
+	}
+}
+
+func TestPathsContainAttackCatalogFields(t *testing.T) {
+	// Every field targeted by the paper's Table II catalog must exist in
+	// the schema so attacks are syntactically valid API requests.
+	dep, _ := Lookup("Deployment")
+	paths := map[string]bool{}
+	for _, p := range dep.Paths() {
+		paths[p] = true
+	}
+	want := []string{
+		"spec.template.spec.hostNetwork",
+		"spec.template.spec.hostPID",
+		"spec.template.spec.hostIPC",
+		"spec.template.spec.containers.volumeMounts.subPath",
+		"spec.template.spec.containers.securityContext.privileged",
+		"spec.template.spec.containers.securityContext.runAsNonRoot",
+		"spec.template.spec.containers.securityContext.readOnlyRootFilesystem",
+		"spec.template.spec.containers.securityContext.allowPrivilegeEscalation",
+		"spec.template.spec.containers.securityContext.capabilities.add",
+		"spec.template.spec.containers.securityContext.seccompProfile.localhostProfile",
+		"spec.template.spec.containers.securityContext.seLinuxOptions.user",
+		"spec.template.spec.containers.securityContext.seLinuxOptions.role",
+		"spec.template.spec.containers.resources.limits",
+		"spec.template.spec.containers.command",
+	}
+	for _, p := range want {
+		if !paths[p] {
+			t.Errorf("Deployment catalog missing path %s", p)
+		}
+	}
+	svc, _ := Lookup("Service")
+	svcPaths := map[string]bool{}
+	for _, p := range svc.Paths() {
+		svcPaths[p] = true
+	}
+	if !svcPaths["spec.externalIPs"] {
+		t.Error("Service catalog missing spec.externalIPs (CVE-2020-8554 target)")
+	}
+}
+
+func TestHasPath(t *testing.T) {
+	dep, _ := Lookup("Deployment")
+	tests := []struct {
+		path string
+		want bool
+	}{
+		{"spec.replicas", true},
+		{"spec.template.spec.hostNetwork", true},
+		{"spec.template.spec.containers.image", true},
+		{"spec.nonexistent", false},
+		{"metadata.labels.arbitrary-key", true}, // free-form map
+		{"metadata.labels", true},
+		{"spec.template.spec.containers.bogus", false},
+	}
+	for _, tt := range tests {
+		if got := dep.HasPath(tt.path); got != tt.want {
+			t.Errorf("HasPath(%q) = %v, want %v", tt.path, got, tt.want)
+		}
+	}
+}
+
+func TestPathsSortedAndUnique(t *testing.T) {
+	for _, r := range Catalog() {
+		paths := r.Paths()
+		for i := 1; i < len(paths); i++ {
+			if paths[i] < paths[i-1] {
+				t.Errorf("%s paths not sorted at %d: %q < %q", r.Kind, i, paths[i], paths[i-1])
+			}
+		}
+		// Paths count must equal Count (one path per field node).
+		if len(paths) != r.Count() {
+			t.Errorf("%s: len(Paths)=%d != Count=%d", r.Kind, len(paths), r.Count())
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("NoSuchKind"); ok {
+		t.Error("Lookup of unknown kind should fail")
+	}
+}
+
+func TestKindsOrderMatchesFig9(t *testing.T) {
+	want := []string{
+		"Deployment", "StatefulSet", "Pod", "Job", "CronJob", "Service",
+		"ConfigMap", "NetworkPolicy", "Ingress", "IngressClass",
+		"ServiceAccount", "HorizontalPodAutoscaler", "PodDisruptionBudget",
+		"PersistentVolumeClaim", "ValidatingWebhookConfiguration", "Secret",
+		"Role", "RoleBinding", "ClusterRole", "ClusterRoleBinding",
+	}
+	got := Kinds()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("Kinds() = %v", got)
+	}
+}
+
+func TestCatalogImmutableAcrossCalls(t *testing.T) {
+	a := Catalog()
+	b := Catalog()
+	if &a[0].Fields[0] != &b[0].Fields[0] {
+		t.Log("catalog rebuilt per call (allowed but wasteful)")
+	}
+	if a[0].Kind != b[0].Kind {
+		t.Error("catalog differs across calls")
+	}
+}
+
+func TestPerKindCounts(t *testing.T) {
+	for _, r := range Catalog() {
+		t.Logf("%-32s %5d fields", r.Kind, r.Count())
+		if r.Count() == 0 {
+			t.Errorf("%s has zero fields", r.Kind)
+		}
+	}
+}

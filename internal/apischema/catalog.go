@@ -1,0 +1,585 @@
+package apischema
+
+import "sync"
+
+// Builder helpers keep the catalog terse. They intentionally mirror the
+// shapes of the upstream OpenAPI schema for Kubernetes 1.28.
+
+func obj(name string, children ...Field) Field {
+	return Field{Name: name, Type: TypeObject, Children: children}
+}
+
+func lst(name string, children ...Field) Field {
+	return Field{Name: name, Type: TypeList, Children: children}
+}
+
+func str(name string) Field  { return Field{Name: name, Type: TypeString} }
+func num(name string) Field  { return Field{Name: name, Type: TypeInt} }
+func bl(name string) Field   { return Field{Name: name, Type: TypeBool} }
+func ip(name string) Field   { return Field{Name: name, Type: TypeIP} }
+func smap(name string) Field { return Field{Name: name, Type: TypeStringMap} }
+
+// catalogOnce builds the catalog a single time; the trees are treated as
+// immutable by every consumer.
+var catalogOnce = sync.OnceValue(buildCatalog)
+
+// Catalog returns the full resource catalog in Fig. 9 column order.
+func Catalog() []Resource { return catalogOnce() }
+
+func metadataFields() []Field {
+	return []Field{
+		str("name"),
+		str("namespace"),
+		str("generateName"),
+		smap("labels"),
+		smap("annotations"),
+		lst("finalizers"),
+		lst("ownerReferences",
+			str("apiVersion"), str("kind"), str("name"), str("uid"),
+			bl("controller"), bl("blockOwnerDeletion")),
+	}
+}
+
+func objectMeta() Field { return obj("metadata", metadataFields()...) }
+
+func labelSelector(name string) Field {
+	return obj(name,
+		smap("matchLabels"),
+		lst("matchExpressions", str("key"), str("operator"), lst("values")))
+}
+
+func keyToPath(name string) Field {
+	return lst(name, str("key"), str("path"), num("mode"))
+}
+
+func probe(name string) Field {
+	return obj(name,
+		obj("exec", lst("command")),
+		obj("httpGet", str("path"), num("port"), str("host"), str("scheme"),
+			lst("httpHeaders", str("name"), str("value"))),
+		obj("tcpSocket", num("port"), str("host")),
+		obj("grpc", num("port"), str("service")),
+		num("initialDelaySeconds"), num("timeoutSeconds"), num("periodSeconds"),
+		num("successThreshold"), num("failureThreshold"),
+		num("terminationGracePeriodSeconds"))
+}
+
+func lifecycleHandler(name string) Field {
+	return obj(name,
+		obj("exec", lst("command")),
+		obj("httpGet", str("path"), num("port"), str("host"), str("scheme"),
+			lst("httpHeaders", str("name"), str("value"))),
+		obj("tcpSocket", num("port"), str("host")),
+		obj("sleep", num("seconds")))
+}
+
+func containerSecurityContext() Field {
+	return obj("securityContext",
+		obj("capabilities", lst("add"), lst("drop")),
+		bl("privileged"),
+		obj("seLinuxOptions", str("user"), str("role"), str("type"), str("level")),
+		obj("windowsOptions", str("gmsaCredentialSpecName"), str("gmsaCredentialSpec"),
+			str("runAsUserName"), bl("hostProcess")),
+		num("runAsUser"), num("runAsGroup"), bl("runAsNonRoot"),
+		bl("readOnlyRootFilesystem"), bl("allowPrivilegeEscalation"),
+		str("procMount"),
+		obj("seccompProfile", str("type"), str("localhostProfile")),
+		obj("appArmorProfile", str("type"), str("localhostProfile")))
+}
+
+func envVarFields() Field {
+	return lst("env",
+		str("name"), str("value"),
+		obj("valueFrom",
+			obj("fieldRef", str("apiVersion"), str("fieldPath")),
+			obj("resourceFieldRef", str("containerName"), str("resource"), str("divisor")),
+			obj("configMapKeyRef", str("name"), str("key"), bl("optional")),
+			obj("secretKeyRef", str("name"), str("key"), bl("optional"))))
+}
+
+func resourcesField() Field {
+	return obj("resources",
+		obj("limits", str("cpu"), str("memory"), str("ephemeral-storage"), str("hugepages-2Mi")),
+		obj("requests", str("cpu"), str("memory"), str("ephemeral-storage"), str("hugepages-2Mi")),
+		lst("claims", str("name")))
+}
+
+func containerFields() []Field {
+	return []Field{
+		str("name"),
+		str("image"),
+		str("imagePullPolicy"),
+		lst("command"),
+		lst("args"),
+		str("workingDir"),
+		lst("ports", str("name"), num("containerPort"), num("hostPort"), ip("hostIP"), str("protocol")),
+		envVarFields(),
+		lst("envFrom",
+			str("prefix"),
+			obj("configMapRef", str("name"), bl("optional")),
+			obj("secretRef", str("name"), bl("optional"))),
+		resourcesField(),
+		lst("resizePolicy", str("resourceName"), str("restartPolicy")),
+		str("restartPolicy"),
+		lst("volumeMounts",
+			str("name"), str("mountPath"), bl("readOnly"),
+			str("subPath"), str("subPathExpr"), str("mountPropagation")),
+		lst("volumeDevices", str("name"), str("devicePath")),
+		probe("livenessProbe"),
+		probe("readinessProbe"),
+		probe("startupProbe"),
+		obj("lifecycle", lifecycleHandler("postStart"), lifecycleHandler("preStop")),
+		str("terminationMessagePath"),
+		str("terminationMessagePolicy"),
+		containerSecurityContext(),
+		bl("stdin"),
+		bl("stdinOnce"),
+		bl("tty"),
+	}
+}
+
+func volumeFields() Field {
+	return lst("volumes",
+		str("name"),
+		obj("awsElasticBlockStore", str("volumeID"), str("fsType"), num("partition"), bl("readOnly")),
+		obj("azureDisk", str("diskName"), str("diskURI"), str("cachingMode"), str("fsType"), bl("readOnly"), str("kind")),
+		obj("azureFile", str("secretName"), str("shareName"), bl("readOnly")),
+		obj("cephfs", lst("monitors"), str("path"), str("user"), str("secretFile"),
+			obj("secretRef", str("name")), bl("readOnly")),
+		obj("cinder", str("volumeID"), str("fsType"), bl("readOnly"), obj("secretRef", str("name"))),
+		obj("configMap", str("name"), num("defaultMode"), keyToPath("items"), bl("optional")),
+		obj("csi", str("driver"), bl("readOnly"), str("fsType"),
+			obj("nodePublishSecretRef", str("name")), smap("volumeAttributes")),
+		obj("downwardAPI", num("defaultMode"),
+			lst("items", str("path"),
+				obj("fieldRef", str("apiVersion"), str("fieldPath")),
+				obj("resourceFieldRef", str("containerName"), str("resource"), str("divisor")),
+				num("mode"))),
+		obj("emptyDir", str("medium"), str("sizeLimit")),
+		obj("ephemeral",
+			obj("volumeClaimTemplate",
+				obj("metadata", smap("labels"), smap("annotations")),
+				obj("spec",
+					lst("accessModes"),
+					str("storageClassName"), str("volumeMode"), str("volumeName"),
+					obj("resources", obj("limits", str("storage")), obj("requests", str("storage"))),
+					labelSelector("selector")))),
+		obj("fc", lst("targetWWNs"), num("lun"), str("fsType"), bl("readOnly"), lst("wwids")),
+		obj("flexVolume", str("driver"), str("fsType"), obj("secretRef", str("name")),
+			bl("readOnly"), smap("options")),
+		obj("flocker", str("datasetName"), str("datasetUUID")),
+		obj("gcePersistentDisk", str("pdName"), str("fsType"), num("partition"), bl("readOnly")),
+		obj("gitRepo", str("repository"), str("revision"), str("directory")),
+		obj("glusterfs", str("endpoints"), str("path"), bl("readOnly")),
+		obj("hostPath", str("path"), str("type")),
+		obj("iscsi", str("targetPortal"), str("iqn"), num("lun"), str("iscsiInterface"),
+			str("fsType"), bl("readOnly"), lst("portals"), bl("chapAuthDiscovery"),
+			bl("chapAuthSession"), obj("secretRef", str("name")), str("initiatorName")),
+		obj("nfs", str("server"), str("path"), bl("readOnly")),
+		obj("persistentVolumeClaim", str("claimName"), bl("readOnly")),
+		obj("photonPersistentDisk", str("pdID"), str("fsType")),
+		obj("portworxVolume", str("volumeID"), str("fsType"), bl("readOnly")),
+		obj("projected", num("defaultMode"),
+			lst("sources",
+				obj("configMap", str("name"), keyToPath("items"), bl("optional")),
+				obj("secret", str("name"), keyToPath("items"), bl("optional")),
+				obj("serviceAccountToken", str("audience"), num("expirationSeconds"), str("path")),
+				obj("downwardAPI", lst("items", str("path"),
+					obj("fieldRef", str("apiVersion"), str("fieldPath")),
+					num("mode"))),
+				obj("clusterTrustBundle", str("name"), str("signerName"),
+					labelSelector("labelSelector"), bl("optional"), str("path")))),
+		obj("quobyte", str("registry"), str("volume"), bl("readOnly"), str("user"),
+			str("group"), str("tenant")),
+		obj("rbd", lst("monitors"), str("image"), str("fsType"), str("pool"), str("user"),
+			str("keyring"), obj("secretRef", str("name")), bl("readOnly")),
+		obj("scaleIO", str("gateway"), str("system"), obj("secretRef", str("name")),
+			bl("sslEnabled"), str("protectionDomain"), str("storagePool"), str("storageMode"),
+			str("volumeName"), str("fsType"), bl("readOnly")),
+		obj("secret", str("secretName"), num("defaultMode"), keyToPath("items"), bl("optional")),
+		obj("storageos", str("volumeName"), str("volumeNamespace"), str("fsType"),
+			bl("readOnly"), obj("secretRef", str("name"))),
+		obj("vsphereVolume", str("volumePath"), str("fsType"),
+			str("storagePolicyName"), str("storagePolicyID")))
+}
+
+func affinityFields() Field {
+	nodeSelectorTerm := []Field{
+		lst("matchExpressions", str("key"), str("operator"), lst("values")),
+		lst("matchFields", str("key"), str("operator"), lst("values")),
+	}
+	podAffinityTerm := []Field{
+		labelSelector("labelSelector"),
+		labelSelector("namespaceSelector"),
+		lst("namespaces"),
+		str("topologyKey"),
+		lst("matchLabelKeys"),
+		lst("mismatchLabelKeys"),
+	}
+	return obj("affinity",
+		obj("nodeAffinity",
+			obj("requiredDuringSchedulingIgnoredDuringExecution",
+				lst("nodeSelectorTerms", nodeSelectorTerm...)),
+			lst("preferredDuringSchedulingIgnoredDuringExecution",
+				num("weight"), obj("preference", nodeSelectorTerm...))),
+		obj("podAffinity",
+			lst("requiredDuringSchedulingIgnoredDuringExecution", podAffinityTerm...),
+			lst("preferredDuringSchedulingIgnoredDuringExecution",
+				num("weight"), obj("podAffinityTerm", podAffinityTerm...))),
+		obj("podAntiAffinity",
+			lst("requiredDuringSchedulingIgnoredDuringExecution", podAffinityTerm...),
+			lst("preferredDuringSchedulingIgnoredDuringExecution",
+				num("weight"), obj("podAffinityTerm", podAffinityTerm...))))
+}
+
+func podSecurityContext() Field {
+	return obj("securityContext",
+		obj("seLinuxOptions", str("user"), str("role"), str("type"), str("level")),
+		obj("windowsOptions", str("gmsaCredentialSpecName"), str("gmsaCredentialSpec"),
+			str("runAsUserName"), bl("hostProcess")),
+		num("runAsUser"), num("runAsGroup"), bl("runAsNonRoot"),
+		lst("supplementalGroups"), num("fsGroup"), str("fsGroupChangePolicy"),
+		lst("sysctls", str("name"), str("value")),
+		obj("seccompProfile", str("type"), str("localhostProfile")),
+		obj("appArmorProfile", str("type"), str("localhostProfile")))
+}
+
+func podSpecFields() []Field {
+	return []Field{
+		lst("initContainers", containerFields()...),
+		lst("containers", containerFields()...),
+		lst("ephemeralContainers", append(containerFields(), str("targetContainerName"))...),
+		volumeFields(),
+		str("restartPolicy"),
+		num("terminationGracePeriodSeconds"),
+		num("activeDeadlineSeconds"),
+		str("dnsPolicy"),
+		smap("nodeSelector"),
+		str("serviceAccountName"),
+		str("serviceAccount"),
+		bl("automountServiceAccountToken"),
+		str("nodeName"),
+		bl("hostNetwork"),
+		bl("hostPID"),
+		bl("hostIPC"),
+		bl("shareProcessNamespace"),
+		podSecurityContext(),
+		lst("imagePullSecrets", str("name")),
+		str("hostname"),
+		str("subdomain"),
+		affinityFields(),
+		str("schedulerName"),
+		lst("tolerations", str("key"), str("operator"), str("value"), str("effect"),
+			num("tolerationSeconds")),
+		lst("hostAliases", ip("ip"), lst("hostnames")),
+		str("priorityClassName"),
+		num("priority"),
+		obj("dnsConfig", lst("nameservers"), lst("searches"),
+			lst("options", str("name"), str("value"))),
+		lst("readinessGates", str("conditionType")),
+		str("runtimeClassName"),
+		bl("enableServiceLinks"),
+		str("preemptionPolicy"),
+		smap("overhead"),
+		lst("topologySpreadConstraints",
+			num("maxSkew"), str("topologyKey"), str("whenUnsatisfiable"),
+			labelSelector("labelSelector"), num("minDomains"),
+			str("nodeAffinityPolicy"), str("nodeTaintsPolicy"), lst("matchLabelKeys")),
+		bl("setHostnameAsFQDN"),
+		obj("os", str("name")),
+		bl("hostUsers"),
+		lst("schedulingGates", str("name")),
+		lst("resourceClaims", str("name"), obj("source", str("resourceClaimName"),
+			str("resourceClaimTemplateName"))),
+	}
+}
+
+func podTemplate() Field {
+	return obj("template",
+		obj("metadata", str("name"), smap("labels"), smap("annotations")),
+		obj("spec", podSpecFields()...))
+}
+
+func buildCatalog() []Resource {
+	deployment := Resource{Kind: "Deployment", Fields: []Field{
+		objectMeta(),
+		obj("spec",
+			num("replicas"),
+			labelSelector("selector"),
+			podTemplate(),
+			obj("strategy", str("type"),
+				obj("rollingUpdate", str("maxUnavailable"), str("maxSurge"))),
+			num("minReadySeconds"),
+			num("revisionHistoryLimit"),
+			bl("paused"),
+			num("progressDeadlineSeconds")),
+	}}
+
+	statefulSet := Resource{Kind: "StatefulSet", Fields: []Field{
+		objectMeta(),
+		obj("spec",
+			num("replicas"),
+			labelSelector("selector"),
+			podTemplate(),
+			lst("volumeClaimTemplates",
+				obj("metadata", str("name"), smap("labels"), smap("annotations")),
+				obj("spec",
+					lst("accessModes"),
+					labelSelector("selector"),
+					obj("resources", obj("limits", str("storage")), obj("requests", str("storage"))),
+					str("volumeName"), str("storageClassName"), str("volumeMode"),
+					obj("dataSource", str("apiGroup"), str("kind"), str("name")))),
+			str("serviceName"),
+			str("podManagementPolicy"),
+			obj("updateStrategy", str("type"),
+				obj("rollingUpdate", num("partition"), str("maxUnavailable"))),
+			num("revisionHistoryLimit"),
+			num("minReadySeconds"),
+			obj("persistentVolumeClaimRetentionPolicy", str("whenDeleted"), str("whenScaled")),
+			obj("ordinals", num("start"))),
+	}}
+
+	pod := Resource{Kind: "Pod", Fields: []Field{
+		objectMeta(),
+		obj("spec", podSpecFields()...),
+	}}
+
+	jobSpecFields := []Field{
+		num("parallelism"),
+		num("completions"),
+		num("activeDeadlineSeconds"),
+		num("backoffLimit"),
+		num("backoffLimitPerIndex"),
+		num("maxFailedIndexes"),
+		labelSelector("selector"),
+		bl("manualSelector"),
+		podTemplate(),
+		num("ttlSecondsAfterFinished"),
+		str("completionMode"),
+		bl("suspend"),
+		str("podReplacementPolicy"),
+		obj("podFailurePolicy",
+			lst("rules", str("action"),
+				obj("onExitCodes", str("containerName"), str("operator"), lst("values")),
+				lst("onPodConditions", str("type"), str("status")))),
+	}
+
+	job := Resource{Kind: "Job", Fields: []Field{
+		objectMeta(),
+		obj("spec", jobSpecFields...),
+	}}
+
+	cronJob := Resource{Kind: "CronJob", Fields: []Field{
+		objectMeta(),
+		obj("spec",
+			str("schedule"),
+			str("timeZone"),
+			num("startingDeadlineSeconds"),
+			str("concurrencyPolicy"),
+			bl("suspend"),
+			obj("jobTemplate",
+				obj("metadata", smap("labels"), smap("annotations")),
+				obj("spec", jobSpecFields...)),
+			num("successfulJobsHistoryLimit"),
+			num("failedJobsHistoryLimit")),
+	}}
+
+	service := Resource{Kind: "Service", Fields: []Field{
+		objectMeta(),
+		obj("spec",
+			lst("ports", str("name"), str("protocol"), str("appProtocol"),
+				num("port"), num("targetPort"), num("nodePort")),
+			smap("selector"),
+			ip("clusterIP"),
+			lst("clusterIPs"),
+			str("type"),
+			lst("externalIPs"),
+			str("sessionAffinity"),
+			ip("loadBalancerIP"),
+			lst("loadBalancerSourceRanges"),
+			str("externalName"),
+			str("externalTrafficPolicy"),
+			num("healthCheckNodePort"),
+			bl("publishNotReadyAddresses"),
+			obj("sessionAffinityConfig", obj("clientIP", num("timeoutSeconds"))),
+			lst("ipFamilies"),
+			str("ipFamilyPolicy"),
+			bl("allocateLoadBalancerNodePorts"),
+			str("loadBalancerClass"),
+			str("internalTrafficPolicy"),
+			str("trafficDistribution")),
+	}}
+
+	configMap := Resource{Kind: "ConfigMap", Fields: []Field{
+		objectMeta(),
+		smap("data"),
+		smap("binaryData"),
+		bl("immutable"),
+	}}
+
+	networkPolicyPeer := []Field{
+		labelSelector("podSelector"),
+		labelSelector("namespaceSelector"),
+		obj("ipBlock", str("cidr"), lst("except")),
+	}
+	networkPolicy := Resource{Kind: "NetworkPolicy", Fields: []Field{
+		objectMeta(),
+		obj("spec",
+			labelSelector("podSelector"),
+			lst("ingress",
+				lst("ports", str("protocol"), num("port"), num("endPort")),
+				lst("from", networkPolicyPeer...)),
+			lst("egress",
+				lst("ports", str("protocol"), num("port"), num("endPort")),
+				lst("to", networkPolicyPeer...)),
+			lst("policyTypes")),
+	}}
+
+	ingressBackend := obj("backend",
+		obj("service", str("name"), obj("port", str("name"), num("number"))),
+		obj("resource", str("apiGroup"), str("kind"), str("name")))
+	ingress := Resource{Kind: "Ingress", Fields: []Field{
+		objectMeta(),
+		obj("spec",
+			str("ingressClassName"),
+			obj("defaultBackend",
+				obj("service", str("name"), obj("port", str("name"), num("number"))),
+				obj("resource", str("apiGroup"), str("kind"), str("name"))),
+			lst("tls", lst("hosts"), str("secretName")),
+			lst("rules",
+				str("host"),
+				obj("http", lst("paths", str("path"), str("pathType"), ingressBackend)))),
+	}}
+
+	ingressClass := Resource{Kind: "IngressClass", Fields: []Field{
+		objectMeta(),
+		obj("spec",
+			str("controller"),
+			obj("parameters", str("apiGroup"), str("kind"), str("name"),
+				str("scope"), str("namespace"))),
+	}}
+
+	serviceAccount := Resource{Kind: "ServiceAccount", Fields: []Field{
+		objectMeta(),
+		lst("secrets", str("apiVersion"), str("kind"), str("name"),
+			str("namespace"), str("uid"), str("fieldPath")),
+		lst("imagePullSecrets", str("name")),
+		bl("automountServiceAccountToken"),
+	}}
+
+	hpaMetric := []Field{
+		str("type"),
+		obj("object",
+			obj("describedObject", str("apiVersion"), str("kind"), str("name")),
+			obj("target", str("type"), str("value"), str("averageValue"), num("averageUtilization")),
+			obj("metric", str("name"), labelSelector("selector"))),
+		obj("pods",
+			obj("metric", str("name"), labelSelector("selector")),
+			obj("target", str("type"), str("value"), str("averageValue"), num("averageUtilization"))),
+		obj("resource", str("name"),
+			obj("target", str("type"), str("value"), str("averageValue"), num("averageUtilization"))),
+		obj("containerResource", str("name"), str("container"),
+			obj("target", str("type"), str("value"), str("averageValue"), num("averageUtilization"))),
+		obj("external",
+			obj("metric", str("name"), labelSelector("selector")),
+			obj("target", str("type"), str("value"), str("averageValue"), num("averageUtilization"))),
+	}
+	hpaPolicy := []Field{str("type"), num("value"), num("periodSeconds")}
+	hpa := Resource{Kind: "HorizontalPodAutoscaler", Fields: []Field{
+		objectMeta(),
+		obj("spec",
+			obj("scaleTargetRef", str("apiVersion"), str("kind"), str("name")),
+			num("minReplicas"),
+			num("maxReplicas"),
+			lst("metrics", hpaMetric...),
+			obj("behavior",
+				obj("scaleUp", str("selectPolicy"), num("stabilizationWindowSeconds"),
+					lst("policies", hpaPolicy...)),
+				obj("scaleDown", str("selectPolicy"), num("stabilizationWindowSeconds"),
+					lst("policies", hpaPolicy...)))),
+	}}
+
+	pdb := Resource{Kind: "PodDisruptionBudget", Fields: []Field{
+		objectMeta(),
+		obj("spec",
+			str("minAvailable"),
+			str("maxUnavailable"),
+			labelSelector("selector"),
+			str("unhealthyPodEvictionPolicy")),
+	}}
+
+	pvc := Resource{Kind: "PersistentVolumeClaim", Fields: []Field{
+		objectMeta(),
+		obj("spec",
+			lst("accessModes"),
+			labelSelector("selector"),
+			obj("resources", obj("limits", str("storage")), obj("requests", str("storage"))),
+			str("volumeName"),
+			str("storageClassName"),
+			str("volumeMode"),
+			obj("dataSource", str("apiGroup"), str("kind"), str("name")),
+			obj("dataSourceRef", str("apiGroup"), str("kind"), str("name"), str("namespace")),
+			str("volumeAttributesClassName")),
+	}}
+
+	vwc := Resource{Kind: "ValidatingWebhookConfiguration", Fields: []Field{
+		objectMeta(),
+		lst("webhooks",
+			str("name"),
+			obj("clientConfig",
+				str("url"),
+				obj("service", str("namespace"), str("name"), str("path"), num("port")),
+				str("caBundle")),
+			lst("rules", lst("apiGroups"), lst("apiVersions"), lst("operations"),
+				lst("resources"), str("scope")),
+			str("failurePolicy"),
+			str("matchPolicy"),
+			labelSelector("namespaceSelector"),
+			labelSelector("objectSelector"),
+			lst("matchConditions", str("name"), str("expression")),
+			str("sideEffects"),
+			num("timeoutSeconds"),
+			lst("admissionReviewVersions")),
+	}}
+
+	secret := Resource{Kind: "Secret", Fields: []Field{
+		objectMeta(),
+		smap("data"),
+		smap("stringData"),
+		str("type"),
+		bl("immutable"),
+	}}
+
+	roleRules := lst("rules",
+		lst("apiGroups"), lst("resources"), lst("resourceNames"),
+		lst("verbs"), lst("nonResourceURLs"))
+
+	role := Resource{Kind: "Role", Fields: []Field{objectMeta(), roleRules}}
+
+	roleBinding := Resource{Kind: "RoleBinding", Fields: []Field{
+		objectMeta(),
+		lst("subjects", str("kind"), str("apiGroup"), str("name"), str("namespace")),
+		obj("roleRef", str("apiGroup"), str("kind"), str("name")),
+	}}
+
+	clusterRole := Resource{Kind: "ClusterRole", Fields: []Field{
+		objectMeta(),
+		roleRules,
+		obj("aggregationRule",
+			lst("clusterRoleSelectors",
+				smap("matchLabels"),
+				lst("matchExpressions", str("key"), str("operator"), lst("values")))),
+	}}
+
+	clusterRoleBinding := Resource{Kind: "ClusterRoleBinding", Fields: []Field{
+		objectMeta(),
+		lst("subjects", str("kind"), str("apiGroup"), str("name"), str("namespace")),
+		obj("roleRef", str("apiGroup"), str("kind"), str("name")),
+	}}
+
+	return []Resource{
+		deployment, statefulSet, pod, job, cronJob, service, configMap,
+		networkPolicy, ingress, ingressClass, serviceAccount, hpa, pdb, pvc,
+		vwc, secret, role, roleBinding, clusterRole, clusterRoleBinding,
+	}
+}

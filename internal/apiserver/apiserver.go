@@ -1,0 +1,531 @@
+// Package apiserver implements the simulated Kubernetes API server: the
+// RESTful resource interface (core/v1, apps/v1, batch/v1,
+// networking.k8s.io/v1, autoscaling/v2, policy/v1, rbac/v1,
+// admissionregistration/v1) over the versioned object store, with
+// authentication (client certificates or front-proxy headers), RBAC
+// authorization, an admission hook chain, and audit logging.
+//
+// This is the substrate under both evaluation arms: the RBAC baseline
+// talks to it directly; KubeFence interposes its proxy in front of it
+// (with mTLS restricting direct access, per the paper's Complete
+// Mediation requirement).
+package apiserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/object"
+	"repro/internal/rbac"
+	"repro/internal/store"
+)
+
+// AdmissionFunc inspects a write request after authorization and may veto
+// it. This is the integration point for the paper's §VIII in-server
+// enforcement ablation.
+type AdmissionFunc func(user, verb string, obj object.Object) error
+
+// Config configures a Server.
+type Config struct {
+	// Store backs all resources. Required.
+	Store *store.Store
+	// Audit receives one event per request when non-nil.
+	Audit *audit.Log
+	// Authorizer evaluates RBAC when Enforce is true. When nil, an empty
+	// (deny-all) authorizer is installed.
+	Authorizer *rbac.Authorizer
+	// EnforceAuthz turns RBAC checking on. With it off every
+	// authenticated request is allowed (the paper's audit-capture phase).
+	EnforceAuthz bool
+	// Superusers bypass authorization (cluster-admin equivalents).
+	Superusers []string
+	// FrontProxyUsers lists authenticated identities (certificate CNs or
+	// X-Remote-User values) trusted to assert the original caller via
+	// X-Forwarded-User headers — the upstream front-proxy mechanism the
+	// KubeFence proxy uses so user identity survives interposition.
+	FrontProxyUsers []string
+	// Admission is the ordered hook chain for create/update requests.
+	Admission []AdmissionFunc
+	// DynamicRBAC reloads the authorizer from stored RBAC objects after
+	// every write to an RBAC resource.
+	DynamicRBAC bool
+}
+
+// Server is the simulated API server. It implements http.Handler.
+type Server struct {
+	cfg     Config
+	authz   atomic.Pointer[rbac.Authorizer]
+	enforce atomic.Bool
+
+	mu         sync.Mutex
+	superusers map[string]bool
+	frontProxy map[string]bool
+}
+
+// New builds a Server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("apiserver: Config.Store is required")
+	}
+	s := &Server{cfg: cfg}
+	a := cfg.Authorizer
+	if a == nil {
+		a = rbac.New()
+	}
+	s.authz.Store(a)
+	s.enforce.Store(cfg.EnforceAuthz)
+	s.superusers = map[string]bool{}
+	for _, u := range cfg.Superusers {
+		s.superusers[u] = true
+	}
+	s.frontProxy = map[string]bool{}
+	for _, u := range cfg.FrontProxyUsers {
+		s.frontProxy[u] = true
+	}
+	return s, nil
+}
+
+// SetAuthorizer atomically replaces the authorizer.
+func (s *Server) SetAuthorizer(a *rbac.Authorizer) { s.authz.Store(a) }
+
+// SetEnforceAuthz toggles RBAC enforcement at runtime (the evaluation
+// flips this between the audit-capture and attack phases).
+func (s *Server) SetEnforceAuthz(on bool) { s.enforce.Store(on) }
+
+// status is the Kubernetes-style error body.
+type status struct {
+	Kind    string `json:"kind"`
+	Status  string `json:"status"`
+	Message string `json:"message"`
+	Reason  string `json:"reason,omitempty"`
+	Code    int    `json:"code"`
+}
+
+// ServeHTTP implements http.Handler: authenticate, authorize, dispatch.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	user, groups := s.authenticate(r)
+
+	switch r.URL.Path {
+	case "/healthz", "/readyz", "/livez":
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+		return
+	case "/version":
+		writeJSON(w, http.StatusOK, map[string]any{
+			"major": "1", "minor": "28", "gitVersion": "v1.28.6-kubefence-sim",
+		})
+		return
+	}
+
+	req, err := parsePath(r.URL.Path)
+	if err != nil {
+		s.deny(w, r, user, groups, rbac.Attributes{}, http.StatusNotFound, err.Error(), start)
+		return
+	}
+	verb, err := httpVerbToK8s(r.Method, req.Name != "")
+	if err != nil {
+		s.deny(w, r, user, groups, rbac.Attributes{}, http.StatusMethodNotAllowed, err.Error(), start)
+		return
+	}
+	attrs := rbac.Attributes{
+		User: user, Groups: groups, Verb: verb,
+		APIGroup: req.Group, Resource: req.Resource,
+		Namespace: req.Namespace, Name: req.Name,
+	}
+
+	// Authorization.
+	if s.enforce.Load() && !s.isSuperuser(user) {
+		if ok, _ := s.authz.Load().Authorize(attrs); !ok {
+			s.deny(w, r, user, groups, attrs, http.StatusForbidden,
+				fmt.Sprintf("user %q cannot %s %s", user, verb, req.Resource), start)
+			return
+		}
+	}
+
+	// Watch requests stream store events until the client disconnects.
+	if attrs.Verb == "list" && r.URL.Query().Get("watch") == "true" {
+		s.record(r, attrs, http.StatusOK, "", start)
+		s.serveWatch(w, r, req)
+		return
+	}
+
+	code, body := s.dispatch(r, req, attrs)
+	s.record(r, attrs, code, "", start)
+	writeJSON(w, code, body)
+}
+
+// serveWatch streams JSON watch events (one object per line, like the
+// upstream watch protocol) for a collection until the client goes away.
+func (s *Server) serveWatch(w http.ResponseWriter, r *http.Request, ri requestInfo) {
+	info, _ := object.LookupResource(ri.Group, ri.Resource)
+	events, cancel := s.cfg.Store.Watch(info.GVK.Kind, ri.Namespace)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Transfer-Encoding", "chunked")
+	w.WriteHeader(http.StatusOK)
+	flusher, canFlush := w.(http.Flusher)
+	if canFlush {
+		flusher.Flush()
+	}
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			if err := enc.Encode(map[string]any{
+				"type":   string(ev.Type),
+				"object": map[string]any(ev.Object),
+			}); err != nil {
+				return
+			}
+			if canFlush {
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+// requestInfo is the parsed REST coordinates of a request.
+type requestInfo struct {
+	Group     string
+	Version   string
+	Resource  string
+	Namespace string
+	Name      string
+}
+
+// parsePath resolves REST paths:
+//
+//	/api/v1/namespaces/{ns}/{resource}[/{name}]
+//	/api/v1/{resource}[/{name}]                      (cluster-scoped core)
+//	/apis/{group}/{version}/namespaces/{ns}/{resource}[/{name}]
+//	/apis/{group}/{version}/{resource}[/{name}]
+func parsePath(path string) (requestInfo, error) {
+	parts := splitPath(path)
+	var ri requestInfo
+	switch {
+	case len(parts) >= 2 && parts[0] == "api":
+		ri.Group = ""
+		ri.Version = parts[1]
+		parts = parts[2:]
+	case len(parts) >= 3 && parts[0] == "apis":
+		ri.Group = parts[1]
+		ri.Version = parts[2]
+		parts = parts[3:]
+	default:
+		return ri, fmt.Errorf("the server could not find the requested resource %q", path)
+	}
+	if len(parts) >= 2 && parts[0] == "namespaces" && len(parts) > 2 {
+		ri.Namespace = parts[1]
+		parts = parts[2:]
+	}
+	if len(parts) == 0 {
+		return ri, fmt.Errorf("no resource in path %q", path)
+	}
+	ri.Resource = parts[0]
+	if len(parts) > 1 {
+		ri.Name = parts[1]
+	}
+	if len(parts) > 2 {
+		return ri, fmt.Errorf("unsupported subresource %q", strings.Join(parts[2:], "/"))
+	}
+	if _, ok := object.LookupResource(ri.Group, ri.Resource); !ok {
+		return ri, fmt.Errorf("resource %q in group %q is not served", ri.Resource, ri.Group)
+	}
+	return ri, nil
+}
+
+func splitPath(p string) []string {
+	var out []string
+	for _, seg := range strings.Split(p, "/") {
+		if seg != "" {
+			out = append(out, seg)
+		}
+	}
+	return out
+}
+
+func httpVerbToK8s(method string, hasName bool) (string, error) {
+	switch method {
+	case http.MethodGet:
+		if hasName {
+			return "get", nil
+		}
+		return "list", nil
+	case http.MethodPost:
+		return "create", nil
+	case http.MethodPut:
+		return "update", nil
+	case http.MethodPatch:
+		return "patch", nil
+	case http.MethodDelete:
+		return "delete", nil
+	default:
+		return "", fmt.Errorf("method %s not supported", method)
+	}
+}
+
+// authenticate derives (user, groups) from the connection and headers.
+func (s *Server) authenticate(r *http.Request) (string, []string) {
+	var user string
+	var groups []string
+	if r.TLS != nil && len(r.TLS.PeerCertificates) > 0 {
+		leaf := r.TLS.PeerCertificates[0]
+		user = leaf.Subject.CommonName
+		groups = leaf.Subject.Organization
+	} else if h := r.Header.Get("X-Remote-User"); h != "" {
+		user = h
+		groups = r.Header.Values("X-Remote-Group")
+	}
+	if user == "" {
+		return "system:anonymous", []string{"system:unauthenticated"}
+	}
+	// Front-proxy impersonation: a trusted proxy asserts the original
+	// caller.
+	if s.frontProxy[user] {
+		if fwd := r.Header.Get("X-Forwarded-User"); fwd != "" {
+			return fwd, r.Header.Values("X-Forwarded-Group")
+		}
+	}
+	return user, append(groups, "system:authenticated")
+}
+
+func (s *Server) isSuperuser(user string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.superusers[user]
+}
+
+// dispatch executes the storage operation and returns (status, body).
+func (s *Server) dispatch(r *http.Request, ri requestInfo, attrs rbac.Attributes) (int, any) {
+	info, _ := object.LookupResource(ri.Group, ri.Resource)
+	kind := info.GVK.Kind
+	switch attrs.Verb {
+	case "list":
+		items := s.cfg.Store.List(kind, ri.Namespace)
+		anyItems := make([]any, len(items))
+		for i, o := range items {
+			anyItems[i] = map[string]any(o)
+		}
+		return http.StatusOK, map[string]any{
+			"apiVersion": info.GVK.APIVersion(),
+			"kind":       kind + "List",
+			"items":      anyItems,
+		}
+	case "get":
+		o, err := s.cfg.Store.Get(kind, ri.Namespace, ri.Name)
+		if err != nil {
+			return storeErr(err)
+		}
+		return http.StatusOK, map[string]any(o)
+	case "create", "update", "patch":
+		obj, code, msg := s.decodeBody(r, ri, kind)
+		if msg != "" {
+			return code, errStatus(code, msg)
+		}
+		for _, admit := range s.cfg.Admission {
+			if err := admit(attrs.User, attrs.Verb, obj); err != nil {
+				return http.StatusForbidden, errStatus(http.StatusForbidden,
+					"admission denied: "+err.Error())
+			}
+		}
+		var stored object.Object
+		var err error
+		switch attrs.Verb {
+		case "create":
+			stored, err = s.cfg.Store.Create(obj)
+		case "update":
+			stored, err = s.cfg.Store.Update(obj)
+		case "patch":
+			stored, err = s.patch(kind, ri, obj)
+		}
+		if err != nil {
+			return storeErr(err)
+		}
+		s.maybeReloadRBAC(kind)
+		if attrs.Verb == "create" {
+			return http.StatusCreated, map[string]any(stored)
+		}
+		return http.StatusOK, map[string]any(stored)
+	case "delete":
+		o, err := s.cfg.Store.Delete(kind, ri.Namespace, ri.Name)
+		if err != nil {
+			return storeErr(err)
+		}
+		s.maybeReloadRBAC(kind)
+		return http.StatusOK, map[string]any(o)
+	default:
+		return http.StatusMethodNotAllowed, errStatus(http.StatusMethodNotAllowed, "unsupported verb")
+	}
+}
+
+// patch applies a strategic-merge-lite patch: maps merge recursively,
+// scalars and lists replace.
+func (s *Server) patch(kind string, ri requestInfo, patch object.Object) (object.Object, error) {
+	cur, err := s.cfg.Store.Get(kind, ri.Namespace, ri.Name)
+	if err != nil {
+		return nil, err
+	}
+	merged := mergePatch(map[string]any(cur), map[string]any(patch))
+	return s.cfg.Store.Update(object.Object(merged))
+}
+
+func mergePatch(base, patch map[string]any) map[string]any {
+	out := object.DeepCopyValue(base).(map[string]any)
+	for k, pv := range patch {
+		if pv == nil {
+			delete(out, k)
+			continue
+		}
+		bm, bok := out[k].(map[string]any)
+		pm, pok := pv.(map[string]any)
+		if bok && pok {
+			out[k] = mergePatch(bm, pm)
+			continue
+		}
+		out[k] = object.DeepCopyValue(pv)
+	}
+	return out
+}
+
+// decodeBody reads and validates the request body as an object of the
+// expected kind; it fills name/namespace defaults from the path.
+func (s *Server) decodeBody(r *http.Request, ri requestInfo, kind string) (object.Object, int, string) {
+	defer r.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(r.Body, 4<<20))
+	if err != nil {
+		return nil, http.StatusBadRequest, "reading body: " + err.Error()
+	}
+	if len(data) == 0 {
+		return nil, http.StatusBadRequest, "empty request body"
+	}
+	var obj object.Object
+	ct := r.Header.Get("Content-Type")
+	if strings.Contains(ct, "yaml") {
+		obj, err = object.ParseManifest(data)
+	} else {
+		var m map[string]any
+		if jerr := json.Unmarshal(data, &m); jerr != nil {
+			err = jerr
+		} else {
+			obj = object.Object(m)
+		}
+	}
+	if err != nil {
+		return nil, http.StatusBadRequest, "decoding body: " + err.Error()
+	}
+	if obj.Kind() == "" {
+		return nil, http.StatusBadRequest, "object has no kind"
+	}
+	if obj.Kind() != kind {
+		return nil, http.StatusBadRequest,
+			fmt.Sprintf("kind %s does not match endpoint resource %s", obj.Kind(), kind)
+	}
+	if ri.Namespace != "" && obj.Namespace() == "" {
+		obj.SetNamespace(ri.Namespace)
+	}
+	if ri.Namespace != "" && obj.Namespace() != ri.Namespace {
+		return nil, http.StatusBadRequest,
+			fmt.Sprintf("namespace %q does not match path namespace %q", obj.Namespace(), ri.Namespace)
+	}
+	if ri.Name != "" && obj.Name() != ri.Name {
+		return nil, http.StatusBadRequest,
+			fmt.Sprintf("name %q does not match path name %q", obj.Name(), ri.Name)
+	}
+	return obj, 0, ""
+}
+
+// maybeReloadRBAC rebuilds the authorizer from stored RBAC objects after
+// RBAC-kind writes.
+func (s *Server) maybeReloadRBAC(kind string) {
+	if !s.cfg.DynamicRBAC {
+		return
+	}
+	switch kind {
+	case "Role", "ClusterRole", "RoleBinding", "ClusterRoleBinding":
+	default:
+		return
+	}
+	a := rbac.New()
+	for _, k := range []string{"Role", "ClusterRole", "RoleBinding", "ClusterRoleBinding"} {
+		a.LoadObjects(s.cfg.Store.List(k, ""))
+	}
+	s.authz.Store(a)
+}
+
+func (s *Server) deny(w http.ResponseWriter, r *http.Request, user string, groups []string,
+	attrs rbac.Attributes, code int, msg string, start time.Time) {
+	if attrs.User == "" {
+		attrs.User = user
+		attrs.Groups = groups
+	}
+	s.record(r, attrs, code, msg, start)
+	writeJSON(w, code, errStatus(code, msg))
+}
+
+func (s *Server) record(r *http.Request, attrs rbac.Attributes, code int, reason string, start time.Time) {
+	if s.cfg.Audit == nil {
+		return
+	}
+	s.cfg.Audit.Record(audit.Event{
+		Timestamp:  start,
+		User:       attrs.User,
+		Groups:     attrs.Groups,
+		Verb:       attrs.Verb,
+		APIGroup:   attrs.APIGroup,
+		Resource:   attrs.Resource,
+		Namespace:  attrs.Namespace,
+		Name:       attrs.Name,
+		RequestURI: r.URL.Path,
+		Allowed:    code < 400,
+		Reason:     reason,
+		Code:       code,
+	})
+}
+
+func storeErr(err error) (int, any) {
+	var nf *store.ErrNotFound
+	if errors.As(err, &nf) {
+		return http.StatusNotFound, errStatus(http.StatusNotFound, err.Error())
+	}
+	var conflict *store.ErrConflict
+	if errors.As(err, &conflict) {
+		return http.StatusConflict, errStatus(http.StatusConflict, err.Error())
+	}
+	return http.StatusBadRequest, errStatus(http.StatusBadRequest, err.Error())
+}
+
+func errStatus(code int, msg string) status {
+	reason := ""
+	switch code {
+	case http.StatusForbidden:
+		reason = "Forbidden"
+	case http.StatusNotFound:
+		reason = "NotFound"
+	case http.StatusConflict:
+		reason = "AlreadyExists"
+	case http.StatusBadRequest:
+		reason = "BadRequest"
+	}
+	return status{Kind: "Status", Status: "Failure", Message: msg, Reason: reason, Code: code}
+}
+
+func writeJSON(w http.ResponseWriter, code int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(body)
+}

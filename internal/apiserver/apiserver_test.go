@@ -1,0 +1,389 @@
+package apiserver
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/client"
+	"repro/internal/object"
+	"repro/internal/rbac"
+	"repro/internal/store"
+)
+
+type fixture struct {
+	server *Server
+	ts     *httptest.Server
+	store  *store.Store
+	audit  *audit.Log
+}
+
+func newFixture(t *testing.T, cfg Config) *fixture {
+	t.Helper()
+	f := &fixture{store: store.New(), audit: &audit.Log{}}
+	if cfg.Store == nil {
+		cfg.Store = f.store
+	} else {
+		f.store = cfg.Store
+	}
+	if cfg.Audit == nil {
+		cfg.Audit = f.audit
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.server = srv
+	f.ts = httptest.NewServer(srv)
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+func (f *fixture) client(user string, groups ...string) *client.Client {
+	return client.New(f.ts.URL, client.WithUser(user, groups...))
+}
+
+func deployment(ns, name string) object.Object {
+	return object.Object{
+		"apiVersion": "apps/v1",
+		"kind":       "Deployment",
+		"metadata":   map[string]any{"name": name, "namespace": ns},
+		"spec": map[string]any{
+			"replicas": float64(1),
+			"template": map[string]any{"spec": map[string]any{"containers": []any{
+				map[string]any{"name": "c", "image": "img"},
+			}}},
+		},
+	}
+}
+
+func TestCRUDLifecycle(t *testing.T) {
+	f := newFixture(t, Config{})
+	c := f.client("dev")
+
+	created, err := c.Create(deployment("default", "web"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv, _ := object.GetString(created, "metadata.resourceVersion"); rv == "" {
+		t.Error("no resourceVersion assigned")
+	}
+
+	got, err := c.Get("Deployment", "default", "web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "web" {
+		t.Errorf("got %v", got.Name())
+	}
+
+	got["spec"].(map[string]any)["replicas"] = float64(3)
+	updated, err := c.Update(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := object.Get(updated, "spec.replicas"); v != float64(3) {
+		t.Errorf("replicas = %v", v)
+	}
+
+	list, err := c.List("Deployment", "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 {
+		t.Errorf("list = %d items", len(list))
+	}
+
+	if err := c.Delete("Deployment", "default", "web"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("Deployment", "default", "web"); !client.IsNotFound(err) {
+		t.Errorf("err = %v, want 404", err)
+	}
+}
+
+func TestApplyCreateThenReplace(t *testing.T) {
+	f := newFixture(t, Config{})
+	c := f.client("dev")
+	if _, err := c.Apply(deployment("default", "web")); err != nil {
+		t.Fatal(err)
+	}
+	d := deployment("default", "web")
+	d["spec"].(map[string]any)["replicas"] = float64(7)
+	if _, err := c.Apply(d); err != nil {
+		t.Fatalf("apply over existing: %v", err)
+	}
+	got, _ := c.Get("Deployment", "default", "web")
+	if v, _ := object.Get(got, "spec.replicas"); v != float64(7) {
+		t.Errorf("replicas = %v", v)
+	}
+}
+
+func TestRBACEnforcement(t *testing.T) {
+	a := rbac.New()
+	a.AddRole(&rbac.Role{Name: "deployer", Namespace: "default", Rules: []rbac.Rule{
+		{APIGroups: []string{"apps"}, Resources: []string{"deployments"},
+			Verbs: []string{"create", "get"}},
+	}})
+	a.AddRoleBinding(&rbac.RoleBinding{Name: "b", Namespace: "default",
+		Subjects: []rbac.Subject{{Kind: rbac.UserKind, Name: "alice"}},
+		RoleRef:  rbac.RoleRef{Kind: "Role", Name: "deployer"}})
+	f := newFixture(t, Config{Authorizer: a, EnforceAuthz: true})
+
+	alice := f.client("alice")
+	if _, err := alice.Create(deployment("default", "web")); err != nil {
+		t.Fatalf("alice create: %v", err)
+	}
+	// Verb not granted.
+	if err := alice.Delete("Deployment", "default", "web"); !client.IsForbidden(err) {
+		t.Errorf("delete err = %v, want 403", err)
+	}
+	// Different user.
+	bob := f.client("bob")
+	if _, err := bob.Get("Deployment", "default", "web"); !client.IsForbidden(err) {
+		t.Errorf("bob get err = %v, want 403", err)
+	}
+	// Resource not granted.
+	if _, err := alice.Create(object.Object{
+		"apiVersion": "v1", "kind": "Secret",
+		"metadata": map[string]any{"name": "s", "namespace": "default"},
+	}); !client.IsForbidden(err) {
+		t.Errorf("secret create err = %v, want 403", err)
+	}
+}
+
+func TestSuperuserBypass(t *testing.T) {
+	f := newFixture(t, Config{EnforceAuthz: true, Superusers: []string{"admin"}})
+	if _, err := f.client("admin").Create(deployment("default", "web")); err != nil {
+		t.Fatalf("superuser denied: %v", err)
+	}
+	if _, err := f.client("pleb").Create(deployment("default", "web2")); !client.IsForbidden(err) {
+		t.Errorf("err = %v, want 403", err)
+	}
+}
+
+func TestEnforcementToggle(t *testing.T) {
+	f := newFixture(t, Config{EnforceAuthz: false})
+	c := f.client("anyone")
+	if _, err := c.Create(deployment("default", "web")); err != nil {
+		t.Fatalf("authz off: %v", err)
+	}
+	f.server.SetEnforceAuthz(true)
+	if _, err := c.Create(deployment("default", "web2")); !client.IsForbidden(err) {
+		t.Errorf("authz on: err = %v, want 403", err)
+	}
+}
+
+func TestFrontProxyIdentity(t *testing.T) {
+	a := rbac.New()
+	a.AddRole(&rbac.Role{Name: "r", Namespace: "default", Rules: []rbac.Rule{
+		{APIGroups: []string{"apps"}, Resources: []string{"deployments"}, Verbs: []string{"create"}},
+	}})
+	a.AddRoleBinding(&rbac.RoleBinding{Name: "b", Namespace: "default",
+		Subjects: []rbac.Subject{{Kind: rbac.UserKind, Name: "realuser"}},
+		RoleRef:  rbac.RoleRef{Kind: "Role", Name: "r"}})
+	f := newFixture(t, Config{
+		Authorizer: a, EnforceAuthz: true,
+		FrontProxyUsers: []string{"kubefence-proxy"},
+	})
+
+	// The proxy asserts realuser via X-Forwarded-User.
+	req, _ := newJSONRequest(t, f.ts.URL+"/apis/apps/v1/namespaces/default/deployments",
+		deployment("default", "web"))
+	req.Header.Set("X-Remote-User", "kubefence-proxy")
+	req.Header.Set("X-Forwarded-User", "realuser")
+	resp := doRequest(t, req)
+	if resp != 201 {
+		t.Errorf("front-proxied create = %d, want 201", resp)
+	}
+
+	// A non-trusted client cannot smuggle X-Forwarded-User.
+	req2, _ := newJSONRequest(t, f.ts.URL+"/apis/apps/v1/namespaces/default/deployments",
+		deployment("default", "web2"))
+	req2.Header.Set("X-Remote-User", "attacker")
+	req2.Header.Set("X-Forwarded-User", "realuser")
+	if code := doRequest(t, req2); code != 403 {
+		t.Errorf("smuggled identity = %d, want 403", code)
+	}
+}
+
+func TestAuditTrail(t *testing.T) {
+	f := newFixture(t, Config{})
+	c := f.client("operator:nginx")
+	if _, err := c.Create(deployment("default", "web")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("Deployment", "default", "web"); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.Delete("Deployment", "default", "missing") // 404
+
+	events := f.audit.Events()
+	if len(events) != 3 {
+		t.Fatalf("events = %d, want 3", len(events))
+	}
+	if events[0].Verb != "create" || events[0].Resource != "deployments" ||
+		events[0].APIGroup != "apps" || !events[0].Allowed || events[0].Code != 201 {
+		t.Errorf("event[0] = %+v", events[0])
+	}
+	if events[2].Allowed || events[2].Code != 404 {
+		t.Errorf("event[2] = %+v", events[2])
+	}
+	for _, ev := range events {
+		if ev.User != "operator:nginx" {
+			t.Errorf("user = %q", ev.User)
+		}
+	}
+}
+
+func TestDynamicRBACReload(t *testing.T) {
+	f := newFixture(t, Config{
+		EnforceAuthz: true,
+		Superusers:   []string{"admin"},
+		DynamicRBAC:  true,
+	})
+	admin := f.client("admin")
+	alice := f.client("alice")
+
+	if _, err := alice.Create(deployment("default", "web")); !client.IsForbidden(err) {
+		t.Fatalf("pre-grant err = %v, want 403", err)
+	}
+	role := &rbac.Role{Name: "dep", Namespace: "default", Rules: []rbac.Rule{
+		{APIGroups: []string{"apps"}, Resources: []string{"deployments"}, Verbs: []string{"create"}},
+	}}
+	binding := &rbac.RoleBinding{Name: "dep-b", Namespace: "default",
+		Subjects: []rbac.Subject{{Kind: rbac.UserKind, Name: "alice"}},
+		RoleRef:  rbac.RoleRef{Kind: "Role", Name: "dep"}}
+	if _, err := admin.Create(object.Object(role.ToObject())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := admin.Create(object.Object(binding.ToObject())); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Create(deployment("default", "web")); err != nil {
+		t.Fatalf("post-grant: %v", err)
+	}
+	// Revoking by deleting the binding takes effect.
+	if err := admin.Delete("RoleBinding", "default", "dep-b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Create(deployment("default", "web2")); !client.IsForbidden(err) {
+		t.Errorf("post-revoke err = %v, want 403", err)
+	}
+}
+
+func TestAdmissionHook(t *testing.T) {
+	f := newFixture(t, Config{
+		Admission: []AdmissionFunc{func(user, verb string, obj object.Object) error {
+			if obj.Kind() == "Deployment" && obj.Name() == "blocked" {
+				return errTest
+			}
+			return nil
+		}},
+	})
+	c := f.client("dev")
+	if _, err := c.Create(deployment("default", "ok")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Create(deployment("default", "blocked"))
+	if !client.IsForbidden(err) {
+		t.Errorf("err = %v, want admission 403", err)
+	}
+	if !strings.Contains(err.Error(), "admission denied") {
+		t.Errorf("message = %v", err)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test admission veto" }
+
+func TestPatchMerge(t *testing.T) {
+	f := newFixture(t, Config{})
+	c := f.client("dev")
+	if _, err := c.Create(deployment("default", "web")); err != nil {
+		t.Fatal(err)
+	}
+	req, err := newPatchRequest(t, f.ts.URL+"/apis/apps/v1/namespaces/default/deployments/web",
+		map[string]any{
+			"kind":       "Deployment",
+			"apiVersion": "apps/v1",
+			"metadata":   map[string]any{"name": "web", "namespace": "default"},
+			"spec":       map[string]any{"replicas": float64(9)},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := doRequest(t, req); code != 200 {
+		t.Fatalf("patch = %d", code)
+	}
+	got, _ := c.Get("Deployment", "default", "web")
+	if v, _ := object.Get(got, "spec.replicas"); v != float64(9) {
+		t.Errorf("replicas = %v", v)
+	}
+	// Untouched fields survive the merge.
+	if _, ok := object.Get(got, "spec.template.spec.containers"); !ok {
+		t.Error("merge dropped containers")
+	}
+}
+
+func TestYAMLBody(t *testing.T) {
+	f := newFixture(t, Config{})
+	body := "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: cm\n  namespace: default\ndata:\n  k: v\n"
+	req, err := newRawRequest(t, f.ts.URL+"/api/v1/namespaces/default/configmaps", body, "application/yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := doRequest(t, req); code != 201 {
+		t.Fatalf("yaml create = %d", code)
+	}
+}
+
+func TestPathAndBodyErrors(t *testing.T) {
+	f := newFixture(t, Config{})
+	c := f.client("dev")
+
+	tests := []struct {
+		name string
+		url  string
+		body string
+		want int
+	}{
+		{"unknown resource", "/api/v1/namespaces/default/widgets", `{"kind":"Widget","metadata":{"name":"x"}}`, 404},
+		{"kind mismatch", "/api/v1/namespaces/default/pods", `{"kind":"Service","metadata":{"name":"x"}}`, 400},
+		{"empty body", "/api/v1/namespaces/default/pods", ``, 400},
+		{"bad json", "/api/v1/namespaces/default/pods", `{not json`, 400},
+		{"ns mismatch", "/api/v1/namespaces/default/pods", `{"kind":"Pod","metadata":{"name":"x","namespace":"other"}}`, 400},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			req, err := newRawRequest(t, f.ts.URL+tt.url, tt.body, "application/json")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if code := doRequest(t, req); code != tt.want {
+				t.Errorf("code = %d, want %d", code, tt.want)
+			}
+		})
+	}
+
+	// Cluster-scoped resource via namespaced client path helper.
+	if _, err := c.Create(object.Object{
+		"apiVersion": "rbac.authorization.k8s.io/v1",
+		"kind":       "ClusterRole",
+		"metadata":   map[string]any{"name": "cr"},
+		"rules":      []any{},
+	}); err != nil {
+		t.Errorf("cluster-scoped create: %v", err)
+	}
+}
+
+func TestHealthAndVersion(t *testing.T) {
+	f := newFixture(t, Config{})
+	if err := f.client("x").Healthz(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+package apiserver
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/object"
+)
+
+func TestWatchStreamsEvents(t *testing.T) {
+	f := newFixture(t, Config{})
+	c := f.client("watcher")
+
+	events, cancel, err := c.Watch("Deployment", "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	writer := f.client("writer")
+	if _, err := writer.Create(deployment("default", "web")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := writer.Get("Deployment", "default", "web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := object.Set(got, "spec.replicas", float64(4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Update(got); err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Delete("Deployment", "default", "web"); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{"ADDED", "MODIFIED", "DELETED"}
+	for i, w := range want {
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatalf("stream closed before event %d", i)
+			}
+			if ev.Type != w {
+				t.Errorf("event %d type = %s, want %s", i, ev.Type, w)
+			}
+			if ev.Object.Name() != "web" {
+				t.Errorf("event %d object = %v", i, ev.Object.Name())
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out waiting for event %d (%s)", i, w)
+		}
+	}
+}
+
+func TestWatchNamespaceFiltered(t *testing.T) {
+	f := newFixture(t, Config{})
+	c := f.client("watcher")
+	events, cancel, err := c.Watch("Deployment", "team-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+
+	writer := f.client("writer")
+	if _, err := writer.Create(deployment("team-b", "other")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := writer.Create(deployment("team-a", "mine")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Object.Namespace() != "team-a" {
+			t.Errorf("leaked event from namespace %s", ev.Object.Namespace())
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timed out")
+	}
+}
+
+func TestWatchRespectsRBAC(t *testing.T) {
+	f := newFixture(t, Config{EnforceAuthz: true})
+	c := f.client("nobody")
+	_, _, err := c.Watch("Deployment", "default")
+	ae, ok := err.(*client.APIError)
+	if !ok || ae.Code != 403 {
+		t.Errorf("err = %v, want 403", err)
+	}
+}
+
+func TestWatchCancelStopsStream(t *testing.T) {
+	f := newFixture(t, Config{})
+	c := f.client("watcher")
+	events, cancel, err := c.Watch("Pod", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	cancel() // idempotent
+	select {
+	case _, ok := <-events:
+		if ok {
+			t.Error("expected closed channel after cancel")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("channel not closed after cancel")
+	}
+}

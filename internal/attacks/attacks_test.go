@@ -1,0 +1,182 @@
+package attacks
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/charts"
+	"repro/internal/explore"
+	"repro/internal/object"
+	"repro/internal/schema"
+	"repro/internal/validator"
+)
+
+func TestCatalogMatchesTableII(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 15 {
+		t.Fatalf("catalog has %d entries, want 15 (Table II)", len(cat))
+	}
+	exploits, misconfigs := 0, 0
+	seen := map[string]bool{}
+	for _, a := range cat {
+		if seen[a.ID] {
+			t.Errorf("duplicate ID %s", a.ID)
+		}
+		seen[a.ID] = true
+		switch a.Category {
+		case Exploit:
+			exploits++
+			if a.CVE == "" {
+				t.Errorf("%s: exploit without CVE", a.ID)
+			}
+			if !strings.HasPrefix(a.ID, "E") {
+				t.Errorf("%s: exploit with misconfig ID", a.ID)
+			}
+		case Misconfiguration:
+			misconfigs++
+			if a.CVE != "" {
+				t.Errorf("%s: misconfiguration with CVE", a.ID)
+			}
+		}
+		if len(a.TargetFields) == 0 || len(a.Kinds) == 0 || a.Inject == nil {
+			t.Errorf("%s: incomplete entry", a.ID)
+		}
+	}
+	if exploits != 8 || misconfigs != 7 {
+		t.Errorf("exploits = %d, misconfigs = %d; want 8 and 7", exploits, misconfigs)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	a, ok := Lookup("E4")
+	if !ok || a.CVE != "CVE-2017-1002101" {
+		t.Errorf("Lookup(E4) = %+v, %v", a, ok)
+	}
+	if _, ok := Lookup("E99"); ok {
+		t.Error("unknown ID should not resolve")
+	}
+}
+
+func legitimateDeployment(t *testing.T) object.Object {
+	t.Helper()
+	c := charts.MustLoad("nginx")
+	files, err := c.Render(nil, chart.ReleaseOptions{Name: "rel", Namespace: "default"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range chart.Objects(files) {
+		if o.Kind() == "Deployment" {
+			return o
+		}
+	}
+	t.Fatal("no deployment rendered")
+	return nil
+}
+
+func TestCraftDoesNotMutateOriginal(t *testing.T) {
+	legit := legitimateDeployment(t)
+	before, err := legit.MarshalYAML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Lookup("E1")
+	evil, err := a.Craft(legit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := object.Get(evil, "spec.template.spec.hostNetwork"); v != true {
+		t.Error("injection missing from crafted manifest")
+	}
+	after, _ := legit.MarshalYAML()
+	if string(before) != string(after) {
+		t.Error("Craft mutated the legitimate manifest")
+	}
+}
+
+func TestCraftRejectsInapplicableKind(t *testing.T) {
+	svc := object.Object{"kind": "Service", "apiVersion": "v1",
+		"metadata": map[string]any{"name": "s"}}
+	e1, _ := Lookup("E1")
+	if _, err := e1.Craft(svc); err == nil {
+		t.Error("E1 must not apply to Service")
+	}
+	e2, _ := Lookup("E2")
+	dep := legitimateDeployment(t)
+	if _, err := e2.Craft(dep); err == nil {
+		t.Error("E2 must not apply to Deployment")
+	}
+}
+
+func TestPodSpecPathPerKind(t *testing.T) {
+	tests := []struct {
+		kind string
+		path string
+	}{
+		{"Pod", "spec"},
+		{"Deployment", "spec.template.spec"},
+		{"CronJob", "spec.jobTemplate.spec.template.spec"},
+	}
+	for _, tt := range tests {
+		got, ok := PodSpecPath(tt.kind)
+		if !ok || got != tt.path {
+			t.Errorf("PodSpecPath(%s) = %q, %v", tt.kind, got, ok)
+		}
+	}
+	if _, ok := PodSpecPath("Service"); ok {
+		t.Error("Service has no pod spec")
+	}
+}
+
+// TestEveryAttackBlockedByKubeFencePolicy is the Table III property at the
+// validator level: every catalog entry, injected into each workload's
+// legitimate manifests, must violate that workload's generated policy.
+func TestEveryAttackBlockedByKubeFencePolicy(t *testing.T) {
+	for _, name := range charts.Names() {
+		t.Run(name, func(t *testing.T) {
+			c := charts.MustLoad(name)
+			s, err := schema.Generate(c, schema.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var corpus []object.Object
+			for _, v := range explore.Variants(s) {
+				files, err := c.RenderWithValues(v, chart.ReleaseOptions{Name: "kfrelease"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				corpus = append(corpus, chart.Objects(files)...)
+			}
+			policy, err := validator.Build(corpus, validator.BuildOptions{
+				Workload: name, ReleaseName: "kfrelease",
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			files, err := c.Render(nil, chart.ReleaseOptions{Name: "prod", Namespace: "prod"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			legit := chart.Objects(files)
+
+			for _, a := range Catalog() {
+				target, ok := a.SelectTarget(legit)
+				if !ok {
+					t.Errorf("%s: no applicable target in %s manifests", a.ID, name)
+					continue
+				}
+				evil, err := a.Craft(target)
+				if err != nil {
+					t.Errorf("%s: craft: %v", a.ID, err)
+					continue
+				}
+				violations := policy.Validate(evil)
+				if len(violations) == 0 {
+					t.Errorf("%s (%s) NOT blocked for workload %s (target %s)",
+						a.ID, a.Name, name, target.Kind())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,153 @@
+package attacks
+
+import (
+	"testing"
+
+	"repro/internal/object"
+)
+
+// cronJobManifest exercises the deepest PodSpec path
+// (spec.jobTemplate.spec.template.spec).
+func cronJobManifest(t *testing.T) object.Object {
+	t.Helper()
+	o, err := object.ParseManifest([]byte(`
+apiVersion: batch/v1
+kind: CronJob
+metadata:
+  name: backup
+spec:
+  schedule: "0 2 * * *"
+  jobTemplate:
+    spec:
+      template:
+        spec:
+          containers:
+          - name: dump
+            image: corp/dump:1.0
+            resources:
+              limits:
+                cpu: 100m
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func podManifest(t *testing.T) object.Object {
+	t.Helper()
+	o, err := object.ParseManifest([]byte(`
+apiVersion: v1
+kind: Pod
+metadata:
+  name: one-off
+spec:
+  containers:
+  - name: task
+    image: corp/task:1.0
+    resources:
+      limits:
+        cpu: 50m
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestInjectionAcrossPodBearingKinds(t *testing.T) {
+	targets := map[string]object.Object{
+		"CronJob": cronJobManifest(t),
+		"Pod":     podManifest(t),
+	}
+	for kind, target := range targets {
+		for _, a := range Catalog() {
+			if !a.Applicable(kind) {
+				continue
+			}
+			evil, err := a.Craft(target)
+			if err != nil {
+				t.Errorf("%s on %s: %v", a.ID, kind, err)
+				continue
+			}
+			// The malicious field landed somewhere under the PodSpec.
+			path, _ := PodSpecPath(kind)
+			spec, ok := object.GetMap(evil, path)
+			if !ok {
+				t.Errorf("%s on %s: pod spec vanished", a.ID, kind)
+				continue
+			}
+			if object.Equal(spec, mustPodSpec(t, target, path)) {
+				t.Errorf("%s on %s: injection was a no-op", a.ID, kind)
+			}
+		}
+	}
+}
+
+func mustPodSpec(t *testing.T, o object.Object, path string) map[string]any {
+	t.Helper()
+	m, ok := object.GetMap(o, path)
+	if !ok {
+		t.Fatalf("no pod spec at %s", path)
+	}
+	return m
+}
+
+func TestE5RemovesLimitsEverywhere(t *testing.T) {
+	e5, _ := Lookup("E5")
+	evil, err := e5.Craft(cronJobManifest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := object.GetSlice(evil, "spec.jobTemplate.spec.template.spec.containers")
+	res := cs[0].(map[string]any)["resources"].(map[string]any)
+	if _, has := res["limits"]; has {
+		t.Error("E5 should strip limits")
+	}
+}
+
+func TestE4BuildsFig4Structure(t *testing.T) {
+	e4, _ := Lookup("E4")
+	evil, err := e4.Craft(podManifest(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ics, ok := object.GetSlice(evil, "spec.initContainers")
+	if !ok || len(ics) != 1 {
+		t.Fatalf("initContainers = %v", ics)
+	}
+	cmd := ics[0].(map[string]any)["command"].([]any)
+	if cmd[0] != "ln" {
+		t.Errorf("init command = %v", cmd)
+	}
+	cs, _ := object.GetSlice(evil, "spec.containers")
+	vms := cs[0].(map[string]any)["volumeMounts"].([]any)
+	last := vms[len(vms)-1].(map[string]any)
+	if last["subPath"] != "symlink-door" {
+		t.Errorf("volumeMount = %v", last)
+	}
+	vols, _ := object.GetSlice(evil, "spec.volumes")
+	if len(vols) == 0 {
+		t.Error("no volume added")
+	}
+}
+
+func TestInjectErrorsOnMalformedTarget(t *testing.T) {
+	// A pod-bearing kind without containers cannot host most injections.
+	broken := object.Object{
+		"apiVersion": "v1", "kind": "Pod",
+		"metadata": map[string]any{"name": "x"},
+		"spec":     map[string]any{},
+	}
+	for _, id := range []string{"E3", "E5", "E8", "M4"} {
+		a, _ := Lookup(id)
+		if _, err := a.Craft(broken); err == nil {
+			t.Errorf("%s should fail without containers", id)
+		}
+	}
+	// But PodSpec-level attacks still work.
+	e1, _ := Lookup("E1")
+	if _, err := e1.Craft(broken); err != nil {
+		t.Errorf("E1 should work on empty spec: %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+package attacks
+
+import (
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/charts"
+	"repro/internal/core"
+	"repro/internal/explore"
+	"repro/internal/object"
+	"repro/internal/schema"
+	"repro/internal/validator"
+)
+
+// ablationChart declares runAsNonRoot directly (no enabling gate), so the
+// boolean exploration renders BOTH values into manifests. Without locks,
+// {true, false} both enter the consolidated enum and the M4 flip becomes
+// a legal request — isolating exactly what the locks contribute.
+func ablationChart(t *testing.T) *chart.Chart {
+	t.Helper()
+	c, err := chart.Load(chart.Fileset{
+		"Chart.yaml": "name: abl\nversion: 0.1.0\n",
+		"values.yaml": `
+runAsNonRoot: true
+image:
+  registry: docker.io
+  repository: corp/abl
+  tag: "1.0"
+`,
+		"templates/deploy.yaml": `
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ .Release.Name }}-abl
+spec:
+  replicas: 1
+  template:
+    spec:
+      containers:
+        - name: app
+          image: "{{ .Values.image.registry }}/{{ .Values.image.repository }}:{{ .Values.image.tag }}"
+          resources:
+            limits:
+              cpu: 100m
+          securityContext:
+            runAsNonRoot: {{ .Values.runAsNonRoot }}
+`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// buildAblation generates a policy with each lock layer independently
+// toggled.
+func buildAblation(t *testing.T, schemaLocks, validatorLocks bool) *validator.Validator {
+	t.Helper()
+	c := ablationChart(t)
+	s, err := schema.Generate(c, schema.Options{DisableLocks: !schemaLocks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corpus []object.Object
+	for _, v := range explore.Variants(s) {
+		files, err := c.RenderWithValues(v, chart.ReleaseOptions{Name: "kfrelease"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus = append(corpus, chart.Objects(files)...)
+	}
+	opts := validator.BuildOptions{Workload: "abl", ReleaseName: "kfrelease"}
+	if !validatorLocks {
+		opts.Locks = []validator.LockSpec{} // non-nil empty disables defaults
+	}
+	pol, err := validator.Build(corpus, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pol
+}
+
+func m4Attack(t *testing.T) object.Object {
+	t.Helper()
+	c := ablationChart(t)
+	files, err := c.Render(nil, chart.ReleaseOptions{Name: "prod"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := Lookup("M4")
+	evil, err := a.Craft(chart.Objects(files)[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return evil
+}
+
+// TestAblationLockLayers isolates the contribution of each lock layer
+// (DESIGN.md §6, last ablation). The finding: the schema-phase lock is
+// the load-bearing one. It pins the value *before* exploration, so no
+// variant ever renders the unsafe value. The validator-phase LockSpec
+// only marks observed constants as locked — if exploration already
+// rendered runAsNonRoot=false (schema locks off), the unsafe value is in
+// the observed set and the "lock" happily allows it. Defense in depth
+// holds only in the direction schema → validator.
+func TestAblationLockLayers(t *testing.T) {
+	evil := m4Attack(t)
+	tests := []struct {
+		name                        string
+		schemaLocks, validatorLocks bool
+		wantBlocked                 bool
+	}{
+		{"both layers", true, true, true},
+		{"schema locks only", true, false, true},
+		// Validator locks pin to observed values; the unsafe value was
+		// observed, so the flip is (unsafely) legal.
+		{"validator locks only", false, true, false},
+		{"no locks", false, false, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pol := buildAblation(t, tt.schemaLocks, tt.validatorLocks)
+			blocked := len(pol.Validate(evil)) > 0
+			if blocked != tt.wantBlocked {
+				t.Errorf("blocked = %v, want %v (violations: %v)",
+					blocked, tt.wantBlocked, pol.Validate(evil))
+			}
+		})
+	}
+}
+
+// TestAblationSchemaLocksNecessaryOnCorpus shows why schema-phase locks
+// are not optional on the evaluation corpus: without them, exploration
+// renders both branches of security booleans (the structure sweep opens
+// every gate), so the boolean whose *unsafe* direction is true —
+// allowPrivilegeEscalation — enters the allowed domain and M6 becomes a
+// legal request. Booleans whose safe value is true (runAsNonRoot,
+// readOnlyRootFilesystem) happen to stay safe because the gate-open sweep
+// coincides with their safe direction, and every structural attack
+// (unknown fields) remains blocked either way.
+func TestAblationSchemaLocksNecessaryOnCorpus(t *testing.T) {
+	res, err := core.GeneratePolicy(charts.MustLoad("nginx"), core.Options{
+		Schema: schema.Options{DisableLocks: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := charts.MustLoad("nginx").Render(nil, chart.ReleaseOptions{Name: "rel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	legit := chart.Objects(files)
+	var slipped []string
+	for _, a := range Catalog() {
+		target, ok := a.SelectTarget(legit)
+		if !ok {
+			continue
+		}
+		evil, err := a.Craft(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Validator.Validate(evil)) == 0 {
+			slipped = append(slipped, a.ID)
+		}
+	}
+	if len(slipped) != 1 || slipped[0] != "M6" {
+		t.Errorf("slipped = %v, want exactly [M6] (allowPrivilegeEscalation flip)", slipped)
+	}
+}
+
+// TestAblationLocksDoNotBreakLegitimateTraffic: the locked policy stays
+// sound for the workload's own manifests.
+func TestAblationLocksDoNotBreakLegitimateTraffic(t *testing.T) {
+	res, err := core.GeneratePolicy(charts.MustLoad("nginx"), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := charts.MustLoad("nginx").Render(nil, chart.ReleaseOptions{Name: "other", Namespace: "elsewhere"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range chart.Objects(files) {
+		if vs := res.Validator.Validate(o); len(vs) != 0 {
+			t.Errorf("%s denied: %v", o.Kind(), vs)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package audit implements the Kubernetes audit pipeline used in the
+// paper's RBAC baseline setup (§VI-D): structured audit events recorded by
+// the API server, a JSONL log backend, and an audit2rbac-style inference
+// tool that derives the minimal RBAC policy covering the API interactions
+// observed during an attack-free workload run.
+package audit
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/rbac"
+)
+
+// Event is one audit record. Field names follow the upstream audit API
+// where it has equivalents.
+type Event struct {
+	Timestamp  time.Time `json:"timestamp"`
+	User       string    `json:"user"`
+	Groups     []string  `json:"groups,omitempty"`
+	Verb       string    `json:"verb"`
+	APIGroup   string    `json:"apiGroup"`
+	Resource   string    `json:"resource"`
+	Namespace  string    `json:"namespace,omitempty"`
+	Name       string    `json:"name,omitempty"`
+	RequestURI string    `json:"requestURI,omitempty"`
+	Allowed    bool      `json:"allowed"`
+	Reason     string    `json:"reason,omitempty"`
+	// Code is the HTTP status returned to the client.
+	Code int `json:"code"`
+}
+
+// Log is a concurrency-safe audit sink. The zero value is ready to use.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Record appends an event.
+func (l *Log) Record(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, ev)
+}
+
+// Events returns a snapshot of all recorded events.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Len reports the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// Reset clears the log.
+func (l *Log) Reset() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = nil
+}
+
+// WriteJSONL streams the log as JSON lines.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range l.Events() {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("audit: encoding event: %w", err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL parses a JSONL audit stream.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return nil, fmt.Errorf("audit: line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("audit: reading: %w", err)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// audit2rbac inference
+// ---------------------------------------------------------------------
+
+// InferredPolicy is the minimal RBAC policy covering a user's observed
+// API interactions.
+type InferredPolicy struct {
+	User                string
+	Roles               []*rbac.Role
+	RoleBindings        []*rbac.RoleBinding
+	ClusterRoles        []*rbac.ClusterRole
+	ClusterRoleBindings []*rbac.ClusterRoleBinding
+}
+
+// InferPolicy derives the minimal policy for one user from audit events,
+// mirroring the audit2rbac tool used in the paper's RBAC baseline: one
+// Role per namespace the user touched (plus a ClusterRole if they touched
+// cluster-scoped resources), each granting exactly the observed
+// (apiGroup, resource, verb) triples.
+//
+// Note what is absent: nothing of the request *specification* is
+// inferable, because audit attributes do not carry it at this granularity
+// — the paper's Fig. 11 observation.
+func InferPolicy(events []Event, user string) *InferredPolicy {
+	type key struct{ ns, group, resource string }
+	verbs := map[key]map[string]bool{}
+	for _, ev := range events {
+		if ev.User != user {
+			continue
+		}
+		k := key{ev.Namespace, ev.APIGroup, ev.Resource}
+		if verbs[k] == nil {
+			verbs[k] = map[string]bool{}
+		}
+		verbs[k][ev.Verb] = true
+	}
+
+	byNS := map[string][]rbac.Rule{}
+	for k, vs := range verbs {
+		rule := rbac.Rule{
+			APIGroups: []string{k.group},
+			Resources: []string{k.resource},
+			Verbs:     sortedKeys(vs),
+		}
+		byNS[k.ns] = append(byNS[k.ns], rule)
+	}
+
+	p := &InferredPolicy{User: user}
+	sanitized := sanitizeName(user)
+	for _, ns := range sortedMapKeys(byNS) {
+		rules := byNS[ns]
+		sort.Slice(rules, func(i, j int) bool {
+			if rules[i].APIGroups[0] != rules[j].APIGroups[0] {
+				return rules[i].APIGroups[0] < rules[j].APIGroups[0]
+			}
+			return rules[i].Resources[0] < rules[j].Resources[0]
+		})
+		if ns == "" {
+			cr := &rbac.ClusterRole{Name: "audit2rbac:" + sanitized, Rules: rules}
+			p.ClusterRoles = append(p.ClusterRoles, cr)
+			p.ClusterRoleBindings = append(p.ClusterRoleBindings, &rbac.ClusterRoleBinding{
+				Name:     "audit2rbac:" + sanitized,
+				Subjects: []rbac.Subject{{Kind: rbac.UserKind, Name: user}},
+				RoleRef:  rbac.RoleRef{Kind: "ClusterRole", Name: cr.Name},
+			})
+			continue
+		}
+		role := &rbac.Role{Name: "audit2rbac:" + sanitized, Namespace: ns, Rules: rules}
+		p.Roles = append(p.Roles, role)
+		p.RoleBindings = append(p.RoleBindings, &rbac.RoleBinding{
+			Name:      "audit2rbac:" + sanitized,
+			Namespace: ns,
+			Subjects:  []rbac.Subject{{Kind: rbac.UserKind, Name: user}},
+			RoleRef:   rbac.RoleRef{Kind: "Role", Name: role.Name},
+		})
+	}
+	return p
+}
+
+// Apply loads the inferred policy into an authorizer.
+func (p *InferredPolicy) Apply(a *rbac.Authorizer) {
+	for _, r := range p.Roles {
+		a.AddRole(r)
+	}
+	for _, r := range p.ClusterRoles {
+		a.AddClusterRole(r)
+	}
+	for _, b := range p.RoleBindings {
+		a.AddRoleBinding(b)
+	}
+	for _, b := range p.ClusterRoleBindings {
+		a.AddClusterRoleBinding(b)
+	}
+}
+
+// Objects renders the policy as manifests (the five YAML files of the
+// paper's setup are the per-workload instantiations of this).
+func (p *InferredPolicy) Objects() []map[string]any {
+	var out []map[string]any
+	for _, r := range p.Roles {
+		out = append(out, r.ToObject())
+	}
+	for _, b := range p.RoleBindings {
+		out = append(out, b.ToObject())
+	}
+	for _, r := range p.ClusterRoles {
+		out = append(out, r.ToObject())
+	}
+	for _, b := range p.ClusterRoleBindings {
+		out = append(out, b.ToObject())
+	}
+	return out
+}
+
+func sanitizeName(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '.':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + 32
+		default:
+			return '-'
+		}
+	}, s)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedMapKeys(m map[string][]rbac.Rule) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

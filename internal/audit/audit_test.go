@@ -1,0 +1,209 @@
+package audit
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/rbac"
+)
+
+func sampleEvents() []Event {
+	ts := time.Date(2025, 4, 15, 12, 0, 0, 0, time.UTC)
+	return []Event{
+		{Timestamp: ts, User: "operator:nginx", Verb: "create", APIGroup: "apps",
+			Resource: "deployments", Namespace: "default", Name: "web", Allowed: true, Code: 201},
+		{Timestamp: ts, User: "operator:nginx", Verb: "update", APIGroup: "apps",
+			Resource: "deployments", Namespace: "default", Name: "web", Allowed: true, Code: 200},
+		{Timestamp: ts, User: "operator:nginx", Verb: "create", APIGroup: "",
+			Resource: "services", Namespace: "default", Name: "web", Allowed: true, Code: 201},
+		{Timestamp: ts, User: "operator:nginx", Verb: "create", APIGroup: "rbac.authorization.k8s.io",
+			Resource: "clusterroles", Namespace: "", Name: "cr", Allowed: true, Code: 201},
+		{Timestamp: ts, User: "someone-else", Verb: "delete", APIGroup: "",
+			Resource: "secrets", Namespace: "kube-system", Allowed: false, Code: 403},
+	}
+}
+
+func TestLogRecordAndSnapshot(t *testing.T) {
+	var l Log
+	for _, ev := range sampleEvents() {
+		l.Record(ev)
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	events := l.Events()
+	events[0].User = "tampered"
+	if l.Events()[0].User != "operator:nginx" {
+		t.Error("Events must return a copy")
+	}
+	l.Reset()
+	if l.Len() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var l Log
+	for _, ev := range sampleEvents() {
+		l.Record(ev)
+	}
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 5 {
+		t.Fatalf("len = %d", len(back))
+	}
+	if back[0].User != "operator:nginx" || back[0].Verb != "create" {
+		t.Errorf("back[0] = %+v", back[0])
+	}
+	if back[4].Allowed {
+		t.Error("denied event lost its flag")
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage should error")
+	}
+	events, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(events) != 0 {
+		t.Errorf("blank lines: %v, %v", events, err)
+	}
+}
+
+func TestInferPolicyShape(t *testing.T) {
+	p := InferPolicy(sampleEvents(), "operator:nginx")
+	if len(p.Roles) != 1 || p.Roles[0].Namespace != "default" {
+		t.Fatalf("roles = %+v", p.Roles)
+	}
+	if len(p.ClusterRoles) != 1 {
+		t.Fatalf("cluster roles = %+v", p.ClusterRoles)
+	}
+	if len(p.RoleBindings) != 1 || len(p.ClusterRoleBindings) != 1 {
+		t.Fatal("bindings missing")
+	}
+	// The namespaced role must cover exactly deployments{create,update}
+	// and services{create}.
+	rules := p.Roles[0].Rules
+	if len(rules) != 2 {
+		t.Fatalf("rules = %+v", rules)
+	}
+	if rules[0].Resources[0] != "services" && rules[1].Resources[0] != "services" {
+		t.Errorf("services rule missing: %+v", rules)
+	}
+	for _, r := range rules {
+		if r.Resources[0] == "deployments" {
+			if len(r.Verbs) != 2 || r.Verbs[0] != "create" || r.Verbs[1] != "update" {
+				t.Errorf("deployment verbs = %v", r.Verbs)
+			}
+		}
+	}
+}
+
+func TestInferredPolicyAuthorizesExactlyObserved(t *testing.T) {
+	p := InferPolicy(sampleEvents(), "operator:nginx")
+	a := rbac.New()
+	p.Apply(a)
+
+	allowed := []rbac.Attributes{
+		{User: "operator:nginx", Verb: "create", APIGroup: "apps", Resource: "deployments", Namespace: "default"},
+		{User: "operator:nginx", Verb: "update", APIGroup: "apps", Resource: "deployments", Namespace: "default"},
+		{User: "operator:nginx", Verb: "create", Resource: "services", Namespace: "default"},
+		{User: "operator:nginx", Verb: "create", APIGroup: "rbac.authorization.k8s.io", Resource: "clusterroles"},
+	}
+	for _, attr := range allowed {
+		if ok, _ := a.Authorize(attr); !ok {
+			t.Errorf("observed interaction denied: %s", attr)
+		}
+	}
+	denied := []rbac.Attributes{
+		{User: "operator:nginx", Verb: "delete", APIGroup: "apps", Resource: "deployments", Namespace: "default"},
+		{User: "operator:nginx", Verb: "create", APIGroup: "apps", Resource: "deployments", Namespace: "prod"},
+		{User: "operator:nginx", Verb: "create", Resource: "pods", Namespace: "default"},
+		{User: "someone-else", Verb: "create", Resource: "services", Namespace: "default"},
+	}
+	for _, attr := range denied {
+		if ok, by := a.Authorize(attr); ok {
+			t.Errorf("unobserved interaction allowed by %s: %s", by, attr)
+		}
+	}
+}
+
+func TestInferPolicyObjects(t *testing.T) {
+	p := InferPolicy(sampleEvents(), "operator:nginx")
+	objs := p.Objects()
+	if len(objs) != 4 {
+		t.Fatalf("objects = %d, want 4", len(objs))
+	}
+	// Round-trip through manifests must preserve authorization behavior.
+	a := rbac.New()
+	for _, o := range objs {
+		if err := a.LoadObject(o); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ok, _ := a.Authorize(rbac.Attributes{
+		User: "operator:nginx", Verb: "create", APIGroup: "apps",
+		Resource: "deployments", Namespace: "default"}); !ok {
+		t.Error("manifest round-trip lost authorization")
+	}
+}
+
+func TestInferPolicyUnknownUser(t *testing.T) {
+	p := InferPolicy(sampleEvents(), "nobody")
+	if len(p.Roles)+len(p.ClusterRoles) != 0 {
+		t.Error("unknown user should produce an empty policy")
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	if got := sanitizeName("operator:Nginx X"); got != "operator-nginx-x" {
+		t.Errorf("sanitizeName = %q", got)
+	}
+}
+
+func TestLogConcurrent(t *testing.T) {
+	var l Log
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Record(Event{User: "u", Verb: "get"})
+				l.Events()
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Errorf("Len = %d", l.Len())
+	}
+}
+
+func TestRenderFig11(t *testing.T) {
+	out, err := RenderFig11(Event{
+		User: "operator:mlflow", Verb: "create", APIGroup: "apps",
+		Resource: "deployments", Namespace: "default", Name: "mlflow",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"audit entry", "generated RBAC policy", "kind: Role",
+		"kind: RoleBinding", "deployments", "create",
+		"spec:      (not captured",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig11 missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package certs
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestCAIsSelfSignedCA(t *testing.T) {
+	ca, err := NewCA("test-ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ca.Cert.IsCA {
+		t.Error("certificate is not a CA")
+	}
+	if ca.Cert.Subject.CommonName != "test-ca" {
+		t.Errorf("CN = %q", ca.Cert.Subject.CommonName)
+	}
+	// Self-signature verifies against its own pool.
+	if _, err := ca.Cert.Verify(x509.VerifyOptions{Roots: ca.Pool()}); err != nil {
+		t.Errorf("self verification failed: %v", err)
+	}
+}
+
+func TestIssueServerHosts(t *testing.T) {
+	ca, err := NewCA("ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca.IssueServer("api", "127.0.0.1", "kubernetes.default.svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(leaf.Cert.IPAddresses) != 1 || leaf.Cert.IPAddresses[0].String() != "127.0.0.1" {
+		t.Errorf("IPs = %v", leaf.Cert.IPAddresses)
+	}
+	if len(leaf.Cert.DNSNames) != 1 || leaf.Cert.DNSNames[0] != "kubernetes.default.svc" {
+		t.Errorf("DNS = %v", leaf.Cert.DNSNames)
+	}
+	opts := x509.VerifyOptions{
+		Roots:     ca.Pool(),
+		DNSName:   "kubernetes.default.svc",
+		KeyUsages: []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth},
+	}
+	if _, err := leaf.Cert.Verify(opts); err != nil {
+		t.Errorf("chain verification failed: %v", err)
+	}
+}
+
+func TestClientCertIdentity(t *testing.T) {
+	ca, err := NewCA("ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf, err := ca.IssueClient("kubefence-proxy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaf.Cert.Subject.CommonName != "kubefence-proxy" {
+		t.Errorf("CN = %q", leaf.Cert.Subject.CommonName)
+	}
+	opts := x509.VerifyOptions{
+		Roots:     ca.Pool(),
+		KeyUsages: []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth},
+	}
+	if _, err := leaf.Cert.Verify(opts); err != nil {
+		t.Errorf("client chain verification failed: %v", err)
+	}
+}
+
+func TestWrongCARejected(t *testing.T) {
+	caA, _ := NewCA("a")
+	caB, _ := NewCA("b")
+	leaf, err := caA.IssueServer("srv", "127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := leaf.Cert.Verify(x509.VerifyOptions{Roots: caB.Pool()}); err == nil {
+		t.Error("cert from CA A must not verify against CA B")
+	}
+}
+
+func TestMutualTLSHandshake(t *testing.T) {
+	serverCA, _ := NewCA("server-ca")
+	clientCA, _ := NewCA("client-ca")
+	serverCert, err := serverCA.IssueServer("srv", "127.0.0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientCert, err := clientCA.IssueClient("good-client")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var gotCN string
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if len(r.TLS.PeerCertificates) > 0 {
+			gotCN = r.TLS.PeerCertificates[0].Subject.CommonName
+		}
+	}))
+	ts.TLS = ServerTLSConfig(serverCert, clientCA)
+	ts.Config.ErrorLog = discardLogger()
+	ts.StartTLS()
+	defer ts.Close()
+
+	// With a valid client cert the request succeeds and the server sees
+	// the identity.
+	okClient := &http.Client{Transport: &http.Transport{
+		TLSClientConfig: ClientTLSConfig(serverCA, clientCert),
+	}}
+	resp, err := okClient.Get(ts.URL)
+	if err != nil {
+		t.Fatalf("mTLS request failed: %v", err)
+	}
+	resp.Body.Close()
+	if gotCN != "good-client" {
+		t.Errorf("server saw CN %q", gotCN)
+	}
+
+	// Without a client cert the handshake fails.
+	noCert := &http.Client{Transport: &http.Transport{
+		TLSClientConfig: ClientTLSConfig(serverCA, nil),
+	}}
+	if _, err := noCert.Get(ts.URL); err == nil {
+		t.Error("handshake without client cert should fail")
+	}
+
+	// A client cert from the wrong CA fails too.
+	otherCA, _ := NewCA("other")
+	badCert, _ := otherCA.IssueClient("imposter")
+	badClient := &http.Client{Transport: &http.Transport{
+		TLSClientConfig: &tls.Config{
+			RootCAs:      serverCA.Pool(),
+			Certificates: []tls.Certificate{badCert.TLSCertificate()},
+			MinVersion:   tls.VersionTLS12,
+		},
+	}}
+	if _, err := badClient.Get(ts.URL); err == nil {
+		t.Error("handshake with wrong-CA client cert should fail")
+	}
+}

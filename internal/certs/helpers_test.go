@@ -1,0 +1,10 @@
+package certs
+
+import (
+	"io"
+	"log"
+)
+
+// discardLogger silences httptest servers during expected-failure
+// handshakes.
+func discardLogger() *log.Logger { return log.New(io.Discard, "", 0) }

@@ -1,0 +1,299 @@
+// Package chart implements the Helm chart model used by KubeFence: chart
+// loading from an in-memory fileset, deep value merging (chart defaults
+// overridden by user-supplied values), and template rendering into
+// Kubernetes manifests.
+//
+// Rendering follows Helm semantics: every file under templates/ is parsed
+// into one template set (so {{ define }} helpers in _helpers.tpl are
+// visible everywhere), files whose name starts with "_" are not rendered
+// themselves, and each rendered file may contain multiple YAML documents.
+package chart
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+
+	"repro/internal/object"
+	"repro/internal/tmpl"
+	"repro/internal/yaml"
+)
+
+// Chart is a loaded Helm chart.
+type Chart struct {
+	Name        string
+	Version     string
+	AppVersion  string
+	Description string
+
+	// Values holds the decoded default values.
+	Values map[string]any
+	// ValuesRaw preserves the values.yaml source including comments, which
+	// KubeFence mines for enum annotations.
+	ValuesRaw string
+	// ValueComments maps dotted value paths to their comment text.
+	ValueComments map[string]string
+
+	// Templates maps template file name (e.g. "deployment.yaml",
+	// "_helpers.tpl") to source text.
+	Templates map[string]string
+}
+
+// ReleaseOptions identify the release a render is for.
+type ReleaseOptions struct {
+	Name      string
+	Namespace string
+	Revision  int
+	IsInstall bool
+	IsUpgrade bool
+	Service   string // "Helm" upstream
+}
+
+// Fileset is the raw on-disk form of a chart: path → content. Expected
+// entries: "Chart.yaml", "values.yaml", "templates/<name>".
+type Fileset map[string]string
+
+// Load builds a Chart from a fileset.
+func Load(files Fileset) (*Chart, error) {
+	metaRaw, ok := files["Chart.yaml"]
+	if !ok {
+		return nil, fmt.Errorf("chart: missing Chart.yaml")
+	}
+	meta, err := yaml.Decode([]byte(metaRaw))
+	if err != nil {
+		return nil, fmt.Errorf("chart: parsing Chart.yaml: %w", err)
+	}
+	metaMap, ok := meta.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("chart: Chart.yaml is not a mapping")
+	}
+	c := &Chart{
+		Templates:     map[string]string{},
+		Values:        map[string]any{},
+		ValueComments: map[string]string{},
+	}
+	c.Name, _ = metaMap["name"].(string)
+	if c.Name == "" {
+		return nil, fmt.Errorf("chart: Chart.yaml has no name")
+	}
+	c.Version = str(metaMap["version"])
+	c.AppVersion = str(metaMap["appVersion"])
+	c.Description = str(metaMap["description"])
+
+	if valuesRaw, ok := files["values.yaml"]; ok {
+		v, comments, err := yaml.DecodeWithComments([]byte(valuesRaw))
+		if err != nil {
+			return nil, fmt.Errorf("chart: parsing values.yaml: %w", err)
+		}
+		if v != nil {
+			vm, ok := v.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("chart: values.yaml is not a mapping")
+			}
+			c.Values = vm
+		}
+		c.ValuesRaw = valuesRaw
+		c.ValueComments = comments
+	}
+	for name, content := range files {
+		if strings.HasPrefix(name, "templates/") {
+			c.Templates[strings.TrimPrefix(name, "templates/")] = content
+		}
+	}
+	if len(c.Templates) == 0 {
+		return nil, fmt.Errorf("chart %s: no templates", c.Name)
+	}
+	return c, nil
+}
+
+func str(v any) string {
+	s, _ := v.(string)
+	return s
+}
+
+// MergeValues deep-merges user-supplied overrides into the chart's default
+// values, returning a fresh tree. Mappings merge recursively; scalars and
+// lists in overrides replace defaults (Helm semantics).
+func (c *Chart) MergeValues(overrides map[string]any) map[string]any {
+	base := object.DeepCopyValue(c.Values).(map[string]any)
+	return mergeValues(base, overrides)
+}
+
+func mergeValues(base, overrides map[string]any) map[string]any {
+	for k, ov := range overrides {
+		bv, exists := base[k]
+		if !exists {
+			base[k] = object.DeepCopyValue(ov)
+			continue
+		}
+		bm, bok := bv.(map[string]any)
+		om, ook := ov.(map[string]any)
+		if bok && ook {
+			base[k] = mergeValues(bm, om)
+			continue
+		}
+		base[k] = object.DeepCopyValue(ov)
+	}
+	return base
+}
+
+// capabilities mirrors Helm's .Capabilities object.
+type capabilities struct {
+	KubeVersion kubeVersion
+	APIVersions apiVersions
+}
+
+type kubeVersion struct {
+	Version string
+	Major   string
+	Minor   string
+}
+
+// String renders the version like upstream .Capabilities.KubeVersion.
+func (k kubeVersion) String() string { return k.Version }
+
+// GitVersion is kept for compatibility with charts using the deprecated name.
+func (k kubeVersion) GitVersion() string { return k.Version }
+
+type apiVersions []string
+
+// Has reports whether the cluster advertises the given api version or
+// "group/version/Kind" triple.
+func (a apiVersions) Has(v string) bool {
+	for _, x := range a {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// defaultAPIVersions lists what the simulated API server advertises. The
+// cluster version matches the paper's testbed (Kubernetes 1.28.6).
+var defaultAPIVersions = apiVersions{
+	"v1", "apps/v1", "batch/v1", "networking.k8s.io/v1", "autoscaling/v2",
+	"policy/v1", "rbac.authorization.k8s.io/v1",
+	"admissionregistration.k8s.io/v1",
+	"networking.k8s.io/v1/Ingress", "policy/v1/PodDisruptionBudget",
+}
+
+// RenderedFile is one rendered template with its parsed documents.
+type RenderedFile struct {
+	// Name is the template file name, e.g. "deployment.yaml".
+	Name string
+	// Content is the raw rendered text.
+	Content string
+	// Objects holds the parsed non-empty documents.
+	Objects []object.Object
+}
+
+// Render renders every template with the merged values and parses the
+// output into objects. Files rendering to only whitespace are skipped.
+func (c *Chart) Render(overrides map[string]any, rel ReleaseOptions) ([]RenderedFile, error) {
+	merged := c.MergeValues(overrides)
+	return c.RenderWithValues(merged, rel)
+}
+
+// RenderWithValues renders with a fully materialized values tree (no
+// merging). KubeFence's exploration phase uses this to render values
+// variants directly.
+func (c *Chart) RenderWithValues(values map[string]any, rel ReleaseOptions) ([]RenderedFile, error) {
+	if rel.Name == "" {
+		rel.Name = c.Name
+	}
+	if rel.Namespace == "" {
+		rel.Namespace = "default"
+	}
+	if rel.Service == "" {
+		rel.Service = "Helm"
+	}
+	if rel.Revision == 0 {
+		rel.Revision = 1
+		rel.IsInstall = true
+	}
+
+	eng := &tmpl.Engine{}
+	root := eng.New(c.Name)
+
+	// Parse every template file into the shared set. Names are prefixed
+	// with the chart name like Helm does ("mychart/templates/x.yaml"), but
+	// helpers are registered under their define names automatically.
+	names := make([]string, 0, len(c.Templates))
+	for name := range c.Templates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := root.New(c.Name + "/templates/" + name).Parse(c.Templates[name]); err != nil {
+			return nil, fmt.Errorf("chart %s: parsing template %s: %w", c.Name, name, err)
+		}
+	}
+
+	ctx := map[string]any{
+		"Values": values,
+		"Release": map[string]any{
+			"Name":      rel.Name,
+			"Namespace": rel.Namespace,
+			"Service":   rel.Service,
+			"Revision":  rel.Revision,
+			"IsInstall": rel.IsInstall,
+			"IsUpgrade": rel.IsUpgrade,
+		},
+		"Chart": map[string]any{
+			"Name":        c.Name,
+			"Version":     c.Version,
+			"AppVersion":  c.AppVersion,
+			"Description": c.Description,
+		},
+		"Capabilities": capabilities{
+			KubeVersion: kubeVersion{Version: "v1.28.6", Major: "1", Minor: "28"},
+			APIVersions: defaultAPIVersions,
+		},
+	}
+
+	var out []RenderedFile
+	for _, name := range names {
+		base := path.Base(name)
+		if strings.HasPrefix(base, "_") || !isYAMLName(base) {
+			continue
+		}
+		ctx["Template"] = map[string]any{
+			"Name":     c.Name + "/templates/" + name,
+			"BasePath": c.Name + "/templates",
+		}
+		var b strings.Builder
+		if err := root.ExecuteTemplate(&b, c.Name+"/templates/"+name, ctx); err != nil {
+			return nil, fmt.Errorf("chart %s: rendering %s: %w", c.Name, name, err)
+		}
+		content := b.String()
+		if strings.TrimSpace(content) == "" {
+			continue
+		}
+		objs, err := object.ParseManifests([]byte(content))
+		if err != nil {
+			return nil, fmt.Errorf("chart %s: parsing rendered %s: %w\n--- rendered ---\n%s", c.Name, name, err, content)
+		}
+		if len(objs) == 0 {
+			continue
+		}
+		out = append(out, RenderedFile{Name: name, Content: content, Objects: objs})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("chart %s: no objects rendered", c.Name)
+	}
+	return out, nil
+}
+
+func isYAMLName(name string) bool {
+	return strings.HasSuffix(name, ".yaml") || strings.HasSuffix(name, ".yml")
+}
+
+// Objects flattens rendered files into a single object list, in file order.
+func Objects(files []RenderedFile) []object.Object {
+	var out []object.Object
+	for _, f := range files {
+		out = append(out, f.Objects...)
+	}
+	return out
+}

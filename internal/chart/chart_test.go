@@ -1,0 +1,322 @@
+package chart
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/object"
+)
+
+func testChartFiles() Fileset {
+	return Fileset{
+		"Chart.yaml": `
+name: mini
+version: 1.2.3
+appVersion: "4.5.6"
+description: A minimal test chart
+`,
+		"values.yaml": `
+replicaCount: 2
+image:
+  registry: docker.io
+  repository: bitnami/mini
+  tag: "4.5.6"
+  # IfNotPresent or Always
+  pullPolicy: IfNotPresent
+service:
+  type: ClusterIP
+  port: 8080
+ingress:
+  enabled: false
+  host: mini.local
+networkPolicy:
+  enabled: true
+extraLabels: {}
+containerSecurityContext:
+  runAsNonRoot: true
+  allowPrivilegeEscalation: false
+resources:
+  limits:
+    cpu: 100m
+    memory: 128Mi
+`,
+		"templates/_helpers.tpl": `
+{{- define "mini.fullname" -}}
+{{ .Release.Name }}-{{ .Chart.Name }}
+{{- end -}}
+{{- define "mini.labels" -}}
+app.kubernetes.io/name: {{ .Chart.Name }}
+app.kubernetes.io/instance: {{ .Release.Name }}
+helm.sh/chart: {{ .Chart.Name }}-{{ .Chart.Version }}
+{{- end -}}
+`,
+		"templates/deployment.yaml": `
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ include "mini.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "mini.labels" . | nindent 4 }}
+spec:
+  replicas: {{ .Values.replicaCount }}
+  selector:
+    matchLabels:
+      app.kubernetes.io/name: {{ .Chart.Name }}
+  template:
+    metadata:
+      labels:
+        {{- include "mini.labels" . | nindent 8 }}
+        {{- range $k, $v := .Values.extraLabels }}
+        {{ $k }}: {{ $v | quote }}
+        {{- end }}
+    spec:
+      containers:
+        - name: {{ .Chart.Name }}
+          image: "{{ .Values.image.registry }}/{{ .Values.image.repository }}:{{ .Values.image.tag | default .Chart.AppVersion }}"
+          imagePullPolicy: {{ .Values.image.pullPolicy }}
+          ports:
+            - name: http
+              containerPort: {{ .Values.service.port }}
+          securityContext:
+            {{- toYaml .Values.containerSecurityContext | nindent 12 }}
+          resources:
+            {{- toYaml .Values.resources | nindent 12 }}
+`,
+		"templates/service.yaml": `
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "mini.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+spec:
+  type: {{ .Values.service.type }}
+  ports:
+    - port: {{ .Values.service.port }}
+      targetPort: http
+  selector:
+    app.kubernetes.io/name: {{ .Chart.Name }}
+`,
+		"templates/ingress.yaml": `
+{{- if .Values.ingress.enabled }}
+apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: {{ include "mini.fullname" . }}
+spec:
+  rules:
+    - host: {{ .Values.ingress.host | quote }}
+{{- end }}
+`,
+		"templates/networkpolicy.yaml": `
+{{- if .Values.networkPolicy.enabled }}
+apiVersion: networking.k8s.io/v1
+kind: NetworkPolicy
+metadata:
+  name: {{ include "mini.fullname" . }}
+spec:
+  podSelector:
+    matchLabels:
+      app.kubernetes.io/name: {{ .Chart.Name }}
+  policyTypes:
+    - Ingress
+{{- end }}
+`,
+	}
+}
+
+func loadTestChart(t *testing.T) *Chart {
+	t.Helper()
+	c, err := Load(testChartFiles())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestLoad(t *testing.T) {
+	c := loadTestChart(t)
+	if c.Name != "mini" || c.Version != "1.2.3" || c.AppVersion != "4.5.6" {
+		t.Errorf("metadata = %q %q %q", c.Name, c.Version, c.AppVersion)
+	}
+	if got, _ := object.Get(c.Values, "image.pullPolicy"); got != "IfNotPresent" {
+		t.Errorf("values not decoded: %v", got)
+	}
+	if com := c.ValueComments["image.pullPolicy"]; com != "IfNotPresent or Always" {
+		t.Errorf("comment = %q", com)
+	}
+	if len(c.Templates) != 5 {
+		t.Errorf("templates = %d, want 5", len(c.Templates))
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(Fileset{}); err == nil {
+		t.Error("missing Chart.yaml should error")
+	}
+	if _, err := Load(Fileset{"Chart.yaml": "name: x"}); err == nil {
+		t.Error("missing templates should error")
+	}
+	if _, err := Load(Fileset{"Chart.yaml": "version: only"}); err == nil {
+		t.Error("missing name should error")
+	}
+}
+
+func TestRenderDefaults(t *testing.T) {
+	c := loadTestChart(t)
+	files, err := c.Render(nil, ReleaseOptions{Name: "rel", Namespace: "prod"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := Objects(files)
+	kinds := map[string]object.Object{}
+	for _, o := range objs {
+		kinds[o.Kind()] = o
+	}
+	if len(objs) != 3 {
+		t.Fatalf("rendered %d objects, want 3 (ingress disabled): %v", len(objs), kinds)
+	}
+	dep := kinds["Deployment"]
+	if dep == nil {
+		t.Fatal("no Deployment rendered")
+	}
+	if dep.Name() != "rel-mini" {
+		t.Errorf("deployment name = %q", dep.Name())
+	}
+	if v, _ := object.Get(dep, "spec.replicas"); v != int64(2) {
+		t.Errorf("replicas = %v", v)
+	}
+	img, _ := object.GetSlice(dep, "spec.template.spec.containers")
+	image := img[0].(map[string]any)["image"]
+	if image != "docker.io/bitnami/mini:4.5.6" {
+		t.Errorf("image = %v", image)
+	}
+	sc := img[0].(map[string]any)["securityContext"].(map[string]any)
+	if sc["runAsNonRoot"] != true {
+		t.Errorf("securityContext = %#v", sc)
+	}
+	if kinds["NetworkPolicy"] == nil {
+		t.Error("NetworkPolicy should render when enabled")
+	}
+	if _, ok := kinds["Ingress"]; ok {
+		t.Error("Ingress should not render when disabled")
+	}
+	labels, _ := object.GetMap(dep, "metadata.labels")
+	if labels["helm.sh/chart"] != "mini-1.2.3" {
+		t.Errorf("labels = %#v", labels)
+	}
+}
+
+func TestRenderWithOverrides(t *testing.T) {
+	c := loadTestChart(t)
+	overrides := map[string]any{
+		"replicaCount": int64(7),
+		"ingress":      map[string]any{"enabled": true},
+		"extraLabels":  map[string]any{"team": "platform"},
+	}
+	files, err := c.Render(overrides, ReleaseOptions{Name: "rel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]object.Object{}
+	for _, o := range Objects(files) {
+		kinds[o.Kind()] = o
+	}
+	if kinds["Ingress"] == nil {
+		t.Fatal("Ingress should render when enabled via override")
+	}
+	if host, _ := object.Get(kinds["Ingress"], "spec.rules"); host == nil {
+		t.Error("ingress rules missing")
+	}
+	if v, _ := object.Get(kinds["Deployment"], "spec.replicas"); v != int64(7) {
+		t.Errorf("replicas = %v, want 7", v)
+	}
+	tl, _ := object.GetMap(kinds["Deployment"], "spec.template.metadata.labels")
+	if tl["team"] != "platform" {
+		t.Errorf("extra label missing: %#v", tl)
+	}
+	// Overrides must not mutate the chart's defaults.
+	if v, _ := object.Get(c.Values, "replicaCount"); v != int64(2) {
+		t.Errorf("chart defaults mutated: %v", v)
+	}
+}
+
+func TestMergeValuesSemantics(t *testing.T) {
+	c := loadTestChart(t)
+	merged := c.MergeValues(map[string]any{
+		"image": map[string]any{"tag": "9.9.9"},
+	})
+	// Sibling keys survive a nested override.
+	if v, _ := object.Get(merged, "image.registry"); v != "docker.io" {
+		t.Errorf("registry lost: %v", v)
+	}
+	if v, _ := object.Get(merged, "image.tag"); v != "9.9.9" {
+		t.Errorf("tag = %v", v)
+	}
+	// Scalar replaces map? Lists replace wholesale.
+	merged2 := c.MergeValues(map[string]any{"resources": map[string]any{"limits": map[string]any{"cpu": "1"}}})
+	if v, _ := object.Get(merged2, "resources.limits.memory"); v != "128Mi" {
+		t.Errorf("deep merge lost memory: %v", v)
+	}
+}
+
+func TestRenderDeterministic(t *testing.T) {
+	c := loadTestChart(t)
+	render := func() string {
+		files, err := c.Render(nil, ReleaseOptions{Name: "rel"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, f := range files {
+			b.WriteString(f.Name + "\n" + f.Content + "\n")
+		}
+		return b.String()
+	}
+	first := render()
+	for i := 0; i < 5; i++ {
+		if render() != first {
+			t.Fatal("render is not deterministic")
+		}
+	}
+}
+
+func TestRenderBadTemplate(t *testing.T) {
+	files := testChartFiles()
+	files["templates/broken.yaml"] = `{{ nosuchfunction }}`
+	c, err := Load(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Render(nil, ReleaseOptions{}); err == nil {
+		t.Error("render of broken template should error")
+	}
+}
+
+func TestRenderBadYAMLOutput(t *testing.T) {
+	files := testChartFiles()
+	files["templates/badyaml.yaml"] = "key: value\n  bad indent: x\n"
+	c, err := Load(files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Render(nil, ReleaseOptions{}); err == nil {
+		t.Error("render producing invalid YAML should error")
+	}
+}
+
+func TestRenderDefaultRelease(t *testing.T) {
+	c := loadTestChart(t)
+	files, err := c.Render(nil, ReleaseOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range Objects(files) {
+		if o.Kind() == "Deployment" && o.Namespace() != "default" {
+			t.Errorf("default namespace = %q", o.Namespace())
+		}
+		if o.Kind() == "Deployment" && !strings.HasPrefix(o.Name(), "mini-") {
+			t.Errorf("default release name: %q", o.Name())
+		}
+	}
+}

@@ -1,0 +1,288 @@
+package charts
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/explore"
+	"repro/internal/object"
+	"repro/internal/schema"
+	"repro/internal/validator"
+)
+
+func TestNamesAndFiles(t *testing.T) {
+	if len(Names()) != 5 {
+		t.Fatalf("corpus has %d workloads, want 5", len(Names()))
+	}
+	for _, name := range Names() {
+		files, ok := Files(name)
+		if !ok {
+			t.Fatalf("Files(%s) missing", name)
+		}
+		if _, ok := files["Chart.yaml"]; !ok {
+			t.Errorf("%s: no Chart.yaml", name)
+		}
+		if _, ok := files["values.yaml"]; !ok {
+			t.Errorf("%s: no values.yaml", name)
+		}
+	}
+	if _, ok := Files("unknown"); ok {
+		t.Error("unknown workload should not resolve")
+	}
+	if _, err := Load("unknown"); err == nil {
+		t.Error("Load(unknown) should error")
+	}
+}
+
+func renderedKinds(t *testing.T, objs []object.Object) []string {
+	t.Helper()
+	set := map[string]bool{}
+	for _, o := range objs {
+		set[o.Kind()] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// pipeline runs the full KubeFence generation pipeline for a workload and
+// returns the validator plus the variant count.
+func pipeline(t *testing.T, name string) (*validator.Validator, int) {
+	t.Helper()
+	c := MustLoad(name)
+	s, err := schema.Generate(c, schema.Options{})
+	if err != nil {
+		t.Fatalf("%s: schema: %v", name, err)
+	}
+	variants := explore.Variants(s)
+	var all []object.Object
+	for i, v := range variants {
+		files, err := c.RenderWithValues(v, chart.ReleaseOptions{Name: "kfrelease"})
+		if err != nil {
+			t.Fatalf("%s: rendering variant %d: %v", name, i, err)
+		}
+		all = append(all, chart.Objects(files)...)
+	}
+	val, err := validator.Build(all, validator.BuildOptions{
+		Workload:    name,
+		ReleaseName: "kfrelease",
+	})
+	if err != nil {
+		t.Fatalf("%s: build validator: %v", name, err)
+	}
+	return val, len(variants)
+}
+
+func TestEveryChartRendersWithDefaults(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			c := MustLoad(name)
+			files, err := c.Render(nil, chart.ReleaseOptions{Name: "myrel", Namespace: "prod"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			objs := chart.Objects(files)
+			if len(objs) == 0 {
+				t.Fatal("no objects rendered")
+			}
+			for _, o := range objs {
+				if o.Kind() == "" || o.APIVersion() == "" {
+					t.Errorf("object missing kind/apiVersion: %v", o)
+				}
+				if o.Name() == "" {
+					t.Errorf("%s object has no name", o.Kind())
+				}
+				if _, ok := object.LookupKind(o.Kind()); !ok {
+					t.Errorf("kind %s not in REST mapping table", o.Kind())
+				}
+			}
+		})
+	}
+}
+
+func TestValidatorKindFootprintMatchesFig9(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			val, _ := pipeline(t, name)
+			got := val.AllowedKinds()
+			want := ExpectedKinds(name)
+			if len(got) != len(want) {
+				t.Fatalf("kinds = %v,\nwant %v", got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("kinds = %v,\nwant %v", got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestExplorationCoversConditionalResources(t *testing.T) {
+	// With defaults only, MLflow renders no Secret (postgres and s3 are
+	// disabled); the exploration must reach it.
+	c := MustLoad("mlflow")
+	files, err := c.Render(nil, chart.ReleaseOptions{Name: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range chart.Objects(files) {
+		if o.Kind() == "Secret" {
+			t.Fatal("defaults should not render the MLflow secret")
+		}
+	}
+	val, variants := pipeline(t, "mlflow")
+	if variants < 2 {
+		t.Fatalf("mlflow should need >= 2 variants, got %d", variants)
+	}
+	if _, ok := val.Kinds["Secret"]; !ok {
+		t.Error("exploration missed the conditional Secret")
+	}
+}
+
+func TestRealDeploymentPassesOwnPolicy(t *testing.T) {
+	// The central soundness property (paper: "legitimate workload actions
+	// were unaffected"): manifests rendered with the chart's real default
+	// values must pass the validator generated for that workload.
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			val, _ := pipeline(t, name)
+			c := MustLoad(name)
+			files, err := c.Render(nil, chart.ReleaseOptions{Name: "prod-rel", Namespace: "prod"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range chart.Objects(files) {
+				if vs := val.Validate(o); len(vs) != 0 {
+					t.Errorf("%s %s denied by own policy:\n  %v",
+						o.Kind(), o.Name(), vs)
+				}
+			}
+		})
+	}
+}
+
+func TestUserOverridesPassPolicy(t *testing.T) {
+	// Users may override values within the schema's domains.
+	val, _ := pipeline(t, "nginx")
+	c := MustLoad("nginx")
+	files, err := c.Render(map[string]any{
+		"replicaCount": int64(5),
+		"autoscaling":  map[string]any{"enabled": false},
+		"service":      map[string]any{"type": "ClusterIP"},
+		"image":        map[string]any{"tag": "1.27.0"},
+	}, chart.ReleaseOptions{Name: "edge", Namespace: "edge-ns"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range chart.Objects(files) {
+		if vs := val.Validate(o); len(vs) != 0 {
+			t.Errorf("%s %s denied: %v", o.Kind(), o.Name(), vs)
+		}
+	}
+}
+
+func TestOutOfDomainOverrideDenied(t *testing.T) {
+	// A service type outside the enum annotation is outside the policy.
+	val, _ := pipeline(t, "mlflow")
+	c := MustLoad("mlflow")
+	files, err := c.Render(map[string]any{
+		"service": map[string]any{"type": "LoadBalancer"}, // enum: ClusterIP or NodePort
+	}, chart.ReleaseOptions{Name: "m"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	denied := false
+	for _, o := range chart.Objects(files) {
+		if o.Kind() == "Service" && len(val.Validate(o)) > 0 {
+			denied = true
+		}
+	}
+	if !denied {
+		t.Error("LoadBalancer service should be outside the MLflow policy enum")
+	}
+}
+
+func TestSecurityContextLockedInEveryWorkload(t *testing.T) {
+	for _, name := range Names() {
+		val, _ := pipeline(t, name)
+		for _, kind := range []string{"Deployment", "StatefulSet"} {
+			root, ok := val.Kinds[kind]
+			if !ok {
+				continue
+			}
+			n := findNode(root, []string{"spec", "template", "spec", "containers", "securityContext", "runAsNonRoot"})
+			if n == nil {
+				t.Errorf("%s/%s: runAsNonRoot missing from validator", name, kind)
+				continue
+			}
+			if !n.Locked {
+				t.Errorf("%s/%s: runAsNonRoot not locked", name, kind)
+			}
+			if len(n.Values) != 1 || n.Values[0] != true {
+				t.Errorf("%s/%s: runAsNonRoot lock values = %v", name, kind, n.Values)
+			}
+		}
+	}
+}
+
+func findNode(n *validator.Node, path []string) *validator.Node {
+	cur := n
+	for _, seg := range path {
+		if cur == nil {
+			return nil
+		}
+		switch cur.Kind {
+		case validator.KindMap:
+			cur = cur.Fields[seg]
+		case validator.KindList:
+			cur = cur.Item
+			// Retry the same segment inside the item schema.
+			if cur != nil && cur.Kind == validator.KindMap {
+				cur = cur.Fields[seg]
+			}
+		default:
+			return nil
+		}
+	}
+	return cur
+}
+
+func TestHostNamespacesAbsentFromAllPolicies(t *testing.T) {
+	// No corpus chart uses host namespaces; the generated policies must
+	// not contain them (this is the reduced attack surface).
+	for _, name := range Names() {
+		val, _ := pipeline(t, name)
+		for kind := range val.Kinds {
+			for _, p := range val.AllowedPaths(kind) {
+				for _, bad := range []string{"hostNetwork", "hostPID", "hostIPC", "subPath"} {
+					if hasSuffix(p, bad) {
+						t.Errorf("%s/%s: %s should not be in policy", name, kind, p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func hasSuffix(path, field string) bool {
+	return path == field || len(path) > len(field) && path[len(path)-len(field)-1] == '.' &&
+		path[len(path)-len(field):] == field
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	a, _ := pipeline(t, "postgresql")
+	b, _ := pipeline(t, "postgresql")
+	ay, err := a.MarshalYAML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	by, _ := b.MarshalYAML()
+	if string(ay) != string(by) {
+		t.Error("pipeline output differs across runs")
+	}
+}

@@ -1,0 +1,73 @@
+package charts
+
+import (
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/validator"
+)
+
+// TestLockModeFalsePositiveAblation quantifies the DESIGN.md §6 lock-mode
+// trade-off over the whole benign corpus: LockRequired must not reject any
+// of our operators' deployments (their charts set the critical fields),
+// and omitting runAsNonRoot must be denied only under LockRequired.
+func TestLockModeFalsePositiveAblation(t *testing.T) {
+	for _, mode := range []validator.LockMode{validator.LockIfPresent, validator.LockRequired} {
+		falsePositives := 0
+		benign := 0
+		for _, name := range Names() {
+			res, err := core.GeneratePolicy(MustLoad(name), core.Options{Mode: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			files, err := MustLoad(name).Render(nil, chart.ReleaseOptions{Name: "fprel", Namespace: "fp"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range chart.Objects(files) {
+				benign++
+				if vs := res.Validator.Validate(o); len(vs) != 0 {
+					falsePositives++
+					t.Logf("mode %v: %s/%s denied: %v", mode, name, o.Kind(), vs)
+				}
+			}
+		}
+		if falsePositives != 0 {
+			t.Errorf("mode %v: %d/%d benign manifests denied", mode, falsePositives, benign)
+		}
+	}
+}
+
+func TestLockRequiredDeniesOmission(t *testing.T) {
+	strict, err := core.GeneratePolicy(MustLoad("nginx"), core.Options{Mode: validator.LockRequired})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lenient, err := core.GeneratePolicy(MustLoad("nginx"), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := MustLoad("nginx").Render(nil, chart.ReleaseOptions{Name: "r"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dep object.Object
+	for _, o := range chart.Objects(files) {
+		if o.Kind() == "Deployment" {
+			dep = o
+		}
+	}
+	stripped := dep.DeepCopy()
+	cs, _ := object.GetSlice(stripped, "spec.template.spec.containers")
+	sc := cs[0].(map[string]any)["securityContext"].(map[string]any)
+	delete(sc, "runAsNonRoot")
+
+	if vs := lenient.Validator.Validate(stripped); len(vs) != 0 {
+		t.Errorf("lenient mode should allow omission: %v", vs)
+	}
+	if vs := strict.Validator.Validate(stripped); len(vs) == 0 {
+		t.Error("strict mode should deny omission of runAsNonRoot")
+	}
+}

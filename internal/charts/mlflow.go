@@ -1,0 +1,252 @@
+package charts
+
+import "repro/internal/chart"
+
+// mlflowChart re-creates the community-charts/mlflow operator footprint:
+// Deployment, Service, ConfigMap, Ingress, ServiceAccount, Secret (paper
+// Fig. 9, row 2). The values layout follows the paper's Fig. 7 example,
+// including the backend-store conditional from Fig. 3.
+func mlflowChart() chart.Fileset {
+	return chart.Fileset{
+		"Chart.yaml": `
+name: mlflow
+version: 0.7.19
+appVersion: "2.9.2"
+description: MLflow experiment-tracking server
+`,
+		"values.yaml": `
+replicaCount: 1
+image:
+  registry: docker.io
+  repository: bitnami/mlflow
+  tag: "2.9.2"
+  # IfNotPresent or Always
+  pullPolicy: IfNotPresent
+tracking:
+  enabled: true
+  host: "0.0.0.0"
+  port: 5000
+  # Log level. one of: debug, info, warning
+  logLevel: info
+backendStore:
+  postgres:
+    enabled: false
+    host: postgres.local
+    port: 5432
+    database: mlflow
+    user: mlflow
+    password: mlflow-pass
+artifactRoot:
+  defaultArtifactRoot: ./mlruns
+  s3:
+    enabled: false
+    bucket: mlflow-artifacts
+    awsAccessKeyId: ""
+    awsSecretAccessKey: ""
+extraArgs: {}
+containerSecurityContext:
+  runAsUser: 1001
+  runAsNonRoot: true
+  allowPrivilegeEscalation: false
+resources:
+  limits:
+    cpu: 500m
+    memory: 512Mi
+  requests:
+    cpu: 250m
+    memory: 256Mi
+service:
+  # ClusterIP or NodePort
+  type: ClusterIP
+  port: 5000
+serviceAccount:
+  create: true
+  name: ""
+ingress:
+  enabled: true
+  className: nginx
+  host: mlflow.local
+  path: /
+  # Prefix or Exact or ImplementationSpecific
+  pathType: Prefix
+  tls:
+    enabled: false
+    secretName: mlflow-tls
+`,
+		"templates/_helpers.tpl": commonHelpers("mlflow"),
+		"templates/deployment.yaml": `
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ include "mlflow.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "mlflow.labels" . | nindent 4 }}
+spec:
+  replicas: {{ .Values.replicaCount }}
+  selector:
+    matchLabels:
+      {{- include "mlflow.matchLabels" . | nindent 6 }}
+  template:
+    metadata:
+      labels:
+        {{- include "mlflow.labels" . | nindent 8 }}
+    spec:
+      serviceAccountName: {{ include "mlflow.serviceAccountName" . }}
+      containers:
+        - name: mlflow
+          image: {{ include "mlflow.image" . }}
+          imagePullPolicy: {{ .Values.image.pullPolicy | quote }}
+          securityContext:
+            runAsUser: {{ .Values.containerSecurityContext.runAsUser }}
+            runAsNonRoot: {{ .Values.containerSecurityContext.runAsNonRoot }}
+            allowPrivilegeEscalation: {{ .Values.containerSecurityContext.allowPrivilegeEscalation }}
+          ports:
+            - name: http
+              containerPort: {{ .Values.tracking.port }}
+          env:
+            - name: MLFLOW_HOST
+              value: {{ .Values.tracking.host | quote }}
+            - name: MLFLOW_LOG_LEVEL
+              value: {{ .Values.tracking.logLevel | quote }}
+            {{- if .Values.backendStore.postgres.enabled }}
+            - name: PGHOST
+              value: {{ .Values.backendStore.postgres.host | quote }}
+            - name: PGPORT
+              value: {{ .Values.backendStore.postgres.port | quote }}
+            - name: PGDATABASE
+              value: {{ .Values.backendStore.postgres.database | quote }}
+            - name: PGUSER
+              valueFrom:
+                secretKeyRef:
+                  name: {{ include "mlflow.fullname" . }}-env-secret
+                  key: PGUSER
+            - name: PGPASSWORD
+              valueFrom:
+                secretKeyRef:
+                  name: {{ include "mlflow.fullname" . }}-env-secret
+                  key: PGPASSWORD
+            {{- end }}
+            {{- if .Values.artifactRoot.s3.enabled }}
+            - name: AWS_ACCESS_KEY_ID
+              valueFrom:
+                secretKeyRef:
+                  name: {{ include "mlflow.fullname" . }}-env-secret
+                  key: AWS_ACCESS_KEY_ID
+            - name: AWS_SECRET_ACCESS_KEY
+              valueFrom:
+                secretKeyRef:
+                  name: {{ include "mlflow.fullname" . }}-env-secret
+                  key: AWS_SECRET_ACCESS_KEY
+            {{- end }}
+          readinessProbe:
+            httpGet:
+              path: /health
+              port: http
+            initialDelaySeconds: 10
+            periodSeconds: 10
+          resources:
+            {{- toYaml .Values.resources | nindent 12 }}
+          volumeMounts:
+            - name: config
+              mountPath: /etc/mlflow
+      volumes:
+        - name: config
+          configMap:
+            name: {{ include "mlflow.fullname" . }}-config
+`,
+		"templates/service.yaml": `
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "mlflow.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "mlflow.labels" . | nindent 4 }}
+spec:
+  type: {{ .Values.service.type }}
+  ports:
+    - name: http
+      port: {{ .Values.service.port }}
+      targetPort: http
+      protocol: TCP
+  selector:
+    {{- include "mlflow.matchLabels" . | nindent 4 }}
+`,
+		"templates/configmap.yaml": `
+apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: {{ include "mlflow.fullname" . }}-config
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "mlflow.labels" . | nindent 4 }}
+data:
+  default-artifact-root: {{ .Values.artifactRoot.defaultArtifactRoot | quote }}
+  tracking-host: {{ .Values.tracking.host | quote }}
+  log-level: {{ .Values.tracking.logLevel | quote }}
+`,
+		"templates/secret.yaml": `
+{{- if or .Values.backendStore.postgres.enabled .Values.artifactRoot.s3.enabled }}
+apiVersion: v1
+kind: Secret
+metadata:
+  name: {{ include "mlflow.fullname" . }}-env-secret
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "mlflow.labels" . | nindent 4 }}
+type: Opaque
+stringData:
+  {{- if .Values.backendStore.postgres.enabled }}
+  PGUSER: {{ .Values.backendStore.postgres.user | quote }}
+  PGPASSWORD: {{ .Values.backendStore.postgres.password | quote }}
+  {{- end }}
+  {{- if .Values.artifactRoot.s3.enabled }}
+  AWS_ACCESS_KEY_ID: {{ .Values.artifactRoot.s3.awsAccessKeyId | quote }}
+  AWS_SECRET_ACCESS_KEY: {{ .Values.artifactRoot.s3.awsSecretAccessKey | quote }}
+  {{- end }}
+{{- end }}
+`,
+		"templates/serviceaccount.yaml": `
+{{- if .Values.serviceAccount.create }}
+apiVersion: v1
+kind: ServiceAccount
+metadata:
+  name: {{ include "mlflow.serviceAccountName" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "mlflow.labels" . | nindent 4 }}
+{{- end }}
+`,
+		"templates/ingress.yaml": `
+{{- if .Values.ingress.enabled }}
+apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: {{ include "mlflow.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "mlflow.labels" . | nindent 4 }}
+spec:
+  ingressClassName: {{ .Values.ingress.className }}
+  rules:
+    - host: {{ .Values.ingress.host | quote }}
+      http:
+        paths:
+          - path: {{ .Values.ingress.path }}
+            pathType: {{ .Values.ingress.pathType }}
+            backend:
+              service:
+                name: {{ include "mlflow.fullname" . }}
+                port:
+                  name: http
+  {{- if .Values.ingress.tls.enabled }}
+  tls:
+    - hosts:
+        - {{ .Values.ingress.host | quote }}
+      secretName: {{ .Values.ingress.tls.secretName }}
+  {{- end }}
+{{- end }}
+`,
+	}
+}

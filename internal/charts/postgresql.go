@@ -1,0 +1,372 @@
+package charts
+
+import "repro/internal/chart"
+
+// postgresqlChart re-creates the bitnami/postgresql operator footprint:
+// StatefulSet, CronJob (scheduled backups), Service (×2: client +
+// headless), ConfigMap, NetworkPolicy, ServiceAccount, Secret, Role,
+// RoleBinding (paper Fig. 9, row 3).
+func postgresqlChart() chart.Fileset {
+	return chart.Fileset{
+		"Chart.yaml": `
+name: postgresql
+version: 14.3.3
+appVersion: "16.2.0"
+description: PostgreSQL packaged as a Kubernetes operator chart
+`,
+		"values.yaml": `
+image:
+  registry: docker.io
+  repository: bitnami/postgresql
+  tag: "16.2.0-debian-12"
+  # IfNotPresent or Always
+  pullPolicy: IfNotPresent
+auth:
+  username: postgres
+  password: changeme-postgres
+  database: appdb
+architecture:
+  # standalone or replication
+  mode: standalone
+  replicaCount: 1
+primary:
+  persistence:
+    enabled: true
+    size: 8Gi
+    storageClass: ""
+  extendedConfiguration: |
+    max_connections = 200
+    shared_buffers = 128MB
+containerPorts:
+  postgresql: 5432
+podSecurityContext:
+  enabled: true
+  fsGroup: 1001
+containerSecurityContext:
+  enabled: true
+  runAsUser: 1001
+  runAsNonRoot: true
+  allowPrivilegeEscalation: false
+  readOnlyRootFilesystem: true
+resources:
+  limits:
+    cpu: 750m
+    memory: 768Mi
+  requests:
+    cpu: 250m
+    memory: 256Mi
+service:
+  # ClusterIP or NodePort
+  type: ClusterIP
+  ports:
+    postgresql: 5432
+networkPolicy:
+  enabled: true
+  allowExternal: false
+serviceAccount:
+  create: true
+  name: ""
+rbac:
+  create: true
+backup:
+  enabled: true
+  cronjob:
+    schedule: "0 2 * * *"
+    # Allow or Forbid or Replace
+    concurrencyPolicy: Forbid
+    historyLimit: 3
+  retention: 7
+metrics:
+  enabled: false
+  port: 9187
+`,
+		"templates/_helpers.tpl": commonHelpers("postgresql") + `
+{{- define "postgresql.primaryFullname" -}}
+{{- printf "%s-primary" (include "postgresql.fullname" .) -}}
+{{- end -}}
+`,
+		"templates/statefulset.yaml": `
+apiVersion: apps/v1
+kind: StatefulSet
+metadata:
+  name: {{ include "postgresql.primaryFullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "postgresql.labels" . | nindent 4 }}
+spec:
+  {{- if eq .Values.architecture.mode "replication" }}
+  replicas: {{ .Values.architecture.replicaCount }}
+  {{- else }}
+  replicas: 1
+  {{- end }}
+  serviceName: {{ include "postgresql.fullname" . }}-hl
+  podManagementPolicy: Parallel
+  updateStrategy:
+    type: RollingUpdate
+  selector:
+    matchLabels:
+      {{- include "postgresql.matchLabels" . | nindent 6 }}
+  template:
+    metadata:
+      labels:
+        {{- include "postgresql.labels" . | nindent 8 }}
+    spec:
+      serviceAccountName: {{ include "postgresql.serviceAccountName" . }}
+      {{- if .Values.podSecurityContext.enabled }}
+      securityContext:
+        fsGroup: {{ .Values.podSecurityContext.fsGroup }}
+      {{- end }}
+      containers:
+        - name: postgresql
+          image: {{ include "postgresql.image" . }}
+          imagePullPolicy: {{ .Values.image.pullPolicy | quote }}
+          {{- if .Values.containerSecurityContext.enabled }}
+          securityContext:
+            runAsUser: {{ .Values.containerSecurityContext.runAsUser }}
+            runAsNonRoot: {{ .Values.containerSecurityContext.runAsNonRoot }}
+            allowPrivilegeEscalation: {{ .Values.containerSecurityContext.allowPrivilegeEscalation }}
+            readOnlyRootFilesystem: {{ .Values.containerSecurityContext.readOnlyRootFilesystem }}
+          {{- end }}
+          ports:
+            - name: tcp-postgresql
+              containerPort: {{ .Values.containerPorts.postgresql }}
+          env:
+            - name: POSTGRES_USER
+              value: {{ .Values.auth.username | quote }}
+            - name: POSTGRES_DB
+              value: {{ .Values.auth.database | quote }}
+            - name: POSTGRES_PASSWORD
+              valueFrom:
+                secretKeyRef:
+                  name: {{ include "postgresql.fullname" . }}
+                  key: postgres-password
+            - name: POSTGRESQL_REPLICATION_MODE
+              value: {{ .Values.architecture.mode | quote }}
+          livenessProbe:
+            exec:
+              command:
+                - /bin/sh
+                - -c
+                - pg_isready -U {{ .Values.auth.username }}
+            initialDelaySeconds: 30
+            periodSeconds: 10
+          readinessProbe:
+            tcpSocket:
+              port: tcp-postgresql
+            initialDelaySeconds: 5
+            periodSeconds: 10
+          resources:
+            {{- toYaml .Values.resources | nindent 12 }}
+          volumeMounts:
+            - name: data
+              mountPath: /bitnami/postgresql
+            - name: config
+              mountPath: /opt/bitnami/postgresql/conf/conf.d
+      volumes:
+        - name: config
+          configMap:
+            name: {{ include "postgresql.fullname" . }}-configuration
+  {{- if .Values.primary.persistence.enabled }}
+  volumeClaimTemplates:
+    - metadata:
+        name: data
+      spec:
+        accessModes:
+          - ReadWriteOnce
+        resources:
+          requests:
+            storage: {{ .Values.primary.persistence.size | quote }}
+  {{- end }}
+`,
+		"templates/service.yaml": `
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "postgresql.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "postgresql.labels" . | nindent 4 }}
+spec:
+  type: {{ .Values.service.type }}
+  ports:
+    - name: tcp-postgresql
+      port: {{ .Values.service.ports.postgresql }}
+      targetPort: tcp-postgresql
+      protocol: TCP
+  selector:
+    {{- include "postgresql.matchLabels" . | nindent 4 }}
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "postgresql.fullname" . }}-hl
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "postgresql.labels" . | nindent 4 }}
+spec:
+  type: ClusterIP
+  clusterIP: None
+  publishNotReadyAddresses: true
+  ports:
+    - name: tcp-postgresql
+      port: {{ .Values.service.ports.postgresql }}
+      targetPort: tcp-postgresql
+  selector:
+    {{- include "postgresql.matchLabels" . | nindent 4 }}
+`,
+		"templates/configmap.yaml": `
+apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: {{ include "postgresql.fullname" . }}-configuration
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "postgresql.labels" . | nindent 4 }}
+data:
+  override.conf: |
+{{ .Values.primary.extendedConfiguration | indent 4 }}
+`,
+		"templates/secret.yaml": `
+apiVersion: v1
+kind: Secret
+metadata:
+  name: {{ include "postgresql.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "postgresql.labels" . | nindent 4 }}
+type: Opaque
+stringData:
+  postgres-password: {{ .Values.auth.password | quote }}
+`,
+		"templates/networkpolicy.yaml": `
+{{- if .Values.networkPolicy.enabled }}
+apiVersion: networking.k8s.io/v1
+kind: NetworkPolicy
+metadata:
+  name: {{ include "postgresql.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "postgresql.labels" . | nindent 4 }}
+spec:
+  podSelector:
+    matchLabels:
+      {{- include "postgresql.matchLabels" . | nindent 6 }}
+  policyTypes:
+    - Ingress
+    - Egress
+  egress:
+    - {}
+  ingress:
+    - ports:
+        - port: {{ .Values.containerPorts.postgresql }}
+      {{- if not .Values.networkPolicy.allowExternal }}
+      from:
+        - podSelector:
+            matchLabels:
+              {{ include "postgresql.fullname" . }}-client: "true"
+      {{- end }}
+{{- end }}
+`,
+		"templates/serviceaccount.yaml": `
+{{- if .Values.serviceAccount.create }}
+apiVersion: v1
+kind: ServiceAccount
+metadata:
+  name: {{ include "postgresql.serviceAccountName" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "postgresql.labels" . | nindent 4 }}
+automountServiceAccountToken: false
+{{- end }}
+`,
+		"templates/role.yaml": `
+{{- if .Values.rbac.create }}
+apiVersion: rbac.authorization.k8s.io/v1
+kind: Role
+metadata:
+  name: {{ include "postgresql.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "postgresql.labels" . | nindent 4 }}
+rules:
+  - apiGroups:
+      - ""
+    resources:
+      - endpoints
+    verbs:
+      - get
+      - list
+      - watch
+  - apiGroups:
+      - ""
+    resources:
+      - configmaps
+    verbs:
+      - get
+{{- end }}
+`,
+		"templates/rolebinding.yaml": `
+{{- if .Values.rbac.create }}
+apiVersion: rbac.authorization.k8s.io/v1
+kind: RoleBinding
+metadata:
+  name: {{ include "postgresql.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "postgresql.labels" . | nindent 4 }}
+roleRef:
+  apiGroup: rbac.authorization.k8s.io
+  kind: Role
+  name: {{ include "postgresql.fullname" . }}
+subjects:
+  - kind: ServiceAccount
+    name: {{ include "postgresql.serviceAccountName" . }}
+    namespace: {{ .Release.Namespace }}
+{{- end }}
+`,
+		"templates/backup-cronjob.yaml": `
+{{- if .Values.backup.enabled }}
+apiVersion: batch/v1
+kind: CronJob
+metadata:
+  name: {{ include "postgresql.fullname" . }}-backup
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "postgresql.labels" . | nindent 4 }}
+spec:
+  schedule: {{ .Values.backup.cronjob.schedule | quote }}
+  concurrencyPolicy: {{ .Values.backup.cronjob.concurrencyPolicy }}
+  successfulJobsHistoryLimit: {{ .Values.backup.cronjob.historyLimit }}
+  failedJobsHistoryLimit: {{ .Values.backup.cronjob.historyLimit }}
+  jobTemplate:
+    spec:
+      backoffLimit: 2
+      template:
+        metadata:
+          labels:
+            {{- include "postgresql.labels" . | nindent 12 }}
+        spec:
+          restartPolicy: OnFailure
+          serviceAccountName: {{ include "postgresql.serviceAccountName" . }}
+          containers:
+            - name: pg-dump
+              image: {{ include "postgresql.image" . }}
+              imagePullPolicy: {{ .Values.image.pullPolicy | quote }}
+              securityContext:
+                runAsNonRoot: true
+                allowPrivilegeEscalation: false
+              env:
+                - name: PGHOST
+                  value: {{ include "postgresql.fullname" . }}
+                - name: PGUSER
+                  value: {{ .Values.auth.username | quote }}
+                - name: BACKUP_RETENTION_DAYS
+                  value: {{ .Values.backup.retention | quote }}
+              resources:
+                requests:
+                  cpu: 100m
+                  memory: 128Mi
+{{- end }}
+`,
+	}
+}

@@ -1,0 +1,390 @@
+package charts
+
+import "repro/internal/chart"
+
+// rabbitmqChart re-creates the bitnami/rabbitmq operator footprint:
+// StatefulSet, Service (×2), NetworkPolicy, Ingress (management UI),
+// ServiceAccount, PodDisruptionBudget, Secret, Role, RoleBinding (paper
+// Fig. 9, row 4). The Role grants endpoint discovery for the Kubernetes
+// peer-discovery plugin, like upstream.
+func rabbitmqChart() chart.Fileset {
+	return chart.Fileset{
+		"Chart.yaml": `
+name: rabbitmq
+version: 12.15.0
+appVersion: "3.12.13"
+description: RabbitMQ message broker packaged as a Kubernetes operator chart
+`,
+		"values.yaml": `
+replicaCount: 1
+image:
+  registry: docker.io
+  repository: bitnami/rabbitmq
+  tag: "3.12.13-debian-12"
+  # IfNotPresent or Always
+  pullPolicy: IfNotPresent
+auth:
+  username: user
+  password: changeme-rabbit
+  erlangCookie: secret-erlang-cookie
+clustering:
+  enabled: true
+  # hostname or ip
+  addressType: hostname
+  forceBoot: false
+containerPorts:
+  amqp: 5672
+  dist: 25672
+  manager: 15672
+  epmd: 4369
+memoryHighWatermark:
+  enabled: false
+  # absolute or relative
+  type: relative
+  value: 0.4
+podSecurityContext:
+  enabled: true
+  fsGroup: 1001
+containerSecurityContext:
+  enabled: true
+  runAsUser: 1001
+  runAsNonRoot: true
+  allowPrivilegeEscalation: false
+  readOnlyRootFilesystem: true
+resources:
+  limits:
+    cpu: 1000m
+    memory: 2Gi
+  requests:
+    cpu: 500m
+    memory: 1Gi
+service:
+  # ClusterIP or NodePort or LoadBalancer
+  type: ClusterIP
+  ports:
+    amqp: 5672
+    manager: 15672
+networkPolicy:
+  enabled: true
+  allowExternal: true
+serviceAccount:
+  create: true
+  name: ""
+rbac:
+  create: true
+pdb:
+  create: true
+  maxUnavailable: 1
+ingress:
+  enabled: true
+  hostname: rabbitmq.local
+  # Prefix or Exact
+  pathType: Prefix
+  path: /
+persistence:
+  enabled: true
+  size: 8Gi
+`,
+		"templates/_helpers.tpl": commonHelpers("rabbitmq"),
+		"templates/statefulset.yaml": `
+apiVersion: apps/v1
+kind: StatefulSet
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "rabbitmq.labels" . | nindent 4 }}
+spec:
+  replicas: {{ .Values.replicaCount }}
+  serviceName: {{ include "rabbitmq.fullname" . }}-headless
+  podManagementPolicy: OrderedReady
+  updateStrategy:
+    type: RollingUpdate
+  selector:
+    matchLabels:
+      {{- include "rabbitmq.matchLabels" . | nindent 6 }}
+  template:
+    metadata:
+      labels:
+        {{- include "rabbitmq.labels" . | nindent 8 }}
+    spec:
+      serviceAccountName: {{ include "rabbitmq.serviceAccountName" . }}
+      terminationGracePeriodSeconds: 120
+      {{- if .Values.podSecurityContext.enabled }}
+      securityContext:
+        fsGroup: {{ .Values.podSecurityContext.fsGroup }}
+      {{- end }}
+      containers:
+        - name: rabbitmq
+          image: {{ include "rabbitmq.image" . }}
+          imagePullPolicy: {{ .Values.image.pullPolicy | quote }}
+          {{- if .Values.containerSecurityContext.enabled }}
+          securityContext:
+            runAsUser: {{ .Values.containerSecurityContext.runAsUser }}
+            runAsNonRoot: {{ .Values.containerSecurityContext.runAsNonRoot }}
+            allowPrivilegeEscalation: {{ .Values.containerSecurityContext.allowPrivilegeEscalation }}
+            readOnlyRootFilesystem: {{ .Values.containerSecurityContext.readOnlyRootFilesystem }}
+          {{- end }}
+          ports:
+            - name: amqp
+              containerPort: {{ .Values.containerPorts.amqp }}
+            - name: dist
+              containerPort: {{ .Values.containerPorts.dist }}
+            - name: stats
+              containerPort: {{ .Values.containerPorts.manager }}
+            - name: epmd
+              containerPort: {{ .Values.containerPorts.epmd }}
+          env:
+            - name: RABBITMQ_USERNAME
+              value: {{ .Values.auth.username | quote }}
+            - name: RABBITMQ_PASSWORD
+              valueFrom:
+                secretKeyRef:
+                  name: {{ include "rabbitmq.fullname" . }}
+                  key: rabbitmq-password
+            - name: RABBITMQ_ERL_COOKIE
+              valueFrom:
+                secretKeyRef:
+                  name: {{ include "rabbitmq.fullname" . }}
+                  key: rabbitmq-erlang-cookie
+            {{- if .Values.clustering.enabled }}
+            - name: RABBITMQ_CLUSTER_ADDRESS_TYPE
+              value: {{ .Values.clustering.addressType | quote }}
+            - name: RABBITMQ_FORCE_BOOT
+              value: {{ .Values.clustering.forceBoot | quote }}
+            {{- end }}
+            {{- if .Values.memoryHighWatermark.enabled }}
+            - name: RABBITMQ_VM_MEMORY_HIGH_WATERMARK_TYPE
+              value: {{ .Values.memoryHighWatermark.type | quote }}
+            - name: RABBITMQ_VM_MEMORY_HIGH_WATERMARK
+              value: {{ .Values.memoryHighWatermark.value | quote }}
+            {{- end }}
+          livenessProbe:
+            exec:
+              command:
+                - /bin/sh
+                - -ec
+                - rabbitmq-diagnostics -q ping
+            initialDelaySeconds: 120
+            periodSeconds: 30
+            timeoutSeconds: 20
+          readinessProbe:
+            exec:
+              command:
+                - /bin/sh
+                - -ec
+                - rabbitmq-diagnostics -q check_running
+            initialDelaySeconds: 10
+            periodSeconds: 30
+            timeoutSeconds: 20
+          resources:
+            {{- toYaml .Values.resources | nindent 12 }}
+          volumeMounts:
+            - name: data
+              mountPath: /bitnami/rabbitmq/mnesia
+      {{- if not .Values.persistence.enabled }}
+      volumes:
+        - name: data
+          emptyDir: {}
+      {{- end }}
+  {{- if .Values.persistence.enabled }}
+  volumeClaimTemplates:
+    - metadata:
+        name: data
+      spec:
+        accessModes:
+          - ReadWriteOnce
+        resources:
+          requests:
+            storage: {{ .Values.persistence.size | quote }}
+  {{- end }}
+`,
+		"templates/service.yaml": `
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "rabbitmq.labels" . | nindent 4 }}
+spec:
+  type: {{ .Values.service.type }}
+  ports:
+    - name: amqp
+      port: {{ .Values.service.ports.amqp }}
+      targetPort: amqp
+      protocol: TCP
+    - name: stats
+      port: {{ .Values.service.ports.manager }}
+      targetPort: stats
+      protocol: TCP
+  selector:
+    {{- include "rabbitmq.matchLabels" . | nindent 4 }}
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}-headless
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "rabbitmq.labels" . | nindent 4 }}
+spec:
+  type: ClusterIP
+  clusterIP: None
+  publishNotReadyAddresses: true
+  ports:
+    - name: epmd
+      port: {{ .Values.containerPorts.epmd }}
+      targetPort: epmd
+    - name: amqp
+      port: {{ .Values.containerPorts.amqp }}
+      targetPort: amqp
+    - name: dist
+      port: {{ .Values.containerPorts.dist }}
+      targetPort: dist
+  selector:
+    {{- include "rabbitmq.matchLabels" . | nindent 4 }}
+`,
+		"templates/networkpolicy.yaml": `
+{{- if .Values.networkPolicy.enabled }}
+apiVersion: networking.k8s.io/v1
+kind: NetworkPolicy
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "rabbitmq.labels" . | nindent 4 }}
+spec:
+  podSelector:
+    matchLabels:
+      {{- include "rabbitmq.matchLabels" . | nindent 6 }}
+  policyTypes:
+    - Ingress
+  ingress:
+    - ports:
+        - port: {{ .Values.containerPorts.amqp }}
+        - port: {{ .Values.containerPorts.manager }}
+        - port: {{ .Values.containerPorts.epmd }}
+        - port: {{ .Values.containerPorts.dist }}
+      {{- if not .Values.networkPolicy.allowExternal }}
+      from:
+        - podSelector:
+            matchLabels:
+              {{ include "rabbitmq.fullname" . }}-client: "true"
+        - podSelector:
+            matchLabels:
+              {{- include "rabbitmq.matchLabels" . | nindent 14 }}
+      {{- end }}
+{{- end }}
+`,
+		"templates/serviceaccount.yaml": `
+{{- if .Values.serviceAccount.create }}
+apiVersion: v1
+kind: ServiceAccount
+metadata:
+  name: {{ include "rabbitmq.serviceAccountName" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "rabbitmq.labels" . | nindent 4 }}
+automountServiceAccountToken: true
+secrets:
+  - name: {{ include "rabbitmq.fullname" . }}
+{{- end }}
+`,
+		"templates/secret.yaml": `
+apiVersion: v1
+kind: Secret
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "rabbitmq.labels" . | nindent 4 }}
+type: Opaque
+stringData:
+  rabbitmq-password: {{ .Values.auth.password | quote }}
+  rabbitmq-erlang-cookie: {{ .Values.auth.erlangCookie | quote }}
+`,
+		"templates/role.yaml": `
+{{- if .Values.rbac.create }}
+apiVersion: rbac.authorization.k8s.io/v1
+kind: Role
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}-endpoint-reader
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "rabbitmq.labels" . | nindent 4 }}
+rules:
+  - apiGroups:
+      - ""
+    resources:
+      - endpoints
+    verbs:
+      - get
+  - apiGroups:
+      - ""
+    resources:
+      - events
+    verbs:
+      - create
+{{- end }}
+`,
+		"templates/rolebinding.yaml": `
+{{- if .Values.rbac.create }}
+apiVersion: rbac.authorization.k8s.io/v1
+kind: RoleBinding
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}-endpoint-reader
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "rabbitmq.labels" . | nindent 4 }}
+roleRef:
+  apiGroup: rbac.authorization.k8s.io
+  kind: Role
+  name: {{ include "rabbitmq.fullname" . }}-endpoint-reader
+subjects:
+  - kind: ServiceAccount
+    name: {{ include "rabbitmq.serviceAccountName" . }}
+    namespace: {{ .Release.Namespace }}
+{{- end }}
+`,
+		"templates/pdb.yaml": `
+{{- if .Values.pdb.create }}
+apiVersion: policy/v1
+kind: PodDisruptionBudget
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "rabbitmq.labels" . | nindent 4 }}
+spec:
+  maxUnavailable: {{ .Values.pdb.maxUnavailable }}
+  selector:
+    matchLabels:
+      {{- include "rabbitmq.matchLabels" . | nindent 6 }}
+{{- end }}
+`,
+		"templates/ingress.yaml": `
+{{- if .Values.ingress.enabled }}
+apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: {{ include "rabbitmq.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "rabbitmq.labels" . | nindent 4 }}
+spec:
+  rules:
+    - host: {{ .Values.ingress.hostname | quote }}
+      http:
+        paths:
+          - path: {{ .Values.ingress.path }}
+            pathType: {{ .Values.ingress.pathType }}
+            backend:
+              service:
+                name: {{ include "rabbitmq.fullname" . }}
+                port:
+                  name: stats
+{{- end }}
+`,
+	}
+}

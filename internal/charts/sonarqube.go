@@ -1,0 +1,580 @@
+package charts
+
+import "repro/internal/chart"
+
+// sonarqubeChart re-creates the openshift-bootstraps/sonarqube operator
+// footprint — the widest of the corpus (paper Fig. 9, row 5): Deployment
+// (app), StatefulSet (embedded search node), Pod (helm-test style
+// connectivity check), Job (bootstrap/migration), Service, ConfigMap,
+// NetworkPolicy, Ingress, IngressClass, ServiceAccount,
+// PersistentVolumeClaim, ValidatingWebhookConfiguration (config guard),
+// Secret, Role, RoleBinding, ClusterRole, ClusterRoleBinding.
+func sonarqubeChart() chart.Fileset {
+	return chart.Fileset{
+		"Chart.yaml": `
+name: sonarqube
+version: 10.4.0
+appVersion: "10.4.1"
+description: SonarQube code-quality and security platform
+`,
+		"values.yaml": `
+replicaCount: 1
+image:
+  registry: docker.io
+  repository: bitnami/sonarqube
+  tag: "10.4.1-debian-12"
+  # IfNotPresent or Always
+  pullPolicy: IfNotPresent
+auth:
+  adminUser: admin
+  adminPassword: changeme-sonar
+search:
+  enabled: true
+  replicaCount: 1
+  heapSize: 512m
+  persistence:
+    size: 5Gi
+jvm:
+  xmx: 2G
+  xms: 1G
+monitoring:
+  # Passcode for liveness checks of the web server
+  passcode: sonar-liveness
+containerPorts:
+  http: 9000
+  search: 9001
+podSecurityContext:
+  enabled: true
+  fsGroup: 1000
+containerSecurityContext:
+  enabled: true
+  runAsUser: 1000
+  runAsNonRoot: true
+  allowPrivilegeEscalation: false
+  readOnlyRootFilesystem: true
+resources:
+  limits:
+    cpu: 2000m
+    memory: 4Gi
+  requests:
+    cpu: 500m
+    memory: 2Gi
+service:
+  # ClusterIP or NodePort
+  type: ClusterIP
+  port: 9000
+networkPolicy:
+  enabled: true
+persistence:
+  enabled: true
+  size: 10Gi
+  # ReadWriteOnce or ReadWriteMany
+  accessMode: ReadWriteOnce
+serviceAccount:
+  create: true
+  name: ""
+rbac:
+  create: true
+  clusterWide: true
+ingress:
+  enabled: true
+  createIngressClass: true
+  className: sonarqube-nginx
+  host: sonarqube.local
+  path: /
+  # Prefix or Exact
+  pathType: Prefix
+bootstrapJob:
+  enabled: true
+  backoffLimit: 3
+webhookGuard:
+  enabled: true
+  # Fail or Ignore
+  failurePolicy: Fail
+tests:
+  enabled: true
+`,
+		"templates/_helpers.tpl": commonHelpers("sonarqube"),
+		"templates/deployment.yaml": `
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: {{ include "sonarqube.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+spec:
+  replicas: {{ .Values.replicaCount }}
+  selector:
+    matchLabels:
+      {{- include "sonarqube.matchLabels" . | nindent 6 }}
+  strategy:
+    type: Recreate
+  template:
+    metadata:
+      labels:
+        {{- include "sonarqube.labels" . | nindent 8 }}
+    spec:
+      serviceAccountName: {{ include "sonarqube.serviceAccountName" . }}
+      {{- if .Values.podSecurityContext.enabled }}
+      securityContext:
+        fsGroup: {{ .Values.podSecurityContext.fsGroup }}
+      {{- end }}
+      initContainers:
+        - name: init-sysctl
+          image: {{ include "sonarqube.image" . }}
+          imagePullPolicy: {{ .Values.image.pullPolicy | quote }}
+          securityContext:
+            runAsNonRoot: true
+            allowPrivilegeEscalation: false
+          resources:
+            requests:
+              cpu: 50m
+              memory: 64Mi
+      containers:
+        - name: sonarqube
+          image: {{ include "sonarqube.image" . }}
+          imagePullPolicy: {{ .Values.image.pullPolicy | quote }}
+          {{- if .Values.containerSecurityContext.enabled }}
+          securityContext:
+            runAsUser: {{ .Values.containerSecurityContext.runAsUser }}
+            runAsNonRoot: {{ .Values.containerSecurityContext.runAsNonRoot }}
+            allowPrivilegeEscalation: {{ .Values.containerSecurityContext.allowPrivilegeEscalation }}
+            readOnlyRootFilesystem: {{ .Values.containerSecurityContext.readOnlyRootFilesystem }}
+          {{- end }}
+          ports:
+            - name: http
+              containerPort: {{ .Values.containerPorts.http }}
+          env:
+            - name: SONAR_WEB_JAVAOPTS
+              value: "-Xmx{{ .Values.jvm.xmx }} -Xms{{ .Values.jvm.xms }}"
+            - name: SONAR_WEB_SYSTEMPASSCODE
+              valueFrom:
+                secretKeyRef:
+                  name: {{ include "sonarqube.fullname" . }}-monitoring
+                  key: passcode
+            {{- if .Values.search.enabled }}
+            - name: SONAR_ES_BOOTSTRAP_CHECKS_DISABLE
+              value: "true"
+            {{- end }}
+          livenessProbe:
+            httpGet:
+              path: /api/system/liveness
+              port: http
+            initialDelaySeconds: 60
+            periodSeconds: 30
+          readinessProbe:
+            httpGet:
+              path: /api/system/status
+              port: http
+            initialDelaySeconds: 30
+            periodSeconds: 30
+          resources:
+            {{- toYaml .Values.resources | nindent 12 }}
+          volumeMounts:
+            - name: data
+              mountPath: /opt/sonarqube/data
+            - name: config
+              mountPath: /opt/sonarqube/conf
+      volumes:
+        - name: data
+          {{- if .Values.persistence.enabled }}
+          persistentVolumeClaim:
+            claimName: {{ include "sonarqube.fullname" . }}-data
+          {{- else }}
+          emptyDir: {}
+          {{- end }}
+        - name: config
+          configMap:
+            name: {{ include "sonarqube.fullname" . }}-config
+`,
+		"templates/search-statefulset.yaml": `
+{{- if .Values.search.enabled }}
+apiVersion: apps/v1
+kind: StatefulSet
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-search
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+spec:
+  replicas: {{ .Values.search.replicaCount }}
+  serviceName: {{ include "sonarqube.fullname" . }}-search
+  selector:
+    matchLabels:
+      {{- include "sonarqube.matchLabels" . | nindent 6 }}
+  template:
+    metadata:
+      labels:
+        {{- include "sonarqube.labels" . | nindent 8 }}
+    spec:
+      serviceAccountName: {{ include "sonarqube.serviceAccountName" . }}
+      containers:
+        - name: search
+          image: {{ include "sonarqube.image" . }}
+          imagePullPolicy: {{ .Values.image.pullPolicy | quote }}
+          securityContext:
+            runAsNonRoot: true
+            allowPrivilegeEscalation: false
+          ports:
+            - name: search
+              containerPort: {{ .Values.containerPorts.search }}
+          env:
+            - name: SONAR_SEARCH_JAVAOPTS
+              value: "-Xmx{{ .Values.search.heapSize }} -Xms{{ .Values.search.heapSize }}"
+          readinessProbe:
+            tcpSocket:
+              port: search
+            initialDelaySeconds: 20
+          resources:
+            requests:
+              cpu: 250m
+              memory: 1Gi
+          volumeMounts:
+            - name: search-data
+              mountPath: /opt/sonarqube/es
+  volumeClaimTemplates:
+    - metadata:
+        name: search-data
+      spec:
+        accessModes:
+          - ReadWriteOnce
+        resources:
+          requests:
+            storage: {{ .Values.search.persistence.size | quote }}
+{{- end }}
+`,
+		"templates/test-pod.yaml": `
+{{- if .Values.tests.enabled }}
+apiVersion: v1
+kind: Pod
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-test
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+  annotations:
+    helm.sh/hook: test
+spec:
+  restartPolicy: Never
+  serviceAccountName: {{ include "sonarqube.serviceAccountName" . }}
+  containers:
+    - name: curl
+      image: {{ include "sonarqube.image" . }}
+      imagePullPolicy: {{ .Values.image.pullPolicy | quote }}
+      securityContext:
+        runAsNonRoot: true
+        allowPrivilegeEscalation: false
+      env:
+        - name: TARGET_URL
+          value: "http://{{ include "sonarqube.fullname" . }}:{{ .Values.service.port }}/api/system/status"
+      resources:
+        requests:
+          cpu: 50m
+          memory: 64Mi
+{{- end }}
+`,
+		"templates/bootstrap-job.yaml": `
+{{- if .Values.bootstrapJob.enabled }}
+apiVersion: batch/v1
+kind: Job
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-bootstrap
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+spec:
+  backoffLimit: {{ .Values.bootstrapJob.backoffLimit }}
+  template:
+    metadata:
+      labels:
+        {{- include "sonarqube.labels" . | nindent 8 }}
+    spec:
+      restartPolicy: OnFailure
+      serviceAccountName: {{ include "sonarqube.serviceAccountName" . }}
+      containers:
+        - name: bootstrap
+          image: {{ include "sonarqube.image" . }}
+          imagePullPolicy: {{ .Values.image.pullPolicy | quote }}
+          securityContext:
+            runAsNonRoot: true
+            allowPrivilegeEscalation: false
+          env:
+            - name: SONAR_ADMIN_USER
+              value: {{ .Values.auth.adminUser | quote }}
+            - name: SONAR_ADMIN_PASSWORD
+              valueFrom:
+                secretKeyRef:
+                  name: {{ include "sonarqube.fullname" . }}-admin
+                  key: admin-password
+          resources:
+            requests:
+              cpu: 100m
+              memory: 128Mi
+{{- end }}
+`,
+		"templates/service.yaml": `
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "sonarqube.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+spec:
+  type: {{ .Values.service.type }}
+  ports:
+    - name: http
+      port: {{ .Values.service.port }}
+      targetPort: http
+      protocol: TCP
+  selector:
+    {{- include "sonarqube.matchLabels" . | nindent 4 }}
+---
+{{- if .Values.search.enabled }}
+apiVersion: v1
+kind: Service
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-search
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+spec:
+  type: ClusterIP
+  clusterIP: None
+  ports:
+    - name: search
+      port: {{ .Values.containerPorts.search }}
+      targetPort: search
+  selector:
+    {{- include "sonarqube.matchLabels" . | nindent 4 }}
+{{- end }}
+`,
+		"templates/configmap.yaml": `
+apiVersion: v1
+kind: ConfigMap
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-config
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+data:
+  sonar.properties: |
+    sonar.web.port={{ .Values.containerPorts.http }}
+    sonar.search.port={{ .Values.containerPorts.search }}
+  wrapper.conf: |
+    wrapper.java.maxmemory={{ .Values.jvm.xmx }}
+`,
+		"templates/secret.yaml": `
+apiVersion: v1
+kind: Secret
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-admin
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+type: Opaque
+stringData:
+  admin-user: {{ .Values.auth.adminUser | quote }}
+  admin-password: {{ .Values.auth.adminPassword | quote }}
+---
+apiVersion: v1
+kind: Secret
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-monitoring
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+type: Opaque
+stringData:
+  passcode: {{ .Values.monitoring.passcode | quote }}
+`,
+		"templates/networkpolicy.yaml": `
+{{- if .Values.networkPolicy.enabled }}
+apiVersion: networking.k8s.io/v1
+kind: NetworkPolicy
+metadata:
+  name: {{ include "sonarqube.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+spec:
+  podSelector:
+    matchLabels:
+      {{- include "sonarqube.matchLabels" . | nindent 6 }}
+  policyTypes:
+    - Ingress
+  ingress:
+    - ports:
+        - port: {{ .Values.containerPorts.http }}
+        - port: {{ .Values.containerPorts.search }}
+{{- end }}
+`,
+		"templates/pvc.yaml": `
+{{- if .Values.persistence.enabled }}
+apiVersion: v1
+kind: PersistentVolumeClaim
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-data
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+spec:
+  accessModes:
+    - {{ .Values.persistence.accessMode }}
+  resources:
+    requests:
+      storage: {{ .Values.persistence.size | quote }}
+{{- end }}
+`,
+		"templates/serviceaccount.yaml": `
+{{- if .Values.serviceAccount.create }}
+apiVersion: v1
+kind: ServiceAccount
+metadata:
+  name: {{ include "sonarqube.serviceAccountName" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+automountServiceAccountToken: true
+{{- end }}
+`,
+		"templates/rbac.yaml": `
+{{- if .Values.rbac.create }}
+apiVersion: rbac.authorization.k8s.io/v1
+kind: Role
+metadata:
+  name: {{ include "sonarqube.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+rules:
+  - apiGroups:
+      - ""
+    resources:
+      - configmaps
+      - secrets
+    verbs:
+      - get
+      - list
+---
+apiVersion: rbac.authorization.k8s.io/v1
+kind: RoleBinding
+metadata:
+  name: {{ include "sonarqube.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+roleRef:
+  apiGroup: rbac.authorization.k8s.io
+  kind: Role
+  name: {{ include "sonarqube.fullname" . }}
+subjects:
+  - kind: ServiceAccount
+    name: {{ include "sonarqube.serviceAccountName" . }}
+    namespace: {{ .Release.Namespace }}
+{{- end }}
+{{- if and .Values.rbac.create .Values.rbac.clusterWide }}
+---
+apiVersion: rbac.authorization.k8s.io/v1
+kind: ClusterRole
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-webhook-reader
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+rules:
+  - apiGroups:
+      - admissionregistration.k8s.io
+    resources:
+      - validatingwebhookconfigurations
+    verbs:
+      - get
+      - list
+      - watch
+---
+apiVersion: rbac.authorization.k8s.io/v1
+kind: ClusterRoleBinding
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-webhook-reader
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+roleRef:
+  apiGroup: rbac.authorization.k8s.io
+  kind: ClusterRole
+  name: {{ include "sonarqube.fullname" . }}-webhook-reader
+subjects:
+  - kind: ServiceAccount
+    name: {{ include "sonarqube.serviceAccountName" . }}
+    namespace: {{ .Release.Namespace }}
+{{- end }}
+`,
+		"templates/ingress.yaml": `
+{{- if .Values.ingress.enabled }}
+{{- if .Values.ingress.createIngressClass }}
+apiVersion: networking.k8s.io/v1
+kind: IngressClass
+metadata:
+  name: {{ .Values.ingress.className }}
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+spec:
+  controller: k8s.io/ingress-nginx
+---
+{{- end }}
+apiVersion: networking.k8s.io/v1
+kind: Ingress
+metadata:
+  name: {{ include "sonarqube.fullname" . }}
+  namespace: {{ .Release.Namespace }}
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+spec:
+  ingressClassName: {{ .Values.ingress.className }}
+  rules:
+    - host: {{ .Values.ingress.host | quote }}
+      http:
+        paths:
+          - path: {{ .Values.ingress.path }}
+            pathType: {{ .Values.ingress.pathType }}
+            backend:
+              service:
+                name: {{ include "sonarqube.fullname" . }}
+                port:
+                  name: http
+{{- end }}
+`,
+		"templates/webhook.yaml": `
+{{- if .Values.webhookGuard.enabled }}
+apiVersion: admissionregistration.k8s.io/v1
+kind: ValidatingWebhookConfiguration
+metadata:
+  name: {{ include "sonarqube.fullname" . }}-config-guard
+  labels:
+    {{- include "sonarqube.labels" . | nindent 4 }}
+webhooks:
+  - name: config-guard.sonarqube.io
+    clientConfig:
+      service:
+        namespace: {{ .Release.Namespace }}
+        name: {{ include "sonarqube.fullname" . }}
+        path: /admission/validate
+        port: {{ .Values.service.port }}
+    rules:
+      - apiGroups:
+          - ""
+        apiVersions:
+          - v1
+        operations:
+          - UPDATE
+        resources:
+          - configmaps
+        scope: Namespaced
+    failurePolicy: {{ .Values.webhookGuard.failurePolicy }}
+    sideEffects: None
+    timeoutSeconds: 10
+    admissionReviewVersions:
+      - v1
+{{- end }}
+`,
+	}
+}

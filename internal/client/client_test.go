@@ -1,0 +1,148 @@
+package client
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/object"
+)
+
+func TestErrorClassifiers(t *testing.T) {
+	tests := []struct {
+		code      int
+		forbidden bool
+		notFound  bool
+		conflict  bool
+	}{
+		{403, true, false, false},
+		{404, false, true, false},
+		{409, false, false, true},
+		{500, false, false, false},
+	}
+	for _, tt := range tests {
+		err := &APIError{Code: tt.code, Message: "m", Reason: "r"}
+		if IsForbidden(err) != tt.forbidden {
+			t.Errorf("IsForbidden(%d) = %v", tt.code, IsForbidden(err))
+		}
+		if IsNotFound(err) != tt.notFound {
+			t.Errorf("IsNotFound(%d) = %v", tt.code, IsNotFound(err))
+		}
+		if IsConflict(err) != tt.conflict {
+			t.Errorf("IsConflict(%d) = %v", tt.code, IsConflict(err))
+		}
+	}
+	// Non-APIError values classify as nothing.
+	if IsForbidden(nil) || IsNotFound(errPlain) || IsConflict(errPlain) {
+		t.Error("plain errors must not classify")
+	}
+}
+
+var errPlain = &plainError{}
+
+type plainError struct{}
+
+func (*plainError) Error() string { return "plain" }
+
+func TestUnknownKindErrors(t *testing.T) {
+	c := New("http://127.0.0.1:0")
+	if _, err := c.Create(object.Object{"kind": "Widget", "metadata": map[string]any{"name": "x"}}); err == nil {
+		t.Error("unknown kind should error before any network call")
+	}
+	if _, err := c.Get("Widget", "", "x"); err == nil {
+		t.Error("unknown kind get should error")
+	}
+	if err := c.Delete("Widget", "", "x"); err == nil {
+		t.Error("unknown kind delete should error")
+	}
+	if _, err := c.List("Widget", ""); err == nil {
+		t.Error("unknown kind list should error")
+	}
+	if _, err := c.Update(object.Object{"kind": "Pod", "metadata": map[string]any{}}); err == nil {
+		t.Error("update without name should error")
+	}
+}
+
+// TestApplyFallsBackToUpdate verifies the kubectl-apply semantics against
+// a stub server that returns 409 on create.
+func TestApplyFallsBackToUpdate(t *testing.T) {
+	var puts atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			w.WriteHeader(http.StatusConflict)
+			_ = json.NewEncoder(w).Encode(map[string]any{"message": "exists", "reason": "AlreadyExists"})
+		case http.MethodPut:
+			puts.Add(1)
+			var body map[string]any
+			_ = json.NewDecoder(r.Body).Decode(&body)
+			// The stale resourceVersion must have been stripped.
+			if md, ok := body["metadata"].(map[string]any); ok {
+				if _, has := md["resourceVersion"]; has {
+					w.WriteHeader(http.StatusBadRequest)
+					return
+				}
+			}
+			w.WriteHeader(http.StatusOK)
+			_ = json.NewEncoder(w).Encode(body)
+		}
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL, WithUser("u"))
+	pod := object.Object{
+		"apiVersion": "v1", "kind": "Pod",
+		"metadata": map[string]any{
+			"name": "p", "namespace": "default", "resourceVersion": "stale",
+		},
+	}
+	if _, err := c.Apply(pod); err != nil {
+		t.Fatalf("apply: %v", err)
+	}
+	if puts.Load() != 1 {
+		t.Errorf("puts = %d, want 1", puts.Load())
+	}
+	// The caller's object is untouched.
+	if _, ok := object.Get(pod, "metadata.resourceVersion"); !ok {
+		t.Error("Apply mutated the caller's object")
+	}
+}
+
+func TestIdentityHeadersSent(t *testing.T) {
+	var gotUser string
+	var gotGroups []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotUser = r.Header.Get("X-Remote-User")
+		gotGroups = r.Header.Values("X-Remote-Group")
+		_ = json.NewEncoder(w).Encode(map[string]any{})
+	}))
+	defer ts.Close()
+	c := New(ts.URL, WithUser("alice", "devs", "oncall"))
+	if _, err := c.Get("Pod", "default", "x"); err != nil {
+		t.Fatal(err)
+	}
+	if gotUser != "alice" || len(gotGroups) != 2 {
+		t.Errorf("user = %q groups = %v", gotUser, gotGroups)
+	}
+}
+
+func TestServerErrorMessageSurfaced(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusForbidden)
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"message": "blocked by KubeFence policy", "reason": "KubeFencePolicyViolation",
+		})
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	_, err := c.Get("Pod", "default", "x")
+	ae, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("err = %T", err)
+	}
+	if ae.Reason != "KubeFencePolicyViolation" || ae.Message == "" {
+		t.Errorf("error = %+v", ae)
+	}
+}

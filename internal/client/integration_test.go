@@ -1,0 +1,117 @@
+package client
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/apiserver"
+	"repro/internal/object"
+	"repro/internal/store"
+)
+
+func newServer(t *testing.T) *Client {
+	t.Helper()
+	api, err := apiserver.New(apiserver.Config{Store: store.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+	return New(ts.URL, WithUser("tester"))
+}
+
+func cm(name, v string) object.Object {
+	return object.Object{
+		"apiVersion": "v1", "kind": "ConfigMap",
+		"metadata": map[string]any{"name": name, "namespace": "default"},
+		"data":     map[string]any{"k": v},
+	}
+}
+
+func TestCRUDAgainstServer(t *testing.T) {
+	c := newServer(t)
+	if _, err := c.Create(cm("a", "1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get("ConfigMap", "default", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := object.Get(got, "data.k"); v != "1" {
+		t.Errorf("data = %v", v)
+	}
+	got["data"].(map[string]any)["k"] = "2"
+	if _, err := c.Update(got); err != nil {
+		t.Fatal(err)
+	}
+	list, err := c.List("ConfigMap", "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 {
+		t.Errorf("list = %d", len(list))
+	}
+	if err := c.Delete("ConfigMap", "default", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get("ConfigMap", "default", "a"); !IsNotFound(err) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestApplyAllStopsOnFirstError(t *testing.T) {
+	c := newServer(t)
+	objs := []object.Object{
+		cm("ok", "1"),
+		{"apiVersion": "v1", "kind": "ConfigMap", "metadata": map[string]any{"namespace": "default"}}, // no name
+		cm("never", "2"),
+	}
+	if err := c.ApplyAll(objs); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := c.Get("ConfigMap", "default", "ok"); err != nil {
+		t.Errorf("first object should exist: %v", err)
+	}
+	if _, err := c.Get("ConfigMap", "default", "never"); !IsNotFound(err) {
+		t.Error("third object should not have been applied")
+	}
+}
+
+func TestHealthzAgainstServer(t *testing.T) {
+	c := newServer(t)
+	if err := c.Healthz(); err != nil {
+		t.Error(err)
+	}
+	dead := New("http://127.0.0.1:1")
+	if err := dead.Healthz(); err == nil {
+		t.Error("dead server should fail healthz")
+	}
+}
+
+func TestWatchThroughClient(t *testing.T) {
+	c := newServer(t)
+	events, cancel, err := c.Watch("ConfigMap", "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	if _, err := c.Create(cm("watched", "1")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Type != "ADDED" || ev.Object.Name() != "watched" {
+			t.Errorf("event = %+v", ev)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no event")
+	}
+}
+
+func TestWatchUnknownKind(t *testing.T) {
+	c := newServer(t)
+	if _, _, err := c.Watch("Widget", ""); err == nil {
+		t.Error("unknown kind should error")
+	}
+}

@@ -1,0 +1,125 @@
+// Package core wires the KubeFence policy-generation pipeline end to end
+// (paper §V, Fig. 6): values-schema generation → configuration-space
+// exploration → manifest rendering → validator consolidation. It is the
+// engine behind the public kubefence package, the CLIs, and the
+// experiment harness.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chart"
+	"repro/internal/explore"
+	"repro/internal/object"
+	"repro/internal/schema"
+	"repro/internal/validator"
+)
+
+// Options configure policy generation.
+type Options struct {
+	// Workload names the policy; defaults to the chart name.
+	Workload string
+	// ReleaseName is the sentinel release used for rendering; release-
+	// dependent values generalize to type string. Defaults to
+	// "kfrelease".
+	ReleaseName string
+	// Namespace used for rendering. Defaults to "default".
+	Namespace string
+	// Schema options (security locks).
+	Schema schema.Options
+	// Mode is the lock-enforcement mode of the resulting validator.
+	Mode validator.LockMode
+	// Exploration selects the variant-generation strategy.
+	Exploration Exploration
+	// CartesianLimit bounds ExplorationCartesian: 0 means the default cap
+	// of 256 variants, negative means unlimited (the full product —
+	// beware exponential blowup).
+	CartesianLimit int
+}
+
+// Exploration selects how the configuration space is covered.
+type Exploration int
+
+// Exploration strategies.
+const (
+	// ExplorationCovering is the paper's strategy: one variant per enum
+	// index, up to the longest enum list.
+	ExplorationCovering Exploration = iota
+	// ExplorationCartesian renders the full product of enum options
+	// (ablation baseline; exponential).
+	ExplorationCartesian
+)
+
+// Result is a generated policy with its intermediate artifacts.
+type Result struct {
+	// Workload names the policy.
+	Workload string
+	// Schema is the generalized values schema (phase 1).
+	Schema *schema.Schema
+	// Variants counts the rendered values variants (phase 2).
+	Variants int
+	// Manifests counts the consolidated manifest objects (phase 3).
+	Manifests int
+	// Validator is the enforced policy (phase 4).
+	Validator *validator.Validator
+}
+
+// GeneratePolicy runs the full pipeline for one chart.
+func GeneratePolicy(c *chart.Chart, opts Options) (*Result, error) {
+	if opts.Workload == "" {
+		opts.Workload = c.Name
+	}
+	if opts.ReleaseName == "" {
+		opts.ReleaseName = "kfrelease"
+	}
+	if opts.Namespace == "" {
+		opts.Namespace = "default"
+	}
+
+	s, err := schema.Generate(c, opts.Schema)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: schema generation: %w", opts.Workload, err)
+	}
+
+	var variants []map[string]any
+	switch opts.Exploration {
+	case ExplorationCartesian:
+		limit := opts.CartesianLimit
+		switch {
+		case limit == 0:
+			limit = 256
+		case limit < 0:
+			limit = 0 // explore.CartesianVariants treats 0 as unlimited
+		}
+		variants = explore.CartesianVariants(s, limit)
+	default:
+		variants = explore.Variants(s)
+	}
+
+	var corpus []object.Object
+	rel := chart.ReleaseOptions{Name: opts.ReleaseName, Namespace: opts.Namespace}
+	for i, v := range variants {
+		files, err := c.RenderWithValues(v, rel)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: rendering variant %d/%d: %w",
+				opts.Workload, i+1, len(variants), err)
+		}
+		corpus = append(corpus, chart.Objects(files)...)
+	}
+
+	val, err := validator.Build(corpus, validator.BuildOptions{
+		Workload:    opts.Workload,
+		ReleaseName: opts.ReleaseName,
+		Mode:        opts.Mode,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: consolidating validator: %w", opts.Workload, err)
+	}
+	return &Result{
+		Workload:  opts.Workload,
+		Schema:    s,
+		Variants:  len(variants),
+		Manifests: len(corpus),
+		Validator: val,
+	}, nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/charts"
+	"repro/internal/validator"
+)
+
+func TestGeneratePolicyDefaults(t *testing.T) {
+	res, err := GeneratePolicy(charts.MustLoad("nginx"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "nginx" {
+		t.Errorf("workload = %q (should default to chart name)", res.Workload)
+	}
+	if res.Variants < 2 {
+		t.Errorf("variants = %d", res.Variants)
+	}
+	if res.Manifests == 0 {
+		t.Error("no manifests consolidated")
+	}
+	if res.Schema == nil || res.Validator == nil {
+		t.Error("missing pipeline artifacts")
+	}
+	if res.Validator.Mode != validator.LockIfPresent {
+		t.Errorf("mode = %v, want default LockIfPresent", res.Validator.Mode)
+	}
+}
+
+func TestGeneratePolicyStrictMode(t *testing.T) {
+	res, err := GeneratePolicy(charts.MustLoad("mlflow"), Options{
+		Workload: "custom-name",
+		Mode:     validator.LockRequired,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "custom-name" {
+		t.Errorf("workload = %q", res.Workload)
+	}
+	if res.Validator.Mode != validator.LockRequired {
+		t.Errorf("mode = %v", res.Validator.Mode)
+	}
+}
+
+func TestGeneratePolicyCartesianEquivalence(t *testing.T) {
+	// The paper's covering exploration and the exhaustive cartesian
+	// product must consolidate to the same validator when enum choices do
+	// not interact across fields: covering every enum value once suffices.
+	// This is the correctness side of the exploration ablation.
+	cov, err := GeneratePolicy(charts.MustLoad("mlflow"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cart, err := GeneratePolicy(charts.MustLoad("mlflow"), Options{
+		Exploration:    ExplorationCartesian,
+		CartesianLimit: -1, // full product
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cart.Variants <= cov.Variants {
+		t.Errorf("cartesian variants (%d) should exceed covering (%d)",
+			cart.Variants, cov.Variants)
+	}
+	a, err := cov.Validator.MarshalYAML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cart.Validator.MarshalYAML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("covering and cartesian exploration produced different validators")
+	}
+}
+
+func TestGeneratePolicyCartesianLimit(t *testing.T) {
+	res, err := GeneratePolicy(charts.MustLoad("nginx"), Options{
+		Exploration:    ExplorationCartesian,
+		CartesianLimit: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Variants != 7 {
+		t.Errorf("variants = %d, want limit 7", res.Variants)
+	}
+}

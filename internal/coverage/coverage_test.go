@@ -1,0 +1,143 @@
+package coverage
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCorpusMarginals(t *testing.T) {
+	c := BuildCorpus()
+	if len(c.Tests) != 6580 {
+		t.Errorf("tests = %d, want 6580", len(c.Tests))
+	}
+	if len(c.CVEs) != 49 {
+		t.Errorf("CVEs = %d, want 49", len(c.CVEs))
+	}
+	byCat := map[string]int{}
+	for _, tst := range c.Tests {
+		byCat[tst.Category] = byCat[tst.Category] + 1
+	}
+	if len(byCat) != 12 {
+		t.Errorf("categories = %d, want 12", len(byCat))
+	}
+	if byCat["storage"] != 5620 {
+		t.Errorf("storage tests = %d, want 5620", byCat["storage"])
+	}
+	nonStorage := 0
+	for cat, n := range byCat {
+		if cat != "storage" {
+			nonStorage += n
+		}
+	}
+	if nonStorage != 960 {
+		t.Errorf("non-storage tests = %d, want 960", nonStorage)
+	}
+}
+
+func TestCVSSRange(t *testing.T) {
+	// Paper: CVSS scores from 2.6 (low) to 9.8 (high criticality).
+	c := BuildCorpus()
+	lo, hi := 10.0, 0.0
+	for _, cve := range c.CVEs {
+		if cve.CVSS < lo {
+			lo = cve.CVSS
+		}
+		if cve.CVSS > hi {
+			hi = cve.CVSS
+		}
+		if len(cve.VulnerableFiles) == 0 {
+			t.Errorf("%s has no vulnerable files mapped", cve.ID)
+		}
+	}
+	if lo < 2.0 || lo > 4.0 {
+		t.Errorf("min CVSS = %.1f, want low-severity floor near 2.6", lo)
+	}
+	if hi != 9.8 {
+		t.Errorf("max CVSS = %.1f, want 9.8", hi)
+	}
+}
+
+func TestAnalyzeReproducesPaperFindings(t *testing.T) {
+	m := Analyze(BuildCorpus())
+
+	// Paper: only 29 of 6,580 tests (< 0.5%) exercise vulnerable code.
+	if m.CoveringTests != 29 {
+		t.Errorf("covering tests = %d, want 29", m.CoveringTests)
+	}
+	if pct := 100 * float64(m.CoveringTests) / float64(m.TotalTests); pct >= 0.5 {
+		t.Errorf("covering fraction = %.3f%%, want < 0.5%%", pct)
+	}
+	// Paper: excluding storage, 21 of 960 (≈ 2%).
+	if m.CoveringOutsideLargest != 21 {
+		t.Errorf("non-storage covering = %d, want 21", m.CoveringOutsideLargest)
+	}
+	if m.TestsOutsideLargest != 960 {
+		t.Errorf("non-storage tests = %d, want 960", m.TestsOutsideLargest)
+	}
+	// Paper: the figure shows 3 CVEs with coverage; the other 46 have
+	// none.
+	covered := m.CoveredCVEs()
+	if len(covered) != 3 {
+		t.Errorf("covered CVEs = %v, want 3", covered)
+	}
+	// CVE-2023-2431: exactly two storage tests (the paper's example).
+	if got := m.Cells["CVE-2023-2431"]["storage"]; got != 2 {
+		t.Errorf("CVE-2023-2431 storage tests = %d, want 2", got)
+	}
+	for cat, n := range m.Cells["CVE-2023-2431"] {
+		if cat != "storage" && n != 0 {
+			t.Errorf("CVE-2023-2431 unexpectedly covered from %s", cat)
+		}
+	}
+}
+
+func TestAnalyzeIsDeterministic(t *testing.T) {
+	a := Analyze(BuildCorpus()).Render()
+	b := Analyze(BuildCorpus()).Render()
+	if a != b {
+		t.Error("analysis output differs across runs")
+	}
+}
+
+func TestRenderContainsKeyRows(t *testing.T) {
+	out := Analyze(BuildCorpus()).Render()
+	for _, want := range []string{
+		"CVE-2023-2431", "CVE-2017-1002101", "CVE-2021-25741",
+		"29 / 6580", "21 / 960", "storage",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCoverageAttributionIsCausal(t *testing.T) {
+	// Removing a CVE's files from every test must zero its row — the
+	// analysis reacts to coverage, not to hardcoded output.
+	c := BuildCorpus()
+	var vuln map[string]bool
+	for _, cve := range c.CVEs {
+		if cve.ID == "CVE-2023-2431" {
+			vuln = map[string]bool{}
+			for _, f := range cve.VulnerableFiles {
+				vuln[f] = true
+			}
+		}
+	}
+	for i := range c.Tests {
+		var kept []string
+		for _, f := range c.Tests[i].Files {
+			if !vuln[f] {
+				kept = append(kept, f)
+			}
+		}
+		c.Tests[i].Files = kept
+	}
+	m := Analyze(c)
+	if _, ok := m.Cells["CVE-2023-2431"]; ok {
+		t.Error("row should vanish when no test covers the files")
+	}
+	if m.CoveringTests != 27 {
+		t.Errorf("covering tests = %d, want 27 after removing 2", m.CoveringTests)
+	}
+}

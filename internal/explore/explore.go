@@ -1,0 +1,223 @@
+// Package explore implements the configuration-space exploration phase of
+// KubeFence (paper §V-A): from a values schema it generates the set of
+// *values variants* that are rendered into manifests.
+//
+// The paper's algorithm iterates i up to the longest enumerative list; at
+// iteration i every enum takes its i-th value (the last is reused when the
+// list is shorter) — a one-dimensional covering array, linear in the
+// longest enum instead of exponential like the full cartesian product
+// (available as CartesianVariants for the ablation study).
+//
+// Applied verbatim to boolean-gated charts, index alignment creates a
+// blind spot: variant i simultaneously sets gates like ingress.enabled to
+// their i-th (false) value *and* picks the i-th option of enums inside the
+// gated block, so those options render inside a block that is absent.
+// Variants therefore runs two sweeps and deduplicates:
+//
+//   - a boolean sweep — all non-boolean enums at their defaults, booleans
+//     at their i-th value (i = 0 is the all-defaults variant, preserving
+//     the paper's property that the first variant is the chart default);
+//   - a structure sweep — all booleans forced true so every conditional
+//     block renders, non-boolean enums at their i-th value.
+//
+// Every enum option is still covered at least once, now including options
+// that only materialize inside enabled blocks, at a cost linear in the
+// longest enum plus two.
+package explore
+
+import (
+	"repro/internal/object"
+	"repro/internal/schema"
+	"repro/internal/yaml"
+)
+
+// Variants generates the covering set of values variants for a schema.
+// There is always at least one variant (the all-defaults rendering, which
+// always comes first).
+func Variants(s *schema.Schema) []map[string]any {
+	nBool, nOther := sweepSizes(s)
+	var out []map[string]any
+	seen := map[string]bool{}
+	add := func(v map[string]any) {
+		key := fingerprint(v)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, v)
+		}
+	}
+	// Boolean sweep (i = 0 renders the pure defaults).
+	for i := 0; i < nBool; i++ {
+		add(materialize(s.Root, func(e []any) any {
+			if isBoolEnum(e) {
+				return pickAt(e, i)
+			}
+			return e[0]
+		}).(map[string]any))
+	}
+	// Structure sweep: gates open, remaining enums iterate.
+	for i := 0; i < nOther; i++ {
+		add(materialize(s.Root, func(e []any) any {
+			if isBoolEnum(e) {
+				return true
+			}
+			return pickAt(e, i)
+		}).(map[string]any))
+	}
+	return out
+}
+
+// NumVariants reports how many variants Variants will generate.
+func NumVariants(s *schema.Schema) int { return len(Variants(s)) }
+
+func sweepSizes(s *schema.Schema) (nBool, nOther int) {
+	nBool, nOther = 1, 1
+	for _, e := range s.EnumPaths() {
+		if isBoolEnum(e.Options) {
+			if len(e.Options) > nBool {
+				nBool = len(e.Options)
+			}
+			continue
+		}
+		if len(e.Options) > nOther {
+			nOther = len(e.Options)
+		}
+	}
+	return nBool, nOther
+}
+
+func isBoolEnum(options []any) bool {
+	for _, o := range options {
+		if _, ok := o.(bool); !ok {
+			return false
+		}
+	}
+	return len(options) > 0
+}
+
+func pickAt(options []any, i int) any {
+	if i < len(options) {
+		return options[i]
+	}
+	return options[len(options)-1]
+}
+
+// fingerprint renders a variant deterministically for deduplication.
+func fingerprint(v map[string]any) string {
+	data, err := marshalStable(v)
+	if err != nil {
+		return ""
+	}
+	return data
+}
+
+// CartesianVariants generates the full cartesian product of enum options,
+// truncated at limit (0 means no limit). It exists for the ablation bench
+// comparing the paper's covering strategy against naive exhaustive
+// exploration; the covering array yields identical validators whenever
+// enum choices do not interact in templates.
+func CartesianVariants(s *schema.Schema, limit int) []map[string]any {
+	enums := s.EnumPaths()
+	// Iterate the product via an odometer over option indices.
+	idx := make([]int, len(enums))
+	var out []map[string]any
+	for {
+		pick := make(map[string]any, len(enums))
+		for k, e := range enums {
+			pick[e.Path] = e.Options[idx[k]]
+		}
+		out = append(out, materializeWith(s.Root, "", pick).(map[string]any))
+		if limit > 0 && len(out) >= limit {
+			return out
+		}
+		// Advance odometer.
+		k := len(idx) - 1
+		for ; k >= 0; k-- {
+			idx[k]++
+			if idx[k] < len(enums[k].Options) {
+				break
+			}
+			idx[k] = 0
+		}
+		if k < 0 {
+			return out
+		}
+	}
+}
+
+// NumCartesian returns the size of the full product (capped at 1<<30).
+func NumCartesian(s *schema.Schema) int {
+	n := 1
+	for _, e := range s.EnumPaths() {
+		n *= len(e.Options)
+		if n > 1<<30 {
+			return 1 << 30
+		}
+	}
+	return n
+}
+
+// materialize renders a schema node to a concrete values tree, choosing
+// enum options with pick.
+func materialize(n *schema.Node, pick func([]any) any) any {
+	switch n.Kind {
+	case schema.KindScalar:
+		return schema.RenderToken(n.Placeholder)
+	case schema.KindConst:
+		return n.Const
+	case schema.KindEnum:
+		return pick(n.Options)
+	case schema.KindMap:
+		out := make(map[string]any, len(n.Fields))
+		for k, c := range n.Fields {
+			out[k] = materialize(c, pick)
+		}
+		return out
+	case schema.KindList:
+		return object.DeepCopyValue(n.Items)
+	case schema.KindFreeDict:
+		return map[string]any{}
+	default:
+		return nil
+	}
+}
+
+// materializeWith renders with per-path enum choices.
+func materializeWith(n *schema.Node, path string, pick map[string]any) any {
+	switch n.Kind {
+	case schema.KindScalar:
+		return schema.RenderToken(n.Placeholder)
+	case schema.KindConst:
+		return n.Const
+	case schema.KindEnum:
+		if v, ok := pick[path]; ok {
+			return v
+		}
+		return n.Options[0]
+	case schema.KindMap:
+		out := make(map[string]any, len(n.Fields))
+		for k, c := range n.Fields {
+			child := k
+			if path != "" {
+				child = path + "." + k
+			}
+			out[k] = materializeWith(c, child, pick)
+		}
+		return out
+	case schema.KindList:
+		return object.DeepCopyValue(n.Items)
+	case schema.KindFreeDict:
+		return map[string]any{}
+	default:
+		return nil
+	}
+}
+
+// marshalStable serializes a values tree with sorted keys (the yaml
+// encoder is deterministic).
+func marshalStable(v map[string]any) (string, error) {
+	data, err := yaml.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}

@@ -1,0 +1,223 @@
+package explore
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/object"
+	"repro/internal/schema"
+)
+
+func fixtureSchema(t *testing.T) *schema.Schema {
+	t.Helper()
+	c, err := chart.Load(chart.Fileset{
+		"Chart.yaml": "name: fix\n",
+		"values.yaml": `
+replicaCount: 3
+enabled: false
+image:
+  registry: docker.io
+  repository: bitnami/fix
+  # IfNotPresent or Always or Never
+  pullPolicy: IfNotPresent
+# one of: standalone, repl
+arch: standalone
+secrets:
+  - name: a
+extra: {}
+`,
+		"templates/d.yaml": "kind: ConfigMap\nmetadata:\n  name: x\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schema.Generate(c, schema.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNumVariantsTwoSweeps(t *testing.T) {
+	s := fixtureSchema(t)
+	// Bool sweep: {defaults}, {enabled=true}. Structure sweep with gates
+	// open: pullPolicy (3 options) drives 3 iterations, the first of
+	// which duplicates {enabled=true} and is deduplicated → 4 variants.
+	if got := NumVariants(s); got != 4 {
+		t.Errorf("NumVariants = %d, want 4", got)
+	}
+	if got := len(Variants(s)); got != 4 {
+		t.Errorf("len(Variants) = %d, want 4", got)
+	}
+}
+
+func TestEveryEnumValueCovered(t *testing.T) {
+	s := fixtureSchema(t)
+	variants := Variants(s)
+	for _, e := range s.EnumPaths() {
+		for _, opt := range e.Options {
+			found := false
+			for _, v := range variants {
+				got, _ := object.Get(v, e.Path)
+				if object.Equal(got, opt) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("enum %s option %v not covered by any variant", e.Path, opt)
+			}
+		}
+	}
+}
+
+func TestShorterEnumReusesLastValue(t *testing.T) {
+	s := fixtureSchema(t)
+	variants := Variants(s)
+	// The final structure-sweep variant: pullPolicy (3 options) reaches
+	// "Never"; arch has only 2 options so its last value is reused.
+	last := variants[len(variants)-1]
+	if got, _ := object.Get(last, "image.pullPolicy"); got != "Never" {
+		t.Errorf("last variant pullPolicy = %v", got)
+	}
+	if got, _ := object.Get(last, "arch"); got != "repl" {
+		t.Errorf("last variant arch = %v (last value should be reused)", got)
+	}
+	// Structure-sweep variants open every boolean gate.
+	if got, _ := object.Get(last, "enabled"); got != true {
+		t.Errorf("last variant enabled = %v, want true (gates open)", got)
+	}
+}
+
+func TestVariantZeroIsDefaults(t *testing.T) {
+	s := fixtureSchema(t)
+	v0 := Variants(s)[0]
+	if got, _ := object.Get(v0, "image.pullPolicy"); got != "IfNotPresent" {
+		t.Errorf("variant 0 pullPolicy = %v, want chart default", got)
+	}
+	if got, _ := object.Get(v0, "enabled"); got != false {
+		t.Errorf("variant 0 enabled = %v, want default false", got)
+	}
+	if got, _ := object.Get(v0, "arch"); got != "standalone" {
+		t.Errorf("variant 0 arch = %v", got)
+	}
+}
+
+func TestPlaceholdersAndConstsPreserved(t *testing.T) {
+	s := fixtureSchema(t)
+	for i, v := range Variants(s) {
+		if got, _ := object.Get(v, "replicaCount"); got != schema.RenderToken(schema.TokInt) {
+			t.Errorf("variant %d replicaCount = %v, want %q", i, got, schema.RenderToken(schema.TokInt))
+		}
+		if got, _ := object.Get(v, "image.registry"); got != "docker.io" {
+			t.Errorf("variant %d registry = %v, want locked const", i, got)
+		}
+		if got, ok := object.GetSlice(v, "secrets"); !ok || len(got) != 1 {
+			t.Errorf("variant %d secrets = %v, want default list", i, got)
+		}
+		if got, ok := object.GetMap(v, "extra"); !ok || len(got) != 0 {
+			t.Errorf("variant %d extra = %v, want empty dict", i, got)
+		}
+	}
+}
+
+func TestVariantsIndependent(t *testing.T) {
+	s := fixtureSchema(t)
+	variants := Variants(s)
+	// Mutating one variant's list must not leak into another.
+	l0, _ := object.GetSlice(variants[0], "secrets")
+	l0[0].(map[string]any)["name"] = "tampered"
+	l1, _ := object.GetSlice(variants[1], "secrets")
+	if l1[0].(map[string]any)["name"] != "a" {
+		t.Error("variants share list backing storage")
+	}
+}
+
+func TestCartesianProduct(t *testing.T) {
+	s := fixtureSchema(t)
+	// 2 (enabled) × 3 (pullPolicy) × 2 (arch) = 12.
+	if got := NumCartesian(s); got != 12 {
+		t.Errorf("NumCartesian = %d, want 12", got)
+	}
+	all := CartesianVariants(s, 0)
+	if len(all) != 12 {
+		t.Fatalf("len = %d, want 12", len(all))
+	}
+	// Every combination distinct.
+	seen := map[string]bool{}
+	for _, v := range all {
+		a, _ := object.Get(v, "enabled")
+		b, _ := object.Get(v, "image.pullPolicy")
+		c, _ := object.Get(v, "arch")
+		key := render(a) + "/" + render(b) + "/" + render(c)
+		if seen[key] {
+			t.Errorf("duplicate combination %s", key)
+		}
+		seen[key] = true
+	}
+	// Limit respected.
+	if got := len(CartesianVariants(s, 5)); got != 5 {
+		t.Errorf("limited cartesian = %d, want 5", got)
+	}
+}
+
+func render(v any) string {
+	if v == nil {
+		return "null"
+	}
+	switch t := v.(type) {
+	case string:
+		return t
+	case bool:
+		if t {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+func TestCoveringSubsetOfCartesian(t *testing.T) {
+	// Property: the covering variants' per-field choices all appear in the
+	// cartesian set (sanity of the odometer).
+	s := fixtureSchema(t)
+	cov := Variants(s)
+	cart := CartesianVariants(s, 0)
+	for i, cv := range cov {
+		found := false
+		for _, fv := range cart {
+			if object.Equal(cv, fv) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("covering variant %d not found in cartesian product", i)
+		}
+	}
+}
+
+func TestNoEnumsSingleVariant(t *testing.T) {
+	c, err := chart.Load(chart.Fileset{
+		"Chart.yaml":       "name: fix\n",
+		"values.yaml":      "a: 1\nb: two\n",
+		"templates/d.yaml": "kind: ConfigMap\nmetadata:\n  name: x\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := schema.Generate(c, schema.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := Variants(s)
+	if len(vs) != 1 {
+		t.Errorf("len = %d, want 1", len(vs))
+	}
+	want := map[string]any{"a": schema.RenderToken(schema.TokInt), "b": schema.RenderToken(schema.TokString)}
+	if !reflect.DeepEqual(vs[0], want) {
+		t.Errorf("variant = %#v", vs[0])
+	}
+}

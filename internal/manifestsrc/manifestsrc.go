@@ -1,0 +1,163 @@
+// Package manifestsrc extends KubeFence policy generation beyond Helm
+// (paper §VIII, "Extensibility beyond Helm"): it derives validators from
+// raw YAML manifests and from Kustomize-style bases with overlay patches.
+//
+// The insight transfers directly: where Helm charts constrain the inputs a
+// workload can send through templates and values, a Kustomize deployment
+// constrains them through its base manifests and the set of overlays
+// (dev/staging/prod, …). Rendering every overlay and consolidating the
+// results plays exactly the role of the Helm configuration-space
+// exploration — each overlay is one "variant" — so enum domains emerge
+// from the values the overlays actually use, and everything outside the
+// overlay space is removed from the attack surface.
+package manifestsrc
+
+import (
+	"fmt"
+
+	"repro/internal/object"
+	"repro/internal/validator"
+)
+
+// Options configure manifest-based policy generation.
+type Options struct {
+	// Workload names the policy.
+	Workload string
+	// Locks and Mode are passed through to the validator builder
+	// (defaults as in validator.Build).
+	Locks []validator.LockSpec
+	Mode  validator.LockMode
+	// ReleaseName, when non-empty, generalizes strings containing it to
+	// type string (useful when manifests embed an instance name).
+	ReleaseName string
+}
+
+// FromManifests builds a validator directly from raw YAML documents
+// (multi-document streams supported). With a single rendering every
+// scalar is a constant; provide several environments' manifests to widen
+// domains into enumerations, as overlays do.
+func FromManifests(docs [][]byte, opts Options) (*validator.Validator, error) {
+	var objs []object.Object
+	for i, doc := range docs {
+		parsed, err := object.ParseManifests(doc)
+		if err != nil {
+			return nil, fmt.Errorf("manifestsrc: document set %d: %w", i, err)
+		}
+		objs = append(objs, parsed...)
+	}
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("manifestsrc: no objects in input")
+	}
+	return validator.Build(objs, validator.BuildOptions{
+		Workload:    opts.Workload,
+		Locks:       opts.Locks,
+		Mode:        opts.Mode,
+		ReleaseName: opts.ReleaseName,
+	})
+}
+
+// Kustomization is a Kustomize-style deployment: base manifests plus
+// overlay patch sets. Each overlay is rendered independently (base +
+// patches, strategic-merge semantics) and the union is consolidated into
+// the policy — the overlay set *is* the configuration space.
+type Kustomization struct {
+	// Base is the set of base manifests (YAML streams).
+	Base [][]byte
+	// Overlays maps overlay name (e.g. "dev", "prod") to its patches.
+	Overlays map[string][]Patch
+}
+
+// Patch is one strategic-merge patch targeting a base object.
+type Patch struct {
+	// Target selects the patched object.
+	Kind string
+	Name string
+	// Merge is the patch body (maps merge recursively; scalars and lists
+	// replace; explicit nulls delete).
+	Merge map[string]any
+}
+
+// Render produces the manifests of one overlay (or the plain base when
+// name == "").
+func (k *Kustomization) Render(name string) ([]object.Object, error) {
+	var base []object.Object
+	for i, doc := range k.Base {
+		objs, err := object.ParseManifests(doc)
+		if err != nil {
+			return nil, fmt.Errorf("manifestsrc: base document %d: %w", i, err)
+		}
+		base = append(base, objs...)
+	}
+	if name == "" {
+		return base, nil
+	}
+	patches, ok := k.Overlays[name]
+	if !ok {
+		return nil, fmt.Errorf("manifestsrc: unknown overlay %q", name)
+	}
+	out := make([]object.Object, len(base))
+	for i, o := range base {
+		out[i] = o.DeepCopy()
+	}
+	for _, p := range patches {
+		applied := false
+		for i, o := range out {
+			if o.Kind() == p.Kind && o.Name() == p.Name {
+				out[i] = object.Object(strategicMerge(map[string]any(o), p.Merge))
+				applied = true
+			}
+		}
+		if !applied {
+			return nil, fmt.Errorf("manifestsrc: overlay %q: no base object %s/%s",
+				name, p.Kind, p.Name)
+		}
+	}
+	return out, nil
+}
+
+// GeneratePolicy renders every overlay (plus the bare base) and
+// consolidates the union into a validator.
+func (k *Kustomization) GeneratePolicy(opts Options) (*validator.Validator, error) {
+	var corpus []object.Object
+	baseObjs, err := k.Render("")
+	if err != nil {
+		return nil, err
+	}
+	corpus = append(corpus, baseObjs...)
+	for name := range k.Overlays {
+		objs, err := k.Render(name)
+		if err != nil {
+			return nil, err
+		}
+		corpus = append(corpus, objs...)
+	}
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("manifestsrc: kustomization renders no objects")
+	}
+	return validator.Build(corpus, validator.BuildOptions{
+		Workload:    opts.Workload,
+		Locks:       opts.Locks,
+		Mode:        opts.Mode,
+		ReleaseName: opts.ReleaseName,
+	})
+}
+
+// strategicMerge merges patch into base: maps recurse, scalars and lists
+// replace, explicit nil deletes.
+func strategicMerge(base, patch map[string]any) map[string]any {
+	out := object.DeepCopyValue(base).(map[string]any)
+	for k, pv := range patch {
+		if pv == nil {
+			delete(out, k)
+			continue
+		}
+		bm, bok := out[k].(map[string]any)
+		pm, pok := pv.(map[string]any)
+		if bok && pok {
+			out[k] = strategicMerge(bm, pm)
+			continue
+		}
+		out[k] = object.DeepCopyValue(pv)
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package manifestsrc
+
+import (
+	"testing"
+
+	"repro/internal/object"
+)
+
+var baseDeployment = []byte(`
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: app
+  namespace: default
+spec:
+  replicas: 1
+  template:
+    spec:
+      containers:
+      - name: app
+        image: registry.corp/app:1.0.0
+        securityContext:
+          runAsNonRoot: true
+---
+apiVersion: v1
+kind: Service
+metadata:
+  name: app
+spec:
+  type: ClusterIP
+  ports:
+  - port: 8080
+`)
+
+func parse(t *testing.T, s string) object.Object {
+	t.Helper()
+	o, err := object.ParseManifest([]byte(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestFromManifestsSingleEnvironment(t *testing.T) {
+	v, err := FromManifests([][]byte{baseDeployment}, Options{Workload: "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := v.AllowedKinds()
+	if len(kinds) != 2 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	// The exact base manifest is allowed.
+	objs, err := object.ParseManifests(baseDeployment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range objs {
+		if vs := v.Validate(o); len(vs) != 0 {
+			t.Errorf("base %s denied: %v", o.Kind(), vs)
+		}
+	}
+	// Unused fields stay outside the surface.
+	evil := parse(t, `
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: app
+spec:
+  replicas: 1
+  template:
+    spec:
+      hostNetwork: true
+      containers:
+      - name: app
+        image: registry.corp/app:1.0.0
+`)
+	if vs := v.Validate(evil); len(vs) == 0 {
+		t.Error("hostNetwork should be denied")
+	}
+}
+
+func TestFromManifestsMultipleEnvironmentsWidenDomains(t *testing.T) {
+	prod := []byte(`
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: app
+spec:
+  replicas: 5
+  template:
+    spec:
+      containers:
+      - name: app
+        image: registry.corp/app:1.0.0
+`)
+	dev := []byte(`
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: app
+spec:
+  replicas: 1
+  template:
+    spec:
+      containers:
+      - name: app
+        image: registry.corp/app:1.0.0
+`)
+	v, err := FromManifests([][]byte{prod, dev}, Options{Workload: "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, replicas := range []int64{1, 5} {
+		req := parse(t, `
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: app
+spec:
+  replicas: `+itoa(replicas)+`
+  template:
+    spec:
+      containers:
+      - name: app
+        image: registry.corp/app:1.0.0
+`)
+		if vs := v.Validate(req); len(vs) != 0 {
+			t.Errorf("replicas=%d denied: %v", replicas, vs)
+		}
+	}
+	// A count outside the observed domain is denied (enumeration).
+	req := parse(t, `
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: app
+spec:
+  replicas: 99
+  template:
+    spec:
+      containers:
+      - name: app
+        image: registry.corp/app:1.0.0
+`)
+	if vs := v.Validate(req); len(vs) == 0 {
+		t.Error("replicas=99 should be outside the enumerated domain")
+	}
+}
+
+func itoa(n int64) string { return string(rune('0' + n)) }
+
+func TestFromManifestsErrors(t *testing.T) {
+	if _, err := FromManifests(nil, Options{}); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := FromManifests([][]byte{[]byte("][")}, Options{}); err == nil {
+		t.Error("bad YAML should error")
+	}
+}
+
+func kustomization() *Kustomization {
+	return &Kustomization{
+		Base: [][]byte{baseDeployment},
+		Overlays: map[string][]Patch{
+			"dev": {{
+				Kind: "Deployment", Name: "app",
+				Merge: map[string]any{"spec": map[string]any{"replicas": int64(1)}},
+			}},
+			"prod": {{
+				Kind: "Deployment", Name: "app",
+				Merge: map[string]any{"spec": map[string]any{
+					"replicas": int64(5),
+					"strategy": map[string]any{"type": "RollingUpdate"},
+				}},
+			}},
+		},
+	}
+}
+
+func TestKustomizationRender(t *testing.T) {
+	k := kustomization()
+	prod, err := k.Render("prod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dep object.Object
+	for _, o := range prod {
+		if o.Kind() == "Deployment" {
+			dep = o
+		}
+	}
+	if v, _ := object.Get(dep, "spec.replicas"); v != int64(5) {
+		t.Errorf("prod replicas = %v", v)
+	}
+	if v, _ := object.Get(dep, "spec.strategy.type"); v != "RollingUpdate" {
+		t.Errorf("prod strategy = %v", v)
+	}
+	// The base is untouched by overlay rendering.
+	base, err := k.Render("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range base {
+		if o.Kind() == "Deployment" {
+			if v, _ := object.Get(o, "spec.replicas"); v != int64(1) {
+				t.Errorf("base mutated: replicas = %v", v)
+			}
+		}
+	}
+	if _, err := k.Render("nope"); err == nil {
+		t.Error("unknown overlay should error")
+	}
+}
+
+func TestKustomizationPolicyCoversAllOverlays(t *testing.T) {
+	k := kustomization()
+	v, err := k.GeneratePolicy(Options{Workload: "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, overlay := range []string{"", "dev", "prod"} {
+		objs, err := k.Render(overlay)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range objs {
+			if vs := v.Validate(o); len(vs) != 0 {
+				t.Errorf("overlay %q %s denied: %v", overlay, o.Kind(), vs)
+			}
+		}
+	}
+	// Fields no overlay uses remain denied.
+	evil := parse(t, `
+apiVersion: v1
+kind: Service
+metadata:
+  name: app
+spec:
+  type: ClusterIP
+  externalIPs:
+  - 203.0.113.9
+  ports:
+  - port: 8080
+`)
+	if vs := v.Validate(evil); len(vs) == 0 {
+		t.Error("externalIPs should be denied")
+	}
+}
+
+func TestKustomizationPatchTargetMissing(t *testing.T) {
+	k := kustomization()
+	k.Overlays["broken"] = []Patch{{Kind: "ConfigMap", Name: "ghost", Merge: map[string]any{}}}
+	if _, err := k.Render("broken"); err == nil {
+		t.Error("patch without target should error")
+	}
+}
+
+func TestStrategicMergeNullDeletes(t *testing.T) {
+	out := strategicMerge(
+		map[string]any{"a": int64(1), "b": map[string]any{"c": int64(2), "d": int64(3)}},
+		map[string]any{"a": nil, "b": map[string]any{"c": int64(9)}},
+	)
+	if _, ok := out["a"]; ok {
+		t.Error("null should delete")
+	}
+	b := out["b"].(map[string]any)
+	if b["c"] != int64(9) || b["d"] != int64(3) {
+		t.Errorf("merge = %#v", out)
+	}
+}

@@ -1,0 +1,119 @@
+package object
+
+import (
+	"fmt"
+	"strings"
+)
+
+// GVK identifies a Kubernetes API group, version, and kind.
+type GVK struct {
+	Group   string // "" for the core group
+	Version string // e.g. "v1"
+	Kind    string // e.g. "Deployment"
+}
+
+// String renders "apps/v1, Kind=Deployment" like upstream Kubernetes.
+func (g GVK) String() string {
+	return fmt.Sprintf("%s/%s, Kind=%s", g.Group, g.Version, g.Kind)
+}
+
+// APIVersion renders the apiVersion manifest field ("v1" or "apps/v1").
+func (g GVK) APIVersion() string {
+	if g.Group == "" {
+		return g.Version
+	}
+	return g.Group + "/" + g.Version
+}
+
+// FromAPIVersionKind builds a GVK from manifest fields.
+func FromAPIVersionKind(apiVersion, kind string) GVK {
+	if i := strings.IndexByte(apiVersion, '/'); i >= 0 {
+		return GVK{Group: apiVersion[:i], Version: apiVersion[i+1:], Kind: kind}
+	}
+	return GVK{Group: "", Version: apiVersion, Kind: kind}
+}
+
+// ResourceInfo describes the REST mapping for a kind.
+type ResourceInfo struct {
+	GVK        GVK
+	Resource   string // plural lowercase resource name, e.g. "deployments"
+	Namespaced bool
+}
+
+// knownResources is the REST mapping table for every kind the simulated
+// API server serves. It covers the 20 endpoints of the paper's Fig. 9 plus
+// Namespace, which the server needs for bootstrapping.
+var knownResources = []ResourceInfo{
+	{GVK{"", "v1", "Pod"}, "pods", true},
+	{GVK{"", "v1", "Service"}, "services", true},
+	{GVK{"", "v1", "ConfigMap"}, "configmaps", true},
+	{GVK{"", "v1", "Secret"}, "secrets", true},
+	{GVK{"", "v1", "ServiceAccount"}, "serviceaccounts", true},
+	{GVK{"", "v1", "PersistentVolumeClaim"}, "persistentvolumeclaims", true},
+	{GVK{"", "v1", "Namespace"}, "namespaces", false},
+	{GVK{"apps", "v1", "Deployment"}, "deployments", true},
+	{GVK{"apps", "v1", "StatefulSet"}, "statefulsets", true},
+	{GVK{"apps", "v1", "DaemonSet"}, "daemonsets", true},
+	{GVK{"apps", "v1", "ReplicaSet"}, "replicasets", true},
+	{GVK{"batch", "v1", "Job"}, "jobs", true},
+	{GVK{"batch", "v1", "CronJob"}, "cronjobs", true},
+	{GVK{"networking.k8s.io", "v1", "NetworkPolicy"}, "networkpolicies", true},
+	{GVK{"networking.k8s.io", "v1", "Ingress"}, "ingresses", true},
+	{GVK{"networking.k8s.io", "v1", "IngressClass"}, "ingressclasses", false},
+	{GVK{"autoscaling", "v2", "HorizontalPodAutoscaler"}, "horizontalpodautoscalers", true},
+	{GVK{"policy", "v1", "PodDisruptionBudget"}, "poddisruptionbudgets", true},
+	{GVK{"admissionregistration.k8s.io", "v1", "ValidatingWebhookConfiguration"}, "validatingwebhookconfigurations", false},
+	{GVK{"rbac.authorization.k8s.io", "v1", "Role"}, "roles", true},
+	{GVK{"rbac.authorization.k8s.io", "v1", "RoleBinding"}, "rolebindings", true},
+	{GVK{"rbac.authorization.k8s.io", "v1", "ClusterRole"}, "clusterroles", false},
+	{GVK{"rbac.authorization.k8s.io", "v1", "ClusterRoleBinding"}, "clusterrolebindings", false},
+}
+
+var (
+	byKind     = buildIndex(func(ri ResourceInfo) string { return ri.GVK.Kind })
+	byResource = buildIndex(func(ri ResourceInfo) string { return ri.GVK.Group + "/" + ri.Resource })
+)
+
+func buildIndex(key func(ResourceInfo) string) map[string]ResourceInfo {
+	m := make(map[string]ResourceInfo, len(knownResources))
+	for _, ri := range knownResources {
+		m[key(ri)] = ri
+	}
+	return m
+}
+
+// LookupKind returns the REST mapping for a kind.
+func LookupKind(kind string) (ResourceInfo, bool) {
+	ri, ok := byKind[kind]
+	return ri, ok
+}
+
+// LookupResource returns the REST mapping for a (group, plural resource)
+// pair, e.g. ("apps", "deployments").
+func LookupResource(group, resource string) (ResourceInfo, bool) {
+	ri, ok := byResource[group+"/"+resource]
+	return ri, ok
+}
+
+// AllResources returns the full REST mapping table, in registration order.
+func AllResources() []ResourceInfo {
+	out := make([]ResourceInfo, len(knownResources))
+	copy(out, knownResources)
+	return out
+}
+
+// Path returns the REST collection path for the resource within a
+// namespace; ns is ignored for cluster-scoped resources.
+func (ri ResourceInfo) Path(ns string) string {
+	var b strings.Builder
+	if ri.GVK.Group == "" {
+		b.WriteString("/api/" + ri.GVK.Version)
+	} else {
+		b.WriteString("/apis/" + ri.GVK.Group + "/" + ri.GVK.Version)
+	}
+	if ri.Namespaced && ns != "" {
+		b.WriteString("/namespaces/" + ns)
+	}
+	b.WriteString("/" + ri.Resource)
+	return b.String()
+}

@@ -1,0 +1,211 @@
+// Package operator simulates Helm-based Kubernetes Operators — the API
+// clients of the paper's evaluation (§VI-A). An Operator renders its chart
+// with concrete values and drives the resulting manifests through the API
+// (directly, or through the KubeFence proxy), covering Day-1 installation
+// (the `kubectl apply` workload timed in Table IV) and Day-2 reconciliation
+// (drift detection and repair, the control loop of §II-C).
+package operator
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/chart"
+	"repro/internal/client"
+	"repro/internal/object"
+)
+
+// Operator drives one workload's lifecycle against a cluster.
+type Operator struct {
+	// Workload is the chart/operator name (for reports).
+	Workload string
+	// Chart is the loaded Helm chart.
+	Chart *chart.Chart
+	// Client reaches the API server (directly or through the proxy).
+	Client *client.Client
+	// Release identifies the installation.
+	Release chart.ReleaseOptions
+	// Values are user overrides merged over chart defaults.
+	Values map[string]any
+}
+
+// applyOrder ranks kinds for installation: dependencies before dependents,
+// mirroring Helm's install order.
+var applyOrder = map[string]int{
+	"Namespace": 0, "ServiceAccount": 1, "Secret": 2, "ConfigMap": 3,
+	"PersistentVolumeClaim": 4, "Role": 5, "ClusterRole": 6,
+	"RoleBinding": 7, "ClusterRoleBinding": 8, "Service": 9,
+	"NetworkPolicy": 10, "Deployment": 11, "StatefulSet": 12,
+	"DaemonSet": 13, "Job": 14, "CronJob": 15, "Pod": 16,
+	"HorizontalPodAutoscaler": 17, "PodDisruptionBudget": 18,
+	"Ingress": 19, "IngressClass": 20, "ValidatingWebhookConfiguration": 21,
+}
+
+// RenderedObjects renders the chart into the manifests this operator
+// manages, in installation order.
+func (op *Operator) RenderedObjects() ([]object.Object, error) {
+	files, err := op.Chart.Render(op.Values, op.Release)
+	if err != nil {
+		return nil, fmt.Errorf("operator %s: rendering: %w", op.Workload, err)
+	}
+	objs := chart.Objects(files)
+	sort.SliceStable(objs, func(i, j int) bool {
+		return applyOrder[objs[i].Kind()] < applyOrder[objs[j].Kind()]
+	})
+	return objs, nil
+}
+
+// DeployResult summarizes one installation.
+type DeployResult struct {
+	Objects  int
+	Duration time.Duration
+}
+
+// Deploy renders and applies every manifest — the Day-1 operation whose
+// round-trip time Table IV measures.
+func (op *Operator) Deploy() (DeployResult, error) {
+	objs, err := op.RenderedObjects()
+	if err != nil {
+		return DeployResult{}, err
+	}
+	start := time.Now()
+	if err := op.Client.ApplyAll(objs); err != nil {
+		return DeployResult{}, fmt.Errorf("operator %s: %w", op.Workload, err)
+	}
+	return DeployResult{Objects: len(objs), Duration: time.Since(start)}, nil
+}
+
+// Teardown deletes every managed object (reverse install order).
+func (op *Operator) Teardown() error {
+	objs, err := op.RenderedObjects()
+	if err != nil {
+		return err
+	}
+	for i := len(objs) - 1; i >= 0; i-- {
+		o := objs[i]
+		if err := op.Client.Delete(o.Kind(), o.Namespace(), o.Name()); err != nil {
+			if client.IsNotFound(err) {
+				continue
+			}
+			return fmt.Errorf("operator %s: deleting %s %s: %w",
+				op.Workload, o.Kind(), o.Name(), err)
+		}
+	}
+	return nil
+}
+
+// ReconcileResult summarizes one control-loop pass.
+type ReconcileResult struct {
+	Checked  int
+	Missing  int // objects recreated
+	Drifted  int // objects repaired
+	InSync   int
+	Duration time.Duration
+}
+
+// ReconcileOnce runs one pass of the operator's control loop: for every
+// desired object, fetch the live state; recreate it if missing, repair it
+// if the live spec no longer satisfies the desired spec (Day-2 operation,
+// §II-C: "if it detects that one replica has failed, it automatically
+// triggers a new deployment to restore the desired count").
+func (op *Operator) ReconcileOnce() (ReconcileResult, error) {
+	objs, err := op.RenderedObjects()
+	if err != nil {
+		return ReconcileResult{}, err
+	}
+	start := time.Now()
+	var res ReconcileResult
+	for _, desired := range objs {
+		res.Checked++
+		live, err := op.Client.Get(desired.Kind(), desired.Namespace(), desired.Name())
+		if client.IsNotFound(err) {
+			if _, err := op.Client.Create(desired); err != nil {
+				return res, fmt.Errorf("recreating %s %s: %w", desired.Kind(), desired.Name(), err)
+			}
+			res.Missing++
+			continue
+		}
+		if err != nil {
+			return res, fmt.Errorf("fetching %s %s: %w", desired.Kind(), desired.Name(), err)
+		}
+		if specSubsumed(desired, live) {
+			res.InSync++
+			continue
+		}
+		repaired := desired.DeepCopy()
+		if rv, ok := object.GetString(live, "metadata.resourceVersion"); ok {
+			if err := object.Set(repaired, "metadata.resourceVersion", rv); err != nil {
+				return res, err
+			}
+		}
+		if _, err := op.Client.Update(repaired); err != nil {
+			return res, fmt.Errorf("repairing %s %s: %w", desired.Kind(), desired.Name(), err)
+		}
+		res.Drifted++
+	}
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+// Run is the operator's control loop (paper §II-C): reconcile at every
+// tick until the context is canceled. Results are delivered to onPass
+// when non-nil; reconciliation errors are reported the same way and do
+// not stop the loop (an operator outliving transient API failures is the
+// point of the pattern).
+func (op *Operator) Run(ctx context.Context, interval time.Duration, onPass func(ReconcileResult, error)) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			res, err := op.ReconcileOnce()
+			if onPass != nil {
+				onPass(res, err)
+			}
+		}
+	}
+}
+
+// specSubsumed reports whether every field the operator desires is present
+// with the desired value in the live object (live may carry extra
+// server-populated fields).
+func specSubsumed(desired, live object.Object) bool {
+	return subsumed(map[string]any(desired), map[string]any(live))
+}
+
+func subsumed(want, have any) bool {
+	switch w := want.(type) {
+	case map[string]any:
+		h, ok := have.(map[string]any)
+		if !ok {
+			return false
+		}
+		for k, wv := range w {
+			hv, ok := h[k]
+			if !ok || !subsumed(wv, hv) {
+				return false
+			}
+		}
+		return true
+	case []any:
+		h, ok := have.([]any)
+		if !ok || len(h) != len(w) {
+			return false
+		}
+		for i := range w {
+			if !subsumed(w[i], h[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return object.Equal(want, have)
+	}
+}

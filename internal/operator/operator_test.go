@@ -1,0 +1,187 @@
+package operator
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/apiserver"
+	"repro/internal/chart"
+	"repro/internal/charts"
+	"repro/internal/client"
+	"repro/internal/object"
+	"repro/internal/store"
+)
+
+func newCluster(t *testing.T) (*store.Store, *client.Client) {
+	t.Helper()
+	st := store.New()
+	api, err := apiserver.New(apiserver.Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(api)
+	t.Cleanup(ts.Close)
+	return st, client.New(ts.URL, client.WithUser("operator:test"))
+}
+
+func newOperator(t *testing.T, name string, c *client.Client) *Operator {
+	t.Helper()
+	return &Operator{
+		Workload: name,
+		Chart:    charts.MustLoad(name),
+		Client:   c,
+		Release:  chart.ReleaseOptions{Name: "rel", Namespace: "default"},
+	}
+}
+
+func TestDeployAllWorkloads(t *testing.T) {
+	for _, name := range charts.Names() {
+		t.Run(name, func(t *testing.T) {
+			st, c := newCluster(t)
+			op := newOperator(t, name, c)
+			res, err := op.Deploy()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Objects == 0 || st.Len() != res.Objects {
+				t.Errorf("deployed %d objects, store has %d", res.Objects, st.Len())
+			}
+			if res.Duration <= 0 {
+				t.Error("no duration measured")
+			}
+		})
+	}
+}
+
+func TestApplyOrderDependenciesFirst(t *testing.T) {
+	_, c := newCluster(t)
+	op := newOperator(t, "postgresql", c)
+	objs, err := op.RenderedObjects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[string]int{}
+	for i, o := range objs {
+		if _, seen := pos[o.Kind()]; !seen {
+			pos[o.Kind()] = i
+		}
+	}
+	if pos["Secret"] > pos["StatefulSet"] {
+		t.Error("Secret must be applied before StatefulSet")
+	}
+	if pos["ServiceAccount"] > pos["Role"] {
+		t.Error("ServiceAccount must be applied before Role")
+	}
+}
+
+func TestDeployIdempotent(t *testing.T) {
+	_, c := newCluster(t)
+	op := newOperator(t, "nginx", c)
+	if _, err := op.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	// Second deploy applies over existing objects (kubectl apply).
+	if _, err := op.Deploy(); err != nil {
+		t.Fatalf("re-deploy: %v", err)
+	}
+}
+
+func TestTeardown(t *testing.T) {
+	st, c := newCluster(t)
+	op := newOperator(t, "mlflow", c)
+	if _, err := op.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	if err := op.Teardown(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 0 {
+		t.Errorf("store still has %d objects", st.Len())
+	}
+	// Tearing down twice is fine (404s skipped).
+	if err := op.Teardown(); err != nil {
+		t.Errorf("second teardown: %v", err)
+	}
+}
+
+func TestReconcileDetectsMissing(t *testing.T) {
+	_, c := newCluster(t)
+	op := newOperator(t, "nginx", c)
+	if _, err := op.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := op.ReconcileOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missing != 0 || res.Drifted != 0 || res.InSync != res.Checked {
+		t.Errorf("fresh deploy should be in sync: %+v", res)
+	}
+
+	// Delete the Service out from under the operator.
+	if err := c.Delete("Service", "default", "rel-nginx"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = op.ReconcileOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Missing != 1 {
+		t.Errorf("missing = %d, want 1 (%+v)", res.Missing, res)
+	}
+	if _, err := c.Get("Service", "default", "rel-nginx"); err != nil {
+		t.Errorf("service not recreated: %v", err)
+	}
+}
+
+func TestReconcileRepairsDrift(t *testing.T) {
+	_, c := newCluster(t)
+	op := newOperator(t, "mlflow", c)
+	if _, err := op.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the deployment's replica count.
+	live, err := c.Get("Deployment", "default", "rel-mlflow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := object.Set(live, "spec.replicas", float64(99)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Update(live); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := op.ReconcileOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Drifted != 1 {
+		t.Errorf("drifted = %d, want 1 (%+v)", res.Drifted, res)
+	}
+	repaired, _ := c.Get("Deployment", "default", "rel-mlflow")
+	if v, _ := object.Get(repaired, "spec.replicas"); v != float64(1) {
+		t.Errorf("replicas = %v, want restored 1", v)
+	}
+}
+
+func TestReconcileIgnoresServerFields(t *testing.T) {
+	// Server-populated metadata (uid, resourceVersion) must not count as
+	// drift.
+	_, c := newCluster(t)
+	op := newOperator(t, "nginx", c)
+	if _, err := op.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	res1, err := op.ReconcileOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := op.ReconcileOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Drifted+res2.Drifted != 0 {
+		t.Errorf("repeated reconcile keeps drifting: %+v then %+v", res1, res2)
+	}
+}

@@ -1,0 +1,80 @@
+package operator
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRunControlLoopRepairs(t *testing.T) {
+	_, c := newCluster(t)
+	op := newOperator(t, "nginx", c)
+	if _, err := op.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	// Break the deployment, then let the loop heal it.
+	if err := c.Delete("Deployment", "default", "rel-nginx"); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	healed := make(chan struct{})
+	loopDone := make(chan struct{})
+	var passes int
+	go func() {
+		defer close(loopDone)
+		op.Run(ctx, 5*time.Millisecond, func(res ReconcileResult, err error) {
+			mu.Lock()
+			defer mu.Unlock()
+			passes++
+			// Errors are tolerated: the loop may tick during teardown.
+			if err == nil && res.Missing > 0 {
+				select {
+				case <-healed:
+				default:
+					close(healed)
+				}
+			}
+		})
+	}()
+
+	select {
+	case <-healed:
+	case <-time.After(2 * time.Second):
+		cancel()
+		<-loopDone
+		t.Fatal("control loop never recreated the deployment")
+	}
+	if _, err := c.Get("Deployment", "default", "rel-nginx"); err != nil {
+		t.Errorf("deployment not recreated: %v", err)
+	}
+	cancel()
+	<-loopDone
+	mu.Lock()
+	if passes == 0 {
+		t.Error("no reconcile passes ran")
+	}
+	mu.Unlock()
+}
+
+func TestRunStopsOnCancel(t *testing.T) {
+	_, c := newCluster(t)
+	op := newOperator(t, "mlflow", c)
+	if _, err := op.Deploy(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		op.Run(ctx, time.Millisecond, nil)
+		close(done)
+	}()
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Run did not stop on cancel")
+	}
+}

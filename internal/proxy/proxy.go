@@ -1,0 +1,292 @@
+// Package proxy implements the KubeFence enforcement point (paper §V-B):
+// an intercepting proxy deployed between API clients and the Kubernetes
+// API server — the role mitmproxy plays in the paper's implementation.
+//
+// Every incoming request is authenticated, and write requests (create,
+// update, patch) have their body parsed into a Kubernetes object and
+// checked against the workload's policy validator with the tree-overlap
+// comparison. Conforming requests are forwarded upstream unchanged;
+// violating requests are rejected with HTTP 403 and a violation record
+// carrying the offending field paths and reasons, enabling the auditing
+// and forensics the paper describes.
+//
+// Identity is propagated upstream via the front-proxy headers
+// (X-Forwarded-User/-Group) over an mTLS channel only the proxy can open,
+// preserving Complete Mediation: the API server refuses direct client
+// connections because only the proxy holds a client certificate.
+package proxy
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/object"
+	"repro/internal/validator"
+)
+
+// ViolationRecord is one denied request, for auditing.
+type ViolationRecord struct {
+	Time       time.Time
+	User       string
+	Method     string
+	RequestURI string
+	Kind       string
+	Name       string
+	Violations []validator.Violation
+}
+
+// Metrics aggregates proxy counters.
+type Metrics struct {
+	Requests       uint64
+	Inspected      uint64
+	Denied         uint64
+	ValidationTime time.Duration
+}
+
+// Config configures the proxy.
+type Config struct {
+	// Upstream is the API server base URL, e.g. "https://127.0.0.1:6443".
+	Upstream string
+	// Transport carries requests upstream (holds the mTLS client config).
+	// Defaults to http.DefaultTransport.
+	Transport http.RoundTripper
+	// Validator is the workload policy. Required.
+	Validator *validator.Validator
+	// ProxyUser is the identity the proxy asserts to the upstream API
+	// server when the channel is not mTLS (header authentication). It
+	// must be listed in the API server's FrontProxyUsers. With mTLS the
+	// proxy's client certificate CN carries the identity instead.
+	ProxyUser string
+	// OnViolation, when non-nil, receives every denial record.
+	OnViolation func(ViolationRecord)
+}
+
+// Proxy is the enforcement handler.
+type Proxy struct {
+	upstream  string
+	transport http.RoundTripper
+	proxyUser string
+	policy    atomic.Pointer[validator.Validator]
+	onViolate func(ViolationRecord)
+
+	mu         sync.Mutex
+	violations []ViolationRecord
+	requests   atomic.Uint64
+	inspected  atomic.Uint64
+	denied     atomic.Uint64
+	valNanos   atomic.Int64
+}
+
+// New builds a Proxy.
+func New(cfg Config) (*Proxy, error) {
+	if cfg.Validator == nil {
+		return nil, fmt.Errorf("proxy: Config.Validator is required")
+	}
+	if cfg.Upstream == "" {
+		return nil, fmt.Errorf("proxy: Config.Upstream is required")
+	}
+	p := &Proxy{
+		upstream:  strings.TrimSuffix(cfg.Upstream, "/"),
+		transport: cfg.Transport,
+		proxyUser: cfg.ProxyUser,
+		onViolate: cfg.OnViolation,
+	}
+	if p.transport == nil {
+		p.transport = http.DefaultTransport
+	}
+	p.policy.Store(cfg.Validator)
+	return p, nil
+}
+
+// SetValidator swaps the enforced policy atomically (policy updates
+// without proxy restarts).
+func (p *Proxy) SetValidator(v *validator.Validator) { p.policy.Store(v) }
+
+// Violations returns a snapshot of all denial records.
+func (p *Proxy) Violations() []ViolationRecord {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ViolationRecord, len(p.violations))
+	copy(out, p.violations)
+	return out
+}
+
+// ResetViolations clears the denial log.
+func (p *Proxy) ResetViolations() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.violations = nil
+}
+
+// Metrics returns a snapshot of the counters.
+func (p *Proxy) Metrics() Metrics {
+	return Metrics{
+		Requests:       p.requests.Load(),
+		Inspected:      p.inspected.Load(),
+		Denied:         p.denied.Load(),
+		ValidationTime: time.Duration(p.valNanos.Load()),
+	}
+}
+
+// ServeHTTP implements http.Handler: inspect, validate, forward or deny.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	p.requests.Add(1)
+	user, groups := clientIdentity(r)
+
+	var body []byte
+	if r.Body != nil {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, 4<<20))
+		if err != nil {
+			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		r.Body.Close()
+	}
+
+	if inspectable(r.Method) && len(body) > 0 {
+		p.inspected.Add(1)
+		start := time.Now()
+		obj, err := decodeObject(body, r.Header.Get("Content-Type"))
+		if err != nil {
+			p.valNanos.Add(int64(time.Since(start)))
+			p.reject(w, r, user, nil, []validator.Violation{{
+				Reason: "request body is not a valid Kubernetes object: " + err.Error(),
+			}})
+			return
+		}
+		violations := p.policy.Load().Validate(obj)
+		p.valNanos.Add(int64(time.Since(start)))
+		if len(violations) > 0 {
+			p.reject(w, r, user, obj, violations)
+			return
+		}
+	}
+
+	p.forward(w, r, user, groups, body)
+}
+
+// inspectable reports whether the method carries a specification to
+// validate. Reads and deletes carry no object specification; the paper's
+// policies constrain what may be *created or reconfigured*.
+func inspectable(method string) bool {
+	switch method {
+	case http.MethodPost, http.MethodPut, http.MethodPatch:
+		return true
+	}
+	return false
+}
+
+func decodeObject(body []byte, contentType string) (object.Object, error) {
+	if strings.Contains(contentType, "yaml") {
+		return object.ParseManifest(body)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		return nil, err
+	}
+	return object.Object(m), nil
+}
+
+// clientIdentity extracts the caller identity the same way the API server
+// would have (client certificate CN, else X-Remote-User).
+func clientIdentity(r *http.Request) (string, []string) {
+	if r.TLS != nil && len(r.TLS.PeerCertificates) > 0 {
+		leaf := r.TLS.PeerCertificates[0]
+		return leaf.Subject.CommonName, leaf.Subject.Organization
+	}
+	if h := r.Header.Get("X-Remote-User"); h != "" {
+		return h, r.Header.Values("X-Remote-Group")
+	}
+	return "system:anonymous", nil
+}
+
+func (p *Proxy) reject(w http.ResponseWriter, r *http.Request, user string,
+	obj object.Object, violations []validator.Violation) {
+	p.denied.Add(1)
+	rec := ViolationRecord{
+		Time:       time.Now(),
+		User:       user,
+		Method:     r.Method,
+		RequestURI: r.URL.Path,
+		Violations: violations,
+	}
+	if obj != nil {
+		rec.Kind = obj.Kind()
+		rec.Name = obj.Name()
+	}
+	p.mu.Lock()
+	p.violations = append(p.violations, rec)
+	p.mu.Unlock()
+	if p.onViolate != nil {
+		p.onViolate(rec)
+	}
+
+	msgs := make([]string, len(violations))
+	for i, v := range violations {
+		msgs[i] = v.String()
+	}
+	body := map[string]any{
+		"kind":    "Status",
+		"status":  "Failure",
+		"reason":  "KubeFencePolicyViolation",
+		"message": "request blocked by KubeFence policy: " + strings.Join(msgs, "; "),
+		"code":    http.StatusForbidden,
+		"details": map[string]any{"violations": msgs},
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusForbidden)
+	_ = json.NewEncoder(w).Encode(body)
+}
+
+// forward relays the (possibly re-read) request upstream, asserting the
+// original caller via front-proxy headers.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, user string,
+	groups []string, body []byte) {
+	url := p.upstream + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	if err != nil {
+		http.Error(w, "building upstream request: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	for k, vs := range r.Header {
+		// Strip identity headers a client might try to smuggle.
+		if k == "X-Forwarded-User" || k == "X-Forwarded-Group" || k == "X-Remote-User" || k == "X-Remote-Group" {
+			continue
+		}
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	req.Header.Set("X-Forwarded-User", user)
+	for _, g := range groups {
+		req.Header.Add("X-Forwarded-Group", g)
+	}
+	if p.proxyUser != "" {
+		req.Header.Set("X-Remote-User", p.proxyUser)
+	}
+
+	resp, err := p.transport.RoundTrip(req)
+	if err != nil {
+		http.Error(w, "upstream error: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

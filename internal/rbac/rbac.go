@@ -1,0 +1,426 @@
+// Package rbac implements Kubernetes role-based access control — the
+// baseline enforcement mechanism KubeFence is evaluated against. It
+// provides the four RBAC object kinds (Role, ClusterRole, RoleBinding,
+// ClusterRoleBinding), an authorizer evaluating (user, verb, group,
+// resource, namespace) tuples, and conversion to and from unstructured
+// manifests so policies can be stored in the API server like any other
+// object.
+//
+// As in upstream Kubernetes, RBAC decides per resource and verb only — it
+// never inspects request bodies. That granularity gap is exactly what the
+// paper demonstrates (Table III: RBAC blocks 0 of 15 specification-level
+// attacks).
+package rbac
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/object"
+)
+
+// Rule grants verbs on resources within API groups.
+type Rule struct {
+	APIGroups     []string
+	Resources     []string
+	Verbs         []string
+	ResourceNames []string
+}
+
+// Role is a namespaced bundle of rules.
+type Role struct {
+	Name      string
+	Namespace string
+	Rules     []Rule
+}
+
+// ClusterRole is a cluster-scoped bundle of rules.
+type ClusterRole struct {
+	Name  string
+	Rules []Rule
+}
+
+// SubjectKind enumerates binding subject kinds.
+type SubjectKind string
+
+// Subject kinds.
+const (
+	UserKind           SubjectKind = "User"
+	GroupKind          SubjectKind = "Group"
+	ServiceAccountKind SubjectKind = "ServiceAccount"
+)
+
+// Subject identifies who a binding grants to.
+type Subject struct {
+	Kind      SubjectKind
+	Name      string
+	Namespace string // ServiceAccount subjects only
+}
+
+// RoleRef points a binding at a Role or ClusterRole.
+type RoleRef struct {
+	Kind string // "Role" or "ClusterRole"
+	Name string
+}
+
+// RoleBinding grants a role's rules to subjects within one namespace.
+type RoleBinding struct {
+	Name      string
+	Namespace string
+	Subjects  []Subject
+	RoleRef   RoleRef
+}
+
+// ClusterRoleBinding grants a cluster role's rules cluster-wide.
+type ClusterRoleBinding struct {
+	Name     string
+	Subjects []Subject
+	RoleRef  RoleRef
+}
+
+// Attributes describe one authorization question.
+type Attributes struct {
+	User      string
+	Groups    []string
+	Verb      string // get, list, watch, create, update, patch, delete
+	APIGroup  string // "" for core
+	Resource  string // plural, e.g. "deployments"
+	Namespace string // "" for cluster-scoped requests
+	Name      string // object name, may be empty for list/create
+}
+
+// Authorizer evaluates attributes against loaded RBAC objects. The zero
+// value denies everything; use New and the Add methods.
+type Authorizer struct {
+	roles               map[string]*Role // ns/name
+	clusterRoles        map[string]*ClusterRole
+	roleBindings        []*RoleBinding
+	clusterRoleBindings []*ClusterRoleBinding
+}
+
+// New returns an empty (deny-all) authorizer.
+func New() *Authorizer {
+	return &Authorizer{
+		roles:        map[string]*Role{},
+		clusterRoles: map[string]*ClusterRole{},
+	}
+}
+
+// AddRole registers a Role.
+func (a *Authorizer) AddRole(r *Role) { a.roles[r.Namespace+"/"+r.Name] = r }
+
+// AddClusterRole registers a ClusterRole.
+func (a *Authorizer) AddClusterRole(r *ClusterRole) { a.clusterRoles[r.Name] = r }
+
+// AddRoleBinding registers a RoleBinding.
+func (a *Authorizer) AddRoleBinding(b *RoleBinding) { a.roleBindings = append(a.roleBindings, b) }
+
+// AddClusterRoleBinding registers a ClusterRoleBinding.
+func (a *Authorizer) AddClusterRoleBinding(b *ClusterRoleBinding) {
+	a.clusterRoleBindings = append(a.clusterRoleBindings, b)
+}
+
+// Authorize reports whether the attributes are allowed, and by which
+// binding ("" when denied).
+func (a *Authorizer) Authorize(attr Attributes) (bool, string) {
+	for _, b := range a.clusterRoleBindings {
+		if !subjectsMatch(b.Subjects, attr) {
+			continue
+		}
+		cr, ok := a.clusterRoles[b.RoleRef.Name]
+		if !ok || b.RoleRef.Kind != "ClusterRole" {
+			continue
+		}
+		if rulesMatch(cr.Rules, attr) {
+			return true, "ClusterRoleBinding/" + b.Name
+		}
+	}
+	for _, b := range a.roleBindings {
+		if b.Namespace != attr.Namespace {
+			continue
+		}
+		if !subjectsMatch(b.Subjects, attr) {
+			continue
+		}
+		var rules []Rule
+		switch b.RoleRef.Kind {
+		case "Role":
+			r, ok := a.roles[b.Namespace+"/"+b.RoleRef.Name]
+			if !ok {
+				continue
+			}
+			rules = r.Rules
+		case "ClusterRole":
+			r, ok := a.clusterRoles[b.RoleRef.Name]
+			if !ok {
+				continue
+			}
+			rules = r.Rules
+		default:
+			continue
+		}
+		if rulesMatch(rules, attr) {
+			return true, "RoleBinding/" + b.Namespace + "/" + b.Name
+		}
+	}
+	return false, ""
+}
+
+func subjectsMatch(subjects []Subject, attr Attributes) bool {
+	for _, s := range subjects {
+		switch s.Kind {
+		case UserKind:
+			if s.Name == attr.User {
+				return true
+			}
+		case GroupKind:
+			for _, g := range attr.Groups {
+				if s.Name == g {
+					return true
+				}
+			}
+		case ServiceAccountKind:
+			if attr.User == "system:serviceaccount:"+s.Namespace+":"+s.Name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func rulesMatch(rules []Rule, attr Attributes) bool {
+	for _, r := range rules {
+		if !matchList(r.APIGroups, attr.APIGroup) {
+			continue
+		}
+		if !matchList(r.Resources, attr.Resource) {
+			continue
+		}
+		if !matchList(r.Verbs, attr.Verb) {
+			continue
+		}
+		if len(r.ResourceNames) > 0 && attr.Name != "" && !matchList(r.ResourceNames, attr.Name) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func matchList(allowed []string, v string) bool {
+	for _, a := range allowed {
+		if a == "*" || a == v {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------
+// Manifest conversion
+// ---------------------------------------------------------------------
+
+// LoadObject folds an unstructured RBAC manifest into the authorizer.
+// Non-RBAC kinds return an error.
+func (a *Authorizer) LoadObject(o object.Object) error {
+	switch o.Kind() {
+	case "Role":
+		a.AddRole(&Role{Name: o.Name(), Namespace: o.Namespace(), Rules: parseRules(o)})
+	case "ClusterRole":
+		a.AddClusterRole(&ClusterRole{Name: o.Name(), Rules: parseRules(o)})
+	case "RoleBinding":
+		a.AddRoleBinding(&RoleBinding{
+			Name:      o.Name(),
+			Namespace: o.Namespace(),
+			Subjects:  parseSubjects(o),
+			RoleRef:   parseRoleRef(o),
+		})
+	case "ClusterRoleBinding":
+		a.AddClusterRoleBinding(&ClusterRoleBinding{
+			Name:     o.Name(),
+			Subjects: parseSubjects(o),
+			RoleRef:  parseRoleRef(o),
+		})
+	default:
+		return fmt.Errorf("rbac: %s is not an RBAC kind", o.Kind())
+	}
+	return nil
+}
+
+// LoadObjects folds a set of manifests, ignoring non-RBAC kinds.
+func (a *Authorizer) LoadObjects(objs []object.Object) {
+	for _, o := range objs {
+		switch o.Kind() {
+		case "Role", "ClusterRole", "RoleBinding", "ClusterRoleBinding":
+			_ = a.LoadObject(o)
+		}
+	}
+}
+
+func parseRules(o object.Object) []Rule {
+	items, _ := object.GetSlice(o, "rules")
+	out := make([]Rule, 0, len(items))
+	for _, it := range items {
+		m, ok := it.(map[string]any)
+		if !ok {
+			continue
+		}
+		out = append(out, Rule{
+			APIGroups:     stringSlice(m["apiGroups"]),
+			Resources:     stringSlice(m["resources"]),
+			Verbs:         stringSlice(m["verbs"]),
+			ResourceNames: stringSlice(m["resourceNames"]),
+		})
+	}
+	return out
+}
+
+func parseSubjects(o object.Object) []Subject {
+	items, _ := object.GetSlice(o, "subjects")
+	out := make([]Subject, 0, len(items))
+	for _, it := range items {
+		m, ok := it.(map[string]any)
+		if !ok {
+			continue
+		}
+		kind, _ := m["kind"].(string)
+		name, _ := m["name"].(string)
+		ns, _ := m["namespace"].(string)
+		out = append(out, Subject{Kind: SubjectKind(kind), Name: name, Namespace: ns})
+	}
+	return out
+}
+
+func parseRoleRef(o object.Object) RoleRef {
+	m, _ := object.GetMap(o, "roleRef")
+	kind, _ := m["kind"].(string)
+	name, _ := m["name"].(string)
+	return RoleRef{Kind: kind, Name: name}
+}
+
+func stringSlice(v any) []string {
+	items, ok := v.([]any)
+	if !ok {
+		return nil
+	}
+	out := make([]string, 0, len(items))
+	for _, it := range items {
+		if s, ok := it.(string); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ToObject renders a Role as an unstructured manifest.
+func (r *Role) ToObject() object.Object {
+	return object.Object{
+		"apiVersion": "rbac.authorization.k8s.io/v1",
+		"kind":       "Role",
+		"metadata":   map[string]any{"name": r.Name, "namespace": r.Namespace},
+		"rules":      rulesToAny(r.Rules),
+	}
+}
+
+// ToObject renders a ClusterRole as an unstructured manifest.
+func (r *ClusterRole) ToObject() object.Object {
+	return object.Object{
+		"apiVersion": "rbac.authorization.k8s.io/v1",
+		"kind":       "ClusterRole",
+		"metadata":   map[string]any{"name": r.Name},
+		"rules":      rulesToAny(r.Rules),
+	}
+}
+
+// ToObject renders a RoleBinding as an unstructured manifest.
+func (b *RoleBinding) ToObject() object.Object {
+	return object.Object{
+		"apiVersion": "rbac.authorization.k8s.io/v1",
+		"kind":       "RoleBinding",
+		"metadata":   map[string]any{"name": b.Name, "namespace": b.Namespace},
+		"subjects":   subjectsToAny(b.Subjects),
+		"roleRef": map[string]any{
+			"apiGroup": "rbac.authorization.k8s.io",
+			"kind":     b.RoleRef.Kind,
+			"name":     b.RoleRef.Name,
+		},
+	}
+}
+
+// ToObject renders a ClusterRoleBinding as an unstructured manifest.
+func (b *ClusterRoleBinding) ToObject() object.Object {
+	return object.Object{
+		"apiVersion": "rbac.authorization.k8s.io/v1",
+		"kind":       "ClusterRoleBinding",
+		"metadata":   map[string]any{"name": b.Name},
+		"subjects":   subjectsToAny(b.Subjects),
+		"roleRef": map[string]any{
+			"apiGroup": "rbac.authorization.k8s.io",
+			"kind":     b.RoleRef.Kind,
+			"name":     b.RoleRef.Name,
+		},
+	}
+}
+
+func rulesToAny(rules []Rule) []any {
+	out := make([]any, 0, len(rules))
+	for _, r := range rules {
+		m := map[string]any{
+			"apiGroups": anySlice(r.APIGroups),
+			"resources": anySlice(r.Resources),
+			"verbs":     anySlice(r.Verbs),
+		}
+		if len(r.ResourceNames) > 0 {
+			m["resourceNames"] = anySlice(r.ResourceNames)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func subjectsToAny(subjects []Subject) []any {
+	out := make([]any, 0, len(subjects))
+	for _, s := range subjects {
+		m := map[string]any{"kind": string(s.Kind), "name": s.Name}
+		if s.Kind == ServiceAccountKind {
+			m["namespace"] = s.Namespace
+		} else {
+			m["apiGroup"] = "rbac.authorization.k8s.io"
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+func anySlice(ss []string) []any {
+	out := make([]any, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+// Normalize sorts rule members for deterministic serialization.
+func (r *Rule) Normalize() {
+	sort.Strings(r.APIGroups)
+	sort.Strings(r.Resources)
+	sort.Strings(r.Verbs)
+	sort.Strings(r.ResourceNames)
+}
+
+// String renders attributes for logs.
+func (attr Attributes) String() string {
+	parts := []string{attr.Verb}
+	if attr.APIGroup != "" {
+		parts = append(parts, attr.APIGroup)
+	}
+	parts = append(parts, attr.Resource)
+	if attr.Namespace != "" {
+		parts = append(parts, "ns="+attr.Namespace)
+	}
+	if attr.Name != "" {
+		parts = append(parts, attr.Name)
+	}
+	return attr.User + ": " + strings.Join(parts, " ")
+}

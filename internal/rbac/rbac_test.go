@@ -1,0 +1,233 @@
+package rbac
+
+import (
+	"testing"
+
+	"repro/internal/object"
+)
+
+func devAuthorizer() *Authorizer {
+	a := New()
+	a.AddRole(&Role{
+		Name:      "pod-manager",
+		Namespace: "dev",
+		Rules: []Rule{
+			{APIGroups: []string{""}, Resources: []string{"pods"},
+				Verbs: []string{"get", "list", "create", "delete"}},
+		},
+	})
+	a.AddRoleBinding(&RoleBinding{
+		Name:      "alice-pods",
+		Namespace: "dev",
+		Subjects:  []Subject{{Kind: UserKind, Name: "alice"}},
+		RoleRef:   RoleRef{Kind: "Role", Name: "pod-manager"},
+	})
+	a.AddClusterRole(&ClusterRole{
+		Name: "deployment-admin",
+		Rules: []Rule{
+			{APIGroups: []string{"apps"}, Resources: []string{"deployments"},
+				Verbs: []string{"*"}},
+		},
+	})
+	a.AddClusterRoleBinding(&ClusterRoleBinding{
+		Name:     "ops-deployments",
+		Subjects: []Subject{{Kind: GroupKind, Name: "ops"}},
+		RoleRef:  RoleRef{Kind: "ClusterRole", Name: "deployment-admin"},
+	})
+	return a
+}
+
+func TestRoleBindingScope(t *testing.T) {
+	a := devAuthorizer()
+	tests := []struct {
+		name string
+		attr Attributes
+		want bool
+	}{
+		{"allowed verb+resource+ns", Attributes{User: "alice", Verb: "create", Resource: "pods", Namespace: "dev"}, true},
+		{"get allowed", Attributes{User: "alice", Verb: "get", Resource: "pods", Namespace: "dev", Name: "web"}, true},
+		{"wrong namespace", Attributes{User: "alice", Verb: "create", Resource: "pods", Namespace: "prod"}, false},
+		{"wrong verb", Attributes{User: "alice", Verb: "update", Resource: "pods", Namespace: "dev"}, false},
+		{"wrong resource", Attributes{User: "alice", Verb: "create", Resource: "secrets", Namespace: "dev"}, false},
+		{"wrong user", Attributes{User: "bob", Verb: "create", Resource: "pods", Namespace: "dev"}, false},
+		{"wrong api group", Attributes{User: "alice", Verb: "create", APIGroup: "apps", Resource: "pods", Namespace: "dev"}, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, _ := a.Authorize(tt.attr)
+			if got != tt.want {
+				t.Errorf("Authorize(%s) = %v, want %v", tt.attr, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestClusterRoleBindingGrantsEverywhere(t *testing.T) {
+	a := devAuthorizer()
+	for _, ns := range []string{"dev", "prod", "kube-system"} {
+		ok, by := a.Authorize(Attributes{
+			User: "carol", Groups: []string{"ops"},
+			Verb: "delete", APIGroup: "apps", Resource: "deployments", Namespace: ns,
+		})
+		if !ok {
+			t.Errorf("ops group should manage deployments in %s", ns)
+		}
+		if by != "ClusterRoleBinding/ops-deployments" {
+			t.Errorf("granted by %q", by)
+		}
+	}
+}
+
+func TestWildcardVerb(t *testing.T) {
+	a := devAuthorizer()
+	for _, verb := range []string{"get", "create", "patch", "watch"} {
+		if ok, _ := a.Authorize(Attributes{
+			User: "x", Groups: []string{"ops"},
+			Verb: verb, APIGroup: "apps", Resource: "deployments",
+		}); !ok {
+			t.Errorf("verb %s should match wildcard", verb)
+		}
+	}
+}
+
+func TestServiceAccountSubject(t *testing.T) {
+	a := New()
+	a.AddRole(&Role{Name: "reader", Namespace: "dev",
+		Rules: []Rule{{APIGroups: []string{""}, Resources: []string{"endpoints"}, Verbs: []string{"get"}}}})
+	a.AddRoleBinding(&RoleBinding{
+		Name: "sa-reader", Namespace: "dev",
+		Subjects: []Subject{{Kind: ServiceAccountKind, Name: "app", Namespace: "dev"}},
+		RoleRef:  RoleRef{Kind: "Role", Name: "reader"},
+	})
+	if ok, _ := a.Authorize(Attributes{
+		User: "system:serviceaccount:dev:app", Verb: "get", Resource: "endpoints", Namespace: "dev",
+	}); !ok {
+		t.Error("service account should be authorized")
+	}
+	if ok, _ := a.Authorize(Attributes{
+		User: "system:serviceaccount:other:app", Verb: "get", Resource: "endpoints", Namespace: "dev",
+	}); ok {
+		t.Error("service account from other namespace should be denied")
+	}
+}
+
+func TestRoleBindingToClusterRole(t *testing.T) {
+	// A RoleBinding can grant a ClusterRole's rules within its namespace.
+	a := New()
+	a.AddClusterRole(&ClusterRole{Name: "secret-reader",
+		Rules: []Rule{{APIGroups: []string{""}, Resources: []string{"secrets"}, Verbs: []string{"get"}}}})
+	a.AddRoleBinding(&RoleBinding{
+		Name: "b", Namespace: "dev",
+		Subjects: []Subject{{Kind: UserKind, Name: "alice"}},
+		RoleRef:  RoleRef{Kind: "ClusterRole", Name: "secret-reader"},
+	})
+	if ok, _ := a.Authorize(Attributes{User: "alice", Verb: "get", Resource: "secrets", Namespace: "dev"}); !ok {
+		t.Error("should be allowed in binding namespace")
+	}
+	if ok, _ := a.Authorize(Attributes{User: "alice", Verb: "get", Resource: "secrets", Namespace: "prod"}); ok {
+		t.Error("must not leak outside binding namespace")
+	}
+}
+
+func TestResourceNames(t *testing.T) {
+	a := New()
+	a.AddRole(&Role{Name: "one-cm", Namespace: "dev",
+		Rules: []Rule{{APIGroups: []string{""}, Resources: []string{"configmaps"},
+			Verbs: []string{"get"}, ResourceNames: []string{"app-config"}}}})
+	a.AddRoleBinding(&RoleBinding{Name: "b", Namespace: "dev",
+		Subjects: []Subject{{Kind: UserKind, Name: "alice"}},
+		RoleRef:  RoleRef{Kind: "Role", Name: "one-cm"}})
+	if ok, _ := a.Authorize(Attributes{User: "alice", Verb: "get", Resource: "configmaps",
+		Namespace: "dev", Name: "app-config"}); !ok {
+		t.Error("named resource should be allowed")
+	}
+	if ok, _ := a.Authorize(Attributes{User: "alice", Verb: "get", Resource: "configmaps",
+		Namespace: "dev", Name: "other"}); ok {
+		t.Error("other names should be denied")
+	}
+}
+
+func TestDanglingBinding(t *testing.T) {
+	a := New()
+	a.AddRoleBinding(&RoleBinding{Name: "dangling", Namespace: "dev",
+		Subjects: []Subject{{Kind: UserKind, Name: "alice"}},
+		RoleRef:  RoleRef{Kind: "Role", Name: "missing-role"}})
+	if ok, _ := a.Authorize(Attributes{User: "alice", Verb: "get", Resource: "pods", Namespace: "dev"}); ok {
+		t.Error("binding to missing role must deny")
+	}
+}
+
+func TestZeroAuthorizerDeniesAll(t *testing.T) {
+	a := New()
+	if ok, _ := a.Authorize(Attributes{User: "root", Verb: "get", Resource: "pods"}); ok {
+		t.Error("empty authorizer must deny")
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	role := &Role{Name: "r", Namespace: "ns", Rules: []Rule{
+		{APIGroups: []string{""}, Resources: []string{"pods", "configmaps"},
+			Verbs: []string{"get", "list"}, ResourceNames: []string{"x"}},
+	}}
+	binding := &RoleBinding{Name: "b", Namespace: "ns",
+		Subjects: []Subject{
+			{Kind: UserKind, Name: "alice"},
+			{Kind: ServiceAccountKind, Name: "app", Namespace: "ns"},
+		},
+		RoleRef: RoleRef{Kind: "Role", Name: "r"}}
+
+	a := New()
+	if err := a.LoadObject(role.ToObject()); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.LoadObject(binding.ToObject()); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := a.Authorize(Attributes{User: "alice", Verb: "list", Resource: "configmaps", Namespace: "ns"}); !ok {
+		t.Error("round-tripped policy should authorize alice")
+	}
+	if ok, _ := a.Authorize(Attributes{
+		User: "system:serviceaccount:ns:app", Verb: "get", Resource: "pods", Namespace: "ns", Name: "x",
+	}); !ok {
+		t.Error("round-tripped policy should authorize the service account")
+	}
+}
+
+func TestLoadObjectRejectsNonRBAC(t *testing.T) {
+	a := New()
+	if err := a.LoadObject(object.Object{"kind": "Pod"}); err == nil {
+		t.Error("non-RBAC kind should error")
+	}
+}
+
+func TestLoadObjectsIgnoresNonRBAC(t *testing.T) {
+	a := New()
+	a.LoadObjects([]object.Object{
+		{"kind": "Pod", "metadata": map[string]any{"name": "x"}},
+		(&ClusterRole{Name: "cr", Rules: []Rule{{APIGroups: []string{"*"},
+			Resources: []string{"*"}, Verbs: []string{"*"}}}}).ToObject(),
+		(&ClusterRoleBinding{Name: "crb",
+			Subjects: []Subject{{Kind: UserKind, Name: "admin"}},
+			RoleRef:  RoleRef{Kind: "ClusterRole", Name: "cr"}}).ToObject(),
+	})
+	if ok, _ := a.Authorize(Attributes{User: "admin", Verb: "delete",
+		APIGroup: "apps", Resource: "deployments", Namespace: "any"}); !ok {
+		t.Error("cluster-admin style policy should authorize")
+	}
+}
+
+func TestRBACCannotSeeSpecFields(t *testing.T) {
+	// Meta-test documenting the paper's core claim: Attributes carry no
+	// request body, so two requests differing only in spec content are
+	// indistinguishable to RBAC.
+	a := devAuthorizer()
+	benign := Attributes{User: "alice", Verb: "create", Resource: "pods", Namespace: "dev"}
+	// A "malicious" pod (hostNetwork, privileged, …) produces the exact
+	// same attributes:
+	malicious := benign
+	okB, _ := a.Authorize(benign)
+	okM, _ := a.Authorize(malicious)
+	if okB != okM || !okB {
+		t.Error("RBAC must (by design) treat both identically")
+	}
+}

@@ -1,0 +1,441 @@
+// Package schema implements the first phase of the KubeFence pipeline
+// (paper §V-A, Fig. 7): transforming a Helm chart's default values file
+// into a *values schema* that generalizes each field to its domain.
+//
+// The transformation:
+//
+//  1. replaces static scalars with placeholders representing data types or
+//     valid ranges: bool, string, int, float, IP, [list], {dict};
+//  2. replaces enumerative fields with the list of valid options extracted
+//     from comment annotations in the values file (e.g. "# standalone or
+//     repl");
+//  3. locks security-critical fields to safe constants according to
+//     Kubernetes best practices (e.g. securityContext.runAsNonRoot: true,
+//     image registry/repository pinned to their trusted defaults), adding
+//     missing critical fields explicitly.
+//
+// Boolean values are modeled as two-valued enums {false, true}: Helm
+// conditionals branch on them, so the exploration phase must render both
+// branches to cover every structure the chart can produce. This is the
+// precise meaning of the paper's "bool" placeholder.
+package schema
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/chart"
+	"repro/internal/object"
+	"repro/internal/yaml"
+)
+
+// Placeholder tokens, verbatim from the paper's Fig. 7.
+const (
+	TokString = "string"
+	TokInt    = "int"
+	TokFloat  = "float"
+	TokBool   = "bool"
+	TokIP     = "IP"
+	TokList   = "[list]"
+	TokDict   = "{dict}"
+)
+
+// Render sentinels substitute for the display tokens while variants flow
+// through templates. Plain tokens like "string" are ambiguous once
+// concatenated into composed values ("-Xmx" + "string" has no detectable
+// boundary); the sentinels cannot collide with legitimate chart content,
+// so the validator can recognize them embedded anywhere. Presentation
+// layers convert back to the paper's plain notation.
+var renderSentinels = map[string]string{
+	TokString: "__KF_STRING__",
+	TokInt:    "__KF_INT__",
+	TokFloat:  "__KF_FLOAT__",
+	TokBool:   "__KF_BOOL__",
+	TokIP:     "__KF_IP__",
+	TokList:   "__KF_LIST__",
+	TokDict:   "__KF_DICT__",
+}
+
+var sentinelTokens = invertSentinels()
+
+func invertSentinels() map[string]string {
+	m := make(map[string]string, len(renderSentinels))
+	for tok, sent := range renderSentinels {
+		m[sent] = tok
+	}
+	return m
+}
+
+// RenderToken returns the sentinel used to render a placeholder through
+// templates.
+func RenderToken(tok string) string {
+	if s, ok := renderSentinels[tok]; ok {
+		return s
+	}
+	return tok
+}
+
+// NodeKind classifies a values-schema node.
+type NodeKind int
+
+// Node kinds.
+const (
+	KindScalar   NodeKind = iota + 1 // generalized scalar: Placeholder token
+	KindConst                        // locked constant (security-critical)
+	KindEnum                         // enumerative field: one of Options
+	KindMap                          // nested mapping
+	KindList                         // list; Items holds the default elements
+	KindFreeDict                     // free-form mapping ({dict})
+)
+
+// Node is one node of the values schema.
+type Node struct {
+	Kind        NodeKind
+	Placeholder string           // KindScalar
+	Const       any              // KindConst
+	Options     []any            // KindEnum, in exploration order
+	Fields      map[string]*Node // KindMap
+	Items       []any            // KindList: default items, used for rendering
+}
+
+// Schema is the values schema of one chart.
+type Schema struct {
+	Chart *chart.Chart
+	Root  *Node
+}
+
+// Options configure schema generation.
+type Options struct {
+	// Locks lists the security locks to apply. Nil means DefaultLocks().
+	Locks []Lock
+	// DisableLocks turns off security locking entirely (ablation).
+	DisableLocks bool
+}
+
+// Lock pins a security-critical field to safe constant(s).
+type Lock struct {
+	// PathSuffix matches dotted value paths by suffix segments, e.g.
+	// "securityContext.runAsNonRoot" or "runAsNonRoot".
+	PathSuffix string
+	// Value is the safe constant the field is locked to.
+	Value any
+	// AddIfMissing inserts the lock into a parent mapping that matches
+	// ParentSuffix but lacks the final field.
+	AddIfMissing bool
+	// LockToDefault pins the field to whatever value the chart declares
+	// instead of Value (used for registry/repository trust pinning).
+	LockToDefault bool
+}
+
+// DefaultLocks returns the best-practice lock set from the paper (§V-A):
+// pod security context hardening plus image registry/repository pinning
+// against typosquatting.
+func DefaultLocks() []Lock {
+	return []Lock{
+		{PathSuffix: "runAsNonRoot", Value: true, AddIfMissing: true},
+		{PathSuffix: "allowPrivilegeEscalation", Value: false},
+		{PathSuffix: "privileged", Value: false},
+		{PathSuffix: "readOnlyRootFilesystem", Value: true},
+		{PathSuffix: "hostNetwork", Value: false},
+		{PathSuffix: "hostPID", Value: false},
+		{PathSuffix: "hostIPC", Value: false},
+		{PathSuffix: "image.registry", LockToDefault: true},
+		{PathSuffix: "image.repository", LockToDefault: true},
+	}
+}
+
+// Generate builds the values schema for a chart.
+func Generate(c *chart.Chart, opts Options) (*Schema, error) {
+	locks := opts.Locks
+	if locks == nil && !opts.DisableLocks {
+		locks = DefaultLocks()
+	}
+	if opts.DisableLocks {
+		locks = nil
+	}
+	g := &generator{comments: c.ValueComments, locks: locks}
+	root, err := g.node(c.Values, "")
+	if err != nil {
+		return nil, fmt.Errorf("schema: chart %s: %w", c.Name, err)
+	}
+	if root.Kind != KindMap {
+		return nil, fmt.Errorf("schema: chart %s: values root is not a mapping", c.Name)
+	}
+	return &Schema{Chart: c, Root: root}, nil
+}
+
+type generator struct {
+	comments map[string]string
+	locks    []Lock
+}
+
+func (g *generator) node(v any, path string) (*Node, error) {
+	// Lock check first: locked fields keep constants, not placeholders.
+	if lock, ok := g.lockFor(path); ok {
+		val := lock.Value
+		if lock.LockToDefault {
+			val = v
+		}
+		return &Node{Kind: KindConst, Const: val}, nil
+	}
+	switch t := v.(type) {
+	case map[string]any:
+		if len(t) == 0 {
+			return &Node{Kind: KindFreeDict}, nil
+		}
+		fields := make(map[string]*Node, len(t))
+		keys := sortedKeys(t)
+		for _, k := range keys {
+			childPath := joinPath(path, k)
+			n, err := g.node(t[k], childPath)
+			if err != nil {
+				return nil, err
+			}
+			fields[k] = n
+		}
+		g.addMissingLocks(fields, path)
+		return &Node{Kind: KindMap, Fields: fields}, nil
+	case []any:
+		return &Node{Kind: KindList, Items: object.DeepCopyValue(t).([]any)}, nil
+	case bool:
+		// Bools are two-valued enums so exploration renders both branches
+		// of any conditional gated on them. Put the default first.
+		other := !t
+		return &Node{Kind: KindEnum, Options: []any{t, other}}, nil
+	case int64:
+		return &Node{Kind: KindScalar, Placeholder: TokInt}, nil
+	case float64:
+		return &Node{Kind: KindScalar, Placeholder: TokFloat}, nil
+	case string:
+		if opts := g.enumOptions(path, t); len(opts) > 1 {
+			return &Node{Kind: KindEnum, Options: opts}, nil
+		}
+		if ipRe.MatchString(t) {
+			return &Node{Kind: KindScalar, Placeholder: TokIP}, nil
+		}
+		return &Node{Kind: KindScalar, Placeholder: TokString}, nil
+	case nil:
+		return &Node{Kind: KindScalar, Placeholder: TokString}, nil
+	default:
+		return nil, fmt.Errorf("unsupported value type %T at %q", v, path)
+	}
+}
+
+func (g *generator) lockFor(path string) (Lock, bool) {
+	for _, l := range g.locks {
+		if suffixMatch(path, l.PathSuffix) {
+			return l, true
+		}
+	}
+	return Lock{}, false
+}
+
+// addMissingLocks inserts AddIfMissing locks into security-context-like
+// mappings that omit the critical field ("any missing critical field is
+// explicitly added", §V-A).
+func (g *generator) addMissingLocks(fields map[string]*Node, path string) {
+	if !strings.Contains(strings.ToLower(lastSegment(path)), "securitycontext") {
+		return
+	}
+	for _, l := range g.locks {
+		if !l.AddIfMissing {
+			continue
+		}
+		field := lastSegment(l.PathSuffix)
+		if _, present := fields[field]; !present {
+			fields[field] = &Node{Kind: KindConst, Const: l.Value}
+		}
+	}
+}
+
+// suffixMatch reports whether path ends with the dotted suffix on segment
+// boundaries.
+func suffixMatch(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "."+suffix)
+}
+
+func lastSegment(path string) string {
+	if i := strings.LastIndexByte(path, '.'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+func joinPath(path, key string) string {
+	if path == "" {
+		return key
+	}
+	return path + "." + key
+}
+
+func sortedKeys(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var ipRe = regexp.MustCompile(`^(\d{1,3}\.){3}\d{1,3}$`)
+
+// Comment-annotation grammars for enumerative fields, e.g.:
+//
+//	# standalone or repl
+//	# one of: ClusterIP, NodePort, LoadBalancer
+//	# allowed values: debug | info | warn
+var (
+	enumListRe = regexp.MustCompile(`(?i)(?:one of|allowed(?: values)?|valid(?: values)?)\s*[:=]?\s*(.+)`)
+	orSplitRe  = regexp.MustCompile(`\s+or\s+`)
+)
+
+// enumOptions extracts the enum domain for a path from its comment. The
+// current default value is guaranteed to be the first option.
+func (g *generator) enumOptions(path, current string) []any {
+	comment, ok := g.comments[path]
+	if !ok {
+		return nil
+	}
+	var tokens []string
+	if m := enumListRe.FindStringSubmatch(comment); m != nil {
+		tokens = splitAny(m[1], ",|")
+	} else if orSplitRe.MatchString(comment) {
+		tokens = orSplitRe.Split(comment, -1)
+		// "X or Y" annotations sometimes carry a leading clause
+		// ("use standalone or repl"): keep only the last word of the
+		// first token.
+		if len(tokens) > 0 {
+			words := strings.Fields(tokens[0])
+			if len(words) > 0 {
+				tokens[0] = words[len(words)-1]
+			}
+		}
+	} else {
+		return nil
+	}
+	var opts []any
+	seen := map[string]bool{}
+	for _, tok := range tokens {
+		tok = strings.Trim(strings.TrimSpace(tok), `'"`+"`")
+		tok = strings.TrimSuffix(tok, ".")
+		if tok == "" || strings.ContainsAny(tok, " \t") {
+			continue
+		}
+		if !seen[tok] {
+			seen[tok] = true
+			opts = append(opts, tok)
+		}
+	}
+	// The chart's default must be a valid option; otherwise the comment
+	// was not an enum annotation for this field.
+	idx := -1
+	for i, o := range opts {
+		if o == current {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	// Move the default to the front so variant 0 renders the defaults.
+	opts[0], opts[idx] = opts[idx], opts[0]
+	return opts
+}
+
+func splitAny(s, chars string) []string {
+	return strings.FieldsFunc(s, func(r rune) bool {
+		return strings.ContainsRune(chars, r)
+	})
+}
+
+// ToValuesTree renders the schema back to a YAML-able tree using the
+// paper's notation (Fig. 7 right column): placeholders as bare tokens,
+// enums as comma-joined options, locks as constants.
+func (s *Schema) ToValuesTree() map[string]any {
+	return s.Root.toTree().(map[string]any)
+}
+
+func (n *Node) toTree() any {
+	switch n.Kind {
+	case KindScalar:
+		return n.Placeholder
+	case KindConst:
+		return n.Const
+	case KindEnum:
+		parts := make([]string, len(n.Options))
+		for i, o := range n.Options {
+			parts[i] = fmt.Sprintf("%v", o)
+		}
+		return strings.Join(parts, ", ")
+	case KindMap:
+		out := make(map[string]any, len(n.Fields))
+		for k, c := range n.Fields {
+			out[k] = c.toTree()
+		}
+		return out
+	case KindList:
+		return TokList
+	case KindFreeDict:
+		return TokDict
+	default:
+		return nil
+	}
+}
+
+// MarshalYAML renders the schema in the paper's Fig. 7 notation.
+func (s *Schema) MarshalYAML() ([]byte, error) {
+	return yaml.Marshal(s.ToValuesTree())
+}
+
+// EnumPaths returns the dotted paths of every enumerative field, sorted,
+// with their option counts. The exploration phase iterates these.
+func (s *Schema) EnumPaths() []EnumField {
+	var out []EnumField
+	collectEnums(s.Root, "", &out)
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// EnumField describes one enumerative field.
+type EnumField struct {
+	Path    string
+	Options []any
+}
+
+func collectEnums(n *Node, path string, out *[]EnumField) {
+	switch n.Kind {
+	case KindEnum:
+		*out = append(*out, EnumField{Path: path, Options: n.Options})
+	case KindMap:
+		for k, c := range n.Fields {
+			collectEnums(c, joinPath(path, k), out)
+		}
+	}
+}
+
+// IsPlaceholderToken reports whether a rendered scalar is one of the
+// placeholder tokens — either a render sentinel or the paper's plain
+// notation (used by the validator's consolidation phase). Trailing
+// newlines are ignored: tokens that flow through YAML block scalars pick
+// up a final newline during rendering.
+func IsPlaceholderToken(v any) (string, bool) {
+	s, ok := v.(string)
+	if !ok {
+		return "", false
+	}
+	s = strings.TrimRight(s, "\n")
+	if tok, ok := sentinelTokens[s]; ok {
+		return tok, true
+	}
+	switch s {
+	case TokString, TokInt, TokFloat, TokBool, TokIP, TokList, TokDict:
+		return s, true
+	}
+	return "", false
+}

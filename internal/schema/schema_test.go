@@ -1,0 +1,341 @@
+package schema
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/object"
+)
+
+func fixtureChart(t *testing.T) *chart.Chart {
+	t.Helper()
+	c, err := chart.Load(chart.Fileset{
+		"Chart.yaml": "name: fix\nversion: 1.0.0\n",
+		"values.yaml": `
+replicaCount: 1
+host: "0.0.0.0"
+timeout: 2.5
+debug: false
+image:
+  registry: docker.io
+  repository: bitnami/fix
+  tag: "1.0.0"
+  # IfNotPresent or Always
+  pullPolicy: IfNotPresent
+pullSecrets:
+  - name: secret-1
+  - name: secret-2
+extraLabels: {}
+containerSecurityContext:
+  runAsNonRoot: true
+  allowPrivilegeEscalation: false
+podSecurityContext: {}
+postgresql:
+  # one of: standalone, repl
+  arch: standalone
+logLevel: info
+`,
+		"templates/dummy.yaml": "kind: ConfigMap\napiVersion: v1\nmetadata:\n  name: x\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func generate(t *testing.T, c *chart.Chart, opts Options) *Schema {
+	t.Helper()
+	s, err := Generate(c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func fieldAt(t *testing.T, s *Schema, path string) *Node {
+	t.Helper()
+	cur := s.Root
+	for _, seg := range strings.Split(path, ".") {
+		if cur.Kind != KindMap {
+			t.Fatalf("path %s: intermediate node is %v", path, cur.Kind)
+		}
+		next, ok := cur.Fields[seg]
+		if !ok {
+			t.Fatalf("path %s: segment %s missing", path, seg)
+		}
+		cur = next
+	}
+	return cur
+}
+
+func TestScalarPlaceholders(t *testing.T) {
+	s := generate(t, fixtureChart(t), Options{})
+	tests := []struct {
+		path string
+		want string
+	}{
+		{"replicaCount", TokInt},
+		{"host", TokIP},
+		{"timeout", TokFloat},
+		{"image.tag", TokString},
+		{"logLevel", TokString},
+	}
+	for _, tt := range tests {
+		n := fieldAt(t, s, tt.path)
+		if n.Kind != KindScalar || n.Placeholder != tt.want {
+			t.Errorf("%s = kind %v placeholder %q, want scalar %q",
+				tt.path, n.Kind, n.Placeholder, tt.want)
+		}
+	}
+}
+
+func TestBoolBecomesTwoValuedEnum(t *testing.T) {
+	s := generate(t, fixtureChart(t), Options{})
+	n := fieldAt(t, s, "debug")
+	if n.Kind != KindEnum {
+		t.Fatalf("debug kind = %v, want enum", n.Kind)
+	}
+	if !reflect.DeepEqual(n.Options, []any{false, true}) {
+		t.Errorf("debug options = %v, want [false true] (default first)", n.Options)
+	}
+}
+
+func TestEnumFromOrComment(t *testing.T) {
+	s := generate(t, fixtureChart(t), Options{})
+	n := fieldAt(t, s, "image.pullPolicy")
+	if n.Kind != KindEnum {
+		t.Fatalf("pullPolicy kind = %v, want enum", n.Kind)
+	}
+	if !reflect.DeepEqual(n.Options, []any{"IfNotPresent", "Always"}) {
+		t.Errorf("options = %v", n.Options)
+	}
+}
+
+func TestEnumFromOneOfComment(t *testing.T) {
+	s := generate(t, fixtureChart(t), Options{})
+	n := fieldAt(t, s, "postgresql.arch")
+	if n.Kind != KindEnum {
+		t.Fatalf("arch kind = %v, want enum", n.Kind)
+	}
+	if !reflect.DeepEqual(n.Options, []any{"standalone", "repl"}) {
+		t.Errorf("options = %v", n.Options)
+	}
+}
+
+func TestEnumCommentMustIncludeDefault(t *testing.T) {
+	c, err := chart.Load(chart.Fileset{
+		"Chart.yaml": "name: fix\n",
+		"values.yaml": `
+# one of: a, b
+mode: zzz
+`,
+		"templates/d.yaml": "kind: ConfigMap\nmetadata:\n  name: x\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := generate(t, c, Options{})
+	n := fieldAt(t, s, "mode")
+	if n.Kind != KindScalar {
+		t.Errorf("comment not matching default must not create enum: %v", n.Kind)
+	}
+}
+
+func TestSecurityLocks(t *testing.T) {
+	s := generate(t, fixtureChart(t), Options{})
+	n := fieldAt(t, s, "containerSecurityContext.runAsNonRoot")
+	if n.Kind != KindConst || n.Const != true {
+		t.Errorf("runAsNonRoot = %+v, want const true", n)
+	}
+	n = fieldAt(t, s, "containerSecurityContext.allowPrivilegeEscalation")
+	if n.Kind != KindConst || n.Const != false {
+		t.Errorf("allowPrivilegeEscalation = %+v, want const false", n)
+	}
+}
+
+func TestRegistryLockedToDefault(t *testing.T) {
+	s := generate(t, fixtureChart(t), Options{})
+	n := fieldAt(t, s, "image.registry")
+	if n.Kind != KindConst || n.Const != "docker.io" {
+		t.Errorf("registry = %+v, want const docker.io", n)
+	}
+	n = fieldAt(t, s, "image.repository")
+	if n.Kind != KindConst || n.Const != "bitnami/fix" {
+		t.Errorf("repository = %+v, want const bitnami/fix", n)
+	}
+}
+
+func TestMissingCriticalFieldAdded(t *testing.T) {
+	// podSecurityContext is an empty dict in values; a securityContext map
+	// with content but no runAsNonRoot must gain the lock.
+	c, err := chart.Load(chart.Fileset{
+		"Chart.yaml": "name: fix\n",
+		"values.yaml": `
+containerSecurityContext:
+  readOnlyRootFilesystem: true
+`,
+		"templates/d.yaml": "kind: ConfigMap\nmetadata:\n  name: x\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := generate(t, c, Options{})
+	n := fieldAt(t, s, "containerSecurityContext.runAsNonRoot")
+	if n.Kind != KindConst || n.Const != true {
+		t.Errorf("missing runAsNonRoot not added: %+v", n)
+	}
+}
+
+func TestDisableLocks(t *testing.T) {
+	s := generate(t, fixtureChart(t), Options{DisableLocks: true})
+	n := fieldAt(t, s, "containerSecurityContext.runAsNonRoot")
+	if n.Kind != KindEnum {
+		t.Errorf("with locks disabled runAsNonRoot should be a plain bool enum, got %v", n.Kind)
+	}
+	n = fieldAt(t, s, "image.registry")
+	if n.Kind != KindScalar || n.Placeholder != TokString {
+		t.Errorf("with locks disabled registry should be string, got %+v", n)
+	}
+}
+
+func TestListsAndFreeDicts(t *testing.T) {
+	s := generate(t, fixtureChart(t), Options{})
+	n := fieldAt(t, s, "pullSecrets")
+	if n.Kind != KindList || len(n.Items) != 2 {
+		t.Errorf("pullSecrets = %+v", n)
+	}
+	n = fieldAt(t, s, "extraLabels")
+	if n.Kind != KindFreeDict {
+		t.Errorf("extraLabels kind = %v, want free dict", n.Kind)
+	}
+}
+
+func TestEnumPathsSorted(t *testing.T) {
+	s := generate(t, fixtureChart(t), Options{})
+	enums := s.EnumPaths()
+	var paths []string
+	for _, e := range enums {
+		paths = append(paths, e.Path)
+	}
+	want := []string{"debug", "image.pullPolicy", "postgresql.arch"}
+	if !reflect.DeepEqual(paths, want) {
+		t.Errorf("enum paths = %v, want %v", paths, want)
+	}
+}
+
+func TestToValuesTreeNotation(t *testing.T) {
+	s := generate(t, fixtureChart(t), Options{})
+	tree := s.ToValuesTree()
+	if v, _ := object.Get(tree, "replicaCount"); v != TokInt {
+		t.Errorf("replicaCount = %v", v)
+	}
+	if v, _ := object.Get(tree, "image.pullPolicy"); v != "IfNotPresent, Always" {
+		t.Errorf("pullPolicy = %v", v)
+	}
+	if v, _ := object.Get(tree, "pullSecrets"); v != TokList {
+		t.Errorf("pullSecrets = %v", v)
+	}
+	if v, _ := object.Get(tree, "extraLabels"); v != TokDict {
+		t.Errorf("extraLabels = %v", v)
+	}
+	if v, _ := object.Get(tree, "containerSecurityContext.runAsNonRoot"); v != true {
+		t.Errorf("runAsNonRoot = %v", v)
+	}
+	if _, err := s.MarshalYAML(); err != nil {
+		t.Errorf("MarshalYAML: %v", err)
+	}
+}
+
+func TestIsPlaceholderToken(t *testing.T) {
+	for _, tok := range []string{TokString, TokInt, TokFloat, TokBool, TokIP, TokList, TokDict} {
+		if _, ok := IsPlaceholderToken(tok); !ok {
+			t.Errorf("IsPlaceholderToken(%q) = false", tok)
+		}
+	}
+	if _, ok := IsPlaceholderToken("nginx"); ok {
+		t.Error(`"nginx" is not a token`)
+	}
+	if _, ok := IsPlaceholderToken(int64(7)); ok {
+		t.Error("non-strings are not tokens")
+	}
+}
+
+func TestCustomLocks(t *testing.T) {
+	s := generate(t, fixtureChart(t), Options{Locks: []Lock{
+		{PathSuffix: "logLevel", Value: "info"},
+	}})
+	n := fieldAt(t, s, "logLevel")
+	if n.Kind != KindConst || n.Const != "info" {
+		t.Errorf("custom lock not applied: %+v", n)
+	}
+	// Default locks are replaced, not extended.
+	n = fieldAt(t, s, "containerSecurityContext.runAsNonRoot")
+	if n.Kind == KindConst {
+		t.Error("default locks should not apply when custom set provided")
+	}
+}
+
+func TestEnumGrammarVariants(t *testing.T) {
+	c, err := chart.Load(chart.Fileset{
+		"Chart.yaml": "name: fix\n",
+		"values.yaml": `
+# allowed values: debug, info, warn
+logLevel: info
+# valid values: a | b | c
+pick: b
+# one of: Always, Never
+restart: Always
+svc:
+  # ClusterIP or NodePort or LoadBalancer
+  type: NodePort
+`,
+		"templates/d.yaml": "kind: ConfigMap\nmetadata:\n  name: x\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := generate(t, c, Options{})
+	tests := []struct {
+		path string
+		want []any
+	}{
+		{"logLevel", []any{"info", "debug", "warn"}},
+		{"pick", []any{"b", "a", "c"}},
+		{"restart", []any{"Always", "Never"}},
+		{"svc.type", []any{"NodePort", "ClusterIP", "LoadBalancer"}},
+	}
+	for _, tt := range tests {
+		n := fieldAt(t, s, tt.path)
+		if n.Kind != KindEnum {
+			t.Errorf("%s: kind = %v, want enum", tt.path, n.Kind)
+			continue
+		}
+		if !reflect.DeepEqual(n.Options, tt.want) {
+			t.Errorf("%s: options = %v, want %v (default first)", tt.path, n.Options, tt.want)
+		}
+	}
+}
+
+func TestNonEnumCommentsIgnored(t *testing.T) {
+	c, err := chart.Load(chart.Fileset{
+		"Chart.yaml": "name: fix\n",
+		"values.yaml": `
+# just a description of the field
+plain: value
+# ref: https://example.com/docs or see the wiki
+weird: value
+`,
+		"templates/d.yaml": "kind: ConfigMap\nmetadata:\n  name: x\n",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := generate(t, c, Options{})
+	for _, path := range []string{"plain", "weird"} {
+		if n := fieldAt(t, s, path); n.Kind != KindScalar {
+			t.Errorf("%s: kind = %v, want plain scalar", path, n.Kind)
+		}
+	}
+}

@@ -1,0 +1,258 @@
+// Package store implements the etcd-like versioned object store backing
+// the simulated Kubernetes API server: namespaced and cluster-scoped
+// collections keyed by (kind, namespace, name), monotonically increasing
+// resource versions, optimistic concurrency on update, and list/watch.
+package store
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/object"
+)
+
+// ErrNotFound reports a missing object.
+type ErrNotFound struct{ Key string }
+
+// Error implements the error interface.
+func (e *ErrNotFound) Error() string { return fmt.Sprintf("store: %s not found", e.Key) }
+
+// ErrConflict reports a resource-version conflict or duplicate create.
+type ErrConflict struct {
+	Key string
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ErrConflict) Error() string { return fmt.Sprintf("store: %s: %s", e.Key, e.Msg) }
+
+// Event is a watch event.
+type Event struct {
+	Type   EventType
+	Object object.Object
+}
+
+// EventType enumerates watch event types.
+type EventType string
+
+// Watch event types.
+const (
+	Added    EventType = "ADDED"
+	Modified EventType = "MODIFIED"
+	Deleted  EventType = "DELETED"
+)
+
+// Store is a concurrency-safe versioned object store. The zero value is
+// not usable; call New.
+type Store struct {
+	mu       sync.RWMutex
+	objects  map[string]object.Object // key → stored object
+	revision uint64
+	watchers map[int]watcher
+	nextID   int
+}
+
+type watcher struct {
+	ch     chan Event
+	kind   string
+	ns     string // "" matches all namespaces
+	cancel chan struct{}
+}
+
+// New returns an empty store.
+func New() *Store {
+	return &Store{
+		objects:  map[string]object.Object{},
+		watchers: map[int]watcher{},
+	}
+}
+
+func key(kind, ns, name string) string {
+	return kind + "/" + ns + "/" + name
+}
+
+// Create inserts a new object, assigning metadata.resourceVersion and
+// metadata.uid. It fails with ErrConflict if the object already exists.
+func (s *Store) Create(o object.Object) (object.Object, error) {
+	kind, ns, name, err := identify(o)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := key(kind, ns, name)
+	if _, exists := s.objects[k]; exists {
+		return nil, &ErrConflict{Key: k, Msg: "already exists"}
+	}
+	s.revision++
+	stored := o.DeepCopy()
+	md, _ := stored["metadata"].(map[string]any)
+	if md == nil {
+		md = map[string]any{}
+		stored["metadata"] = md
+	}
+	md["resourceVersion"] = strconv.FormatUint(s.revision, 10)
+	md["uid"] = fmt.Sprintf("uid-%d", s.revision)
+	s.objects[k] = stored
+	s.notify(Event{Type: Added, Object: stored.DeepCopy()}, kind, ns)
+	return stored.DeepCopy(), nil
+}
+
+// Get retrieves an object by coordinates.
+func (s *Store) Get(kind, ns, name string) (object.Object, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	o, ok := s.objects[key(kind, ns, name)]
+	if !ok {
+		return nil, &ErrNotFound{Key: key(kind, ns, name)}
+	}
+	return o.DeepCopy(), nil
+}
+
+// Update replaces an existing object. If the incoming object carries a
+// resourceVersion it must match the stored one (optimistic concurrency);
+// without one the update is unconditional, like kubectl replace --force.
+func (s *Store) Update(o object.Object) (object.Object, error) {
+	kind, ns, name, err := identify(o)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := key(kind, ns, name)
+	cur, ok := s.objects[k]
+	if !ok {
+		return nil, &ErrNotFound{Key: k}
+	}
+	if rv, _ := object.GetString(o, "metadata.resourceVersion"); rv != "" {
+		curRV, _ := object.GetString(cur, "metadata.resourceVersion")
+		if rv != curRV {
+			return nil, &ErrConflict{Key: k,
+				Msg: fmt.Sprintf("resourceVersion %s does not match %s", rv, curRV)}
+		}
+	}
+	s.revision++
+	stored := o.DeepCopy()
+	md, _ := stored["metadata"].(map[string]any)
+	if md == nil {
+		md = map[string]any{}
+		stored["metadata"] = md
+	}
+	md["resourceVersion"] = strconv.FormatUint(s.revision, 10)
+	if uid, _ := object.GetString(cur, "metadata.uid"); uid != "" {
+		md["uid"] = uid
+	}
+	s.objects[k] = stored
+	s.notify(Event{Type: Modified, Object: stored.DeepCopy()}, kind, ns)
+	return stored.DeepCopy(), nil
+}
+
+// Delete removes an object.
+func (s *Store) Delete(kind, ns, name string) (object.Object, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := key(kind, ns, name)
+	cur, ok := s.objects[k]
+	if !ok {
+		return nil, &ErrNotFound{Key: k}
+	}
+	delete(s.objects, k)
+	s.revision++
+	s.notify(Event{Type: Deleted, Object: cur.DeepCopy()}, kind, ns)
+	return cur, nil
+}
+
+// List returns the objects of a kind, optionally restricted to one
+// namespace, sorted by (namespace, name).
+func (s *Store) List(kind, ns string) []object.Object {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []object.Object
+	for _, o := range s.objects {
+		if o.Kind() != kind {
+			continue
+		}
+		if ns != "" && o.Namespace() != ns {
+			continue
+		}
+		out = append(out, o.DeepCopy())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Namespace() != out[j].Namespace() {
+			return out[i].Namespace() < out[j].Namespace()
+		}
+		return out[i].Name() < out[j].Name()
+	})
+	return out
+}
+
+// Len reports the number of stored objects.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.objects)
+}
+
+// Revision returns the store's current revision counter.
+func (s *Store) Revision() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.revision
+}
+
+// Watch subscribes to events for a kind (ns == "" for all namespaces).
+// The returned cancel function releases the watch; events are dropped if
+// the subscriber's buffer (capacity 64) is full, mirroring the lossy
+// nature of real watch channels under backpressure.
+func (s *Store) Watch(kind, ns string) (<-chan Event, func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextID
+	s.nextID++
+	w := watcher{
+		ch:     make(chan Event, 64),
+		kind:   kind,
+		ns:     ns,
+		cancel: make(chan struct{}),
+	}
+	s.watchers[id] = w
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if cur, ok := s.watchers[id]; ok {
+			close(cur.cancel)
+			delete(s.watchers, id)
+		}
+	}
+	return w.ch, cancel
+}
+
+// notify must be called with s.mu held.
+func (s *Store) notify(ev Event, kind, ns string) {
+	for _, w := range s.watchers {
+		if w.kind != "" && w.kind != kind {
+			continue
+		}
+		if w.ns != "" && w.ns != ns {
+			continue
+		}
+		select {
+		case w.ch <- ev:
+		default: // drop on backpressure
+		}
+	}
+}
+
+func identify(o object.Object) (kind, ns, name string, err error) {
+	kind = o.Kind()
+	if kind == "" {
+		return "", "", "", fmt.Errorf("store: object has no kind")
+	}
+	name = o.Name()
+	if name == "" {
+		return "", "", "", fmt.Errorf("store: %s object has no metadata.name", kind)
+	}
+	return kind, o.Namespace(), name, nil
+}

@@ -1,0 +1,267 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/object"
+)
+
+func pod(ns, name string) object.Object {
+	return object.Object{
+		"apiVersion": "v1",
+		"kind":       "Pod",
+		"metadata":   map[string]any{"name": name, "namespace": ns},
+		"spec":       map[string]any{"containers": []any{}},
+	}
+}
+
+func TestCreateGet(t *testing.T) {
+	s := New()
+	created, err := s.Create(pod("default", "web"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv, _ := object.GetString(created, "metadata.resourceVersion"); rv != "1" {
+		t.Errorf("resourceVersion = %q", rv)
+	}
+	if uid, _ := object.GetString(created, "metadata.uid"); uid == "" {
+		t.Error("uid not assigned")
+	}
+	got, err := s.Get("Pod", "default", "web")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "web" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestCreateDuplicate(t *testing.T) {
+	s := New()
+	if _, err := s.Create(pod("default", "web")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.Create(pod("default", "web"))
+	var conflict *ErrConflict
+	if !errors.As(err, &conflict) {
+		t.Fatalf("err = %v, want ErrConflict", err)
+	}
+}
+
+func TestCreateValidation(t *testing.T) {
+	s := New()
+	if _, err := s.Create(object.Object{"metadata": map[string]any{"name": "x"}}); err == nil {
+		t.Error("missing kind should fail")
+	}
+	if _, err := s.Create(object.Object{"kind": "Pod"}); err == nil {
+		t.Error("missing name should fail")
+	}
+}
+
+func TestGetNotFound(t *testing.T) {
+	s := New()
+	_, err := s.Get("Pod", "default", "missing")
+	var nf *ErrNotFound
+	if !errors.As(err, &nf) {
+		t.Fatalf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestUpdateOptimisticConcurrency(t *testing.T) {
+	s := New()
+	created, _ := s.Create(pod("default", "web"))
+
+	// Update with matching RV succeeds and bumps RV.
+	updated := created.DeepCopy()
+	if err := object.Set(updated, "spec.note", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	after, err := s.Update(updated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rv, _ := object.GetString(after, "metadata.resourceVersion")
+	if rv != "2" {
+		t.Errorf("rv = %s", rv)
+	}
+
+	// Re-sending the stale object must conflict.
+	_, err = s.Update(updated)
+	var conflict *ErrConflict
+	if !errors.As(err, &conflict) {
+		t.Fatalf("stale update: err = %v, want conflict", err)
+	}
+
+	// Unconditional update (no RV) succeeds.
+	fresh := pod("default", "web")
+	if _, err := s.Update(fresh); err != nil {
+		t.Fatalf("unconditional update: %v", err)
+	}
+}
+
+func TestUpdatePreservesUID(t *testing.T) {
+	s := New()
+	created, _ := s.Create(pod("default", "web"))
+	uid, _ := object.GetString(created, "metadata.uid")
+	after, err := s.Update(pod("default", "web"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := object.GetString(after, "metadata.uid")
+	if got != uid {
+		t.Errorf("uid changed: %s → %s", uid, got)
+	}
+}
+
+func TestUpdateMissing(t *testing.T) {
+	s := New()
+	_, err := s.Update(pod("default", "ghost"))
+	var nf *ErrNotFound
+	if !errors.As(err, &nf) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := New()
+	if _, err := s.Create(pod("default", "web")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete("Pod", "default", "web"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("Pod", "default", "web"); err == nil {
+		t.Error("object still present after delete")
+	}
+	if _, err := s.Delete("Pod", "default", "web"); err == nil {
+		t.Error("double delete should fail")
+	}
+}
+
+func TestListFiltersAndSorts(t *testing.T) {
+	s := New()
+	for _, spec := range []struct{ ns, name string }{
+		{"b-ns", "z"}, {"a-ns", "b"}, {"a-ns", "a"}, {"b-ns", "a"},
+	} {
+		if _, err := s.Create(pod(spec.ns, spec.name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc := object.Object{
+		"apiVersion": "v1", "kind": "Service",
+		"metadata": map[string]any{"name": "svc", "namespace": "a-ns"},
+	}
+	if _, err := s.Create(svc); err != nil {
+		t.Fatal(err)
+	}
+
+	all := s.List("Pod", "")
+	if len(all) != 4 {
+		t.Fatalf("len = %d", len(all))
+	}
+	order := []string{"a-ns/a", "a-ns/b", "b-ns/a", "b-ns/z"}
+	for i, o := range all {
+		if got := o.Namespace() + "/" + o.Name(); got != order[i] {
+			t.Errorf("order[%d] = %s, want %s", i, got, order[i])
+		}
+	}
+	if got := s.List("Pod", "a-ns"); len(got) != 2 {
+		t.Errorf("namespaced list = %d", len(got))
+	}
+	if got := s.List("Service", ""); len(got) != 1 {
+		t.Errorf("kind filter broken: %d", len(got))
+	}
+}
+
+func TestListReturnsCopies(t *testing.T) {
+	s := New()
+	if _, err := s.Create(pod("default", "web")); err != nil {
+		t.Fatal(err)
+	}
+	got := s.List("Pod", "")[0]
+	if err := object.Set(got, "spec.tampered", true); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := s.Get("Pod", "default", "web")
+	if _, ok := object.Get(again, "spec.tampered"); ok {
+		t.Error("mutation leaked into store")
+	}
+}
+
+func TestWatch(t *testing.T) {
+	s := New()
+	ch, cancel := s.Watch("Pod", "default")
+	defer cancel()
+
+	if _, err := s.Create(pod("default", "web")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Create(pod("other", "web")); err != nil { // filtered out
+		t.Fatal(err)
+	}
+	if _, err := s.Update(pod("default", "web")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Delete("Pod", "default", "web"); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []EventType{Added, Modified, Deleted}
+	for i, wt := range want {
+		select {
+		case ev := <-ch:
+			if ev.Type != wt {
+				t.Errorf("event %d = %s, want %s", i, ev.Type, wt)
+			}
+			if ev.Object.Namespace() != "default" {
+				t.Errorf("event %d leaked namespace %s", i, ev.Object.Namespace())
+			}
+		case <-time.After(time.Second):
+			t.Fatalf("timed out waiting for event %d", i)
+		}
+	}
+}
+
+func TestWatchCancel(t *testing.T) {
+	s := New()
+	_, cancel := s.Watch("Pod", "")
+	cancel()
+	cancel() // idempotent
+	// Events after cancel must not panic.
+	if _, err := s.Create(pod("default", "web")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				name := fmt.Sprintf("pod-%d-%d", worker, j)
+				if _, err := s.Create(pod("default", name)); err != nil {
+					t.Errorf("create %s: %v", name, err)
+					return
+				}
+				if _, err := s.Get("Pod", "default", name); err != nil {
+					t.Errorf("get %s: %v", name, err)
+				}
+				s.List("Pod", "default")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Len() != 400 {
+		t.Errorf("Len = %d, want 400", s.Len())
+	}
+	if s.Revision() != 400 {
+		t.Errorf("Revision = %d, want 400", s.Revision())
+	}
+}

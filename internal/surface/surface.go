@@ -1,0 +1,252 @@
+// Package surface quantifies the Kubernetes API attack surface and its
+// reduction (paper §VI-B): the per-workload, per-endpoint field
+// utilization matrix of Fig. 9 and the RBAC-vs-KubeFence restrictable-
+// field comparison of Table I.
+//
+// The measuring stick is the apischema catalog (the configurable fields of
+// the 20 endpoints); a workload's *used* fields are the catalog paths its
+// KubeFence validator allows. RBAC can only restrict whole endpoints the
+// workload never touches, while KubeFence additionally restricts every
+// unused field within partially-used endpoints — making it a strict
+// superset of RBAC's enforcement.
+package surface
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/apischema"
+	"repro/internal/validator"
+)
+
+// Usage is one cell of the Fig. 9 matrix.
+type Usage struct {
+	Workload string
+	Kind     string
+	Used     int
+	Total    int
+}
+
+// Percent returns the utilization percentage.
+func (u Usage) Percent() float64 {
+	if u.Total == 0 {
+		return 0
+	}
+	return 100 * float64(u.Used) / float64(u.Total)
+}
+
+// Matrix is the full Fig. 9 utilization matrix.
+type Matrix struct {
+	Workloads []string
+	Kinds     []string
+	cells     map[string]Usage // workload + "/" + kind
+}
+
+// Cell returns the usage for one (workload, kind).
+func (m *Matrix) Cell(workload, kind string) Usage {
+	return m.cells[workload+"/"+kind]
+}
+
+// ComputeUsage builds the utilization matrix from per-workload policies.
+func ComputeUsage(policies map[string]*validator.Validator) *Matrix {
+	workloads := make([]string, 0, len(policies))
+	for w := range policies {
+		workloads = append(workloads, w)
+	}
+	sort.Strings(workloads)
+	m := &Matrix{
+		Workloads: workloads,
+		Kinds:     apischema.Kinds(),
+		cells:     map[string]Usage{},
+	}
+	for _, w := range workloads {
+		pol := policies[w]
+		for _, res := range apischema.Catalog() {
+			used := UsedFields(pol, res)
+			m.cells[w+"/"+res.Kind] = Usage{
+				Workload: w, Kind: res.Kind,
+				Used: used, Total: res.Count(),
+			}
+		}
+	}
+	return m
+}
+
+// UsedFields counts the catalog fields of a resource that the policy
+// allows: catalog paths reachable in the validator tree. A free-form
+// (KindAny) validator subtree marks the whole catalog subtree beneath it
+// as exposed — conservative from the defender's standpoint.
+func UsedFields(pol *validator.Validator, res apischema.Resource) int {
+	root, ok := pol.Kinds[res.Kind]
+	if !ok {
+		return 0
+	}
+	used := 0
+	for _, path := range res.Paths() {
+		if pathAllowed(root, strings.Split(path, ".")) {
+			used++
+		}
+	}
+	return used
+}
+
+func pathAllowed(n *validator.Node, segs []string) bool {
+	if n == nil {
+		return false
+	}
+	if len(segs) == 0 {
+		return true
+	}
+	switch n.Kind {
+	case validator.KindAny:
+		return true
+	case validator.KindMap:
+		child, ok := n.Fields[segs[0]]
+		if !ok {
+			return false
+		}
+		return pathAllowed(child, segs[1:])
+	case validator.KindList:
+		return pathAllowed(n.Item, segs)
+	default:
+		return false
+	}
+}
+
+// Reduction is one row of Table I.
+type Reduction struct {
+	Workload string
+	// TotalFields is the catalog total (the paper's 4,882 denominator).
+	TotalFields int
+	// RBACRestrictable counts fields restrictable by denying whole
+	// endpoints the workload does not use.
+	RBACRestrictable int
+	// KubeFenceRestrictable counts every field outside the workload's
+	// policy, including unused fields of partially-used endpoints.
+	KubeFenceRestrictable int
+}
+
+// RBACPercent is the RBAC attack-surface reduction.
+func (r Reduction) RBACPercent() float64 {
+	return 100 * float64(r.RBACRestrictable) / float64(r.TotalFields)
+}
+
+// KubeFencePercent is the KubeFence attack-surface reduction.
+func (r Reduction) KubeFencePercent() float64 {
+	return 100 * float64(r.KubeFenceRestrictable) / float64(r.TotalFields)
+}
+
+// Improvement is the percentage-point gain of KubeFence over RBAC.
+func (r Reduction) Improvement() float64 {
+	return r.KubeFencePercent() - r.RBACPercent()
+}
+
+// ComputeReduction builds a workload's Table I row from its policy.
+func ComputeReduction(workload string, pol *validator.Validator) Reduction {
+	total := apischema.TotalFields()
+	red := Reduction{Workload: workload, TotalFields: total}
+	for _, res := range apischema.Catalog() {
+		used := UsedFields(pol, res)
+		if _, kindUsed := pol.Kinds[res.Kind]; !kindUsed {
+			// Whole endpoint unused: RBAC can deny the endpoint.
+			red.RBACRestrictable += res.Count()
+		}
+		red.KubeFenceRestrictable += res.Count() - used
+	}
+	return red
+}
+
+// ComputeReductions builds Table I for a set of policies, sorted by
+// workload name.
+func ComputeReductions(policies map[string]*validator.Validator) []Reduction {
+	names := make([]string, 0, len(policies))
+	for w := range policies {
+		names = append(names, w)
+	}
+	sort.Strings(names)
+	out := make([]Reduction, 0, len(names))
+	for _, w := range names {
+		out = append(out, ComputeReduction(w, policies[w]))
+	}
+	return out
+}
+
+// AverageImprovement is the paper's headline "average 35% reduction
+// compared to RBAC".
+func AverageImprovement(rows []Reduction) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range rows {
+		sum += r.Improvement()
+	}
+	return sum / float64(len(rows))
+}
+
+// RenderFig9 renders the matrix in the paper's heatmap layout (rows =
+// workloads, columns = endpoints, cells = % of fields used).
+func RenderFig9(m *Matrix) string {
+	var b strings.Builder
+	b.WriteString("Figure 9: Percentage of API usage across workloads and endpoints\n\n")
+	fmt.Fprintf(&b, "%-12s", "workload")
+	for _, k := range m.Kinds {
+		fmt.Fprintf(&b, " %*s", colWidth(k), abbreviate(k))
+	}
+	b.WriteByte('\n')
+	for _, w := range m.Workloads {
+		fmt.Fprintf(&b, "%-12s", w)
+		for _, k := range m.Kinds {
+			fmt.Fprintf(&b, " %*.2f%%", colWidth(k)-1, m.Cell(w, k).Percent())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderTableI renders Table I in the paper's layout.
+func RenderTableI(rows []Reduction) string {
+	var b strings.Builder
+	b.WriteString("Table I: Attack surface reduction achievable by KubeFence vs RBAC\n\n")
+	fmt.Fprintf(&b, "%-12s %22s %22s %10s %11s\n",
+		"Workload", "RBAC restrictable", "KubeFence restrictable", "RBAC %", "KubeFence %")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %12d / %6d %12d / %6d %9.2f%% %10.2f%%\n",
+			r.Workload,
+			r.RBACRestrictable, r.TotalFields,
+			r.KubeFenceRestrictable, r.TotalFields,
+			r.RBACPercent(), r.KubeFencePercent())
+	}
+	fmt.Fprintf(&b, "\naverage improvement over RBAC: %.2f percentage points (paper: ~35)\n",
+		AverageImprovement(rows))
+	return b.String()
+}
+
+func abbreviate(kind string) string {
+	replacements := map[string]string{
+		"HorizontalPodAutoscaler":        "HPA",
+		"PodDisruptionBudget":            "PDB",
+		"PersistentVolumeClaim":          "PVC",
+		"ValidatingWebhookConfiguration": "ValWebhook",
+		"ServiceAccount":                 "SvcAcct",
+		"NetworkPolicy":                  "NetPol",
+		"ClusterRoleBinding":             "CRBinding",
+		"ClusterRole":                    "CRole",
+		"RoleBinding":                    "RoleBind",
+		"StatefulSet":                    "STS",
+		"IngressClass":                   "IngClass",
+	}
+	if r, ok := replacements[kind]; ok {
+		return r
+	}
+	return kind
+}
+
+func colWidth(kind string) int {
+	w := len(abbreviate(kind)) + 1
+	if w < 8 {
+		w = 8
+	}
+	return w
+}

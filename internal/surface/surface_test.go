@@ -1,0 +1,148 @@
+package surface
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apischema"
+	"repro/internal/charts"
+	"repro/internal/core"
+	"repro/internal/validator"
+)
+
+func policies(t *testing.T) map[string]*validator.Validator {
+	t.Helper()
+	out := map[string]*validator.Validator{}
+	for _, name := range charts.Names() {
+		res, err := core.GeneratePolicy(charts.MustLoad(name), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[name] = res.Validator
+	}
+	return out
+}
+
+func TestUsageMatrixShape(t *testing.T) {
+	m := ComputeUsage(policies(t))
+	if len(m.Workloads) != 5 {
+		t.Fatalf("workloads = %v", m.Workloads)
+	}
+	if len(m.Kinds) != 20 {
+		t.Fatalf("kinds = %d", len(m.Kinds))
+	}
+}
+
+func TestFig9ZeroAndNonZeroPattern(t *testing.T) {
+	// The zero/non-zero pattern of the matrix must match the paper's
+	// Fig. 9 rows (which kinds each workload uses).
+	m := ComputeUsage(policies(t))
+	for _, w := range m.Workloads {
+		expected := map[string]bool{}
+		for _, k := range charts.ExpectedKinds(w) {
+			expected[k] = true
+		}
+		for _, k := range m.Kinds {
+			cell := m.Cell(w, k)
+			if expected[k] && cell.Used == 0 {
+				t.Errorf("%s/%s: expected non-zero usage", w, k)
+			}
+			if !expected[k] && cell.Used != 0 {
+				t.Errorf("%s/%s: expected zero usage, got %d fields", w, k, cell.Used)
+			}
+		}
+	}
+}
+
+func TestUsageIsSmallFractionOfSurface(t *testing.T) {
+	// Core paper finding: workloads use only a small subset of each
+	// endpoint's fields.
+	m := ComputeUsage(policies(t))
+	for _, w := range m.Workloads {
+		for _, k := range m.Kinds {
+			cell := m.Cell(w, k)
+			if cell.Used == 0 {
+				continue
+			}
+			if pct := cell.Percent(); pct > 60 {
+				t.Errorf("%s/%s uses %.1f%% of fields — implausibly high", w, k, pct)
+			}
+		}
+	}
+}
+
+func TestTableIKubeFenceDominatesRBAC(t *testing.T) {
+	rows := ComputeReductions(policies(t))
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.KubeFenceRestrictable <= r.RBACRestrictable {
+			t.Errorf("%s: KubeFence (%d) must restrict strictly more than RBAC (%d)",
+				r.Workload, r.KubeFenceRestrictable, r.RBACRestrictable)
+		}
+		if r.KubeFencePercent() < 90 {
+			t.Errorf("%s: KubeFence reduction %.1f%% — paper reports 96–99%%",
+				r.Workload, r.KubeFencePercent())
+		}
+		if r.KubeFenceRestrictable > r.TotalFields {
+			t.Errorf("%s: restrictable exceeds total", r.Workload)
+		}
+	}
+}
+
+func TestTableIOrderingMatchesPaper(t *testing.T) {
+	// SonarQube uses the most endpoints, so its RBAC reduction is the
+	// lowest of the five (paper: 20.73% vs 59–80% for the others) and its
+	// improvement the highest (+77pp).
+	rows := ComputeReductions(policies(t))
+	byName := map[string]Reduction{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+	}
+	sq := byName["sonarqube"]
+	for name, r := range byName {
+		if name == "sonarqube" {
+			continue
+		}
+		if sq.RBACPercent() >= r.RBACPercent() {
+			t.Errorf("sonarqube RBAC reduction (%.1f%%) should be lowest, but %s has %.1f%%",
+				sq.RBACPercent(), name, r.RBACPercent())
+		}
+		if sq.Improvement() <= r.Improvement() {
+			t.Errorf("sonarqube improvement (%.1fpp) should be highest, but %s has %.1fpp",
+				sq.Improvement(), name, r.Improvement())
+		}
+	}
+}
+
+func TestAverageImprovementMagnitude(t *testing.T) {
+	rows := ComputeReductions(policies(t))
+	avg := AverageImprovement(rows)
+	// Paper: average 35 percentage points over RBAC. Accept the same
+	// order of magnitude on our re-created corpus.
+	if avg < 15 || avg > 60 {
+		t.Errorf("average improvement = %.1fpp, want within [15, 60] (paper: ~35)", avg)
+	}
+	t.Logf("average improvement over RBAC: %.2f percentage points (paper: ~35)", avg)
+}
+
+func TestRenderOutputs(t *testing.T) {
+	pols := policies(t)
+	fig9 := RenderFig9(ComputeUsage(pols))
+	if !strings.Contains(fig9, "nginx") || !strings.Contains(fig9, "%") {
+		t.Errorf("fig9 output malformed:\n%s", fig9)
+	}
+	tab1 := RenderTableI(ComputeReductions(pols))
+	if !strings.Contains(tab1, "sonarqube") || !strings.Contains(tab1, "average improvement") {
+		t.Errorf("table I output malformed:\n%s", tab1)
+	}
+}
+
+func TestUsedFieldsUnknownKind(t *testing.T) {
+	pols := policies(t)
+	res, _ := apischema.Lookup("Pod")
+	if got := UsedFields(pols["nginx"], res); got != 0 {
+		t.Errorf("nginx does not use Pod; used = %d", got)
+	}
+}

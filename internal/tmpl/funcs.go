@@ -1,0 +1,998 @@
+// Package tmpl provides a Helm-compatible template function library on top
+// of text/template. It implements the subset of sprig and Helm built-ins
+// that real-world charts rely on (string manipulation, defaults, dict/list
+// helpers, toYaml/fromYaml, include, required, tpl, …).
+//
+// Rendering is deterministic by construction: functions that are random or
+// time-dependent in sprig (randAlphaNum, now) are seeded per-engine, so the
+// same chart and values always render to byte-identical manifests. This
+// matters for KubeFence because policy generation renders charts many times
+// and merges the results; nondeterminism would leak spurious enum values
+// into validators.
+package tmpl
+
+import (
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"text/template"
+	"time"
+
+	"repro/internal/yaml"
+)
+
+// Engine builds template.Template instances wired with the Helm-compatible
+// function map. The zero value is ready to use.
+type Engine struct {
+	// Now is the timestamp returned by the "now" function. Zero means a
+	// fixed reference time (deterministic renders).
+	Now time.Time
+	// randCounter makes randAlphaNum deterministic but distinct per call.
+	randCounter int
+}
+
+// referenceTime keeps `now` stable across renders unless overridden.
+var referenceTime = time.Date(2025, 4, 15, 0, 0, 0, 0, time.UTC)
+
+// New returns an empty template with the full function map installed.
+// Templates added to the returned template can use include/tpl.
+func (e *Engine) New(name string) *template.Template {
+	t := template.New(name).Option("missingkey=zero")
+	t.Funcs(e.FuncMap(t))
+	return t
+}
+
+// FuncMap returns the function map, with include/tpl bound to root.
+func (e *Engine) FuncMap(root *template.Template) template.FuncMap {
+	fm := template.FuncMap{
+		// ---- strings ----
+		"quote":      fQuote,
+		"squote":     fSquote,
+		"upper":      strings.ToUpper,
+		"lower":      strings.ToLower,
+		"title":      fTitle,
+		"untitle":    fUntitle,
+		"trim":       strings.TrimSpace,
+		"trimAll":    func(cut, s string) string { return strings.Trim(s, cut) },
+		"trimSuffix": func(suf, s string) string { return strings.TrimSuffix(s, suf) },
+		"trimPrefix": func(pre, s string) string { return strings.TrimPrefix(s, pre) },
+		"trunc":      fTrunc,
+		"replace":    func(old, new, s string) string { return strings.ReplaceAll(s, old, new) },
+		"repeat":     func(n int, s string) string { return strings.Repeat(s, n) },
+		"contains":   func(substr, s string) bool { return strings.Contains(s, substr) },
+		"hasPrefix":  func(pre, s string) bool { return strings.HasPrefix(s, pre) },
+		"hasSuffix":  func(suf, s string) bool { return strings.HasSuffix(s, suf) },
+		"nospace":    func(s string) string { return strings.ReplaceAll(s, " ", "") },
+		"indent":     fIndent,
+		"nindent":    func(n int, s string) string { return "\n" + fIndent(n, s) },
+		"substr":     fSubstr,
+		"splitList":  func(sep, s string) []string { return strings.Split(s, sep) },
+		"join":       fJoin,
+		"sortAlpha":  fSortAlpha,
+		"snakecase":  fSnakeCase,
+		"kebabcase":  fKebabCase,
+		"camelcase":  fCamelCase,
+		"printf":     fmt.Sprintf,
+		"println":    fmt.Sprintln,
+
+		// ---- encoding ----
+		"b64enc":    func(s string) string { return base64.StdEncoding.EncodeToString([]byte(s)) },
+		"b64dec":    fB64Dec,
+		"sha256sum": func(s string) string { h := sha256.Sum256([]byte(s)); return hex.EncodeToString(h[:]) },
+		"toYaml":    fToYaml,
+		"fromYaml":  fFromYaml,
+		"toJson":    fToJSON,
+		"fromJson":  fFromJSON,
+		"toString":  fToString,
+
+		// ---- defaults & flow ----
+		"default":  fDefault,
+		"empty":    isEmpty,
+		"coalesce": fCoalesce,
+		"required": fRequired,
+		"fail":     func(msg string) (string, error) { return "", fmt.Errorf("fail: %s", msg) },
+		"ternary":  fTernary,
+
+		// ---- lists ----
+		"list":    func(items ...any) []any { return items },
+		"first":   fFirst,
+		"rest":    fRest,
+		"last":    fLast,
+		"initial": fInitial,
+		"append":  fAppend,
+		"prepend": fPrepend,
+		"concat":  fConcat,
+		"uniq":    fUniq,
+		"without": fWithout,
+		"compact": fCompact,
+		"has":     fHas,
+		"len":     fLen,
+
+		// ---- dicts ----
+		"dict":           fDict,
+		"get":            fGet,
+		"set":            fSet,
+		"unset":          fUnset,
+		"hasKey":         fHasKey,
+		"keys":           fKeys,
+		"values":         fValues,
+		"merge":          fMerge,
+		"mergeOverwrite": fMergeOverwrite,
+		"deepCopy":       fDeepCopy,
+		"omit":           fOmit,
+		"pick":           fPick,
+		"dig":            fDig,
+
+		// ---- math ----
+		"add":   fAdd,
+		"add1":  func(a any) (int64, error) { return fAdd(a, 1) },
+		"sub":   fSub,
+		"mul":   fMul,
+		"div":   fDiv,
+		"mod":   fMod,
+		"max":   fMax,
+		"min":   fMin,
+		"floor": func(a any) float64 { f, _ := toFloat64(a); return math.Floor(f) },
+		"ceil":  func(a any) float64 { f, _ := toFloat64(a); return math.Ceil(f) },
+		"round": func(a any) float64 { f, _ := toFloat64(a); return math.Round(f) },
+
+		// ---- types ----
+		"int":     fInt,
+		"int64":   fInt64,
+		"float64": func(a any) float64 { f, _ := toFloat64(a); return f },
+		"atoi":    func(s string) (int, error) { return strconv.Atoi(s) },
+		"kindIs":  fKindIs,
+		"kindOf":  fKindOf,
+		"typeOf":  func(v any) string { return fmt.Sprintf("%T", v) },
+
+		// ---- regex ----
+		"regexMatch":      fRegexMatch,
+		"regexReplaceAll": fRegexReplaceAll,
+		"regexSplit":      fRegexSplit,
+
+		// ---- semver ----
+		"semverCompare": fSemverCompare,
+
+		// ---- determinism-controlled sprig functions ----
+		"now":          e.fNow,
+		"date":         fDate,
+		"randAlphaNum": e.fRandAlphaNum,
+
+		// ---- Helm built-ins ----
+		"lookup": func(apiVersion, kind, ns, name string) map[string]any { return map[string]any{} },
+	}
+	fm["include"] = func(name string, data any) (string, error) {
+		var b strings.Builder
+		if err := root.ExecuteTemplate(&b, name, data); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+	}
+	fm["tpl"] = func(text string, data any) (string, error) {
+		clone, err := root.Clone()
+		if err != nil {
+			return "", err
+		}
+		sub, err := clone.New("__tpl__").Parse(text)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		if err := sub.Execute(&b, data); err != nil {
+			return "", err
+		}
+		return b.String(), nil
+	}
+	return fm
+}
+
+func (e *Engine) fNow() time.Time {
+	if !e.Now.IsZero() {
+		return e.Now
+	}
+	return referenceTime
+}
+
+func (e *Engine) fRandAlphaNum(n int) string {
+	e.randCounter++
+	h := sha256.Sum256([]byte(fmt.Sprintf("kubefence-%d", e.randCounter)))
+	const alphanum = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	out := make([]byte, n)
+	for i := 0; i < n; i++ {
+		out[i] = alphanum[int(h[i%len(h)])%len(alphanum)]
+	}
+	return string(out)
+}
+
+func fDate(layout string, t time.Time) string { return t.Format(convertDateLayout(layout)) }
+
+// convertDateLayout translates common sprig date layouts (Go reference
+// time) — sprig already uses Go layouts, so this is the identity.
+func convertDateLayout(layout string) string { return layout }
+
+func fQuote(v ...any) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = strconv.Quote(fToString(x))
+	}
+	return strings.Join(parts, " ")
+}
+
+func fSquote(v ...any) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = "'" + strings.ReplaceAll(fToString(x), "'", "''") + "'"
+	}
+	return strings.Join(parts, " ")
+}
+
+func fTitle(s string) string {
+	prev := ' '
+	return strings.Map(func(r rune) rune {
+		out := r
+		if prev == ' ' && r >= 'a' && r <= 'z' {
+			out = r - 32
+		}
+		prev = r
+		return out
+	}, s)
+}
+
+func fUntitle(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToLower(s[:1]) + s[1:]
+}
+
+func fTrunc(n int, s string) string {
+	if n < 0 {
+		if -n >= len(s) {
+			return s
+		}
+		return s[len(s)+n:]
+	}
+	if n >= len(s) {
+		return s
+	}
+	return s[:n]
+}
+
+func fSubstr(start, end int, s string) string {
+	if start < 0 {
+		start = 0
+	}
+	if end > len(s) {
+		end = len(s)
+	}
+	if start >= end {
+		return ""
+	}
+	return s[start:end]
+}
+
+func fIndent(n int, s string) string {
+	pad := strings.Repeat(" ", n)
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = pad + l
+		}
+	}
+	return strings.Join(lines, "\n")
+}
+
+func fJoin(sep string, v any) string {
+	items := toAnySlice(v)
+	parts := make([]string, len(items))
+	for i, it := range items {
+		parts[i] = fToString(it)
+	}
+	return strings.Join(parts, sep)
+}
+
+func fSortAlpha(v any) []string {
+	items := toAnySlice(v)
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = fToString(it)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fSnakeCase(s string) string { return caseConvert(s, '_') }
+func fKebabCase(s string) string { return caseConvert(s, '-') }
+
+func caseConvert(s string, sep rune) string {
+	var b strings.Builder
+	for i, r := range s {
+		switch {
+		case r >= 'A' && r <= 'Z':
+			if i > 0 {
+				b.WriteRune(sep)
+			}
+			b.WriteRune(r + 32)
+		case r == ' ' || r == '-' || r == '_':
+			b.WriteRune(sep)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func fCamelCase(s string) string {
+	var b strings.Builder
+	up := true
+	for _, r := range s {
+		switch {
+		case r == ' ' || r == '-' || r == '_':
+			up = true
+		case up:
+			if r >= 'a' && r <= 'z' {
+				r -= 32
+			}
+			b.WriteRune(r)
+			up = false
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+func fB64Dec(s string) (string, error) {
+	b, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return "", fmt.Errorf("b64dec: %w", err)
+	}
+	return string(b), nil
+}
+
+func fToYaml(v any) (string, error) {
+	b, err := yaml.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSuffix(string(b), "\n"), nil
+}
+
+func fFromYaml(s string) (any, error) { return yaml.Decode([]byte(s)) }
+
+func fToJSON(v any) (string, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func fFromJSON(s string) (any, error) {
+	var v any
+	if err := json.Unmarshal([]byte(s), &v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+func fToString(v any) string {
+	switch t := v.(type) {
+	case nil:
+		return ""
+	case string:
+		return t
+	case []byte:
+		return string(t)
+	case error:
+		return t.Error()
+	case fmt.Stringer:
+		return t.String()
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func fDefault(def any, given ...any) any {
+	if len(given) == 0 || isEmpty(given[0]) {
+		return def
+	}
+	return given[0]
+}
+
+func isEmpty(v any) bool {
+	switch t := v.(type) {
+	case nil:
+		return true
+	case string:
+		return t == ""
+	case bool:
+		return !t
+	case int:
+		return t == 0
+	case int64:
+		return t == 0
+	case float64:
+		return t == 0
+	case []any:
+		return len(t) == 0
+	case []string:
+		return len(t) == 0
+	case map[string]any:
+		return len(t) == 0
+	default:
+		return false
+	}
+}
+
+func fCoalesce(vals ...any) any {
+	for _, v := range vals {
+		if !isEmpty(v) {
+			return v
+		}
+	}
+	return nil
+}
+
+func fRequired(msg string, v any) (any, error) {
+	if isEmpty(v) {
+		return nil, fmt.Errorf("required value missing: %s", msg)
+	}
+	return v, nil
+}
+
+func fTernary(ifTrue, ifFalse, cond any) any {
+	if b, ok := cond.(bool); ok && b {
+		return ifTrue
+	}
+	return ifFalse
+}
+
+func toAnySlice(v any) []any {
+	switch t := v.(type) {
+	case nil:
+		return nil
+	case []any:
+		return t
+	case []string:
+		out := make([]any, len(t))
+		for i, s := range t {
+			out[i] = s
+		}
+		return out
+	default:
+		return []any{v}
+	}
+}
+
+func fFirst(v any) any {
+	s := toAnySlice(v)
+	if len(s) == 0 {
+		return nil
+	}
+	return s[0]
+}
+
+func fRest(v any) []any {
+	s := toAnySlice(v)
+	if len(s) == 0 {
+		return nil
+	}
+	return s[1:]
+}
+
+func fLast(v any) any {
+	s := toAnySlice(v)
+	if len(s) == 0 {
+		return nil
+	}
+	return s[len(s)-1]
+}
+
+func fInitial(v any) []any {
+	s := toAnySlice(v)
+	if len(s) == 0 {
+		return nil
+	}
+	return s[:len(s)-1]
+}
+
+func fAppend(list any, v any) []any  { return append(toAnySlice(list), v) }
+func fPrepend(list any, v any) []any { return append([]any{v}, toAnySlice(list)...) }
+
+func fConcat(lists ...any) []any {
+	var out []any
+	for _, l := range lists {
+		out = append(out, toAnySlice(l)...)
+	}
+	return out
+}
+
+func fUniq(v any) []any {
+	seen := map[string]bool{}
+	var out []any
+	for _, it := range toAnySlice(v) {
+		k := fmt.Sprintf("%v", it)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func fWithout(list any, omit ...any) []any {
+	var out []any
+	for _, it := range toAnySlice(list) {
+		drop := false
+		for _, o := range omit {
+			if fmt.Sprintf("%v", it) == fmt.Sprintf("%v", o) {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func fCompact(v any) []any {
+	var out []any
+	for _, it := range toAnySlice(v) {
+		if !isEmpty(it) {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+func fHas(needle any, list any) bool {
+	for _, it := range toAnySlice(list) {
+		if fmt.Sprintf("%v", it) == fmt.Sprintf("%v", needle) {
+			return true
+		}
+	}
+	return false
+}
+
+func fLen(v any) (int, error) {
+	switch t := v.(type) {
+	case nil:
+		return 0, nil
+	case string:
+		return len(t), nil
+	case []any:
+		return len(t), nil
+	case []string:
+		return len(t), nil
+	case map[string]any:
+		return len(t), nil
+	default:
+		return 0, fmt.Errorf("len: unsupported type %T", v)
+	}
+}
+
+func fDict(kv ...any) (map[string]any, error) {
+	if len(kv)%2 != 0 {
+		return nil, fmt.Errorf("dict: odd number of arguments")
+	}
+	m := make(map[string]any, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		m[fToString(kv[i])] = kv[i+1]
+	}
+	return m, nil
+}
+
+func fGet(m map[string]any, key string) any { return m[key] }
+
+func fSet(m map[string]any, key string, v any) map[string]any {
+	m[key] = v
+	return m
+}
+
+func fUnset(m map[string]any, key string) map[string]any {
+	delete(m, key)
+	return m
+}
+
+func fHasKey(m map[string]any, key string) bool {
+	_, ok := m[key]
+	return ok
+}
+
+func fKeys(maps ...map[string]any) []string {
+	var out []string
+	for _, m := range maps {
+		for k := range m {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fValues(m map[string]any) []any {
+	keys := fKeys(m)
+	out := make([]any, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// fMerge merges src maps into dst (dst wins on conflicts), like sprig.
+func fMerge(dst map[string]any, srcs ...map[string]any) map[string]any {
+	for _, src := range srcs {
+		dst = mergeMaps(dst, src, false)
+	}
+	return dst
+}
+
+// fMergeOverwrite merges src maps into dst (src wins on conflicts).
+func fMergeOverwrite(dst map[string]any, srcs ...map[string]any) map[string]any {
+	for _, src := range srcs {
+		dst = mergeMaps(dst, src, true)
+	}
+	return dst
+}
+
+func mergeMaps(dst, src map[string]any, overwrite bool) map[string]any {
+	if dst == nil {
+		dst = map[string]any{}
+	}
+	for k, sv := range src {
+		dv, exists := dst[k]
+		if !exists {
+			dst[k] = sv
+			continue
+		}
+		dm, dok := dv.(map[string]any)
+		sm, sok := sv.(map[string]any)
+		if dok && sok {
+			dst[k] = mergeMaps(dm, sm, overwrite)
+			continue
+		}
+		if overwrite {
+			dst[k] = sv
+		}
+	}
+	return dst
+}
+
+func fDeepCopy(v any) any {
+	switch t := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(t))
+		for k, val := range t {
+			out[k] = fDeepCopy(val)
+		}
+		return out
+	case []any:
+		out := make([]any, len(t))
+		for i, val := range t {
+			out[i] = fDeepCopy(val)
+		}
+		return out
+	default:
+		return v
+	}
+}
+
+func fOmit(m map[string]any, keys ...string) map[string]any {
+	out := map[string]any{}
+	for k, v := range m {
+		out[k] = v
+	}
+	for _, k := range keys {
+		delete(out, k)
+	}
+	return out
+}
+
+func fPick(m map[string]any, keys ...string) map[string]any {
+	out := map[string]any{}
+	for _, k := range keys {
+		if v, ok := m[k]; ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// fDig walks nested maps: dig "a" "b" default m.
+func fDig(args ...any) (any, error) {
+	if len(args) < 3 {
+		return nil, fmt.Errorf("dig: need at least 3 arguments")
+	}
+	m, ok := args[len(args)-1].(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("dig: last argument must be a dict")
+	}
+	def := args[len(args)-2]
+	cur := any(m)
+	for _, seg := range args[:len(args)-2] {
+		cm, ok := cur.(map[string]any)
+		if !ok {
+			return def, nil
+		}
+		cur, ok = cm[fToString(seg)]
+		if !ok {
+			return def, nil
+		}
+	}
+	return cur, nil
+}
+
+func toInt64(v any) (int64, error) {
+	switch t := v.(type) {
+	case int:
+		return int64(t), nil
+	case int32:
+		return int64(t), nil
+	case int64:
+		return t, nil
+	case float64:
+		return int64(t), nil
+	case string:
+		return strconv.ParseInt(t, 10, 64)
+	case nil:
+		return 0, nil
+	case bool:
+		if t {
+			return 1, nil
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("cannot convert %T to int", v)
+	}
+}
+
+func toFloat64(v any) (float64, error) {
+	switch t := v.(type) {
+	case int:
+		return float64(t), nil
+	case int64:
+		return float64(t), nil
+	case float64:
+		return t, nil
+	case string:
+		return strconv.ParseFloat(t, 64)
+	case nil:
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("cannot convert %T to float", v)
+	}
+}
+
+func fAdd(vals ...any) (int64, error) {
+	var sum int64
+	for _, v := range vals {
+		n, err := toInt64(v)
+		if err != nil {
+			return 0, err
+		}
+		sum += n
+	}
+	return sum, nil
+}
+
+func fSub(a, b any) (int64, error) {
+	x, err := toInt64(a)
+	if err != nil {
+		return 0, err
+	}
+	y, err := toInt64(b)
+	if err != nil {
+		return 0, err
+	}
+	return x - y, nil
+}
+
+func fMul(vals ...any) (int64, error) {
+	prod := int64(1)
+	for _, v := range vals {
+		n, err := toInt64(v)
+		if err != nil {
+			return 0, err
+		}
+		prod *= n
+	}
+	return prod, nil
+}
+
+func fDiv(a, b any) (int64, error) {
+	x, err := toInt64(a)
+	if err != nil {
+		return 0, err
+	}
+	y, err := toInt64(b)
+	if err != nil {
+		return 0, err
+	}
+	if y == 0 {
+		return 0, fmt.Errorf("div: division by zero")
+	}
+	return x / y, nil
+}
+
+func fMod(a, b any) (int64, error) {
+	x, err := toInt64(a)
+	if err != nil {
+		return 0, err
+	}
+	y, err := toInt64(b)
+	if err != nil {
+		return 0, err
+	}
+	if y == 0 {
+		return 0, fmt.Errorf("mod: division by zero")
+	}
+	return x % y, nil
+}
+
+func fMax(vals ...any) (int64, error) {
+	if len(vals) == 0 {
+		return 0, fmt.Errorf("max: no arguments")
+	}
+	best, err := toInt64(vals[0])
+	if err != nil {
+		return 0, err
+	}
+	for _, v := range vals[1:] {
+		n, err := toInt64(v)
+		if err != nil {
+			return 0, err
+		}
+		if n > best {
+			best = n
+		}
+	}
+	return best, nil
+}
+
+func fMin(vals ...any) (int64, error) {
+	if len(vals) == 0 {
+		return 0, fmt.Errorf("min: no arguments")
+	}
+	best, err := toInt64(vals[0])
+	if err != nil {
+		return 0, err
+	}
+	for _, v := range vals[1:] {
+		n, err := toInt64(v)
+		if err != nil {
+			return 0, err
+		}
+		if n < best {
+			best = n
+		}
+	}
+	return best, nil
+}
+
+func fInt(v any) (int, error) {
+	n, err := toInt64(v)
+	return int(n), err
+}
+
+func fInt64(v any) (int64, error) { return toInt64(v) }
+
+func fKindOf(v any) string {
+	switch v.(type) {
+	case nil:
+		return "invalid"
+	case bool:
+		return "bool"
+	case string:
+		return "string"
+	case int, int32, int64:
+		return "int64"
+	case float64:
+		return "float64"
+	case []any, []string:
+		return "slice"
+	case map[string]any:
+		return "map"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+func fKindIs(kind string, v any) bool { return fKindOf(v) == kind }
+
+func fRegexMatch(pattern, s string) (bool, error) {
+	return regexp.MatchString(pattern, s)
+}
+
+func fRegexReplaceAll(pattern, s, repl string) (string, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return "", err
+	}
+	return re.ReplaceAllString(s, repl), nil
+}
+
+func fRegexSplit(pattern, s string, n int) ([]string, error) {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return re.Split(s, n), nil
+}
+
+// fSemverCompare supports the constraint operators >=, >, <=, <, =, !=.
+func fSemverCompare(constraint, version string) (bool, error) {
+	op := "="
+	rest := constraint
+	for _, candidate := range []string{">=", "<=", "!=", ">", "<", "="} {
+		if strings.HasPrefix(constraint, candidate) {
+			op = candidate
+			rest = strings.TrimSpace(constraint[len(candidate):])
+			break
+		}
+	}
+	cmp, err := semverCmp(version, rest)
+	if err != nil {
+		return false, err
+	}
+	switch op {
+	case ">=":
+		return cmp >= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case "<":
+		return cmp < 0, nil
+	case "!=":
+		return cmp != 0, nil
+	default:
+		return cmp == 0, nil
+	}
+}
+
+func semverCmp(a, b string) (int, error) {
+	pa, err := semverParts(a)
+	if err != nil {
+		return 0, err
+	}
+	pb, err := semverParts(b)
+	if err != nil {
+		return 0, err
+	}
+	for i := 0; i < 3; i++ {
+		if pa[i] != pb[i] {
+			if pa[i] < pb[i] {
+				return -1, nil
+			}
+			return 1, nil
+		}
+	}
+	return 0, nil
+}
+
+func semverParts(v string) ([3]int, error) {
+	v = strings.TrimPrefix(strings.TrimSpace(v), "v")
+	if i := strings.IndexAny(v, "-+"); i >= 0 {
+		v = v[:i]
+	}
+	var out [3]int
+	parts := strings.Split(v, ".")
+	for i := 0; i < len(parts) && i < 3; i++ {
+		n, err := strconv.Atoi(parts[i])
+		if err != nil {
+			return out, fmt.Errorf("semver: bad version %q", v)
+		}
+		out[i] = n
+	}
+	return out, nil
+}

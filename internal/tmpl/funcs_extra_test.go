@@ -1,0 +1,108 @@
+package tmpl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEncodingFuncs(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{`{{ sha256sum "abc" }}`, "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+		{`{{ toJson (dict "a" 1) }}`, `{"a":1}`},
+		{`{{ (fromJson "{\"b\": 2}").b }}`, "2"},
+		{`{{ untitle "Hello" }}`, "hello"},
+		{`{{ trimAll "-" "--x--" }}`, "x"},
+		{`{{ repeat 3 "ab" }}`, "ababab"},
+		{`{{ hasSuffix ".go" "main.go" }}`, "true"},
+		{`{{ initial (list 1 2 3) | join "," }}`, "1,2"},
+		{`{{ append (list 1) 2 | join "," }}`, "1,2"},
+		{`{{ prepend (list 2) 1 | join "," }}`, "1,2"},
+		{`{{ regexSplit "," "a,b,c" -1 | len }}`, "3"},
+		{`{{ floor 2.7 }}`, "2"},
+		{`{{ ceil 2.1 }}`, "3"},
+		{`{{ round 2.5 }}`, "3"},
+		{`{{ int64 "99" }}`, "99"},
+		{`{{ float64 "2.5" }}`, "2.5"},
+		{`{{ typeOf "s" }}`, "string"},
+		{`{{ values (dict "b" 2 "a" 1) | join "," }}`, "1,2"},
+		{`{{ len (lookup "v1" "Secret" "ns" "name") }}`, "0"},
+	}
+	for _, tt := range tests {
+		if got := render(t, tt.src, nil); got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestDateFormatting(t *testing.T) {
+	got := render(t, `{{ now | date "2006-01-02" }}`, nil)
+	if got != "2025-04-15" {
+		t.Errorf("date = %q (must use the fixed reference time)", got)
+	}
+}
+
+func TestFailFunc(t *testing.T) {
+	if _, err := tryRender(`{{ fail "boom" }}`, nil); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("fail: %v", err)
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	bad := []string{
+		`{{ b64dec "!!!" }}`,
+		`{{ atoi "x" }}`,
+		`{{ mod 1 0 }}`,
+		`{{ dict "odd" }}`,
+		`{{ regexMatch "(" "x" }}`,
+		`{{ semverCompare ">=x.y" "1.0.0" }}`,
+		`{{ max }}`,
+		`{{ min }}`,
+	}
+	for _, src := range bad {
+		if _, err := tryRender(src, nil); err == nil {
+			t.Errorf("%s should error", src)
+		}
+	}
+}
+
+func TestLenErrors(t *testing.T) {
+	if _, err := tryRender(`{{ len .v }}`, map[string]any{"v": 3.14}); err == nil {
+		t.Error("len of float should error")
+	}
+	if got := render(t, `{{ len .v }}`, map[string]any{"v": nil}); got != "0" {
+		t.Errorf("len(nil) = %q", got)
+	}
+}
+
+func TestDeepCopyIsolation(t *testing.T) {
+	got := render(t, `
+{{- $orig := dict "nested" (dict "v" 1) -}}
+{{- $copy := deepCopy $orig -}}
+{{- $_ := set (get $copy "nested") "v" 9 -}}
+{{- (get $orig "nested").v -}}`, nil)
+	if got != "1" {
+		t.Errorf("deepCopy leaked mutation: %q", got)
+	}
+}
+
+func TestCoalesceAllEmpty(t *testing.T) {
+	got := render(t, `{{ if coalesce "" 0 }}x{{ else }}none{{ end }}`, nil)
+	if got != "none" {
+		t.Errorf("coalesce = %q", got)
+	}
+}
+
+func TestToStringVariants(t *testing.T) {
+	if got := fToString(nil); got != "" {
+		t.Errorf("nil = %q", got)
+	}
+	if got := fToString([]byte("b")); got != "b" {
+		t.Errorf("bytes = %q", got)
+	}
+	if got := fToString(true); got != "true" {
+		t.Errorf("bool = %q", got)
+	}
+}

@@ -1,0 +1,327 @@
+package tmpl
+
+import (
+	"strings"
+	"testing"
+	"text/template"
+)
+
+// render parses and executes src against data with a fresh engine.
+func render(t *testing.T, src string, data any) string {
+	t.Helper()
+	out, err := tryRender(src, data)
+	if err != nil {
+		t.Fatalf("render(%q): %v", src, err)
+	}
+	return out
+}
+
+func tryRender(src string, data any) (string, error) {
+	eng := &Engine{}
+	root := eng.New("root")
+	tt, err := root.New("main").Parse(src)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	if err := tt.Execute(&b, data); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}
+
+func TestStringFuncs(t *testing.T) {
+	tests := []struct {
+		src  string
+		data any
+		want string
+	}{
+		{`{{ quote "hi" }}`, nil, `"hi"`},
+		{`{{ squote "it's" }}`, nil, `'it''s'`},
+		{`{{ upper "abc" }}`, nil, "ABC"},
+		{`{{ lower "ABC" }}`, nil, "abc"},
+		{`{{ title "hello world" }}`, nil, "Hello World"},
+		{`{{ trunc 5 "abcdefgh" }}`, nil, "abcde"},
+		{`{{ trunc -3 "abcdefgh" }}`, nil, "fgh"},
+		{`{{ trunc 63 "short" }}`, nil, "short"},
+		{`{{ trimSuffix "-" "name-" }}`, nil, "name"},
+		{`{{ trimPrefix "v" "v1.2" }}`, nil, "1.2"},
+		{`{{ replace "." "-" "a.b.c" }}`, nil, "a-b-c"},
+		{`{{ contains "ell" "hello" }}`, nil, "true"},
+		{`{{ hasPrefix "he" "hello" }}`, nil, "true"},
+		{`{{ nospace "a b c" }}`, nil, "abc"},
+		{`{{ join "," (list "a" "b") }}`, nil, "a,b"},
+		{`{{ splitList "," "a,b,c" | len }}`, nil, "3"},
+		{`{{ printf "%s-%d" "x" 7 }}`, nil, "x-7"},
+		{`{{ snakecase "myFieldName" }}`, nil, "my_field_name"},
+		{`{{ kebabcase "myFieldName" }}`, nil, "my-field-name"},
+		{`{{ camelcase "my-field" }}`, nil, "MyField"},
+		{`{{ substr 1 3 "abcdef" }}`, nil, "bc"},
+	}
+	for _, tt := range tests {
+		if got := render(t, tt.src, tt.data); got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestIndentNindent(t *testing.T) {
+	got := render(t, `{{ indent 4 "a\nb" }}`, nil)
+	if got != "    a\n    b" {
+		t.Errorf("indent = %q", got)
+	}
+	got = render(t, `x:{{ nindent 2 "a: 1" }}`, nil)
+	if got != "x:\n  a: 1" {
+		t.Errorf("nindent = %q", got)
+	}
+}
+
+func TestDefaultsAndFlow(t *testing.T) {
+	tests := []struct {
+		src  string
+		data any
+		want string
+	}{
+		{`{{ default "d" "" }}`, nil, "d"},
+		{`{{ default "d" "v" }}`, nil, "v"},
+		{`{{ default 10 0 }}`, nil, "10"},
+		{`{{ .x | default "fallback" }}`, map[string]any{}, "fallback"},
+		{`{{ coalesce "" 0 "first" "second" }}`, nil, "first"},
+		{`{{ ternary "yes" "no" true }}`, nil, "yes"},
+		{`{{ ternary "yes" "no" false }}`, nil, "no"},
+		{`{{ empty "" }}`, nil, "true"},
+		{`{{ empty "x" }}`, nil, "false"},
+	}
+	for _, tt := range tests {
+		if got := render(t, tt.src, tt.data); got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestRequired(t *testing.T) {
+	if _, err := tryRender(`{{ required "need it" .missing }}`, map[string]any{}); err == nil {
+		t.Error("required on empty value should error")
+	}
+	if got := render(t, `{{ required "need it" "present" }}`, nil); got != "present" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestToYamlFromYaml(t *testing.T) {
+	data := map[string]any{"m": map[string]any{"b": int64(2), "a": "x"}}
+	got := render(t, `{{ toYaml .m }}`, data)
+	if got != "a: x\nb: 2" {
+		t.Errorf("toYaml = %q", got)
+	}
+	got = render(t, `{{ (fromYaml "a: 5").a }}`, nil)
+	if got != "5" {
+		t.Errorf("fromYaml = %q", got)
+	}
+}
+
+func TestBase64(t *testing.T) {
+	if got := render(t, `{{ b64enc "secret" }}`, nil); got != "c2VjcmV0" {
+		t.Errorf("b64enc = %q", got)
+	}
+	if got := render(t, `{{ b64dec "c2VjcmV0" }}`, nil); got != "secret" {
+		t.Errorf("b64dec = %q", got)
+	}
+}
+
+func TestDictFuncs(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{`{{ $d := dict "a" 1 "b" 2 }}{{ get $d "a" }}`, "1"},
+		{`{{ $d := dict "a" 1 }}{{ hasKey $d "a" }}`, "true"},
+		{`{{ $d := dict "a" 1 }}{{ hasKey $d "z" }}`, "false"},
+		{`{{ $d := dict "b" 1 "a" 2 }}{{ keys $d | join "," }}`, "a,b"},
+		{`{{ $d := dict "a" 1 }}{{ $_ := set $d "c" 3 }}{{ get $d "c" }}`, "3"},
+		{`{{ $a := dict "x" 1 }}{{ $b := dict "x" 9 "y" 2 }}{{ $m := merge $a $b }}{{ get $m "x" }}{{ get $m "y" }}`, "12"},
+		{`{{ $a := dict "x" 1 }}{{ $b := dict "x" 9 }}{{ $m := mergeOverwrite $a $b }}{{ get $m "x" }}`, "9"},
+		{`{{ $d := dict "a" 1 "b" 2 }}{{ $p := pick $d "a" }}{{ len $p }}`, "1"},
+		{`{{ $d := dict "a" 1 "b" 2 }}{{ $o := omit $d "a" }}{{ hasKey $o "a" }}`, "false"},
+		{`{{ $d := dict "outer" (dict "inner" "v") }}{{ dig "outer" "inner" "def" $d }}`, "v"},
+		{`{{ $d := dict }}{{ dig "outer" "inner" "def" $d }}`, "def"},
+	}
+	for _, tt := range tests {
+		if got := render(t, tt.src, nil); got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestListFuncs(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{`{{ first (list 1 2 3) }}`, "1"},
+		{`{{ last (list 1 2 3) }}`, "3"},
+		{`{{ rest (list 1 2 3) | join "," }}`, "2,3"},
+		{`{{ uniq (list 1 1 2) | len }}`, "2"},
+		{`{{ without (list 1 2 3) 2 | join "," }}`, "1,3"},
+		{`{{ compact (list "" "a" "") | join "," }}`, "a"},
+		{`{{ has 2 (list 1 2 3) }}`, "true"},
+		{`{{ concat (list 1) (list 2) | join "," }}`, "1,2"},
+		{`{{ sortAlpha (list "b" "a") | join "," }}`, "a,b"},
+	}
+	for _, tt := range tests {
+		if got := render(t, tt.src, nil); got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestMathFuncs(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{`{{ add 1 2 3 }}`, "6"},
+		{`{{ add1 41 }}`, "42"},
+		{`{{ sub 5 3 }}`, "2"},
+		{`{{ mul 3 4 }}`, "12"},
+		{`{{ div 10 3 }}`, "3"},
+		{`{{ mod 10 3 }}`, "1"},
+		{`{{ max 1 9 4 }}`, "9"},
+		{`{{ min 5 2 8 }}`, "2"},
+	}
+	for _, tt := range tests {
+		if got := render(t, tt.src, nil); got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+	if _, err := tryRender(`{{ div 1 0 }}`, nil); err == nil {
+		t.Error("div by zero should error")
+	}
+}
+
+func TestTypeFuncs(t *testing.T) {
+	tests := []struct {
+		src  string
+		data any
+		want string
+	}{
+		{`{{ kindOf .v }}`, map[string]any{"v": "s"}, "string"},
+		{`{{ kindOf .v }}`, map[string]any{"v": int64(1)}, "int64"},
+		{`{{ kindOf .v }}`, map[string]any{"v": map[string]any{}}, "map"},
+		{`{{ kindIs "slice" .v }}`, map[string]any{"v": []any{}}, "true"},
+		{`{{ int "42" }}`, nil, "42"},
+		{`{{ atoi "17" }}`, nil, "17"},
+		{`{{ toString 42 }}`, nil, "42"},
+	}
+	for _, tt := range tests {
+		if got := render(t, tt.src, tt.data); got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+func TestRegexFuncs(t *testing.T) {
+	if got := render(t, `{{ regexMatch "^[a-z]+$" "abc" }}`, nil); got != "true" {
+		t.Errorf("regexMatch = %q", got)
+	}
+	if got := render(t, `{{ regexReplaceAll "[0-9]+" "a1b22" "N" }}`, nil); got != "aNbN" {
+		t.Errorf("regexReplaceAll = %q", got)
+	}
+}
+
+func TestSemverCompare(t *testing.T) {
+	tests := []struct {
+		constraint, version string
+		want                bool
+	}{
+		{">=1.28.0", "1.28.6", true},
+		{">=1.28.0", "v1.28.6", true},
+		{"<1.25.0", "1.28.6", false},
+		{"=1.2.3", "1.2.3", true},
+		{"!=1.2.3", "1.2.4", true},
+		{">1.2.3", "1.2.3", false},
+	}
+	for _, tt := range tests {
+		src := `{{ semverCompare "` + tt.constraint + `" "` + tt.version + `" }}`
+		want := "false"
+		if tt.want {
+			want = "true"
+		}
+		if got := render(t, src, nil); got != want {
+			t.Errorf("semverCompare(%q, %q) = %s, want %s", tt.constraint, tt.version, got, want)
+		}
+	}
+}
+
+func TestIncludeAndDefine(t *testing.T) {
+	eng := &Engine{}
+	root := eng.New("root")
+	template.Must(root.New("helpers").Parse(`{{- define "app.name" -}}{{ .name }}-app{{- end -}}`))
+	main := template.Must(root.New("main").Parse(`name: {{ include "app.name" . }}`))
+	var b strings.Builder
+	if err := main.Execute(&b, map[string]any{"name": "web"}); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "name: web-app" {
+		t.Errorf("got %q", b.String())
+	}
+}
+
+func TestIncludePipedToIndent(t *testing.T) {
+	eng := &Engine{}
+	root := eng.New("root")
+	template.Must(root.New("helpers").Parse(`{{- define "labels" -}}
+app: x
+tier: web
+{{- end -}}`))
+	main := template.Must(root.New("main").Parse(`labels:
+  {{- include "labels" . | nindent 2 }}`))
+	var b strings.Builder
+	if err := main.Execute(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := "labels:\n  app: x\n  tier: web"
+	if b.String() != want {
+		t.Errorf("got %q, want %q", b.String(), want)
+	}
+}
+
+func TestTpl(t *testing.T) {
+	got := render(t, `{{ tpl "{{ .Values.inner }}" . }}`,
+		map[string]any{"Values": map[string]any{"inner": "expanded"}})
+	if got != "expanded" {
+		t.Errorf("tpl = %q", got)
+	}
+}
+
+func TestRandAlphaNumDeterministic(t *testing.T) {
+	e1 := &Engine{}
+	e2 := &Engine{}
+	a := e1.fRandAlphaNum(10)
+	b := e2.fRandAlphaNum(10)
+	if a != b {
+		t.Errorf("randAlphaNum differs across engines: %q vs %q", a, b)
+	}
+	c := e1.fRandAlphaNum(10)
+	if a == c {
+		t.Error("consecutive randAlphaNum calls should differ")
+	}
+	if len(a) != 10 {
+		t.Errorf("len = %d", len(a))
+	}
+}
+
+func TestNowDeterministic(t *testing.T) {
+	got := render(t, `{{ now.Year }}`, nil)
+	if got != "2025" {
+		t.Errorf("now.Year = %q, want fixed reference year 2025", got)
+	}
+}
+
+func TestMissingKeyRendersFalsy(t *testing.T) {
+	got := render(t, `{{ if .Values.missing }}yes{{ else }}no{{ end }}`,
+		map[string]any{"Values": map[string]any{}})
+	if got != "no" {
+		t.Errorf("missing key should be falsy, got %q", got)
+	}
+}

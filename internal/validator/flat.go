@@ -1,0 +1,105 @@
+package validator
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/object"
+)
+
+// FlatValidator is the naive field-name-based filter the paper argues
+// against (§IV: "a flat-object approach would overlook dependencies
+// between nested fields, enabling attackers to bypass restrictions").
+//
+// It records, per kind, the set of field *names* observed anywhere in the
+// manifests together with the union of their scalar domains — discarding
+// where in the object tree each field may appear. A request is allowed if
+// every mapping key it uses is a known field name. The tree validator's
+// test suite demonstrates a concrete bypass: a chart that only uses
+// `httpGet.path` (a benign probe path) makes the flat validator accept
+// `volumes.hostPath.path`, while the tree validator denies it.
+//
+// FlatValidator exists for the flat-vs-tree ablation benches and tests; it
+// is not part of the enforcement path.
+type FlatValidator struct {
+	// Names maps kind → allowed field names.
+	Names map[string]map[string]bool
+}
+
+// BuildFlat constructs the flat baseline from the same manifest corpus
+// used for the tree validator.
+func BuildFlat(objs []object.Object) (*FlatValidator, error) {
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("validator: no manifests to consolidate")
+	}
+	f := &FlatValidator{Names: map[string]map[string]bool{}}
+	for _, o := range objs {
+		kind := o.Kind()
+		if kind == "" {
+			return nil, fmt.Errorf("validator: manifest without kind")
+		}
+		set := f.Names[kind]
+		if set == nil {
+			set = map[string]bool{}
+			f.Names[kind] = set
+		}
+		collectNames(map[string]any(o), set)
+	}
+	return f, nil
+}
+
+func collectNames(v any, set map[string]bool) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, val := range t {
+			set[k] = true
+			collectNames(val, set)
+		}
+	case []any:
+		for _, item := range t {
+			collectNames(item, set)
+		}
+	}
+}
+
+// Validate applies the flat check.
+func (f *FlatValidator) Validate(o object.Object) []Violation {
+	kind := o.Kind()
+	set, ok := f.Names[kind]
+	if !ok {
+		return []Violation{{Reason: fmt.Sprintf("kind %s not allowed", kind)}}
+	}
+	var out []Violation
+	checkNames(map[string]any(o), "", set, &out)
+	return out
+}
+
+func checkNames(v any, path string, set map[string]bool, out *[]Violation) {
+	switch t := v.(type) {
+	case map[string]any:
+		for _, k := range sortedKeys(t) {
+			childPath := joinPath(path, k)
+			if !set[k] {
+				*out = append(*out, Violation{Path: childPath,
+					Reason: "field name not allowed by flat policy"})
+				continue
+			}
+			checkNames(t[k], childPath, set, out)
+		}
+	case []any:
+		for _, item := range t {
+			checkNames(item, path, set, out)
+		}
+	}
+}
+
+// FieldNames lists the allowed names for a kind, sorted (test helper).
+func (f *FlatValidator) FieldNames(kind string) []string {
+	set := f.Names[kind]
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,163 @@
+package validator
+
+import (
+	"testing"
+
+	"repro/internal/object"
+)
+
+// probeCorpus renders a chart that uses httpGet probes (field name "path")
+// but no hostPath volumes. The flat, name-based validator cannot tell the
+// two apart — the tree validator can. This is the paper's §IV argument for
+// hierarchical validation, made concrete.
+func probeCorpus(t *testing.T) []object.Object {
+	t.Helper()
+	return []object.Object{parse(t, `
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: kfrel-app
+spec:
+  template:
+    spec:
+      containers:
+      - name: app
+        image: "docker.io/bitnami/app:__KF_STRING__"
+        livenessProbe:
+          httpGet:
+            path: /healthz
+            port: int
+      volumes:
+      - name: cfg
+        configMap:
+          name: kfrel-app
+`)}
+}
+
+const hostPathAttack = `
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: kfrel-app
+spec:
+  template:
+    spec:
+      containers:
+      - name: app
+        image: "docker.io/bitnami/app:1.0"
+        livenessProbe:
+          httpGet:
+            path: /healthz
+            port: 8080
+      volumes:
+      - name: cfg
+        hostPath:
+          path: /etc/kubernetes
+`
+
+func TestFlatValidatorMissesHostPathBypass(t *testing.T) {
+	objs := probeCorpus(t)
+	flat, err := BuildFlat(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := parse(t, hostPathAttack)
+	// The flat validator knows the names "volumes", "name", "path" (from
+	// the probe) and "hostPath"?? — no: "hostPath" itself is unknown, so
+	// craft the bypass through a field whose NAME the flat policy knows.
+	// "configMap" is known and has child "name"; "path" is known from the
+	// probe. Mount a subPath-like traversal through known names:
+	bypass := parse(t, `
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: kfrel-app
+spec:
+  template:
+    spec:
+      containers:
+      - name: app
+        image: "docker.io/bitnami/app:1.0"
+      volumes:
+      - name: cfg
+        configMap:
+          name: whatever
+          path: /etc/kubernetes
+`)
+	if vs := flat.Validate(bypass); len(vs) != 0 {
+		t.Fatalf("expected flat validator to ACCEPT the bypass (that's its flaw), got %v", vs)
+	}
+	// The tree validator rejects it: configMap has no "path" child.
+	tree := build(t, objs, BuildOptions{})
+	if vs := tree.Validate(bypass); len(vs) == 0 {
+		t.Fatal("tree validator must reject path under configMap")
+	}
+	// And both reject the overt hostPath attack (unknown name).
+	if vs := flat.Validate(attack); len(vs) == 0 {
+		t.Error("flat validator should reject unknown field name hostPath")
+	}
+	if vs := tree.Validate(attack); len(vs) == 0 {
+		t.Error("tree validator should reject hostPath")
+	}
+}
+
+func TestFlatValidatorIgnoresValues(t *testing.T) {
+	// The flat validator also has no value domains: a locked field flipped
+	// to an unsafe value passes. The tree validator catches it.
+	objs := []object.Object{parse(t, `
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: kfrel-app
+spec:
+  template:
+    spec:
+      containers:
+      - name: app
+        image: "docker.io/bitnami/app:__KF_STRING__"
+        securityContext:
+          runAsNonRoot: true
+`)}
+	flat, err := BuildFlat(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attack := parse(t, `
+apiVersion: apps/v1
+kind: Deployment
+metadata:
+  name: x
+spec:
+  template:
+    spec:
+      containers:
+      - name: app
+        image: "docker.io/bitnami/app:1.0"
+        securityContext:
+          runAsNonRoot: false
+`)
+	if vs := flat.Validate(attack); len(vs) != 0 {
+		t.Fatalf("flat validator has no value domains; got %v", vs)
+	}
+	tree := build(t, objs, BuildOptions{})
+	if vs := tree.Validate(attack); len(vs) == 0 {
+		t.Fatal("tree validator must catch runAsNonRoot=false")
+	}
+}
+
+func TestFlatValidatorBasics(t *testing.T) {
+	flat, err := BuildFlat(probeCorpus(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := flat.Validate(parse(t, "kind: Service\nmetadata:\n  name: x\n")); len(vs) == 0 {
+		t.Error("unknown kind should be denied")
+	}
+	names := flat.FieldNames("Deployment")
+	if len(names) == 0 {
+		t.Error("no field names recorded")
+	}
+	if _, err := BuildFlat(nil); err == nil {
+		t.Error("empty corpus should error")
+	}
+}

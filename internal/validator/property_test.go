@@ -1,0 +1,245 @@
+package validator
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/chart"
+	"repro/internal/charts"
+	"repro/internal/explore"
+	"repro/internal/object"
+	"repro/internal/schema"
+)
+
+// workloadPolicy builds the nginx policy and a conforming request once.
+func workloadPolicy(t *testing.T) (*Validator, object.Object) {
+	t.Helper()
+	c := charts.MustLoad("nginx")
+	s, err := schema.Generate(c, schema.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var corpus []object.Object
+	for _, v := range explore.Variants(s) {
+		files, err := c.RenderWithValues(v, chart.ReleaseOptions{Name: "kfrelease"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		corpus = append(corpus, chart.Objects(files)...)
+	}
+	pol, err := Build(corpus, BuildOptions{Workload: "nginx", ReleaseName: "kfrelease"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := c.Render(nil, chart.ReleaseOptions{Name: "real", Namespace: "ns"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dep object.Object
+	for _, o := range chart.Objects(files) {
+		if o.Kind() == "Deployment" {
+			dep = o
+		}
+	}
+	return pol, dep
+}
+
+// xorshift RNG so property inputs are reproducible from the quick seed.
+type rng struct{ s uint64 }
+
+func newRng(seed int64) *rng {
+	u := uint64(seed)
+	if u == 0 {
+		u = 0x2545f4914f6cdd1d
+	}
+	return &rng{s: u}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// freeFormKeys are subtrees the policy deliberately leaves open
+// (KindAny); injecting "unknown" fields there is allowed by design, so
+// the property walk must not descend into them.
+var freeFormKeys = map[string]bool{
+	"labels": true, "annotations": true, "matchLabels": true,
+	"selector": true, "nodeSelector": true,
+}
+
+// randomMaps walks to a random non-free-form mapping node inside the
+// object, tracking keys in deterministic order so walks are reproducible
+// from the seed.
+func randomMaps(o map[string]any, r *rng) map[string]any {
+	cur := o
+	for depth := 0; depth < 6; depth++ {
+		var childMaps []map[string]any
+		for _, k := range sortedKeys(cur) {
+			if freeFormKeys[k] {
+				continue
+			}
+			switch t := cur[k].(type) {
+			case map[string]any:
+				childMaps = append(childMaps, t)
+			case []any:
+				for _, item := range t {
+					if m, ok := item.(map[string]any); ok {
+						childMaps = append(childMaps, m)
+					}
+				}
+			}
+		}
+		if len(childMaps) == 0 || r.intn(3) == 0 {
+			return cur
+		}
+		cur = childMaps[r.intn(len(childMaps))]
+	}
+	return cur
+}
+
+// TestPropertyUnknownFieldAlwaysDenied: injecting any unknown field name
+// anywhere in a conforming request must produce at least one violation —
+// the monotone attack-surface property behind Table III.
+func TestPropertyUnknownFieldAlwaysDenied(t *testing.T) {
+	pol, legit := workloadPolicy(t)
+	if vs := pol.Validate(legit); len(vs) != 0 {
+		t.Fatalf("baseline not conforming: %v", vs)
+	}
+	f := func(seed int64) bool {
+		r := newRng(seed)
+		req := legit.DeepCopy()
+		target := randomMaps(map[string]any(req), r)
+		field := fmt.Sprintf("kf_unknown_%d", r.intn(1000000))
+		switch r.intn(3) {
+		case 0:
+			target[field] = true
+		case 1:
+			target[field] = map[string]any{"nested": int64(r.intn(100))}
+		default:
+			target[field] = []any{"x"}
+		}
+		return len(pol.Validate(req)) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyValidationIsReadOnly: validating must never mutate the
+// request object.
+func TestPropertyValidationIsReadOnly(t *testing.T) {
+	pol, legit := workloadPolicy(t)
+	f := func(seed int64) bool {
+		r := newRng(seed)
+		req := legit.DeepCopy()
+		// Sometimes make it violating.
+		if r.intn(2) == 0 {
+			randomMaps(map[string]any(req), r)["hostNetwork"] = true
+		}
+		before, err := req.MarshalYAML()
+		if err != nil {
+			return false
+		}
+		pol.Validate(req)
+		after, err := req.MarshalYAML()
+		if err != nil {
+			return false
+		}
+		return string(before) == string(after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDeterministicVerdict: the same request always gets the same
+// verdict and the same violation set.
+func TestPropertyDeterministicVerdict(t *testing.T) {
+	pol, legit := workloadPolicy(t)
+	f := func(seed int64) bool {
+		r := newRng(seed)
+		req := legit.DeepCopy()
+		if r.intn(2) == 0 {
+			randomMaps(map[string]any(req), r)[fmt.Sprintf("f%d", r.intn(10))] = r.intn(5)
+		}
+		a := fmt.Sprint(pol.Validate(req))
+		b := fmt.Sprint(pol.Validate(req))
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCorpusAlwaysConforms: every manifest that contributed to the
+// validator (with concrete default values substituted for placeholders)
+// must itself validate — soundness of consolidation.
+func TestPropertyCorpusAlwaysConforms(t *testing.T) {
+	for _, name := range charts.Names() {
+		c := charts.MustLoad(name)
+		s, err := schema.Generate(c, schema.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var corpus []object.Object
+		for _, v := range explore.Variants(s) {
+			files, err := c.RenderWithValues(v, chart.ReleaseOptions{Name: "kfrelease"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			corpus = append(corpus, chart.Objects(files)...)
+		}
+		pol, err := Build(corpus, BuildOptions{Workload: name, ReleaseName: "kfrelease"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The corpus objects contain placeholder sentinels; they satisfy
+		// their own types by construction of typeMatches? No — sentinels
+		// are strings. Validate instead the *default-values* render,
+		// which is the concrete instantiation of variant 0.
+		files, err := c.Render(nil, chart.ReleaseOptions{Name: "kfrelease", Namespace: "default"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range chart.Objects(files) {
+			if vs := pol.Validate(o); len(vs) != 0 {
+				t.Errorf("%s: corpus instantiation %s denied: %v", name, o.Kind(), vs)
+			}
+		}
+	}
+}
+
+// TestPropertyLockedBoolFlipAlwaysDenied: flipping any locked boolean in a
+// conforming request is always caught.
+func TestPropertyLockedBoolFlipAlwaysDenied(t *testing.T) {
+	pol, legit := workloadPolicy(t)
+	locked := []string{"runAsNonRoot", "allowPrivilegeEscalation", "readOnlyRootFilesystem"}
+	f := func(seed int64) bool {
+		r := newRng(seed)
+		req := legit.DeepCopy()
+		cs, ok := object.GetSlice(req, "spec.template.spec.containers")
+		if !ok || len(cs) == 0 {
+			return false
+		}
+		sc, ok := cs[0].(map[string]any)["securityContext"].(map[string]any)
+		if !ok {
+			return false
+		}
+		field := locked[r.intn(len(locked))]
+		cur, ok := sc[field].(bool)
+		if !ok {
+			return false
+		}
+		sc[field] = !cur
+		return len(pol.Validate(req)) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

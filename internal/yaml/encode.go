@@ -1,0 +1,239 @@
+package yaml
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// encodeNode writes v at the given indentation level. inSeq marks that the
+// first line's indentation has already been emitted by a sequence dash.
+func encodeNode(b *strings.Builder, v any, indent int, inSeq bool) error {
+	switch t := v.(type) {
+	case nil, string, bool, int, int32, int64, float32, float64, uint, uint32, uint64:
+		if !inSeq {
+			writeIndent(b, indent)
+		}
+		b.WriteString(encodeScalar(t))
+		b.WriteByte('\n')
+		return nil
+	case map[string]any:
+		return encodeMap(b, t, indent, inSeq)
+	case []any:
+		return encodeSeq(b, t, indent, inSeq)
+	case []string:
+		seq := make([]any, len(t))
+		for i, s := range t {
+			seq[i] = s
+		}
+		return encodeSeq(b, seq, indent, inSeq)
+	case []map[string]any:
+		seq := make([]any, len(t))
+		for i, m := range t {
+			seq[i] = m
+		}
+		return encodeSeq(b, seq, indent, inSeq)
+	default:
+		return fmt.Errorf("yaml: cannot encode value of type %T", v)
+	}
+}
+
+func encodeMap(b *strings.Builder, m map[string]any, indent int, inSeq bool) error {
+	if len(m) == 0 {
+		if !inSeq {
+			writeIndent(b, indent)
+		}
+		b.WriteString("{}\n")
+		return nil
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 || !inSeq {
+			writeIndent(b, indent)
+		}
+		b.WriteString(encodeKey(k))
+		b.WriteByte(':')
+		val := m[k]
+		if isScalar(val) {
+			b.WriteByte(' ')
+			b.WriteString(encodeScalarValue(val))
+			b.WriteByte('\n')
+			continue
+		}
+		if isEmptyCollection(val) {
+			b.WriteByte(' ')
+			switch val.(type) {
+			case map[string]any:
+				b.WriteString("{}\n")
+			default:
+				b.WriteString("[]\n")
+			}
+			continue
+		}
+		b.WriteByte('\n')
+		if err := encodeNode(b, val, indent+2, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func encodeSeq(b *strings.Builder, seq []any, indent int, inSeq bool) error {
+	if len(seq) == 0 {
+		if !inSeq {
+			writeIndent(b, indent)
+		}
+		b.WriteString("[]\n")
+		return nil
+	}
+	for i, item := range seq {
+		if i > 0 || !inSeq {
+			writeIndent(b, indent)
+		}
+		b.WriteString("- ")
+		if isScalar(item) {
+			b.WriteString(encodeScalarValue(item))
+			b.WriteByte('\n')
+			continue
+		}
+		if isEmptyCollection(item) {
+			switch item.(type) {
+			case map[string]any:
+				b.WriteString("{}\n")
+			default:
+				b.WriteString("[]\n")
+			}
+			continue
+		}
+		if err := encodeNode(b, item, indent+2, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeIndent(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteByte(' ')
+	}
+}
+
+func isScalar(v any) bool {
+	switch v.(type) {
+	case nil, string, bool, int, int32, int64, float32, float64, uint, uint32, uint64:
+		return true
+	}
+	return false
+}
+
+func isEmptyCollection(v any) bool {
+	switch t := v.(type) {
+	case map[string]any:
+		return len(t) == 0
+	case []any:
+		return len(t) == 0
+	case []string:
+		return len(t) == 0
+	case []map[string]any:
+		return len(t) == 0
+	}
+	return false
+}
+
+func encodeScalarValue(v any) string { return encodeScalar(v) }
+
+func encodeScalar(v any) string {
+	switch t := v.(type) {
+	case nil:
+		return "null"
+	case bool:
+		return strconv.FormatBool(t)
+	case int:
+		return strconv.Itoa(t)
+	case int32:
+		return strconv.FormatInt(int64(t), 10)
+	case int64:
+		return strconv.FormatInt(t, 10)
+	case uint:
+		return strconv.FormatUint(uint64(t), 10)
+	case uint32:
+		return strconv.FormatUint(uint64(t), 10)
+	case uint64:
+		return strconv.FormatUint(t, 10)
+	case float32:
+		return formatFloat(float64(t))
+	case float64:
+		return formatFloat(t)
+	case string:
+		return encodeString(t)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func formatFloat(f float64) string {
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// Keep floats recognizable as floats on round-trip.
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+// encodeKey quotes mapping keys only when required.
+func encodeKey(k string) string {
+	if k == "" || needsQuoting(k) {
+		return strconv.Quote(k)
+	}
+	return k
+}
+
+// encodeString quotes string scalars that would otherwise be misparsed.
+func encodeString(s string) string {
+	if s == "" {
+		return `""`
+	}
+	if needsQuoting(s) {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// needsQuoting reports whether a plain rendering of s would change meaning.
+func needsQuoting(s string) bool {
+	switch s {
+	case "true", "True", "TRUE", "false", "False", "FALSE", "null", "Null", "NULL", "~", "yes", "no", "on", "off":
+		return true
+	}
+	if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return true
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return true
+	}
+	// Hex literals decode as integers (see plainScalar).
+	if (strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X")) && len(s) > 2 {
+		if _, err := strconv.ParseInt(s[2:], 16, 64); err == nil {
+			return true
+		}
+	}
+	if strings.ContainsAny(s, "\n\t\"'") {
+		return true
+	}
+	if s[0] == ' ' || s[len(s)-1] == ' ' {
+		return true
+	}
+	switch s[0] {
+	case '-', '?', ':', ',', '[', ']', '{', '}', '#', '&', '*', '!', '|', '>', '\'', '"', '%', '@', '`':
+		return true
+	}
+	if strings.Contains(s, ": ") || strings.HasSuffix(s, ":") || strings.Contains(s, " #") {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,112 @@
+package yaml
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanics feeds adversarial byte soup to the decoder: any
+// input must produce a value or an error, never a panic — the proxy
+// parses attacker-controlled request bodies with this code.
+func TestDecodeNeverPanics(t *testing.T) {
+	fragments := []string{
+		"a:", ":", "- ", "---", "...", "{", "}", "[", "]", "\"", "'",
+		"|", ">", "#", "&x", "*x", "!!str", "\t", "  ", "\n", "a: b",
+		"- - -", "x: [1,", "k: {a:", "\\", "\x00", "é", "€", ": :",
+		"a: |;", "?- ", "0x", "1e999",
+	}
+	f := func(seed int64, n uint8) bool {
+		r := newRng(seed)
+		var b strings.Builder
+		for i := 0; i < int(n%64); i++ {
+			b.WriteString(fragments[r.intn(len(fragments))])
+			if r.intn(3) == 0 {
+				b.WriteByte('\n')
+			}
+		}
+		// Must not panic; error or value both fine.
+		_, _ = Decode([]byte(b.String()))
+		_, _ = DecodeAll([]byte(b.String()))
+		_, _, _ = DecodeWithComments([]byte(b.String()))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRandomBytesNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Decode(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeDeepNesting ensures deep indentation does not blow the stack
+// unreasonably (the parser recurses per nesting level).
+func TestDecodeDeepNesting(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 500; i++ {
+		b.WriteString(strings.Repeat(" ", i*2))
+		b.WriteString("k:\n")
+	}
+	b.WriteString(strings.Repeat(" ", 1000))
+	b.WriteString("leaf: 1\n")
+	v, err := Decode([]byte(b.String()))
+	if err != nil {
+		t.Fatalf("deep nesting: %v", err)
+	}
+	cur := v
+	depth := 0
+	for {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			break
+		}
+		depth++
+		if next, ok := m["k"]; ok {
+			cur = next
+			continue
+		}
+		break
+	}
+	if depth < 400 {
+		t.Errorf("depth = %d", depth)
+	}
+}
+
+// TestEncodeNeverPanicsOnGeneratedTrees round-trips generated trees (the
+// generator lives in yaml_test.go).
+func TestEncodeArbitraryScalars(t *testing.T) {
+	inputs := []any{
+		"", " ", "\n", "\t", "null", "~", "yes", "-", "--", ":", "#",
+		"0x1f", "1e3", "'", `"`, "\\", "a\x00b", strings.Repeat("x", 10000),
+		int64(-1 << 62), float64(1e308), 0.1, true, nil,
+	}
+	for _, in := range inputs {
+		data, err := Marshal(map[string]any{"v": in})
+		if err != nil {
+			t.Errorf("Marshal(%q): %v", in, err)
+			continue
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Errorf("Decode of encoded %q failed: %v\n%s", in, err, data)
+			continue
+		}
+		m, ok := back.(map[string]any)
+		if !ok {
+			t.Errorf("round trip of %q produced %T", in, back)
+		}
+		if s, isStr := in.(string); isStr {
+			got, isStr2 := m["v"].(string)
+			if !isStr2 || got != s {
+				t.Errorf("string %q round-tripped to %#v", s, m["v"])
+			}
+		}
+	}
+}

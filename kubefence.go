@@ -1,0 +1,226 @@
+// Package kubefence is the public API of the KubeFence reproduction: it
+// hardens the Kubernetes attack surface by generating fine-grained,
+// workload-specific API security policies from the Helm charts of
+// Kubernetes Operators, and enforcing them at runtime in front of the API
+// server (Cesarano & Natella, "KubeFence: Security Hardening of the
+// Kubernetes Attack Surface", DSN 2025).
+//
+// The typical flow:
+//
+//	c, _ := kubefence.LoadChart(files)           // or LoadBuiltinChart("nginx")
+//	policy, _ := kubefence.GeneratePolicy(c, kubefence.Options{})
+//	violations, _ := policy.ValidateManifest(requestBody)
+//	if len(violations) > 0 { /* deny */ }
+//
+// For runtime enforcement, NewProxy returns an http.Handler that
+// intercepts API traffic, validates request bodies against the policy,
+// and forwards conforming requests upstream — the paper's proxy-based
+// enforcement (§V-B). Complete mediation (clients cannot bypass the
+// proxy) is obtained by fronting the API server with mutual TLS; see
+// internal/certs and the attack-blocking example.
+package kubefence
+
+import (
+	"fmt"
+	"net/http"
+
+	"repro/internal/chart"
+	"repro/internal/charts"
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/proxy"
+	"repro/internal/schema"
+	"repro/internal/validator"
+)
+
+// Chart is a loaded Helm chart (templates, default values, metadata).
+type Chart = chart.Chart
+
+// ReleaseOptions identify a Helm release when rendering.
+type ReleaseOptions = chart.ReleaseOptions
+
+// Violation describes one reason a request violates a policy.
+type Violation = validator.Violation
+
+// LockMode controls how security-locked fields treat absence.
+type LockMode = validator.LockMode
+
+// Lock-mode values.
+const (
+	// LockIfPresent allows omitting a locked field but denies unsafe
+	// values when present (default).
+	LockIfPresent = validator.LockIfPresent
+	// LockRequired additionally denies requests omitting a locked field.
+	LockRequired = validator.LockRequired
+)
+
+// Options configure policy generation.
+type Options struct {
+	// Workload names the policy; defaults to the chart name.
+	Workload string
+	// Mode selects lock enforcement (default LockIfPresent).
+	Mode LockMode
+	// DisableSecurityLocks turns off best-practice locking (not
+	// recommended; exists for the ablation study).
+	DisableSecurityLocks bool
+}
+
+// Policy is a generated KubeFence security policy for one workload.
+type Policy struct {
+	// Workload names the operator the policy was generated for.
+	Workload string
+	// Variants is the number of values variants explored.
+	Variants int
+	// Manifests is the number of rendered manifests consolidated.
+	Manifests int
+
+	validator *validator.Validator
+}
+
+// LoadChart loads a Helm chart from a path→content fileset with entries
+// "Chart.yaml", "values.yaml", and "templates/...".
+func LoadChart(files map[string]string) (*Chart, error) {
+	return chart.Load(chart.Fileset(files))
+}
+
+// LoadBuiltinChart loads one of the embedded evaluation charts: "nginx",
+// "mlflow", "postgresql", "rabbitmq", or "sonarqube".
+func LoadBuiltinChart(name string) (*Chart, error) {
+	return charts.Load(name)
+}
+
+// BuiltinCharts lists the embedded evaluation workloads.
+func BuiltinCharts() []string { return charts.Names() }
+
+// GeneratePolicy runs the KubeFence pipeline (values-schema generation →
+// configuration-space exploration → manifest rendering → validator
+// consolidation) for a chart.
+func GeneratePolicy(c *Chart, opts Options) (*Policy, error) {
+	res, err := core.GeneratePolicy(c, core.Options{
+		Workload: opts.Workload,
+		Mode:     opts.Mode,
+		Schema:   schema.Options{DisableLocks: opts.DisableSecurityLocks},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Policy{
+		Workload:  res.Workload,
+		Variants:  res.Variants,
+		Manifests: res.Manifests,
+		validator: res.Validator,
+	}, nil
+}
+
+// ValidateManifest checks a YAML manifest against the policy. An empty
+// result means the request conforms.
+func (p *Policy) ValidateManifest(data []byte) ([]Violation, error) {
+	o, err := object.ParseManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("kubefence: parsing manifest: %w", err)
+	}
+	return p.validator.Validate(o), nil
+}
+
+// ValidateObject checks a decoded object (e.g. a parsed JSON request
+// body) against the policy.
+func (p *Policy) ValidateObject(obj map[string]any) []Violation {
+	return p.validator.Validate(object.Object(obj))
+}
+
+// AllowedKinds lists the resource kinds the policy permits.
+func (p *Policy) AllowedKinds() []string { return p.validator.AllowedKinds() }
+
+// AllowedPaths lists the field paths the policy permits for a kind.
+func (p *Policy) AllowedPaths(kind string) []string { return p.validator.AllowedPaths(kind) }
+
+// MarshalYAML serializes the policy validator in the paper's notation.
+func (p *Policy) MarshalYAML() ([]byte, error) { return p.validator.MarshalYAML() }
+
+// Validator exposes the underlying validator for advanced integration
+// (surface measurement, custom enforcement points).
+func (p *Policy) Validator() *validator.Validator { return p.validator }
+
+// UnionPolicies combines per-workload policies into one cluster policy: a
+// request is allowed if it conforms to the union of what the member
+// workloads may do. Use this when a single KubeFence proxy fronts an API
+// server shared by several operators. All members must share a lock mode.
+func UnionPolicies(name string, policies ...*Policy) (*Policy, error) {
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("kubefence: union of zero policies")
+	}
+	vs := make([]*validator.Validator, len(policies))
+	variants, manifests := 0, 0
+	for i, p := range policies {
+		vs[i] = p.validator
+		variants += p.Variants
+		manifests += p.Manifests
+	}
+	merged, err := validator.Union(name, vs...)
+	if err != nil {
+		return nil, err
+	}
+	return &Policy{
+		Workload:  name,
+		Variants:  variants,
+		Manifests: manifests,
+		validator: merged,
+	}, nil
+}
+
+// ProxyConfig configures the enforcement proxy.
+type ProxyConfig struct {
+	// Upstream is the API server base URL ("https://host:6443").
+	Upstream string
+	// Policy is the enforced policy. Required.
+	Policy *Policy
+	// Transport carries requests upstream; holds the mTLS client config
+	// in complete-mediation deployments. Defaults to
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+	// ProxyUser is the identity asserted upstream over header-
+	// authenticated (non-mTLS) channels; must be among the API server's
+	// trusted front-proxy users.
+	ProxyUser string
+	// OnViolation receives each denial record, for audit sinks.
+	OnViolation func(proxy.ViolationRecord)
+}
+
+// Proxy is the runtime enforcement point; it implements http.Handler.
+type Proxy = proxy.Proxy
+
+// ViolationRecord is one denied request, for auditing.
+type ViolationRecord = proxy.ViolationRecord
+
+// NewProxy builds the KubeFence enforcement proxy.
+func NewProxy(cfg ProxyConfig) (*Proxy, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("kubefence: ProxyConfig.Policy is required")
+	}
+	return proxy.New(proxy.Config{
+		Upstream:    cfg.Upstream,
+		Transport:   cfg.Transport,
+		Validator:   cfg.Policy.validator,
+		ProxyUser:   cfg.ProxyUser,
+		OnViolation: cfg.OnViolation,
+	})
+}
+
+// RenderChart renders a chart with user value overrides into manifests,
+// in the order an operator would apply them (convenience for examples and
+// tools).
+func RenderChart(c *Chart, overrides map[string]any, rel ReleaseOptions) ([][]byte, error) {
+	files, err := c.Render(overrides, rel)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]byte
+	for _, o := range chart.Objects(files) {
+		data, err := o.MarshalYAML()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data)
+	}
+	return out, nil
+}

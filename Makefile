@@ -1,0 +1,40 @@
+# KubeFence reproduction — build & CI entry points.
+#
+#   make ci      # the full gate: gofmt, go vet, build, tests with -race
+#   make test    # fast test run (no race detector)
+#   make bench   # multi-workload enforcement benchmarks
+#   make json    # machine-readable throughput results -> BENCH_throughput.json
+
+GO ?= go
+
+.PHONY: all ci fmt-check vet build test race bench json
+
+all: ci
+
+ci: fmt-check vet build race
+
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run NONE -bench 'MultiWorkload|RegistryResolve' -benchmem .
+
+json:
+	$(GO) run ./cmd/kfbench -experiment throughput -counts 1,5,10 \
+		-requests 2000 -concurrency 8 -cache 4096 -json > BENCH_throughput.json
+	@echo wrote BENCH_throughput.json

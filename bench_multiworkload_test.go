@@ -1,0 +1,132 @@
+// Multi-workload enforcement benchmarks: one proxy, N concurrent
+// workload policies, parallel clients (b.RunParallel). These are the
+// perf-trajectory benches for the production-scale serving goal; the
+// kfbench throughput experiment emits the same measurements as JSON.
+//
+// Run:  go test -bench=MultiWorkload -benchmem
+package kubefence_test
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/charts"
+	"repro/internal/experiments"
+	"repro/internal/proxy"
+	"repro/internal/registry"
+)
+
+type benchRequest struct {
+	path string
+	body []byte
+}
+
+// benchMultiWorkload builds a registry of n workload policies, a proxy
+// over a null upstream, and each workload's legitimate request corpus —
+// the same fleet the kfbench throughput experiment measures, so bench
+// numbers and BENCH_*.json stay comparable.
+func benchMultiWorkload(b *testing.B, n, cacheSize int) (*proxy.Proxy, []benchRequest) {
+	b.Helper()
+	pols, err := experiments.Policies()
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg, fleet, err := experiments.BuildFleet(n, cacheSize, pols)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var reqs []benchRequest
+	for _, wl := range fleet {
+		for _, body := range wl.Bodies {
+			reqs = append(reqs, benchRequest{
+				path: "/api/v1/namespaces/" + wl.Namespace + "/resources",
+				body: body,
+			})
+		}
+	}
+	p, err := proxy.New(proxy.Config{
+		Upstream:  "http://upstream.invalid",
+		Transport: experiments.NullTransport{},
+		Registry:  reg,
+		ProxyUser: "kubefence-proxy",
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p, reqs
+}
+
+func benchEnforce(b *testing.B, workloads, cacheSize int) {
+	p, reqs := benchMultiWorkload(b, workloads, cacheSize)
+	var next atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r := reqs[next.Add(1)%uint64(len(reqs))]
+			req := httptest.NewRequest(http.MethodPost, r.path, strings.NewReader(string(r.body)))
+			req.Header.Set("Content-Type", "application/json")
+			rec := httptest.NewRecorder()
+			p.ServeHTTP(rec, req)
+			if rec.Code != http.StatusOK {
+				b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+			}
+		}
+	})
+	b.StopTimer()
+	var denied uint64
+	for _, m := range p.Registry().Metrics() {
+		denied += m.Denied
+	}
+	if denied != 0 {
+		b.Fatalf("legitimate corpus denied %d times", denied)
+	}
+}
+
+func BenchmarkMultiWorkloadEnforce1(b *testing.B)  { benchEnforce(b, 1, 0) }
+func BenchmarkMultiWorkloadEnforce5(b *testing.B)  { benchEnforce(b, 5, 0) }
+func BenchmarkMultiWorkloadEnforce10(b *testing.B) { benchEnforce(b, 10, 0) }
+
+func BenchmarkMultiWorkloadEnforceCached1(b *testing.B)  { benchEnforce(b, 1, 4096) }
+func BenchmarkMultiWorkloadEnforceCached5(b *testing.B)  { benchEnforce(b, 5, 4096) }
+func BenchmarkMultiWorkloadEnforceCached10(b *testing.B) { benchEnforce(b, 10, 4096) }
+
+// BenchmarkRegistryResolve measures the pure resolution hot path under
+// parallel load — the per-request overhead the registry adds over the
+// seed's single atomic pointer.
+func BenchmarkRegistryResolve(b *testing.B) {
+	for _, n := range []int{1, 5, 25} {
+		b.Run(fmt.Sprintf("workloads=%d", n), func(b *testing.B) {
+			pols, err := experiments.Policies()
+			if err != nil {
+				b.Fatal(err)
+			}
+			base := charts.Names()
+			reg := registry.New(registry.Config{})
+			namespaces := make([]string, n)
+			for i := 0; i < n; i++ {
+				name := base[i%len(base)]
+				if i >= len(base) {
+					name = fmt.Sprintf("%s-%d", name, i/len(base)+1)
+				}
+				namespaces[i] = name
+				if _, err := reg.Register(name, registry.Selector{Namespace: name}, pols[base[i%len(base)]]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var next atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					ns := namespaces[next.Add(1)%uint64(len(namespaces))]
+					if _, ok := reg.Resolve(ns, "Deployment"); !ok {
+						b.Fatal("resolution failed")
+					}
+				}
+			})
+		})
+	}
+}

@@ -8,12 +8,23 @@
 //	kfbench -experiment table4     # deployment latency (-reps N)
 //	kfbench -experiment resources  # proxy CPU/memory overhead
 //	kfbench -experiment all
+//
+// Beyond the paper, the throughput experiment measures multi-workload
+// enforcement (one proxy, many concurrent workload policies) and, with
+// -json, emits machine-readable results suitable for BENCH_*.json
+// perf-trajectory tracking:
+//
+//	kfbench -experiment throughput -counts 1,5,10 -requests 2000 \
+//	        -concurrency 8 -cache 4096 -json > BENCH_throughput.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/audit"
 	"repro/internal/experiments"
@@ -28,9 +39,18 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("kfbench", flag.ExitOnError)
-	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | all")
+	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | throughput | all")
 	reps := fs.Int("reps", 10, "repetitions for table4 (paper: 10)")
+	counts := fs.String("counts", "1,5,10", "workload counts for throughput (comma-separated)")
+	requests := fs.Int("requests", 2000, "proxied requests per throughput measurement")
+	concurrency := fs.Int("concurrency", 8, "client goroutines for throughput")
+	cacheSize := fs.Int("cache", 0, "decision-cache size for throughput (0 disables)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (throughput)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	workloadCounts, err := parseCounts(*counts)
+	if err != nil {
 		return err
 	}
 
@@ -83,6 +103,24 @@ func run(args []string) error {
 			fmt.Println(experiments.RenderResources(usage))
 			return nil
 		},
+		"throughput": func() error {
+			results, err := experiments.Throughput(experiments.ThroughputOptions{
+				WorkloadCounts: workloadCounts,
+				Requests:       *requests,
+				Concurrency:    *concurrency,
+				CacheSize:      *cacheSize,
+			})
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				return enc.Encode(results)
+			}
+			fmt.Println(experiments.RenderThroughput(results))
+			return nil
+		},
 		"fig11": func() error {
 			out, err := audit.RenderFig11(audit.Event{
 				User: "operator:mlflow", Verb: "create", APIGroup: "apps",
@@ -97,7 +135,7 @@ func run(args []string) error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig5", "fig9", "fig11", "table1", "table2", "table3", "table4", "resources"} {
+		for _, name := range []string{"fig5", "fig9", "fig11", "table1", "table2", "table3", "table4", "resources", "throughput"} {
 			fmt.Printf("================ %s ================\n", name)
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -110,4 +148,24 @@ func run(args []string) error {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
 	return runner()
+}
+
+// parseCounts parses the -counts flag ("1,5,10") into workload counts.
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("-counts: %q is not a positive integer", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-counts: no workload counts given")
+	}
+	return out, nil
 }

@@ -24,3 +24,51 @@ func TestRunTable3EndToEnd(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestParseCounts(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{in: "1,5,10", want: []int{1, 5, 10}},
+		{in: " 2 , 4 ", want: []int{2, 4}},
+		{in: "7", want: []int{7}},
+		{in: "", wantErr: true},
+		{in: "0", wantErr: true},
+		{in: "-3", wantErr: true},
+		{in: "a,b", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseCounts(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("parseCounts(%q): expected error, got %v", tt.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseCounts(%q): %v", tt.in, err)
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("parseCounts(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseCounts(%q) = %v, want %v", tt.in, got, tt.want)
+				break
+			}
+		}
+	}
+}
+
+func TestRunThroughputJSON(t *testing.T) {
+	if err := run([]string{
+		"-experiment", "throughput", "-counts", "1,5",
+		"-requests", "40", "-concurrency", "2", "-cache", "64", "-json",
+	}); err != nil {
+		t.Error(err)
+	}
+}

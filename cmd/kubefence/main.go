@@ -9,6 +9,11 @@
 // Run the enforcement proxy in front of an API server:
 //
 //	kubefence proxy -workload nginx -upstream http://127.0.0.1:8001 -listen :8443
+//
+// Or enforce several workload policies concurrently from one proxy, each
+// scoped to the namespace named after its workload:
+//
+//	kubefence proxy -workloads all -upstream http://127.0.0.1:8001 -cache 4096
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	kubefence "repro"
 	"repro/internal/chart"
 	"repro/internal/charts"
 	"repro/internal/core"
@@ -55,7 +61,13 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   kubefence generate [-chart DIR | -workload NAME] [-o FILE] [-mode lenient|strict] [-schema]
-  kubefence proxy    [-chart DIR | -workload NAME] -upstream URL [-listen ADDR] [-proxy-user USER]`)
+  kubefence proxy    [-chart DIR | -workload NAME | -workloads A,B,..|all] -upstream URL
+                     [-listen ADDR] [-proxy-user USER] [-cache N]
+
+In -workloads mode one proxy enforces every listed builtin policy
+concurrently: each workload's policy governs the namespace named after
+it (the one-operator-per-namespace convention), requests outside every
+registered scope are denied, and individual policies stay hot-swappable.`)
 }
 
 // loadChart resolves -chart / -workload into a chart.
@@ -150,41 +162,93 @@ func runGenerate(args []string) error {
 	return os.WriteFile(*out, data, 0o644)
 }
 
+// multiRegistry builds the multi-workload policy registry via the
+// facade (one policy per builtin chart, namespace-scoped, cluster
+// kinds claimed automatically).
+func multiRegistry(names []string, mode string, cacheSize int) (*kubefence.Registry, error) {
+	cfg := kubefence.RegistryConfig{CacheSize: cacheSize}
+	switch mode {
+	case "", "lenient":
+		cfg.Mode = kubefence.LockIfPresent
+	case "strict":
+		cfg.Mode = kubefence.LockRequired
+	default:
+		return nil, fmt.Errorf("unknown -mode %q (lenient or strict)", mode)
+	}
+	return kubefence.GenerateRegistry(cfg, names...)
+}
+
 func runProxy(args []string) error {
 	fs := flag.NewFlagSet("proxy", flag.ExitOnError)
 	chartDir := fs.String("chart", "", "chart directory")
 	workload := fs.String("workload", "", "builtin evaluation chart name")
+	workloads := fs.String("workloads", "", "comma-separated builtin charts (or \"all\") enforced concurrently by one proxy")
 	upstream := fs.String("upstream", "", "API server base URL (required)")
 	listen := fs.String("listen", ":8443", "listen address")
 	proxyUser := fs.String("proxy-user", "kubefence-proxy", "identity asserted upstream")
 	mode := fs.String("mode", "lenient", "lock mode")
+	cacheSize := fs.Int("cache", 0, "decision-cache size (cached validation outcomes; 0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *upstream == "" {
 		return fmt.Errorf("-upstream is required")
 	}
-	res, err := generate(*chartDir, *workload, *mode, false)
-	if err != nil {
-		return err
+	onViolation := func(r proxy.ViolationRecord) {
+		wl := r.Workload
+		if wl == "" {
+			wl = "-"
+		}
+		fmt.Fprintf(os.Stderr, "[%s] DENY workload=%s %s %s %s/%s: %d violation(s)\n",
+			r.Time.Format(time.RFC3339), wl, r.User, r.Method, r.Kind, r.Name, len(r.Violations))
+		for _, v := range r.Violations {
+			fmt.Fprintf(os.Stderr, "    %s\n", v)
+		}
 	}
-	p, err := proxy.New(proxy.Config{
-		Upstream:  *upstream,
-		Validator: res.Validator,
-		ProxyUser: *proxyUser,
-		OnViolation: func(r proxy.ViolationRecord) {
-			fmt.Fprintf(os.Stderr, "[%s] DENY %s %s %s/%s: %d violation(s)\n",
-				r.Time.Format(time.RFC3339), r.User, r.Method, r.Kind, r.Name, len(r.Violations))
-			for _, v := range r.Violations {
-				fmt.Fprintf(os.Stderr, "    %s\n", v)
+
+	cfg := proxy.Config{
+		Upstream:    *upstream,
+		ProxyUser:   *proxyUser,
+		CacheSize:   *cacheSize,
+		OnViolation: onViolation,
+	}
+	var enforcing string
+	if *workloads != "" {
+		if *chartDir != "" || *workload != "" {
+			return fmt.Errorf("-workloads is exclusive with -chart and -workload")
+		}
+		names := charts.Names()
+		if *workloads != "all" {
+			names = names[:0:0]
+			for _, name := range strings.Split(*workloads, ",") {
+				if name = strings.TrimSpace(name); name != "" {
+					names = append(names, name)
+				}
 			}
-		},
-	})
+			if len(names) == 0 {
+				return fmt.Errorf("-workloads: no workload names given")
+			}
+		}
+		reg, err := multiRegistry(names, *mode, *cacheSize)
+		if err != nil {
+			return err
+		}
+		cfg.Registry = reg
+		enforcing = fmt.Sprintf("%d workload policies (%s)", len(names), strings.Join(reg.Workloads(), ", "))
+	} else {
+		res, err := generate(*chartDir, *workload, *mode, false)
+		if err != nil {
+			return err
+		}
+		cfg.Validator = res.Validator
+		enforcing = res.Workload + " policy"
+	}
+	p, err := proxy.New(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "kubefence: enforcing %s policy, %s -> %s\n",
-		res.Workload, *listen, *upstream)
+	fmt.Fprintf(os.Stderr, "kubefence: enforcing %s, %s -> %s\n",
+		enforcing, *listen, *upstream)
 	server := &http.Server{
 		Addr:              *listen,
 		Handler:           p,

@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/chart"
+	"repro/internal/charts"
+	"repro/internal/proxy"
+	"repro/internal/registry"
+	"repro/internal/validator"
+)
+
+// ThroughputOptions configure the multi-workload enforcement throughput
+// experiment.
+type ThroughputOptions struct {
+	// WorkloadCounts lists the registry sizes to measure (e.g. 1, 5, 10).
+	// Counts beyond the number of builtin charts reuse chart policies
+	// under distinct workload names and namespaces. Defaults to 1, 5, 10.
+	WorkloadCounts []int
+	// Requests is the total number of proxied requests per measurement
+	// (default 2000).
+	Requests int
+	// Concurrency is the number of client goroutines (default 8).
+	Concurrency int
+	// CacheSize bounds the registry decision cache (0 disables).
+	CacheSize int
+}
+
+// ThroughputResult is one machine-readable measurement: enforcement
+// throughput and request-latency percentiles for a proxy serving
+// Workloads concurrent policies. Latencies are nanoseconds.
+type ThroughputResult struct {
+	Workloads   int     `json:"workloads"`
+	Concurrency int     `json:"concurrency"`
+	CacheSize   int     `json:"cache_size"`
+	Requests    int     `json:"requests"`
+	Denied      uint64  `json:"denied"`
+	CacheHits   uint64  `json:"cache_hits"`
+	ElapsedNs   int64   `json:"elapsed_ns"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	// ValidationNs is the cumulative tree-overlap validation time across
+	// all workloads (cache hits contribute nothing).
+	ValidationNs int64 `json:"validation_ns"`
+	// PerWorkload maps workload name to inspected-request count, proving
+	// every registered policy saw traffic.
+	PerWorkload map[string]uint64 `json:"per_workload"`
+}
+
+// NullTransport completes every upstream round trip in memory, so a
+// measurement isolates the enforcement path (decode, resolve, validate)
+// from API-server and network cost. Shared by the throughput experiment
+// and the multi-workload benchmarks.
+type NullTransport struct{}
+
+// RoundTrip implements http.RoundTripper.
+func (NullTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     http.Header{"Content-Type": []string{"application/json"}},
+		Body:       io.NopCloser(strings.NewReader(`{"kind":"Status","status":"Success"}`)),
+	}, nil
+}
+
+// FleetWorkload is one registered tenant plus its legitimate JSON
+// request corpus, rendered into the tenant's own namespace.
+type FleetWorkload struct {
+	Name      string
+	Namespace string
+	Bodies    [][]byte
+}
+
+// BuildFleet builds a registry of n workload policies (cycling the
+// builtin charts under suffixed names past the first five) and each
+// workload's request corpus. Policy generation is the offline phase, so
+// pre-generated policies (from Policies()) are shared across workload
+// counts. Both the throughput experiment and the benchmarks use this,
+// so their numbers measure the same workloads.
+func BuildFleet(n, cacheSize int, pols map[string]*validator.Validator) (*registry.Registry, []FleetWorkload, error) {
+	base := charts.Names()
+	reg := registry.New(registry.Config{CacheSize: cacheSize})
+	fleet := make([]FleetWorkload, 0, n)
+	for i := 0; i < n; i++ {
+		chartName := base[i%len(base)]
+		name := chartName
+		if i >= len(base) {
+			name = fmt.Sprintf("%s-%d", chartName, i/len(base)+1)
+		}
+		pol, ok := pols[chartName]
+		if !ok {
+			return nil, nil, fmt.Errorf("no generated policy for %s", chartName)
+		}
+		if _, err := reg.Register(name, registry.Selector{Namespace: name}, pol); err != nil {
+			return nil, nil, err
+		}
+		c, err := charts.Load(chartName)
+		if err != nil {
+			return nil, nil, err
+		}
+		files, err := c.Render(nil, chart.ReleaseOptions{Name: "rel", Namespace: name})
+		if err != nil {
+			return nil, nil, err
+		}
+		var bodies [][]byte
+		for _, o := range chart.Objects(files) {
+			data, err := json.Marshal(o)
+			if err != nil {
+				return nil, nil, err
+			}
+			bodies = append(bodies, data)
+		}
+		if len(bodies) == 0 {
+			return nil, nil, fmt.Errorf("workload %s rendered no objects", name)
+		}
+		fleet = append(fleet, FleetWorkload{Name: name, Namespace: name, Bodies: bodies})
+	}
+	return reg, fleet, nil
+}
+
+// Throughput measures multi-workload enforcement throughput: one proxy,
+// opts.WorkloadCounts registry sizes, opts.Concurrency concurrent
+// clients replaying each workload's legitimate corpus.
+func Throughput(opts ThroughputOptions) ([]ThroughputResult, error) {
+	if len(opts.WorkloadCounts) == 0 {
+		opts.WorkloadCounts = []int{1, 5, 10}
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 2000
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	pols, err := Policies()
+	if err != nil {
+		return nil, err
+	}
+	var out []ThroughputResult
+	for _, n := range opts.WorkloadCounts {
+		res, err := measureThroughput(n, opts, pols)
+		if err != nil {
+			return nil, fmt.Errorf("workloads=%d: %w", n, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func measureThroughput(n int, opts ThroughputOptions, pols map[string]*validator.Validator) (ThroughputResult, error) {
+	reg, fleet, err := BuildFleet(n, opts.CacheSize, pols)
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+	p, err := proxy.New(proxy.Config{
+		Upstream:  "http://upstream.invalid",
+		Transport: NullTransport{},
+		Registry:  reg,
+		ProxyUser: "kubefence-proxy",
+	})
+	if err != nil {
+		return ThroughputResult{}, err
+	}
+
+	perWorker := opts.Requests / opts.Concurrency
+	if perWorker == 0 {
+		perWorker = 1
+	}
+	total := perWorker * opts.Concurrency
+	latencies := make([][]time.Duration, opts.Concurrency)
+	workerErrs := make([]error, opts.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			samples := make([]time.Duration, 0, perWorker)
+			for i := 0; i < perWorker; i++ {
+				// Deterministic spread: every worker cycles the fleet so
+				// all workloads see traffic at every count.
+				wl := fleet[(w+i)%len(fleet)]
+				body := wl.Bodies[i%len(wl.Bodies)]
+				req := httptest.NewRequest(http.MethodPost,
+					"/api/v1/namespaces/"+wl.Namespace+"/resources", strings.NewReader(string(body)))
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("X-Remote-User", "operator:"+wl.Name)
+				rec := httptest.NewRecorder()
+				t0 := time.Now()
+				p.ServeHTTP(rec, req)
+				samples = append(samples, time.Since(t0))
+				if rec.Code != http.StatusOK {
+					// Legitimate corpus must pass its own policy; a denial
+					// here is an experiment bug worth surfacing.
+					workerErrs[w] = fmt.Errorf("workload %s: unexpected status %d: %s",
+						wl.Name, rec.Code, rec.Body.String())
+					break
+				}
+			}
+			latencies[w] = samples
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	for _, err := range workerErrs {
+		if err != nil {
+			return ThroughputResult{}, err
+		}
+	}
+
+	var all []time.Duration
+	for _, s := range latencies {
+		all = append(all, s...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	res := ThroughputResult{
+		Workloads:   n,
+		Concurrency: opts.Concurrency,
+		CacheSize:   opts.CacheSize,
+		Requests:    total,
+		ElapsedNs:   elapsed.Nanoseconds(),
+		OpsPerSec:   float64(total) / elapsed.Seconds(),
+		P50Ns:       percentile(all, 0.50).Nanoseconds(),
+		P99Ns:       percentile(all, 0.99).Nanoseconds(),
+		PerWorkload: map[string]uint64{},
+	}
+	for name, m := range reg.Metrics() {
+		res.PerWorkload[name] = m.Requests
+		res.Denied += m.Denied
+		res.CacheHits += m.CacheHits
+		res.ValidationNs += m.ValidationTime.Nanoseconds()
+	}
+	return res, nil
+}
+
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// RenderThroughput renders results as an aligned human-readable table.
+func RenderThroughput(results []ThroughputResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-6s %-8s %-12s %-10s %-10s %-10s %s\n",
+		"workloads", "conc", "cache", "ops/sec", "p50", "p99", "denied", "cache hits")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-10d %-6d %-8d %-12.0f %-10s %-10s %-10d %d\n",
+			r.Workloads, r.Concurrency, r.CacheSize, r.OpsPerSec,
+			time.Duration(r.P50Ns), time.Duration(r.P99Ns), r.Denied, r.CacheHits)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestThroughputMeasuresEveryWorkloadCount(t *testing.T) {
+	results, err := Throughput(ThroughputOptions{
+		WorkloadCounts: []int{1, 5, 7},
+		Requests:       60,
+		Concurrency:    3,
+		CacheSize:      256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	for i, want := range []int{1, 5, 7} {
+		r := results[i]
+		if r.Workloads != want {
+			t.Errorf("result %d workloads = %d, want %d", i, r.Workloads, want)
+		}
+		if r.Requests != 60 {
+			t.Errorf("requests = %d, want 60", r.Requests)
+		}
+		if r.Denied != 0 {
+			t.Errorf("legitimate corpus denied %d times", r.Denied)
+		}
+		if r.OpsPerSec <= 0 || r.ElapsedNs <= 0 {
+			t.Errorf("non-positive throughput: %+v", r)
+		}
+		if r.P50Ns <= 0 || r.P99Ns < r.P50Ns {
+			t.Errorf("bad percentiles: p50=%d p99=%d", r.P50Ns, r.P99Ns)
+		}
+		if len(r.PerWorkload) != want {
+			t.Errorf("per-workload counts = %d entries, want %d", len(r.PerWorkload), want)
+		}
+		var total uint64
+		for w, c := range r.PerWorkload {
+			if c == 0 {
+				t.Errorf("workload %s saw no traffic", w)
+			}
+			total += c
+		}
+		if total != uint64(r.Requests) {
+			t.Errorf("per-workload counts sum to %d, want %d", total, r.Requests)
+		}
+	}
+	// Workload count 7 reuses chart policies under suffixed tenant names.
+	if _, ok := results[2].PerWorkload["nginx-2"]; !ok {
+		t.Errorf("expected suffixed tenant nginx-2 at count 7, got %v", results[2].PerWorkload)
+	}
+}
+
+func TestThroughputResultIsMachineReadable(t *testing.T) {
+	results, err := Throughput(ThroughputOptions{
+		WorkloadCounts: []int{1}, Requests: 10, Concurrency: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"workloads"`, `"ops_per_sec"`, `"p50_ns"`, `"p99_ns"`,
+		`"cache_hits"`, `"per_workload"`,
+	} {
+		if !strings.Contains(string(data), field) {
+			t.Errorf("JSON missing field %s: %s", field, data)
+		}
+	}
+	var back []ThroughputResult
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back[0].OpsPerSec != results[0].OpsPerSec {
+		t.Error("round trip lost precision")
+	}
+}
+
+func TestRenderThroughput(t *testing.T) {
+	out := RenderThroughput([]ThroughputResult{{
+		Workloads: 5, Concurrency: 8, Requests: 100, OpsPerSec: 12345,
+		P50Ns: 1000, P99Ns: 5000,
+	}})
+	if !strings.Contains(out, "12345") || !strings.Contains(out, "workloads") {
+		t.Errorf("render output:\n%s", out)
+	}
+}

@@ -14,6 +14,13 @@
 // (X-Forwarded-User/-Group) over an mTLS channel only the proxy can open,
 // preserving Complete Mediation: the API server refuses direct client
 // connections because only the proxy holds a client certificate.
+//
+// A proxy enforces one policy registry. The single-workload configuration
+// (Config.Validator) remains supported and registers the validator as a
+// cluster-wide wildcard policy; the multi-workload configuration
+// (Config.Registry) resolves, per request, the most specific workload
+// policy for the object's namespace and kind, and fails closed when no
+// registered policy governs the request.
 package proxy
 
 import (
@@ -28,19 +35,15 @@ import (
 	"time"
 
 	"repro/internal/object"
+	"repro/internal/registry"
 	"repro/internal/validator"
 )
 
-// ViolationRecord is one denied request, for auditing.
-type ViolationRecord struct {
-	Time       time.Time
-	User       string
-	Method     string
-	RequestURI string
-	Kind       string
-	Name       string
-	Violations []validator.Violation
-}
+// ViolationRecord is one denied request, for auditing. It is the
+// registry's per-workload record type; proxy-level denials that could not
+// be attributed to a workload (undecodable bodies, unmatched requests)
+// leave Workload empty.
+type ViolationRecord = registry.Record
 
 // Metrics aggregates proxy counters.
 type Metrics struct {
@@ -57,8 +60,16 @@ type Config struct {
 	// Transport carries requests upstream (holds the mTLS client config).
 	// Defaults to http.DefaultTransport.
 	Transport http.RoundTripper
-	// Validator is the workload policy. Required.
+	// Validator is a single cluster-wide workload policy. Exactly one of
+	// Validator or Registry is required.
 	Validator *validator.Validator
+	// Registry supplies per-workload policies resolved per request; the
+	// proxy denies requests no registered policy governs (fail closed).
+	Registry *registry.Registry
+	// CacheSize bounds the decision cache of the registry the proxy
+	// builds for a single Validator (0 disables caching). Ignored when
+	// Registry is set — configure the cache on the registry instead.
+	CacheSize int
 	// ProxyUser is the identity the proxy asserts to the upstream API
 	// server when the channel is not mTLS (header authentication). It
 	// must be listed in the API server's FrontProxyUsers. With mTLS the
@@ -73,7 +84,10 @@ type Proxy struct {
 	upstream  string
 	transport http.RoundTripper
 	proxyUser string
-	policy    atomic.Pointer[validator.Validator]
+	registry  *registry.Registry
+	// single names the implicit wildcard entry of a proxy built from
+	// Config.Validator; SetValidator swaps that entry's policy.
+	single    string
 	onViolate func(ViolationRecord)
 
 	mu         sync.Mutex
@@ -84,10 +98,21 @@ type Proxy struct {
 	valNanos   atomic.Int64
 }
 
+// workloadName names the implicit registry entry for a bare validator.
+func workloadName(v *validator.Validator) string {
+	if v != nil && v.Workload != "" {
+		return v.Workload
+	}
+	return "default"
+}
+
 // New builds a Proxy.
 func New(cfg Config) (*Proxy, error) {
-	if cfg.Validator == nil {
-		return nil, fmt.Errorf("proxy: Config.Validator is required")
+	if cfg.Validator == nil && cfg.Registry == nil {
+		return nil, fmt.Errorf("proxy: one of Config.Validator or Config.Registry is required")
+	}
+	if cfg.Validator != nil && cfg.Registry != nil {
+		return nil, fmt.Errorf("proxy: Config.Validator and Config.Registry are mutually exclusive")
 	}
 	if cfg.Upstream == "" {
 		return nil, fmt.Errorf("proxy: Config.Upstream is required")
@@ -96,18 +121,50 @@ func New(cfg Config) (*Proxy, error) {
 		upstream:  strings.TrimSuffix(cfg.Upstream, "/"),
 		transport: cfg.Transport,
 		proxyUser: cfg.ProxyUser,
+		registry:  cfg.Registry,
 		onViolate: cfg.OnViolation,
 	}
 	if p.transport == nil {
 		p.transport = http.DefaultTransport
 	}
-	p.policy.Store(cfg.Validator)
+	if cfg.Validator != nil {
+		p.registry = registry.New(registry.Config{CacheSize: cfg.CacheSize})
+		p.single = workloadName(cfg.Validator)
+		if _, err := p.registry.Register(p.single, registry.Selector{}, cfg.Validator); err != nil {
+			return nil, err
+		}
+	}
 	return p, nil
 }
 
 // SetValidator swaps the enforced policy atomically (policy updates
-// without proxy restarts).
-func (p *Proxy) SetValidator(v *validator.Validator) { p.policy.Store(v) }
+// without proxy restarts) on a proxy built from Config.Validator,
+// replacing the implicit cluster-wide policy. A nil validator is
+// ignored. On a registry-backed proxy it is a no-op: silently
+// registering a cluster-wide wildcard would convert the documented
+// fail-closed behavior into allow-by-one-policy — manage per-workload
+// policies through Registry().Swap instead. The swap-or-register loop
+// retries so a lost race against a concurrent SetValidator cannot
+// silently drop the update.
+func (p *Proxy) SetValidator(v *validator.Validator) {
+	if v == nil || p.single == "" {
+		return
+	}
+	for {
+		if err := p.registry.Swap(p.single, v); err == nil {
+			return
+		}
+		if _, err := p.registry.Register(p.single, registry.Selector{}, v); err == nil {
+			return
+		}
+		// Another goroutine registered the entry between our Swap and
+		// Register; the next Swap succeeds against it.
+	}
+}
+
+// Registry exposes the proxy's policy registry for per-workload metrics,
+// violation records, and live policy management.
+func (p *Proxy) Registry() *registry.Registry { return p.registry }
 
 // Violations returns a snapshot of all denial records.
 func (p *Proxy) Violations() []ViolationRecord {
@@ -157,20 +214,51 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		obj, err := decodeObject(body, r.Header.Get("Content-Type"))
 		if err != nil {
 			p.valNanos.Add(int64(time.Since(start)))
-			p.reject(w, r, user, nil, []validator.Violation{{
+			p.reject(w, r, user, nil, nil, []validator.Violation{{
 				Reason: "request body is not a valid Kubernetes object: " + err.Error(),
 			}})
 			return
 		}
-		violations := p.policy.Load().Validate(obj)
+		namespace := obj.Namespace()
+		if namespace == "" {
+			namespace = requestNamespace(r.URL.Path)
+		}
+		entry, ok := p.registry.Resolve(namespace, obj.Kind())
+		if !ok {
+			p.valNanos.Add(int64(time.Since(start)))
+			p.reject(w, r, user, nil, obj, []validator.Violation{{
+				Reason: fmt.Sprintf("no KubeFence policy registered for namespace %q kind %q",
+					namespace, obj.Kind()),
+			}})
+			return
+		}
+		violations := p.registry.Validate(entry, body, func(v *validator.Validator) []validator.Violation {
+			return v.Validate(obj)
+		})
 		p.valNanos.Add(int64(time.Since(start)))
 		if len(violations) > 0 {
-			p.reject(w, r, user, obj, violations)
+			p.reject(w, r, user, entry, obj, violations)
 			return
 		}
 	}
 
 	p.forward(w, r, user, groups, body)
+}
+
+// requestNamespace extracts the namespace segment of an API request path
+// ("/api/v1/namespaces/{ns}/..." or "/apis/{g}/{v}/namespaces/{ns}/..."),
+// for requests whose body omits metadata.namespace.
+func requestNamespace(path string) string {
+	const tok = "/namespaces/"
+	i := strings.Index(path, tok)
+	if i < 0 {
+		return ""
+	}
+	ns := path[i+len(tok):]
+	if j := strings.IndexByte(ns, '/'); j >= 0 {
+		ns = ns[:j]
+	}
+	return ns
 }
 
 // inspectable reports whether the method carries a specification to
@@ -209,7 +297,7 @@ func clientIdentity(r *http.Request) (string, []string) {
 }
 
 func (p *Proxy) reject(w http.ResponseWriter, r *http.Request, user string,
-	obj object.Object, violations []validator.Violation) {
+	entry *registry.Entry, obj object.Object, violations []validator.Violation) {
 	p.denied.Add(1)
 	rec := ViolationRecord{
 		Time:       time.Now(),
@@ -222,8 +310,12 @@ func (p *Proxy) reject(w http.ResponseWriter, r *http.Request, user string,
 		rec.Kind = obj.Kind()
 		rec.Name = obj.Name()
 	}
+	if entry != nil {
+		rec.Workload = entry.Workload()
+		entry.RecordViolation(rec)
+	}
 	p.mu.Lock()
-	p.violations = append(p.violations, rec)
+	p.violations = registry.AppendBounded(p.violations, rec)
 	p.mu.Unlock()
 	if p.onViolate != nil {
 		p.onViolate(rec)

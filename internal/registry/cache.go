@@ -1,0 +1,65 @@
+package registry
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/validator"
+)
+
+// lruCache is a bounded, thread-safe LRU map from cacheKey to a
+// validation decision. Bounding matters at an enforcement point: request
+// bodies are attacker-controlled, so an unbounded memo would be a memory
+// amplification primitive.
+type lruCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	items    map[cacheKey]*list.Element
+}
+
+type lruItem struct {
+	key cacheKey
+	vs  []validator.Violation
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+func (c *lruCache) get(key cacheKey) ([]validator.Violation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruItem).vs, true
+}
+
+func (c *lruCache) put(key cacheKey, vs []validator.Violation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruItem).vs = vs
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruItem{key: key, vs: vs})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+	}
+}
+
+func (c *lruCache) stats() (size, capacity int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len(), c.capacity
+}

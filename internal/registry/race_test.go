@@ -1,0 +1,128 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/validator"
+)
+
+// TestConcurrentRegisterSwapResolve hammers every registry mutation and
+// the resolution hot path from concurrent goroutines. Run under -race it
+// is the registry's data-race regression net; without -race it still
+// checks that concurrent swaps never expose a nil or foreign policy.
+func TestConcurrentRegisterSwapResolve(t *testing.T) {
+	const (
+		tenants  = 8
+		swappers = 4
+		readers  = 8
+		rounds   = 200
+	)
+	r := New(Config{CacheSize: 64})
+	// Seed half the tenants; the other half are registered concurrently.
+	for i := 0; i < tenants/2; i++ {
+		w := fmt.Sprintf("tenant-%d", i)
+		if _, err := r.Register(w, Selector{Namespace: w}, policy(t, w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	// Registrars add the remaining tenants while traffic flows.
+	for i := tenants / 2; i < tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := fmt.Sprintf("tenant-%d", i)
+			if _, err := r.Register(w, Selector{Namespace: w}, policy(t, w)); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	// Swappers hot-swap seeded tenants' policies repeatedly.
+	for s := 0; s < swappers; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			w := fmt.Sprintf("tenant-%d", s%(tenants/2))
+			for i := 0; i < rounds; i++ {
+				if err := r.Swap(w, policy(t, w)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	// Readers resolve and validate across all tenants.
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			o, body := validBody("cm")
+			for i := 0; i < rounds; i++ {
+				ns := fmt.Sprintf("tenant-%d", (g+i)%tenants)
+				e, ok := r.Resolve(ns, "ConfigMap")
+				if !ok {
+					continue // not registered yet, acceptable mid-race
+				}
+				if e.Policy() == nil {
+					t.Error("resolved entry exposed a nil policy")
+					return
+				}
+				vs := r.Validate(e, body, func(v *validator.Validator) []validator.Violation {
+					return v.Validate(o)
+				})
+				if len(vs) != 0 {
+					t.Errorf("legit object denied: %v", vs)
+					return
+				}
+				_ = r.Metrics()
+				_ = r.Workloads()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	if r.Len() != tenants {
+		t.Fatalf("registered %d tenants, want %d", r.Len(), tenants)
+	}
+	for i := 0; i < tenants; i++ {
+		w := fmt.Sprintf("tenant-%d", i)
+		e, ok := r.Entry(w)
+		if !ok {
+			t.Fatalf("tenant %s missing after the race", w)
+		}
+		if e.Policy() == nil {
+			t.Fatalf("tenant %s has nil policy", w)
+		}
+	}
+}
+
+// TestConcurrentViolationRecording checks the bounded per-entry log under
+// concurrent writers and readers.
+func TestConcurrentViolationRecording(t *testing.T) {
+	r := New(Config{})
+	e, err := r.Register("w", Selector{}, policy(t, "w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				e.RecordViolation(Record{Name: "x"})
+				_ = e.Violations()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(e.Violations()); got != MaxRecords {
+		t.Fatalf("log length = %d, want %d", got, MaxRecords)
+	}
+	if m := e.Metrics(); m.Denied != 8*300 {
+		t.Fatalf("denied = %d, want %d", m.Denied, 8*300)
+	}
+}

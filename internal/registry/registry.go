@@ -1,0 +1,463 @@
+// Package registry maps workloads to their KubeFence policy validators
+// and resolves, per request, which policy governs an incoming API object.
+//
+// The paper generates one fine-grained policy per workload (operator); a
+// real cluster runs many operators behind a single enforcement point. The
+// registry is the multi-tenant core that makes that possible: each entry
+// pairs a workload name with a Selector (namespace and/or resource kinds)
+// and an atomically hot-swappable *validator.Validator, so one proxy can
+// enforce nginx, postgresql, rabbitmq, mlflow, and sonarqube policies
+// concurrently, and any single policy can be regenerated and swapped in
+// without restarting the proxy or touching its neighbors.
+//
+// Resolution picks the most specific matching entry (namespace+kind over
+// namespace over kind over wildcard, ties broken by registration order),
+// mirroring how per-namespace operator installs scope their authority.
+//
+// An optional bounded LRU decision cache memoizes validation outcomes
+// keyed by (workload, policy generation, request-body hash): operators
+// re-apply identical manifests on every reconcile loop, so idempotent
+// re-validation is the common case under heavy traffic. Swapping a policy
+// bumps the entry's generation, which implicitly invalidates every cached
+// decision made under the old policy.
+//
+// Each entry also aggregates per-workload enforcement metrics and keeps a
+// bounded log of per-workload violation records for auditing.
+package registry
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/validator"
+)
+
+// Selector scopes a workload policy to the requests it governs. The zero
+// value matches every request (a cluster-wide policy).
+type Selector struct {
+	// Namespace restricts the entry to objects in one namespace; ""
+	// matches any namespace.
+	Namespace string
+	// Kinds restricts the entry to the listed resource kinds; empty
+	// matches any kind.
+	Kinds []string
+	// ClusterKinds lists cluster-scoped kinds the entry claims for
+	// objects that carry no namespace (ClusterRole, PersistentVolume,
+	// …). A namespace-scoped operator still creates such objects, and
+	// they would otherwise never match its Namespace selector.
+	ClusterKinds []string
+}
+
+// Matches reports whether the selector covers an object of the given
+// namespace and kind.
+func (s Selector) Matches(namespace, kind string) bool {
+	if namespace == "" {
+		for _, k := range s.ClusterKinds {
+			if k == kind {
+				return true
+			}
+		}
+	}
+	if s.Namespace != "" && s.Namespace != namespace {
+		return false
+	}
+	if len(s.Kinds) == 0 {
+		return true
+	}
+	for _, k := range s.Kinds {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// clusterScoped lists the cluster-scoped kinds of the API groups this
+// reproduction models; objects of these kinds carry no namespace.
+var clusterScoped = map[string]bool{
+	"Namespace":                      true,
+	"Node":                           true,
+	"ClusterRole":                    true,
+	"ClusterRoleBinding":             true,
+	"PersistentVolume":               true,
+	"StorageClass":                   true,
+	"IngressClass":                   true,
+	"PriorityClass":                  true,
+	"CustomResourceDefinition":       true,
+	"ValidatingWebhookConfiguration": true,
+	"MutatingWebhookConfiguration":   true,
+}
+
+// ClusterScopedKinds filters a kind list down to the cluster-scoped
+// ones — the ClusterKinds a namespace-scoped workload policy should
+// claim (typically from validator.AllowedKinds()).
+func ClusterScopedKinds(kinds []string) []string {
+	var out []string
+	for _, k := range kinds {
+		if clusterScoped[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// specificity ranks selectors for resolution: exact namespace+kind beats
+// exact namespace beats exact kind beats wildcard.
+func (s Selector) specificity() int {
+	score := 0
+	if s.Namespace != "" {
+		score += 2
+	}
+	if len(s.Kinds) > 0 {
+		score++
+	}
+	return score
+}
+
+// Record is one denied request attributed to a workload, for auditing.
+type Record struct {
+	Time       time.Time
+	Workload   string
+	User       string
+	Method     string
+	RequestURI string
+	Kind       string
+	Name       string
+	Violations []validator.Violation
+}
+
+// Metrics aggregates per-workload enforcement counters.
+type Metrics struct {
+	// Requests counts inspected requests resolved to this workload.
+	Requests uint64
+	// Denied counts requests rejected by this workload's policy.
+	Denied uint64
+	// CacheHits counts validations answered from the decision cache.
+	CacheHits uint64
+	// ValidationTime accumulates time spent in tree-overlap validation
+	// (cache hits contribute nothing).
+	ValidationTime time.Duration
+}
+
+// Entry is one registered workload policy. All methods are safe for
+// concurrent use; the policy pointer is hot-swappable via Registry.Swap.
+type Entry struct {
+	workload string
+	selector Selector
+	order    int // registration sequence, tie-breaker for resolution
+
+	policy atomic.Pointer[validator.Validator]
+	// gen is drawn from the registry-global generation counter at
+	// registration and on every swap; it is part of the cache key.
+	// Registry-global monotonicity guarantees a re-registered workload
+	// can never collide with decisions cached under a prior entry of
+	// the same name (which would be a policy bypass).
+	gen atomic.Uint64
+
+	requests  atomic.Uint64
+	denied    atomic.Uint64
+	cacheHits atomic.Uint64
+	valNanos  atomic.Int64
+
+	mu         sync.Mutex
+	violations []Record
+}
+
+// Workload names the entry's workload.
+func (e *Entry) Workload() string { return e.workload }
+
+// Selector returns the entry's request scope.
+func (e *Entry) Selector() Selector { return e.selector }
+
+// Policy returns the currently enforced validator.
+func (e *Entry) Policy() *validator.Validator { return e.policy.Load() }
+
+// Generation returns the policy generation: an opaque registry-unique
+// value that changes on every swap.
+func (e *Entry) Generation() uint64 { return e.gen.Load() }
+
+// Metrics returns a snapshot of the entry's counters.
+func (e *Entry) Metrics() Metrics {
+	return Metrics{
+		Requests:       e.requests.Load(),
+		Denied:         e.denied.Load(),
+		CacheHits:      e.cacheHits.Load(),
+		ValidationTime: time.Duration(e.valNanos.Load()),
+	}
+}
+
+// MaxRecords bounds each entry's violation log so a hostile client cannot
+// grow proxy memory without bound; the newest records are kept.
+const MaxRecords = 1024
+
+// AppendBounded appends a record to a denial log capped at MaxRecords,
+// dropping the oldest record when full. Shared by the per-workload logs
+// here and the proxy's global log: denial records are
+// attacker-triggerable, so every log must be bounded the same way.
+func AppendBounded(records []Record, rec Record) []Record {
+	if len(records) >= MaxRecords {
+		copy(records, records[1:])
+		records = records[:len(records)-1]
+	}
+	return append(records, rec)
+}
+
+// RecordViolation appends a denial record to the entry's bounded log and
+// bumps the denied counter.
+func (e *Entry) RecordViolation(rec Record) {
+	rec.Workload = e.workload
+	e.denied.Add(1)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.violations = AppendBounded(e.violations, rec)
+}
+
+// Violations returns a snapshot of the entry's denial records.
+func (e *Entry) Violations() []Record {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Record, len(e.violations))
+	copy(out, e.violations)
+	return out
+}
+
+// ResetViolations clears the entry's denial log.
+func (e *Entry) ResetViolations() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.violations = nil
+}
+
+// Config configures a Registry.
+type Config struct {
+	// CacheSize bounds the LRU decision cache (number of cached
+	// decisions across all workloads). Zero disables caching.
+	CacheSize int
+}
+
+// Registry holds the workload policy entries of one enforcement point.
+// Register/Swap/Deregister/Resolve are all safe for concurrent use; the
+// hot path (Resolve + Validate) takes only a read lock plus atomic loads.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+	// resolution is the entry list sorted by (specificity desc, order
+	// asc), rebuilt on every mutation so Resolve is a single scan.
+	resolution []*Entry
+	nextOrder  int
+	// gens issues policy generations for all entries; see Entry.gen.
+	gens atomic.Uint64
+
+	cache *lruCache
+}
+
+// New builds an empty registry.
+func New(cfg Config) *Registry {
+	r := &Registry{entries: map[string]*Entry{}}
+	if cfg.CacheSize > 0 {
+		r.cache = newLRUCache(cfg.CacheSize)
+	}
+	return r
+}
+
+// Register adds a workload policy. The workload name must be unique, and
+// its ClusterKinds must not overlap another entry's: cluster-scoped
+// objects carry no namespace to disambiguate tenants, so an overlapping
+// claim would silently route one tenant's objects to another's policy.
+// Use Swap to replace the policy of a registered workload.
+func (r *Registry) Register(workload string, sel Selector, v *validator.Validator) (*Entry, error) {
+	if workload == "" {
+		return nil, fmt.Errorf("registry: workload name is required")
+	}
+	if v == nil {
+		return nil, fmt.Errorf("registry: validator is required for workload %s", workload)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[workload]; dup {
+		return nil, fmt.Errorf("registry: workload %s already registered", workload)
+	}
+	for _, kind := range sel.ClusterKinds {
+		for _, e := range r.entries {
+			for _, claimed := range e.selector.ClusterKinds {
+				if kind == claimed {
+					return nil, fmt.Errorf(
+						"registry: cluster-scoped kind %s already claimed by workload %s",
+						kind, e.workload)
+				}
+			}
+		}
+	}
+	e := &Entry{workload: workload, selector: sel, order: r.nextOrder}
+	r.nextOrder++
+	e.policy.Store(v)
+	e.gen.Store(r.gens.Add(1))
+	r.entries[workload] = e
+	r.rebuildLocked()
+	return e, nil
+}
+
+// Swap atomically replaces the policy of a registered workload (policy
+// updates without proxy restarts). The workload's cached decisions are
+// invalidated by the generation change. The read lock is held across
+// the store so Swap cannot report success for an entry a concurrent
+// Deregister just removed.
+func (r *Registry) Swap(workload string, v *validator.Validator) error {
+	if v == nil {
+		return fmt.Errorf("registry: validator is required for workload %s", workload)
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[workload]
+	if !ok {
+		return fmt.Errorf("registry: workload %s is not registered", workload)
+	}
+	e.policy.Store(v)
+	e.gen.Store(r.gens.Add(1))
+	return nil
+}
+
+// Deregister removes a workload. It reports whether the workload was
+// registered.
+func (r *Registry) Deregister(workload string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[workload]; !ok {
+		return false
+	}
+	delete(r.entries, workload)
+	r.rebuildLocked()
+	return true
+}
+
+// rebuildLocked recomputes the resolution order. Callers hold r.mu.
+func (r *Registry) rebuildLocked() {
+	res := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		res = append(res, e)
+	}
+	sort.Slice(res, func(i, j int) bool {
+		si, sj := res[i].selector.specificity(), res[j].selector.specificity()
+		if si != sj {
+			return si > sj
+		}
+		return res[i].order < res[j].order
+	})
+	r.resolution = res
+}
+
+// Resolve returns the most specific entry whose selector matches the
+// namespace and kind, or false if no registered policy governs the
+// request (the enforcement point should fail closed).
+func (r *Registry) Resolve(namespace, kind string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.resolution {
+		if e.selector.Matches(namespace, kind) {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// Entry returns the entry registered under a workload name.
+func (r *Registry) Entry(workload string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[workload]
+	return e, ok
+}
+
+// Workloads lists the registered workload names, sorted.
+func (r *Registry) Workloads() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.entries))
+	for w := range r.entries {
+		out = append(out, w)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of registered workloads.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Metrics returns a per-workload snapshot of enforcement counters.
+func (r *Registry) Metrics() map[string]Metrics {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make(map[string]Metrics, len(r.entries))
+	for w, e := range r.entries {
+		out[w] = e.Metrics()
+	}
+	return out
+}
+
+// Violations returns the denial records of every workload, newest last
+// per workload, grouped by workload name.
+func (r *Registry) Violations() map[string][]Record {
+	r.mu.RLock()
+	entries := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.RUnlock()
+	out := make(map[string][]Record, len(entries))
+	for _, e := range entries {
+		if recs := e.Violations(); len(recs) > 0 {
+			out[e.workload] = recs
+		}
+	}
+	return out
+}
+
+// cacheKey identifies one validation decision: the workload, the policy
+// generation it was made under, and the hash of the request body. A swap
+// changes the generation, so stale decisions can never be served.
+type cacheKey struct {
+	workload string
+	gen      uint64
+	bodyHash [sha256.Size]byte
+}
+
+// Validate checks an object against an entry's policy, consulting the
+// decision cache when a request body is supplied. The body must be the
+// exact wire bytes the object was decoded from; callers without access to
+// the raw body pass nil to validate uncached.
+func (r *Registry) Validate(e *Entry, body []byte, validate func(*validator.Validator) []validator.Violation) []validator.Violation {
+	e.requests.Add(1)
+	var key cacheKey
+	cached := r.cache != nil && len(body) > 0
+	if cached {
+		key = cacheKey{workload: e.workload, gen: e.gen.Load(), bodyHash: sha256.Sum256(body)}
+		if vs, ok := r.cache.get(key); ok {
+			e.cacheHits.Add(1)
+			return vs
+		}
+	}
+	start := time.Now()
+	vs := validate(e.policy.Load())
+	e.valNanos.Add(int64(time.Since(start)))
+	if cached {
+		r.cache.put(key, vs)
+	}
+	return vs
+}
+
+// CacheStats reports the decision cache size and capacity (zeros when
+// caching is disabled).
+func (r *Registry) CacheStats() (size, capacity int) {
+	if r.cache == nil {
+		return 0, 0
+	}
+	return r.cache.stats()
+}

@@ -19,6 +19,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/object"
 	"repro/internal/schema"
@@ -67,7 +68,10 @@ type Node struct {
 	// Required marks locked fields that LockRequired mode demands.
 	Required bool
 
-	compiled []*regexp.Regexp
+	// compiled caches the compiled Patterns. It is published with an
+	// atomic pointer because one validator serves many concurrent
+	// request goroutines; racing compilations are idempotent.
+	compiled atomic.Pointer[[]*regexp.Regexp]
 }
 
 // Validator is a consolidated policy for one workload.
@@ -363,7 +367,7 @@ func (n *Node) addPattern(p string) {
 		}
 	}
 	n.Patterns = append(n.Patterns, p)
-	n.compiled = nil
+	n.compiled.Store(nil)
 }
 
 // mergeType widens a type token. string subsumes IP; float subsumes int.
@@ -577,15 +581,20 @@ func (v *Validator) validateScalar(n *Node, val any, path string, out *[]Violati
 }
 
 func (n *Node) regexps() []*regexp.Regexp {
-	if n.compiled == nil && len(n.Patterns) > 0 {
-		n.compiled = make([]*regexp.Regexp, 0, len(n.Patterns))
-		for _, p := range n.Patterns {
-			if re, err := regexp.Compile(p); err == nil {
-				n.compiled = append(n.compiled, re)
-			}
+	if res := n.compiled.Load(); res != nil {
+		return *res
+	}
+	if len(n.Patterns) == 0 {
+		return nil
+	}
+	res := make([]*regexp.Regexp, 0, len(n.Patterns))
+	for _, p := range n.Patterns {
+		if re, err := regexp.Compile(p); err == nil {
+			res = append(res, re)
 		}
 	}
-	return n.compiled
+	n.compiled.Store(&res)
+	return res
 }
 
 var (

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/object"
 	"repro/internal/proxy"
+	"repro/internal/registry"
 	"repro/internal/schema"
 	"repro/internal/validator"
 )
@@ -168,12 +169,92 @@ func UnionPolicies(name string, policies ...*Policy) (*Policy, error) {
 	}, nil
 }
 
+// Registry holds the per-workload policies of one enforcement point: it
+// resolves, per request, the most specific policy for an object's
+// namespace and kind, supports atomic hot-swap of individual policies,
+// and aggregates per-workload metrics and violation records.
+type Registry = registry.Registry
+
+// Selector scopes a registered policy to the requests it governs; the
+// zero value matches every request.
+type Selector = registry.Selector
+
+// WorkloadMetrics aggregates per-workload enforcement counters.
+type WorkloadMetrics = registry.Metrics
+
+// RegistryConfig configures a policy registry.
+type RegistryConfig struct {
+	// CacheSize bounds the registry's LRU decision cache (cached
+	// validation outcomes keyed by workload, policy generation, and
+	// request-body hash). Zero disables caching.
+	CacheSize int
+	// Mode selects lock enforcement for policies GenerateRegistry
+	// generates (default LockIfPresent).
+	Mode LockMode
+}
+
+// NewRegistry builds an empty multi-workload policy registry.
+func NewRegistry(cfg RegistryConfig) *Registry {
+	return registry.New(registry.Config{CacheSize: cfg.CacheSize})
+}
+
+// Register adds the policy to a registry under the given selector. The
+// policy's workload name is the registry key (must be unique).
+func (p *Policy) Register(r *Registry, sel Selector) error {
+	_, err := r.Register(p.Workload, sel, p.validator)
+	return err
+}
+
+// Swap atomically replaces the registered policy for p's workload —
+// policy regeneration without proxy restarts, scoped to one workload.
+func (p *Policy) Swap(r *Registry) error {
+	return r.Swap(p.Workload, p.validator)
+}
+
+// GenerateRegistry runs the policy pipeline for several builtin charts
+// and registers each policy scoped to the namespace named after its
+// workload — the conventional one-operator-per-namespace deployment.
+// Cluster-scoped kinds a policy allows (ClusterRole, …) are claimed via
+// the selector's ClusterKinds, since those objects carry no namespace.
+// An empty names list loads every builtin chart.
+func GenerateRegistry(cfg RegistryConfig, names ...string) (*Registry, error) {
+	if len(names) == 0 {
+		names = charts.Names()
+	}
+	r := NewRegistry(cfg)
+	for _, name := range names {
+		c, err := LoadBuiltinChart(name)
+		if err != nil {
+			return nil, err
+		}
+		p, err := GeneratePolicy(c, Options{Workload: name, Mode: cfg.Mode})
+		if err != nil {
+			return nil, err
+		}
+		sel := Selector{
+			Namespace:    name,
+			ClusterKinds: registry.ClusterScopedKinds(p.AllowedKinds()),
+		}
+		if err := p.Register(r, sel); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
 // ProxyConfig configures the enforcement proxy.
 type ProxyConfig struct {
 	// Upstream is the API server base URL ("https://host:6443").
 	Upstream string
-	// Policy is the enforced policy. Required.
+	// Policy is a single cluster-wide enforced policy. Exactly one of
+	// Policy or Registry is required.
 	Policy *Policy
+	// Registry supplies per-workload policies resolved per request; the
+	// proxy denies requests no registered policy governs (fail closed).
+	Registry *Registry
+	// CacheSize bounds the decision cache built for a single Policy;
+	// ignored when Registry is set (configure its cache instead).
+	CacheSize int
 	// Transport carries requests upstream; holds the mTLS client config
 	// in complete-mediation deployments. Defaults to
 	// http.DefaultTransport.
@@ -194,16 +275,24 @@ type ViolationRecord = proxy.ViolationRecord
 
 // NewProxy builds the KubeFence enforcement proxy.
 func NewProxy(cfg ProxyConfig) (*Proxy, error) {
-	if cfg.Policy == nil {
-		return nil, fmt.Errorf("kubefence: ProxyConfig.Policy is required")
+	if cfg.Policy == nil && cfg.Registry == nil {
+		return nil, fmt.Errorf("kubefence: one of ProxyConfig.Policy or ProxyConfig.Registry is required")
 	}
-	return proxy.New(proxy.Config{
+	if cfg.Policy != nil && cfg.Registry != nil {
+		return nil, fmt.Errorf("kubefence: ProxyConfig.Policy and ProxyConfig.Registry are mutually exclusive")
+	}
+	pc := proxy.Config{
 		Upstream:    cfg.Upstream,
 		Transport:   cfg.Transport,
-		Validator:   cfg.Policy.validator,
+		Registry:    cfg.Registry,
+		CacheSize:   cfg.CacheSize,
 		ProxyUser:   cfg.ProxyUser,
 		OnViolation: cfg.OnViolation,
-	})
+	}
+	if cfg.Policy != nil {
+		pc.Validator = cfg.Policy.validator
+	}
+	return proxy.New(pc)
 }
 
 // RenderChart renders a chart with user value overrides into manifests,

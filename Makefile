@@ -1,13 +1,15 @@
 # KubeFence reproduction — build & CI entry points.
 #
-#   make ci      # the full gate: gofmt, go vet, build, tests with -race
-#   make test    # fast test run (no race detector)
-#   make bench   # multi-workload enforcement benchmarks
-#   make json    # machine-readable throughput results -> BENCH_throughput.json
+#   make ci              # the full gate: gofmt, go vet, build, tests with -race
+#   make test            # fast test run (no race detector)
+#   make bench           # multi-workload enforcement benchmarks
+#   make json            # machine-readable throughput results -> BENCH_throughput.json
+#   make fuzz-smoke      # 10s per native fuzz target (FuzzDecode, FuzzValidate)
+#   make robustness-json # adversarial robustness baseline -> BENCH_robustness.json
 
 GO ?= go
 
-.PHONY: all ci fmt-check vet build test race bench json
+.PHONY: all ci fmt-check vet build test race bench json fuzz-smoke robustness-json
 
 all: ci
 
@@ -38,3 +40,12 @@ json:
 	$(GO) run ./cmd/kfbench -experiment throughput -counts 1,5,10 \
 		-requests 2000 -concurrency 8 -cache 4096 -json > BENCH_throughput.json
 	@echo wrote BENCH_throughput.json
+
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=10s -run '^$$' ./internal/yaml
+	$(GO) test -fuzz=FuzzValidate -fuzztime=10s -run '^$$' ./internal/validator
+
+robustness-json:
+	$(GO) run ./cmd/kfbench -experiment robustness -concurrency 8 \
+		-cache 4096 -seed 1 -json > BENCH_robustness.json
+	@echo wrote BENCH_robustness.json

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/object"
+)
+
+// writeAuditFixture produces a JSONL audit log with the operator's
+// observed interactions plus another user's noise.
+func writeAuditFixture(t *testing.T) string {
+	t.Helper()
+	log := &audit.Log{}
+	log.Record(audit.Event{
+		Timestamp: time.Now(), User: "operator:nginx", Verb: "create",
+		APIGroup: "apps", Resource: "deployments", Namespace: "default",
+		Name: "web", Allowed: true, Code: 201,
+	})
+	log.Record(audit.Event{
+		Timestamp: time.Now(), User: "operator:nginx", Verb: "get",
+		APIGroup: "", Resource: "services", Namespace: "default",
+		Name: "web", Allowed: true, Code: 200,
+	})
+	log.Record(audit.Event{
+		Timestamp: time.Now(), User: "someone-else", Verb: "delete",
+		APIGroup: "", Resource: "secrets", Namespace: "kube-system",
+		Name: "s", Allowed: true, Code: 200,
+	})
+	path := filepath.Join(t.TempDir(), "audit.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := log.WriteJSONL(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRunHappyPath infers RBAC from the fixture log and checks the
+// emitted YAML contains roles scoped to the requested user only.
+func TestRunHappyPath(t *testing.T) {
+	auditPath := writeAuditFixture(t)
+	outPath := filepath.Join(t.TempDir(), "rbac.yaml")
+	if err := run([]string{"-audit", auditPath, "-user", "operator:nginx", "-o", outPath}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs, err := object.ParseManifests(data)
+	if err != nil {
+		t.Fatalf("output is not valid YAML: %v", err)
+	}
+	sawRole := false
+	for _, o := range objs {
+		switch o.Kind() {
+		case "Role", "ClusterRole", "RoleBinding", "ClusterRoleBinding":
+			sawRole = true
+		default:
+			t.Errorf("unexpected kind %s in output", o.Kind())
+		}
+	}
+	if !sawRole {
+		t.Errorf("no RBAC objects in output: %s", data)
+	}
+	// The other user's interactions must not leak into the policy.
+	for _, o := range objs {
+		rules, ok := object.GetSlice(o, "rules")
+		if !ok {
+			continue
+		}
+		for _, r := range rules {
+			m, _ := r.(map[string]any)
+			if res, _ := m["resources"].([]any); len(res) > 0 {
+				for _, rr := range res {
+					if rr == "secrets" {
+						t.Error("inferred policy includes another user's resources")
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunFlagErrors covers the required-flag and missing-user paths.
+func TestRunFlagErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing flags should error")
+	}
+	if err := run([]string{"-audit", "nope.jsonl", "-user", "u"}); err == nil {
+		t.Error("missing audit file should error")
+	}
+	auditPath := writeAuditFixture(t)
+	if err := run([]string{"-audit", auditPath, "-user", "nobody"}); err == nil {
+		t.Error("user with no interactions should error")
+	}
+}

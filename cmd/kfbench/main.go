@@ -16,6 +16,15 @@
 //
 //	kfbench -experiment throughput -counts 1,5,10 -requests 2000 \
 //	        -concurrency 8 -cache 4096 -json > BENCH_throughput.json
+//
+// The robustness experiment replays the adversarial mutation matrix
+// (internal/mutate) interleaved with benign chart traces through the
+// proxy+registry stack and scores false negatives/positives per chart
+// and mutation class:
+//
+//	kfbench -experiment robustness -concurrency 8 -cache 4096 \
+//	        -seed 1 -json > BENCH_robustness.json
+//	kfbench -experiment robustness -charts nginx,mlflow -max-per-class 2
 package main
 
 import (
@@ -39,13 +48,16 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("kfbench", flag.ExitOnError)
-	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | throughput | all")
+	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | throughput | robustness | all")
 	reps := fs.Int("reps", 10, "repetitions for table4 (paper: 10)")
 	counts := fs.String("counts", "1,5,10", "workload counts for throughput (comma-separated)")
 	requests := fs.Int("requests", 2000, "proxied requests per throughput measurement")
-	concurrency := fs.Int("concurrency", 8, "client goroutines for throughput")
-	cacheSize := fs.Int("cache", 0, "decision-cache size for throughput (0 disables)")
-	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (throughput)")
+	concurrency := fs.Int("concurrency", 8, "client goroutines for throughput and robustness")
+	cacheSize := fs.Int("cache", 0, "decision-cache size for throughput and robustness (0 disables)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (throughput, robustness)")
+	seed := fs.Int64("seed", 1, "trace-interleaving seed for robustness")
+	chartList := fs.String("charts", "", "charts for robustness (comma-separated, default all)")
+	maxPerClass := fs.Int("max-per-class", 0, "cap mutation variants per (attack, class) for robustness (0 = full matrix)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,6 +133,36 @@ func run(args []string) error {
 			fmt.Println(experiments.RenderThroughput(results))
 			return nil
 		},
+		"robustness": func() error {
+			res, err := experiments.Robustness(experiments.RobustnessOptions{
+				Charts:            splitCharts(*chartList),
+				Concurrency:       *concurrency,
+				Seed:              *seed,
+				MaxPerAttackClass: *maxPerClass,
+				CacheSize:         *cacheSize,
+			})
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(res); err != nil {
+					return err
+				}
+			} else {
+				fmt.Println(experiments.RenderRobustness(res))
+			}
+			// Non-zero exit on a dirty run in BOTH output modes: the CI
+			// smoke step and `make robustness-json` consume the JSON
+			// path, and a baseline with false negatives must never land
+			// silently.
+			if !res.Clean() {
+				return fmt.Errorf("robustness run not clean: %d false negatives, %d false positives, %d errors",
+					res.FalseNegatives, res.FalsePositives, res.Errors)
+			}
+			return nil
+		},
 		"fig11": func() error {
 			out, err := audit.RenderFig11(audit.Event{
 				User: "operator:mlflow", Verb: "create", APIGroup: "apps",
@@ -135,7 +177,7 @@ func run(args []string) error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig5", "fig9", "fig11", "table1", "table2", "table3", "table4", "resources", "throughput"} {
+		for _, name := range []string{"fig5", "fig9", "fig11", "table1", "table2", "table3", "table4", "resources", "throughput", "robustness"} {
 			fmt.Printf("================ %s ================\n", name)
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
@@ -148,6 +190,17 @@ func run(args []string) error {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
 	return runner()
+}
+
+// splitCharts parses the -charts flag; empty means every builtin chart.
+func splitCharts(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // parseCounts parses the -counts flag ("1,5,10") into workload counts.

@@ -72,3 +72,23 @@ func TestRunThroughputJSON(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRunRobustnessReduced(t *testing.T) {
+	if err := run([]string{"-experiment", "robustness", "-charts", "nginx",
+		"-max-per-class", "1", "-concurrency", "4"}); err != nil {
+		t.Error(err)
+	}
+	if err := run([]string{"-experiment", "robustness", "-charts", "nope"}); err == nil {
+		t.Error("unknown chart should error")
+	}
+}
+
+func TestSplitCharts(t *testing.T) {
+	if got := splitCharts(""); got != nil {
+		t.Errorf("splitCharts(\"\") = %v, want nil", got)
+	}
+	got := splitCharts(" nginx , mlflow ")
+	if len(got) != 2 || got[0] != "nginx" || got[1] != "mlflow" {
+		t.Errorf("splitCharts = %v", got)
+	}
+}

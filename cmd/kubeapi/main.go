@@ -8,8 +8,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -23,13 +25,17 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	if err := run(os.Args[1:], nil, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "kubeapi:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+// run starts the server. ready (optional) receives the bound listen
+// address once serving; shutdown (optional) triggers the same graceful
+// stop as SIGINT/SIGTERM — both exist so tests can drive a full run
+// against an ephemeral port.
+func run(args []string, ready chan<- net.Addr, shutdown <-chan struct{}) error {
 	fs := flag.NewFlagSet("kubeapi", flag.ExitOnError)
 	listen := fs.String("listen", ":6443", "listen address")
 	auditPath := fs.String("audit", "", "write JSONL audit log to this file on shutdown")
@@ -53,22 +59,33 @@ func run(args []string) error {
 		return err
 	}
 
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
 	httpServer := &http.Server{
-		Addr:              *listen,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
-	go func() { errCh <- httpServer.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "kubeapi: serving on %s (rbac=%v)\n", *listen, *enforce)
+	go func() { errCh <- httpServer.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "kubeapi: serving on %s (rbac=%v)\n", ln.Addr(), *enforce)
+	if ready != nil {
+		ready <- ln.Addr()
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
 	select {
 	case err := <-errCh:
 		return err
 	case <-sigCh:
+	case <-shutdown: // nil when signal-driven: blocks forever
 	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpServer.Shutdown(ctx) // graceful: drain in-flight requests
 	if *auditPath != "" {
 		f, err := os.Create(*auditPath)
 		if err != nil {

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/client"
+	"repro/internal/object"
+)
+
+// TestRunHappyPath boots the server on an ephemeral port, performs real
+// API calls against it, shuts it down, and checks the audit log landed
+// on disk.
+func TestRunHappyPath(t *testing.T) {
+	auditPath := filepath.Join(t.TempDir(), "audit.jsonl")
+	ready := make(chan net.Addr, 1)
+	shutdown := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- run([]string{"-listen", "127.0.0.1:0", "-audit", auditPath}, ready, shutdown)
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-errCh:
+		t.Fatalf("server exited before ready: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	c := client.New("http://"+addr.String(), client.WithUser("smoke"))
+	if err := c.Healthz(); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	cm := object.Object{
+		"apiVersion": "v1", "kind": "ConfigMap",
+		"metadata": map[string]any{"name": "smoke", "namespace": "default"},
+		"data":     map[string]any{"k": "v"},
+	}
+	if _, err := c.Create(cm); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	got, err := c.Get("ConfigMap", "default", "smoke")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if got.Name() != "smoke" {
+		t.Errorf("got name %q", got.Name())
+	}
+
+	close(shutdown)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+
+	f, err := os.Open(auditPath)
+	if err != nil {
+		t.Fatalf("audit log not written: %v", err)
+	}
+	defer f.Close()
+	events, err := audit.ReadJSONL(f)
+	if err != nil {
+		t.Fatalf("audit log unreadable: %v", err)
+	}
+	found := false
+	for _, ev := range events {
+		if ev.User == "smoke" && ev.Verb == "create" && ev.Resource == "configmaps" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("audit log (%d events) missing the create event", len(events))
+	}
+}
+
+// TestRunFlagErrors: bad flag values must fail fast, not serve.
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-listen", "256.256.256.256:99999"}, nil, nil); err == nil {
+		t.Error("unlistenable address should error")
+	}
+}
+
+func TestSplitList(t *testing.T) {
+	got := splitList(" a ,, b ")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("splitList = %v", got)
+	}
+	if got := splitList(""); got != nil {
+		t.Errorf("splitList(\"\") = %v, want nil", got)
+	}
+}

@@ -1,0 +1,821 @@
+// Package mutate derives adversarial variants of the paper's Table II
+// attack catalog. The reproduction's mitigation experiment (Table III)
+// submits one hand-written request per attack; this package turns each
+// catalog entry into families of variants an insider could plausibly try
+// instead, so the replay harness (internal/replay) can measure whether
+// the field-level policies resist *classes* of attacks rather than
+// single exemplars.
+//
+// Five mutation classes are generated:
+//
+//   - kind-permutation: the same malicious PodSpec re-homed under every
+//     other pod-bearing kind (Pod, Deployment, ..., CronJob), probing
+//     alias field paths such as spec vs spec.template.spec.
+//   - value-obfuscation: equivalent or near-equivalent encodings of the
+//     malicious value (string-typed booleans, case variants, whitespace
+//     padding, alternate IP spellings, numeric-UID root).
+//   - sibling-smuggling: the malicious payload planted at a sibling
+//     location of the schema (pod-level instead of container-level
+//     securityContext, controller-level host flags, initContainers and
+//     ephemeralContainers, hostPath volumes, args instead of command).
+//   - verb-routing: the identical malicious object routed through
+//     update/patch verbs, YAML request encoding, and URL-only namespace
+//     addressing instead of a plain JSON create.
+//   - camouflage: the malicious field surrounded by benign free-form
+//     decoration (labels, annotations) the policy legitimately allows.
+//
+// Every scenario is expected to be DENIED by the workload policy; a
+// scenario the enforcement point forwards is a false negative of the
+// mutation class.
+package mutate
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/attacks"
+	"repro/internal/object"
+)
+
+// Class names one mutation family.
+type Class string
+
+// The mutation classes, in generation order.
+const (
+	KindPermutation  Class = "kind-permutation"
+	ValueObfuscation Class = "value-obfuscation"
+	SiblingSmuggling Class = "sibling-smuggling"
+	VerbRouting      Class = "verb-routing"
+	Camouflage       Class = "camouflage"
+)
+
+// AllClasses lists every mutation class in generation order.
+func AllClasses() []Class {
+	return []Class{KindPermutation, ValueObfuscation, SiblingSmuggling, VerbRouting, Camouflage}
+}
+
+// Scenario is one generated attack variant.
+type Scenario struct {
+	// ID identifies the scenario ("E1/kind-permutation/03").
+	ID string
+	// AttackID is the Table II entry the variant derives from.
+	AttackID string
+	// Class is the mutation family.
+	Class Class
+	// Description says what was mutated.
+	Description string
+	// Object is the malicious request object.
+	Object object.Object
+	// Method is the HTTP verb to submit the object with (POST, PUT, or
+	// PATCH; PUT and PATCH address the named resource).
+	Method string
+	// YAMLBody requests YAML request encoding instead of JSON.
+	YAMLBody bool
+	// OmitBodyNamespace strips metadata.namespace from the wire body so
+	// the namespace is conveyed by the request URL only.
+	OmitBodyNamespace bool
+}
+
+// Options configure variant generation.
+type Options struct {
+	// Classes restricts generation to the listed classes (default: all).
+	Classes []Class
+	// MaxPerAttackClass caps the variants generated per (attack, class)
+	// pair — the reduced matrix for CI smoke runs. Zero means no cap.
+	MaxPerAttackClass int
+}
+
+// ForCatalog generates scenarios for every Table II attack against one
+// workload's rendered manifests. Attacks with no applicable target among
+// the manifests are skipped.
+func ForCatalog(legit []object.Object, opts Options) ([]Scenario, error) {
+	var out []Scenario
+	for _, a := range attacks.Catalog() {
+		scs, err := ForAttack(a, legit, opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, scs...)
+	}
+	return out, nil
+}
+
+// ForAttack generates the variants of one attack against a workload's
+// rendered manifests.
+func ForAttack(a attacks.Attack, legit []object.Object, opts Options) ([]Scenario, error) {
+	target, ok := a.SelectTarget(legit)
+	if !ok {
+		return nil, nil
+	}
+	evil, err := a.Craft(target)
+	if err != nil {
+		return nil, fmt.Errorf("mutate: %s: %w", a.ID, err)
+	}
+	g := &gen{attack: a, target: target, evil: evil}
+	classes := opts.Classes
+	if len(classes) == 0 {
+		classes = AllClasses()
+	}
+	var out []Scenario
+	for _, cl := range classes {
+		var scs []Scenario
+		switch cl {
+		case KindPermutation:
+			scs, err = g.kindPermutations()
+		case ValueObfuscation:
+			scs, err = g.valueObfuscations()
+		case SiblingSmuggling:
+			scs, err = g.siblingSmugglings()
+		case VerbRouting:
+			scs = g.verbRoutings()
+		case Camouflage:
+			scs, err = g.camouflages()
+		default:
+			err = fmt.Errorf("mutate: unknown class %q", cl)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("mutate: %s/%s: %w", a.ID, cl, err)
+		}
+		if opts.MaxPerAttackClass > 0 && len(scs) > opts.MaxPerAttackClass {
+			scs = scs[:opts.MaxPerAttackClass]
+		}
+		out = append(out, scs...)
+	}
+	return out, nil
+}
+
+type gen struct {
+	attack attacks.Attack
+	target object.Object // the legitimate manifest the attack injects into
+	evil   object.Object // the base crafted attack (paper's exemplar)
+}
+
+func classSlug(cl Class) string {
+	switch cl {
+	case KindPermutation:
+		return "kind"
+	case ValueObfuscation:
+		return "obf"
+	case SiblingSmuggling:
+		return "sib"
+	case VerbRouting:
+		return "verb"
+	case Camouflage:
+		return "camo"
+	}
+	return "mut"
+}
+
+// scenario finalizes a variant: each one is renamed so it reads as a
+// fresh create rather than a collision with the deployed object.
+func (g *gen) scenario(cl Class, i int, desc string, o object.Object) Scenario {
+	name := fmt.Sprintf("%s-%s-%s-%02d",
+		g.target.Name(), strings.ToLower(g.attack.ID), classSlug(cl), i)
+	_ = object.Set(o, "metadata.name", name)
+	return Scenario{
+		ID:          fmt.Sprintf("%s/%s/%02d", g.attack.ID, cl, i),
+		AttackID:    g.attack.ID,
+		Class:       cl,
+		Description: desc,
+		Object:      o,
+		Method:      http.MethodPost,
+	}
+}
+
+// ---------------------------------------------------------------------
+// kind-permutation
+// ---------------------------------------------------------------------
+
+// kindPermutations re-homes the crafted malicious PodSpec under every
+// other pod-bearing kind, exercising the alias paths spec,
+// spec.template.spec, and spec.jobTemplate.spec.template.spec. E5 is
+// excluded: its payload is the *absence* of resource limits in the
+// workload's own controller, which has no meaning re-homed elsewhere.
+func (g *gen) kindPermutations() ([]Scenario, error) {
+	if g.attack.ID == "E5" {
+		return nil, nil
+	}
+	srcPath, ok := attacks.PodSpecPath(g.evil.Kind())
+	if !ok {
+		return nil, nil // e.g. E2 targets Service: no pod spec to re-home
+	}
+	podSpec, ok := object.GetMap(g.evil, srcPath)
+	if !ok {
+		return nil, fmt.Errorf("no pod spec at %s", srcPath)
+	}
+	var out []Scenario
+	i := 0
+	for _, kind := range []string{"Pod", "Deployment", "StatefulSet", "DaemonSet", "ReplicaSet", "Job", "CronJob"} {
+		if kind == g.evil.Kind() {
+			continue
+		}
+		ri, ok := object.LookupKind(kind)
+		if !ok {
+			continue
+		}
+		spec := object.DeepCopyValue(map[string]any(podSpec)).(map[string]any)
+		o := object.Object{
+			"apiVersion": ri.GVK.APIVersion(),
+			"kind":       kind,
+			"metadata": map[string]any{
+				"name":      "kf-mut",
+				"namespace": g.target.Namespace(),
+			},
+		}
+		switch kind {
+		case "Pod":
+			o["spec"] = spec
+		case "Job":
+			o["spec"] = map[string]any{
+				"template": map[string]any{
+					"metadata": map[string]any{"labels": map[string]any{"app": "kf-mut"}},
+					"spec":     spec,
+				},
+			}
+		case "CronJob":
+			o["spec"] = map[string]any{
+				"schedule": "* * * * *",
+				"jobTemplate": map[string]any{
+					"spec": map[string]any{
+						"template": map[string]any{"spec": spec},
+					},
+				},
+			}
+		default:
+			o["spec"] = map[string]any{
+				"selector": map[string]any{"matchLabels": map[string]any{"app": "kf-mut"}},
+				"template": map[string]any{
+					"metadata": map[string]any{"labels": map[string]any{"app": "kf-mut"}},
+					"spec":     spec,
+				},
+			}
+		}
+		i++
+		out = append(out, g.scenario(KindPermutation, i,
+			"malicious pod spec re-homed under kind "+kind, o))
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// value-obfuscation
+// ---------------------------------------------------------------------
+
+// errSkip marks an obfuscation that does not apply to this workload's
+// target (e.g. deleting resource limits the chart never rendered — the
+// mutation would be a no-op, not an attack).
+var errSkip = fmt.Errorf("mutate: variant does not apply to target")
+
+type mutation struct {
+	desc  string
+	apply func(object.Object) error
+}
+
+// truthy / falsy enumerate the equivalent encodings attackers substitute
+// for a boolean payload: string-typed, case-varied, YAML-1.1-style, and
+// numeric spellings.
+func truthy() []any { return []any{"true", "True", "TRUE", "yes", "on", 1} }
+func falsy() []any  { return []any{"false", "False", "FALSE", "no", "off", 0} }
+
+func (g *gen) valueObfuscations() ([]Scenario, error) {
+	muts, err := g.obfuscationTable()
+	if err != nil {
+		return nil, err
+	}
+	return g.applyMutations(ValueObfuscation, muts)
+}
+
+// applyMutations runs each mutation against a fresh copy of the
+// legitimate target, dropping variants that report errSkip.
+func (g *gen) applyMutations(cl Class, muts []mutation) ([]Scenario, error) {
+	var out []Scenario
+	i := 0
+	for _, m := range muts {
+		o := g.target.DeepCopy()
+		if err := m.apply(o); err != nil {
+			if err == errSkip {
+				continue
+			}
+			return nil, fmt.Errorf("%s: %w", m.desc, err)
+		}
+		i++
+		out = append(out, g.scenario(cl, i, m.desc, o))
+	}
+	return out, nil
+}
+
+func (g *gen) obfuscationTable() ([]mutation, error) {
+	var muts []mutation
+	add := func(desc string, apply func(object.Object) error) {
+		muts = append(muts, mutation{desc: desc, apply: apply})
+	}
+	addBoolField := func(set func(v any) func(object.Object) error, field string, vals []any) {
+		for _, v := range vals {
+			v := v
+			add(fmt.Sprintf("%s as %#v", field, v), set(v))
+		}
+	}
+	switch g.attack.ID {
+	case "E1":
+		addBoolField(func(v any) func(object.Object) error {
+			return setPodField("hostNetwork", v)
+		}, "hostNetwork", truthy())
+	case "M1":
+		addBoolField(func(v any) func(object.Object) error {
+			return setPodField("hostIPC", v)
+		}, "hostIPC", truthy())
+	case "M2":
+		addBoolField(func(v any) func(object.Object) error {
+			return setPodField("hostPID", v)
+		}, "hostPID", truthy())
+	case "E2":
+		for _, tc := range []struct {
+			desc string
+			val  any
+		}{
+			{"externalIPs with leading whitespace", []any{" 203.0.113.7"}},
+			{"externalIPs with zero-padded octets", []any{"203.0.113.007"}},
+			{"externalIPs as IPv4-mapped IPv6", []any{"::ffff:203.0.113.7"}},
+			{"externalIPs with multiple addresses", []any{"203.0.113.7", "198.51.100.9"}},
+			{"externalIPs as bare string", "203.0.113.7"},
+			{"externalIPs as decimal integer address", []any{3405803271}},
+		} {
+			tc := tc
+			add(tc.desc, func(o object.Object) error {
+				return object.Set(o, "spec.externalIPs", tc.val)
+			})
+		}
+	case "E3":
+		for _, sp := range []string{
+			"./$(Get-Content /etc/secrets)",
+			"$(Get-Content /etc/secrets)/.",
+			`..\..\secrets`,
+			"$(rm -rf /)",
+		} {
+			sp := sp
+			add(fmt.Sprintf("injected subPath %q", sp), addSubPathMount(sp))
+		}
+	case "E4":
+		for _, sp := range []string{
+			"./symlink-door", "symlink-door/", "symlink-door/../symlink-door",
+		} {
+			sp := sp
+			add(fmt.Sprintf("symlink subPath spelled %q", sp), addSubPathMount(sp))
+		}
+	case "E5":
+		add("containers.resources deleted entirely", func(o object.Object) error {
+			c, err := firstContainer(o)
+			if err != nil {
+				return err
+			}
+			if _, ok := c["resources"]; !ok {
+				return errSkip
+			}
+			delete(c, "resources")
+			return nil
+		})
+		add("resources present but empty", setContainerField("resources", map[string]any{}))
+		add("limits present but empty", func(o object.Object) error {
+			c, err := firstContainer(o)
+			if err != nil {
+				return err
+			}
+			res, ok := c["resources"].(map[string]any)
+			if !ok {
+				return errSkip
+			}
+			res["limits"] = map[string]any{}
+			return nil
+		})
+		add("limits explicitly null", func(o object.Object) error {
+			c, err := firstContainer(o)
+			if err != nil {
+				return err
+			}
+			res, ok := c["resources"].(map[string]any)
+			if !ok {
+				return errSkip
+			}
+			res["limits"] = nil
+			return nil
+		})
+		add("resources explicitly null", setContainerField("resources", nil))
+	case "E6":
+		for _, cmd := range [][]any{
+			{"bash", "-c", "while true; do ln -sfn / /vol/sym; done"},
+			{"/bin/sh", "-c", "exec /bin/sh"},
+			{"sh", "-c", "echo bHMgLWxhIC8= | base64 -d | sh"},
+		} {
+			cmd := cmd
+			add(fmt.Sprintf("container command %v", cmd), setContainerField("command", cmd))
+		}
+	case "E7":
+		for _, p := range []string{
+			"../../../etc/passwd", "profiles/../../escape", "%2e%2e%2fescape",
+		} {
+			p := p
+			add(fmt.Sprintf("seccomp localhostProfile %q", p), setContainerSC("seccompProfile",
+				map[string]any{"type": "Localhost", "localhostProfile": p}))
+		}
+	case "E8":
+		addBoolField(func(v any) func(object.Object) error {
+			return setContainerSC("privileged", v)
+		}, "privileged", truthy())
+	case "M3":
+		addBoolField(func(v any) func(object.Object) error {
+			return setContainerSC("readOnlyRootFilesystem", v)
+		}, "readOnlyRootFilesystem", falsy())
+	case "M4":
+		addBoolField(func(v any) func(object.Object) error {
+			return setContainerSC("runAsNonRoot", v)
+		}, "runAsNonRoot", falsy())
+		add("runAsUser 0 (numeric root, runAsNonRoot untouched)",
+			setContainerSC("runAsUser", 0))
+		add(`runAsUser "0" (string-typed root UID)`,
+			setContainerSC("runAsUser", "0"))
+	case "M5":
+		for _, caps := range []any{
+			[]any{"sys_admin"}, []any{" SYS_ADMIN"}, []any{"Sys_Admin"},
+			[]any{"CAP_SYS_ADMIN"}, []any{"ALL"},
+		} {
+			caps := caps
+			add(fmt.Sprintf("capabilities.add %v", caps), setContainerSC("capabilities",
+				map[string]any{"add": caps}))
+		}
+	case "M6":
+		addBoolField(func(v any) func(object.Object) error {
+			return setContainerSC("allowPrivilegeEscalation", v)
+		}, "allowPrivilegeEscalation", truthy())
+	case "M7":
+		for _, tc := range []struct {
+			desc string
+			val  map[string]any
+		}{
+			{"seLinuxOptions custom user only", map[string]any{"user": "unconfined_u"}},
+			{"seLinuxOptions custom role only", map[string]any{"role": "unconfined_r"}},
+			{"seLinuxOptions with level", map[string]any{"user": "system_u", "level": "s0-s15:c0.c1023"}},
+			{"seLinuxOptions privileged type", map[string]any{"type": "spc_t"}},
+		} {
+			tc := tc
+			add(tc.desc, setContainerSC("seLinuxOptions", tc.val))
+		}
+	default:
+		return nil, fmt.Errorf("no obfuscation table for attack %s", g.attack.ID)
+	}
+	return muts, nil
+}
+
+// ---------------------------------------------------------------------
+// sibling-smuggling
+// ---------------------------------------------------------------------
+
+func (g *gen) siblingSmugglings() ([]Scenario, error) {
+	var muts []mutation
+	add := func(desc string, apply func(object.Object) error) {
+		muts = append(muts, mutation{desc: desc, apply: apply})
+	}
+	switch g.attack.ID {
+	case "E1", "M1", "M2":
+		field := map[string]string{"E1": "hostNetwork", "M1": "hostIPC", "M2": "hostPID"}[g.attack.ID]
+		add(field+" at controller spec level (outside template)", setControllerSpecField(field, true))
+		add(field+" at template level (beside spec)", setTemplateField(field, true))
+	case "E2":
+		add("loadBalancerIP instead of externalIPs", func(o object.Object) error {
+			return object.Set(o, "spec.loadBalancerIP", "203.0.113.7")
+		})
+		add("externalName redirect instead of externalIPs", func(o object.Object) error {
+			return object.Set(o, "spec.externalName", "attacker.example.com")
+		})
+	case "E3", "E4":
+		add("volumeMounts smuggled at pod level", func(o object.Object) error {
+			spec, err := podSpecOf(o)
+			if err != nil {
+				return err
+			}
+			spec["volumeMounts"] = []any{map[string]any{
+				"name": "kf-mut", "mountPath": "/host", "subPath": "../../",
+			}}
+			return nil
+		})
+		add("hostPath volume instead of emptyDir", func(o object.Object) error {
+			spec, err := podSpecOf(o)
+			if err != nil {
+				return err
+			}
+			vols, _ := spec["volumes"].([]any)
+			spec["volumes"] = append(vols, map[string]any{
+				"name": "kf-mut", "hostPath": map[string]any{"path": "/"},
+			})
+			return nil
+		})
+	case "E5":
+		add("resources smuggled at pod level while container limits dropped", func(o object.Object) error {
+			c, err := firstContainer(o)
+			if err != nil {
+				return err
+			}
+			res, ok := c["resources"].(map[string]any)
+			if !ok {
+				return errSkip
+			}
+			delete(res, "limits")
+			spec, err := podSpecOf(o)
+			if err != nil {
+				return err
+			}
+			spec["resources"] = map[string]any{"limits": map[string]any{"cpu": "250m"}}
+			return nil
+		})
+	case "E6":
+		add("args instead of command", setContainerField("args",
+			[]any{"-c", "while true; do ln -sfn / /vol/sym; done"}))
+		add("lifecycle postStart exec hook", setContainerField("lifecycle", map[string]any{
+			"postStart": map[string]any{"exec": map[string]any{
+				"command": []any{"sh", "-c", "ln -sfn / /vol/sym"},
+			}},
+		}))
+	case "E7", "E8", "M3", "M4", "M5", "M6", "M7":
+		field, val := podLevelPayload(g.attack.ID)
+		add(fmt.Sprintf("%s smuggled into pod-level securityContext", field),
+			func(o object.Object) error {
+				spec, err := podSpecOf(o)
+				if err != nil {
+					return err
+				}
+				sc, ok := spec["securityContext"].(map[string]any)
+				if !ok {
+					sc = map[string]any{}
+					spec["securityContext"] = sc
+				}
+				sc[field] = val
+				return nil
+			})
+		add(fmt.Sprintf("%s smuggled via injected initContainer", field),
+			addExtraContainer("initContainers", field, val))
+		add(fmt.Sprintf("%s smuggled via ephemeralContainers", field),
+			addExtraContainer("ephemeralContainers", field, val))
+	}
+	return g.applyMutations(SiblingSmuggling, muts)
+}
+
+// podLevelPayload maps a container-securityContext attack to the field
+// and value smuggled one level up or into an alternative container list.
+func podLevelPayload(id string) (string, any) {
+	switch id {
+	case "E7":
+		return "seccompProfile", map[string]any{"type": "Localhost", "localhostProfile": ""}
+	case "E8":
+		return "privileged", true
+	case "M3":
+		return "readOnlyRootFilesystem", false
+	case "M4":
+		return "runAsNonRoot", false
+	case "M5":
+		return "capabilities", map[string]any{"add": []any{"SYS_ADMIN"}}
+	case "M6":
+		return "allowPrivilegeEscalation", true
+	case "M7":
+		return "seLinuxOptions", map[string]any{"user": "system_u", "role": "system_r"}
+	}
+	return "", nil
+}
+
+// ---------------------------------------------------------------------
+// verb-routing
+// ---------------------------------------------------------------------
+
+// verbRoutings submits the identical base attack through every other
+// write route the proxy inspects: update, patch, YAML encoding, and
+// URL-only namespace addressing.
+func (g *gen) verbRoutings() []Scenario {
+	variants := []struct {
+		desc   string
+		method string
+		yaml   bool
+		omitNS bool
+	}{
+		{"same payload via PUT update", http.MethodPut, false, false},
+		{"same payload via PATCH", http.MethodPatch, false, false},
+		{"same payload as YAML-encoded create", http.MethodPost, true, false},
+		{"same payload via PUT with YAML encoding", http.MethodPut, true, false},
+		{"namespace conveyed by URL only", http.MethodPost, false, true},
+	}
+	var out []Scenario
+	for i, v := range variants {
+		sc := g.scenario(VerbRouting, i+1, v.desc, g.evil.DeepCopy())
+		sc.Method = v.method
+		sc.YAMLBody = v.yaml
+		sc.OmitBodyNamespace = v.omitNS
+		out = append(out, sc)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// camouflage
+// ---------------------------------------------------------------------
+
+// camouflages wraps the base attack in benign free-form decoration the
+// policy legitimately allows (labels and annotations are KindAny), so a
+// mostly-conforming request cannot sneak the malicious field through.
+func (g *gen) camouflages() ([]Scenario, error) {
+	noise := map[string]any{
+		"app.kubernetes.io/component": "frontend",
+		"kf.example.com/owner":        "platform-team",
+		"kf.example.com/ticket":       "OPS-1234",
+	}
+	muts := []mutation{
+		{desc: "malicious field amid benign extra labels", apply: func(o object.Object) error {
+			return mergeMeta(o, "labels", noise)
+		}},
+		{desc: "malicious field amid benign extra annotations", apply: func(o object.Object) error {
+			return mergeMeta(o, "annotations", noise)
+		}},
+		{desc: "malicious field amid labels, annotations, and template labels", apply: func(o object.Object) error {
+			if err := mergeMeta(o, "labels", noise); err != nil {
+				return err
+			}
+			if err := mergeMeta(o, "annotations", noise); err != nil {
+				return err
+			}
+			if tmd, ok := object.GetMap(o, "spec.template.metadata"); ok {
+				labels, ok := tmd["labels"].(map[string]any)
+				if !ok {
+					labels = map[string]any{}
+					tmd["labels"] = labels
+				}
+				for k, v := range noise {
+					labels[k] = v
+				}
+			}
+			return nil
+		}},
+	}
+	var out []Scenario
+	for i, m := range muts {
+		o := g.evil.DeepCopy()
+		if err := m.apply(o); err != nil {
+			return nil, err
+		}
+		out = append(out, g.scenario(Camouflage, i+1, m.desc, o))
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// shared mutation helpers
+// ---------------------------------------------------------------------
+
+func podSpecOf(o object.Object) (map[string]any, error) {
+	path, ok := attacks.PodSpecPath(o.Kind())
+	if !ok {
+		return nil, fmt.Errorf("kind %s has no pod spec", o.Kind())
+	}
+	spec, ok := object.GetMap(o, path)
+	if !ok {
+		return nil, fmt.Errorf("%s has no pod spec at %s", o.Kind(), path)
+	}
+	return spec, nil
+}
+
+func firstContainer(o object.Object) (map[string]any, error) {
+	spec, err := podSpecOf(o)
+	if err != nil {
+		return nil, err
+	}
+	items, ok := spec["containers"].([]any)
+	if !ok || len(items) == 0 {
+		return nil, fmt.Errorf("%s has no containers", o.Kind())
+	}
+	c, ok := items[0].(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("malformed container entry")
+	}
+	return c, nil
+}
+
+func setPodField(field string, v any) func(object.Object) error {
+	return func(o object.Object) error {
+		spec, err := podSpecOf(o)
+		if err != nil {
+			return err
+		}
+		spec[field] = v
+		return nil
+	}
+}
+
+func setContainerField(field string, v any) func(object.Object) error {
+	return func(o object.Object) error {
+		c, err := firstContainer(o)
+		if err != nil {
+			return err
+		}
+		c[field] = v
+		return nil
+	}
+}
+
+func setContainerSC(field string, v any) func(object.Object) error {
+	return func(o object.Object) error {
+		c, err := firstContainer(o)
+		if err != nil {
+			return err
+		}
+		sc, ok := c["securityContext"].(map[string]any)
+		if !ok {
+			sc = map[string]any{}
+			c["securityContext"] = sc
+		}
+		sc[field] = v
+		return nil
+	}
+}
+
+// setControllerSpecField writes a field at the controller's spec level
+// (beside template), the wrong-nesting-level smuggle. Pods have no outer
+// controller spec, so the variant is skipped for them.
+func setControllerSpecField(field string, v any) func(object.Object) error {
+	return func(o object.Object) error {
+		if o.Kind() == "Pod" {
+			return errSkip
+		}
+		spec, ok := object.GetMap(o, "spec")
+		if !ok {
+			return errSkip
+		}
+		spec[field] = v
+		return nil
+	}
+}
+
+// setTemplateField writes a field at spec.template level (beside the pod
+// spec), one level off from where Kubernetes reads it.
+func setTemplateField(field string, v any) func(object.Object) error {
+	return func(o object.Object) error {
+		tmpl, ok := object.GetMap(o, "spec.template")
+		if !ok {
+			return errSkip
+		}
+		tmpl[field] = v
+		return nil
+	}
+}
+
+func addSubPathMount(subPath string) func(object.Object) error {
+	return func(o object.Object) error {
+		c, err := firstContainer(o)
+		if err != nil {
+			return err
+		}
+		vm, _ := c["volumeMounts"].([]any)
+		c["volumeMounts"] = append(vm, map[string]any{
+			"name": "kf-mut", "mountPath": "/injected", "subPath": subPath,
+		})
+		spec, err := podSpecOf(o)
+		if err != nil {
+			return err
+		}
+		vols, _ := spec["volumes"].([]any)
+		spec["volumes"] = append(vols, map[string]any{
+			"name": "kf-mut", "emptyDir": map[string]any{},
+		})
+		return nil
+	}
+}
+
+// addExtraContainer appends a container carrying the malicious
+// securityContext field to an alternative container list
+// (initContainers or ephemeralContainers).
+func addExtraContainer(list, field string, v any) func(object.Object) error {
+	return func(o object.Object) error {
+		spec, err := podSpecOf(o)
+		if err != nil {
+			return err
+		}
+		items, _ := spec[list].([]any)
+		spec[list] = append(items, map[string]any{
+			"name":            "kf-mut",
+			"image":           "busybox",
+			"securityContext": map[string]any{field: v},
+		})
+		return nil
+	}
+}
+
+func mergeMeta(o object.Object, key string, extra map[string]any) error {
+	md, ok := o["metadata"].(map[string]any)
+	if !ok {
+		return fmt.Errorf("object has no metadata")
+	}
+	m, ok := md[key].(map[string]any)
+	if !ok {
+		m = map[string]any{}
+		md[key] = m
+	}
+	for k, v := range extra {
+		m[k] = v
+	}
+	return nil
+}

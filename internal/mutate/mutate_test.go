@@ -1,0 +1,187 @@
+package mutate
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/charts"
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/validator"
+	"repro/internal/yaml"
+)
+
+// workloadFixture generates a chart's policy and its rendered objects.
+func workloadFixture(t *testing.T, name string) (*validator.Validator, []object.Object) {
+	t.Helper()
+	res, err := core.GeneratePolicy(charts.MustLoad(name), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := charts.MustLoad(name).Render(nil, chart.ReleaseOptions{Name: "rel", Namespace: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Validator, chart.Objects(files)
+}
+
+// TestEveryScenarioDeniedEveryBenignAllowed is the engine's core
+// contract, checked against every evaluation workload: the full mutation
+// matrix must be denied by the workload's own policy, while the
+// workload's rendered manifests stay clean. A scenario the validator
+// accepts is a false negative of its mutation class.
+func TestEveryScenarioDeniedEveryBenignAllowed(t *testing.T) {
+	total := 0
+	for _, name := range charts.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			pol, objs := workloadFixture(t, name)
+			for _, o := range objs {
+				if vs := pol.Validate(o); len(vs) != 0 {
+					t.Errorf("benign %s/%s denied: %v", o.Kind(), o.Name(), vs)
+				}
+			}
+			scs, err := ForCatalog(objs, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(scs) < 100 {
+				t.Errorf("only %d scenarios generated for %s, want >= 100", len(scs), name)
+			}
+			total += len(scs)
+			for _, sc := range scs {
+				if vs := pol.Validate(sc.Object); len(vs) == 0 {
+					t.Errorf("FALSE NEGATIVE %s (%s): accepted by %s policy", sc.ID, sc.Description, name)
+				}
+			}
+		})
+	}
+	if total < 500 {
+		t.Errorf("full matrix generated %d scenarios across charts, want >= 500", total)
+	}
+}
+
+// TestScenarioClassesCovered checks that a pod-spec attack fans out into
+// all five mutation classes.
+func TestScenarioClassesCovered(t *testing.T) {
+	_, objs := workloadFixture(t, "nginx")
+	scs, err := ForCatalog(objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[Class]bool{}
+	for _, sc := range scs {
+		if sc.AttackID == "E1" {
+			seen[sc.Class] = true
+		}
+	}
+	for _, cl := range AllClasses() {
+		if !seen[cl] {
+			t.Errorf("E1 generated no %s scenarios", cl)
+		}
+	}
+}
+
+// TestYAMLScenariosRoundTrip guards against the YAML-encoded verb
+// variants silently losing their malicious payload in encoding: a
+// dropped field would surface as a spurious pass, not a catch.
+func TestYAMLScenariosRoundTrip(t *testing.T) {
+	_, objs := workloadFixture(t, "mlflow")
+	scs, err := ForCatalog(objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, sc := range scs {
+		if !sc.YAMLBody {
+			continue
+		}
+		data, err := sc.Object.MarshalYAML()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", sc.ID, err)
+		}
+		back, err := object.ParseManifest(data)
+		if err != nil {
+			t.Fatalf("%s: reparse: %v", sc.ID, err)
+		}
+		if !object.Equal(map[string]any(sc.Object), map[string]any(back)) {
+			t.Errorf("%s: YAML round trip altered the object", sc.ID)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Error("no YAML-encoded scenarios generated")
+	}
+}
+
+// TestReducedMatrix checks MaxPerAttackClass caps every (attack, class)
+// family for CI smoke runs.
+func TestReducedMatrix(t *testing.T) {
+	_, objs := workloadFixture(t, "nginx")
+	scs, err := ForCatalog(objs, Options{MaxPerAttackClass: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perFamily := map[string]int{}
+	for _, sc := range scs {
+		perFamily[sc.AttackID+"/"+string(sc.Class)]++
+	}
+	for fam, n := range perFamily {
+		if n > 2 {
+			t.Errorf("family %s has %d scenarios, cap is 2", fam, n)
+		}
+	}
+	full, err := ForCatalog(objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) >= len(full) {
+		t.Errorf("reduced matrix (%d) not smaller than full (%d)", len(scs), len(full))
+	}
+}
+
+// TestDeterministic: two generations over the same manifests must agree
+// scenario for scenario, so replay runs are reproducible.
+func TestDeterministic(t *testing.T) {
+	_, objs := workloadFixture(t, "postgresql")
+	a, err := ForCatalog(objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ForCatalog(objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || a[i].Method != b[i].Method {
+			t.Fatalf("scenario %d differs: %s vs %s", i, a[i].ID, b[i].ID)
+		}
+		ya, _ := yaml.Marshal(map[string]any(a[i].Object))
+		yb, _ := yaml.Marshal(map[string]any(b[i].Object))
+		if string(ya) != string(yb) {
+			t.Fatalf("scenario %s object differs between runs", a[i].ID)
+		}
+	}
+}
+
+// TestScenarioObjectsAreIndependent: mutating one scenario's object must
+// not leak into the legit manifests or other scenarios (deep-copy
+// hygiene), since the replay harness serializes them concurrently.
+func TestScenarioObjectsAreIndependent(t *testing.T) {
+	_, objs := workloadFixture(t, "rabbitmq")
+	before := fmt.Sprintf("%v", objs)
+	scs, err := ForCatalog(objs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		sc.Object["kf-tamper"] = true
+	}
+	if after := fmt.Sprintf("%v", objs); after != before {
+		t.Error("scenario generation or tampering mutated the legit manifests")
+	}
+}

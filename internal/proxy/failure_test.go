@@ -144,10 +144,22 @@ func TestHugeBodyCapped(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	// The truncated body fails to parse as an object → policy rejection,
-	// not an out-of-memory buffer.
-	if resp.StatusCode != http.StatusForbidden {
-		t.Errorf("code = %d, want 403 (truncated body unparseable)", resp.StatusCode)
+	// Oversized bodies are denied outright (never truncated-then-parsed:
+	// a truncated parse could validate a prefix of the real object) and
+	// never buffered unboundedly.
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("code = %d, want 413 (oversized body denied)", resp.StatusCode)
+	}
+	found := false
+	for _, rec := range p.Violations() {
+		for _, v := range rec.Violations {
+			if strings.Contains(v.Reason, "inspection limit") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("oversized body left no audit-able denial record")
 	}
 }
 

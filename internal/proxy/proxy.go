@@ -192,7 +192,17 @@ func (p *Proxy) Metrics() Metrics {
 	}
 }
 
+// maxInspectBytes bounds the request body the proxy is willing to
+// buffer for inspection. Larger bodies are denied, not truncated: a
+// truncated parse could silently validate a prefix of the attacker's
+// actual object.
+const maxInspectBytes = 4 << 20
+
 // ServeHTTP implements http.Handler: inspect, validate, forward or deny.
+// Every failure on the inspection path fails closed with its own
+// audit-able outcome: unreadable bodies (mid-stream disconnects),
+// oversized bodies, unsupported content types, and undecodable bodies
+// each produce a denial record with a distinct reason and status code.
 func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	p.requests.Add(1)
 	user, groups := clientIdentity(r)
@@ -200,18 +210,36 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	var body []byte
 	if r.Body != nil {
 		var err error
-		body, err = io.ReadAll(io.LimitReader(r.Body, 4<<20))
+		body, err = io.ReadAll(io.LimitReader(r.Body, maxInspectBytes+1))
 		if err != nil {
-			http.Error(w, "reading request body: "+err.Error(), http.StatusBadRequest)
+			p.deny(w, r, user, nil, nil, http.StatusBadRequest, []validator.Violation{{
+				Reason: "request body could not be read: " + err.Error(),
+			}})
 			return
 		}
 		r.Body.Close()
 	}
+	// Oversized bodies are denied for every method, before the
+	// inspection branch: the read above is capped, so forwarding would
+	// silently hand upstream a truncated request.
+	if len(body) > maxInspectBytes {
+		p.deny(w, r, user, nil, nil, http.StatusRequestEntityTooLarge, []validator.Violation{{
+			Reason: fmt.Sprintf("request body exceeds the %d MiB inspection limit", maxInspectBytes>>20),
+		}})
+		return
+	}
 
 	if inspectable(r.Method) && len(body) > 0 {
 		p.inspected.Add(1)
+		contentType := r.Header.Get("Content-Type")
+		if !supportedContentType(contentType) {
+			p.deny(w, r, user, nil, nil, http.StatusUnsupportedMediaType, []validator.Violation{{
+				Reason: fmt.Sprintf("unsupported content type %q for an inspected request", contentType),
+			}})
+			return
+		}
 		start := time.Now()
-		obj, err := decodeObject(body, r.Header.Get("Content-Type"))
+		obj, err := decodeObject(body, contentType)
 		if err != nil {
 			p.valNanos.Add(int64(time.Since(start)))
 			p.reject(w, r, user, nil, nil, []validator.Violation{{
@@ -272,6 +300,15 @@ func inspectable(method string) bool {
 	return false
 }
 
+// supportedContentType reports whether the proxy can parse the body.
+// An empty content type defaults to JSON (kubectl and client-go always
+// set one; bare tooling often doesn't).
+func supportedContentType(contentType string) bool {
+	return contentType == "" ||
+		strings.Contains(contentType, "json") ||
+		strings.Contains(contentType, "yaml")
+}
+
 func decodeObject(body []byte, contentType string) (object.Object, error) {
 	if strings.Contains(contentType, "yaml") {
 		return object.ParseManifest(body)
@@ -296,9 +333,22 @@ func clientIdentity(r *http.Request) (string, []string) {
 	return "system:anonymous", nil
 }
 
+// reject denies a request that violates policy (HTTP 403).
 func (p *Proxy) reject(w http.ResponseWriter, r *http.Request, user string,
 	entry *registry.Entry, obj object.Object, violations []validator.Violation) {
-	p.denied.Add(1)
+	p.deny(w, r, user, entry, obj, http.StatusForbidden, violations)
+}
+
+// deny fails a request closed with the given status code, recording an
+// audit-able denial record either way. Only policy rejections (403)
+// count toward the denied metric: transport-level failures (unreadable,
+// oversized, or unparseable-typed bodies) would otherwise skew the
+// experiments' denial rates.
+func (p *Proxy) deny(w http.ResponseWriter, r *http.Request, user string,
+	entry *registry.Entry, obj object.Object, code int, violations []validator.Violation) {
+	if code == http.StatusForbidden {
+		p.denied.Add(1)
+	}
 	rec := ViolationRecord{
 		Time:       time.Now(),
 		User:       user,
@@ -325,16 +375,22 @@ func (p *Proxy) reject(w http.ResponseWriter, r *http.Request, user string,
 	for i, v := range violations {
 		msgs[i] = v.String()
 	}
+	// Policy violations and transport-level rejections carry distinct
+	// Status reasons so clients and audit sinks can tell them apart.
+	reason, message := "KubeFencePolicyViolation", "request blocked by KubeFence policy: "
+	if code != http.StatusForbidden {
+		reason, message = "KubeFenceRequestRejected", "request rejected by KubeFence enforcement point: "
+	}
 	body := map[string]any{
 		"kind":    "Status",
 		"status":  "Failure",
-		"reason":  "KubeFencePolicyViolation",
-		"message": "request blocked by KubeFence policy: " + strings.Join(msgs, "; "),
-		"code":    http.StatusForbidden,
+		"reason":  reason,
+		"message": message + strings.Join(msgs, "; "),
+		"code":    code,
 		"details": map[string]any{"violations": msgs},
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusForbidden)
+	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(body)
 }
 

@@ -1,0 +1,378 @@
+// Package replay drives adversarial robustness runs: it replays a trace
+// of interleaved benign chart requests and mutated attack scenarios
+// (internal/mutate) through a real KubeFence enforcement point over
+// HTTP, at configurable concurrency, and scores the outcome — false
+// negatives (an attack variant the proxy forwarded) and false positives
+// (a benign request the proxy denied) per workload and per mutation
+// class.
+//
+// The harness is deliberately end to end: requests travel through
+// net/http, the proxy's body decoding, the registry's per-request policy
+// resolution and decision cache, and the tree-overlap validator, so a
+// regression anywhere in the enforcement stack shows up as a scoring
+// mismatch rather than a green unit test.
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/mutate"
+	"repro/internal/object"
+)
+
+// Event is one replayed request.
+type Event struct {
+	// Workload attributes the event to a registered policy's workload.
+	Workload string `json:"workload"`
+	// Scenario is the mutation scenario ID, or "" for benign events.
+	Scenario string `json:"scenario,omitempty"`
+	// AttackID and Class describe attack events.
+	AttackID string `json:"attack_id,omitempty"`
+	Class    string `json:"class,omitempty"`
+	// Method, Path, ContentType, and Body form the wire request.
+	Method      string `json:"method"`
+	Path        string `json:"path"`
+	ContentType string `json:"content_type"`
+	Body        []byte `json:"-"`
+	// ExpectBlocked is the ground truth: true for attack scenarios,
+	// false for benign trace entries.
+	ExpectBlocked bool `json:"expect_blocked"`
+}
+
+// BenignEvent builds a trace entry for a legitimate rendered object.
+func BenignEvent(workload string, o object.Object, method string) (Event, error) {
+	path, err := restPath(o, method, o.Namespace())
+	if err != nil {
+		return Event{}, err
+	}
+	body, err := json.Marshal(o)
+	if err != nil {
+		return Event{}, fmt.Errorf("replay: encoding %s/%s: %w", o.Kind(), o.Name(), err)
+	}
+	return Event{
+		Workload:    workload,
+		Method:      method,
+		Path:        path,
+		ContentType: "application/json",
+		Body:        body,
+	}, nil
+}
+
+// AttackEvent builds the wire form of a mutation scenario. YAML-encoded
+// scenarios are round-trip-verified: if the codec altered the object the
+// malicious payload might silently vanish and a pass would be scored
+// that never tested anything.
+func AttackEvent(workload string, sc mutate.Scenario) (Event, error) {
+	o := sc.Object
+	ns := o.Namespace()
+	path, err := restPath(o, sc.Method, ns)
+	if err != nil {
+		return Event{}, fmt.Errorf("replay: scenario %s: %w", sc.ID, err)
+	}
+	if sc.OmitBodyNamespace {
+		o = o.DeepCopy()
+		if md, ok := o["metadata"].(map[string]any); ok {
+			delete(md, "namespace")
+		}
+	}
+	var body []byte
+	contentType := "application/json"
+	if sc.YAMLBody {
+		contentType = "application/yaml"
+		body, err = o.MarshalYAML()
+		if err != nil {
+			return Event{}, fmt.Errorf("replay: scenario %s: %w", sc.ID, err)
+		}
+		back, err := object.ParseManifest(body)
+		if err != nil {
+			return Event{}, fmt.Errorf("replay: scenario %s: YAML reparse: %w", sc.ID, err)
+		}
+		if !object.Equal(map[string]any(o), map[string]any(back)) {
+			return Event{}, fmt.Errorf("replay: scenario %s: YAML round trip altered the object", sc.ID)
+		}
+	} else {
+		body, err = json.Marshal(o)
+		if err != nil {
+			return Event{}, fmt.Errorf("replay: scenario %s: %w", sc.ID, err)
+		}
+	}
+	return Event{
+		Workload:      workload,
+		Scenario:      sc.ID,
+		AttackID:      sc.AttackID,
+		Class:         string(sc.Class),
+		Method:        sc.Method,
+		Path:          path,
+		ContentType:   contentType,
+		Body:          body,
+		ExpectBlocked: true,
+	}, nil
+}
+
+// restPath maps an object to its REST endpoint; write verbs other than
+// create address the named resource.
+func restPath(o object.Object, method, ns string) (string, error) {
+	ri, ok := object.LookupKind(o.Kind())
+	if !ok {
+		return "", fmt.Errorf("no REST mapping for kind %q", o.Kind())
+	}
+	p := ri.Path(ns)
+	if method == http.MethodPut || method == http.MethodPatch {
+		if o.Name() == "" {
+			return "", fmt.Errorf("%s of unnamed %s", method, o.Kind())
+		}
+		p += "/" + o.Name()
+	}
+	return p, nil
+}
+
+// Options configure a replay run.
+type Options struct {
+	// Concurrency is the number of replaying client goroutines
+	// (default 8).
+	Concurrency int
+	// Seed drives the deterministic trace interleaving (default 1).
+	Seed int64
+	// MaxMismatches bounds the retained mismatch details (default 32).
+	MaxMismatches int
+}
+
+// ClassStats scores one mutation class.
+type ClassStats struct {
+	Scenarios      int `json:"scenarios"`
+	Blocked        int `json:"blocked"`
+	FalseNegatives int `json:"false_negatives"`
+}
+
+// WorkloadStats scores one workload's slice of the trace.
+type WorkloadStats struct {
+	BenignEvents   int `json:"benign_events"`
+	AttackEvents   int `json:"attack_events"`
+	FalsePositives int `json:"false_positives"`
+	FalseNegatives int `json:"false_negatives"`
+}
+
+// Outcome records one scoring mismatch (or transport error) for triage.
+type Outcome struct {
+	Workload string `json:"workload"`
+	Scenario string `json:"scenario,omitempty"`
+	Class    string `json:"class,omitempty"`
+	Method   string `json:"method"`
+	Path     string `json:"path"`
+	Status   int    `json:"status"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// Result is the scored outcome of a replay run.
+type Result struct {
+	Events         int     `json:"events"`
+	BenignEvents   int     `json:"benign_events"`
+	AttackEvents   int     `json:"attack_events"`
+	Blocked        int     `json:"blocked"`
+	FalsePositives int     `json:"false_positives"`
+	FalseNegatives int     `json:"false_negatives"`
+	Errors         int     `json:"errors"`
+	Concurrency    int     `json:"concurrency"`
+	Seed           int64   `json:"seed"`
+	ElapsedNs      int64   `json:"elapsed_ns"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+
+	PerClass    map[string]*ClassStats    `json:"per_class"`
+	PerWorkload map[string]*WorkloadStats `json:"per_workload"`
+	Mismatches  []Outcome                 `json:"mismatches,omitempty"`
+}
+
+// Clean reports whether the run scored no false negatives, no false
+// positives, and no transport errors.
+func (r *Result) Clean() bool {
+	return r.FalseNegatives == 0 && r.FalsePositives == 0 && r.Errors == 0
+}
+
+// xorshift64 is a tiny deterministic RNG so trace interleavings are
+// reproducible from the seed without math/rand.
+type xorshift64 struct{ s uint64 }
+
+func newRNG(seed int64) *xorshift64 {
+	if seed == 0 {
+		seed = 1
+	}
+	return &xorshift64{s: uint64(seed)}
+}
+
+func (r *xorshift64) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *xorshift64) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Run replays the trace against the enforcement point at baseURL. The
+// events are shuffled with the seed (a deterministic interleaving of
+// benign and attack traffic across workloads) and split across
+// Concurrency client goroutines.
+func Run(baseURL string, events []Event, opts Options) (*Result, error) {
+	if len(events) == 0 {
+		return nil, fmt.Errorf("replay: empty trace")
+	}
+	if opts.Concurrency <= 0 {
+		opts.Concurrency = 8
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.MaxMismatches <= 0 {
+		opts.MaxMismatches = 32
+	}
+
+	trace := make([]Event, len(events))
+	copy(trace, events)
+	rng := newRNG(opts.Seed)
+	for i := len(trace) - 1; i > 0; i-- {
+		j := rng.intn(i + 1)
+		trace[i], trace[j] = trace[j], trace[i]
+	}
+
+	res := &Result{
+		Events:      len(trace),
+		Concurrency: opts.Concurrency,
+		Seed:        opts.Seed,
+		PerClass:    map[string]*ClassStats{},
+		PerWorkload: map[string]*WorkloadStats{},
+	}
+	for i := range trace {
+		ev := &trace[i]
+		w := res.PerWorkload[ev.Workload]
+		if w == nil {
+			w = &WorkloadStats{}
+			res.PerWorkload[ev.Workload] = w
+		}
+		if ev.ExpectBlocked {
+			res.AttackEvents++
+			w.AttackEvents++
+			c := res.PerClass[ev.Class]
+			if c == nil {
+				c = &ClassStats{}
+				res.PerClass[ev.Class] = c
+			}
+			c.Scenarios++
+		} else {
+			res.BenignEvents++
+			w.BenignEvents++
+		}
+	}
+
+	transport := &http.Transport{MaxIdleConnsPerHost: opts.Concurrency}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport, Timeout: 30 * time.Second}
+
+	var (
+		mu   sync.Mutex
+		next int
+		wg   sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(trace) {
+					mu.Unlock()
+					return
+				}
+				ev := trace[next]
+				next++
+				mu.Unlock()
+
+				status, detail, err := send(client, baseURL, ev)
+				mu.Lock()
+				score(res, ev, status, detail, err, opts.MaxMismatches)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res.ElapsedNs = elapsed.Nanoseconds()
+	if elapsed > 0 {
+		res.EventsPerSec = float64(res.Events) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// send performs one wire request and summarizes the response.
+func send(client *http.Client, baseURL string, ev Event) (int, string, error) {
+	req, err := http.NewRequest(ev.Method, baseURL+ev.Path, bytes.NewReader(ev.Body))
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("Content-Type", ev.ContentType)
+	req.Header.Set("X-Remote-User", "operator:"+ev.Workload)
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return resp.StatusCode, string(body), nil
+}
+
+// score folds one response into the result. Callers hold the mutex.
+func score(res *Result, ev Event, status int, detail string, err error, maxMismatches int) {
+	record := func(status int, detail string) {
+		if len(res.Mismatches) >= maxMismatches {
+			return
+		}
+		res.Mismatches = append(res.Mismatches, Outcome{
+			Workload: ev.Workload,
+			Scenario: ev.Scenario,
+			Class:    ev.Class,
+			Method:   ev.Method,
+			Path:     ev.Path,
+			Status:   status,
+			Detail:   detail,
+		})
+	}
+	if err != nil {
+		res.Errors++
+		record(0, err.Error())
+		return
+	}
+	blocked := status == http.StatusForbidden
+	allowed := status >= 200 && status < 300
+	if !blocked && !allowed {
+		res.Errors++
+		record(status, detail)
+		return
+	}
+	if blocked {
+		res.Blocked++
+	}
+	w := res.PerWorkload[ev.Workload]
+	if ev.ExpectBlocked {
+		c := res.PerClass[ev.Class]
+		if blocked {
+			c.Blocked++
+			return
+		}
+		c.FalseNegatives++
+		res.FalseNegatives++
+		w.FalseNegatives++
+		record(status, "attack variant forwarded upstream")
+		return
+	}
+	if blocked {
+		res.FalsePositives++
+		w.FalsePositives++
+		record(status, detail)
+	}
+}

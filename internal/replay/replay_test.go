@@ -1,0 +1,250 @@
+package replay
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/charts"
+	"repro/internal/core"
+	"repro/internal/mutate"
+	"repro/internal/object"
+	"repro/internal/proxy"
+	"repro/internal/registry"
+	"repro/internal/validator"
+)
+
+// nullTransport completes upstream round trips in memory so the harness
+// exercises the enforcement path only.
+type nullTransport struct{}
+
+func (nullTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Header:     http.Header{"Content-Type": []string{"application/json"}},
+		Body:       io.NopCloser(strings.NewReader(`{"kind":"Status","status":"Success"}`)),
+	}, nil
+}
+
+// fixture builds an enforcement point for one chart plus its benign
+// objects and a reduced mutation trace.
+func fixture(t *testing.T, name string, pol *validator.Validator) (*httptest.Server, []Event) {
+	t.Helper()
+	reg := registry.New(registry.Config{CacheSize: 256})
+	if _, err := reg.Register(name, registry.Selector{
+		Namespace:    name,
+		ClusterKinds: registry.ClusterScopedKinds(pol.AllowedKinds()),
+	}, pol); err != nil {
+		t.Fatal(err)
+	}
+	p, err := proxy.New(proxy.Config{
+		Upstream:  "http://upstream.invalid",
+		Transport: nullTransport{},
+		Registry:  reg,
+		ProxyUser: "kubefence-proxy",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(p)
+	t.Cleanup(ts.Close)
+
+	files, err := charts.MustLoad(name).Render(nil, chart.ReleaseOptions{Name: "rel", Namespace: name})
+	if err != nil {
+		t.Fatal(err)
+	}
+	objs := chart.Objects(files)
+	var events []Event
+	for _, o := range objs {
+		for _, method := range []string{http.MethodPost, http.MethodPut} {
+			ev, err := BenignEvent(name, o, method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, ev)
+		}
+	}
+	scs, err := mutate.ForCatalog(objs, mutate.Options{MaxPerAttackClass: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		ev, err := AttackEvent(name, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	return ts, events
+}
+
+func nginxPolicy(t *testing.T) *validator.Validator {
+	t.Helper()
+	res, err := core.GeneratePolicy(charts.MustLoad("nginx"), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Validator
+}
+
+// TestReplayEndToEndClean replays interleaved benign and mutated traffic
+// through the real proxy+registry stack at concurrency 8: the generated
+// policy must block every attack variant and pass every benign request.
+// Run under -race this is also the harness's concurrency regression net.
+func TestReplayEndToEndClean(t *testing.T) {
+	ts, events := fixture(t, "nginx", nginxPolicy(t))
+	res, err := Run(ts.URL, events, Options{Concurrency: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Errorf("run not clean: FN=%d FP=%d errors=%d mismatches=%v",
+			res.FalseNegatives, res.FalsePositives, res.Errors, res.Mismatches)
+	}
+	if res.Events != len(events) {
+		t.Errorf("scored %d events, sent %d", res.Events, len(events))
+	}
+	if res.AttackEvents == 0 || res.BenignEvents == 0 {
+		t.Errorf("trace not interleaved: %d attacks, %d benign", res.AttackEvents, res.BenignEvents)
+	}
+	if res.Blocked != res.AttackEvents {
+		t.Errorf("blocked %d of %d attack events", res.Blocked, res.AttackEvents)
+	}
+	for cl, cs := range res.PerClass {
+		if cs.Scenarios == 0 {
+			t.Errorf("class %s scored no scenarios", cl)
+		}
+		if cs.Blocked != cs.Scenarios {
+			t.Errorf("class %s: blocked %d/%d", cl, cs.Blocked, cs.Scenarios)
+		}
+	}
+	ws := res.PerWorkload["nginx"]
+	if ws == nil || ws.BenignEvents+ws.AttackEvents != res.Events {
+		t.Errorf("per-workload accounting inconsistent: %+v", ws)
+	}
+}
+
+// TestReplayDetectsFalseNegatives replays the same trace against a
+// deliberately permissive policy (every observed kind generalized to a
+// free-form subtree): the harness must surface the forwarded attacks as
+// false negatives rather than report a clean run.
+func TestReplayDetectsFalseNegatives(t *testing.T) {
+	strong := nginxPolicy(t)
+	weak := &validator.Validator{
+		Workload: "nginx",
+		Kinds:    map[string]*validator.Node{},
+		Mode:     validator.LockIfPresent,
+	}
+	for kind := range strong.Kinds {
+		weak.Kinds[kind] = &validator.Node{Kind: validator.KindAny}
+	}
+	ts, events := fixture(t, "nginx", weak)
+	res, err := Run(ts.URL, events, Options{Concurrency: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FalseNegatives == 0 {
+		t.Error("permissive policy scored zero false negatives")
+	}
+	if res.Clean() {
+		t.Error("permissive run reported clean")
+	}
+	if len(res.Mismatches) == 0 {
+		t.Error("no mismatch details retained")
+	}
+	if res.FalsePositives != 0 {
+		t.Errorf("benign traffic denied by permissive policy: %d", res.FalsePositives)
+	}
+}
+
+// TestReplayDetectsFalsePositives replays against a deny-everything
+// endpoint: every benign event must be scored as a false positive.
+func TestReplayDetectsFalsePositives(t *testing.T) {
+	deny := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusForbidden)
+	}))
+	defer deny.Close()
+	ev, err := BenignEvent("nginx", object.Object{
+		"apiVersion": "v1", "kind": "Service",
+		"metadata": map[string]any{"name": "svc", "namespace": "nginx"},
+	}, http.MethodPost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(deny.URL, []Event{ev, ev, ev}, Options{Concurrency: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FalsePositives != 3 {
+		t.Errorf("false positives = %d, want 3", res.FalsePositives)
+	}
+}
+
+// TestReplayCountsTransportErrors: non-2xx, non-403 responses are
+// harness errors, not silent scoring noise.
+func TestReplayCountsTransportErrors(t *testing.T) {
+	boom := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer boom.Close()
+	ev, err := BenignEvent("w", object.Object{
+		"apiVersion": "v1", "kind": "Service",
+		"metadata": map[string]any{"name": "svc", "namespace": "w"},
+	}, http.MethodPost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(boom.URL, []Event{ev}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 1 || res.Clean() {
+		t.Errorf("errors = %d, clean = %v; want 1, false", res.Errors, res.Clean())
+	}
+}
+
+// TestEventBuilders covers the REST routing rules.
+func TestEventBuilders(t *testing.T) {
+	dep := object.Object{
+		"apiVersion": "apps/v1", "kind": "Deployment",
+		"metadata": map[string]any{"name": "web", "namespace": "ns1"},
+	}
+	ev, err := BenignEvent("w", dep, http.MethodPost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Path != "/apis/apps/v1/namespaces/ns1/deployments" {
+		t.Errorf("POST path = %s", ev.Path)
+	}
+	ev, err = BenignEvent("w", dep, http.MethodPut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Path != "/apis/apps/v1/namespaces/ns1/deployments/web" {
+		t.Errorf("PUT path = %s", ev.Path)
+	}
+	if _, err := BenignEvent("w", object.Object{"kind": "NoSuch"}, http.MethodPost); err == nil {
+		t.Error("unknown kind should error")
+	}
+
+	sc := mutate.Scenario{
+		ID: "X/verb-routing/01", AttackID: "X", Class: mutate.VerbRouting,
+		Object: dep.DeepCopy(), Method: http.MethodPost, OmitBodyNamespace: true,
+	}
+	aev, err := AttackEvent("w", sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(aev.Path, "/namespaces/ns1/") {
+		t.Errorf("URL lost the namespace: %s", aev.Path)
+	}
+	if strings.Contains(string(aev.Body), `"namespace"`) {
+		t.Error("body namespace not stripped")
+	}
+	if sc.Object.Namespace() != "ns1" {
+		t.Error("AttackEvent mutated the scenario object")
+	}
+}

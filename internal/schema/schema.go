@@ -141,6 +141,11 @@ func DefaultLocks() []Lock {
 		{PathSuffix: "hostNetwork", Value: false},
 		{PathSuffix: "hostPID", Value: false},
 		{PathSuffix: "hostIPC", Value: false},
+		// runAsUser is pinned to the chart's declared UID rather than
+		// generalized to an int placeholder: the mutation study showed
+		// that a type-generalized runAsUser admits 0 (root), bypassing
+		// the runAsNonRoot lock with a numeric UID.
+		{PathSuffix: "runAsUser", LockToDefault: true},
 		{PathSuffix: "image.registry", LockToDefault: true},
 		{PathSuffix: "image.repository", LockToDefault: true},
 	}

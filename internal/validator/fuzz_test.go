@@ -1,0 +1,108 @@
+package validator_test
+
+// Native Go fuzz target for request validation: the tree-overlap
+// comparison, the flat (names-only, Fig. 10 baseline) matcher, and the
+// multi-workload union all process attacker-controlled decoded bodies,
+// so none of them may panic or behave nondeterministically on any
+// input. Seeds are the rendered chart manifests and crafted Table II
+// attack payloads, mutated by the fuzzer.
+//
+// Run continuously with:
+//
+//	go test -fuzz=FuzzValidate -fuzztime=10s ./internal/validator
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/attacks"
+	"repro/internal/chart"
+	"repro/internal/charts"
+	"repro/internal/core"
+	"repro/internal/object"
+	"repro/internal/validator"
+)
+
+// fuzzFixtures builds the policies and seed corpus once per process.
+func fuzzFixtures(f *testing.F) (*validator.Validator, *validator.Validator, *validator.FlatValidator) {
+	f.Helper()
+	res, err := core.GeneratePolicy(charts.MustLoad("nginx"), core.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	other, err := core.GeneratePolicy(charts.MustLoad("mlflow"), core.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	union, err := validator.Union("cluster", res.Validator, other.Validator)
+	if err != nil {
+		f.Fatal(err)
+	}
+	files, err := charts.MustLoad("nginx").Render(nil, chart.ReleaseOptions{Name: "rel", Namespace: "ns"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	objs := chart.Objects(files)
+	flat, err := validator.BuildFlat(objs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, o := range objs {
+		data, err := json.Marshal(o)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, a := range attacks.Catalog() {
+		target, ok := a.SelectTarget(objs)
+		if !ok {
+			continue
+		}
+		evil, err := a.Craft(target)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := json.Marshal(evil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"kind":"Deployment","spec":{"template":{"spec":{"hostNetwork":true}}}}`))
+	f.Add([]byte(`{"kind":null,"metadata":[],"spec":0}`))
+	f.Add([]byte(`{}`))
+	return res.Validator, union, flat
+}
+
+func FuzzValidate(f *testing.F) {
+	pol, union, flat := fuzzFixtures(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			return
+		}
+		o := object.Object(m)
+		// No panics on arbitrary decoded bodies, and validation must be
+		// deterministic: the registry's decision cache replays outcomes,
+		// so a flaky verdict would be a cache-consistency bug.
+		v1 := pol.Validate(o.DeepCopy())
+		v2 := pol.Validate(o.DeepCopy())
+		if len(v1) != len(v2) {
+			t.Fatalf("nondeterministic verdict: %d vs %d violations", len(v1), len(v2))
+		}
+		u := union.Validate(o.DeepCopy())
+		// Union soundness: anything the member policy allows, the union
+		// allows (the converse need not hold).
+		if len(v1) == 0 && len(u) != 0 {
+			t.Fatalf("union denies an object its member allows: %v", u)
+		}
+		// The flat (Fig. 10 baseline) matcher has deliberately different
+		// semantics — KindAny subtrees admit names it never saw — so only
+		// panic-freedom and determinism are invariant for it.
+		f1 := flat.Validate(o.DeepCopy())
+		f2 := flat.Validate(o.DeepCopy())
+		if len(f1) != len(f2) {
+			t.Fatalf("nondeterministic flat verdict: %d vs %d violations", len(f1), len(f2))
+		}
+	})
+}

@@ -63,7 +63,13 @@ func mergeNodes(a, b *Node) *Node {
 	}
 	switch a.Kind {
 	case KindMap:
-		merged := &Node{Kind: KindMap, Fields: map[string]*Node{}}
+		// Required merges with AND when both sides define the node: a
+		// requirement only one member imposes would make the union
+		// stricter than that other member, breaking the one-direction
+		// soundness contract above. (Nodes only one side knows keep
+		// their requirement via cloneNode.)
+		merged := &Node{Kind: KindMap, Fields: map[string]*Node{},
+			Required: a.Required && b.Required}
 		for k, v := range a.Fields {
 			merged.Fields[k] = v
 		}
@@ -72,13 +78,14 @@ func mergeNodes(a, b *Node) *Node {
 		}
 		return merged
 	case KindList:
-		return &Node{Kind: KindList, Item: mergeNodes(a.Item, b.Item)}
+		return &Node{Kind: KindList, Item: mergeNodes(a.Item, b.Item),
+			Required: a.Required && b.Required}
 	default: // KindScalar
 		merged := &Node{
 			Kind:     KindScalar,
 			Type:     mergeType(a.Type, b.Type),
 			Locked:   a.Locked || b.Locked,
-			Required: a.Required || b.Required,
+			Required: a.Required && b.Required,
 		}
 		for _, p := range a.Patterns {
 			merged.addPattern(p)

@@ -226,23 +226,34 @@ func Build(objs []object.Object, opts BuildOptions) (*Validator, error) {
 }
 
 // markRequired sets Required on existing nodes whose path matches one of
-// the required suffixes.
-func markRequired(n *Node, path string, required []string) {
+// the required suffixes, and propagates the requirement up the ancestor
+// chain: if limits must be present wherever the chart renders it, a
+// request must not satisfy the policy by deleting the enclosing
+// resources (or containers) field altogether — the adversarial mutation
+// study showed that variant of E5 slipping through otherwise. It reports
+// whether the node's subtree contains a required node.
+func markRequired(n *Node, path string, required []string) bool {
+	found := false
 	for _, suffix := range required {
 		if suffixMatch(path, suffix) {
 			n.Required = true
+			found = true
 		}
 	}
 	switch n.Kind {
 	case KindMap:
 		for k, c := range n.Fields {
-			markRequired(c, joinPath(path, k), required)
+			if markRequired(c, joinPath(path, k), required) {
+				c.Required = true
+				found = true
+			}
 		}
 	case KindList:
-		if n.Item != nil {
-			markRequired(n.Item, path, required)
+		if n.Item != nil && markRequired(n.Item, path, required) {
+			found = true
 		}
 	}
+	return found
 }
 
 type builder struct {
@@ -522,9 +533,25 @@ func (v *Validator) validateNode(n *Node, val any, path string, out *[]Violation
 			if child.Locked && v.Mode != LockRequired {
 				continue
 			}
-			if _, present := m[k]; !present {
+			val, present := m[k]
+			if !present {
 				*out = append(*out, Violation{Path: joinPath(path, k),
 					Reason: "security-critical field must be present"})
+				continue
+			}
+			// An empty stand-in ({} or []) defeats the requirement the
+			// same way absence would: a required subtree must keep content.
+			switch child.Kind {
+			case KindMap:
+				if mm, ok := val.(map[string]any); ok && len(mm) == 0 {
+					*out = append(*out, Violation{Path: joinPath(path, k),
+						Reason: "security-critical field must not be empty"})
+				}
+			case KindList:
+				if ll, ok := val.([]any); ok && len(ll) == 0 {
+					*out = append(*out, Violation{Path: joinPath(path, k),
+						Reason: "security-critical field must not be empty"})
+				}
 			}
 		}
 	case KindList:

@@ -188,7 +188,7 @@ func formatFloat(f float64) string {
 // encodeKey quotes mapping keys only when required.
 func encodeKey(k string) string {
 	if k == "" || needsQuoting(k) {
-		return strconv.Quote(k)
+		return quoteScalar(k)
 	}
 	return k
 }
@@ -199,9 +199,40 @@ func encodeString(s string) string {
 		return `""`
 	}
 	if needsQuoting(s) {
-		return strconv.Quote(s)
+		return quoteScalar(s)
 	}
 	return s
+}
+
+// quoteScalar double-quotes a string using only the escape sequences the
+// decoder's unquoteScalar accepts (\\ \" \n \r \t \uXXXX). strconv.Quote
+// is unsuitable here: it emits Go-only escapes like \x7f and \a that
+// would fail to re-decode (found by FuzzDecode). Bytes outside the
+// escaped set — including non-UTF-8 — pass through verbatim in both
+// directions, so quoting is byte-exact on round trip.
+func quoteScalar(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"':
+			b.WriteString(`\"`)
+		case c == '\\':
+			b.WriteString(`\\`)
+		case c == '\n':
+			b.WriteString(`\n`)
+		case c == '\r':
+			b.WriteString(`\r`)
+		case c == '\t':
+			b.WriteString(`\t`)
+		case c < 0x20 || c == 0x7f:
+			fmt.Fprintf(&b, `\u%04x`, c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }
 
 // needsQuoting reports whether a plain rendering of s would change meaning.
@@ -224,6 +255,13 @@ func needsQuoting(s string) bool {
 	}
 	if strings.ContainsAny(s, "\n\t\"'") {
 		return true
+	}
+	// Control bytes (including DEL) would corrupt plain-scalar line
+	// structure; force them into quoted form.
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x20 || s[i] == 0x7f {
+			return true
+		}
 	}
 	if s[0] == ' ' || s[len(s)-1] == ' ' {
 		return true

@@ -27,6 +27,8 @@ import (
 	"repro/internal/chart"
 	"repro/internal/charts"
 	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/mutate"
 	"repro/internal/object"
 	"repro/internal/proxy"
 	"repro/internal/registry"
@@ -293,6 +295,45 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 		pc.Validator = cfg.Policy.validator
 	}
 	return proxy.New(pc)
+}
+
+// MutationClasses lists the adversarial mutation classes the robustness
+// harness derives from the Table II attack catalog (kind permutation,
+// value obfuscation, sibling smuggling, verb routing, camouflage).
+func MutationClasses() []string {
+	classes := mutate.AllClasses()
+	out := make([]string, len(classes))
+	for i, cl := range classes {
+		out[i] = string(cl)
+	}
+	return out
+}
+
+// RobustnessOptions configure an adversarial robustness run: which
+// builtin charts to attack, the replay concurrency and interleaving
+// seed, the per-(attack, class) variant cap (0 = full matrix), and the
+// registry decision-cache size.
+type RobustnessOptions = experiments.RobustnessOptions
+
+// RobustnessReport is the scored outcome of a robustness run: generated
+// scenario counts, false negatives and false positives per workload and
+// per mutation class, and retained mismatch details.
+type RobustnessReport = experiments.RobustnessResult
+
+// RunRobustness derives adversarial variants of the Table II attack
+// catalog for each workload (field-path permutations, value obfuscation,
+// sibling-field smuggling, verb routing, benign camouflage) and replays
+// them, interleaved with the workloads' legitimate traces, through a
+// real proxy+registry enforcement point over HTTP. A clean report
+// (no false negatives, no false positives) is the robustness benchmark
+// committed as BENCH_robustness.json.
+func RunRobustness(opts RobustnessOptions) (*RobustnessReport, error) {
+	return experiments.Robustness(opts)
+}
+
+// RenderRobustnessReport renders a report for humans.
+func RenderRobustnessReport(r *RobustnessReport) string {
+	return experiments.RenderRobustness(r)
 }
 
 // RenderChart renders a chart with user value overrides into manifests,

@@ -1,0 +1,34 @@
+package kubefence
+
+import (
+	"testing"
+)
+
+// TestRunRobustnessFacade drives a reduced adversarial robustness run
+// through the public facade: the generated policies must block every
+// mutation variant while passing the benign replayed traces.
+func TestRunRobustnessFacade(t *testing.T) {
+	report, err := RunRobustness(RobustnessOptions{
+		Charts:            []string{"nginx"},
+		Concurrency:       4,
+		Seed:              3,
+		MaxPerAttackClass: 1,
+		CacheSize:         256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Clean() {
+		t.Errorf("robustness run not clean: FN=%d FP=%d errors=%d mismatches=%v",
+			report.FalseNegatives, report.FalsePositives, report.Errors, report.Mismatches)
+	}
+	if report.AttackEvents == 0 {
+		t.Error("no attack scenarios generated")
+	}
+	if out := RenderRobustnessReport(report); out == "" {
+		t.Error("empty rendered report")
+	}
+	if classes := MutationClasses(); len(classes) != 5 {
+		t.Errorf("MutationClasses() = %v, want 5 classes", classes)
+	}
+}

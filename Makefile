@@ -4,12 +4,35 @@
 #   make test            # fast test run (no race detector)
 #   make bench           # multi-workload enforcement benchmarks
 #   make json            # machine-readable throughput results -> BENCH_throughput.json
-#   make fuzz-smoke      # 10s per native fuzz target (FuzzDecode, FuzzValidate)
+#   make latency-json    # engine latency baseline -> BENCH_latency.json
+#   make fuzz-smoke      # 10s per native fuzz target
 #   make robustness-json # adversarial robustness baseline -> BENCH_robustness.json
+#   make bench-gate      # fresh bench run vs committed BENCH_*.json baselines
+#   make coverage-gate   # coverage profile; fails below COVERAGE_BASELINE
+#   make staticcheck     # pinned staticcheck ./... via go run
 
 GO ?= go
 
-.PHONY: all ci fmt-check vet build test race bench json fuzz-smoke robustness-json
+# bench-gate tuning. TOLERANCE is the allowed relative regression
+# against the committed baselines; it is only meaningful on the machine
+# the baselines were recorded on, so CI (foreign hardware) sets
+# GATE_FLAGS=-advise-relative to report those comparisons without
+# failing on them. MIN_SPEEDUP is machine-independent and always gates:
+# the compiled engine must beat the interpreted engine by at least this
+# factor on the cold path wherever the gate runs.
+TOLERANCE   ?= 0.15
+MIN_SPEEDUP ?= 2.0
+GATE_FLAGS  ?=
+GATE_REQUESTS   ?= 2000
+GATE_ITERATIONS ?= 5000
+
+# Tier-1 total statement coverage at the time the gate was introduced
+# (PR 3) minus a small buffer for refactoring churn; raise it as
+# coverage grows, never lower it to make a PR pass.
+COVERAGE_BASELINE ?= 80.0
+
+.PHONY: all ci fmt-check vet build test race bench json latency-json \
+	fuzz-smoke robustness-json bench-gate coverage-gate staticcheck
 
 all: ci
 
@@ -38,14 +61,55 @@ bench:
 
 json:
 	$(GO) run ./cmd/kfbench -experiment throughput -counts 1,5,10 \
-		-requests 2000 -concurrency 8 -cache 4096 -json > BENCH_throughput.json
+		-requests 2000 -concurrency 8 -cache 4096 -repeats 3 -json > BENCH_throughput.json
 	@echo wrote BENCH_throughput.json
+
+latency-json:
+	$(GO) run ./cmd/kfbench -experiment latency -counts 1,5,10 \
+		-iterations 5000 -cache 4096 -repeats 3 -json > BENCH_latency.json
+	@echo wrote BENCH_latency.json
 
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=10s -run '^$$' ./internal/yaml
 	$(GO) test -fuzz=FuzzValidate -fuzztime=10s -run '^$$' ./internal/validator
+	$(GO) test -fuzz=FuzzCompiledEquivalence -fuzztime=10s -run '^$$' ./internal/compile
 
 robustness-json:
 	$(GO) run ./cmd/kfbench -experiment robustness -concurrency 8 \
 		-cache 4096 -seed 1 -json > BENCH_robustness.json
 	@echo wrote BENCH_robustness.json
+
+# bench-gate measures fresh throughput and latency numbers and compares
+# them against the committed BENCH_*.json baselines; any regression
+# beyond TOLERANCE (or a compiled cold-path speedup below MIN_SPEEDUP,
+# or an allocs/op regression) fails the target — this is the CI
+# benchmark regression gate. Fresh results land in a per-run temp dir
+# so concurrent runs on one machine cannot clobber each other.
+bench-gate:
+	@set -e; tmpdir=$$(mktemp -d); trap 'rm -rf "$$tmpdir"' EXIT; \
+	echo "fresh results in $$tmpdir"; \
+	$(GO) run ./cmd/kfbench -experiment throughput -counts 1,5,10 \
+		-requests $(GATE_REQUESTS) -concurrency 8 -cache 4096 -repeats 3 \
+		-json > "$$tmpdir/throughput-fresh.json"; \
+	$(GO) run ./cmd/benchgate -kind throughput -tolerance $(TOLERANCE) $(GATE_FLAGS) \
+		-baseline BENCH_throughput.json -fresh "$$tmpdir/throughput-fresh.json"; \
+	$(GO) run ./cmd/kfbench -experiment latency -counts 1,5,10 \
+		-iterations $(GATE_ITERATIONS) -cache 4096 -repeats 3 \
+		-json > "$$tmpdir/latency-fresh.json"; \
+	$(GO) run ./cmd/benchgate -kind latency -tolerance $(TOLERANCE) $(GATE_FLAGS) \
+		-min-speedup $(MIN_SPEEDUP) \
+		-baseline BENCH_latency.json -fresh "$$tmpdir/latency-fresh.json"
+
+coverage-gate:
+	$(GO) test ./... -coverprofile=coverage.out
+	@total=$$($(GO) tool cover -func=coverage.out | tail -1 | awk '{print $$3}' | tr -d '%'); \
+	echo "total statement coverage: $$total% (baseline $(COVERAGE_BASELINE)%)"; \
+	awk -v t="$$total" -v b="$(COVERAGE_BASELINE)" 'BEGIN { exit !(t+0 >= b+0) }' || \
+		{ echo "coverage $$total% fell below the $(COVERAGE_BASELINE)% baseline"; exit 1; }
+
+# go run pins the version and needs no PATH setup; a pre-installed
+# (possibly older) staticcheck on PATH is deliberately ignored so local
+# results match CI.
+STATICCHECK_VERSION ?= 2024.1.1
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...

@@ -1,0 +1,217 @@
+// Command benchgate is the CI benchmark regression gate: it compares a
+// freshly measured benchmark JSON against the committed BENCH_*.json
+// baseline and exits non-zero when performance regressed beyond a
+// configurable tolerance, so a PR that slows the enforcement hot path
+// fails its build instead of landing silently.
+//
+//	benchgate -kind throughput -baseline BENCH_throughput.json -fresh fresh.json
+//	benchgate -kind latency    -baseline BENCH_latency.json    -fresh fresh.json
+//
+// Two classes of check run:
+//
+//   - Relative-to-baseline: fresh ops/sec must not drop more than
+//     -tolerance (default 15%) below the baseline; fresh ns/op and
+//     allocs/op must not rise more than -tolerance above it. Absolute
+//     numbers are only meaningful when the gate runs on the machine
+//     the baselines were recorded on; on foreign hardware (shared CI
+//     runners) pass -advise-relative to print these comparisons as
+//     ADVISORY instead of failing the build on them.
+//   - Machine-independent invariants: the compiled engine's cold-path
+//     speedup over the interpreted engine ships as part of
+//     BENCH_latency.json and must stay at or above -min-speedup
+//     (default 2.0) wherever the gate runs; a ratio of two measurements
+//     taken on the same machine does not care how fast that machine
+//     is. Allocation counts are deterministic for a given code path,
+//     so allocs/op comparisons are machine-independent too. These
+//     checks (and a shrunken result matrix) always gate.
+//
+// Every comparison is printed; failures are marked FAIL and summarized.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("benchgate", flag.ExitOnError)
+	kind := fs.String("kind", "", "baseline kind: throughput | latency")
+	baselinePath := fs.String("baseline", "", "committed BENCH_*.json baseline")
+	freshPath := fs.String("fresh", "", "freshly measured JSON to gate")
+	tolerance := fs.Float64("tolerance", 0.15, "allowed relative regression (0.15 = 15%)")
+	minSpeedup := fs.Float64("min-speedup", 2.0, "latency: required compiled-vs-interpreted cold speedup")
+	adviseRelative := fs.Bool("advise-relative", false,
+		"report relative-to-baseline regressions without failing (for runs on hardware other than the baseline machine); machine-independent checks still gate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *baselinePath == "" || *freshPath == "" {
+		return fmt.Errorf("-baseline and -fresh are required")
+	}
+	if *tolerance < 0 {
+		return fmt.Errorf("-tolerance must be >= 0")
+	}
+	var failures, advisories []string
+	var err error
+	switch *kind {
+	case "throughput":
+		failures, advisories, err = gateThroughput(*baselinePath, *freshPath, *tolerance, *adviseRelative, out)
+	case "latency":
+		failures, advisories, err = gateLatency(*baselinePath, *freshPath, *tolerance, *minSpeedup, *adviseRelative, out)
+	default:
+		return fmt.Errorf("-kind: %q is not throughput or latency", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	if len(advisories) > 0 {
+		fmt.Fprintf(out, "\n%d advisory regression(s) (not gating on this hardware):\n", len(advisories))
+		for _, a := range advisories {
+			fmt.Fprintln(out, "  ADVISE", a)
+		}
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(out, "\n%d regression(s):\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintln(out, "  FAIL", f)
+		}
+		return fmt.Errorf("benchmark regression beyond %.0f%% tolerance", *tolerance*100)
+	}
+	fmt.Fprintln(out, "\nbench gate passed")
+	return nil
+}
+
+func loadJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// gateThroughput requires fresh ops/sec per workload count to stay
+// within tolerance of the committed baseline.
+func gateThroughput(baselinePath, freshPath string, tol float64, advise bool, out *os.File) (failures, advisories []string, err error) {
+	var baseline, fresh []experiments.ThroughputResult
+	if err := loadJSON(baselinePath, &baseline); err != nil {
+		return nil, nil, err
+	}
+	if err := loadJSON(freshPath, &fresh); err != nil {
+		return nil, nil, err
+	}
+	byCount := map[int]experiments.ThroughputResult{}
+	for _, r := range fresh {
+		byCount[r.Workloads] = r
+	}
+	relative := func(msg string) string {
+		if advise {
+			advisories = append(advisories, msg)
+			return "ADVISE"
+		}
+		failures = append(failures, msg)
+		return "FAIL"
+	}
+	fmt.Fprintf(out, "%-10s %-14s %-14s %-10s %s\n",
+		"workloads", "base ops/sec", "fresh ops/sec", "delta", "verdict")
+	for _, base := range baseline {
+		fr, ok := byCount[base.Workloads]
+		if !ok {
+			failures = append(failures, fmt.Sprintf(
+				"workloads=%d missing from fresh results", base.Workloads))
+			continue
+		}
+		delta := fr.OpsPerSec/base.OpsPerSec - 1
+		verdict := "ok"
+		if fr.OpsPerSec < base.OpsPerSec*(1-tol) {
+			verdict = relative(fmt.Sprintf(
+				"workloads=%d ops/sec %.0f -> %.0f (%.1f%% drop, tolerance %.0f%%)",
+				base.Workloads, base.OpsPerSec, fr.OpsPerSec, -delta*100, tol*100))
+		}
+		fmt.Fprintf(out, "%-10d %-14.0f %-14.0f %-+9.1f%% %s\n",
+			base.Workloads, base.OpsPerSec, fr.OpsPerSec, delta*100, verdict)
+	}
+	return failures, advisories, nil
+}
+
+// gateLatency requires fresh ns/op and allocs/op per (workloads,
+// engine, mode) cell to stay within tolerance of the baseline, and the
+// machine-independent compiled cold-path speedup to hold its floor.
+func gateLatency(baselinePath, freshPath string, tol, minSpeedup float64, advise bool, out *os.File) (failures, advisories []string, err error) {
+	var baseline, fresh experiments.LatencyReport
+	if err := loadJSON(baselinePath, &baseline); err != nil {
+		return nil, nil, err
+	}
+	if err := loadJSON(freshPath, &fresh); err != nil {
+		return nil, nil, err
+	}
+	relative := func(msg string) string {
+		if advise {
+			advisories = append(advisories, msg)
+			return "ADVISE"
+		}
+		failures = append(failures, msg)
+		return "FAIL"
+	}
+	fmt.Fprintf(out, "%-10s %-12s %-6s %-12s %-12s %-10s %s\n",
+		"workloads", "engine", "mode", "base ns/op", "fresh ns/op", "delta", "verdict")
+	for _, base := range baseline.Results {
+		fr := fresh.Result(base.Workloads, base.Engine, base.Mode)
+		if fr == nil {
+			failures = append(failures, fmt.Sprintf(
+				"workloads=%d engine=%s mode=%s missing from fresh results",
+				base.Workloads, base.Engine, base.Mode))
+			continue
+		}
+		delta := fr.NsPerOp/base.NsPerOp - 1
+		verdict := "ok"
+		if fr.NsPerOp > base.NsPerOp*(1+tol) {
+			verdict = relative(fmt.Sprintf(
+				"workloads=%d engine=%s mode=%s ns/op %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+				base.Workloads, base.Engine, base.Mode,
+				base.NsPerOp, fr.NsPerOp, delta*100, tol*100))
+		}
+		// Allocation counts are machine-independent (a unit of slack
+		// absorbs GC-accounting jitter in the measurement itself), so
+		// unlike wall-clock comparisons they gate even under
+		// -advise-relative: a zero-alloc hot path must not regress
+		// silently on foreign hardware.
+		if fr.AllocsPerOp > base.AllocsPerOp*(1+tol)+1 {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"workloads=%d engine=%s mode=%s allocs/op %.1f -> %.1f (tolerance %.0f%%)",
+				base.Workloads, base.Engine, base.Mode,
+				base.AllocsPerOp, fr.AllocsPerOp, tol*100))
+		}
+		fmt.Fprintf(out, "%-10d %-12s %-6s %-12.0f %-12.0f %-+9.1f%% %s\n",
+			base.Workloads, base.Engine, base.Mode, base.NsPerOp, fr.NsPerOp, delta*100, verdict)
+	}
+	for _, sp := range fresh.Speedups {
+		verdict := "ok"
+		if sp.Cold < minSpeedup {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"workloads=%d compiled cold speedup %.2fx below the %.1fx floor",
+				sp.Workloads, sp.Cold, minSpeedup))
+		}
+		fmt.Fprintf(out, "workloads=%-3d compiled cold speedup %.2fx (floor %.1fx) %s\n",
+			sp.Workloads, sp.Cold, minSpeedup, verdict)
+	}
+	if len(fresh.Speedups) == 0 {
+		failures = append(failures, "fresh latency report carries no speedup summary")
+	}
+	return failures, advisories, nil
+}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func writeJSON(t *testing.T, dir, name string, v any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func throughput(workloads int, ops float64) experiments.ThroughputResult {
+	return experiments.ThroughputResult{Workloads: workloads, OpsPerSec: ops}
+}
+
+func latencyReport(coldInterp, coldCompiled float64) experiments.LatencyReport {
+	return experiments.LatencyReport{
+		Results: []experiments.LatencyResult{
+			{Workloads: 1, Engine: "interpreted", Mode: "cold", NsPerOp: coldInterp, AllocsPerOp: 50},
+			{Workloads: 1, Engine: "compiled", Mode: "cold", NsPerOp: coldCompiled},
+			{Workloads: 1, Engine: "interpreted", Mode: "hot", NsPerOp: 600},
+			{Workloads: 1, Engine: "compiled", Mode: "hot", NsPerOp: 600},
+		},
+		Speedups: []experiments.LatencySpeedup{
+			{Workloads: 1, Cold: coldInterp / coldCompiled, Hot: 1.0},
+		},
+	}
+}
+
+func TestThroughputGatePassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", []experiments.ThroughputResult{throughput(1, 10000), throughput(5, 8000)})
+	fresh := writeJSON(t, dir, "fresh.json", []experiments.ThroughputResult{throughput(1, 9200), throughput(5, 8500)})
+	err := run([]string{"-kind", "throughput", "-baseline", base, "-fresh", fresh, "-tolerance", "0.15"}, os.Stdout)
+	if err != nil {
+		t.Fatalf("within-tolerance run failed: %v", err)
+	}
+}
+
+func TestThroughputGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", []experiments.ThroughputResult{throughput(1, 10000)})
+	fresh := writeJSON(t, dir, "fresh.json", []experiments.ThroughputResult{throughput(1, 6000)})
+	err := run([]string{"-kind", "throughput", "-baseline", base, "-fresh", fresh}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("40%% throughput drop must fail the gate, got %v", err)
+	}
+}
+
+func TestThroughputGateFailsOnMissingWorkloadCount(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", []experiments.ThroughputResult{throughput(1, 10000), throughput(5, 8000)})
+	fresh := writeJSON(t, dir, "fresh.json", []experiments.ThroughputResult{throughput(1, 10000)})
+	if err := run([]string{"-kind", "throughput", "-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("shrunken fresh matrix must fail the gate")
+	}
+}
+
+func TestLatencyGatePassesAndEnforcesSpeedupFloor(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", latencyReport(10000, 1500))
+	fresh := writeJSON(t, dir, "fresh.json", latencyReport(10500, 1450))
+	if err := run([]string{"-kind", "latency", "-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+		t.Fatalf("healthy latency run failed: %v", err)
+	}
+	// Speedup collapsing below the floor fails even when absolute ns/op
+	// stays within tolerance of a (hypothetically slow) baseline.
+	slow := writeJSON(t, dir, "slowbase.json", latencyReport(10000, 6000))
+	slowFresh := writeJSON(t, dir, "slowfresh.json", latencyReport(10000, 6000))
+	err := run([]string{"-kind", "latency", "-baseline", slow, "-fresh", slowFresh}, os.Stdout)
+	if err == nil {
+		t.Fatal("1.7x cold speedup must fail the 2x floor")
+	}
+}
+
+func TestLatencyGateFailsOnNsRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", latencyReport(10000, 1500))
+	regressed := latencyReport(10000, 3000)
+	fresh := writeJSON(t, dir, "fresh.json", regressed)
+	err := run([]string{"-kind", "latency", "-baseline", base, "-fresh", fresh, "-tolerance", "0.15"}, os.Stdout)
+	if err == nil {
+		t.Fatal("2x compiled cold regression must fail the gate")
+	}
+}
+
+func TestAdviseRelativeDowngradesOnlyRelativeChecks(t *testing.T) {
+	dir := t.TempDir()
+	// A 40% throughput drop passes in advisory mode...
+	base := writeJSON(t, dir, "base.json", []experiments.ThroughputResult{throughput(1, 10000)})
+	fresh := writeJSON(t, dir, "fresh.json", []experiments.ThroughputResult{throughput(1, 6000)})
+	if err := run([]string{"-kind", "throughput", "-advise-relative",
+		"-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+		t.Fatalf("advisory mode must not gate relative regressions: %v", err)
+	}
+	// ...but a collapsed speedup floor still fails: it is machine-
+	// independent and gates everywhere.
+	lb := writeJSON(t, dir, "lb.json", latencyReport(10000, 6000))
+	lf := writeJSON(t, dir, "lf.json", latencyReport(10000, 6000))
+	if err := run([]string{"-kind", "latency", "-advise-relative",
+		"-baseline", lb, "-fresh", lf}, os.Stdout); err == nil {
+		t.Fatal("speedup floor must gate even in advisory mode")
+	}
+	// ...and so does a shrunken fresh matrix...
+	short := writeJSON(t, dir, "short.json", []experiments.ThroughputResult{})
+	if err := run([]string{"-kind", "throughput", "-advise-relative",
+		"-baseline", base, "-fresh", short}, os.Stdout); err == nil {
+		t.Fatal("missing workload counts must gate even in advisory mode")
+	}
+	// ...and an allocs/op regression, which is machine-independent.
+	lbAlloc := writeJSON(t, dir, "lb-alloc.json", latencyReport(10000, 1500))
+	regressed := latencyReport(10000, 1500)
+	for i := range regressed.Results {
+		regressed.Results[i].AllocsPerOp += 40
+	}
+	lfAlloc := writeJSON(t, dir, "lf-alloc.json", regressed)
+	if err := run([]string{"-kind", "latency", "-advise-relative",
+		"-baseline", lbAlloc, "-fresh", lfAlloc}, os.Stdout); err == nil {
+		t.Fatal("allocs/op regression must gate even in advisory mode")
+	}
+}
+
+func TestGateRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-kind", "latency"}, os.Stdout); err == nil {
+		t.Fatal("missing -baseline/-fresh must error")
+	}
+	if err := run([]string{"-kind", "nope", "-baseline", "a", "-fresh", "b"}, os.Stdout); err == nil {
+		t.Fatal("unknown -kind must error")
+	}
+}

@@ -25,6 +25,16 @@
 //	kfbench -experiment robustness -concurrency 8 -cache 4096 \
 //	        -seed 1 -json > BENCH_robustness.json
 //	kfbench -experiment robustness -charts nginx,mlflow -max-per-class 2
+//	kfbench -experiment robustness -engine interpreted   # differential run
+//
+// The latency experiment measures single-decision validation cost —
+// interpreted tree walk vs compiled rule program, cold (cache off) and
+// hot (per-workload decision shards on) — and is the source of the
+// committed BENCH_latency.json baseline the CI bench gate compares
+// against:
+//
+//	kfbench -experiment latency -counts 1,5,10 -iterations 5000 \
+//	        -cache 4096 -json > BENCH_latency.json
 package main
 
 import (
@@ -48,7 +58,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("kfbench", flag.ExitOnError)
-	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | throughput | robustness | all")
+	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | throughput | robustness | latency | all")
 	reps := fs.Int("reps", 10, "repetitions for table4 (paper: 10)")
 	counts := fs.String("counts", "1,5,10", "workload counts for throughput (comma-separated)")
 	requests := fs.Int("requests", 2000, "proxied requests per throughput measurement")
@@ -58,8 +68,14 @@ func run(args []string) error {
 	seed := fs.Int64("seed", 1, "trace-interleaving seed for robustness")
 	chartList := fs.String("charts", "", "charts for robustness (comma-separated, default all)")
 	maxPerClass := fs.Int("max-per-class", 0, "cap mutation variants per (attack, class) for robustness (0 = full matrix)")
+	iterations := fs.Int("iterations", 5000, "validations per latency measurement")
+	repeats := fs.Int("repeats", 1, "best-of-N repeats for throughput and latency measurements")
+	engine := fs.String("engine", "compiled", "validation engine for robustness: compiled | interpreted")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *engine != "compiled" && *engine != "interpreted" {
+		return fmt.Errorf("-engine: %q is not compiled or interpreted", *engine)
 	}
 	workloadCounts, err := parseCounts(*counts)
 	if err != nil {
@@ -121,6 +137,7 @@ func run(args []string) error {
 				Requests:       *requests,
 				Concurrency:    *concurrency,
 				CacheSize:      *cacheSize,
+				Repeats:        *repeats,
 			})
 			if err != nil {
 				return err
@@ -133,6 +150,24 @@ func run(args []string) error {
 			fmt.Println(experiments.RenderThroughput(results))
 			return nil
 		},
+		"latency": func() error {
+			report, err := experiments.Latency(experiments.LatencyOptions{
+				WorkloadCounts: workloadCounts,
+				Iterations:     *iterations,
+				CacheSize:      *cacheSize,
+				Repeats:        *repeats,
+			})
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				return enc.Encode(report)
+			}
+			fmt.Println(experiments.RenderLatency(report))
+			return nil
+		},
 		"robustness": func() error {
 			res, err := experiments.Robustness(experiments.RobustnessOptions{
 				Charts:            splitCharts(*chartList),
@@ -140,6 +175,7 @@ func run(args []string) error {
 				Seed:              *seed,
 				MaxPerAttackClass: *maxPerClass,
 				CacheSize:         *cacheSize,
+				Interpreted:       *engine == "interpreted",
 			})
 			if err != nil {
 				return err
@@ -177,7 +213,7 @@ func run(args []string) error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig5", "fig9", "fig11", "table1", "table2", "table3", "table4", "resources", "throughput", "robustness"} {
+		for _, name := range []string{"fig5", "fig9", "fig11", "table1", "table2", "table3", "table4", "resources", "throughput", "latency", "robustness"} {
 			fmt.Printf("================ %s ================\n", name)
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

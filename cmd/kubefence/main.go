@@ -187,7 +187,7 @@ func runProxy(args []string) error {
 	listen := fs.String("listen", ":8443", "listen address")
 	proxyUser := fs.String("proxy-user", "kubefence-proxy", "identity asserted upstream")
 	mode := fs.String("mode", "lenient", "lock mode")
-	cacheSize := fs.Int("cache", 0, "decision-cache size (cached validation outcomes; 0 disables)")
+	cacheSize := fs.Int("cache", 0, "per-workload decision-cache shard size (cached validation outcomes; 0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

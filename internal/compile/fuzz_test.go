@@ -1,0 +1,80 @@
+package compile
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/object"
+	"repro/internal/validator"
+)
+
+// FuzzCompiledEquivalence is the differential fuzz target of the
+// compiled engine: for an arbitrary JSON document it asserts that the
+// interpreted tree walk and the compiled rule program return identical
+// verdicts and identical violation lists against every builtin chart
+// policy, and — when the document is itself a usable manifest — against
+// a policy freshly consolidated from that document (which exercises the
+// compiler on arbitrary tree shapes, not just chart-derived ones).
+func FuzzCompiledEquivalence(f *testing.F) {
+	cs, err := loadCorpus()
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Seed with every chart's rendered objects plus adversarial shapes
+	// the engines treat specially.
+	for _, c := range cs {
+		for i, o := range c.benign {
+			if i >= 4 {
+				break // a few per chart keeps the corpus manageable
+			}
+			data, err := json.Marshal(o)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(data)
+		}
+	}
+	f.Add([]byte(`{"kind":"Pod","status":{"x":1},"metadata":{"uid":"u","name":"p"}}`))
+	f.Add([]byte(`{"kind":"Pod","spec":{"hostNetwork":true}}`))
+	f.Add([]byte(`{"kind":"Deployment","apiVersion":"apps/v9"}`))
+	f.Add([]byte(`{"kind":"Pod","spec":{"containers":[{"name":"c","resources":{"limits":{}}}]}}`))
+	f.Add([]byte(`{"apiVersion":"v1"}`))
+	f.Add([]byte(`[1,2,3]`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			return
+		}
+		o := object.Object(m)
+		for _, c := range cs {
+			in := c.policy.Validate(o)
+			out := c.program.Validate(o)
+			if !reflect.DeepEqual(in, out) {
+				t.Fatalf("engines diverge on %s policy:\ndoc:         %s\ninterpreted: %#v\ncompiled:    %#v",
+					c.name, data, in, out)
+			}
+		}
+		// Consolidate a policy from the fuzzed document itself and
+		// compile it: the compiler must either reject the shape or
+		// agree with the tree walk on the document it came from.
+		if o.Kind() == "" {
+			return
+		}
+		pol, err := validator.Build([]object.Object{o}, validator.BuildOptions{Workload: "fuzz"})
+		if err != nil {
+			return
+		}
+		prog, err := Compile(pol)
+		if err != nil {
+			return // unsupported exotic shape: rejection is the contract
+		}
+		in := pol.Validate(o)
+		out := prog.Validate(o)
+		if !reflect.DeepEqual(in, out) {
+			t.Fatalf("engines diverge on self-derived policy:\ndoc:         %s\ninterpreted: %#v\ncompiled:    %#v",
+				data, in, out)
+		}
+	})
+}

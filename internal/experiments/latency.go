@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/object"
+	"repro/internal/registry"
+	"repro/internal/validator"
+)
+
+// LatencyOptions configure the validation-latency experiment: the
+// microbenchmark behind BENCH_latency.json that tracks the cost of one
+// policy decision on the enforcement hot path.
+type LatencyOptions struct {
+	// WorkloadCounts lists the fleet sizes to measure (default 1, 5, 10).
+	WorkloadCounts []int
+	// Iterations is the number of validations per measurement
+	// (default 5000).
+	Iterations int
+	// CacheSize bounds each workload's decision-cache shard for the hot
+	// measurements (default 4096).
+	CacheSize int
+	// Repeats measures each cell this many times and keeps the fastest
+	// run (default 1); see ThroughputOptions.Repeats.
+	Repeats int
+}
+
+// LatencyResult is one measurement: ns, allocations, and bytes per
+// validation for one engine, one cache mode, and one fleet size.
+type LatencyResult struct {
+	Workloads int `json:"workloads"`
+	// Engine is "interpreted" (tree walk) or "compiled" (rule program).
+	Engine string `json:"engine"`
+	// Mode is "cold" (decision cache off, every request validates) or
+	// "hot" (cache on, the reconcile-loop re-apply case).
+	Mode        string  `json:"mode"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+}
+
+// LatencySpeedup summarizes compiled-vs-interpreted gains for one fleet
+// size (interpreted ns / compiled ns; higher is better).
+type LatencySpeedup struct {
+	Workloads int     `json:"workloads"`
+	Cold      float64 `json:"cold"`
+	Hot       float64 `json:"hot"`
+}
+
+// LatencyReport is the machine-readable experiment outcome committed as
+// BENCH_latency.json.
+type LatencyReport struct {
+	CacheSize int              `json:"cache_size"`
+	Results   []LatencyResult  `json:"results"`
+	Speedups  []LatencySpeedup `json:"speedups"`
+}
+
+// Result returns the measurement for (workloads, engine, mode), or nil.
+func (r *LatencyReport) Result(workloads int, engine, mode string) *LatencyResult {
+	for i := range r.Results {
+		res := &r.Results[i]
+		if res.Workloads == workloads && res.Engine == engine && res.Mode == mode {
+			return res
+		}
+	}
+	return nil
+}
+
+// latencyPair is one validation unit: a workload's policy (in both
+// engine forms) against one of its legitimate objects.
+type latencyPair struct {
+	policy  *validator.Validator
+	program *compile.Program
+	entry   *registry.Entry
+	obj     object.Object
+	body    []byte
+}
+
+// Latency measures single-decision validation latency for the
+// interpreted and compiled engines, cold (cache off) and hot (per-
+// workload decision-cache shards on), across fleet sizes.
+func Latency(opts LatencyOptions) (*LatencyReport, error) {
+	if len(opts.WorkloadCounts) == 0 {
+		opts.WorkloadCounts = []int{1, 5, 10}
+	}
+	if opts.Iterations <= 0 {
+		opts.Iterations = 5000
+	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 4096
+	}
+	if opts.Repeats <= 0 {
+		opts.Repeats = 1
+	}
+	pols, err := Policies()
+	if err != nil {
+		return nil, err
+	}
+	report := &LatencyReport{CacheSize: opts.CacheSize}
+	for _, n := range opts.WorkloadCounts {
+		var sp LatencySpeedup
+		sp.Workloads = n
+		var coldNs, hotNs [2]float64 // [interpreted, compiled]
+		for ei, engine := range []string{"interpreted", "compiled"} {
+			interpreted := engine == "interpreted"
+			var cold, hot LatencyResult
+			for rep := 0; rep < opts.Repeats; rep++ {
+				c, h, err := measureLatency(n, interpreted, opts, pols)
+				if err != nil {
+					return nil, fmt.Errorf("workloads=%d engine=%s: %w", n, engine, err)
+				}
+				if rep == 0 || c.NsPerOp < cold.NsPerOp {
+					cold = c
+				}
+				if rep == 0 || h.NsPerOp < hot.NsPerOp {
+					hot = h
+				}
+			}
+			report.Results = append(report.Results, cold, hot)
+			coldNs[ei], hotNs[ei] = cold.NsPerOp, hot.NsPerOp
+		}
+		if coldNs[1] > 0 {
+			sp.Cold = coldNs[0] / coldNs[1]
+		}
+		if hotNs[1] > 0 {
+			sp.Hot = hotNs[0] / hotNs[1]
+		}
+		report.Speedups = append(report.Speedups, sp)
+	}
+	return report, nil
+}
+
+func measureLatency(n int, interpreted bool, opts LatencyOptions, pols map[string]*validator.Validator) (cold, hot LatencyResult, err error) {
+	engine := "compiled"
+	if interpreted {
+		engine = "interpreted"
+	}
+	// Cold fleet: cache disabled, every Validate runs the engine.
+	coldReg, coldFleet, err := BuildFleetWith(
+		registry.Config{Interpreted: interpreted}, n, pols)
+	if err != nil {
+		return cold, hot, err
+	}
+	coldPairs, err := fleetPairs(coldReg, coldFleet)
+	if err != nil {
+		return cold, hot, err
+	}
+	cold = LatencyResult{Workloads: n, Engine: engine, Mode: "cold", Iterations: opts.Iterations}
+	cold.NsPerOp, cold.AllocsPerOp, cold.BytesPerOp = measureLoop(opts.Iterations, len(coldPairs), func(i int) {
+		p := &coldPairs[i%len(coldPairs)]
+		if interpreted {
+			_ = p.policy.Validate(p.obj)
+		} else {
+			_ = p.program.Validate(p.obj)
+		}
+	})
+
+	// Hot fleet: per-workload shards on; after the warmup cycle every
+	// request is a decision-cache hit (the reconcile re-apply case).
+	hotReg, hotFleet, err := BuildFleetWith(
+		registry.Config{CacheSize: opts.CacheSize, Interpreted: interpreted}, n, pols)
+	if err != nil {
+		return cold, hot, err
+	}
+	hotPairs, err := fleetPairs(hotReg, hotFleet)
+	if err != nil {
+		return cold, hot, err
+	}
+	hot = LatencyResult{Workloads: n, Engine: engine, Mode: "hot", Iterations: opts.Iterations}
+	hot.NsPerOp, hot.AllocsPerOp, hot.BytesPerOp = measureLoop(opts.Iterations, len(hotPairs), func(i int) {
+		p := &hotPairs[i%len(hotPairs)]
+		_ = hotReg.Validate(p.entry, p.body, p.obj)
+	})
+	return cold, hot, nil
+}
+
+// fleetPairs decodes each workload's corpus back into objects and
+// resolves its registry entry, policy, and compiled program.
+func fleetPairs(reg *registry.Registry, fleet []FleetWorkload) ([]latencyPair, error) {
+	var pairs []latencyPair
+	for _, wl := range fleet {
+		e, ok := reg.Entry(wl.Name)
+		if !ok {
+			return nil, fmt.Errorf("workload %s missing from registry", wl.Name)
+		}
+		for _, body := range wl.Bodies {
+			var m map[string]any
+			if err := json.Unmarshal(body, &m); err != nil {
+				return nil, err
+			}
+			pairs = append(pairs, latencyPair{
+				policy:  e.Policy(),
+				program: e.Program(),
+				entry:   e,
+				obj:     object.Object(m),
+				body:    body,
+			})
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("fleet rendered no objects")
+	}
+	return pairs, nil
+}
+
+// measureLoop times iters calls of fn after a warmup of at least one
+// full pass over the work set (so lazy regexp compilation and cache
+// priming are off the clock), reporting per-op wall time, heap
+// allocations, and bytes. Single-goroutine by design: this measures the
+// cost of one decision, not scheduler throughput (the throughput
+// experiment covers that).
+func measureLoop(iters, setSize int, fn func(i int)) (nsPerOp, allocsPerOp, bytesPerOp float64) {
+	warmup := setSize
+	if min := iters / 10; warmup < min {
+		warmup = min
+	}
+	for i := 0; i < warmup; i++ {
+		fn(i)
+	}
+	runtime.GC()
+	var m1, m2 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fn(i)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m2)
+	return float64(elapsed.Nanoseconds()) / float64(iters),
+		float64(m2.Mallocs-m1.Mallocs) / float64(iters),
+		float64(m2.TotalAlloc-m1.TotalAlloc) / float64(iters)
+}
+
+// RenderLatency renders a report as an aligned human-readable table.
+func RenderLatency(r *LatencyReport) string {
+	var b strings.Builder
+	b.WriteString("Validation latency: interpreted tree walk vs compiled rule program\n\n")
+	fmt.Fprintf(&b, "%-10s %-12s %-6s %-12s %-12s %-12s\n",
+		"workloads", "engine", "mode", "ns/op", "allocs/op", "bytes/op")
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "%-10d %-12s %-6s %-12.0f %-12.1f %-12.0f\n",
+			res.Workloads, res.Engine, res.Mode, res.NsPerOp, res.AllocsPerOp, res.BytesPerOp)
+	}
+	b.WriteString("\n")
+	for _, sp := range r.Speedups {
+		fmt.Fprintf(&b, "workloads=%-3d compiled speedup: %.2fx cold, %.2fx hot\n",
+			sp.Workloads, sp.Cold, sp.Hot)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

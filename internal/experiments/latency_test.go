@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestLatencySmoke runs a reduced latency measurement and checks the
+// report is complete and internally consistent: every (workloads,
+// engine, mode) cell present, sane numbers, and speedups derived from
+// the cells they summarize.
+func TestLatencySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping latency measurement in -short smoke runs")
+	}
+	report, err := Latency(LatencyOptions{
+		WorkloadCounts: []int{1, 2},
+		Iterations:     300,
+		CacheSize:      256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2} {
+		for _, engine := range []string{"interpreted", "compiled"} {
+			for _, mode := range []string{"cold", "hot"} {
+				res := report.Result(n, engine, mode)
+				if res == nil {
+					t.Fatalf("missing cell workloads=%d engine=%s mode=%s", n, engine, mode)
+				}
+				if res.NsPerOp <= 0 {
+					t.Errorf("cell %d/%s/%s has non-positive ns/op %f", n, engine, mode, res.NsPerOp)
+				}
+			}
+		}
+	}
+	if len(report.Speedups) != 2 {
+		t.Fatalf("speedups = %v, want 2 entries", report.Speedups)
+	}
+	for _, sp := range report.Speedups {
+		ci := report.Result(sp.Workloads, "interpreted", "cold")
+		cc := report.Result(sp.Workloads, "compiled", "cold")
+		if want := ci.NsPerOp / cc.NsPerOp; sp.Cold != want {
+			t.Errorf("workloads=%d cold speedup %f not derived from cells (%f)", sp.Workloads, sp.Cold, want)
+		}
+	}
+
+	// The report must round-trip through JSON (it is the bench-gate wire
+	// format) and render for humans.
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back LatencyReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(report.Results) {
+		t.Fatalf("JSON round trip lost results: %d -> %d", len(report.Results), len(back.Results))
+	}
+	out := RenderLatency(report)
+	for _, want := range []string{"interpreted", "compiled", "cold", "hot", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -25,9 +25,14 @@ type RobustnessOptions struct {
 	// MaxPerAttackClass caps variants per (attack, class) pair — the
 	// reduced matrix for CI smoke runs. Zero means the full matrix.
 	MaxPerAttackClass int
-	// CacheSize bounds the registry decision cache (0 disables), so the
-	// adversarial trace also exercises cached-decision correctness.
+	// CacheSize bounds each workload's decision-cache shard (0
+	// disables), so the adversarial trace also exercises cached-decision
+	// correctness.
 	CacheSize int
+	// Interpreted replays through the interpreted tree-walk engine
+	// instead of the compiled rule program — the differential mode that
+	// proves both engines hold the same 0 FN / 0 FP line end to end.
+	Interpreted bool
 }
 
 // RobustnessResult is the machine-readable outcome: the replay scores
@@ -37,6 +42,7 @@ type RobustnessResult struct {
 	MaxPerAttackClass int      `json:"max_per_attack_class,omitempty"`
 	CacheSize         int      `json:"cache_size"`
 	CacheHits         uint64   `json:"cache_hits"`
+	Engine            string   `json:"engine"`
 
 	replay.Result
 }
@@ -55,7 +61,10 @@ func Robustness(opts RobustnessOptions) (*RobustnessResult, error) {
 		return nil, err
 	}
 
-	reg := registry.New(registry.Config{CacheSize: opts.CacheSize})
+	reg := registry.New(registry.Config{
+		CacheSize:   opts.CacheSize,
+		Interpreted: opts.Interpreted,
+	})
 	var events []replay.Event
 	for _, name := range names {
 		pol, ok := pols[name]
@@ -121,10 +130,15 @@ func Robustness(opts RobustnessOptions) (*RobustnessResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	engine := "compiled"
+	if opts.Interpreted {
+		engine = "interpreted"
+	}
 	out := &RobustnessResult{
 		Charts:            names,
 		MaxPerAttackClass: opts.MaxPerAttackClass,
 		CacheSize:         opts.CacheSize,
+		Engine:            engine,
 		Result:            *res,
 	}
 	for _, m := range reg.Metrics() {
@@ -137,8 +151,8 @@ func Robustness(opts RobustnessOptions) (*RobustnessResult, error) {
 func RenderRobustness(r *RobustnessResult) string {
 	var b strings.Builder
 	b.WriteString("Adversarial robustness: mutated Table II attacks + benign trace replay\n\n")
-	fmt.Fprintf(&b, "charts: %s   concurrency: %d   seed: %d   cache: %d (hits %d)\n",
-		strings.Join(r.Charts, ","), r.Concurrency, r.Seed, r.CacheSize, r.CacheHits)
+	fmt.Fprintf(&b, "charts: %s   engine: %s   concurrency: %d   seed: %d   cache: %d (hits %d)\n",
+		strings.Join(r.Charts, ","), r.Engine, r.Concurrency, r.Seed, r.CacheSize, r.CacheHits)
 	fmt.Fprintf(&b, "events: %d (%d benign, %d attack scenarios)   %.0f events/sec\n\n",
 		r.Events, r.BenignEvents, r.AttackEvents, r.EventsPerSec)
 	fmt.Fprintf(&b, "%-20s %10s %10s %8s\n", "mutation class", "scenarios", "blocked", "FN")

@@ -260,9 +260,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}})
 			return
 		}
-		violations := p.registry.Validate(entry, body, func(v *validator.Validator) []validator.Violation {
-			return v.Validate(obj)
-		})
+		violations := p.registry.Validate(entry, body, obj)
 		p.valNanos.Add(int64(time.Since(start)))
 		if len(violations) > 0 {
 			p.reject(w, r, user, entry, obj, violations)

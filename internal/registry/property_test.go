@@ -10,17 +10,21 @@ import (
 	"repro/internal/validator"
 )
 
-// The decision cache memoizes (workload, generation, body-hash) →
-// violations. Its two safety properties, checked here over random
+// The decision cache memoizes (generation, body-hash) → violations in
+// per-workload shards. Its safety properties, checked here over random
 // Register/Swap/Deregister/Enforce interleavings:
 //
 //  1. freshness — a decision served after a Swap (or after a
 //     Deregister+Register under the same name) always reflects the
 //     CURRENT policy generation; serving a stale cached decision would
 //     be a policy bypass.
-//  2. boundedness — the cache never exceeds its configured capacity,
-//     whatever the interleaving (request bodies are
-//     attacker-controlled, so growth is an amplification primitive).
+//  2. boundedness — no workload's shard ever exceeds the configured
+//     per-workload capacity, whatever the interleaving (request bodies
+//     are attacker-controlled, so growth is an amplification
+//     primitive), and the aggregate never exceeds shards × capacity.
+//  3. shard lifecycle — deregistering a workload drops its shard: the
+//     aggregate occupancy reported by CacheStats only counts live
+//     entries, so a departed tenant cannot pin decision memory.
 
 // permissive allows every ConfigMap; restrictive denies everything.
 // The two are distinguishable through Validate, so a stale cached
@@ -141,17 +145,39 @@ func TestDecisionCacheFreshAndBoundedProperty(t *testing.T) {
 					continue
 				}
 				rq := corpus[rng.intn(bodies)]
-				vs := r.Validate(e, rq.body, func(v *validator.Validator) []validator.Violation {
-					return v.Validate(rq.obj)
-				})
+				vs := r.Validate(e, rq.body, rq.obj)
 				if got := len(vs) == 0; got != allow {
 					t.Errorf("STALE DECISION for %s: allowed=%v, current policy says allowed=%v",
 						w, got, allow)
 					return false
 				}
 			}
-			if size, cap := r.CacheStats(); size > cap {
-				t.Errorf("cache size %d exceeds bound %d after op %d", size, cap, op)
+			// Sharded invariants: every live workload's shard respects
+			// the per-workload bound and advertises the configured
+			// capacity; the aggregate is consistent with the shards.
+			total, totalCap := 0, 0
+			for w := range model {
+				e, ok := r.Entry(w)
+				if !ok {
+					t.Errorf("model workload %s missing from registry", w)
+					return false
+				}
+				size, shardCap := e.CacheStats()
+				if shardCap != capacity {
+					t.Errorf("shard %s capacity = %d, want %d", w, shardCap, capacity)
+					return false
+				}
+				if size > shardCap {
+					t.Errorf("shard %s size %d exceeds bound %d after op %d",
+						w, size, shardCap, op)
+					return false
+				}
+				total += size
+				totalCap += shardCap
+			}
+			if size, cap := r.CacheStats(); size != total || cap != totalCap {
+				t.Errorf("aggregate CacheStats = (%d, %d), shards sum to (%d, %d): "+
+					"a dead shard is pinning decisions", size, cap, total, totalCap)
 				return false
 			}
 		}
@@ -177,9 +203,7 @@ func TestDecisionCacheServesHits(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 5; i++ {
-		r.Validate(e, body, func(v *validator.Validator) []validator.Violation {
-			return v.Validate(o)
-		})
+		r.Validate(e, body, o)
 	}
 	if hits := e.Metrics().CacheHits; hits != 4 {
 		t.Errorf("cache hits = %d, want 4", hits)

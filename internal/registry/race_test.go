@@ -4,8 +4,6 @@ import (
 	"fmt"
 	"sync"
 	"testing"
-
-	"repro/internal/validator"
 )
 
 // TestConcurrentRegisterSwapResolve hammers every registry mutation and
@@ -70,9 +68,7 @@ func TestConcurrentRegisterSwapResolve(t *testing.T) {
 					t.Error("resolved entry exposed a nil policy")
 					return
 				}
-				vs := r.Validate(e, body, func(v *validator.Validator) []validator.Violation {
-					return v.Validate(o)
-				})
+				vs := r.Validate(e, body, o)
 				if len(vs) != 0 {
 					t.Errorf("legit object denied: %v", vs)
 					return

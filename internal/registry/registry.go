@@ -14,12 +14,23 @@
 // namespace over kind over wildcard, ties broken by registration order),
 // mirroring how per-namespace operator installs scope their authority.
 //
+// Policies are compiled at Register/Swap time (internal/compile) into
+// flat, immutable rule programs; the request hot path executes the
+// compiled program, and a swap publishes the whole new program
+// atomically with a generation bump. The interpreted tree walk remains
+// available behind Config.Interpreted for ablation and differential
+// testing.
+//
 // An optional bounded LRU decision cache memoizes validation outcomes
-// keyed by (workload, policy generation, request-body hash): operators
-// re-apply identical manifests on every reconcile loop, so idempotent
-// re-validation is the common case under heavy traffic. Swapping a policy
-// bumps the entry's generation, which implicitly invalidates every cached
-// decision made under the old policy.
+// keyed by (policy generation, request-body hash): operators re-apply
+// identical manifests on every reconcile loop, so idempotent
+// re-validation is the common case under heavy traffic. The cache is
+// sharded per workload — each entry owns its own bounded LRU — so
+// concurrent tenants never contend on a global cache lock and one
+// tenant's traffic cannot evict another's decisions. Swapping a policy
+// bumps the entry's generation, which implicitly invalidates every
+// cached decision made under the old policy; deregistering a workload
+// drops its shard outright.
 //
 // Each entry also aggregates per-workload enforcement metrics and keeps a
 // bounded log of per-workload violation records for auditing.
@@ -33,6 +44,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/compile"
+	"repro/internal/object"
 	"repro/internal/validator"
 )
 
@@ -150,13 +163,17 @@ type Entry struct {
 	selector Selector
 	order    int // registration sequence, tie-breaker for resolution
 
-	policy atomic.Pointer[validator.Validator]
-	// gen is drawn from the registry-global generation counter at
-	// registration and on every swap; it is part of the cache key.
-	// Registry-global monotonicity guarantees a re-registered workload
-	// can never collide with decisions cached under a prior entry of
-	// the same name (which would be a policy bypass).
-	gen atomic.Uint64
+	// version is the entry's current policy in every form the hot path
+	// needs — validator, compiled program, and cache-key generation —
+	// published as ONE immutable snapshot. A single atomic pointer
+	// (rather than separate policy/program/gen atomics) makes
+	// concurrent Swaps linearizable: readers can never observe one
+	// swap's program paired with another's validator or generation.
+	version atomic.Pointer[policyVersion]
+
+	// cache is this workload's decision-cache shard (nil = disabled).
+	cache       *lruCache
+	interpreted bool
 
 	requests  atomic.Uint64
 	denied    atomic.Uint64
@@ -167,6 +184,19 @@ type Entry struct {
 	violations []Record
 }
 
+// policyVersion is one immutable published state of an entry's policy.
+// gen is drawn from the registry-global generation counter at
+// registration and on every swap; it is part of the cache key.
+// Registry-global monotonicity guarantees a re-registered workload can
+// never collide with decisions cached under a prior entry of the same
+// name (which would be a policy bypass) — the shard is per *Entry*, and
+// generations never repeat across entries.
+type policyVersion struct {
+	policy  *validator.Validator
+	program *compile.Program
+	gen     uint64
+}
+
 // Workload names the entry's workload.
 func (e *Entry) Workload() string { return e.workload }
 
@@ -174,11 +204,23 @@ func (e *Entry) Workload() string { return e.workload }
 func (e *Entry) Selector() Selector { return e.selector }
 
 // Policy returns the currently enforced validator.
-func (e *Entry) Policy() *validator.Validator { return e.policy.Load() }
+func (e *Entry) Policy() *validator.Validator { return e.version.Load().policy }
+
+// Program returns the compiled form of the currently enforced policy.
+func (e *Entry) Program() *compile.Program { return e.version.Load().program }
+
+// CacheStats reports the entry's decision-cache shard size and capacity
+// (zeros when caching is disabled).
+func (e *Entry) CacheStats() (size, capacity int) {
+	if e.cache == nil {
+		return 0, 0
+	}
+	return e.cache.stats()
+}
 
 // Generation returns the policy generation: an opaque registry-unique
 // value that changes on every swap.
-func (e *Entry) Generation() uint64 { return e.gen.Load() }
+func (e *Entry) Generation() uint64 { return e.version.Load().gen }
 
 // Metrics returns a snapshot of the entry's counters.
 func (e *Entry) Metrics() Metrics {
@@ -234,14 +276,19 @@ func (e *Entry) ResetViolations() {
 
 // Config configures a Registry.
 type Config struct {
-	// CacheSize bounds the LRU decision cache (number of cached
-	// decisions across all workloads). Zero disables caching.
+	// CacheSize bounds each workload's decision-cache shard (number of
+	// cached decisions per registered workload). Zero disables caching.
 	CacheSize int
+	// Interpreted forces the tree-walk validation engine instead of the
+	// compiled rule program — for ablation benchmarks and differential
+	// (compiled-vs-interpreted) equivalence runs.
+	Interpreted bool
 }
 
 // Registry holds the workload policy entries of one enforcement point.
 // Register/Swap/Deregister/Resolve are all safe for concurrent use; the
-// hot path (Resolve + Validate) takes only a read lock plus atomic loads.
+// hot path (Resolve + Validate) takes only a read lock plus atomic loads
+// and the resolved entry's own cache-shard lock.
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
@@ -252,16 +299,17 @@ type Registry struct {
 	// gens issues policy generations for all entries; see Entry.gen.
 	gens atomic.Uint64
 
-	cache *lruCache
+	cacheSize   int
+	interpreted bool
 }
 
 // New builds an empty registry.
 func New(cfg Config) *Registry {
-	r := &Registry{entries: map[string]*Entry{}}
-	if cfg.CacheSize > 0 {
-		r.cache = newLRUCache(cfg.CacheSize)
+	return &Registry{
+		entries:     map[string]*Entry{},
+		cacheSize:   cfg.CacheSize,
+		interpreted: cfg.Interpreted,
 	}
-	return r
 }
 
 // Register adds a workload policy. The workload name must be unique, and
@@ -275,6 +323,10 @@ func (r *Registry) Register(workload string, sel Selector, v *validator.Validato
 	}
 	if v == nil {
 		return nil, fmt.Errorf("registry: validator is required for workload %s", workload)
+	}
+	prog, err := compile.Compile(v)
+	if err != nil {
+		return nil, fmt.Errorf("registry: workload %s: %w", workload, err)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -292,23 +344,33 @@ func (r *Registry) Register(workload string, sel Selector, v *validator.Validato
 			}
 		}
 	}
-	e := &Entry{workload: workload, selector: sel, order: r.nextOrder}
+	e := &Entry{workload: workload, selector: sel, order: r.nextOrder,
+		interpreted: r.interpreted}
+	if r.cacheSize > 0 {
+		e.cache = newLRUCache(r.cacheSize)
+	}
 	r.nextOrder++
-	e.policy.Store(v)
-	e.gen.Store(r.gens.Add(1))
+	e.version.Store(&policyVersion{policy: v, program: prog, gen: r.gens.Add(1)})
 	r.entries[workload] = e
 	r.rebuildLocked()
 	return e, nil
 }
 
 // Swap atomically replaces the policy of a registered workload (policy
-// updates without proxy restarts). The workload's cached decisions are
-// invalidated by the generation change. The read lock is held across
-// the store so Swap cannot report success for an entry a concurrent
-// Deregister just removed.
+// updates without proxy restarts). The validator is compiled before the
+// swap and published as one immutable {validator, program, generation}
+// snapshot: a reader can never pair one swap's program with another's
+// validator or generation, and the generation change invalidates the
+// workload's cached decisions. The read lock is held across the store
+// so Swap cannot report success for an entry a concurrent Deregister
+// just removed.
 func (r *Registry) Swap(workload string, v *validator.Validator) error {
 	if v == nil {
 		return fmt.Errorf("registry: validator is required for workload %s", workload)
+	}
+	prog, err := compile.Compile(v)
+	if err != nil {
+		return fmt.Errorf("registry: workload %s: %w", workload, err)
 	}
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -316,8 +378,7 @@ func (r *Registry) Swap(workload string, v *validator.Validator) error {
 	if !ok {
 		return fmt.Errorf("registry: workload %s is not registered", workload)
 	}
-	e.policy.Store(v)
-	e.gen.Store(r.gens.Add(1))
+	e.version.Store(&policyVersion{policy: v, program: prog, gen: r.gens.Add(1)})
 	return nil
 }
 
@@ -420,44 +481,60 @@ func (r *Registry) Violations() map[string][]Record {
 	return out
 }
 
-// cacheKey identifies one validation decision: the workload, the policy
-// generation it was made under, and the hash of the request body. A swap
-// changes the generation, so stale decisions can never be served.
+// cacheKey identifies one validation decision within an entry's shard:
+// the policy generation it was made under and the hash of the request
+// body. A swap changes the generation, so stale decisions can never be
+// served; the shard dies with its entry, so decisions can never leak
+// across a Deregister/Register of the same workload name either.
 type cacheKey struct {
-	workload string
 	gen      uint64
 	bodyHash [sha256.Size]byte
 }
 
-// Validate checks an object against an entry's policy, consulting the
-// decision cache when a request body is supplied. The body must be the
-// exact wire bytes the object was decoded from; callers without access to
-// the raw body pass nil to validate uncached.
-func (r *Registry) Validate(e *Entry, body []byte, validate func(*validator.Validator) []validator.Violation) []validator.Violation {
+// Validate checks a decoded object against an entry's policy, executing
+// the compiled rule program (or the interpreted tree walk when the
+// registry was configured Interpreted) and consulting the entry's
+// decision-cache shard when a request body is supplied. The body must be
+// the exact wire bytes the object was decoded from; callers without
+// access to the raw body pass nil to validate uncached.
+func (r *Registry) Validate(e *Entry, body []byte, obj object.Object) []validator.Violation {
 	e.requests.Add(1)
+	// One snapshot load: the generation keyed into the cache always
+	// matches the engine state that (on a miss) computes the decision.
+	ver := e.version.Load()
 	var key cacheKey
-	cached := r.cache != nil && len(body) > 0
+	cached := e.cache != nil && len(body) > 0
 	if cached {
-		key = cacheKey{workload: e.workload, gen: e.gen.Load(), bodyHash: sha256.Sum256(body)}
-		if vs, ok := r.cache.get(key); ok {
+		key = cacheKey{gen: ver.gen, bodyHash: sha256.Sum256(body)}
+		if vs, ok := e.cache.get(key); ok {
 			e.cacheHits.Add(1)
 			return vs
 		}
 	}
 	start := time.Now()
-	vs := validate(e.policy.Load())
+	var vs []validator.Violation
+	if e.interpreted {
+		vs = ver.policy.Validate(obj)
+	} else {
+		vs = ver.program.Validate(obj)
+	}
 	e.valNanos.Add(int64(time.Since(start)))
 	if cached {
-		r.cache.put(key, vs)
+		e.cache.put(key, vs)
 	}
 	return vs
 }
 
-// CacheStats reports the decision cache size and capacity (zeros when
-// caching is disabled).
+// CacheStats reports the aggregate decision-cache occupancy: the sum of
+// all per-workload shard sizes and the sum of their capacities (zeros
+// when caching is disabled).
 func (r *Registry) CacheStats() (size, capacity int) {
-	if r.cache == nil {
-		return 0, 0
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, e := range r.entries {
+		s, c := e.CacheStats()
+		size += s
+		capacity += c
 	}
-	return r.cache.stats()
+	return size, capacity
 }

@@ -203,22 +203,17 @@ func TestValidateCachesDecisions(t *testing.T) {
 		t.Fatal(err)
 	}
 	o, body := validBody("cm")
-	calls := 0
-	validate := func(v *validator.Validator) []validator.Violation {
-		calls++
-		return v.Validate(o)
-	}
 	for i := 0; i < 3; i++ {
-		if vs := r.Validate(e, body, validate); len(vs) != 0 {
+		if vs := r.Validate(e, body, o); len(vs) != 0 {
 			t.Fatalf("violations: %v", vs)
 		}
-	}
-	if calls != 1 {
-		t.Errorf("validator ran %d times, want 1 (cache)", calls)
 	}
 	m := e.Metrics()
 	if m.Requests != 3 || m.CacheHits != 2 {
 		t.Errorf("metrics = %+v, want Requests 3 CacheHits 2", m)
+	}
+	if size, capacity := e.CacheStats(); size != 1 || capacity != 8 {
+		t.Errorf("shard stats = (%d, %d), want (1, 8)", size, capacity)
 	}
 }
 
@@ -229,8 +224,7 @@ func TestSwapInvalidatesCachedDecisions(t *testing.T) {
 		t.Fatal(err)
 	}
 	o, body := validBody("cm")
-	validate := func(v *validator.Validator) []validator.Violation { return v.Validate(o) }
-	if vs := r.Validate(e, body, validate); len(vs) != 0 {
+	if vs := r.Validate(e, body, o); len(vs) != 0 {
 		t.Fatalf("violations: %v", vs)
 	}
 	// Swap in a policy that rejects the object (different data key).
@@ -246,7 +240,7 @@ func TestSwapInvalidatesCachedDecisions(t *testing.T) {
 	if err := r.Swap("w", deny); err != nil {
 		t.Fatal(err)
 	}
-	if vs := r.Validate(e, body, validate); len(vs) == 0 {
+	if vs := r.Validate(e, body, o); len(vs) == 0 {
 		t.Fatal("stale cached allow served after policy swap")
 	}
 }
@@ -258,15 +252,10 @@ func TestValidateWithoutBodySkipsCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	o, _ := validBody("cm")
-	calls := 0
-	validate := func(v *validator.Validator) []validator.Violation {
-		calls++
-		return v.Validate(o)
-	}
-	r.Validate(e, nil, validate)
-	r.Validate(e, nil, validate)
-	if calls != 2 {
-		t.Errorf("nil body should bypass the cache, validator ran %d times", calls)
+	r.Validate(e, nil, o)
+	r.Validate(e, nil, o)
+	if hits := e.Metrics().CacheHits; hits != 0 {
+		t.Errorf("nil body should bypass the cache, got %d hits", hits)
 	}
 	if size, _ := r.CacheStats(); size != 0 {
 		t.Errorf("cache size = %d, want 0", size)
@@ -277,7 +266,7 @@ func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
 	c := newLRUCache(2)
 	keys := make([]cacheKey, 3)
 	for i := range keys {
-		keys[i] = cacheKey{workload: fmt.Sprintf("w%d", i)}
+		keys[i] = cacheKey{gen: uint64(i)}
 		c.put(keys[i], nil)
 	}
 	if _, ok := c.get(keys[0]); ok {
@@ -290,7 +279,7 @@ func TestCacheEvictsLeastRecentlyUsed(t *testing.T) {
 	}
 	// Touch keys[1], insert a fourth: keys[2] is now the LRU victim.
 	c.get(keys[1])
-	k3 := cacheKey{workload: "w3"}
+	k3 := cacheKey{gen: 3}
 	c.put(k3, nil)
 	if _, ok := c.get(keys[2]); ok {
 		t.Error("LRU victim survived")
@@ -392,8 +381,7 @@ func TestReregisterDoesNotServeStaleCachedDecisions(t *testing.T) {
 		t.Fatal(err)
 	}
 	o, body := validBody("cm")
-	validate := func(v *validator.Validator) []validator.Violation { return v.Validate(o) }
-	if vs := r.Validate(e, body, validate); len(vs) != 0 {
+	if vs := r.Validate(e, body, o); len(vs) != 0 {
 		t.Fatalf("violations: %v", vs)
 	}
 	if !r.Deregister("w") {
@@ -412,7 +400,7 @@ func TestReregisterDoesNotServeStaleCachedDecisions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if vs := r.Validate(e2, body, validate); len(vs) == 0 {
+	if vs := r.Validate(e2, body, o); len(vs) == 0 {
 		t.Fatal("stale cached allow served after deregister + re-register")
 	}
 }

@@ -462,6 +462,34 @@ func joinPath(path, key string) string {
 // Validation (paper §V-B)
 // ---------------------------------------------------------------------
 
+// ScrubRootKey reports whether a top-level request key is removed
+// before tree comparison: apiVersion and kind are matched separately,
+// and status is server-populated, never part of the policy. The
+// predicate is the single source of truth shared with the compiled
+// engine (internal/compile), which skips these keys in place instead
+// of deleting them from a copy — the two engines must agree on the
+// scrub or their verdicts diverge.
+func ScrubRootKey(k string) bool {
+	switch k {
+	case "apiVersion", "kind", "status":
+		return true
+	}
+	return false
+}
+
+// ScrubMetaKey reports whether a metadata key is server-owned and
+// removed before tree comparison: these fields appear in
+// read-modify-write updates and are not client-controllable attack
+// surface. Shared with the compiled engine like ScrubRootKey.
+func ScrubMetaKey(k string) bool {
+	switch k {
+	case "resourceVersion", "uid", "generation", "creationTimestamp",
+		"managedFields", "selfLink":
+		return true
+	}
+	return false
+}
+
 // Validate checks an incoming request object against the policy. A nil or
 // empty result means the request is allowed.
 func (v *Validator) Validate(o object.Object) []Violation {
@@ -480,17 +508,16 @@ func (v *Validator) Validate(o object.Object) []Violation {
 		}
 	}
 	body := map[string]any(o.DeepCopy())
-	delete(body, "apiVersion")
-	delete(body, "kind")
-	delete(body, "status") // server-populated; never part of the policy
-	// Server-owned metadata appears in read-modify-write updates and is
-	// not client-controllable attack surface.
+	for k := range body {
+		if ScrubRootKey(k) {
+			delete(body, k)
+		}
+	}
 	if md, ok := body["metadata"].(map[string]any); ok {
-		for _, f := range []string{
-			"resourceVersion", "uid", "generation", "creationTimestamp",
-			"managedFields", "selfLink",
-		} {
-			delete(md, f)
+		for k := range md {
+			if ScrubMetaKey(k) {
+				delete(md, k)
+			}
 		}
 	}
 	var out []Violation
@@ -510,7 +537,7 @@ func (v *Validator) validateNode(n *Node, val any, path string, out *[]Violation
 		m, ok := val.(map[string]any)
 		if !ok {
 			*out = append(*out, Violation{Path: path,
-				Reason: "expected object", Got: typeName(val)})
+				Reason: "expected object", Got: TypeName(val)})
 			return
 		}
 		for _, k := range sortedKeys(m) {
@@ -558,7 +585,7 @@ func (v *Validator) validateNode(n *Node, val any, path string, out *[]Violation
 		items, ok := val.([]any)
 		if !ok {
 			*out = append(*out, Violation{Path: path,
-				Reason: "expected list", Got: typeName(val)})
+				Reason: "expected list", Got: TypeName(val)})
 			return
 		}
 		for _, item := range items {
@@ -585,10 +612,10 @@ func (v *Validator) validateScalar(n *Node, val any, path string, out *[]Violati
 			}
 		}
 		*out = append(*out, Violation{Path: path,
-			Reason: "security-locked field set to unsafe value", Got: render(val)})
+			Reason: "security-locked field set to unsafe value", Got: RenderValue(val)})
 		return
 	}
-	if n.Type != "" && typeMatches(n.Type, val) {
+	if n.Type != "" && TypeMatches(n.Type, val) {
 		return
 	}
 	if s, ok := val.(string); ok {
@@ -604,7 +631,7 @@ func (v *Validator) validateScalar(n *Node, val any, path string, out *[]Violati
 		}
 	}
 	*out = append(*out, Violation{Path: path,
-		Reason: "value outside the domain allowed by policy", Got: render(val)})
+		Reason: "value outside the domain allowed by policy", Got: RenderValue(val)})
 }
 
 func (n *Node) regexps() []*regexp.Regexp {
@@ -630,11 +657,13 @@ var (
 	floatValueRe = regexp.MustCompile(`^-?\d+(\.\d+)?$`)
 )
 
-// typeMatches checks a request value against a placeholder token. String
+// TypeMatches checks a request value against a placeholder token. String
 // renderings of numbers and booleans are accepted for the numeric and bool
 // tokens: charts quote values in string-typed positions (env vars,
 // annotations), so the placeholder was itself observed in quoted form.
-func typeMatches(tok string, v any) bool {
+// Exported because the compiled engine (internal/compile) must share the
+// exact same value-domain semantics as this interpreted path.
+func TypeMatches(tok string, v any) bool {
 	switch tok {
 	case schema.TokString:
 		_, ok := v.(string)
@@ -678,7 +707,9 @@ func typeMatches(tok string, v any) bool {
 	return false
 }
 
-func typeName(v any) string {
+// TypeName names a request value's JSON type for violation messages.
+// Shared with internal/compile so both engines render identical reasons.
+func TypeName(v any) string {
 	switch v.(type) {
 	case nil:
 		return "null"
@@ -699,7 +730,9 @@ func typeName(v any) string {
 	}
 }
 
-func render(v any) string {
+// RenderValue renders an offending value for violation messages. Shared
+// with internal/compile so both engines render identical reasons.
+func RenderValue(v any) string {
 	if v == nil {
 		return "null"
 	}

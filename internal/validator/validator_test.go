@@ -557,8 +557,8 @@ func TestTypeMatches(t *testing.T) {
 		{schema.TokDict, map[string]any{}, true},
 	}
 	for _, tt := range tests {
-		if got := typeMatches(tt.tok, tt.v); got != tt.want {
-			t.Errorf("typeMatches(%q, %#v) = %v, want %v", tt.tok, tt.v, got, tt.want)
+		if got := TypeMatches(tt.tok, tt.v); got != tt.want {
+			t.Errorf("TypeMatches(%q, %#v) = %v, want %v", tt.tok, tt.v, got, tt.want)
 		}
 	}
 }

@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/chart"
 	"repro/internal/charts"
+	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/mutate"
@@ -144,6 +145,43 @@ func (p *Policy) MarshalYAML() ([]byte, error) { return p.validator.MarshalYAML(
 // (surface measurement, custom enforcement points).
 func (p *Policy) Validator() *validator.Validator { return p.validator }
 
+// CompiledPolicy is a policy lowered into the flat, immutable rule
+// program the enforcement hot path executes: interned field paths, a
+// contiguous rule table with precompiled matchers, and mode-resolved
+// required-field bitsets. It is immutable and safe for unbounded
+// concurrent use, validates with near-zero allocations, and returns
+// verdicts and violations identical to the tree-walk Policy methods.
+//
+// Registry-backed proxies compile automatically at Register/Swap; use
+// Compile directly for custom enforcement points that validate without
+// a registry.
+type CompiledPolicy struct {
+	program *compile.Program
+}
+
+// Compile lowers the policy into its compiled form.
+func (p *Policy) Compile() (*CompiledPolicy, error) {
+	prog, err := compile.Compile(p.validator)
+	if err != nil {
+		return nil, fmt.Errorf("kubefence: compiling policy %s: %w", p.Workload, err)
+	}
+	return &CompiledPolicy{program: prog}, nil
+}
+
+// ValidateManifest checks a YAML manifest against the compiled policy.
+func (c *CompiledPolicy) ValidateManifest(data []byte) ([]Violation, error) {
+	o, err := object.ParseManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("kubefence: parsing manifest: %w", err)
+	}
+	return c.program.Validate(o), nil
+}
+
+// ValidateObject checks a decoded object against the compiled policy.
+func (c *CompiledPolicy) ValidateObject(obj map[string]any) []Violation {
+	return c.program.Validate(object.Object(obj))
+}
+
 // UnionPolicies combines per-workload policies into one cluster policy: a
 // request is allowed if it conforms to the union of what the member
 // workloads may do. Use this when a single KubeFence proxy fronts an API
@@ -186,18 +224,26 @@ type WorkloadMetrics = registry.Metrics
 
 // RegistryConfig configures a policy registry.
 type RegistryConfig struct {
-	// CacheSize bounds the registry's LRU decision cache (cached
-	// validation outcomes keyed by workload, policy generation, and
-	// request-body hash). Zero disables caching.
+	// CacheSize bounds each workload's decision-cache shard (cached
+	// validation outcomes keyed by policy generation and request-body
+	// hash; one bounded LRU per registered workload, so tenants never
+	// contend on a shared cache lock). Zero disables caching.
 	CacheSize int
 	// Mode selects lock enforcement for policies GenerateRegistry
 	// generates (default LockIfPresent).
 	Mode LockMode
+	// Interpreted forces the tree-walk validation engine instead of the
+	// compiled rule program the registry builds at Register/Swap — for
+	// ablation benchmarks and differential equivalence runs.
+	Interpreted bool
 }
 
 // NewRegistry builds an empty multi-workload policy registry.
 func NewRegistry(cfg RegistryConfig) *Registry {
-	return registry.New(registry.Config{CacheSize: cfg.CacheSize})
+	return registry.New(registry.Config{
+		CacheSize:   cfg.CacheSize,
+		Interpreted: cfg.Interpreted,
+	})
 }
 
 // Register adds the policy to a registry under the given selector. The
@@ -334,6 +380,29 @@ func RunRobustness(opts RobustnessOptions) (*RobustnessReport, error) {
 // RenderRobustnessReport renders a report for humans.
 func RenderRobustnessReport(r *RobustnessReport) string {
 	return experiments.RenderRobustness(r)
+}
+
+// LatencyOptions configure a validation-latency measurement: fleet
+// sizes, iterations per cell, and the per-workload decision-cache
+// shard size for the hot-path mode.
+type LatencyOptions = experiments.LatencyOptions
+
+// LatencyReport is the measured outcome: ns/op, allocs/op, and bytes/op
+// per (fleet size, engine, cache mode) cell plus compiled-vs-interpreted
+// speedup summaries. Committed as BENCH_latency.json and enforced by
+// the CI bench gate (cmd/benchgate).
+type LatencyReport = experiments.LatencyReport
+
+// RunLatency measures single-decision validation latency of the
+// interpreted tree walk and the compiled rule program, cold (decision
+// cache off) and hot (per-workload shards on).
+func RunLatency(opts LatencyOptions) (*LatencyReport, error) {
+	return experiments.Latency(opts)
+}
+
+// RenderLatencyReport renders a latency report for humans.
+func RenderLatencyReport(r *LatencyReport) string {
+	return experiments.RenderLatency(r)
 }
 
 // RenderChart renders a chart with user value overrides into manifests,

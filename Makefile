@@ -7,6 +7,7 @@
 #   make latency-json    # engine latency baseline -> BENCH_latency.json
 #   make fuzz-smoke      # 10s per native fuzz target
 #   make robustness-json # adversarial robustness baseline -> BENCH_robustness.json
+#   make learning-json   # policy-learning baseline -> BENCH_learning.json
 #   make bench-gate      # fresh bench run vs committed BENCH_*.json baselines
 #   make coverage-gate   # coverage profile; fails below COVERAGE_BASELINE
 #   make staticcheck     # pinned staticcheck ./... via go run
@@ -25,6 +26,12 @@ MIN_SPEEDUP ?= 2.0
 GATE_FLAGS  ?=
 GATE_REQUESTS   ?= 2000
 GATE_ITERATIONS ?= 5000
+# Attack-variant cap per (attack, class) for the learning gate's fresh
+# run; 0 replays the full 1555-scenario matrix (local default), CI sets
+# 2 for the fast reduced matrix. The learning gate itself is
+# machine-independent (request counts, not wall clock) and never needs
+# -advise-relative.
+GATE_MAX_PER_CLASS ?= 0
 
 # Tier-1 total statement coverage at the time the gate was introduced
 # (PR 3) minus a small buffer for refactoring churn; raise it as
@@ -32,7 +39,8 @@ GATE_ITERATIONS ?= 5000
 COVERAGE_BASELINE ?= 80.0
 
 .PHONY: all ci fmt-check vet build test race bench json latency-json \
-	fuzz-smoke robustness-json bench-gate coverage-gate staticcheck
+	fuzz-smoke robustness-json learning-json bench-gate coverage-gate \
+	staticcheck
 
 all: ci
 
@@ -79,6 +87,11 @@ robustness-json:
 		-cache 4096 -seed 1 -json > BENCH_robustness.json
 	@echo wrote BENCH_robustness.json
 
+learning-json:
+	$(GO) run ./cmd/kfbench -experiment learning -concurrency 8 \
+		-cache 4096 -seed 1 -json > BENCH_learning.json
+	@echo wrote BENCH_learning.json
+
 # bench-gate measures fresh throughput and latency numbers and compares
 # them against the committed BENCH_*.json baselines; any regression
 # beyond TOLERANCE (or a compiled cold-path speedup below MIN_SPEEDUP,
@@ -98,7 +111,12 @@ bench-gate:
 		-json > "$$tmpdir/latency-fresh.json"; \
 	$(GO) run ./cmd/benchgate -kind latency -tolerance $(TOLERANCE) $(GATE_FLAGS) \
 		-min-speedup $(MIN_SPEEDUP) \
-		-baseline BENCH_latency.json -fresh "$$tmpdir/latency-fresh.json"
+		-baseline BENCH_latency.json -fresh "$$tmpdir/latency-fresh.json"; \
+	$(GO) run ./cmd/kfbench -experiment learning -concurrency 8 -cache 4096 \
+		-seed 1 -max-per-class $(GATE_MAX_PER_CLASS) \
+		-json > "$$tmpdir/learning-fresh.json"; \
+	$(GO) run ./cmd/benchgate -kind learning -tolerance $(TOLERANCE) \
+		-baseline BENCH_learning.json -fresh "$$tmpdir/learning-fresh.json"
 
 coverage-gate:
 	$(GO) test ./... -coverprofile=coverage.out

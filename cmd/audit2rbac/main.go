@@ -3,9 +3,16 @@
 // tool of the paper's §VI-D (after liggitt/audit2rbac).
 //
 //	audit2rbac -audit audit.jsonl -user operator:nginx > rbac.yaml
+//	audit2rbac -audit audit.jsonl -user operator:nginx -format json
+//
+// Malformed audit lines are skipped with a warning (count and first
+// offending lines on stderr); -strict turns any skipped line into a
+// failure, for pipelines where a partially-read log must not silently
+// produce an under-granting policy.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,31 +33,62 @@ func run(args []string) error {
 	auditPath := fs.String("audit", "", "JSONL audit log (required)")
 	user := fs.String("user", "", "user to infer a policy for (required)")
 	out := fs.String("o", "", "output file (default stdout)")
+	format := fs.String("format", "yaml", "output format: yaml | json")
+	strict := fs.Bool("strict", false, "fail if the audit log contains unparseable lines")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *auditPath == "" || *user == "" {
 		return fmt.Errorf("-audit and -user are required")
 	}
+	if *format != "yaml" && *format != "json" {
+		return fmt.Errorf("-format: %q is not yaml or json", *format)
+	}
 	f, err := os.Open(*auditPath)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	events, err := audit.ReadJSONL(f)
+	events, skipped, err := audit.ReadJSONL(f)
 	if err != nil {
 		return err
+	}
+	if len(skipped) > 0 {
+		if *strict {
+			return fmt.Errorf("audit log has %d unparseable line(s), first: %v", len(skipped), skipped[0])
+		}
+		fmt.Fprintf(os.Stderr, "audit2rbac: warning: skipped %d unparseable line(s):\n", len(skipped))
+		for i, pe := range skipped {
+			if i == 3 {
+				fmt.Fprintf(os.Stderr, "  ... and %d more\n", len(skipped)-i)
+				break
+			}
+			fmt.Fprintf(os.Stderr, "  %v\n", pe)
+		}
 	}
 	policy := audit.InferPolicy(events, *user)
 	objs := policy.Objects()
 	if len(objs) == 0 {
 		return fmt.Errorf("no interactions recorded for user %q", *user)
 	}
-	docs := make([]any, len(objs))
-	for i, o := range objs {
-		docs[i] = o
+	var data []byte
+	switch *format {
+	case "yaml":
+		docs := make([]any, len(objs))
+		for i, o := range objs {
+			docs[i] = o
+		}
+		data, err = yaml.MarshalAll(docs)
+	case "json":
+		// A JSON List object (kind: List, items: [...]) rather than a
+		// bare array: kubectl apply consumes it directly.
+		data, err = json.MarshalIndent(map[string]any{
+			"apiVersion": "v1",
+			"kind":       "List",
+			"items":      objs,
+		}, "", "  ")
+		data = append(data, '\n')
 	}
-	data, err := yaml.MarshalAll(docs)
 	if err != nil {
 		return err
 	}

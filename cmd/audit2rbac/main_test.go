@@ -101,4 +101,69 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run([]string{"-audit", auditPath, "-user", "nobody"}); err == nil {
 		t.Error("user with no interactions should error")
 	}
+	if err := run([]string{"-audit", auditPath, "-user", "operator:nginx", "-format", "toml"}); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+// TestGoldenFormats locks both output formats against committed golden
+// files. Regenerate with UPDATE_GOLDEN=1 go test ./cmd/audit2rbac.
+func TestGoldenFormats(t *testing.T) {
+	for _, format := range []string{"yaml", "json"} {
+		t.Run(format, func(t *testing.T) {
+			outPath := filepath.Join(t.TempDir(), "rbac."+format)
+			if err := run([]string{
+				"-audit", filepath.Join("testdata", "audit.jsonl"),
+				"-user", "operator:nginx",
+				"-format", format,
+				"-o", outPath,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(outPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenPath := filepath.Join("testdata", "rbac.golden."+format)
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.WriteFile(goldenPath, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("%s output diverged from golden file:\n--- got ---\n%s\n--- want ---\n%s",
+					format, got, want)
+			}
+		})
+	}
+}
+
+// TestSkippedLineHandling exercises the tolerant and strict paths over
+// a log with a corrupt line.
+func TestSkippedLineHandling(t *testing.T) {
+	dir := t.TempDir()
+	good, err := os.ReadFile(filepath.Join("testdata", "audit.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := filepath.Join(dir, "corrupt.jsonl")
+	if err := os.WriteFile(corrupt, append(append([]byte("garbage{\n"), good...), []byte("{trunc\n")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outPath := filepath.Join(dir, "out.yaml")
+	// Tolerant: skipped lines warn, inference still succeeds.
+	if err := run([]string{"-audit", corrupt, "-user", "operator:nginx", "-o", outPath}); err != nil {
+		t.Fatalf("tolerant run failed: %v", err)
+	}
+	if _, err := os.Stat(outPath); err != nil {
+		t.Fatal("tolerant run wrote no output")
+	}
+	// Strict: any skipped line is fatal.
+	if err := run([]string{"-audit", corrupt, "-user", "operator:nginx", "-strict"}); err == nil {
+		t.Error("-strict must fail on unparseable lines")
+	}
 }

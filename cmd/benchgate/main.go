@@ -6,6 +6,7 @@
 //
 //	benchgate -kind throughput -baseline BENCH_throughput.json -fresh fresh.json
 //	benchgate -kind latency    -baseline BENCH_latency.json    -fresh fresh.json
+//	benchgate -kind learning   -baseline BENCH_learning.json   -fresh fresh.json
 //
 // Two classes of check run:
 //
@@ -24,6 +25,14 @@
 //     is. Allocation counts are deterministic for a given code path,
 //     so allocs/op comparisons are machine-independent too. These
 //     checks (and a shrunken result matrix) always gate.
+//
+// The learning kind is machine-independent end to end — its numbers are
+// request COUNTS from a deterministic replay, not wall-clock — so every
+// learning check gates everywhere, -advise-relative or not: the mined
+// policies must score zero false negatives and zero enforcement false
+// positives on whatever matrix the fresh run used, every chart must
+// converge and promote, and per-chart requests-to-convergence may not
+// regress more than -tolerance over the committed baseline.
 //
 // Every comparison is printed; failures are marked FAIL and summarized.
 package main
@@ -69,8 +78,10 @@ func run(args []string, out *os.File) error {
 		failures, advisories, err = gateThroughput(*baselinePath, *freshPath, *tolerance, *adviseRelative, out)
 	case "latency":
 		failures, advisories, err = gateLatency(*baselinePath, *freshPath, *tolerance, *minSpeedup, *adviseRelative, out)
+	case "learning":
+		failures, err = gateLearning(*baselinePath, *freshPath, *tolerance, out)
 	default:
-		return fmt.Errorf("-kind: %q is not throughput or latency", *kind)
+		return fmt.Errorf("-kind: %q is not throughput, latency, or learning", *kind)
 	}
 	if err != nil {
 		return err
@@ -214,4 +225,66 @@ func gateLatency(baselinePath, freshPath string, tol, minSpeedup float64, advise
 		failures = append(failures, "fresh latency report carries no speedup summary")
 	}
 	return failures, advisories, nil
+}
+
+// gateLearning applies the machine-independent learning gates: the
+// mined policies must hold the zero-FN / zero-FP line on the fresh
+// run's matrix, every chart must converge and promote, and per-chart
+// requests-to-convergence may not regress beyond the tolerance against
+// the committed baseline. Counts from a deterministic replay do not
+// depend on hardware, so everything here gates unconditionally.
+func gateLearning(baselinePath, freshPath string, tol float64, out *os.File) (failures []string, err error) {
+	var baseline, fresh experiments.LearningResult
+	if err := loadJSON(baselinePath, &baseline); err != nil {
+		return nil, err
+	}
+	if err := loadJSON(freshPath, &fresh); err != nil {
+		return nil, err
+	}
+	if fresh.TotalFalseNegatives != 0 {
+		failures = append(failures, fmt.Sprintf(
+			"mined policies leaked %d attack scenario(s) (false negatives must be 0)",
+			fresh.TotalFalseNegatives))
+	}
+	if fresh.TotalEnforceFP != 0 {
+		failures = append(failures, fmt.Sprintf(
+			"mined policies denied %d benign request(s) after promotion (enforce FPs must be 0)",
+			fresh.TotalEnforceFP))
+	}
+	if !fresh.AllConverged || !fresh.AllPromoted {
+		failures = append(failures, fmt.Sprintf(
+			"rollout incomplete: converged=%v promoted=%v", fresh.AllConverged, fresh.AllPromoted))
+	}
+	if fresh.Errors != 0 {
+		failures = append(failures, fmt.Sprintf("fresh run had %d replay errors", fresh.Errors))
+	}
+	fmt.Fprintf(out, "%-12s %-14s %-14s %-10s %-6s %-6s %s\n",
+		"chart", "base converge", "fresh converge", "delta", "FN", "FP", "verdict")
+	for _, base := range baseline.PerChart {
+		fr := fresh.Chart(base.Chart)
+		if fr == nil {
+			// The fresh run may legitimately cover a chart subset (the
+			// CI smoke path); only gate the charts it ran.
+			continue
+		}
+		verdict := "ok"
+		delta := 0.0
+		if base.ConvergenceRequests > 0 {
+			delta = float64(fr.ConvergenceRequests)/float64(base.ConvergenceRequests) - 1
+		}
+		if float64(fr.ConvergenceRequests) > float64(base.ConvergenceRequests)*(1+tol) {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"chart=%s convergence requests %d -> %d (+%.1f%%, tolerance %.0f%%)",
+				base.Chart, base.ConvergenceRequests, fr.ConvergenceRequests,
+				delta*100, tol*100))
+		}
+		fmt.Fprintf(out, "%-12s %-14d %-14d %-+9.1f%% %-6d %-6d %s\n",
+			base.Chart, base.ConvergenceRequests, fr.ConvergenceRequests,
+			delta*100, fr.FalseNegatives, fr.EnforceFalsePositives, verdict)
+	}
+	if len(fresh.PerChart) == 0 {
+		failures = append(failures, "fresh learning report carries no per-chart results")
+	}
+	return failures, nil
 }

@@ -142,3 +142,78 @@ func TestGateRejectsBadFlags(t *testing.T) {
 		t.Fatal("unknown -kind must error")
 	}
 }
+
+func learningResult(convNginx, convMlflow, fn, fp int) experiments.LearningResult {
+	return experiments.LearningResult{
+		Charts: []string{"nginx", "mlflow"},
+		PerChart: []*experiments.LearningChartResult{
+			{Chart: "mlflow", Converged: true, Promoted: true,
+				ConvergenceRequests: convMlflow, AttackScenarios: 100},
+			{Chart: "nginx", Converged: true, Promoted: true,
+				ConvergenceRequests: convNginx, AttackScenarios: 100,
+				FalseNegatives: fn, EnforceFalsePositives: fp},
+		},
+		AllConverged: true, AllPromoted: true,
+		TotalScenarios: 200, TotalFalseNegatives: fn, TotalEnforceFP: fp,
+	}
+}
+
+func TestLearningGatePassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", learningResult(24, 20, 0, 0))
+	fresh := writeJSON(t, dir, "fresh.json", learningResult(26, 20, 0, 0))
+	if err := run([]string{"-kind", "learning", "-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+		t.Fatalf("gate failed within tolerance: %v", err)
+	}
+}
+
+func TestLearningGateFailsOnFalseNegatives(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", learningResult(24, 20, 0, 0))
+	fresh := writeJSON(t, dir, "fresh.json", learningResult(24, 20, 1, 0))
+	// FN gates even with -advise-relative: it is machine-independent.
+	if err := run([]string{"-kind", "learning", "-advise-relative",
+		"-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("false negatives must gate")
+	}
+}
+
+func TestLearningGateFailsOnConvergenceRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", learningResult(24, 20, 0, 0))
+	fresh := writeJSON(t, dir, "fresh.json", learningResult(48, 20, 0, 0))
+	if err := run([]string{"-kind", "learning", "-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("a 2x convergence regression must gate")
+	}
+}
+
+func TestLearningGateFailsOnIncompleteRollout(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", learningResult(24, 20, 0, 0))
+	stuck := learningResult(24, 20, 0, 0)
+	stuck.AllPromoted = false
+	fresh := writeJSON(t, dir, "fresh.json", stuck)
+	if err := run([]string{"-kind", "learning", "-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("an unpromoted workload must gate")
+	}
+}
+
+func TestLearningGateToleratesChartSubset(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", learningResult(24, 20, 0, 0))
+	subset := experiments.LearningResult{
+		Charts: []string{"nginx"},
+		PerChart: []*experiments.LearningChartResult{
+			{Chart: "nginx", Converged: true, Promoted: true,
+				ConvergenceRequests: 24, AttackScenarios: 100},
+		},
+		AllConverged: true, AllPromoted: true,
+		TotalScenarios: 100,
+	}
+	fresh := writeJSON(t, dir, "fresh.json", subset)
+	// The CI smoke path runs a chart subset; the gate compares only the
+	// charts the fresh run covered.
+	if err := run([]string{"-kind", "learning", "-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+		t.Fatalf("chart subset must not gate: %v", err)
+	}
+}

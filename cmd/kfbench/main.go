@@ -27,6 +27,16 @@
 //	kfbench -experiment robustness -charts nginx,mlflow -max-per-class 2
 //	kfbench -experiment robustness -engine interpreted   # differential run
 //
+// The learning experiment mines policies from benign chart traffic
+// through the learn → shadow → enforce rollout lifecycle, measures
+// requests-to-convergence per chart, and replays the full adversarial
+// mutation matrix against the MINED policies to score residual false
+// negatives — the committed BENCH_learning.json baseline:
+//
+//	kfbench -experiment learning -concurrency 8 -cache 4096 \
+//	        -seed 1 -json > BENCH_learning.json
+//	kfbench -experiment learning -charts nginx -max-per-class 2
+//
 // The latency experiment measures single-decision validation cost —
 // interpreted tree walk vs compiled rule program, cold (cache off) and
 // hot (per-workload decision shards on) — and is the source of the
@@ -58,7 +68,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("kfbench", flag.ExitOnError)
-	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | throughput | robustness | latency | all")
+	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | throughput | robustness | latency | learning | all")
 	reps := fs.Int("reps", 10, "repetitions for table4 (paper: 10)")
 	counts := fs.String("counts", "1,5,10", "workload counts for throughput (comma-separated)")
 	requests := fs.Int("requests", 2000, "proxied requests per throughput measurement")
@@ -71,6 +81,7 @@ func run(args []string) error {
 	iterations := fs.Int("iterations", 5000, "validations per latency measurement")
 	repeats := fs.Int("repeats", 1, "best-of-N repeats for throughput and latency measurements")
 	engine := fs.String("engine", "compiled", "validation engine for robustness: compiled | interpreted")
+	maxEpochs := fs.Int("max-epochs", 8, "benign-replay epochs allowed for learning convergence")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -199,6 +210,37 @@ func run(args []string) error {
 			}
 			return nil
 		},
+		"learning": func() error {
+			res, err := experiments.Learning(experiments.LearningOptions{
+				Charts:            splitCharts(*chartList),
+				Concurrency:       *concurrency,
+				Seed:              *seed,
+				MaxPerAttackClass: *maxPerClass,
+				CacheSize:         *cacheSize,
+				MaxEpochs:         *maxEpochs,
+			})
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(res); err != nil {
+					return err
+				}
+			} else {
+				fmt.Println(experiments.RenderLearning(res))
+			}
+			// Mirror the robustness contract: a baseline where mined
+			// policies leak attacks (or never converge) must never land
+			// silently.
+			if !res.Clean() {
+				return fmt.Errorf("learning run not clean: converged=%v promoted=%v, %d false negatives, %d enforce FPs, %d errors",
+					res.AllConverged, res.AllPromoted,
+					res.TotalFalseNegatives, res.TotalEnforceFP, res.Errors)
+			}
+			return nil
+		},
 		"fig11": func() error {
 			out, err := audit.RenderFig11(audit.Event{
 				User: "operator:mlflow", Verb: "create", APIGroup: "apps",
@@ -213,7 +255,7 @@ func run(args []string) error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig5", "fig9", "fig11", "table1", "table2", "table3", "table4", "resources", "throughput", "latency", "robustness"} {
+		for _, name := range []string{"fig5", "fig9", "fig11", "table1", "table2", "table3", "table4", "resources", "throughput", "latency", "robustness", "learning"} {
 			fmt.Printf("================ %s ================\n", name)
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

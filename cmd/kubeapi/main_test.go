@@ -68,9 +68,12 @@ func TestRunHappyPath(t *testing.T) {
 		t.Fatalf("audit log not written: %v", err)
 	}
 	defer f.Close()
-	events, err := audit.ReadJSONL(f)
+	events, skipped, err := audit.ReadJSONL(f)
 	if err != nil {
 		t.Fatalf("audit log unreadable: %v", err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("audit log has unparseable lines: %v", skipped)
 	}
 	found := false
 	for _, ev := range events {

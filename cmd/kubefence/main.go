@@ -14,22 +14,42 @@
 // scoped to the namespace named after its workload:
 //
 //	kubefence proxy -workloads all -upstream http://127.0.0.1:8001 -cache 4096
+//
+// Workloads without a usable chart can have their policies MINED from
+// traffic instead, via the learn → shadow → enforce rollout lifecycle:
+//
+//	kubefence proxy -workloads ns1,ns2 -rollout learn -upstream ... \
+//	        -rollout-interval 30s -trace-out trace.jsonl
+//
+// -rollout learn starts every workload with no policy at all: traffic is
+// forwarded, observed, and generalized into candidates that are shadowed
+// (would-deny verdicts recorded, nothing blocked) and auto-promoted to
+// enforcement once the promotion gates hold. -rollout shadow keeps the
+// chart-generated policies but rehearses them against live traffic
+// before they deny anything. -trace-out additionally records every
+// inspected request as JSONL for offline mining and audit.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"time"
 
 	kubefence "repro"
 	"repro/internal/chart"
 	"repro/internal/charts"
 	"repro/internal/core"
+	"repro/internal/learn"
+	"repro/internal/object"
 	"repro/internal/proxy"
+	"repro/internal/registry"
 	"repro/internal/schema"
 	"repro/internal/validator"
 )
@@ -63,11 +83,34 @@ func usage() {
   kubefence generate [-chart DIR | -workload NAME] [-o FILE] [-mode lenient|strict] [-schema]
   kubefence proxy    [-chart DIR | -workload NAME | -workloads A,B,..|all] -upstream URL
                      [-listen ADDR] [-proxy-user USER] [-cache N]
+                     [-rollout learn|shadow|enforce] [-rollout-interval D] [-trace-out FILE]
 
 In -workloads mode one proxy enforces every listed builtin policy
 concurrently: each workload's policy governs the namespace named after
 it (the one-operator-per-namespace convention), requests outside every
-registered scope are denied, and individual policies stay hot-swappable.`)
+registered scope are denied, and individual policies stay hot-swappable.
+
+-rollout selects the lifecycle the workloads start in: "enforce" (the
+default) denies violations immediately, "shadow" rehearses the
+generated policies against live traffic (would-deny verdicts are
+recorded, nothing is blocked) and auto-promotes once they hold a clean
+window, and "learn" starts with NO policies at all and mines them from
+observed traffic before shadowing and promoting them the same way.
+-trace-out appends every inspected request to a JSONL admission trace
+for offline mining (kubefence and audit tooling read it back).`)
+}
+
+// lockedWriter serializes writes to the shared trace buffer against the
+// flush timer.
+type lockedWriter struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
 }
 
 // loadChart resolves -chart / -workload into a chart.
@@ -188,11 +231,21 @@ func runProxy(args []string) error {
 	proxyUser := fs.String("proxy-user", "kubefence-proxy", "identity asserted upstream")
 	mode := fs.String("mode", "lenient", "lock mode")
 	cacheSize := fs.Int("cache", 0, "per-workload decision-cache shard size (cached validation outcomes; 0 disables)")
+	rollout := fs.String("rollout", "enforce", "initial workload lifecycle: learn | shadow | enforce")
+	rolloutInterval := fs.Duration("rollout-interval", 15*time.Second, "promotion-gate evaluation interval for learn/shadow rollouts")
+	traceOut := fs.String("trace-out", "", "append inspected requests to a JSONL admission trace (offline mining input)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *upstream == "" {
 		return fmt.Errorf("-upstream is required")
+	}
+	rolloutMode, err := registry.ParseMode(*rollout)
+	if err != nil {
+		return err
+	}
+	if rolloutMode != registry.ModeEnforce && *workloads == "" {
+		return fmt.Errorf("-rollout %s requires -workloads (per-workload namespaces scope what each miner learns)", *rollout)
 	}
 	onViolation := func(r proxy.ViolationRecord) {
 		wl := r.Workload
@@ -212,7 +265,49 @@ func runProxy(args []string) error {
 		CacheSize:   *cacheSize,
 		OnViolation: onViolation,
 	}
-	var enforcing string
+	if *traceOut != "" {
+		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("-trace-out: %w", err)
+		}
+		defer f.Close()
+		// The tap runs on the request path: buffer the writes so request
+		// goroutines never serialize on a disk syscall, and flush on a
+		// timer. ReadTrace tolerates the truncated final line a crash
+		// between flushes can leave behind.
+		buf := bufio.NewWriterSize(f, 64*1024)
+		var bufMu sync.Mutex
+		defer func() {
+			bufMu.Lock()
+			defer bufMu.Unlock()
+			_ = buf.Flush()
+		}()
+		go func() {
+			ticker := time.NewTicker(time.Second)
+			defer ticker.Stop()
+			for range ticker.C {
+				bufMu.Lock()
+				_ = buf.Flush()
+				bufMu.Unlock()
+			}
+		}()
+		tw := learn.NewTraceWriter(lockedWriter{w: buf, mu: &bufMu})
+		cfg.Tap = func(workload, user, method, path string, obj object.Object) {
+			_ = tw.Record(learn.TraceEntry{
+				Time: time.Now(), Workload: workload, User: user,
+				Method: method, Path: path, Object: obj,
+			})
+		}
+	}
+	cfg.OnShadowViolation = func(r proxy.ViolationRecord) {
+		fmt.Fprintf(os.Stderr, "[%s] SHADOW-DENY workload=%s %s %s %s/%s: %d violation(s) (forwarded)\n",
+			r.Time.Format(time.RFC3339), r.Workload, r.User, r.Method, r.Kind, r.Name, len(r.Violations))
+	}
+
+	var (
+		enforcing string
+		ctl       *learn.Controller
+	)
 	if *workloads != "" {
 		if *chartDir != "" || *workload != "" {
 			return fmt.Errorf("-workloads is exclusive with -chart and -workload")
@@ -229,12 +324,41 @@ func runProxy(args []string) error {
 				return fmt.Errorf("-workloads: no workload names given")
 			}
 		}
-		reg, err := multiRegistry(names, *mode, *cacheSize)
-		if err != nil {
-			return err
+		switch rolloutMode {
+		case registry.ModeLearn:
+			// No chart policies at all: each workload starts empty and
+			// mines its policy from its namespace's traffic.
+			reg := registry.New(registry.Config{CacheSize: *cacheSize})
+			ctl = learn.NewController(reg, learn.GateConfig{})
+			for _, name := range names {
+				if _, err := ctl.AddWorkload(name, registry.Selector{Namespace: name}, learn.Options{}); err != nil {
+					return err
+				}
+			}
+			cfg.Registry = reg
+			enforcing = fmt.Sprintf("%d learning workloads (%s)", len(names), strings.Join(names, ", "))
+		case registry.ModeShadow:
+			// Chart policies exist but rehearse before they deny.
+			reg, err := multiRegistry(names, *mode, *cacheSize)
+			if err != nil {
+				return err
+			}
+			ctl = learn.NewController(reg, learn.GateConfig{})
+			for _, name := range reg.Workloads() {
+				if _, err := ctl.Adopt(name, learn.Options{}); err != nil {
+					return err
+				}
+			}
+			cfg.Registry = reg
+			enforcing = fmt.Sprintf("%d workload policies in shadow (%s)", len(names), strings.Join(reg.Workloads(), ", "))
+		default:
+			reg, err := multiRegistry(names, *mode, *cacheSize)
+			if err != nil {
+				return err
+			}
+			cfg.Registry = reg
+			enforcing = fmt.Sprintf("%d workload policies (%s)", len(names), strings.Join(reg.Workloads(), ", "))
 		}
-		cfg.Registry = reg
-		enforcing = fmt.Sprintf("%d workload policies (%s)", len(names), strings.Join(reg.Workloads(), ", "))
 	} else {
 		res, err := generate(*chartDir, *workload, *mode, false)
 		if err != nil {
@@ -246,6 +370,20 @@ func runProxy(args []string) error {
 	p, err := proxy.New(cfg)
 	if err != nil {
 		return err
+	}
+	if ctl != nil {
+		// The promotion-gate loop: evaluate every workload's gates on a
+		// timer and log each lifecycle transition.
+		go func() {
+			ticker := time.NewTicker(*rolloutInterval)
+			defer ticker.Stop()
+			for range ticker.C {
+				for _, tr := range ctl.Tick() {
+					fmt.Fprintf(os.Stderr, "kubefence: rollout %s: %s -> %s (gen %d): %s\n",
+						tr.Workload, tr.FromName, tr.ToName, tr.Generation, tr.Reason)
+				}
+			}
+		}()
 	}
 	fmt.Fprintf(os.Stderr, "kubefence: enforcing %s, %s -> %s\n",
 		enforcing, *listen, *upstream)

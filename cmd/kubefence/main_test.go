@@ -106,4 +106,14 @@ func TestRunProxyValidation(t *testing.T) {
 	if err := runProxy([]string{"-workload", "nginx"}); err == nil {
 		t.Error("missing -upstream should error")
 	}
+	if err := runProxy([]string{"-workload", "nginx", "-upstream", "http://x",
+		"-rollout", "observe"}); err == nil {
+		t.Error("unknown -rollout mode should error")
+	}
+	// Learning needs per-workload scoping: a single cluster-wide
+	// validator has no namespace to attribute observations to.
+	if err := runProxy([]string{"-workload", "nginx", "-upstream", "http://x",
+		"-rollout", "learn"}); err == nil {
+		t.Error("-rollout learn without -workloads should error")
+	}
 }

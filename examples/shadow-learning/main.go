@@ -1,0 +1,178 @@
+// Shadow learning: mining a KubeFence policy from traffic for a
+// workload with NO usable chart, and shipping it through the
+// learn → shadow → enforce rollout lifecycle.
+//
+// The nginx operator deploys through a proxy that starts with no policy
+// at all. Its requests are observed and generalized into a candidate
+// policy, the candidate is rehearsed in shadow (would-deny verdicts
+// recorded, nothing blocked), and once it holds a clean window the
+// rollout controller promotes it to enforcement — at which point a
+// privileged-container attack bounces off a policy no human ever wrote.
+//
+//	go run ./examples/shadow-learning
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+
+	kubefence "repro"
+	"repro/internal/learn"
+	"repro/internal/registry"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- An enforcement point with an EMPTY registry: the nginx
+	// workload is registered in learn mode with a miner attached, no
+	// policy anywhere. ---
+	reg := kubefence.NewRegistry(kubefence.RegistryConfig{CacheSize: 1024})
+	// Demo-sized gates (defaults are 50/200): one deploy pass of the
+	// nginx chart is 6 objects, so each lifecycle stage needs exactly
+	// one epoch of traffic.
+	ctl := kubefence.NewRolloutController(reg, kubefence.RolloutGates{
+		MinLearnRequests:  5,
+		MinShadowRequests: 5,
+	})
+	if _, err := ctl.AddWorkload("nginx", kubefence.Selector{Namespace: "nginx"},
+		kubefence.LearnOptions{}); err != nil {
+		return err
+	}
+
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK) // a stand-in API server
+	}))
+	defer upstream.Close()
+	p, err := kubefence.NewProxy(kubefence.ProxyConfig{
+		Upstream: upstream.URL,
+		Registry: reg,
+		OnShadowViolation: func(rec kubefence.ViolationRecord) {
+			fmt.Printf("  shadow would-deny %s %s: %d violation(s) — forwarded anyway\n",
+				rec.Method, rec.Kind, len(rec.Violations))
+		},
+	})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(p)
+	defer ts.Close()
+
+	// --- The workload's real traffic: its rendered manifests, created
+	// and then re-applied the way an operator reconcile loop does. ---
+	c, err := kubefence.LoadBuiltinChart("nginx")
+	if err != nil {
+		return err
+	}
+	manifests, err := kubefence.RenderChart(c, nil,
+		kubefence.ReleaseOptions{Name: "rel", Namespace: "nginx"})
+	if err != nil {
+		return err
+	}
+	deployAll := func() (ok, denied int) {
+		for _, m := range manifests {
+			resp, err := http.Post(ts.URL+"/api/v1/namespaces/nginx/anything",
+				"application/yaml", bytes.NewReader(m))
+			if err != nil {
+				log.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusForbidden {
+				denied++
+			} else {
+				ok++
+			}
+		}
+		return ok, denied
+	}
+
+	report := func(phase string) {
+		st := ctl.States()[0]
+		fmt.Printf("%-22s mode=%-8s gen=%d observed=%d candidates=%d shadow(req=%d deny=%d)\n",
+			phase, st.Mode, st.Generation, st.Observed, st.Candidates,
+			st.Shadow.Requests, st.Shadow.Denied)
+	}
+
+	fmt.Println("== learn: traffic observed, nothing validated ==")
+	ok, denied := deployAll()
+	fmt.Printf("  deployed %d objects (%d denied)\n", ok, denied)
+	report("after learn epoch")
+	for _, tr := range ctl.Tick() {
+		fmt.Printf("  rollout: %s -> %s (%s)\n", tr.FromName, tr.ToName, tr.Reason)
+	}
+
+	fmt.Println("\n== shadow: the mined candidate rehearses ==")
+	ok, denied = deployAll()
+	fmt.Printf("  deployed %d objects (%d denied)\n", ok, denied)
+	report("after shadow epoch")
+	for _, tr := range ctl.Tick() {
+		fmt.Printf("  rollout: %s -> %s (%s)\n", tr.FromName, tr.ToName, tr.Reason)
+	}
+
+	fmt.Println("\n== enforce: the mined policy now denies ==")
+	ok, denied = deployAll()
+	fmt.Printf("  benign redeploy: %d ok, %d denied\n", ok, denied)
+	attack := []byte(`apiVersion: v1
+kind: Pod
+metadata:
+  name: pwn
+  namespace: nginx
+spec:
+  containers:
+  - name: shell
+    image: evil/shell
+    securityContext:
+      privileged: true
+`)
+	resp, err := http.Post(ts.URL+"/api/v1/namespaces/nginx/pods",
+		"application/yaml", bytes.NewReader(attack))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	fmt.Printf("  privileged-pod attack -> HTTP %d\n", resp.StatusCode)
+
+	// --- The audit trail: what the miner generalized, and how the
+	// mined surface compares to the chart-derived policy. ---
+	fmt.Println("\n== mined policy audit ==")
+	miner, _ := ctl.Miner("nginx")
+	summaries := miner.Summaries()
+	fmt.Printf("  %d mined paths; a few generalizations:\n", len(summaries))
+	shown := 0
+	for _, s := range summaries {
+		if s.Kind != "Deployment" || shown >= 5 {
+			continue
+		}
+		req := ""
+		if s.Required {
+			req = " (required)"
+		}
+		fmt.Printf("    %-55s %s%s\n", s.Kind+":"+s.Path, s.Domain, req)
+		shown++
+	}
+	chartPolicy, err := kubefence.GeneratePolicy(c, kubefence.Options{Workload: "nginx"})
+	if err != nil {
+		return err
+	}
+	mined, err := miner.Policy()
+	if err != nil {
+		return err
+	}
+	fmt.Print("  " + learn.Diff(mined, chartPolicy.Validator()).Render())
+
+	if mode, _ := reg.Mode("nginx"); mode != registry.ModeEnforce {
+		return fmt.Errorf("expected enforce mode, got %v", mode)
+	}
+	if resp.StatusCode != http.StatusForbidden {
+		return fmt.Errorf("attack was not denied")
+	}
+	fmt.Println("\nlifecycle complete: a policy mined from traffic is enforcing.")
+	return nil
+}

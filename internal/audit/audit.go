@@ -6,7 +6,6 @@
 package audit
 
 import (
-	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -15,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/jsonl"
 	"repro/internal/rbac"
 )
 
@@ -83,28 +83,43 @@ func (l *Log) WriteJSONL(w io.Writer) error {
 	return nil
 }
 
-// ReadJSONL parses a JSONL audit stream.
-func ReadJSONL(r io.Reader) ([]Event, error) {
+// ParseError records one line of a JSONL stream that could not be
+// parsed as an audit event.
+type ParseError struct {
+	// Line is the 1-based line number within the stream.
+	Line int
+	Err  error
+}
+
+func (e ParseError) Error() string {
+	return fmt.Sprintf("audit: line %d: %v", e.Line, e.Err)
+}
+
+// ReadJSONL parses a JSONL audit stream. Malformed lines are skipped —
+// real audit logs are appended by crashing processes and rotated
+// mid-write — but never silently: every skipped line comes back as a
+// structured ParseError so callers can audit the data loss (an RBAC
+// policy inferred from a log that silently lost events would silently
+// under-grant). The error return covers I/O-level failures only (reader
+// errors, oversized lines).
+func ReadJSONL(r io.Reader) ([]Event, []ParseError, error) {
 	var out []Event
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
+	skipped, err := jsonl.Read(r, func(data []byte) error {
 		var ev Event
-		if err := json.Unmarshal([]byte(text), &ev); err != nil {
-			return nil, fmt.Errorf("audit: line %d: %w", line, err)
+		if err := json.Unmarshal(data, &ev); err != nil {
+			return err
 		}
 		out = append(out, ev)
+		return nil
+	})
+	parseErrs := make([]ParseError, len(skipped))
+	for i, s := range skipped {
+		parseErrs[i] = ParseError{Line: s.Line, Err: s.Err}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("audit: reading: %w", err)
+	if err != nil {
+		return out, parseErrs, fmt.Errorf("audit: %w", err)
 	}
-	return out, nil
+	return out, parseErrs, nil
 }
 
 // ---------------------------------------------------------------------

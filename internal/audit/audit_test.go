@@ -54,9 +54,12 @@ func TestJSONLRoundTrip(t *testing.T) {
 	if err := l.WriteJSONL(&buf); err != nil {
 		t.Fatal(err)
 	}
-	back, err := ReadJSONL(&buf)
+	back, skipped, err := ReadJSONL(&buf)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("clean stream skipped %d lines", len(skipped))
 	}
 	if len(back) != 5 {
 		t.Fatalf("len = %d", len(back))
@@ -69,13 +72,44 @@ func TestJSONLRoundTrip(t *testing.T) {
 	}
 }
 
-func TestReadJSONLErrors(t *testing.T) {
-	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
-		t.Error("garbage should error")
+func TestReadJSONLSkipAccounting(t *testing.T) {
+	// Two good events around a garbage line and a truncated JSON line:
+	// the good ones survive, the bad ones come back as structured
+	// parse errors with their 1-based line numbers.
+	stream := `{"user":"u1","verb":"create","resource":"pods","allowed":true,"code":201}
+not json
+{"user":"u2","verb":"get","resource":"pods"
+{"user":"u3","verb":"delete","resource":"pods","allowed":false,"code":403}
+`
+	events, skipped, err := ReadJSONL(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
 	}
-	events, err := ReadJSONL(strings.NewReader("\n\n"))
-	if err != nil || len(events) != 0 {
-		t.Errorf("blank lines: %v, %v", events, err)
+	if len(events) != 2 || events[0].User != "u1" || events[1].User != "u3" {
+		t.Fatalf("events = %+v", events)
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped = %+v", skipped)
+	}
+	if skipped[0].Line != 2 || skipped[1].Line != 3 {
+		t.Errorf("skip lines = %d, %d", skipped[0].Line, skipped[1].Line)
+	}
+	if !strings.Contains(skipped[0].Error(), "line 2") {
+		t.Errorf("ParseError.Error() = %q", skipped[0].Error())
+	}
+}
+
+func TestReadJSONLErrors(t *testing.T) {
+	events, skipped, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(events) != 0 || len(skipped) != 0 {
+		t.Errorf("blank lines: %v, %v, %v", events, skipped, err)
+	}
+	// An I/O-level failure (a line beyond the scanner's buffer) is a
+	// real error, not a skip: the stream may be arbitrarily corrupt
+	// past it.
+	events, skipped, err = ReadJSONL(strings.NewReader(strings.Repeat("x", 2<<20)))
+	if err == nil {
+		t.Errorf("oversized line must error (events %d, skipped %d)", len(events), len(skipped))
 	}
 }
 

@@ -1,0 +1,49 @@
+// Package jsonl is the shared tolerant JSON-lines reader behind
+// audit.ReadJSONL and learn.ReadTrace: real logs are appended by
+// crashing processes and rotated mid-write, so malformed lines are
+// skipped — never silently; each comes back with its line number — and
+// only I/O-level failures (reader errors, lines beyond the scanner
+// bound) are fatal.
+package jsonl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Skipped records one line that the decode callback rejected.
+type Skipped struct {
+	// Line is the 1-based line number within the stream.
+	Line int
+	Err  error
+}
+
+// MaxLineBytes bounds a single line; longer lines are an I/O-level
+// error (the stream may be arbitrarily corrupt past them).
+const MaxLineBytes = 1 << 20
+
+// Read scans r line by line, calling decode for each non-blank line.
+// A decode error skips the line and records it; the error return covers
+// scanner failures only.
+func Read(r io.Reader, decode func(data []byte) error) ([]Skipped, error) {
+	var skipped []Skipped
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), MaxLineBytes)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if err := decode([]byte(text)); err != nil {
+			skipped = append(skipped, Skipped{Line: line, Err: err})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return skipped, fmt.Errorf("jsonl: reading: %w", err)
+	}
+	return skipped, nil
+}

@@ -1,0 +1,86 @@
+// Candidate diffing: a mined policy is most trustworthy when it can be
+// compared against an independently derived one. For workloads that DO
+// have a chart, diffing the traffic-mined candidate against the
+// chart-derived policy is the reviewer's tool: paths only traffic
+// produced reveal undocumented behavior (or an attacker already inside
+// the learning window); paths only the chart produced reveal surface the
+// workload never exercised and could lose.
+package learn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/validator"
+)
+
+// DiffReport compares a mined candidate against a base policy.
+type DiffReport struct {
+	Workload string `json:"workload"`
+	// MinedKinds / BaseKinds count the kinds each side allows.
+	MinedKinds int `json:"mined_kinds"`
+	BaseKinds  int `json:"base_kinds"`
+	// MinedPaths / BasePaths count allowed field paths across kinds.
+	MinedPaths int `json:"mined_paths"`
+	BasePaths  int `json:"base_paths"`
+	// MinedOnly lists "Kind:path" entries the candidate allows and the
+	// base policy does not; BaseOnly the reverse. Kinds absent from one
+	// side entirely contribute a single "Kind" entry.
+	MinedOnly []string `json:"mined_only,omitempty"`
+	BaseOnly  []string `json:"base_only,omitempty"`
+}
+
+// Diff compares a mined candidate against a base (typically
+// chart-derived) policy for the same workload.
+func Diff(mined, base *validator.Validator) *DiffReport {
+	rep := &DiffReport{Workload: mined.Workload}
+	minedPaths := pathSet(mined)
+	basePaths := pathSet(base)
+	rep.MinedKinds = len(mined.Kinds)
+	rep.BaseKinds = len(base.Kinds)
+	rep.MinedPaths = len(minedPaths)
+	rep.BasePaths = len(basePaths)
+	for p := range minedPaths {
+		if !basePaths[p] {
+			rep.MinedOnly = append(rep.MinedOnly, p)
+		}
+	}
+	for p := range basePaths {
+		if !minedPaths[p] {
+			rep.BaseOnly = append(rep.BaseOnly, p)
+		}
+	}
+	sort.Strings(rep.MinedOnly)
+	sort.Strings(rep.BaseOnly)
+	return rep
+}
+
+func pathSet(v *validator.Validator) map[string]bool {
+	set := map[string]bool{}
+	for _, kind := range v.AllowedKinds() {
+		set[kind] = true
+		for _, p := range v.AllowedPaths(kind) {
+			set[kind+":"+p] = true
+		}
+	}
+	return set
+}
+
+// Render formats the report for humans.
+func (d *DiffReport) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy diff for workload %s: mined %d kinds / %d paths, base %d kinds / %d paths\n",
+		d.Workload, d.MinedKinds, d.MinedPaths, d.BaseKinds, d.BasePaths)
+	if len(d.MinedOnly) == 0 && len(d.BaseOnly) == 0 {
+		b.WriteString("  surfaces identical\n")
+		return b.String()
+	}
+	for _, p := range d.MinedOnly {
+		fmt.Fprintf(&b, "  +mined-only %s\n", p)
+	}
+	for _, p := range d.BaseOnly {
+		fmt.Fprintf(&b, "  -base-only  %s\n", p)
+	}
+	return b.String()
+}

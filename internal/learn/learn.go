@@ -1,0 +1,692 @@
+// Package learn mines KubeFence policies from observed admission
+// traffic. The paper derives workload policies from Helm charts; real
+// clusters also run workloads with no usable spec — hand-rolled
+// manifests, closed-source operators, legacy tooling. For those, the
+// only ground truth available is what the workload actually asks the API
+// server to do.
+//
+// The Miner is a streaming learner: each observed request object is
+// folded into per-kind field statistics, and at any point the
+// accumulated observations generalize into a candidate policy in the
+// exact validator form the chart pipeline produces (so the whole
+// enforcement stack — compile, registry, proxy, replay — applies
+// unchanged, and a mined policy can be diffed against a chart-derived
+// one field by field). Generalization follows the same ladder the paper
+// uses for chart values:
+//
+//   - a field observed with one constant stays exact;
+//   - a small set of constants becomes an enumeration (the cardinality
+//     bound is Options.MaxValueSet);
+//   - an overflowing set generalizes to its observed scalar type, to an
+//     anchored common-prefix pattern when every observation is a string
+//     sharing a meaningful prefix (registry/repository paths), or to the
+//     IP type when every observation is an IPv4 literal — with the
+//     observed numeric range retained in the mined summary;
+//   - fields present in (nearly) every observation of their parent are
+//     inferred required, which is what lets a mined policy block
+//     deletion-style attacks (the paper's E5) the way RequiredPaths does
+//     for chart policies.
+//
+// A mined policy is only a *candidate*: the rollout lifecycle
+// (Controller, internal/registry modes) shadows it against live traffic
+// and promotes it to enforcement only once its would-deny rate holds a
+// configured gate.
+package learn
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/object"
+	"repro/internal/schema"
+	"repro/internal/validator"
+)
+
+// Options configure mining.
+type Options struct {
+	// MaxValueSet bounds the distinct scalars a field keeps before its
+	// domain generalizes to a type/pattern (default 8).
+	MaxValueSet int
+	// RequiredThreshold is the presence frequency (0..1] at or above
+	// which a field of a map is inferred required (default 1.0: present
+	// in every observation of its parent).
+	RequiredThreshold float64
+	// MinRequiredObs is the minimum number of parent observations before
+	// required inference applies at all (default 2) — one observation is
+	// not evidence of an invariant.
+	MinRequiredObs uint64
+	// MinPatternPrefix is the shortest common string prefix worth
+	// preserving as an anchored pattern when a string domain overflows
+	// (default 4). Shorter prefixes generalize to the bare string type.
+	MinPatternPrefix int
+	// GeneralizeAny lists path suffixes mined as free-form subtrees.
+	// Defaults to the chart pipeline's list (labels, annotations,
+	// selectors), keeping mined and chart policies comparable.
+	GeneralizeAny []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxValueSet <= 0 {
+		o.MaxValueSet = 8
+	}
+	if o.RequiredThreshold <= 0 || o.RequiredThreshold > 1 {
+		o.RequiredThreshold = 1.0
+	}
+	if o.MinRequiredObs == 0 {
+		o.MinRequiredObs = 2
+	}
+	if o.MinPatternPrefix <= 0 {
+		o.MinPatternPrefix = 4
+	}
+	if o.GeneralizeAny == nil {
+		o.GeneralizeAny = validator.DefaultGeneralizeAny()
+	}
+	return o
+}
+
+// Miner accumulates admission-request observations for one workload and
+// generalizes them into candidate policies. All methods are safe for
+// concurrent use; it implements registry.Observer.
+type Miner struct {
+	workload string
+	opts     Options
+
+	mu          sync.Mutex
+	kinds       map[string]*stats
+	apiVersions map[string]map[string]bool
+	requests    uint64
+	version     uint64 // bumped whenever an observation grew a domain
+}
+
+// New builds a Miner for one workload.
+func New(workload string, opts Options) *Miner {
+	return &Miner{
+		workload:    workload,
+		opts:        opts.withDefaults(),
+		kinds:       map[string]*stats{},
+		apiVersions: map[string]map[string]bool{},
+	}
+}
+
+// Workload names the workload the miner learns.
+func (m *Miner) Workload() string { return m.workload }
+
+// Requests counts the observations folded in so far.
+func (m *Miner) Requests() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.requests
+}
+
+// Version is an opaque counter that changes whenever an observation grew
+// some field's domain (new kind, field, value, type, or pattern). A
+// rollout controller uses it to skip re-emitting an unchanged candidate.
+func (m *Miner) Version() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}
+
+// Observe folds one request object into the statistics. Objects without
+// a kind are ignored (the proxy denies them before any policy applies).
+// The body is scrubbed exactly like the validator scrubs incoming
+// requests — apiVersion/kind/status and server-owned metadata never
+// become policy surface.
+func (m *Miner) Observe(o object.Object) {
+	kind := o.Kind()
+	if kind == "" {
+		return
+	}
+	// Shallow scrub copies only: merge never mutates the observed tree
+	// and retains nothing but scalars (s.values), so the full DeepCopy
+	// the validator needs for its delete-based scrub would be pure
+	// allocation on the learn-mode request path.
+	body := make(map[string]any, len(o))
+	for k, v := range o {
+		if !validator.ScrubRootKey(k) {
+			body[k] = v
+		}
+	}
+	if md, ok := body["metadata"].(map[string]any); ok {
+		scrubbed := make(map[string]any, len(md))
+		for k, v := range md {
+			if !validator.ScrubMetaKey(k) {
+				scrubbed[k] = v
+			}
+		}
+		body["metadata"] = scrubbed
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests++
+	grew := false
+	if m.kinds[kind] == nil {
+		m.kinds[kind] = &stats{}
+		grew = true
+	}
+	if av := o.APIVersion(); av != "" {
+		if m.apiVersions[kind] == nil {
+			m.apiVersions[kind] = map[string]bool{}
+		}
+		if !m.apiVersions[kind][av] {
+			m.apiVersions[kind][av] = true
+			grew = true
+		}
+	}
+	if m.kinds[kind].merge(body, "", &m.opts) {
+		grew = true
+	}
+	if grew {
+		m.version++
+	}
+}
+
+// stats is the observation record for one field path.
+type stats struct {
+	obs uint64 // times this path was observed (presence count)
+
+	anyForced bool
+	mapObs    uint64
+	listObs   uint64
+	scalarObs uint64
+
+	fields map[string]*stats
+	item   *stats
+
+	// Scalar domain.
+	values   []any // distinct observed constants, bounded by MaxValueSet
+	overflow bool
+	types    map[string]bool // observed type tokens
+	hasNum   bool
+	min, max float64
+	// lcp tracks the longest common prefix of observed strings; allIP
+	// stays true while every observed string is an IPv4 literal.
+	lcp    string
+	hasLCP bool
+	allIP  bool
+}
+
+var ipLiteralRe = regexp.MustCompile(`^(\d{1,3}\.){3}\d{1,3}$`)
+
+// merge folds one observed value into the node, reporting whether any
+// domain grew (new field, value, type, structural shape, or a pattern
+// prefix shrink — anything that could change the emitted candidate).
+func (s *stats) merge(v any, path string, opts *Options) bool {
+	s.obs++
+	if s.anyForced {
+		return false
+	}
+	for _, suffix := range opts.GeneralizeAny {
+		if suffixMatch(path, suffix) {
+			s.anyForced = true
+			return true
+		}
+	}
+	switch t := v.(type) {
+	case map[string]any:
+		grew := s.mapObs == 0
+		s.mapObs++
+		if s.fields == nil {
+			s.fields = map[string]*stats{}
+		}
+		// A known field absent from this observation can only LOWER a
+		// presence frequency; when the field was present in every prior
+		// observation, the required-inference outcome just changed, and
+		// the rollout controller must re-emit the candidate even though
+		// no domain grew.
+		for k, child := range s.fields {
+			if _, present := t[k]; !present && s.mapObs > 1 && child.obs == s.mapObs-1 {
+				grew = true
+			}
+		}
+		for k, val := range t {
+			child := s.fields[k]
+			if child == nil {
+				child = &stats{}
+				s.fields[k] = child
+				grew = true
+			}
+			if child.merge(val, joinPath(path, k), opts) {
+				grew = true
+			}
+		}
+		return grew
+	case []any:
+		grew := s.listObs == 0
+		s.listObs++
+		for _, item := range t {
+			if s.item == nil {
+				s.item = &stats{}
+				grew = true
+			}
+			if s.item.merge(item, path, opts) {
+				grew = true
+			}
+		}
+		return grew
+	default:
+		return s.mergeScalar(t, opts)
+	}
+}
+
+func (s *stats) mergeScalar(v any, opts *Options) bool {
+	grew := s.scalarObs == 0
+	s.scalarObs++
+	if s.types == nil {
+		s.types = map[string]bool{}
+		s.allIP = true
+	}
+	tok := scalarToken(v)
+	if !s.types[tok] {
+		s.types[tok] = true
+		grew = true
+	}
+	if f, ok := toFloat(v); ok {
+		if !s.hasNum || f < s.min {
+			s.min = f
+		}
+		if !s.hasNum || f > s.max {
+			s.max = f
+		}
+		s.hasNum = true
+	}
+	if str, ok := v.(string); ok {
+		if s.allIP && !ipLiteralRe.MatchString(str) {
+			s.allIP = false
+			grew = true
+		}
+		if !s.hasLCP {
+			s.lcp, s.hasLCP = str, true
+		} else if p := commonPrefix(s.lcp, str); p != s.lcp {
+			s.lcp = p
+			grew = true
+		}
+	} else if s.allIP && s.types[schema.TokString] {
+		s.allIP = false
+		grew = true
+	}
+	if !s.overflow {
+		found := false
+		for _, existing := range s.values {
+			if object.Equal(existing, v) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			if len(s.values) >= opts.MaxValueSet {
+				s.overflow = true
+			} else {
+				s.values = append(s.values, v)
+			}
+			grew = true
+		}
+		return grew
+	}
+	// Post-overflow liveness invariant: every observed value must be
+	// allowed by the NEXT emitted candidate, or a shadow false positive
+	// whose body teaches the miner nothing would leave the workload
+	// stuck in shadow forever (the rollout controller only republishes
+	// when the miner grew). A value the current generalization does not
+	// absorb is retained as an explicit enum member past the cardinality
+	// bound — bounded in practice by how many shapes real traffic has.
+	if !s.covered(v, opts) {
+		s.values = append(s.values, v)
+		grew = true
+	}
+	return grew
+}
+
+// covered reports whether the current generalization (as scalarNode
+// would emit it) already allows the value.
+func (s *stats) covered(v any, opts *Options) bool {
+	n, _ := s.scalarNode(opts)
+	if n.Type != "" && validator.TypeMatches(n.Type, v) {
+		return true
+	}
+	if str, ok := v.(string); ok {
+		for _, p := range n.Patterns {
+			if re, err := regexp.Compile(p); err == nil && re.MatchString(str) {
+				return true
+			}
+		}
+	}
+	for _, allowed := range n.Values {
+		if object.Equal(allowed, v) {
+			return true
+		}
+	}
+	return false
+}
+
+// scalarToken classifies an observed scalar as a placeholder type token.
+func scalarToken(v any) string {
+	switch t := v.(type) {
+	case bool:
+		return schema.TokBool
+	case int, int64:
+		return schema.TokInt
+	case float64:
+		if t == float64(int64(t)) {
+			return schema.TokInt
+		}
+		return schema.TokFloat
+	case string:
+		return schema.TokString
+	case nil:
+		return "null"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}
+
+func toFloat(v any) (float64, bool) {
+	switch t := v.(type) {
+	case int:
+		return float64(t), true
+	case int64:
+		return float64(t), true
+	case float64:
+		return t, true
+	}
+	return 0, false
+}
+
+func commonPrefix(a, b string) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	i := 0
+	for i < n && a[i] == b[i] {
+		i++
+	}
+	return a[:i]
+}
+
+func suffixMatch(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return strings.HasSuffix(path, "."+suffix)
+}
+
+func joinPath(path, key string) string {
+	if path == "" {
+		return key
+	}
+	return path + "." + key
+}
+
+// PathSummary describes how one mined field path generalized — the
+// human-auditable record of what the candidate allows and why.
+type PathSummary struct {
+	Kind string `json:"kind"`
+	Path string `json:"path"`
+	// Observations counts how many times the path was present.
+	Observations uint64 `json:"observations"`
+	// Distinct is the number of distinct scalar values retained (0 for
+	// non-scalar nodes).
+	Distinct int `json:"distinct,omitempty"`
+	// Domain renders the generalization outcome: "exact", "enum(n)",
+	// "type:int range[80,443]", "pattern:^docker.io/…", "any", "object",
+	// "list".
+	Domain string `json:"domain"`
+	// Required marks paths inferred mandatory from presence frequency.
+	Required bool `json:"required,omitempty"`
+}
+
+// Policy generalizes the accumulated observations into a candidate
+// policy validator. It errors until at least one object was observed.
+func (m *Miner) Policy() (*validator.Validator, error) {
+	v, _, ok := m.emit(false)
+	if !ok {
+		return nil, fmt.Errorf("learn: workload %s: no observations to generalize", m.workload)
+	}
+	return v, nil
+}
+
+// Summaries renders the per-path generalization outcomes of the current
+// candidate, sorted by (kind, path). Empty until something was observed.
+func (m *Miner) Summaries() []PathSummary {
+	_, s, ok := m.emit(true)
+	if !ok {
+		return nil
+	}
+	return s
+}
+
+// emitState avoids recomputing summaries when the caller only wants the
+// validator.
+func (m *Miner) emit(withSummaries bool) (*validator.Validator, []PathSummary, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.requests == 0 || len(m.kinds) == 0 {
+		return nil, nil, false
+	}
+	v := &validator.Validator{
+		Workload:    m.workload,
+		Kinds:       map[string]*validator.Node{},
+		APIVersions: map[string]map[string]bool{},
+		Mode:        validator.LockIfPresent,
+	}
+	var summaries []PathSummary
+	for kind, st := range m.kinds {
+		var sink *[]PathSummary
+		if withSummaries {
+			sink = &summaries
+		}
+		v.Kinds[kind] = st.node("", kind, &m.opts, sink)
+		avs := map[string]bool{}
+		for av := range m.apiVersions[kind] {
+			avs[av] = true
+		}
+		v.APIVersions[kind] = avs
+	}
+	if withSummaries {
+		sort.Slice(summaries, func(i, j int) bool {
+			if summaries[i].Kind != summaries[j].Kind {
+				return summaries[i].Kind < summaries[j].Kind
+			}
+			return summaries[i].Path < summaries[j].Path
+		})
+	}
+	return v, summaries, true
+}
+
+// node lowers one stats record into a validator node.
+func (s *stats) node(path, kind string, opts *Options, summaries *[]PathSummary) *validator.Node {
+	summarize := func(n *validator.Node, domain string, distinct int) *validator.Node {
+		if summaries != nil && path != "" {
+			*summaries = append(*summaries, PathSummary{
+				Kind: kind, Path: path, Observations: s.obs,
+				Distinct: distinct, Domain: domain, Required: n.Required,
+			})
+		}
+		return n
+	}
+	structural := 0
+	for _, c := range []uint64{s.mapObs, s.listObs, s.scalarObs} {
+		if c > 0 {
+			structural++
+		}
+	}
+	if s.anyForced || structural > 1 {
+		// Free-form by configuration, or structurally conflicting
+		// observations — same generalization the chart builder applies.
+		return summarize(&validator.Node{Kind: validator.KindAny}, "any", 0)
+	}
+	switch {
+	case s.mapObs > 0:
+		n := &validator.Node{Kind: validator.KindMap, Fields: map[string]*validator.Node{}}
+		for k, child := range s.fields {
+			cn := child.node(joinPath(path, k), kind, opts, nil) // summaries attached below
+			if s.mapObs >= opts.MinRequiredObs &&
+				float64(child.obs)/float64(s.mapObs) >= opts.RequiredThreshold &&
+				child.hasContent() {
+				cn.Required = true
+			}
+			n.Fields[k] = cn
+		}
+		// Re-walk for summaries with the Required flags settled.
+		if summaries != nil {
+			for _, k := range sortedFieldKeys(s.fields) {
+				s.fields[k].summaryWalk(joinPath(path, k), kind, n.Fields[k], opts, summaries)
+			}
+		}
+		return summarize(n, "object", 0)
+	case s.listObs > 0:
+		n := &validator.Node{Kind: validator.KindList}
+		if s.item != nil {
+			n.Item = s.item.node(path, kind, opts, nil)
+			if summaries != nil {
+				s.item.summaryWalk(path, kind, n.Item, opts, summaries)
+			}
+		}
+		return summarize(n, "list", 0)
+	default:
+		n, domain := s.scalarNode(opts)
+		return summarize(n, domain, len(s.values))
+	}
+}
+
+// summaryWalk re-records summaries for an already-lowered subtree (the
+// Required flags live on the lowered nodes, not the stats).
+func (s *stats) summaryWalk(path, kind string, n *validator.Node, opts *Options, summaries *[]PathSummary) {
+	domain, distinct := s.describe(opts)
+	*summaries = append(*summaries, PathSummary{
+		Kind: kind, Path: path, Observations: s.obs,
+		Distinct: distinct, Domain: domain, Required: n.Required,
+	})
+	if n.Kind == validator.KindMap && s.fields != nil {
+		for _, k := range sortedFieldKeys(s.fields) {
+			if child := n.Fields[k]; child != nil {
+				s.fields[k].summaryWalk(joinPath(path, k), kind, child, opts, summaries)
+			}
+		}
+	}
+	if n.Kind == validator.KindList && n.Item != nil && s.item != nil {
+		s.item.summaryWalk(path, kind, n.Item, opts, summaries)
+	}
+}
+
+// describe renders the domain label for summaries without rebuilding the
+// node.
+func (s *stats) describe(opts *Options) (string, int) {
+	structural := 0
+	for _, c := range []uint64{s.mapObs, s.listObs, s.scalarObs} {
+		if c > 0 {
+			structural++
+		}
+	}
+	if s.anyForced || structural > 1 {
+		return "any", 0
+	}
+	switch {
+	case s.mapObs > 0:
+		return "object", 0
+	case s.listObs > 0:
+		return "list", 0
+	default:
+		_, domain := s.scalarNode(opts)
+		return domain, len(s.values)
+	}
+}
+
+// scalarNode lowers a scalar domain, returning the node and the summary
+// label.
+func (s *stats) scalarNode(opts *Options) (*validator.Node, string) {
+	n := &validator.Node{Kind: validator.KindScalar}
+	if !s.overflow {
+		n.Values = append([]any(nil), s.values...)
+		if len(s.values) == 1 {
+			return n, "exact"
+		}
+		return n, fmt.Sprintf("enum(%d)", len(s.values))
+	}
+	// The observed set overflowed the cardinality bound: generalize, from
+	// most to least specific — IP literal, anchored common prefix,
+	// numeric type with range, bare type. The retained values ride along
+	// as an enum fallback in every branch: values observed AFTER the
+	// overflow that the generalization does not absorb (see covered) are
+	// only allowed through them, and the pre-overflow retainees were
+	// legitimately observed anyway.
+	n.Values = append([]any(nil), s.values...)
+	onlyString := s.types[schema.TokString] && len(s.types) == 1
+	switch {
+	case onlyString && s.allIP:
+		n.Type = schema.TokIP
+		return n, "type:IP"
+	case onlyString && len(s.lcp) >= opts.MinPatternPrefix:
+		n.Patterns = []string{"^" + regexp.QuoteMeta(s.lcp) + `[^\s]*$`}
+		return n, "pattern:^" + s.lcp + "…"
+	case onlyString:
+		n.Type = schema.TokString
+		return n, "type:string"
+	case s.numericOnly():
+		if s.types[schema.TokFloat] {
+			n.Type = schema.TokFloat
+		} else {
+			n.Type = schema.TokInt
+		}
+		return n, fmt.Sprintf("type:%s range[%s,%s]", n.Type,
+			renderNum(s.min), renderNum(s.max))
+	case s.types[schema.TokBool] && len(s.types) == 1:
+		n.Type = schema.TokBool
+		return n, "type:bool"
+	default:
+		// Mixed scalar types: fall back to string plus the enum.
+		n.Type = schema.TokString
+		return n, "type:string+enum"
+	}
+}
+
+// hasContent reports whether the node was ever observed non-empty. A
+// field that is always present but always empty ({} or []) must not be
+// inferred required: the validator's required check rejects empty
+// stand-ins, so requiring it would deny the very trace it was mined
+// from.
+func (s *stats) hasContent() bool {
+	if s.scalarObs > 0 || s.anyForced {
+		return true
+	}
+	if s.mapObs > 0 {
+		return len(s.fields) > 0
+	}
+	if s.listObs > 0 {
+		return s.item != nil
+	}
+	return false
+}
+
+func (s *stats) numericOnly() bool {
+	if len(s.types) == 0 {
+		return false
+	}
+	for tok := range s.types {
+		if tok != schema.TokInt && tok != schema.TokFloat {
+			return false
+		}
+	}
+	return true
+}
+
+func renderNum(f float64) string {
+	if f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+func sortedFieldKeys(m map[string]*stats) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,388 @@
+package learn
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/chart"
+	"repro/internal/charts"
+	"repro/internal/compile"
+	"repro/internal/object"
+	"repro/internal/schema"
+	"repro/internal/validator"
+)
+
+func pod(fields map[string]any) object.Object {
+	o := object.Object{
+		"apiVersion": "v1",
+		"kind":       "Pod",
+		"metadata":   map[string]any{"name": "p", "namespace": "ns"},
+		"spec":       map[string]any{},
+	}
+	spec := o["spec"].(map[string]any)
+	for k, v := range fields {
+		spec[k] = v
+	}
+	return o
+}
+
+func mustPolicy(t *testing.T, m *Miner) *validator.Validator {
+	t.Helper()
+	v, err := m.Policy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestMinerEmptyErrors(t *testing.T) {
+	m := New("w", Options{})
+	if _, err := m.Policy(); err == nil {
+		t.Fatal("Policy on an empty miner must error")
+	}
+	m.Observe(object.Object{"metadata": map[string]any{}}) // no kind
+	if _, err := m.Policy(); err == nil {
+		t.Fatal("kindless observations must not produce a policy")
+	}
+}
+
+// noRequired disables required-field inference so domain tests can probe
+// fields in isolation.
+const noRequired = ^uint64(0)
+
+func TestMinerExactEnumOverflow(t *testing.T) {
+	m := New("w", Options{MaxValueSet: 3, MinRequiredObs: noRequired})
+	for i := 0; i < 10; i++ {
+		m.Observe(pod(map[string]any{
+			"hostname": "fixed",
+			"priority": float64(i % 2),        // enum of 2
+			"nodeName": fmt.Sprintf("n%d", i), // overflows to type string ("n" prefix < MinPatternPrefix)
+		}))
+	}
+	v := mustPolicy(t, m)
+
+	check := func(o object.Object, wantViolations bool, label string) {
+		t.Helper()
+		vs := v.Validate(o)
+		if (len(vs) > 0) != wantViolations {
+			t.Errorf("%s: violations = %v", label, vs)
+		}
+	}
+	check(pod(map[string]any{"hostname": "fixed"}), false, "exact value allowed")
+	check(pod(map[string]any{"hostname": "evil"}), true, "off-domain value denied")
+	check(pod(map[string]any{"priority": float64(1)}), false, "enum member allowed")
+	check(pod(map[string]any{"priority": float64(9)}), true, "outside enum denied")
+	check(pod(map[string]any{"nodeName": "anything-goes"}), false, "overflowed string generalizes to type")
+	check(pod(map[string]any{"nodeName": float64(3)}), true, "type string rejects numbers")
+	check(pod(map[string]any{"smuggled": "x"}), true, "unobserved field denied")
+}
+
+func TestMinerPatternAndIPAndRange(t *testing.T) {
+	m := New("w", Options{MaxValueSet: 2, MinRequiredObs: noRequired})
+	for i := 0; i < 6; i++ {
+		m.Observe(pod(map[string]any{
+			"image": fmt.Sprintf("docker.io/bitnami/app:v%d", i),
+			"podIP": fmt.Sprintf("10.0.0.%d", i),
+			"port":  float64(8000 + i),
+		}))
+	}
+	v := mustPolicy(t, m)
+
+	if vs := v.Validate(pod(map[string]any{"image": "docker.io/bitnami/app:v99"})); len(vs) != 0 {
+		t.Errorf("prefix-conforming image denied: %v", vs)
+	}
+	if vs := v.Validate(pod(map[string]any{"image": "evil.io/bitnami/app:v1"})); len(vs) == 0 {
+		t.Error("image outside the mined prefix must be denied")
+	}
+	if vs := v.Validate(pod(map[string]any{"podIP": "192.168.1.1"})); len(vs) != 0 {
+		t.Errorf("IP literal denied after IP generalization: %v", vs)
+	}
+	if vs := v.Validate(pod(map[string]any{"podIP": "not-an-ip"})); len(vs) == 0 {
+		t.Error("non-IP must be denied after IP generalization")
+	}
+	if vs := v.Validate(pod(map[string]any{"port": float64(12)})); len(vs) != 0 {
+		t.Errorf("int denied after numeric generalization: %v", vs)
+	}
+	if vs := v.Validate(pod(map[string]any{"port": "8080; rm -rf /"})); len(vs) == 0 {
+		t.Error("non-numeric string must be denied for an int domain")
+	}
+
+	// The range survives into the summaries even though the validator
+	// node only carries the type.
+	var found bool
+	for _, s := range m.Summaries() {
+		if s.Path == "spec.port" {
+			found = true
+			if !strings.Contains(s.Domain, "range[8000,8005]") {
+				t.Errorf("port summary lost its range: %q", s.Domain)
+			}
+		}
+	}
+	if !found {
+		t.Error("no summary for spec.port")
+	}
+}
+
+func TestRequiredInference(t *testing.T) {
+	m := New("w", Options{})
+	for i := 0; i < 4; i++ {
+		fields := map[string]any{"serviceAccountName": "sa"}
+		if i%2 == 0 {
+			fields["hostname"] = "h" // present half the time: optional
+		}
+		m.Observe(pod(fields))
+	}
+	v := mustPolicy(t, m)
+
+	// Omitting the always-present field is a violation...
+	o := pod(nil)
+	vs := v.Validate(o)
+	if len(vs) == 0 {
+		t.Fatal("omitting an always-present field must be denied")
+	}
+	// ...and so is gutting it with an empty stand-in at the parent level.
+	noSpec := pod(nil)
+	delete(noSpec, "spec")
+	if vs := v.Validate(noSpec); len(vs) == 0 {
+		t.Error("deleting the parent of a required field must be denied")
+	}
+	// The optional field may be omitted.
+	ok := pod(map[string]any{"serviceAccountName": "sa"})
+	if vs := v.Validate(ok); len(vs) != 0 {
+		t.Errorf("optional-field omission wrongly denied: %v", vs)
+	}
+}
+
+func TestRequiredNeedsEvidence(t *testing.T) {
+	m := New("w", Options{})
+	m.Observe(pod(map[string]any{"hostname": "h"}))
+	v := mustPolicy(t, m)
+	// A single observation is not evidence: nothing is required yet.
+	if vs := v.Validate(pod(nil)); len(vs) != 0 {
+		t.Errorf("required inferred from one observation: %v", vs)
+	}
+}
+
+func TestGeneralizeAnyDefaults(t *testing.T) {
+	m := New("w", Options{})
+	o := pod(nil)
+	o["metadata"].(map[string]any)["labels"] = map[string]any{"app": "x"}
+	m.Observe(o)
+	m.Observe(o)
+	v := mustPolicy(t, m)
+	probe := pod(nil)
+	probe["metadata"].(map[string]any)["labels"] = map[string]any{"totally": "new", "keys": "ok"}
+	if vs := v.Validate(probe); len(vs) != 0 {
+		t.Errorf("labels must mine as free-form: %v", vs)
+	}
+}
+
+func TestMinerScrubsServerFields(t *testing.T) {
+	m := New("w", Options{})
+	o := pod(nil)
+	o["status"] = map[string]any{"phase": "Running"}
+	o["metadata"].(map[string]any)["resourceVersion"] = "123"
+	m.Observe(o)
+	m.Observe(o)
+	v := mustPolicy(t, m)
+	for _, p := range v.AllowedPaths("Pod") {
+		if strings.HasPrefix(p, "status") || strings.Contains(p, "resourceVersion") {
+			t.Errorf("server-owned path mined into policy: %s", p)
+		}
+	}
+}
+
+func TestVersionTracksGrowth(t *testing.T) {
+	m := New("w", Options{})
+	o := pod(map[string]any{"hostname": "h"})
+	m.Observe(o)
+	v1 := m.Version()
+	m.Observe(o) // identical: nothing grew
+	if m.Version() != v1 {
+		t.Error("version changed without domain growth")
+	}
+	m.Observe(pod(map[string]any{"hostname": "other"}))
+	if m.Version() == v1 {
+		t.Error("new value did not grow the version")
+	}
+}
+
+func TestMixedStructureGeneralizes(t *testing.T) {
+	m := New("w", Options{})
+	m.Observe(pod(map[string]any{"overcommit": "x"}))
+	m.Observe(pod(map[string]any{"overcommit": map[string]any{"a": "b"}}))
+	v := mustPolicy(t, m)
+	if vs := v.Validate(pod(map[string]any{"overcommit": []any{"anything"}})); len(vs) != 0 {
+		t.Errorf("structurally conflicting field must generalize to any: %v", vs)
+	}
+}
+
+// TestMinedChartPoliciesSelfConsistent is the anchor property: mining a
+// chart's own rendered objects yields a policy that (a) compiles into
+// the rule program, (b) allows every object it was mined from in both
+// engines, and (c) denies an object of a never-observed kind.
+func TestMinedChartPoliciesSelfConsistent(t *testing.T) {
+	for _, name := range charts.Names() {
+		t.Run(name, func(t *testing.T) {
+			c := charts.MustLoad(name)
+			files, err := c.Render(nil, chart.ReleaseOptions{Name: "rel", Namespace: name})
+			if err != nil {
+				t.Fatal(err)
+			}
+			objs := chart.Objects(files)
+			if len(objs) == 0 {
+				t.Fatal("no rendered objects")
+			}
+			m := New(name, Options{})
+			for _, o := range objs {
+				m.Observe(o)
+				m.Observe(o) // the reconcile re-apply
+			}
+			v := mustPolicy(t, m)
+			prog, err := compile.Compile(v)
+			if err != nil {
+				t.Fatalf("mined policy does not compile: %v", err)
+			}
+			for _, o := range objs {
+				if vs := v.Validate(o); len(vs) != 0 {
+					t.Fatalf("interpreted: mined policy denies its own trace %s/%s: %v",
+						o.Kind(), o.Name(), vs)
+				}
+				if vs := prog.Validate(o); len(vs) != 0 {
+					t.Fatalf("compiled: mined policy denies its own trace %s/%s: %v",
+						o.Kind(), o.Name(), vs)
+				}
+			}
+			alien := object.Object{
+				"apiVersion": "v1", "kind": "NeverObservedKind",
+				"metadata": map[string]any{"name": "x"},
+			}
+			if vs := v.Validate(alien); len(vs) == 0 {
+				t.Error("unobserved kind must be denied")
+			}
+		})
+	}
+}
+
+func TestDiffReportsAsymmetry(t *testing.T) {
+	mined := New("w", Options{})
+	base := New("w", Options{})
+	mined.Observe(pod(map[string]any{"hostname": "h"}))
+	base.Observe(pod(map[string]any{"nodeName": "n"}))
+	mv := mustPolicy(t, mined)
+	bv := mustPolicy(t, base)
+	d := Diff(mv, bv)
+	if !contains(d.MinedOnly, "Pod:spec.hostname") {
+		t.Errorf("MinedOnly = %v", d.MinedOnly)
+	}
+	if !contains(d.BaseOnly, "Pod:spec.nodeName") {
+		t.Errorf("BaseOnly = %v", d.BaseOnly)
+	}
+	if !strings.Contains(d.Render(), "mined-only") {
+		t.Error("Render lost the asymmetry")
+	}
+	same := Diff(mv, mv)
+	if len(same.MinedOnly) != 0 || len(same.BaseOnly) != 0 {
+		t.Errorf("self-diff not empty: %+v", same)
+	}
+}
+
+func TestSummariesCoverDomains(t *testing.T) {
+	m := New("w", Options{MaxValueSet: 2})
+	for i := 0; i < 5; i++ {
+		m.Observe(pod(map[string]any{
+			"hostname": "fixed",
+			"nodeName": fmt.Sprintf("node-%d", i),
+		}))
+	}
+	byPath := map[string]PathSummary{}
+	for _, s := range m.Summaries() {
+		byPath[s.Path] = s
+	}
+	if s := byPath["spec.hostname"]; s.Domain != "exact" || !s.Required {
+		t.Errorf("hostname summary = %+v", s)
+	}
+	if s := byPath["spec.nodeName"]; !strings.HasPrefix(s.Domain, "pattern:^node-") {
+		t.Errorf("nodeName summary = %+v", s)
+	}
+	if s := byPath["metadata.namespace"]; s.Observations != 5 {
+		t.Errorf("namespace summary = %+v", s)
+	}
+}
+
+func TestScalarTokenClassification(t *testing.T) {
+	cases := map[string]any{
+		schema.TokBool:   true,
+		schema.TokInt:    int64(3),
+		schema.TokFloat:  3.5,
+		schema.TokString: "s",
+		"null":           nil,
+	}
+	for want, v := range cases {
+		if got := scalarToken(v); got != want {
+			t.Errorf("scalarToken(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := scalarToken(float64(4)); got != schema.TokInt {
+		t.Errorf("integral float classified as %q", got)
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPostOverflowLiveness pins the rollout liveness invariant: every
+// observed value is allowed by the NEXT emitted candidate, even when
+// the generalization cannot absorb it — otherwise a shadow false
+// positive whose body grows nothing would strand the workload in
+// shadow forever.
+func TestPostOverflowLiveness(t *testing.T) {
+	cases := []struct {
+		name   string
+		seed   func(i int) any // drives the domain into overflow
+		tricky any             // a value the generalization cannot absorb
+	}{
+		{"pattern-vs-whitespace", func(i int) any { return fmt.Sprintf("registry.local/app:v%d", i) },
+			"registry.local/app:v1 v2"},
+		{"ip-vs-hostname", func(i int) any { return fmt.Sprintf("10.0.0.%d", i) }, "db.internal"},
+		{"int-vs-label", func(i int) any { return float64(i) }, "n/a"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New("w", Options{MaxValueSet: 3, MinRequiredObs: noRequired})
+			for i := 0; i < 8; i++ {
+				m.Observe(pod(map[string]any{"field": tc.seed(i)}))
+			}
+			v := mustPolicy(t, m)
+			probe := pod(map[string]any{"field": tc.tricky})
+			if vs := v.Validate(probe); len(vs) == 0 {
+				t.Skip("generalization already absorbs the tricky value")
+			}
+			// The shadow feedback loop: the denied body is observed, and
+			// the miner MUST both grow (so the controller republishes)
+			// and allow the value next time.
+			v0 := m.Version()
+			m.Observe(probe)
+			if m.Version() == v0 {
+				t.Fatal("uncovered observation did not grow the miner (stuck-in-shadow)")
+			}
+			v = mustPolicy(t, m)
+			if vs := v.Validate(probe); len(vs) != 0 {
+				t.Fatalf("next candidate still denies the observed value: %v", vs)
+			}
+			// And it stays deduplicated: re-observing changes nothing.
+			v1 := m.Version()
+			m.Observe(probe)
+			if m.Version() != v1 {
+				t.Fatal("re-observing a covered value grew the miner again")
+			}
+		})
+	}
+}

@@ -1,0 +1,102 @@
+// Admission-trace persistence: the offline path into the miner. The
+// proxy's live tap (internal/proxy Config.Tap) records inspected
+// requests as JSON lines; this file reads such traces back — tolerating
+// malformed lines with explicit accounting, mirroring
+// internal/audit.ReadJSONL — and replays them into a Miner.
+package learn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/jsonl"
+	"repro/internal/object"
+)
+
+// TraceEntry is one recorded admission request.
+type TraceEntry struct {
+	Time     time.Time      `json:"time,omitempty"`
+	Workload string         `json:"workload,omitempty"`
+	User     string         `json:"user,omitempty"`
+	Method   string         `json:"method,omitempty"`
+	Path     string         `json:"path,omitempty"`
+	Object   map[string]any `json:"object"`
+}
+
+// TraceWriter appends trace entries as JSON lines; safe for concurrent
+// use (the proxy tap runs on request goroutines).
+type TraceWriter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+// NewTraceWriter wraps a writer.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{enc: json.NewEncoder(w)}
+}
+
+// Record appends one entry.
+func (tw *TraceWriter) Record(e TraceEntry) error {
+	tw.mu.Lock()
+	defer tw.mu.Unlock()
+	if err := tw.enc.Encode(e); err != nil {
+		return fmt.Errorf("learn: encoding trace entry: %w", err)
+	}
+	return nil
+}
+
+// TraceParseError records one line of a trace that could not be parsed.
+type TraceParseError struct {
+	Line int
+	Err  error
+}
+
+func (e TraceParseError) Error() string {
+	return fmt.Sprintf("line %d: %v", e.Line, e.Err)
+}
+
+// ReadTrace parses a JSONL admission trace. Malformed lines and entries
+// without an object are skipped, not fatal — a trace tapped from live
+// traffic may be truncated mid-line by a crash — and returned as
+// structured parse errors so the caller can audit the data loss. The
+// error return covers I/O-level failures only.
+func ReadTrace(r io.Reader) ([]TraceEntry, []TraceParseError, error) {
+	var out []TraceEntry
+	skipped, err := jsonl.Read(r, func(data []byte) error {
+		var e TraceEntry
+		if err := json.Unmarshal(data, &e); err != nil {
+			return err
+		}
+		if len(e.Object) == 0 {
+			return fmt.Errorf("trace entry carries no object")
+		}
+		out = append(out, e)
+		return nil
+	})
+	parseErrs := make([]TraceParseError, len(skipped))
+	for i, s := range skipped {
+		parseErrs[i] = TraceParseError{Line: s.Line, Err: s.Err}
+	}
+	if err != nil {
+		return out, parseErrs, fmt.Errorf("learn: %w", err)
+	}
+	return out, parseErrs, nil
+}
+
+// ObserveTrace replays trace entries into the miner, returning how many
+// were observed. Entries attributed to a different workload are skipped
+// when the miner's workload is set and the entry names one.
+func (m *Miner) ObserveTrace(entries []TraceEntry) int {
+	n := 0
+	for _, e := range entries {
+		if e.Workload != "" && m.workload != "" && e.Workload != m.workload {
+			continue
+		}
+		m.Observe(object.Object(e.Object))
+		n++
+	}
+	return n
+}

@@ -21,6 +21,14 @@
 // (Config.Registry) resolves, per request, the most specific workload
 // policy for the object's namespace and kind, and fails closed when no
 // registered policy governs the request.
+//
+// Each workload carries a rollout mode (registry modes, learn →
+// shadow → enforce): learn-mode requests are forwarded unvalidated and
+// fed to the workload's policy miner, shadow-mode requests are validated
+// against the candidate policy with the would-deny verdict recorded but
+// never enforced, and enforce mode is the classic deny path. Config.Tap
+// additionally streams every inspected request to a trace sink for
+// offline mining.
 package proxy
 
 import (
@@ -47,9 +55,12 @@ type ViolationRecord = registry.Record
 
 // Metrics aggregates proxy counters.
 type Metrics struct {
-	Requests       uint64
-	Inspected      uint64
-	Denied         uint64
+	Requests  uint64
+	Inspected uint64
+	Denied    uint64
+	// Shadowed counts would-deny verdicts recorded for shadow-mode
+	// workloads (the requests themselves were forwarded).
+	Shadowed       uint64
 	ValidationTime time.Duration
 }
 
@@ -77,6 +88,14 @@ type Config struct {
 	ProxyUser string
 	// OnViolation, when non-nil, receives every denial record.
 	OnViolation func(ViolationRecord)
+	// OnShadowViolation, when non-nil, receives every would-deny record
+	// of a workload in shadow mode (the request itself was forwarded).
+	OnShadowViolation func(ViolationRecord)
+	// Tap, when non-nil, receives every successfully decoded and
+	// resolved inspected request — the live capture feeding offline
+	// policy mining (internal/learn traces). It runs on the request
+	// path; keep it cheap (buffered writes, no blocking I/O).
+	Tap func(workload, user, method, path string, obj object.Object)
 }
 
 // Proxy is the enforcement handler.
@@ -89,12 +108,15 @@ type Proxy struct {
 	// Config.Validator; SetValidator swaps that entry's policy.
 	single    string
 	onViolate func(ViolationRecord)
+	onShadow  func(ViolationRecord)
+	tap       func(workload, user, method, path string, obj object.Object)
 
 	mu         sync.Mutex
 	violations []ViolationRecord
 	requests   atomic.Uint64
 	inspected  atomic.Uint64
 	denied     atomic.Uint64
+	shadowed   atomic.Uint64
 	valNanos   atomic.Int64
 }
 
@@ -123,6 +145,8 @@ func New(cfg Config) (*Proxy, error) {
 		proxyUser: cfg.ProxyUser,
 		registry:  cfg.Registry,
 		onViolate: cfg.OnViolation,
+		onShadow:  cfg.OnShadowViolation,
+		tap:       cfg.Tap,
 	}
 	if p.transport == nil {
 		p.transport = http.DefaultTransport
@@ -188,6 +212,7 @@ func (p *Proxy) Metrics() Metrics {
 		Requests:       p.requests.Load(),
 		Inspected:      p.inspected.Load(),
 		Denied:         p.denied.Load(),
+		Shadowed:       p.shadowed.Load(),
 		ValidationTime: time.Duration(p.valNanos.Load()),
 	}
 }
@@ -260,11 +285,36 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}})
 			return
 		}
-		violations := p.registry.Validate(entry, body, obj)
-		p.valNanos.Add(int64(time.Since(start)))
-		if len(violations) > 0 {
-			p.reject(w, r, user, entry, obj, violations)
-			return
+		if p.tap != nil {
+			p.tap(entry.Workload(), user, r.Method, r.URL.Path, obj)
+		}
+		// The workload's rollout mode decides what "validate" means:
+		// learn feeds the miner and forwards, shadow records the verdict
+		// and forwards, enforce denies violations (the classic path).
+		switch entry.Mode() {
+		case registry.ModeLearn:
+			entry.ObserveLearn(obj)
+			p.valNanos.Add(int64(time.Since(start)))
+		case registry.ModeShadow:
+			violations, _ := p.registry.ShadowValidate(entry, body, obj)
+			p.valNanos.Add(int64(time.Since(start)))
+			if len(violations) > 0 {
+				p.recordShadow(r, user, entry, obj, violations)
+				// Pre-enforcement traffic is trusted by definition of the
+				// rollout, so a would-deny is a learning opportunity:
+				// feed it back to the miner and let the controller
+				// publish the grown candidate.
+				if obs := entry.Observer(); obs != nil {
+					obs.Observe(obj)
+				}
+			}
+		default: // registry.ModeEnforce
+			violations := p.registry.Validate(entry, body, obj)
+			p.valNanos.Add(int64(time.Since(start)))
+			if len(violations) > 0 {
+				p.reject(w, r, user, entry, obj, violations)
+				return
+			}
 		}
 	}
 
@@ -329,6 +379,28 @@ func clientIdentity(r *http.Request) (string, []string) {
 		return h, r.Header.Values("X-Remote-Group")
 	}
 	return "system:anonymous", nil
+}
+
+// recordShadow logs a would-deny verdict for a shadow-mode workload:
+// the record lands in the entry's shadow log (never the denial log or
+// the denied metric — nothing was denied) and the shadow callback.
+func (p *Proxy) recordShadow(r *http.Request, user string,
+	entry *registry.Entry, obj object.Object, violations []validator.Violation) {
+	p.shadowed.Add(1)
+	rec := ViolationRecord{
+		Time:       time.Now(),
+		User:       user,
+		Method:     r.Method,
+		RequestURI: r.URL.Path,
+		Kind:       obj.Kind(),
+		Name:       obj.Name(),
+		Violations: violations,
+	}
+	entry.RecordShadowViolation(rec)
+	rec.Workload = entry.Workload()
+	if p.onShadow != nil {
+		p.onShadow(rec)
+	}
 }
 
 // reject denies a request that violates policy (HTTP 403).

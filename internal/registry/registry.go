@@ -154,6 +154,12 @@ type Metrics struct {
 	// ValidationTime accumulates time spent in tree-overlap validation
 	// (cache hits contribute nothing).
 	ValidationTime time.Duration
+	// Learned counts requests observed in learn mode (no validation).
+	Learned uint64
+	// ShadowRequests / ShadowDenied count shadow-mode verdicts
+	// (cumulative across policy generations; a shadow "deny" forwards).
+	ShadowRequests uint64
+	ShadowDenied   uint64
 }
 
 // Entry is one registered workload policy. All methods are safe for
@@ -175,13 +181,25 @@ type Entry struct {
 	cache       *lruCache
 	interpreted bool
 
-	requests  atomic.Uint64
-	denied    atomic.Uint64
-	cacheHits atomic.Uint64
-	valNanos  atomic.Int64
+	// mode is the rollout lifecycle mode (see mode.go); zero value is
+	// ModeEnforce. modeMu serializes mode transitions against policy
+	// swaps so Promote can pin the generation it gated.
+	mode     atomic.Int32
+	modeMu   sync.Mutex
+	observer atomic.Pointer[Observer]
+	shadow   *shadowWindow
+
+	requests     atomic.Uint64
+	denied       atomic.Uint64
+	cacheHits    atomic.Uint64
+	valNanos     atomic.Int64
+	learned      atomic.Uint64
+	shadowReqs   atomic.Uint64
+	shadowDenied atomic.Uint64
 
 	mu         sync.Mutex
 	violations []Record
+	shadowLog  []Record
 }
 
 // policyVersion is one immutable published state of an entry's policy.
@@ -229,6 +247,9 @@ func (e *Entry) Metrics() Metrics {
 		Denied:         e.denied.Load(),
 		CacheHits:      e.cacheHits.Load(),
 		ValidationTime: time.Duration(e.valNanos.Load()),
+		Learned:        e.learned.Load(),
+		ShadowRequests: e.shadowReqs.Load(),
+		ShadowDenied:   e.shadowDenied.Load(),
 	}
 }
 
@@ -283,6 +304,9 @@ type Config struct {
 	// compiled rule program — for ablation benchmarks and differential
 	// (compiled-vs-interpreted) equivalence runs.
 	Interpreted bool
+	// ShadowWindow sizes each workload's sliding window of shadow
+	// verdicts (see mode.go); zero means DefaultShadowWindow.
+	ShadowWindow int
 }
 
 // Registry holds the workload policy entries of one enforcement point.
@@ -299,16 +323,18 @@ type Registry struct {
 	// gens issues policy generations for all entries; see Entry.gen.
 	gens atomic.Uint64
 
-	cacheSize   int
-	interpreted bool
+	cacheSize    int
+	interpreted  bool
+	shadowWindow int
 }
 
 // New builds an empty registry.
 func New(cfg Config) *Registry {
 	return &Registry{
-		entries:     map[string]*Entry{},
-		cacheSize:   cfg.CacheSize,
-		interpreted: cfg.Interpreted,
+		entries:      map[string]*Entry{},
+		cacheSize:    cfg.CacheSize,
+		interpreted:  cfg.Interpreted,
+		shadowWindow: cfg.ShadowWindow,
 	}
 }
 
@@ -318,15 +344,22 @@ func New(cfg Config) *Registry {
 // claim would silently route one tenant's objects to another's policy.
 // Use Swap to replace the policy of a registered workload.
 func (r *Registry) Register(workload string, sel Selector, v *validator.Validator) (*Entry, error) {
-	if workload == "" {
-		return nil, fmt.Errorf("registry: workload name is required")
-	}
 	if v == nil {
 		return nil, fmt.Errorf("registry: validator is required for workload %s", workload)
 	}
 	prog, err := compile.Compile(v)
 	if err != nil {
 		return nil, fmt.Errorf("registry: workload %s: %w", workload, err)
+	}
+	return r.register(workload, sel, v, prog)
+}
+
+// register is the shared registration path. A nil validator registers a
+// learning entry with no policy: it fails closed under enforce/shadow
+// until a candidate is swapped in.
+func (r *Registry) register(workload string, sel Selector, v *validator.Validator, prog *compile.Program) (*Entry, error) {
+	if workload == "" {
+		return nil, fmt.Errorf("registry: workload name is required")
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -345,7 +378,8 @@ func (r *Registry) Register(workload string, sel Selector, v *validator.Validato
 		}
 	}
 	e := &Entry{workload: workload, selector: sel, order: r.nextOrder,
-		interpreted: r.interpreted}
+		interpreted: r.interpreted,
+		shadow:      newShadowWindow(r.shadowWindow)}
 	if r.cacheSize > 0 {
 		e.cache = newLRUCache(r.cacheSize)
 	}
@@ -378,7 +412,13 @@ func (r *Registry) Swap(workload string, v *validator.Validator) error {
 	if !ok {
 		return fmt.Errorf("registry: workload %s is not registered", workload)
 	}
+	// The mode lock serializes the publish against Promote's
+	// generation-pinned shadow→enforce transition (see mode.go): a swap
+	// can land before the gate check (stale gen, promotion refused) or
+	// after the promotion completes, never in between.
+	e.modeMu.Lock()
 	e.version.Store(&policyVersion{policy: v, program: prog, gen: r.gens.Add(1)})
+	e.modeMu.Unlock()
 	return nil
 }
 
@@ -501,7 +541,17 @@ func (r *Registry) Validate(e *Entry, body []byte, obj object.Object) []validato
 	e.requests.Add(1)
 	// One snapshot load: the generation keyed into the cache always
 	// matches the engine state that (on a miss) computes the decision.
-	ver := e.version.Load()
+	return r.validateVersion(e, e.version.Load(), body, obj)
+}
+
+// validateVersion validates against one loaded policy snapshot,
+// consulting the entry's decision-cache shard. A snapshot with no policy
+// (a learning entry whose candidate was never swapped in) fails closed.
+func (r *Registry) validateVersion(e *Entry, ver *policyVersion, body []byte, obj object.Object) []validator.Violation {
+	if ver.program == nil && ver.policy == nil {
+		return []validator.Violation{{Reason: fmt.Sprintf(
+			"workload %s has no learned policy yet", e.workload)}}
+	}
 	var key cacheKey
 	cached := e.cache != nil && len(body) > 0
 	if cached {

@@ -155,6 +155,16 @@ func DefaultLockSpecs() []LockSpec {
 	}
 }
 
+// DefaultGeneralizeAny exports the free-form-subtree defaults so
+// traffic-driven policy mining (internal/learn) generalizes the same
+// paths chart consolidation does; a mined policy and a chart policy for
+// the same workload stay diffable field for field.
+func DefaultGeneralizeAny() []string { return defaultGeneralizeAny() }
+
+// DefaultGeneralizeString exports the force-to-string defaults, shared
+// with internal/learn like DefaultGeneralizeAny.
+func DefaultGeneralizeString() []string { return defaultGeneralizeString() }
+
 func defaultGeneralizeAny() []string {
 	return []string{
 		"metadata.labels", "metadata.annotations",

@@ -29,6 +29,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/learn"
 	"repro/internal/mutate"
 	"repro/internal/object"
 	"repro/internal/proxy"
@@ -236,13 +237,19 @@ type RegistryConfig struct {
 	// compiled rule program the registry builds at Register/Swap — for
 	// ablation benchmarks and differential equivalence runs.
 	Interpreted bool
+	// ShadowWindow sizes each workload's sliding window of shadow-mode
+	// would-deny verdicts, the basis of the rollout promotion gate. Size
+	// it to cover the traffic burst you want a candidate judged over
+	// (zero means the registry default of 512).
+	ShadowWindow int
 }
 
 // NewRegistry builds an empty multi-workload policy registry.
 func NewRegistry(cfg RegistryConfig) *Registry {
 	return registry.New(registry.Config{
-		CacheSize:   cfg.CacheSize,
-		Interpreted: cfg.Interpreted,
+		CacheSize:    cfg.CacheSize,
+		Interpreted:  cfg.Interpreted,
+		ShadowWindow: cfg.ShadowWindow,
 	})
 }
 
@@ -313,6 +320,13 @@ type ProxyConfig struct {
 	ProxyUser string
 	// OnViolation receives each denial record, for audit sinks.
 	OnViolation func(proxy.ViolationRecord)
+	// OnShadowViolation receives each would-deny record of a workload
+	// in shadow mode (the request itself was forwarded).
+	OnShadowViolation func(proxy.ViolationRecord)
+	// Tap receives every inspected request — the live capture feeding
+	// offline policy mining (learn traces). Keep it cheap; it runs on
+	// the request path.
+	Tap func(workload, user, method, path string, obj map[string]any)
 }
 
 // Proxy is the runtime enforcement point; it implements http.Handler.
@@ -330,17 +344,172 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 		return nil, fmt.Errorf("kubefence: ProxyConfig.Policy and ProxyConfig.Registry are mutually exclusive")
 	}
 	pc := proxy.Config{
-		Upstream:    cfg.Upstream,
-		Transport:   cfg.Transport,
-		Registry:    cfg.Registry,
-		CacheSize:   cfg.CacheSize,
-		ProxyUser:   cfg.ProxyUser,
-		OnViolation: cfg.OnViolation,
+		Upstream:          cfg.Upstream,
+		Transport:         cfg.Transport,
+		Registry:          cfg.Registry,
+		CacheSize:         cfg.CacheSize,
+		ProxyUser:         cfg.ProxyUser,
+		OnViolation:       cfg.OnViolation,
+		OnShadowViolation: cfg.OnShadowViolation,
+	}
+	if cfg.Tap != nil {
+		tap := cfg.Tap
+		pc.Tap = func(workload, user, method, path string, obj object.Object) {
+			tap(workload, user, method, path, obj)
+		}
 	}
 	if cfg.Policy != nil {
 		pc.Validator = cfg.Policy.validator
 	}
 	return proxy.New(pc)
+}
+
+// ---------------------------------------------------------------------
+// Traffic-driven policy learning & the shadow → enforce rollout
+// ---------------------------------------------------------------------
+
+// EnforcementMode is a workload's rollout mode. Workloads registered
+// through Register/GenerateRegistry enforce; learning workloads start in
+// ModeLearn and advance through ModeShadow to ModeEnforce. Change a
+// workload's mode with Registry.SetMode, or let a RolloutController
+// drive the gates.
+type EnforcementMode = registry.Mode
+
+// The rollout lifecycle modes.
+const (
+	// ModeEnforce validates and denies violating requests (default).
+	ModeEnforce = registry.ModeEnforce
+	// ModeShadow validates and records would-deny verdicts, but forwards.
+	ModeShadow = registry.ModeShadow
+	// ModeLearn feeds inspected requests to the workload's miner and
+	// forwards without validation.
+	ModeLearn = registry.ModeLearn
+)
+
+// LearnOptions configure traffic mining: the value-set cardinality
+// bound, required-field inference thresholds, pattern prefix length,
+// and free-form path suffixes.
+type LearnOptions = learn.Options
+
+// MinedPathSummary describes how one mined field path generalized
+// (exact value, enumeration, type with range, anchored pattern, any).
+type MinedPathSummary = learn.PathSummary
+
+// PolicyDiff compares a traffic-mined policy against a chart-derived
+// one — the reviewer's tool before trusting a mined candidate.
+type PolicyDiff = learn.DiffReport
+
+// Miner is a streaming policy learner for one workload: feed it
+// observed admission objects, then emit the generalized candidate as a
+// Policy. It is safe for concurrent use and implements the registry's
+// Observer, so it can be attached to a learning workload directly.
+type Miner struct {
+	m *learn.Miner
+}
+
+// NewMiner builds a streaming miner for a workload.
+func NewMiner(workload string, opts LearnOptions) *Miner {
+	return &Miner{m: learn.New(workload, opts)}
+}
+
+// Observe folds one decoded request object into the miner.
+func (m *Miner) Observe(obj map[string]any) { m.m.Observe(object.Object(obj)) }
+
+// ObserveManifest folds one YAML manifest into the miner.
+func (m *Miner) ObserveManifest(data []byte) error {
+	o, err := object.ParseManifest(data)
+	if err != nil {
+		return fmt.Errorf("kubefence: parsing manifest: %w", err)
+	}
+	m.m.Observe(o)
+	return nil
+}
+
+// Requests counts the observations folded in so far.
+func (m *Miner) Requests() uint64 { return m.m.Requests() }
+
+// Summaries renders the per-path generalization outcomes of the current
+// candidate.
+func (m *Miner) Summaries() []MinedPathSummary { return m.m.Summaries() }
+
+// Policy generalizes the observations into a candidate policy. The
+// result is a full Policy: it validates, compiles, registers, and swaps
+// exactly like a chart-derived one.
+func (m *Miner) Policy() (*Policy, error) {
+	v, err := m.m.Policy()
+	if err != nil {
+		return nil, err
+	}
+	return &Policy{Workload: v.Workload, validator: v}, nil
+}
+
+// Diff compares the miner's current candidate against a base policy
+// (typically the chart-derived policy for the same workload).
+func (m *Miner) Diff(base *Policy) (*PolicyDiff, error) {
+	v, err := m.m.Policy()
+	if err != nil {
+		return nil, err
+	}
+	return learn.Diff(v, base.validator), nil
+}
+
+// LearnPolicy mines a policy from a batch of observed request objects —
+// the one-shot form of NewMiner + Observe + Policy, for offline traces.
+func LearnPolicy(workload string, objs []map[string]any, opts LearnOptions) (*Policy, error) {
+	m := NewMiner(workload, opts)
+	for _, o := range objs {
+		m.Observe(o)
+	}
+	return m.Policy()
+}
+
+// RolloutGates parameterize the promotion and demotion gates of a
+// RolloutController: observations before the first candidate, shadow
+// verdicts and maximum would-deny rate before promotion, and the live
+// denial rate that demotes an enforcing workload back to shadow.
+type RolloutGates = learn.GateConfig
+
+// RolloutTransition records one lifecycle move a controller tick
+// performed.
+type RolloutTransition = learn.Transition
+
+// RolloutState snapshots one managed workload: mode, policy generation,
+// candidates published, shadow verdict counters.
+type RolloutState = learn.WorkloadState
+
+// RolloutController advances workloads along learn → shadow → enforce.
+// Call Tick periodically (it is cheap and safe alongside live traffic);
+// AddWorkload starts a workload from scratch with no policy, Adopt
+// places an already-registered policy (e.g. chart-derived) in shadow.
+type RolloutController = learn.Controller
+
+// NewRolloutController builds a lifecycle controller over a registry.
+func NewRolloutController(r *Registry, gates RolloutGates) *RolloutController {
+	return learn.NewController(r, gates)
+}
+
+// LearningOptions configure RunLearning: charts, replay concurrency and
+// seed, the attack-variant cap, and the convergence epoch budget.
+type LearningOptions = experiments.LearningOptions
+
+// LearningReport is the measured outcome: per-chart
+// requests-to-convergence, rollout lifecycle counters, mined-vs-chart
+// policy diffs, and the residual false negatives of the mined policies
+// against the adversarial mutation matrix. Committed as
+// BENCH_learning.json and enforced by the CI bench gate.
+type LearningReport = experiments.LearningResult
+
+// RunLearning mines a policy for every workload from its own benign
+// traffic through a real proxy — no chart spec consulted — drives the
+// learn → shadow → enforce lifecycle to promotion, and then replays the
+// full adversarial mutation matrix against the mined policies.
+func RunLearning(opts LearningOptions) (*LearningReport, error) {
+	return experiments.Learning(opts)
+}
+
+// RenderLearningReport renders a report for humans.
+func RenderLearningReport(r *LearningReport) string {
+	return experiments.RenderLearning(r)
 }
 
 // MutationClasses lists the adversarial mutation classes the robustness

@@ -5,6 +5,7 @@
 #   make bench           # multi-workload enforcement benchmarks
 #   make json            # machine-readable throughput results -> BENCH_throughput.json
 #   make latency-json    # engine latency baseline -> BENCH_latency.json
+#   make e2e-json        # end-to-end admission-path baseline -> BENCH_e2e.json
 #   make fuzz-smoke      # 10s per native fuzz target
 #   make robustness-json # adversarial robustness baseline -> BENCH_robustness.json
 #   make learning-json   # policy-learning baseline -> BENCH_learning.json
@@ -23,6 +24,12 @@ GO ?= go
 # factor on the cold path wherever the gate runs.
 TOLERANCE   ?= 0.15
 MIN_SPEEDUP ?= 2.0
+# e2e floors are same-machine ratios, machine-independent like
+# MIN_SPEEDUP: the streaming fast path must beat the decode-first
+# baseline by this factor on the cold path and eliminate at least this
+# fraction of per-request allocations.
+MIN_E2E_SPEEDUP     ?= 1.5
+MIN_ALLOC_REDUCTION ?= 0.5
 GATE_FLAGS  ?=
 GATE_REQUESTS   ?= 2000
 GATE_ITERATIONS ?= 5000
@@ -39,8 +46,8 @@ GATE_MAX_PER_CLASS ?= 0
 COVERAGE_BASELINE ?= 80.0
 
 .PHONY: all ci fmt-check vet build test race bench json latency-json \
-	fuzz-smoke robustness-json learning-json bench-gate coverage-gate \
-	staticcheck
+	e2e-json fuzz-smoke robustness-json learning-json bench-gate \
+	coverage-gate staticcheck
 
 all: ci
 
@@ -77,10 +84,16 @@ latency-json:
 		-iterations 5000 -cache 4096 -repeats 3 -json > BENCH_latency.json
 	@echo wrote BENCH_latency.json
 
+e2e-json:
+	$(GO) run ./cmd/kfbench -experiment e2e -counts 1,5 \
+		-requests 3000 -cache 4096 -repeats 3 -json > BENCH_e2e.json
+	@echo wrote BENCH_e2e.json
+
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecode -fuzztime=10s -run '^$$' ./internal/yaml
 	$(GO) test -fuzz=FuzzValidate -fuzztime=10s -run '^$$' ./internal/validator
 	$(GO) test -fuzz=FuzzCompiledEquivalence -fuzztime=10s -run '^$$' ./internal/compile
+	$(GO) test -fuzz=FuzzRawEquivalence -fuzztime=10s -run '^$$' ./internal/compile
 
 robustness-json:
 	$(GO) run ./cmd/kfbench -experiment robustness -concurrency 8 \
@@ -112,6 +125,12 @@ bench-gate:
 	$(GO) run ./cmd/benchgate -kind latency -tolerance $(TOLERANCE) $(GATE_FLAGS) \
 		-min-speedup $(MIN_SPEEDUP) \
 		-baseline BENCH_latency.json -fresh "$$tmpdir/latency-fresh.json"; \
+	$(GO) run ./cmd/kfbench -experiment e2e -counts 1,5 \
+		-requests $(GATE_ITERATIONS) -cache 4096 -repeats 3 \
+		-json > "$$tmpdir/e2e-fresh.json"; \
+	$(GO) run ./cmd/benchgate -kind e2e -tolerance $(TOLERANCE) $(GATE_FLAGS) \
+		-min-e2e-speedup $(MIN_E2E_SPEEDUP) -min-alloc-reduction $(MIN_ALLOC_REDUCTION) \
+		-baseline BENCH_e2e.json -fresh "$$tmpdir/e2e-fresh.json"; \
 	$(GO) run ./cmd/kfbench -experiment learning -concurrency 8 -cache 4096 \
 		-seed 1 -max-per-class $(GATE_MAX_PER_CLASS) \
 		-json > "$$tmpdir/learning-fresh.json"; \

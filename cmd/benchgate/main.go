@@ -7,6 +7,7 @@
 //	benchgate -kind throughput -baseline BENCH_throughput.json -fresh fresh.json
 //	benchgate -kind latency    -baseline BENCH_latency.json    -fresh fresh.json
 //	benchgate -kind learning   -baseline BENCH_learning.json   -fresh fresh.json
+//	benchgate -kind e2e        -baseline BENCH_e2e.json        -fresh fresh.json
 //
 // Two classes of check run:
 //
@@ -25,6 +26,15 @@
 //     is. Allocation counts are deterministic for a given code path,
 //     so allocs/op comparisons are machine-independent too. These
 //     checks (and a shrunken result matrix) always gate.
+//
+// The e2e kind gates the streaming admission pipeline: per-cell ns/op
+// and p99 comparisons are relative-to-baseline (advisory on foreign
+// hardware), while allocs/op — deterministic per code path — and the
+// fast-vs-decode speedup and allocation-reduction floors (same-machine
+// ratios) gate everywhere. The allowed-request fast path must never
+// quietly start allocating more than the committed baseline, and must
+// keep beating the decode-first baseline by -min-e2e-speedup with at
+// least -min-alloc-reduction of the allocations eliminated.
 //
 // The learning kind is machine-independent end to end — its numbers are
 // request COUNTS from a deterministic replay, not wall-clock — so every
@@ -60,6 +70,8 @@ func run(args []string, out *os.File) error {
 	freshPath := fs.String("fresh", "", "freshly measured JSON to gate")
 	tolerance := fs.Float64("tolerance", 0.15, "allowed relative regression (0.15 = 15%)")
 	minSpeedup := fs.Float64("min-speedup", 2.0, "latency: required compiled-vs-interpreted cold speedup")
+	minE2ESpeedup := fs.Float64("min-e2e-speedup", 1.5, "e2e: required fast-vs-decode cold speedup")
+	minAllocReduction := fs.Float64("min-alloc-reduction", 0.5, "e2e: required fraction of per-request allocations the fast path eliminates")
 	adviseRelative := fs.Bool("advise-relative", false,
 		"report relative-to-baseline regressions without failing (for runs on hardware other than the baseline machine); machine-independent checks still gate")
 	if err := fs.Parse(args); err != nil {
@@ -80,8 +92,11 @@ func run(args []string, out *os.File) error {
 		failures, advisories, err = gateLatency(*baselinePath, *freshPath, *tolerance, *minSpeedup, *adviseRelative, out)
 	case "learning":
 		failures, err = gateLearning(*baselinePath, *freshPath, *tolerance, out)
+	case "e2e":
+		failures, advisories, err = gateE2E(*baselinePath, *freshPath, *tolerance,
+			*minE2ESpeedup, *minAllocReduction, *adviseRelative, out)
 	default:
-		return fmt.Errorf("-kind: %q is not throughput, latency, or learning", *kind)
+		return fmt.Errorf("-kind: %q is not throughput, latency, learning, or e2e", *kind)
 	}
 	if err != nil {
 		return err
@@ -223,6 +238,92 @@ func gateLatency(baselinePath, freshPath string, tol, minSpeedup float64, advise
 	}
 	if len(fresh.Speedups) == 0 {
 		failures = append(failures, "fresh latency report carries no speedup summary")
+	}
+	return failures, advisories, nil
+}
+
+// gateE2E gates the end-to-end admission path. Wall-clock comparisons
+// (ns/op, p99) are relative-to-baseline and advisory-able; the
+// machine-independent checks always gate: per-cell allocs/op must stay
+// at or below the committed baseline (plus tolerance and a unit of
+// GC-accounting slack), the cold fast-vs-decode speedup must hold its
+// floor, and the fast path must keep eliminating at least the required
+// fraction of per-request allocations.
+func gateE2E(baselinePath, freshPath string, tol, minSpeedup, minAllocReduction float64, advise bool, out *os.File) (failures, advisories []string, err error) {
+	var baseline, fresh experiments.E2EReport
+	if err := loadJSON(baselinePath, &baseline); err != nil {
+		return nil, nil, err
+	}
+	if err := loadJSON(freshPath, &fresh); err != nil {
+		return nil, nil, err
+	}
+	relative := func(msg string) string {
+		if advise {
+			advisories = append(advisories, msg)
+			return "ADVISE"
+		}
+		failures = append(failures, msg)
+		return "FAIL"
+	}
+	fmt.Fprintf(out, "%-10s %-8s %-6s %-12s %-12s %-10s %-12s %-12s %s\n",
+		"workloads", "path", "mode", "base ns/op", "fresh ns/op", "delta", "base allocs", "fresh allocs", "verdict")
+	for _, base := range baseline.Results {
+		fr := fresh.Result(base.Workloads, base.Path, base.Mode)
+		if fr == nil {
+			failures = append(failures, fmt.Sprintf(
+				"workloads=%d path=%s mode=%s missing from fresh results",
+				base.Workloads, base.Path, base.Mode))
+			continue
+		}
+		delta := fr.NsPerOp/base.NsPerOp - 1
+		verdict := "ok"
+		if fr.NsPerOp > base.NsPerOp*(1+tol) {
+			verdict = relative(fmt.Sprintf(
+				"workloads=%d path=%s mode=%s ns/op %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+				base.Workloads, base.Path, base.Mode,
+				base.NsPerOp, fr.NsPerOp, delta*100, tol*100))
+		}
+		if float64(fr.P99Ns) > float64(base.P99Ns)*(1+tol) {
+			verdict = relative(fmt.Sprintf(
+				"workloads=%d path=%s mode=%s p99 %d -> %d ns (tolerance %.0f%%)",
+				base.Workloads, base.Path, base.Mode, base.P99Ns, fr.P99Ns, tol*100))
+		}
+		// Allocation counts are machine-independent and gate even under
+		// -advise-relative: the decode-free fast path must never start
+		// allocating more than the committed baseline silently.
+		if fr.AllocsPerOp > base.AllocsPerOp*(1+tol)+1 {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"workloads=%d path=%s mode=%s allocs/op %.1f -> %.1f (tolerance %.0f%%)",
+				base.Workloads, base.Path, base.Mode,
+				base.AllocsPerOp, fr.AllocsPerOp, tol*100))
+		}
+		fmt.Fprintf(out, "%-10d %-8s %-6s %-12.0f %-12.0f %-+9.1f%% %-12.1f %-12.1f %s\n",
+			base.Workloads, base.Path, base.Mode, base.NsPerOp, fr.NsPerOp, delta*100,
+			base.AllocsPerOp, fr.AllocsPerOp, verdict)
+	}
+	for _, sp := range fresh.Speedups {
+		if sp.Mode != "cold" {
+			continue
+		}
+		verdict := "ok"
+		if sp.Speedup < minSpeedup {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"workloads=%d fast-path cold speedup %.2fx below the %.1fx floor",
+				sp.Workloads, sp.Speedup, minSpeedup))
+		}
+		if sp.AllocReduction < minAllocReduction {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"workloads=%d fast-path alloc reduction %.0f%% below the %.0f%% floor",
+				sp.Workloads, sp.AllocReduction*100, minAllocReduction*100))
+		}
+		fmt.Fprintf(out, "workloads=%-3d fast-path cold speedup %.2fx (floor %.1fx), alloc reduction %.0f%% (floor %.0f%%) %s\n",
+			sp.Workloads, sp.Speedup, minSpeedup, sp.AllocReduction*100, minAllocReduction*100, verdict)
+	}
+	if len(fresh.Speedups) == 0 {
+		failures = append(failures, "fresh e2e report carries no speedup summary")
 	}
 	return failures, advisories, nil
 }

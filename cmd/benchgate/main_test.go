@@ -217,3 +217,81 @@ func TestLearningGateToleratesChartSubset(t *testing.T) {
 		t.Fatalf("chart subset must not gate: %v", err)
 	}
 }
+
+func e2eReport(fastNs, decodeNs, fastAllocs, decodeAllocs float64) experiments.E2EReport {
+	cell := func(path, mode string, ns, allocs float64) experiments.E2EResult {
+		return experiments.E2EResult{
+			Workloads: 1, Path: path, Mode: mode,
+			NsPerOp: ns, P50Ns: int64(ns), P99Ns: int64(ns * 3), AllocsPerOp: allocs,
+		}
+	}
+	return experiments.E2EReport{
+		Results: []experiments.E2EResult{
+			cell("fast", "cold", fastNs, fastAllocs),
+			cell("decode", "cold", decodeNs, decodeAllocs),
+			cell("fast", "hot", fastNs/2, fastAllocs),
+			cell("decode", "hot", decodeNs*0.9, decodeAllocs),
+		},
+		Speedups: []experiments.E2ESpeedup{
+			{Workloads: 1, Mode: "cold", Speedup: decodeNs / fastNs,
+				AllocReduction: 1 - fastAllocs/decodeAllocs},
+			{Workloads: 1, Mode: "hot", Speedup: decodeNs * 0.9 / (fastNs / 2),
+				AllocReduction: 1 - fastAllocs/decodeAllocs},
+		},
+	}
+}
+
+func TestE2EGatePassesWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", e2eReport(7000, 18000, 15, 116))
+	fresh := writeJSON(t, dir, "fresh.json", e2eReport(7500, 18500, 15, 115))
+	if err := run([]string{"-kind", "e2e", "-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+		t.Fatalf("within-tolerance e2e run failed: %v", err)
+	}
+}
+
+func TestE2EGateFailsOnFastPathAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", e2eReport(7000, 18000, 15, 116))
+	fresh := writeJSON(t, dir, "fresh.json", e2eReport(7000, 18000, 40, 116))
+	err := run([]string{"-kind", "e2e", "-baseline", base, "-fresh", fresh, "-advise-relative"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("fast-path allocs/op above baseline must fail even with -advise-relative, got %v", err)
+	}
+}
+
+func TestE2EGateEnforcesSpeedupAndAllocReductionFloors(t *testing.T) {
+	dir := t.TempDir()
+	// Fast path barely faster and barely cheaper: both floors violated.
+	base := writeJSON(t, dir, "base.json", e2eReport(10000, 11000, 100, 116))
+	fresh := writeJSON(t, dir, "fresh.json", e2eReport(10000, 11000, 100, 116))
+	err := run([]string{"-kind", "e2e", "-baseline", base, "-fresh", fresh, "-advise-relative"}, os.Stdout)
+	if err == nil {
+		t.Fatal("speedup and alloc-reduction floors must gate on foreign hardware")
+	}
+}
+
+func TestE2EGateNsRegressionAdvisoryOnForeignHardware(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", e2eReport(7000, 18000, 15, 116))
+	fresh := writeJSON(t, dir, "fresh.json", e2eReport(14000, 36000, 15, 116))
+	// Doubled wall clock: fails strict, passes -advise-relative (ratios
+	// and allocations are unchanged).
+	if err := run([]string{"-kind", "e2e", "-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("doubled ns/op must fail the strict gate")
+	}
+	if err := run([]string{"-kind", "e2e", "-baseline", base, "-fresh", fresh, "-advise-relative"}, os.Stdout); err != nil {
+		t.Fatalf("wall-clock regression must be advisory on foreign hardware: %v", err)
+	}
+}
+
+func TestE2EGateFailsOnMissingCell(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", e2eReport(7000, 18000, 15, 116))
+	missing := e2eReport(7000, 18000, 15, 116)
+	missing.Results = missing.Results[:2]
+	fresh := writeJSON(t, dir, "fresh.json", missing)
+	if err := run([]string{"-kind", "e2e", "-baseline", base, "-fresh", fresh, "-advise-relative"}, os.Stdout); err == nil {
+		t.Fatal("missing fresh cells must fail the gate")
+	}
+}

@@ -45,6 +45,14 @@
 //
 //	kfbench -experiment latency -counts 1,5,10 -iterations 5000 \
 //	        -cache 4096 -json > BENCH_latency.json
+//
+// The e2e experiment measures the decode-inclusive end-to-end admission
+// path through the full proxy handler for allowed requests — streaming
+// raw-bytes pipeline vs decode-first baseline, cold and hot decision
+// caches — and is the source of the committed BENCH_e2e.json baseline:
+//
+//	kfbench -experiment e2e -counts 1,5 -requests 3000 \
+//	        -cache 4096 -json > BENCH_e2e.json
 package main
 
 import (
@@ -68,7 +76,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("kfbench", flag.ExitOnError)
-	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | throughput | robustness | latency | learning | all")
+	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | throughput | robustness | latency | learning | e2e | all")
 	reps := fs.Int("reps", 10, "repetitions for table4 (paper: 10)")
 	counts := fs.String("counts", "1,5,10", "workload counts for throughput (comma-separated)")
 	requests := fs.Int("requests", 2000, "proxied requests per throughput measurement")
@@ -179,6 +187,24 @@ func run(args []string) error {
 			fmt.Println(experiments.RenderLatency(report))
 			return nil
 		},
+		"e2e": func() error {
+			report, err := experiments.E2E(experiments.E2EOptions{
+				WorkloadCounts: workloadCounts,
+				Requests:       *requests,
+				CacheSize:      *cacheSize,
+				Repeats:        *repeats,
+			})
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				return enc.Encode(report)
+			}
+			fmt.Println(experiments.RenderE2E(report))
+			return nil
+		},
 		"robustness": func() error {
 			res, err := experiments.Robustness(experiments.RobustnessOptions{
 				Charts:            splitCharts(*chartList),
@@ -255,7 +281,7 @@ func run(args []string) error {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig5", "fig9", "fig11", "table1", "table2", "table3", "table4", "resources", "throughput", "latency", "robustness", "learning"} {
+		for _, name := range []string{"fig5", "fig9", "fig11", "table1", "table2", "table3", "table4", "resources", "throughput", "latency", "e2e", "robustness", "learning"} {
 			fmt.Printf("================ %s ================\n", name)
 			if err := runners[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)

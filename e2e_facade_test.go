@@ -1,0 +1,61 @@
+package kubefence_test
+
+import (
+	"strings"
+	"testing"
+
+	kubefence "repro"
+)
+
+// TestRunE2EFacade exercises the end-to-end admission-path experiment
+// through the public facade: both pipeline paths measured, fast path
+// faster and allocation-leaner than the decode baseline.
+func TestRunE2EFacade(t *testing.T) {
+	report, err := kubefence.RunE2E(kubefence.E2EOptions{
+		WorkloadCounts: []int{1},
+		Requests:       200,
+		CacheSize:      128,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := report.Result(1, "fast", "cold")
+	decode := report.Result(1, "decode", "cold")
+	if fast == nil || decode == nil {
+		t.Fatal("missing cells in e2e report")
+	}
+	if fast.AllocsPerOp >= decode.AllocsPerOp {
+		t.Errorf("fast path allocs/op %.1f not below decode baseline %.1f",
+			fast.AllocsPerOp, decode.AllocsPerOp)
+	}
+	if out := kubefence.RenderE2EReport(report); !strings.Contains(out, "speedup") {
+		t.Errorf("rendered report: %s", out)
+	}
+}
+
+// TestProxySinkKnobsFacade pins that the async-sink and fast-path knobs
+// are reachable through ProxyConfig.
+func TestProxySinkKnobsFacade(t *testing.T) {
+	c, err := kubefence.LoadBuiltinChart("nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := kubefence.GeneratePolicy(c, kubefence.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := kubefence.NewProxy(kubefence.ProxyConfig{
+		Upstream:           "http://127.0.0.1:1",
+		Policy:             pol,
+		DisableRawFastPath: true,
+		SinkBuffer:         8,
+		OnViolation:        func(kubefence.ViolationRecord) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.CloseSinks()
+	if st := p.SinkStats(); st != (kubefence.SinkStats{}) {
+		t.Errorf("fresh sink stats = %+v", st)
+	}
+}

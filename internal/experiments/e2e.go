@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/proxy"
+	"repro/internal/validator"
+)
+
+// The e2e experiment measures what a client actually pays per admitted
+// request: the WHOLE proxy.ServeHTTP path — body read, routing, cache,
+// validation, upstream round trip (in-memory) — not just the validator
+// call the latency experiment isolates. It exists to quantify the
+// streaming admission pipeline: with the raw fast path, an allowed JSON
+// request is decided straight off the wire bytes; the decode baseline
+// (DisableRawFastPath) is the classic decode-first pipeline. Both paths
+// return identical verdicts, so the delta is pure overhead.
+//
+// Results are committed as BENCH_e2e.json and gated by
+// `benchgate -kind e2e`: allocs/op is machine-independent and gates
+// everywhere, as does the fast-vs-decode speedup (a same-machine ratio).
+
+// E2EOptions configure the end-to-end admission-path experiment.
+type E2EOptions struct {
+	// WorkloadCounts lists the fleet sizes to measure (default 1, 5).
+	WorkloadCounts []int
+	// Requests is the number of proxied requests per measurement
+	// (default 3000).
+	Requests int
+	// CacheSize bounds each workload's decision-cache shard in the hot
+	// mode (default 4096).
+	CacheSize int
+	// Repeats measures each cell this many times and keeps the fastest
+	// run (default 1).
+	Repeats int
+}
+
+// E2EResult is one measurement: the decode-inclusive cost of an allowed
+// request through the full proxy handler for one (fleet size, pipeline
+// path, cache mode) cell. Latencies are nanoseconds.
+type E2EResult struct {
+	Workloads int `json:"workloads"`
+	// Path is "fast" (streaming raw-bytes pipeline) or "decode"
+	// (classic decode-first baseline, DisableRawFastPath).
+	Path string `json:"path"`
+	// Mode is "cold" (decision cache off) or "hot" (per-workload shards
+	// on: the reconcile-loop re-apply case).
+	Mode        string  `json:"mode"`
+	Requests    int     `json:"requests"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// RawAllowed counts requests decided without decoding (0 on the
+	// decode path by construction).
+	RawAllowed uint64 `json:"raw_allowed"`
+	CacheHits  uint64 `json:"cache_hits"`
+}
+
+// E2ESpeedup summarizes fast-vs-decode gains for one (fleet size, cache
+// mode): Speedup is decode ns / fast ns (higher is better),
+// AllocReduction is the fraction of per-request allocations the fast
+// path eliminates (0.5 = half the allocations gone).
+type E2ESpeedup struct {
+	Workloads      int     `json:"workloads"`
+	Mode           string  `json:"mode"`
+	Speedup        float64 `json:"speedup"`
+	AllocReduction float64 `json:"alloc_reduction"`
+}
+
+// E2EReport is the machine-readable experiment outcome committed as
+// BENCH_e2e.json.
+type E2EReport struct {
+	CacheSize int          `json:"cache_size"`
+	Results   []E2EResult  `json:"results"`
+	Speedups  []E2ESpeedup `json:"speedups"`
+}
+
+// Result returns the measurement for (workloads, path, mode), or nil.
+func (r *E2EReport) Result(workloads int, path, mode string) *E2EResult {
+	for i := range r.Results {
+		res := &r.Results[i]
+		if res.Workloads == workloads && res.Path == path && res.Mode == mode {
+			return res
+		}
+	}
+	return nil
+}
+
+// Speedup returns the summary for (workloads, mode), or nil.
+func (r *E2EReport) Speedup(workloads int, mode string) *E2ESpeedup {
+	for i := range r.Speedups {
+		sp := &r.Speedups[i]
+		if sp.Workloads == workloads && sp.Mode == mode {
+			return sp
+		}
+	}
+	return nil
+}
+
+// E2E measures the end-to-end admission path for allowed requests:
+// streaming fast path vs decode-first baseline, cold and hot caches,
+// across fleet sizes.
+func E2E(opts E2EOptions) (*E2EReport, error) {
+	if len(opts.WorkloadCounts) == 0 {
+		opts.WorkloadCounts = []int{1, 5}
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 3000
+	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 4096
+	}
+	if opts.Repeats <= 0 {
+		opts.Repeats = 1
+	}
+	pols, err := Policies()
+	if err != nil {
+		return nil, err
+	}
+	report := &E2EReport{CacheSize: opts.CacheSize}
+	for _, n := range opts.WorkloadCounts {
+		for _, mode := range []string{"cold", "hot"} {
+			cache := 0
+			if mode == "hot" {
+				cache = opts.CacheSize
+			}
+			var cells [2]E2EResult // [fast, decode]
+			for pi, path := range []string{"fast", "decode"} {
+				var best E2EResult
+				for rep := 0; rep < opts.Repeats; rep++ {
+					res, err := measureE2E(n, path, mode, cache, opts, pols)
+					if err != nil {
+						return nil, fmt.Errorf("workloads=%d path=%s mode=%s: %w", n, path, mode, err)
+					}
+					if rep == 0 || res.NsPerOp < best.NsPerOp {
+						best = res
+					}
+				}
+				cells[pi] = best
+				report.Results = append(report.Results, best)
+			}
+			sp := E2ESpeedup{Workloads: n, Mode: mode}
+			if cells[0].NsPerOp > 0 {
+				sp.Speedup = cells[1].NsPerOp / cells[0].NsPerOp
+			}
+			if cells[1].AllocsPerOp > 0 {
+				sp.AllocReduction = 1 - cells[0].AllocsPerOp/cells[1].AllocsPerOp
+			}
+			report.Speedups = append(report.Speedups, sp)
+		}
+	}
+	return report, nil
+}
+
+// e2eTransport completes the upstream round trip with the cheapest
+// possible in-memory response, closing the request body per the
+// RoundTripper contract (which recycles the proxy's pooled buffers).
+type e2eTransport struct{}
+
+func (e2eTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if r.Body != nil {
+		r.Body.Close()
+	}
+	return &http.Response{StatusCode: http.StatusOK, Body: http.NoBody}, nil
+}
+
+// nullResponseWriter discards the response; only the status is kept.
+type nullResponseWriter struct {
+	h    http.Header
+	code int
+}
+
+func (w *nullResponseWriter) Header() http.Header         { return w.h }
+func (w *nullResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (w *nullResponseWriter) WriteHeader(code int)        { w.code = code }
+
+// resettableBody lets one pre-built request replay its body every
+// iteration without per-op allocations.
+type resettableBody struct{ *bytes.Reader }
+
+func (resettableBody) Close() error { return nil }
+
+// e2eUnit is one pre-built request: the http.Request is reused across
+// iterations with its body reader reset per op.
+type e2eUnit struct {
+	req  *http.Request
+	rdr  *bytes.Reader
+	body []byte
+}
+
+func measureE2E(n int, path, mode string, cache int, opts E2EOptions, pols map[string]*validator.Validator) (E2EResult, error) {
+	reg, fleet, err := BuildFleet(n, cache, pols)
+	if err != nil {
+		return E2EResult{}, err
+	}
+	p, err := proxy.New(proxy.Config{
+		Upstream:           "http://upstream.invalid",
+		Transport:          e2eTransport{},
+		Registry:           reg,
+		DisableRawFastPath: path == "decode",
+	})
+	if err != nil {
+		return E2EResult{}, err
+	}
+	var units []e2eUnit
+	for _, wl := range fleet {
+		for _, body := range wl.Bodies {
+			req := httptest.NewRequest(http.MethodPost,
+				"/api/v1/namespaces/"+wl.Namespace+"/resources", nil)
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("X-Remote-User", "operator:"+wl.Name)
+			rdr := bytes.NewReader(body)
+			req.Body = resettableBody{rdr}
+			req.ContentLength = int64(len(body))
+			units = append(units, e2eUnit{req: req, rdr: rdr, body: body})
+		}
+	}
+	if len(units) == 0 {
+		return E2EResult{}, fmt.Errorf("fleet rendered no request units")
+	}
+	w := &nullResponseWriter{h: http.Header{}}
+	run := func(i int) error {
+		u := &units[i%len(units)]
+		u.rdr.Reset(u.body)
+		w.code = 0
+		p.ServeHTTP(w, u.req)
+		if w.code != http.StatusOK {
+			return fmt.Errorf("request %d: status %d (legitimate corpus must pass)", i, w.code)
+		}
+		return nil
+	}
+	// Warmup: at least one full pass over the corpus (primes decision
+	// caches, buffer pools, lazily compiled patterns).
+	warm := len(units)
+	if min := opts.Requests / 10; warm < min {
+		warm = min
+	}
+	for i := 0; i < warm; i++ {
+		if err := run(i); err != nil {
+			return E2EResult{}, err
+		}
+	}
+	iters := opts.Requests
+	durs := make([]time.Duration, iters)
+	runtime.GC()
+	var m1, m2 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		if err := run(i); err != nil {
+			return E2EResult{}, err
+		}
+		durs[i] = time.Since(t0)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m2)
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+
+	res := E2EResult{
+		Workloads:   n,
+		Path:        path,
+		Mode:        mode,
+		Requests:    iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		P50Ns:       percentile(durs, 0.50).Nanoseconds(),
+		P99Ns:       percentile(durs, 0.99).Nanoseconds(),
+		AllocsPerOp: float64(m2.Mallocs-m1.Mallocs) / float64(iters),
+		BytesPerOp:  float64(m2.TotalAlloc-m1.TotalAlloc) / float64(iters),
+	}
+	pm := p.Metrics()
+	res.RawAllowed = pm.RawAllowed
+	for _, m := range reg.Metrics() {
+		res.CacheHits += m.CacheHits
+	}
+	if pm.Denied != 0 {
+		return E2EResult{}, fmt.Errorf("%d legitimate requests denied", pm.Denied)
+	}
+	if path == "decode" && pm.RawAllowed != 0 {
+		return E2EResult{}, fmt.Errorf("decode baseline used the raw fast path (%d)", pm.RawAllowed)
+	}
+	if path == "fast" && pm.RawAllowed == 0 {
+		return E2EResult{}, fmt.Errorf("fast path never decided a request raw")
+	}
+	return res, nil
+}
+
+// RenderE2E renders a report as an aligned human-readable table.
+func RenderE2E(r *E2EReport) string {
+	var b strings.Builder
+	b.WriteString("End-to-end admission path: streaming raw-bytes pipeline vs decode-first baseline\n\n")
+	fmt.Fprintf(&b, "%-10s %-8s %-6s %-12s %-10s %-10s %-12s %-12s %s\n",
+		"workloads", "path", "mode", "ns/op", "p50", "p99", "allocs/op", "bytes/op", "raw-allowed")
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "%-10d %-8s %-6s %-12.0f %-10s %-10s %-12.1f %-12.0f %d\n",
+			res.Workloads, res.Path, res.Mode, res.NsPerOp,
+			time.Duration(res.P50Ns), time.Duration(res.P99Ns),
+			res.AllocsPerOp, res.BytesPerOp, res.RawAllowed)
+	}
+	b.WriteString("\n")
+	for _, sp := range r.Speedups {
+		fmt.Fprintf(&b, "workloads=%-3d mode=%-4s fast-path speedup %.2fx, %.0f%% fewer allocs/op\n",
+			sp.Workloads, sp.Mode, sp.Speedup, sp.AllocReduction*100)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

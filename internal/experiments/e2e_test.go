@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestE2EExperiment(t *testing.T) {
+	report, err := E2E(E2EOptions{
+		WorkloadCounts: []int{1},
+		Requests:       300,
+		CacheSize:      256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 fleet size x 2 cache modes x 2 paths.
+	if len(report.Results) != 4 {
+		t.Fatalf("results = %d, want 4", len(report.Results))
+	}
+	for _, path := range []string{"fast", "decode"} {
+		for _, mode := range []string{"cold", "hot"} {
+			res := report.Result(1, path, mode)
+			if res == nil {
+				t.Fatalf("missing cell path=%s mode=%s", path, mode)
+			}
+			if res.NsPerOp <= 0 || res.P99Ns < res.P50Ns {
+				t.Errorf("implausible cell %+v", res)
+			}
+			if path == "fast" && res.RawAllowed == 0 {
+				t.Errorf("fast cell decided nothing raw: %+v", res)
+			}
+			if path == "decode" && res.RawAllowed != 0 {
+				t.Errorf("decode cell used the raw path: %+v", res)
+			}
+		}
+	}
+	// The allowed-request fast path must allocate measurably less than
+	// the decode baseline — the acceptance bar is >=50% fewer allocs on
+	// the cold path; the committed baseline records the real margin.
+	sp := report.Speedup(1, "cold")
+	if sp == nil {
+		t.Fatal("missing cold speedup summary")
+	}
+	if sp.AllocReduction < 0.5 {
+		t.Errorf("cold alloc reduction = %.2f, want >= 0.5", sp.AllocReduction)
+	}
+	// Wall-clock speedup is asserted by benchgate on real measurement
+	// runs, not here: under -race or a noisy CI scheduler a 300-request
+	// sample can invert. Allocation counts are deterministic, so the
+	// reduction check above is the load-bearing one.
+	if sp.Speedup <= 0 {
+		t.Errorf("cold fast-path speedup = %.2fx, want > 0", sp.Speedup)
+	}
+
+	// The report round-trips through JSON (BENCH_e2e.json contract).
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back E2EReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Result(1, "fast", "cold") == nil {
+		t.Error("JSON round trip lost cells")
+	}
+
+	out := RenderE2E(report)
+	for _, want := range []string{"fast", "decode", "speedup", "allocs/op"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package experiments
 
 import (
-	"encoding/json"
 	"fmt"
 	"runtime"
 	"strings"
@@ -190,15 +189,17 @@ func fleetPairs(reg *registry.Registry, fleet []FleetWorkload) ([]latencyPair, e
 			return nil, fmt.Errorf("workload %s missing from registry", wl.Name)
 		}
 		for _, body := range wl.Bodies {
-			var m map[string]any
-			if err := json.Unmarshal(body, &m); err != nil {
+			// The precision-preserving decoder, exactly as the proxy
+			// decodes wire bodies.
+			obj, err := object.ParseJSON(body)
+			if err != nil {
 				return nil, err
 			}
 			pairs = append(pairs, latencyPair{
 				policy:  e.Policy(),
 				program: e.Program(),
 				entry:   e,
-				obj:     object.Object(m),
+				obj:     obj,
 				body:    body,
 			})
 		}

@@ -68,8 +68,13 @@ type ThroughputResult struct {
 // and the multi-workload benchmarks.
 type NullTransport struct{}
 
-// RoundTrip implements http.RoundTripper.
-func (NullTransport) RoundTrip(*http.Request) (*http.Response, error) {
+// RoundTrip implements http.RoundTripper. It honors the RoundTripper
+// contract of closing the request body — the proxy's pooled body
+// buffers are recycled through that Close.
+func (NullTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if r.Body != nil {
+		r.Body.Close()
+	}
 	return &http.Response{
 		StatusCode: http.StatusOK,
 		Header:     http.Header{"Content-Type": []string{"application/json"}},

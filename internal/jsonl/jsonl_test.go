@@ -1,0 +1,134 @@
+package jsonl
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// decodeInto returns a decode callback appending parsed documents.
+func decodeInto(out *[]map[string]any) func([]byte) error {
+	return func(data []byte) error {
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			return err
+		}
+		*out = append(*out, m)
+		return nil
+	}
+}
+
+func TestReadHappyPath(t *testing.T) {
+	input := `{"a":1}
+{"b":2}
+
+   {"c":3}
+`
+	var docs []map[string]any
+	skipped, err := Read(strings.NewReader(input), decodeInto(&docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("skipped = %v, want none", skipped)
+	}
+	if len(docs) != 3 {
+		t.Fatalf("decoded %d docs, want 3 (blank lines skipped silently)", len(docs))
+	}
+	for i, key := range []string{"a", "b", "c"} {
+		if _, ok := docs[i][key]; !ok {
+			t.Errorf("doc %d missing key %q: %v", i, key, docs[i])
+		}
+	}
+}
+
+func TestReadSkipsMalformedLinesWithAccounting(t *testing.T) {
+	input := `{"a":1}
+not json
+{"b":2}
+{"truncated":
+{"c":3}`
+	var docs []map[string]any
+	skipped, err := Read(strings.NewReader(input), decodeInto(&docs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 3 {
+		t.Fatalf("decoded %d docs, want 3", len(docs))
+	}
+	if len(skipped) != 2 {
+		t.Fatalf("skipped = %d entries, want 2: %v", len(skipped), skipped)
+	}
+	// 1-based line numbers of the bad lines, in order.
+	if skipped[0].Line != 2 || skipped[1].Line != 4 {
+		t.Errorf("skipped lines = %d, %d, want 2, 4", skipped[0].Line, skipped[1].Line)
+	}
+	for _, s := range skipped {
+		if s.Err == nil {
+			t.Errorf("skipped line %d carries no error", s.Line)
+		}
+	}
+}
+
+func TestReadDecodeErrorPreserved(t *testing.T) {
+	sentinel := errors.New("domain validation failed")
+	skipped, err := Read(strings.NewReader("{\"a\":1}\n"), func([]byte) error { return sentinel })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 || !errors.Is(skipped[0].Err, sentinel) {
+		t.Fatalf("skipped = %v, want the callback's own error preserved", skipped)
+	}
+}
+
+func TestReadOversizedLineIsFatal(t *testing.T) {
+	// A line beyond MaxLineBytes is an I/O-level failure: the stream may
+	// be arbitrarily corrupt past it, so Read must error rather than
+	// resynchronize silently.
+	huge := strings.Repeat("x", MaxLineBytes+1)
+	input := fmt.Sprintf("{\"ok\":1}\n%s\n{\"never\":2}\n", huge)
+	var docs []map[string]any
+	skipped, err := Read(strings.NewReader(input), decodeInto(&docs))
+	if err == nil {
+		t.Fatal("oversized line must be a fatal reader error")
+	}
+	if !strings.Contains(err.Error(), "jsonl") {
+		t.Errorf("error should identify the reader: %v", err)
+	}
+	// Lines before the oversized one were delivered; nothing after it.
+	if len(docs) != 1 {
+		t.Errorf("decoded %d docs before the oversized line, want 1", len(docs))
+	}
+	// The partial skip accounting is still returned alongside the error.
+	if len(skipped) != 0 {
+		t.Errorf("skipped = %v, want none", skipped)
+	}
+}
+
+func TestReadLineAtBoundDecodes(t *testing.T) {
+	// The largest decodable line: the scanner buffer must also hold the
+	// newline terminator, so the bound is MaxLineBytes-1 payload bytes.
+	payload := strings.Repeat("y", MaxLineBytes-1-len(`{"k":""}`))
+	line := fmt.Sprintf(`{"k":"%s"}`, payload)
+	if len(line) != MaxLineBytes-1 {
+		t.Fatalf("test construction: line is %d bytes, want %d", len(line), MaxLineBytes-1)
+	}
+	var docs []map[string]any
+	skipped, err := Read(strings.NewReader(line+"\n"), decodeInto(&docs))
+	if err != nil {
+		t.Fatalf("line at the bound must decode: %v", err)
+	}
+	if len(docs) != 1 || len(skipped) != 0 {
+		t.Fatalf("docs=%d skipped=%d, want 1/0", len(docs), len(skipped))
+	}
+}
+
+func TestReadEmptyStream(t *testing.T) {
+	var docs []map[string]any
+	skipped, err := Read(strings.NewReader(""), decodeInto(&docs))
+	if err != nil || len(skipped) != 0 || len(docs) != 0 {
+		t.Fatalf("empty stream: docs=%d skipped=%d err=%v", len(docs), len(skipped), err)
+	}
+}

@@ -1,0 +1,96 @@
+package object
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ParseJSON decodes a JSON request body into an Object without losing
+// integer precision: plain json.Unmarshal coerces every number to
+// float64, so an int64 that doesn't fit the float53 mantissa (e.g.
+// runAsUser: 9007199254740993) silently becomes its neighbor BEFORE the
+// policy ever sees it — two adjacent UIDs validate identically. Numbers
+// are decoded with json.Decoder.UseNumber and normalized to the value
+// model the rest of KubeFence speaks (int64 when the literal is an
+// exact integer, float64 otherwise), matching what the YAML decoder
+// produces for manifests.
+//
+// A number that normalizes to neither (an exponent overflowing float64)
+// is a decode error, exactly as it was for plain json.Unmarshal.
+func ParseJSON(data []byte) (Object, error) {
+	v, err := DecodeJSON(data)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("object: request root is %s, want object", jsonRootName(v))
+	}
+	return Object(m), nil
+}
+
+// DecodeJSON decodes an arbitrary JSON document with the same
+// precision-preserving number normalization as ParseJSON.
+func DecodeJSON(data []byte) (any, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	var v any
+	if err := dec.Decode(&v); err != nil {
+		return nil, err
+	}
+	// Mirror json.Unmarshal's strictness: trailing non-space content
+	// after the document is an error, not silently ignored.
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("object: trailing data after JSON document")
+	}
+	return normalizeNumbers(v)
+}
+
+// normalizeNumbers rewrites every json.Number in a decoded tree to
+// int64 (exact integers) or float64 (everything else), in place where
+// possible.
+func normalizeNumbers(v any) (any, error) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, val := range t {
+			nv, err := normalizeNumbers(val)
+			if err != nil {
+				return nil, err
+			}
+			t[k] = nv
+		}
+		return t, nil
+	case []any:
+		for i, val := range t {
+			nv, err := normalizeNumbers(val)
+			if err != nil {
+				return nil, err
+			}
+			t[i] = nv
+		}
+		return t, nil
+	case json.Number:
+		if i, err := t.Int64(); err == nil {
+			return i, nil
+		}
+		if f, err := t.Float64(); err == nil {
+			return f, nil
+		}
+		return nil, fmt.Errorf("object: number %q overflows every supported numeric type", string(t))
+	default:
+		return v, nil
+	}
+}
+
+func jsonRootName(v any) string {
+	switch v.(type) {
+	case []any:
+		return "array"
+	case nil:
+		return "null"
+	default:
+		return fmt.Sprintf("%T", v)
+	}
+}

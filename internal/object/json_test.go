@@ -1,0 +1,97 @@
+package object
+
+import (
+	"testing"
+)
+
+func TestParseJSONPreservesInt64Precision(t *testing.T) {
+	// 9007199254740993 = 2^53 + 1: the first integer float64 cannot
+	// represent. Plain json.Unmarshal coerces it to 9007199254740992.
+	body := []byte(`{"kind":"Pod","spec":{"securityContext":{"runAsUser":9007199254740993}}}`)
+	o, err := ParseJSON(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok := Get(o, "spec.securityContext.runAsUser")
+	if !ok {
+		t.Fatal("runAsUser missing after decode")
+	}
+	i, ok := v.(int64)
+	if !ok {
+		t.Fatalf("runAsUser decoded as %T, want int64", v)
+	}
+	if i != 9007199254740993 {
+		t.Fatalf("runAsUser = %d, precision lost (want 9007199254740993)", i)
+	}
+}
+
+func TestParseJSONNumberForms(t *testing.T) {
+	o, err := ParseJSON([]byte(`{"i":42,"neg":-7,"f":1.5,"intish":3.0,"exp":1e3,"big":99999999999999999999}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		key  string
+		want any
+	}{
+		{"i", int64(42)},
+		{"neg", int64(-7)},
+		{"f", 1.5},
+		// "3.0" and "1e3" fail json.Number.Int64 (ParseInt rejects the
+		// dot/exponent) and land as float64, matching plain Unmarshal.
+		{"intish", 3.0},
+		{"exp", 1000.0},
+		// Beyond int64 range: falls to float64 rather than erroring.
+		{"big", 1e20},
+	} {
+		got := o[tc.key]
+		if got != tc.want {
+			t.Errorf("%s = %v (%T), want %v (%T)", tc.key, got, got, tc.want, tc.want)
+		}
+	}
+}
+
+func TestParseJSONErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		body string
+	}{
+		{"malformed", `{"a":`},
+		{"array root", `[1,2]`},
+		{"scalar root", `"x"`},
+		{"trailing data", `{"a":1} {"b":2}`},
+		{"overflowing exponent", `{"a":1e999}`},
+		{"nested overflow", `{"a":{"b":[1e999]}}`},
+	} {
+		if _, err := ParseJSON([]byte(tc.body)); err == nil {
+			t.Errorf("%s: ParseJSON(%q) succeeded, want error", tc.name, tc.body)
+		}
+	}
+}
+
+func TestScalarEqualPrecision(t *testing.T) {
+	for _, tc := range []struct {
+		a, b any
+		want bool
+	}{
+		{int64(5), 5.0, true},
+		{5.0, int64(5), true},
+		{int64(5), int(5), true},
+		{int64(5), 5.5, false},
+		{1.5, 1.5, true},
+		{1.5, 2.5, false},
+		// The precision cases: adjacent int64s beyond 2^53 must stay
+		// distinct, and an approximating float64 must not collide.
+		{int64(9007199254740993), int64(9007199254740993), true},
+		{int64(9007199254740993), int64(9007199254740992), false},
+		{int64(9007199254740993), 9007199254740992.0, false},
+		{int64(9007199254740992), 9007199254740992.0, true},
+		{int64(5), "5", false},
+		{1e300, int64(42), false},
+	} {
+		if got := Equal(tc.a, tc.b); got != tc.want {
+			t.Errorf("Equal(%v (%T), %v (%T)) = %v, want %v",
+				tc.a, tc.a, tc.b, tc.b, got, tc.want)
+		}
+	}
+}

@@ -285,23 +285,53 @@ func Equal(a, b any) bool {
 	}
 }
 
+// scalarEqual compares scalars exactly. Integer forms (int, int64)
+// compare as integers; a float64 equals an integer only when it is an
+// exact integral value representing the same number. Comparing through
+// float64 for ALL integer pairs (the old behavior) made every int64
+// beyond the float53 mantissa equal to its neighbors, so a policy
+// pinning runAsUser to 9007199254740993 would also accept ...992.
 func scalarEqual(a, b any) bool {
 	if a == b {
 		return true
 	}
-	na, aok := toFloat(a)
-	nb, bok := toFloat(b)
-	return aok && bok && na == nb
+	ai, aInt := toInt64(a)
+	bi, bInt := toInt64(b)
+	switch {
+	case aInt && bInt:
+		return ai == bi
+	case aInt:
+		f, ok := b.(float64)
+		return ok && FloatEqualsInt(f, ai)
+	case bInt:
+		f, ok := a.(float64)
+		return ok && FloatEqualsInt(f, bi)
+	default:
+		return false
+	}
 }
 
-func toFloat(v any) (float64, bool) {
+func toInt64(v any) (int64, bool) {
 	switch t := v.(type) {
 	case int:
-		return float64(t), true
+		return int64(t), true
 	case int64:
-		return float64(t), true
-	case float64:
 		return t, true
 	}
 	return 0, false
+}
+
+// FloatEqualsInt reports whether f is an exact integral float64 whose
+// value is i — precision-preserving, unlike comparing float64(i) to f.
+// Exported because the compiled engine's raw-bytes matcher (internal/
+// compile) must compare parsed integer literals against policy values
+// with exactly these semantics.
+func FloatEqualsInt(f float64, i int64) bool {
+	// 2^63 is exactly representable; everything at or beyond it cannot
+	// be a valid int64.
+	if f < -9223372036854775808.0 || f >= 9223372036854775808.0 {
+		return false
+	}
+	n := int64(f)
+	return float64(n) == f && n == i
 }

@@ -3,12 +3,24 @@
 // API server — the role mitmproxy plays in the paper's implementation.
 //
 // Every incoming request is authenticated, and write requests (create,
-// update, patch) have their body parsed into a Kubernetes object and
-// checked against the workload's policy validator with the tree-overlap
-// comparison. Conforming requests are forwarded upstream unchanged;
-// violating requests are rejected with HTTP 403 and a violation record
-// carrying the offending field paths and reasons, enabling the auditing
-// and forensics the paper describes.
+// update, patch) have their body checked against the workload's policy.
+// Conforming requests are forwarded upstream unchanged; violating
+// requests are rejected with HTTP 403 and a violation record carrying
+// the offending field paths and reasons, enabling the auditing and
+// forensics the paper describes.
+//
+// The admission data path is streaming-first: for JSON bodies of
+// enforce-mode workloads, routing metadata (kind, namespace, name) is
+// scanned straight off the wire bytes (compile.ScanRawMeta), the
+// workload's decision-cache shard is consulted on the body hash, and
+// the compiled program's streaming fast pass walks the raw bytes — so
+// an ALLOWED request is never decoded into a document at all. Request
+// bodies live in pooled buffers returned to the pool when the upstream
+// round trip completes. Only deny verdicts, cache-missed shadow/learn
+// traffic, YAML bodies, tap-equipped proxies, and constructs the
+// scanner cannot vouch for take the classic decode + diagnostic path,
+// whose verdicts and violation lists the raw path reproduces exactly
+// (registry.ValidateRaw contract).
 //
 // Identity is propagated upstream via the front-proxy headers
 // (X-Forwarded-User/-Group) over an mTLS channel only the proxy can open,
@@ -28,7 +40,9 @@
 // against the candidate policy with the would-deny verdict recorded but
 // never enforced, and enforce mode is the classic deny path. Config.Tap
 // additionally streams every inspected request to a trace sink for
-// offline mining.
+// offline mining. Audit callbacks (OnViolation, OnShadowViolation, Tap)
+// can be moved off the request goroutine onto a bounded async ring with
+// explicit drop accounting via Config.SinkBuffer.
 package proxy
 
 import (
@@ -42,6 +56,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/compile"
 	"repro/internal/object"
 	"repro/internal/registry"
 	"repro/internal/validator"
@@ -60,7 +75,13 @@ type Metrics struct {
 	Denied    uint64
 	// Shadowed counts would-deny verdicts recorded for shadow-mode
 	// workloads (the requests themselves were forwarded).
-	Shadowed       uint64
+	Shadowed uint64
+	// RawAllowed counts inspected requests decided on the streaming
+	// fast path (raw bytes, no decode), including body-hash cache hits.
+	RawAllowed uint64
+	// RawDenied counts inspected requests denied without decoding
+	// (cached denials answered from raw bytes).
+	RawDenied      uint64
 	ValidationTime time.Duration
 }
 
@@ -86,6 +107,17 @@ type Config struct {
 	// must be listed in the API server's FrontProxyUsers. With mTLS the
 	// proxy's client certificate CN carries the identity instead.
 	ProxyUser string
+	// DisableRawFastPath forces every inspected request through the
+	// classic decode-first path. For ablation benchmarks (the e2e
+	// experiment's decode baseline) and debugging; verdicts are
+	// identical either way.
+	DisableRawFastPath bool
+	// SinkBuffer, when > 0, moves the OnViolation / OnShadowViolation /
+	// Tap callbacks off the request goroutine onto a bounded async ring
+	// of this capacity serviced by one background goroutine. A full
+	// ring drops events (counted in SinkStats), never blocks a request.
+	// Zero keeps the callbacks synchronous on the request path.
+	SinkBuffer int
 	// OnViolation, when non-nil, receives every denial record.
 	OnViolation func(ViolationRecord)
 	// OnShadowViolation, when non-nil, receives every would-deny record
@@ -93,8 +125,10 @@ type Config struct {
 	OnShadowViolation func(ViolationRecord)
 	// Tap, when non-nil, receives every successfully decoded and
 	// resolved inspected request — the live capture feeding offline
-	// policy mining (internal/learn traces). It runs on the request
-	// path; keep it cheap (buffered writes, no blocking I/O).
+	// policy mining (internal/learn traces). Configuring a tap disables
+	// the decode-free fast path: every inspected request is decoded so
+	// the tap sees the object. With SinkBuffer > 0 the callback itself
+	// still runs off the request goroutine.
 	Tap func(workload, user, method, path string, obj object.Object)
 }
 
@@ -106,17 +140,20 @@ type Proxy struct {
 	registry  *registry.Registry
 	// single names the implicit wildcard entry of a proxy built from
 	// Config.Validator; SetValidator swaps that entry's policy.
-	single    string
-	onViolate func(ViolationRecord)
-	onShadow  func(ViolationRecord)
-	tap       func(workload, user, method, path string, obj object.Object)
+	single     string
+	disableRaw bool
+	onViolate  func(ViolationRecord)
+	onShadow   func(ViolationRecord)
+	tap        func(workload, user, method, path string, obj object.Object)
+	sink       *asyncSink
 
-	mu         sync.Mutex
-	violations []ViolationRecord
+	violations *registry.BoundedLog
 	requests   atomic.Uint64
 	inspected  atomic.Uint64
 	denied     atomic.Uint64
 	shadowed   atomic.Uint64
+	rawAllowed atomic.Uint64
+	rawDenied  atomic.Uint64
 	valNanos   atomic.Int64
 }
 
@@ -140,13 +177,15 @@ func New(cfg Config) (*Proxy, error) {
 		return nil, fmt.Errorf("proxy: Config.Upstream is required")
 	}
 	p := &Proxy{
-		upstream:  strings.TrimSuffix(cfg.Upstream, "/"),
-		transport: cfg.Transport,
-		proxyUser: cfg.ProxyUser,
-		registry:  cfg.Registry,
-		onViolate: cfg.OnViolation,
-		onShadow:  cfg.OnShadowViolation,
-		tap:       cfg.Tap,
+		upstream:   strings.TrimSuffix(cfg.Upstream, "/"),
+		transport:  cfg.Transport,
+		proxyUser:  cfg.ProxyUser,
+		registry:   cfg.Registry,
+		disableRaw: cfg.DisableRawFastPath,
+		onViolate:  cfg.OnViolation,
+		onShadow:   cfg.OnShadowViolation,
+		tap:        cfg.Tap,
+		violations: registry.NewBoundedLog(registry.MaxRecords),
 	}
 	if p.transport == nil {
 		p.transport = http.DefaultTransport
@@ -157,6 +196,9 @@ func New(cfg Config) (*Proxy, error) {
 		if _, err := p.registry.Register(p.single, registry.Selector{}, cfg.Validator); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.SinkBuffer > 0 {
+		p.sink = newAsyncSink(cfg.SinkBuffer, cfg.OnViolation, cfg.OnShadowViolation, cfg.Tap)
 	}
 	return p, nil
 }
@@ -192,18 +234,12 @@ func (p *Proxy) Registry() *registry.Registry { return p.registry }
 
 // Violations returns a snapshot of all denial records.
 func (p *Proxy) Violations() []ViolationRecord {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]ViolationRecord, len(p.violations))
-	copy(out, p.violations)
-	return out
+	return p.violations.Snapshot()
 }
 
 // ResetViolations clears the denial log.
 func (p *Proxy) ResetViolations() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.violations = nil
+	p.violations.Reset()
 }
 
 // Metrics returns a snapshot of the counters.
@@ -213,7 +249,37 @@ func (p *Proxy) Metrics() Metrics {
 		Inspected:      p.inspected.Load(),
 		Denied:         p.denied.Load(),
 		Shadowed:       p.shadowed.Load(),
+		RawAllowed:     p.rawAllowed.Load(),
+		RawDenied:      p.rawDenied.Load(),
 		ValidationTime: time.Duration(p.valNanos.Load()),
+	}
+}
+
+// SinkStats reports the async sink's delivery accounting. Zero-valued
+// when Config.SinkBuffer was 0 (synchronous callbacks).
+func (p *Proxy) SinkStats() SinkStats {
+	if p.sink == nil {
+		return SinkStats{}
+	}
+	return p.sink.stats()
+}
+
+// FlushSinks waits until every event enqueued so far has been delivered
+// or dropped, bounded by the timeout; it reports whether the sink fully
+// drained. A no-op (true) for synchronous sinks.
+func (p *Proxy) FlushSinks(timeout time.Duration) bool {
+	if p.sink == nil {
+		return true
+	}
+	return p.sink.flush(timeout)
+}
+
+// CloseSinks stops the async sink worker after draining queued events.
+// Call after the proxy has stopped serving requests; safe to call more
+// than once, and a no-op for synchronous sinks.
+func (p *Proxy) CloseSinks() {
+	if p.sink != nil {
+		p.sink.close()
 	}
 }
 
@@ -222,6 +288,36 @@ func (p *Proxy) Metrics() Metrics {
 // truncated parse could silently validate a prefix of the attacker's
 // actual object.
 const maxInspectBytes = 4 << 20
+
+// bodyPool recycles request-body buffers across requests: the enforcement
+// point reads every body it inspects, and steady-state traffic should
+// not allocate a fresh buffer (the single largest allocation of the
+// allowed-request path) per request.
+var bodyPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBody caps the buffers the pool retains; a rare 4 MiB body
+// should not pin 4 MiB per pool slot forever.
+const maxPooledBody = 256 << 10
+
+func putBody(buf *bytes.Buffer) {
+	if buf != nil && buf.Cap() <= maxPooledBody {
+		bodyPool.Put(buf)
+	}
+}
+
+// releaseReader carries a pooled body into the upstream round trip and
+// returns the buffer to the pool when the transport closes the request
+// body (http.RoundTripper contract: the transport always closes it).
+type releaseReader struct {
+	*bytes.Reader
+	release func()
+	once    sync.Once
+}
+
+func (rr *releaseReader) Close() error {
+	rr.once.Do(rr.release)
+	return nil
+}
 
 // ServeHTTP implements http.Handler: inspect, validate, forward or deny.
 // Every failure on the inspection path fails closed with its own
@@ -233,24 +329,36 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	user, groups := clientIdentity(r)
 
 	var body []byte
+	var buf *bytes.Buffer
 	if r.Body != nil {
-		var err error
-		body, err = io.ReadAll(io.LimitReader(r.Body, maxInspectBytes+1))
-		if err != nil {
-			p.deny(w, r, user, nil, nil, http.StatusBadRequest, []validator.Violation{{
+		buf = bodyPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		if _, err := buf.ReadFrom(io.LimitReader(r.Body, maxInspectBytes+1)); err != nil {
+			putBody(buf)
+			p.deny(w, r, user, nil, "", "", http.StatusBadRequest, []validator.Violation{{
 				Reason: "request body could not be read: " + err.Error(),
 			}})
 			return
 		}
 		r.Body.Close()
+		body = buf.Bytes()
+	}
+	// releaseBody returns the pooled buffer once nothing references the
+	// body bytes anymore: called directly on deny paths, deferred to the
+	// transport's Body.Close on the forward path.
+	releaseBody := func() {
+		b := buf
+		buf = nil
+		putBody(b)
 	}
 	// Oversized bodies are denied for every method, before the
 	// inspection branch: the read above is capped, so forwarding would
 	// silently hand upstream a truncated request.
 	if len(body) > maxInspectBytes {
-		p.deny(w, r, user, nil, nil, http.StatusRequestEntityTooLarge, []validator.Violation{{
+		p.deny(w, r, user, nil, "", "", http.StatusRequestEntityTooLarge, []validator.Violation{{
 			Reason: fmt.Sprintf("request body exceeds the %d MiB inspection limit", maxInspectBytes>>20),
 		}})
+		releaseBody()
 		return
 	}
 
@@ -258,18 +366,63 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		p.inspected.Add(1)
 		contentType := r.Header.Get("Content-Type")
 		if !supportedContentType(contentType) {
-			p.deny(w, r, user, nil, nil, http.StatusUnsupportedMediaType, []validator.Violation{{
+			p.deny(w, r, user, nil, "", "", http.StatusUnsupportedMediaType, []validator.Violation{{
 				Reason: fmt.Sprintf("unsupported content type %q for an inspected request", contentType),
 			}})
+			releaseBody()
 			return
 		}
 		start := time.Now()
+
+		// Streaming fast path: decide JSON requests straight off the
+		// wire bytes whenever possible. ScanRawMeta succeeding
+		// guarantees the body decodes and the extracted routing fields
+		// equal the decoded accessors, so resolving before decoding is
+		// observationally identical to the classic order. Taps force the
+		// decode path (they consume the object); non-enforce modes fall
+		// through (learn feeds the miner, shadow records diagnostics).
+		if !p.disableRaw && p.tap == nil && !strings.Contains(contentType, "yaml") {
+			if meta, ok := compile.ScanRawMeta(body); ok {
+				namespace := string(meta.Namespace)
+				if namespace == "" {
+					namespace = requestNamespace(r.URL.Path)
+				}
+				kind := string(meta.Kind)
+				entry, found := p.registry.Resolve(namespace, kind)
+				if !found {
+					p.valNanos.Add(int64(time.Since(start)))
+					p.reject(w, r, user, nil, kind, string(meta.Name), []validator.Violation{{
+						Reason: fmt.Sprintf("no KubeFence policy registered for namespace %q kind %q",
+							namespace, kind),
+					}})
+					releaseBody()
+					return
+				}
+				if entry.Mode() == registry.ModeEnforce {
+					vs, decided := p.registry.ValidateRawScanned(entry, body, meta)
+					if decided {
+						p.valNanos.Add(int64(time.Since(start)))
+						if len(vs) > 0 {
+							p.rawDenied.Add(1)
+							p.reject(w, r, user, entry, kind, string(meta.Name), vs)
+							releaseBody()
+							return
+						}
+						p.rawAllowed.Add(1)
+						p.forward(w, r, user, groups, body, releaseBody)
+						return
+					}
+				}
+			}
+		}
+
 		obj, err := decodeObject(body, contentType)
 		if err != nil {
 			p.valNanos.Add(int64(time.Since(start)))
-			p.reject(w, r, user, nil, nil, []validator.Violation{{
+			p.reject(w, r, user, nil, "", "", []validator.Violation{{
 				Reason: "request body is not a valid Kubernetes object: " + err.Error(),
 			}})
+			releaseBody()
 			return
 		}
 		namespace := obj.Namespace()
@@ -279,14 +432,15 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		entry, ok := p.registry.Resolve(namespace, obj.Kind())
 		if !ok {
 			p.valNanos.Add(int64(time.Since(start)))
-			p.reject(w, r, user, nil, obj, []validator.Violation{{
+			p.reject(w, r, user, nil, obj.Kind(), obj.Name(), []validator.Violation{{
 				Reason: fmt.Sprintf("no KubeFence policy registered for namespace %q kind %q",
 					namespace, obj.Kind()),
 			}})
+			releaseBody()
 			return
 		}
 		if p.tap != nil {
-			p.tap(entry.Workload(), user, r.Method, r.URL.Path, obj)
+			p.emitTap(entry.Workload(), user, r.Method, r.URL.Path, obj)
 		}
 		// The workload's rollout mode decides what "validate" means:
 		// learn feeds the miner and forwards, shadow records the verdict
@@ -312,13 +466,14 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			violations := p.registry.Validate(entry, body, obj)
 			p.valNanos.Add(int64(time.Since(start)))
 			if len(violations) > 0 {
-				p.reject(w, r, user, entry, obj, violations)
+				p.reject(w, r, user, entry, obj.Kind(), obj.Name(), violations)
+				releaseBody()
 				return
 			}
 		}
 	}
 
-	p.forward(w, r, user, groups, body)
+	p.forward(w, r, user, groups, body, releaseBody)
 }
 
 // requestNamespace extracts the namespace segment of an API request path
@@ -357,15 +512,15 @@ func supportedContentType(contentType string) bool {
 		strings.Contains(contentType, "yaml")
 }
 
+// decodeObject decodes an inspected body. JSON goes through the
+// precision-preserving decoder (object.ParseJSON): numbers normalize to
+// int64 when exact, so large integers survive to the validators instead
+// of being rounded to the nearest float64 before the policy sees them.
 func decodeObject(body []byte, contentType string) (object.Object, error) {
 	if strings.Contains(contentType, "yaml") {
 		return object.ParseManifest(body)
 	}
-	var m map[string]any
-	if err := json.Unmarshal(body, &m); err != nil {
-		return nil, err
-	}
-	return object.Object(m), nil
+	return object.ParseJSON(body)
 }
 
 // clientIdentity extracts the caller identity the same way the API server
@@ -379,6 +534,42 @@ func clientIdentity(r *http.Request) (string, []string) {
 		return h, r.Header.Values("X-Remote-Group")
 	}
 	return "system:anonymous", nil
+}
+
+// emitViolation delivers a denial record to the violation sink —
+// asynchronously when the proxy has an async sink, inline otherwise.
+func (p *Proxy) emitViolation(rec ViolationRecord) {
+	if p.onViolate == nil {
+		return
+	}
+	if p.sink != nil {
+		p.sink.enqueue(sinkEvent{kind: sinkViolation, rec: rec})
+		return
+	}
+	p.onViolate(rec)
+}
+
+func (p *Proxy) emitShadow(rec ViolationRecord) {
+	if p.onShadow == nil {
+		return
+	}
+	if p.sink != nil {
+		p.sink.enqueue(sinkEvent{kind: sinkShadow, rec: rec})
+		return
+	}
+	p.onShadow(rec)
+}
+
+func (p *Proxy) emitTap(workload, user, method, path string, obj object.Object) {
+	if p.tap == nil {
+		return
+	}
+	if p.sink != nil {
+		p.sink.enqueue(sinkEvent{kind: sinkTap,
+			tap: tapEvent{workload: workload, user: user, method: method, path: path, obj: obj}})
+		return
+	}
+	p.tap(workload, user, method, path, obj)
 }
 
 // recordShadow logs a would-deny verdict for a shadow-mode workload:
@@ -398,15 +589,15 @@ func (p *Proxy) recordShadow(r *http.Request, user string,
 	}
 	entry.RecordShadowViolation(rec)
 	rec.Workload = entry.Workload()
-	if p.onShadow != nil {
-		p.onShadow(rec)
-	}
+	p.emitShadow(rec)
 }
 
-// reject denies a request that violates policy (HTTP 403).
+// reject denies a request that violates policy (HTTP 403). kind and
+// name identify the object for the audit record; on the raw path they
+// come from the wire-byte scan, which matches the decoded accessors.
 func (p *Proxy) reject(w http.ResponseWriter, r *http.Request, user string,
-	entry *registry.Entry, obj object.Object, violations []validator.Violation) {
-	p.deny(w, r, user, entry, obj, http.StatusForbidden, violations)
+	entry *registry.Entry, kind, name string, violations []validator.Violation) {
+	p.deny(w, r, user, entry, kind, name, http.StatusForbidden, violations)
 }
 
 // deny fails a request closed with the given status code, recording an
@@ -415,7 +606,7 @@ func (p *Proxy) reject(w http.ResponseWriter, r *http.Request, user string,
 // oversized, or unparseable-typed bodies) would otherwise skew the
 // experiments' denial rates.
 func (p *Proxy) deny(w http.ResponseWriter, r *http.Request, user string,
-	entry *registry.Entry, obj object.Object, code int, violations []validator.Violation) {
+	entry *registry.Entry, kind, name string, code int, violations []validator.Violation) {
 	if code == http.StatusForbidden {
 		p.denied.Add(1)
 	}
@@ -424,22 +615,16 @@ func (p *Proxy) deny(w http.ResponseWriter, r *http.Request, user string,
 		User:       user,
 		Method:     r.Method,
 		RequestURI: r.URL.Path,
+		Kind:       kind,
+		Name:       name,
 		Violations: violations,
-	}
-	if obj != nil {
-		rec.Kind = obj.Kind()
-		rec.Name = obj.Name()
 	}
 	if entry != nil {
 		rec.Workload = entry.Workload()
 		entry.RecordViolation(rec)
 	}
-	p.mu.Lock()
-	p.violations = registry.AppendBounded(p.violations, rec)
-	p.mu.Unlock()
-	if p.onViolate != nil {
-		p.onViolate(rec)
-	}
+	p.violations.Append(rec)
+	p.emitViolation(rec)
 
 	msgs := make([]string, len(violations))
 	for i, v := range violations {
@@ -464,18 +649,28 @@ func (p *Proxy) deny(w http.ResponseWriter, r *http.Request, user string,
 	_ = json.NewEncoder(w).Encode(body)
 }
 
-// forward relays the (possibly re-read) request upstream, asserting the
-// original caller via front-proxy headers.
+// forward relays the request upstream, asserting the original caller via
+// front-proxy headers. Ownership of the pooled body buffer transfers to
+// the upstream request: the transport's Body.Close returns it to the
+// pool (releaseBody is idempotent and also covers the error paths).
 func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, user string,
-	groups []string, body []byte) {
+	groups []string, body []byte, releaseBody func()) {
 	url := p.upstream + r.URL.Path
 	if r.URL.RawQuery != "" {
 		url += "?" + r.URL.RawQuery
 	}
-	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, bytes.NewReader(body))
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, url, nil)
 	if err != nil {
+		releaseBody()
 		http.Error(w, "building upstream request: "+err.Error(), http.StatusBadGateway)
 		return
+	}
+	if len(body) > 0 {
+		req.Body = &releaseReader{Reader: bytes.NewReader(body), release: releaseBody}
+		req.ContentLength = int64(len(body))
+	} else {
+		// Nothing upstream will read; recycle the buffer immediately.
+		releaseBody()
 	}
 	for k, vs := range r.Header {
 		// Strip identity headers a client might try to smuggle.

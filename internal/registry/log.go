@@ -1,0 +1,72 @@
+package registry
+
+import "sync/atomic"
+
+// BoundedLog is a fixed-capacity, append-mostly violation log built for
+// the request hot path: Append is lock-free (one atomic cursor bump plus
+// one atomic slot store), so concurrent request goroutines recording
+// denials never serialize on a log mutex the way the previous
+// mutex-guarded slice forced them to. Capacity is fixed at construction;
+// when full, new records overwrite the oldest (newest-kept semantics,
+// like AppendBounded) — denial records are attacker-triggerable, so
+// every log must be bounded.
+//
+// Snapshot is read-mostly diagnostics: under concurrent appends it is a
+// best-effort view (a racing append may replace a slot between the
+// cursor read and the slot load), exact once writers quiesce. That
+// trade is deliberate: audits read logs after the fact, requests write
+// them at line rate.
+type BoundedLog struct {
+	slots  []atomic.Pointer[Record]
+	cursor atomic.Uint64
+}
+
+// NewBoundedLog builds a log holding up to capacity records
+// (MaxRecords when capacity <= 0).
+func NewBoundedLog(capacity int) *BoundedLog {
+	if capacity <= 0 {
+		capacity = MaxRecords
+	}
+	return &BoundedLog{slots: make([]atomic.Pointer[Record], capacity)}
+}
+
+// Append records one violation, overwriting the oldest record when the
+// log is full. Safe for any number of concurrent appenders.
+func (l *BoundedLog) Append(rec Record) {
+	idx := l.cursor.Add(1) - 1
+	l.slots[idx%uint64(len(l.slots))].Store(&rec)
+}
+
+// Len reports how many records the log currently holds.
+func (l *BoundedLog) Len() int {
+	n := l.cursor.Load()
+	if n > uint64(len(l.slots)) {
+		return len(l.slots)
+	}
+	return int(n)
+}
+
+// Snapshot returns the retained records, oldest first.
+func (l *BoundedLog) Snapshot() []Record {
+	cur := l.cursor.Load()
+	n := cur
+	if n > uint64(len(l.slots)) {
+		n = uint64(len(l.slots))
+	}
+	out := make([]Record, 0, n)
+	for i := cur - n; i < cur; i++ {
+		if p := l.slots[i%uint64(len(l.slots))].Load(); p != nil {
+			out = append(out, *p)
+		}
+	}
+	return out
+}
+
+// Reset clears the log. Intended for quiesced maintenance (benchmarks,
+// experiment harnesses); appends racing a Reset may or may not survive.
+func (l *BoundedLog) Reset() {
+	for i := range l.slots {
+		l.slots[i].Store(nil)
+	}
+	l.cursor.Store(0)
+}

@@ -1,0 +1,106 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBoundedLogSequential(t *testing.T) {
+	l := NewBoundedLog(4)
+	if l.Len() != 0 || len(l.Snapshot()) != 0 {
+		t.Fatalf("fresh log not empty")
+	}
+	for i := 0; i < 3; i++ {
+		l.Append(Record{Name: fmt.Sprintf("r%d", i)})
+	}
+	snap := l.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Len after 3 appends = %d", len(snap))
+	}
+	for i, rec := range snap {
+		if want := fmt.Sprintf("r%d", i); rec.Name != want {
+			t.Errorf("snapshot[%d] = %q, want %q (oldest first)", i, rec.Name, want)
+		}
+	}
+	// Overflow: newest are kept, oldest dropped.
+	for i := 3; i < 10; i++ {
+		l.Append(Record{Name: fmt.Sprintf("r%d", i)})
+	}
+	snap = l.Snapshot()
+	if len(snap) != 4 || l.Len() != 4 {
+		t.Fatalf("Len after overflow = %d/%d, want 4", len(snap), l.Len())
+	}
+	for i, rec := range snap {
+		if want := fmt.Sprintf("r%d", i+6); rec.Name != want {
+			t.Errorf("snapshot[%d] = %q, want %q", i, rec.Name, want)
+		}
+	}
+	l.Reset()
+	if l.Len() != 0 || len(l.Snapshot()) != 0 {
+		t.Fatalf("log not empty after Reset")
+	}
+}
+
+func TestBoundedLogDefaultCapacity(t *testing.T) {
+	l := NewBoundedLog(0)
+	for i := 0; i < MaxRecords+10; i++ {
+		l.Append(Record{})
+	}
+	if l.Len() != MaxRecords {
+		t.Fatalf("default-capacity log holds %d, want %d", l.Len(), MaxRecords)
+	}
+}
+
+// TestBoundedLogParallelAppend hammers one log from many goroutines —
+// the proxy's denial-path contention pattern — and requires that after
+// quiescing, the log holds exactly its capacity in valid records, all
+// of them among the appended set, with per-goroutine ordering
+// preserved within the retained window.
+func TestBoundedLogParallelAppend(t *testing.T) {
+	const (
+		capacity   = 64
+		goroutines = 16
+		perG       = 500
+	)
+	l := NewBoundedLog(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				l.Append(Record{User: fmt.Sprintf("g%d", g), Name: fmt.Sprintf("%d", i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := l.Snapshot()
+	if len(snap) != capacity {
+		t.Fatalf("quiesced snapshot holds %d records, want %d", len(snap), capacity)
+	}
+	last := map[string]int{}
+	for _, rec := range snap {
+		if rec.User == "" {
+			t.Fatalf("torn/zero record in snapshot: %+v", rec)
+		}
+		var i int
+		if _, err := fmt.Sscanf(rec.Name, "%d", &i); err != nil || i < 0 || i >= perG {
+			t.Fatalf("record %q/%q is not from the appended set", rec.User, rec.Name)
+		}
+		if prev, ok := last[rec.User]; ok && i <= prev {
+			t.Errorf("per-goroutine order violated for %s: %d after %d", rec.User, i, prev)
+		}
+		last[rec.User] = i
+	}
+}
+
+func BenchmarkBoundedLogAppendParallel(b *testing.B) {
+	l := NewBoundedLog(MaxRecords)
+	rec := Record{User: "u", Name: "n"}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Append(rec)
+		}
+	})
+}

@@ -227,18 +227,12 @@ func (e *Entry) ShadowStats() ShadowStats {
 // metric: a shadow verdict denies nothing.
 func (e *Entry) RecordShadowViolation(rec Record) {
 	rec.Workload = e.workload
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.shadowLog = AppendBounded(e.shadowLog, rec)
+	e.shadowLog.Append(rec)
 }
 
 // ShadowViolations returns a snapshot of the entry's would-deny records.
 func (e *Entry) ShadowViolations() []Record {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]Record, len(e.shadowLog))
-	copy(out, e.shadowLog)
-	return out
+	return e.shadowLog.Snapshot()
 }
 
 // RegisterLearning adds a workload with NO policy, in ModeLearn: the

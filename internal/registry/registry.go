@@ -197,9 +197,8 @@ type Entry struct {
 	shadowReqs   atomic.Uint64
 	shadowDenied atomic.Uint64
 
-	mu         sync.Mutex
-	violations []Record
-	shadowLog  []Record
+	violations *BoundedLog
+	shadowLog  *BoundedLog
 }
 
 // policyVersion is one immutable published state of an entry's policy.
@@ -257,42 +256,22 @@ func (e *Entry) Metrics() Metrics {
 // grow proxy memory without bound; the newest records are kept.
 const MaxRecords = 1024
 
-// AppendBounded appends a record to a denial log capped at MaxRecords,
-// dropping the oldest record when full. Shared by the per-workload logs
-// here and the proxy's global log: denial records are
-// attacker-triggerable, so every log must be bounded the same way.
-func AppendBounded(records []Record, rec Record) []Record {
-	if len(records) >= MaxRecords {
-		copy(records, records[1:])
-		records = records[:len(records)-1]
-	}
-	return append(records, rec)
-}
-
-// RecordViolation appends a denial record to the entry's bounded log and
-// bumps the denied counter.
+// RecordViolation appends a denial record to the entry's bounded,
+// contention-free log and bumps the denied counter.
 func (e *Entry) RecordViolation(rec Record) {
 	rec.Workload = e.workload
 	e.denied.Add(1)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.violations = AppendBounded(e.violations, rec)
+	e.violations.Append(rec)
 }
 
 // Violations returns a snapshot of the entry's denial records.
 func (e *Entry) Violations() []Record {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	out := make([]Record, len(e.violations))
-	copy(out, e.violations)
-	return out
+	return e.violations.Snapshot()
 }
 
 // ResetViolations clears the entry's denial log.
 func (e *Entry) ResetViolations() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.violations = nil
+	e.violations.Reset()
 }
 
 // Config configures a Registry.
@@ -379,7 +358,9 @@ func (r *Registry) register(workload string, sel Selector, v *validator.Validato
 	}
 	e := &Entry{workload: workload, selector: sel, order: r.nextOrder,
 		interpreted: r.interpreted,
-		shadow:      newShadowWindow(r.shadowWindow)}
+		shadow:      newShadowWindow(r.shadowWindow),
+		violations:  NewBoundedLog(MaxRecords),
+		shadowLog:   NewBoundedLog(MaxRecords)}
 	if r.cacheSize > 0 {
 		e.cache = newLRUCache(r.cacheSize)
 	}
@@ -529,6 +510,70 @@ func (r *Registry) Violations() map[string][]Record {
 type cacheKey struct {
 	gen      uint64
 	bodyHash [sha256.Size]byte
+}
+
+// ValidateRaw attempts to decide a request from its raw wire bytes,
+// without decoding: the entry's decision-cache shard is consulted on the
+// body hash first (operators re-apply identical manifests every
+// reconcile loop, so the common case never even tokenizes), then the
+// compiled program's streaming fast pass walks the bytes directly.
+//
+// decided=true returns the authoritative violation list (nil = allowed;
+// cached denials come back verbatim). decided=false means the raw view
+// could not rule — the caller must decode the body and call Validate,
+// which produces the exact diagnostic violation list. Entries running
+// the interpreted engine (Config.Interpreted) and entries with no
+// policy snapshot program skip the streaming pass but still honor the
+// cache short-circuit.
+func (r *Registry) ValidateRaw(e *Entry, body []byte) (vs []validator.Violation, decided bool) {
+	meta, ok := compile.ScanRawMeta(body)
+	return r.validateRaw(e, body, meta, ok)
+}
+
+// ValidateRawScanned is ValidateRaw for a caller that already ran
+// compile.ScanRawMeta on this exact body (the proxy scans once for
+// routing): the streaming pass reuses the scan instead of re-tokenizing
+// the body for metadata. meta MUST be the successful scan of body.
+func (r *Registry) ValidateRawScanned(e *Entry, body []byte, meta compile.RawMeta) (vs []validator.Violation, decided bool) {
+	return r.validateRaw(e, body, meta, true)
+}
+
+func (r *Registry) validateRaw(e *Entry, body []byte, meta compile.RawMeta, scanOK bool) (vs []validator.Violation, decided bool) {
+	ver := e.version.Load()
+	if ver.program == nil && ver.policy == nil {
+		e.requests.Add(1)
+		return []validator.Violation{{Reason: fmt.Sprintf(
+			"workload %s has no learned policy yet", e.workload)}}, true
+	}
+	var key cacheKey
+	cached := e.cache != nil && len(body) > 0
+	if cached {
+		// An undecided return costs one redundant body hash (Validate
+		// recomputes it on the fallback) — acceptable on what is by
+		// construction the slow path: the decode + diagnostic pass that
+		// follows dwarfs a hash.
+		key = cacheKey{gen: ver.gen, bodyHash: sha256.Sum256(body)}
+		if vs, ok := e.cache.get(key); ok {
+			e.requests.Add(1)
+			e.cacheHits.Add(1)
+			return vs, true
+		}
+	}
+	if !scanOK || e.interpreted || ver.program == nil {
+		return nil, false
+	}
+	start := time.Now()
+	if !ver.program.MatchRawScanned(meta, body) {
+		// Undecided: the caller's Validate call does the request
+		// accounting (exactly one count per inspected request).
+		return nil, false
+	}
+	e.requests.Add(1)
+	e.valNanos.Add(int64(time.Since(start)))
+	if cached {
+		e.cache.put(key, nil)
+	}
+	return nil, true
 }
 
 // Validate checks a decoded object against an entry's policy, executing

@@ -318,6 +318,16 @@ type ProxyConfig struct {
 	// authenticated (non-mTLS) channels; must be among the API server's
 	// trusted front-proxy users.
 	ProxyUser string
+	// DisableRawFastPath forces every inspected request through the
+	// classic decode-first path instead of the streaming raw-bytes
+	// pipeline. Verdicts are identical either way; this is the ablation
+	// knob behind the e2e experiment's decode baseline.
+	DisableRawFastPath bool
+	// SinkBuffer, when > 0, moves the OnViolation / OnShadowViolation /
+	// Tap callbacks off the request goroutine onto a bounded async ring
+	// of this capacity (drops are counted in Proxy.SinkStats, requests
+	// never block on a slow sink). Zero keeps callbacks synchronous.
+	SinkBuffer int
 	// OnViolation receives each denial record, for audit sinks.
 	OnViolation func(proxy.ViolationRecord)
 	// OnShadowViolation receives each would-deny record of a workload
@@ -335,6 +345,11 @@ type Proxy = proxy.Proxy
 // ViolationRecord is one denied request, for auditing.
 type ViolationRecord = proxy.ViolationRecord
 
+// SinkStats is the async audit sink's delivery accounting (see
+// ProxyConfig.SinkBuffer): enqueued, delivered, and — the number that
+// must be monitored — dropped events.
+type SinkStats = proxy.SinkStats
+
 // NewProxy builds the KubeFence enforcement proxy.
 func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 	if cfg.Policy == nil && cfg.Registry == nil {
@@ -344,13 +359,15 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 		return nil, fmt.Errorf("kubefence: ProxyConfig.Policy and ProxyConfig.Registry are mutually exclusive")
 	}
 	pc := proxy.Config{
-		Upstream:          cfg.Upstream,
-		Transport:         cfg.Transport,
-		Registry:          cfg.Registry,
-		CacheSize:         cfg.CacheSize,
-		ProxyUser:         cfg.ProxyUser,
-		OnViolation:       cfg.OnViolation,
-		OnShadowViolation: cfg.OnShadowViolation,
+		Upstream:           cfg.Upstream,
+		Transport:          cfg.Transport,
+		Registry:           cfg.Registry,
+		CacheSize:          cfg.CacheSize,
+		ProxyUser:          cfg.ProxyUser,
+		DisableRawFastPath: cfg.DisableRawFastPath,
+		SinkBuffer:         cfg.SinkBuffer,
+		OnViolation:        cfg.OnViolation,
+		OnShadowViolation:  cfg.OnShadowViolation,
 	}
 	if cfg.Tap != nil {
 		tap := cfg.Tap
@@ -572,6 +589,29 @@ func RunLatency(opts LatencyOptions) (*LatencyReport, error) {
 // RenderLatencyReport renders a latency report for humans.
 func RenderLatencyReport(r *LatencyReport) string {
 	return experiments.RenderLatency(r)
+}
+
+// E2EOptions configure an end-to-end admission-path measurement: fleet
+// sizes, requests per cell, and the hot-mode decision-cache size.
+type E2EOptions = experiments.E2EOptions
+
+// E2EReport is the measured outcome: the decode-inclusive cost of an
+// allowed request through the full proxy handler — streaming raw-bytes
+// pipeline vs decode-first baseline, cold and hot caches — with
+// fast-path speedup and allocation-reduction summaries. Committed as
+// BENCH_e2e.json and enforced by the CI bench gate (benchgate -kind e2e).
+type E2EReport = experiments.E2EReport
+
+// RunE2E measures the end-to-end admission path for allowed requests
+// (body read, routing, cache, validation, in-memory upstream round
+// trip), with and without the decode-free streaming fast path.
+func RunE2E(opts E2EOptions) (*E2EReport, error) {
+	return experiments.E2E(opts)
+}
+
+// RenderE2EReport renders an e2e report for humans.
+func RenderE2EReport(r *E2EReport) string {
+	return experiments.RenderE2E(r)
 }
 
 // RenderChart renders a chart with user value overrides into manifests,

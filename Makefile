@@ -9,6 +9,7 @@
 #   make fuzz-smoke      # 10s per native fuzz target
 #   make robustness-json # adversarial robustness baseline -> BENCH_robustness.json
 #   make learning-json   # policy-learning baseline -> BENCH_learning.json
+#   make scenarios-json  # synthetic-corpus baseline -> BENCH_scenarios.json
 #   make bench-gate      # fresh bench run vs committed BENCH_*.json baselines
 #   make coverage-gate   # coverage profile; fails below COVERAGE_BASELINE
 #   make staticcheck     # pinned staticcheck ./... via go run
@@ -39,15 +40,21 @@ GATE_ITERATIONS ?= 5000
 # machine-independent (request counts, not wall clock) and never needs
 # -advise-relative.
 GATE_MAX_PER_CLASS ?= 0
+# Scenarios gate knobs: the synthetic corpus size for the fresh run (the
+# committed baseline uses 100; CI smoke uses 25 — prefix stability keeps
+# the shared cells comparable) and the machine-independent per-engine
+# events/sec flatness floor across registered-workload counts.
+GATE_SYNTH    ?= 100
+MIN_FLATNESS  ?= 0.5
 
-# Tier-1 total statement coverage at the time the gate was introduced
-# (PR 3) minus a small buffer for refactoring churn; raise it as
+# Tier-1 total statement coverage at the time the gate was last raised
+# (PR 6, 84.5%) minus a small buffer for refactoring churn; raise it as
 # coverage grows, never lower it to make a PR pass.
-COVERAGE_BASELINE ?= 80.0
+COVERAGE_BASELINE ?= 84.0
 
 .PHONY: all ci fmt-check vet build test race bench json latency-json \
-	e2e-json fuzz-smoke robustness-json learning-json bench-gate \
-	coverage-gate staticcheck
+	e2e-json fuzz-smoke robustness-json learning-json scenarios-json \
+	bench-gate coverage-gate staticcheck
 
 all: ci
 
@@ -94,6 +101,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzValidate -fuzztime=10s -run '^$$' ./internal/validator
 	$(GO) test -fuzz=FuzzCompiledEquivalence -fuzztime=10s -run '^$$' ./internal/compile
 	$(GO) test -fuzz=FuzzRawEquivalence -fuzztime=10s -run '^$$' ./internal/compile
+	$(GO) test -fuzz=FuzzSynthSelfConsistency -fuzztime=10s -run '^$$' ./internal/synth
 
 robustness-json:
 	$(GO) run ./cmd/kfbench -experiment robustness -concurrency 8 \
@@ -104,6 +112,11 @@ learning-json:
 	$(GO) run ./cmd/kfbench -experiment learning -concurrency 8 \
 		-cache 4096 -seed 1 -json > BENCH_learning.json
 	@echo wrote BENCH_learning.json
+
+scenarios-json:
+	$(GO) run ./cmd/kfbench -experiment scenarios -synth 100 -concurrency 8 \
+		-cache 4096 -seed 1 -json > BENCH_scenarios.json
+	@echo wrote BENCH_scenarios.json
 
 # bench-gate measures fresh throughput and latency numbers and compares
 # them against the committed BENCH_*.json baselines; any regression
@@ -135,7 +148,13 @@ bench-gate:
 		-seed 1 -max-per-class $(GATE_MAX_PER_CLASS) \
 		-json > "$$tmpdir/learning-fresh.json"; \
 	$(GO) run ./cmd/benchgate -kind learning -tolerance $(TOLERANCE) \
-		-baseline BENCH_learning.json -fresh "$$tmpdir/learning-fresh.json"
+		-baseline BENCH_learning.json -fresh "$$tmpdir/learning-fresh.json"; \
+	$(GO) run ./cmd/kfbench -experiment scenarios -synth $(GATE_SYNTH) \
+		-concurrency 8 -cache 4096 -seed 1 \
+		-json > "$$tmpdir/scenarios-fresh.json"; \
+	$(GO) run ./cmd/benchgate -kind scenarios -tolerance $(TOLERANCE) $(GATE_FLAGS) \
+		-min-flatness $(MIN_FLATNESS) \
+		-baseline BENCH_scenarios.json -fresh "$$tmpdir/scenarios-fresh.json"
 
 coverage-gate:
 	$(GO) test ./... -coverprofile=coverage.out

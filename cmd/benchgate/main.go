@@ -8,6 +8,7 @@
 //	benchgate -kind latency    -baseline BENCH_latency.json    -fresh fresh.json
 //	benchgate -kind learning   -baseline BENCH_learning.json   -fresh fresh.json
 //	benchgate -kind e2e        -baseline BENCH_e2e.json        -fresh fresh.json
+//	benchgate -kind scenarios  -baseline BENCH_scenarios.json  -fresh fresh.json
 //
 // Two classes of check run:
 //
@@ -44,6 +45,22 @@
 // converge and promote, and per-chart requests-to-convergence may not
 // regress more than -tolerance over the committed baseline.
 //
+// The scenarios kind gates the synthetic workload corpus. Machine-
+// independent checks always gate: every generated (policy, trace) pair
+// verified, zero false negatives / false positives / errors across every
+// (workload count, engine) cell, and per-engine scaling flatness — the
+// same-machine ratio of events/sec at the largest workload count over
+// the smallest multi-workload count — at or above -min-flatness (a
+// per-request cost that
+// grows with registered-workload count is an O(1)-resolve regression
+// regardless of hardware). When the fresh run used the same seed,
+// generator knobs, and matrix cap as the baseline, matching cells must
+// also replay byte-for-byte the same event counts (the corpus is
+// deterministic and prefix-stable, so a CI smoke run over a 25-workload
+// prefix is comparable cell-by-cell with the committed 100-workload
+// baseline). Per-cell events/sec comparisons are relative-to-baseline
+// and advisory-able like the other wall-clock checks.
+//
 // Every comparison is printed; failures are marked FAIL and summarized.
 package main
 
@@ -65,13 +82,14 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("benchgate", flag.ExitOnError)
-	kind := fs.String("kind", "", "baseline kind: throughput | latency")
+	kind := fs.String("kind", "", "baseline kind: throughput | latency | learning | e2e | scenarios")
 	baselinePath := fs.String("baseline", "", "committed BENCH_*.json baseline")
 	freshPath := fs.String("fresh", "", "freshly measured JSON to gate")
 	tolerance := fs.Float64("tolerance", 0.15, "allowed relative regression (0.15 = 15%)")
 	minSpeedup := fs.Float64("min-speedup", 2.0, "latency: required compiled-vs-interpreted cold speedup")
 	minE2ESpeedup := fs.Float64("min-e2e-speedup", 1.5, "e2e: required fast-vs-decode cold speedup")
 	minAllocReduction := fs.Float64("min-alloc-reduction", 0.5, "e2e: required fraction of per-request allocations the fast path eliminates")
+	minFlatness := fs.Float64("min-flatness", 0.5, "scenarios: required per-engine events/sec flatness ratio across workload counts")
 	adviseRelative := fs.Bool("advise-relative", false,
 		"report relative-to-baseline regressions without failing (for runs on hardware other than the baseline machine); machine-independent checks still gate")
 	if err := fs.Parse(args); err != nil {
@@ -95,8 +113,11 @@ func run(args []string, out *os.File) error {
 	case "e2e":
 		failures, advisories, err = gateE2E(*baselinePath, *freshPath, *tolerance,
 			*minE2ESpeedup, *minAllocReduction, *adviseRelative, out)
+	case "scenarios":
+		failures, advisories, err = gateScenarios(*baselinePath, *freshPath, *tolerance,
+			*minFlatness, *adviseRelative, out)
 	default:
-		return fmt.Errorf("-kind: %q is not throughput, latency, learning, or e2e", *kind)
+		return fmt.Errorf("-kind: %q is not throughput, latency, learning, e2e, or scenarios", *kind)
 	}
 	if err != nil {
 		return err
@@ -388,4 +409,117 @@ func gateLearning(baselinePath, freshPath string, tol float64, out *os.File) (fa
 		failures = append(failures, "fresh learning report carries no per-chart results")
 	}
 	return failures, nil
+}
+
+// gateScenarios gates the synthetic-corpus scaling run. The
+// machine-independent checks always gate: verified pairs, a zero-FN /
+// zero-FP / zero-error line across every cell, and the per-engine
+// flatness ratio (same-machine events/sec at the largest count over the
+// smallest) at or above its floor. When the fresh run shares the
+// baseline's seed, generator knobs, and matrix cap, matching
+// (workloads, engine) cells must replay identical event counts — the
+// corpus is deterministic and prefix-stable, so a smoke run over a
+// corpus prefix still lines up cell-for-cell with the committed
+// baseline. Per-cell events/sec is relative-to-baseline and
+// advisory-able. Cells the fresh run did not measure (the reduced CI
+// matrix) are skipped, like gateLearning's chart subset.
+func gateScenarios(baselinePath, freshPath string, tol, minFlatness float64, advise bool, out *os.File) (failures, advisories []string, err error) {
+	var baseline, fresh experiments.ScenariosResult
+	if err := loadJSON(baselinePath, &baseline); err != nil {
+		return nil, nil, err
+	}
+	if err := loadJSON(freshPath, &fresh); err != nil {
+		return nil, nil, err
+	}
+	relative := func(msg string) string {
+		if advise {
+			advisories = append(advisories, msg)
+			return "ADVISE"
+		}
+		failures = append(failures, msg)
+		return "FAIL"
+	}
+	if !fresh.VerifiedPairs {
+		failures = append(failures, "fresh run did not verify every generated (policy, trace) pair")
+	}
+	if fresh.TotalFalseNegatives != 0 {
+		failures = append(failures, fmt.Sprintf(
+			"generated corpus leaked %d attack scenario(s) (false negatives must be 0)",
+			fresh.TotalFalseNegatives))
+	}
+	if fresh.TotalFalsePositives != 0 {
+		failures = append(failures, fmt.Sprintf(
+			"generated corpus denied %d benign request(s) (false positives must be 0)",
+			fresh.TotalFalsePositives))
+	}
+	if fresh.Errors != 0 {
+		failures = append(failures, fmt.Sprintf("fresh run had %d replay errors", fresh.Errors))
+	}
+	if len(fresh.Cells) == 0 {
+		failures = append(failures, "fresh scenarios report carries no cells")
+	}
+	// Event counts are deterministic for a given (seed, generator, matrix
+	// cap); comparing them is only meaningful when those inputs match.
+	// Corpus size is deliberately excluded: workload i depends only on
+	// (seed, i), so a smaller corpus is an exact prefix of a larger one
+	// and their shared cells still line up.
+	baseGen, freshGen := baseline.Generator, fresh.Generator
+	baseGen.Count, freshGen.Count = 0, 0
+	comparable := fresh.Seed == baseline.Seed && freshGen == baseGen &&
+		fresh.MaxPerAttackClass == baseline.MaxPerAttackClass
+	if !comparable {
+		fmt.Fprintln(out, "corpus inputs differ from baseline (seed, generator knobs, or matrix cap); skipping determinism and events/sec comparisons")
+	}
+	fmt.Fprintf(out, "%-10s %-12s %-12s %-14s %-14s %-10s %s\n",
+		"workloads", "engine", "base events", "base ev/sec", "fresh ev/sec", "delta", "verdict")
+	for _, base := range baseline.Cells {
+		fr := fresh.Cell(base.Workloads, base.Engine)
+		if fr == nil {
+			// The fresh run may legitimately measure a count subset (the
+			// CI smoke path); only gate the cells it ran.
+			continue
+		}
+		verdict := "ok"
+		delta := 0.0
+		if comparable {
+			if fr.Events != base.Events || fr.BenignEvents != base.BenignEvents ||
+				fr.AttackEvents != base.AttackEvents {
+				verdict = "FAIL"
+				failures = append(failures, fmt.Sprintf(
+					"workloads=%d engine=%s event counts drifted from baseline: %d/%d/%d -> %d/%d/%d (total/benign/attack; corpus must be deterministic for a fixed seed)",
+					base.Workloads, base.Engine,
+					base.Events, base.BenignEvents, base.AttackEvents,
+					fr.Events, fr.BenignEvents, fr.AttackEvents))
+			}
+			if base.EventsPerSec > 0 {
+				delta = fr.EventsPerSec/base.EventsPerSec - 1
+			}
+			if fr.EventsPerSec < base.EventsPerSec*(1-tol) {
+				verdict = relative(fmt.Sprintf(
+					"workloads=%d engine=%s events/sec %.0f -> %.0f (%.1f%% drop, tolerance %.0f%%)",
+					base.Workloads, base.Engine, base.EventsPerSec, fr.EventsPerSec,
+					-delta*100, tol*100))
+			}
+		}
+		fmt.Fprintf(out, "%-10d %-12s %-12d %-14.0f %-14.0f %-+9.1f%% %s\n",
+			base.Workloads, base.Engine, base.Events, base.EventsPerSec,
+			fr.EventsPerSec, delta*100, verdict)
+	}
+	// Flatness is a same-machine ratio from the fresh run itself, so it
+	// gates everywhere, like the latency and e2e speedup floors.
+	for _, f := range fresh.Flatness {
+		verdict := "ok"
+		if f.MinWorkloads != f.MaxWorkloads && f.Ratio < minFlatness {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"engine=%s events/sec flatness %.2fx (%d -> %d workloads) below the %.2fx floor",
+				f.Engine, f.Ratio, f.MinWorkloads, f.MaxWorkloads, minFlatness))
+		}
+		fmt.Fprintf(out, "engine=%-12s flatness %d -> %d workloads: %.2fx (floor %.2fx) %s\n",
+			f.Engine, f.MinWorkloads, f.MaxWorkloads, f.Ratio, minFlatness, verdict)
+	}
+	if len(fresh.Flatness) == 0 {
+		failures = append(failures, "fresh scenarios report carries no flatness summary")
+	}
+	return failures, advisories, nil
 }

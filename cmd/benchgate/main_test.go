@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/synth"
 )
 
 func writeJSON(t *testing.T, dir, name string, v any) string {
@@ -293,5 +294,138 @@ func TestE2EGateFailsOnMissingCell(t *testing.T) {
 	fresh := writeJSON(t, dir, "fresh.json", missing)
 	if err := run([]string{"-kind", "e2e", "-baseline", base, "-fresh", fresh, "-advise-relative"}, os.Stdout); err == nil {
 		t.Fatal("missing fresh cells must fail the gate")
+	}
+}
+
+func scenariosResult(counts []int, evPerSec float64) experiments.ScenariosResult {
+	r := experiments.ScenariosResult{
+		Synth: counts[len(counts)-1], Seed: 1, Concurrency: 8,
+		Generator:     synth.Options{Seed: 1, Count: counts[len(counts)-1]}.Resolved(),
+		VerifiedPairs: true,
+		Counts:        counts,
+	}
+	for _, engine := range []string{"raw", "compiled", "interpreted"} {
+		for _, c := range counts {
+			cell := experiments.ScenarioCell{Workloads: c, Engine: engine}
+			cell.Events = c * 120
+			cell.BenignEvents = c * 20
+			cell.AttackEvents = c * 100
+			cell.Blocked = c * 100
+			cell.EventsPerSec = evPerSec
+			r.Cells = append(r.Cells, cell)
+		}
+		r.Flatness = append(r.Flatness, experiments.FlatnessSummary{
+			Engine: engine, MinWorkloads: counts[0], MaxWorkloads: counts[len(counts)-1],
+			Ratio: 0.95,
+		})
+	}
+	return r
+}
+
+func TestScenariosGatePassesOnCleanRun(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", scenariosResult([]int{1, 25, 50, 100}, 20000))
+	fresh := writeJSON(t, dir, "fresh.json", scenariosResult([]int{1, 25, 50, 100}, 19000))
+	if err := run([]string{"-kind", "scenarios", "-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+		t.Fatalf("clean scenarios run failed: %v", err)
+	}
+}
+
+func TestScenariosGateFailsOnFalseNegatives(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", scenariosResult([]int{1, 100}, 20000))
+	leaked := scenariosResult([]int{1, 100}, 20000)
+	leaked.TotalFalseNegatives = 2
+	fresh := writeJSON(t, dir, "fresh.json", leaked)
+	// FN gates even with -advise-relative: replay scores are counts from
+	// a deterministic trace, not wall clock.
+	if err := run([]string{"-kind", "scenarios", "-advise-relative",
+		"-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("false negatives must gate")
+	}
+}
+
+func TestScenariosGateFailsOnUnverifiedPairs(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", scenariosResult([]int{1, 100}, 20000))
+	unverified := scenariosResult([]int{1, 100}, 20000)
+	unverified.VerifiedPairs = false
+	fresh := writeJSON(t, dir, "fresh.json", unverified)
+	if err := run([]string{"-kind", "scenarios", "-advise-relative",
+		"-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("unverified (policy, trace) pairs must gate")
+	}
+}
+
+func TestScenariosGateFailsOnEventCountDrift(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", scenariosResult([]int{1, 100}, 20000))
+	drifted := scenariosResult([]int{1, 100}, 20000)
+	drifted.Cells[1].Events += 7
+	fresh := writeJSON(t, dir, "fresh.json", drifted)
+	// Same seed, same generator knobs, same matrix cap: matching cells
+	// must replay identical event counts. Determinism gates everywhere.
+	if err := run([]string{"-kind", "scenarios", "-advise-relative",
+		"-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("event-count drift under a fixed seed must gate")
+	}
+}
+
+func TestScenariosGateSkipsDeterminismWhenInputsDiffer(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", scenariosResult([]int{1, 100}, 20000))
+	other := scenariosResult([]int{1, 100}, 20000)
+	other.Seed = 2
+	other.Generator.Seed = 2
+	other.Cells[1].Events += 7
+	fresh := writeJSON(t, dir, "fresh.json", other)
+	// A different seed generates a different corpus; event counts are not
+	// comparable and must not gate.
+	if err := run([]string{"-kind", "scenarios", "-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+		t.Fatalf("determinism check must skip when corpus inputs differ: %v", err)
+	}
+}
+
+func TestScenariosGateEnforcesFlatnessFloor(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", scenariosResult([]int{1, 100}, 20000))
+	sloped := scenariosResult([]int{1, 100}, 20000)
+	sloped.Flatness[0].Ratio = 0.2
+	fresh := writeJSON(t, dir, "fresh.json", sloped)
+	// A per-request cost growing with registered-workload count is an
+	// O(1)-resolve regression on any hardware: gates under advisory mode.
+	if err := run([]string{"-kind", "scenarios", "-advise-relative",
+		"-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("collapsed scaling flatness must gate")
+	}
+}
+
+func TestScenariosGateToleratesCountSubset(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", scenariosResult([]int{1, 25, 50, 100}, 20000))
+	smoke := scenariosResult([]int{1, 25}, 20000)
+	smoke.Synth = 25
+	smoke.Generator.Count = 25
+	fresh := writeJSON(t, dir, "fresh.json", smoke)
+	// The CI smoke path measures a 25-workload corpus prefix; prefix
+	// stability makes its {1, 25} cells line up with the baseline's, and
+	// the baseline cells it did not run are skipped.
+	if err := run([]string{"-kind", "scenarios", "-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+		t.Fatalf("count subset must not gate: %v", err)
+	}
+}
+
+func TestScenariosGateEventsPerSecAdvisoryOnForeignHardware(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", scenariosResult([]int{1, 100}, 20000))
+	fresh := writeJSON(t, dir, "fresh.json", scenariosResult([]int{1, 100}, 8000))
+	// A halved events/sec fails strict but is advisory on foreign
+	// hardware (counts and flatness are unchanged).
+	if err := run([]string{"-kind", "scenarios", "-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("halved events/sec must fail the strict gate")
+	}
+	if err := run([]string{"-kind", "scenarios", "-advise-relative",
+		"-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+		t.Fatalf("events/sec regression must be advisory on foreign hardware: %v", err)
 	}
 }

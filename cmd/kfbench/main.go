@@ -53,6 +53,22 @@
 //
 //	kfbench -experiment e2e -counts 1,5 -requests 3000 \
 //	        -cache 4096 -json > BENCH_e2e.json
+//
+// The scenarios experiment generates a seeded synthetic workload corpus
+// (internal/synth), verifies every (policy, trace) pair, and replays the
+// benign + adversarial matrix at increasing registered-workload counts
+// under all three validation paths (raw fast path, compiled decode path,
+// interpreted tree walk) — the committed BENCH_scenarios.json baseline,
+// gated by cmd/benchgate -kind scenarios:
+//
+//	kfbench -experiment scenarios -synth 100 -seed 1 -json > BENCH_scenarios.json
+//	kfbench -experiment scenarios -synth 25 -max-per-class 2   # CI smoke
+//
+// The robustness and learning experiments also accept -synth N to extend
+// their matrices with generated workloads:
+//
+//	kfbench -experiment robustness -synth 100
+//	kfbench -experiment learning -synth 10 -max-per-class 2
 package main
 
 import (
@@ -76,7 +92,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("kfbench", flag.ExitOnError)
-	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | throughput | robustness | latency | learning | e2e | all")
+	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | throughput | robustness | latency | learning | e2e | scenarios | all")
 	reps := fs.Int("reps", 10, "repetitions for table4 (paper: 10)")
 	counts := fs.String("counts", "1,5,10", "workload counts for throughput (comma-separated)")
 	requests := fs.Int("requests", 2000, "proxied requests per throughput measurement")
@@ -90,6 +106,7 @@ func run(args []string) error {
 	repeats := fs.Int("repeats", 1, "best-of-N repeats for throughput and latency measurements")
 	engine := fs.String("engine", "compiled", "validation engine for robustness: compiled | interpreted")
 	maxEpochs := fs.Int("max-epochs", 8, "benign-replay epochs allowed for learning convergence")
+	synthCount := fs.Int("synth", 0, "generated synthetic workloads: corpus size for scenarios (0 = default 100), extra workloads for robustness and learning (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -213,6 +230,7 @@ func run(args []string) error {
 				MaxPerAttackClass: *maxPerClass,
 				CacheSize:         *cacheSize,
 				Interpreted:       *engine == "interpreted",
+				Synth:             *synthCount,
 			})
 			if err != nil {
 				return err
@@ -244,6 +262,7 @@ func run(args []string) error {
 				MaxPerAttackClass: *maxPerClass,
 				CacheSize:         *cacheSize,
 				MaxEpochs:         *maxEpochs,
+				Synth:             *synthCount,
 			})
 			if err != nil {
 				return err
@@ -264,6 +283,34 @@ func run(args []string) error {
 				return fmt.Errorf("learning run not clean: converged=%v promoted=%v, %d false negatives, %d enforce FPs, %d errors",
 					res.AllConverged, res.AllPromoted,
 					res.TotalFalseNegatives, res.TotalEnforceFP, res.Errors)
+			}
+			return nil
+		},
+		"scenarios": func() error {
+			res, err := experiments.Scenarios(experiments.ScenariosOptions{
+				Synth:             *synthCount,
+				Seed:              *seed,
+				Concurrency:       *concurrency,
+				CacheSize:         *cacheSize,
+				MaxPerAttackClass: *maxPerClass,
+			})
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(res); err != nil {
+					return err
+				}
+			} else {
+				fmt.Println(experiments.RenderScenarios(res))
+			}
+			// Same contract as robustness: a corpus baseline with false
+			// negatives or unverified pairs must never land silently.
+			if !res.Clean() {
+				return fmt.Errorf("scenarios run not clean: verified=%v, %d false negatives, %d false positives, %d errors",
+					res.VerifiedPairs, res.TotalFalseNegatives, res.TotalFalsePositives, res.Errors)
 			}
 			return nil
 		},

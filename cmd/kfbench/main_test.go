@@ -83,6 +83,44 @@ func TestRunRobustnessReduced(t *testing.T) {
 	}
 }
 
+func TestRunScenariosReduced(t *testing.T) {
+	// Human-readable and JSON modes over a tiny corpus with a capped
+	// matrix; kfbench exits non-zero if the run is not clean.
+	if err := run([]string{"-experiment", "scenarios", "-synth", "2",
+		"-max-per-class", "1", "-concurrency", "4", "-cache", "64"}); err != nil {
+		t.Error(err)
+	}
+	if err := run([]string{"-experiment", "scenarios", "-synth", "2",
+		"-max-per-class", "1", "-concurrency", "4", "-json"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunRobustnessWithSynth(t *testing.T) {
+	if err := run([]string{"-experiment", "robustness", "-charts", "nginx",
+		"-synth", "2", "-max-per-class", "1", "-concurrency", "4"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunLatencyAndE2EReduced(t *testing.T) {
+	if err := run([]string{"-experiment", "latency", "-counts", "1",
+		"-iterations", "20", "-cache", "64"}); err != nil {
+		t.Error(err)
+	}
+	if err := run([]string{"-experiment", "e2e", "-counts", "1",
+		"-requests", "30", "-cache", "64", "-json"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunLearningReduced(t *testing.T) {
+	if err := run([]string{"-experiment", "learning", "-charts", "nginx",
+		"-max-per-class", "1", "-concurrency", "4", "-synth", "1"}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestSplitCharts(t *testing.T) {
 	if got := splitCharts(""); got != nil {
 		t.Errorf("splitCharts(\"\") = %v, want nil", got)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -115,5 +116,47 @@ func TestRunProxyValidation(t *testing.T) {
 	if err := runProxy([]string{"-workload", "nginx", "-upstream", "http://x",
 		"-rollout", "learn"}); err == nil {
 		t.Error("-rollout learn without -workloads should error")
+	}
+	if err := runProxy([]string{"-workloads", "nginx", "-upstream", "http://x",
+		"-mode", "bogus"}); err == nil {
+		t.Error("unknown -mode should error")
+	}
+	if err := runProxy([]string{"-workloads", "nginx", "-workload", "nginx",
+		"-upstream", "http://x"}); err == nil {
+		t.Error("-workloads with -workload should error")
+	}
+	if err := runProxy([]string{"-workloads", " , ", "-upstream", "http://x"}); err == nil {
+		t.Error("empty -workloads list should error")
+	}
+}
+
+// TestRunProxySetupPaths drives every rollout branch through the full
+// setup — policy generation, registry construction, controller wiring,
+// trace tap — by occupying the listen port first, so ListenAndServe
+// fails immediately after setup succeeds.
+func TestRunProxySetupPaths(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	addr := ln.Addr().String()
+
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"single-chart", []string{"-workload", "nginx"}},
+		{"enforce-strict", []string{"-workloads", "nginx,mlflow", "-mode", "strict", "-cache", "64"}},
+		{"shadow", []string{"-workloads", "nginx", "-rollout", "shadow",
+			"-trace-out", filepath.Join(t.TempDir(), "trace.jsonl")}},
+		{"learn", []string{"-workloads", "nginx", "-rollout", "learn"}},
+	}
+	for _, tc := range cases {
+		args := append(tc.args, "-upstream", "http://127.0.0.1:1", "-listen", addr)
+		err := runProxy(args)
+		if err == nil || !strings.Contains(err.Error(), "address already in use") {
+			t.Errorf("%s: expected the occupied listen address to fail, got %v", tc.name, err)
+		}
 	}
 }

@@ -1,0 +1,139 @@
+// Multi-service: one application composed of three cooperating services
+// (store-api, order-processor, customer-db) behind a single KubeFence
+// enforcement point. The schema policy covers every service's object
+// shapes, but the interesting property is *cross-resource*: the
+// customer-db pod must never mount the store-api's credentials. Secret
+// names contain the release name, so they generalize to free strings
+// during policy generation — a schema policy cannot pin them. The
+// SecretOwnership invariant (internal/invariant) closes that gap: it is
+// derived from the chart's own Secret labels, attached to the registry
+// entry beside the schema policy, and evaluated by both engines after a
+// clean schema verdict.
+//
+//	go run ./examples/multi-service
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+
+	kubefence "repro"
+	"repro/internal/apiserver"
+	"repro/internal/chart"
+	"repro/internal/charts"
+	"repro/internal/client"
+	"repro/internal/invariant"
+	"repro/internal/object"
+	"repro/internal/operator"
+	"repro/internal/registry"
+	"repro/internal/store"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// --- The store application: one chart, three services. ---
+	c, err := charts.Load("store")
+	if err != nil {
+		return err
+	}
+	pol, err := kubefence.GeneratePolicy(c, kubefence.Options{Workload: "store"})
+	if err != nil {
+		return err
+	}
+
+	reg := kubefence.NewRegistry(kubefence.RegistryConfig{CacheSize: 4096})
+	if err := pol.Register(reg, kubefence.Selector{Namespace: "store"}); err != nil {
+		return err
+	}
+
+	// --- The cross-resource rule, derived from the chart itself: each
+	// Secret's component label names its owning service. ---
+	files, err := c.Render(nil, chart.ReleaseOptions{Name: "prod", Namespace: "store"})
+	if err != nil {
+		return err
+	}
+	objs := chart.Objects(files)
+	own := invariant.OwnershipFromObjects(objs, "")
+	if err := reg.SetInvariants("store", []registry.Invariant{own}); err != nil {
+		return err
+	}
+	fmt.Printf("secret ownership rule: %v constrained secrets\n", own.OwnedSecrets())
+
+	// --- A simulated cluster fronted by the proxy. ---
+	api, err := apiserver.New(apiserver.Config{
+		Store: store.New(), FrontProxyUsers: []string{"kubefence-proxy"},
+	})
+	if err != nil {
+		return err
+	}
+	apiTS := httptest.NewServer(api)
+	defer apiTS.Close()
+	p, err := kubefence.NewProxy(kubefence.ProxyConfig{
+		Upstream: apiTS.URL, Registry: reg, ProxyUser: "kubefence-proxy",
+	})
+	if err != nil {
+		return err
+	}
+	proxyTS := httptest.NewServer(p)
+	defer proxyTS.Close()
+
+	// --- All three services deploy through the enforcement point. ---
+	op := &operator.Operator{
+		Workload: "store",
+		Chart:    c,
+		Client:   client.New(proxyTS.URL, client.WithUser("operator:store")),
+		Release:  chart.ReleaseOptions{Name: "prod", Namespace: "store"},
+	}
+	res, err := op.Deploy()
+	if err != nil {
+		return fmt.Errorf("deploying store: %w", err)
+	}
+	fmt.Printf("deployed the store application: %d objects (api, processor, db)\n", res.Objects)
+
+	// --- The cross-mount attack: the customer-db StatefulSet re-applied
+	// with the store-api's credentials grafted into its volumes. Every
+	// field it touches is schema-legal — only the ownership rule can see
+	// the violation. ---
+	var db, apiSecret object.Object
+	for _, o := range objs {
+		switch {
+		case o.Kind() == "StatefulSet":
+			db = o
+		case o.Kind() == "Secret" && o.Name() == "prod-store-api-credentials":
+			apiSecret = o
+		}
+	}
+	if db == nil || apiSecret == nil {
+		return fmt.Errorf("store chart shape changed: db=%v apiSecret=%v", db != nil, apiSecret != nil)
+	}
+	evil := db.DeepCopy()
+	spec, _ := object.GetMap(evil, "spec.template.spec")
+	vols, _ := spec["volumes"].([]any)
+	spec["volumes"] = append(vols, map[string]any{
+		"name":   "stolen-creds",
+		"secret": map[string]any{"secretName": apiSecret.Name()},
+	})
+	cl := client.New(proxyTS.URL, client.WithUser("operator:store"))
+	if _, err := cl.Apply(evil); err == nil {
+		return fmt.Errorf("cross-mount attack unexpectedly admitted")
+	}
+	for workload, recs := range reg.Violations() {
+		last := recs[len(recs)-1]
+		fmt.Printf("blocked: workload=%s kind=%s: %s\n",
+			workload, last.Kind, last.Violations[0])
+	}
+
+	// --- The benign re-apply (the reconcile loop) still passes: the
+	// rule constrains relationships, not shapes. ---
+	if _, err := cl.Apply(db); err != nil {
+		return fmt.Errorf("benign db re-apply denied: %w", err)
+	}
+	fmt.Println("benign customer-db re-apply admitted")
+	return nil
+}

@@ -30,8 +30,19 @@ import (
 )
 
 // Names lists the corpus workloads in the paper's Fig. 9 row order.
+// The multi-service store scenario (ScenarioNames) is intentionally not
+// part of this set: the committed robustness and learning baselines are
+// pinned to the paper's five-chart corpus.
 func Names() []string {
 	return []string{"nginx", "mlflow", "postgresql", "rabbitmq", "sonarqube"}
+}
+
+// ScenarioNames lists the scenario charts that extend the evaluation
+// beyond the paper's corpus — today the multi-service store application
+// (store-api / order-processor / customer-db), used by the scenarios
+// experiment and the cross-resource invariant tests.
+func ScenarioNames() []string {
+	return []string{"store"}
 }
 
 // Files returns the raw fileset of a corpus chart.
@@ -47,6 +58,8 @@ func Files(name string) (chart.Fileset, bool) {
 		return rabbitmqChart(), true
 	case "sonarqube":
 		return sonarqubeChart(), true
+	case "store":
+		return storeChart(), true
 	default:
 		return nil, false
 	}
@@ -97,6 +110,9 @@ func ExpectedKinds(name string) []string {
 			"ServiceAccount", "PersistentVolumeClaim",
 			"ValidatingWebhookConfiguration", "Secret", "Role", "RoleBinding",
 			"ClusterRole", "ClusterRoleBinding"}
+	case "store":
+		kinds = []string{"Deployment", "StatefulSet", "Service", "ConfigMap",
+			"NetworkPolicy", "ServiceAccount", "Secret", "Role", "RoleBinding"}
 	}
 	sort.Strings(kinds)
 	return kinds

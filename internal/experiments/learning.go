@@ -15,6 +15,7 @@ import (
 	"repro/internal/proxy"
 	"repro/internal/registry"
 	"repro/internal/replay"
+	"repro/internal/synth"
 )
 
 // LearningOptions configure the traffic-driven policy learning
@@ -36,6 +37,11 @@ type LearningOptions struct {
 	// MaxEpochs bounds the benign-replay epochs spent converging before
 	// the run is declared non-convergent (default 8).
 	MaxEpochs int
+	// Synth adds that many generated workloads (internal/synth, seeded by
+	// Seed) to the learning fleet: their policies are mined from the
+	// generated benign traces, then scored against the mutation matrix
+	// like the chart workloads.
+	Synth int
 }
 
 // LearningChartResult scores one workload's learn→shadow→enforce run.
@@ -78,6 +84,7 @@ type LearningChartResult struct {
 // BENCH_learning.json.
 type LearningResult struct {
 	Charts            []string `json:"charts"`
+	SynthWorkloads    int      `json:"synth_workloads,omitempty"`
 	Seed              int64    `json:"seed"`
 	Concurrency       int      `json:"concurrency"`
 	CacheSize         int      `json:"cache_size"`
@@ -152,6 +159,35 @@ func Learning(opts LearningOptions) (*LearningResult, error) {
 	}
 	runs := map[string]*workloadRun{}
 	var benignAll []replay.Event
+	addWorkload := func(name string, objs []object.Object) error {
+		wr := &workloadRun{objs: objs, res: &LearningChartResult{Chart: name}}
+		for _, o := range objs {
+			for _, method := range []string{"POST", "PUT"} {
+				ev, err := replay.BenignEvent(name, o, method)
+				if err != nil {
+					return err
+				}
+				wr.benign = append(wr.benign, ev)
+			}
+		}
+		scs, err := mutate.ForCatalog(objs, mutate.Options{MaxPerAttackClass: opts.MaxPerAttackClass})
+		if err != nil {
+			return err
+		}
+		for _, sc := range scs {
+			ev, err := replay.AttackEvent(name, sc)
+			if err != nil {
+				return err
+			}
+			wr.attacks = append(wr.attacks, ev)
+		}
+		wr.res.BenignPerEpoch = len(wr.benign)
+		wr.res.AttackScenarios = len(wr.attacks)
+		benignAll = append(benignAll, wr.benign...)
+		runs[name] = wr
+		return nil
+	}
+	chartNames := names
 	for _, name := range names {
 		c, err := charts.Load(name)
 		if err != nil {
@@ -161,32 +197,24 @@ func Learning(opts LearningOptions) (*LearningResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		objs := chart.Objects(files)
-		wr := &workloadRun{objs: objs, res: &LearningChartResult{Chart: name}}
-		for _, o := range objs {
-			for _, method := range []string{"POST", "PUT"} {
-				ev, err := replay.BenignEvent(name, o, method)
-				if err != nil {
-					return nil, err
-				}
-				wr.benign = append(wr.benign, ev)
-			}
+		if err := addWorkload(name, chart.Objects(files)); err != nil {
+			return nil, err
 		}
-		scs, err := mutate.ForCatalog(objs, mutate.Options{MaxPerAttackClass: opts.MaxPerAttackClass})
+	}
+	// Synthetic fleet extension: generated workloads learn from their
+	// generated benign traces, exactly like chart workloads learn from
+	// rendered ones.
+	if opts.Synth > 0 {
+		ws, err := synth.Generate(synth.Options{Seed: opts.Seed, Count: opts.Synth})
 		if err != nil {
 			return nil, err
 		}
-		for _, sc := range scs {
-			ev, err := replay.AttackEvent(name, sc)
-			if err != nil {
+		for i := range ws {
+			if err := addWorkload(ws[i].Name, ws[i].Objects); err != nil {
 				return nil, err
 			}
-			wr.attacks = append(wr.attacks, ev)
+			names = append(names, ws[i].Name)
 		}
-		wr.res.BenignPerEpoch = len(wr.benign)
-		wr.res.AttackScenarios = len(wr.attacks)
-		benignAll = append(benignAll, wr.benign...)
-		runs[name] = wr
 	}
 
 	// One enforcement point for the whole fleet, every workload under
@@ -239,7 +267,8 @@ func Learning(opts LearningOptions) (*LearningResult, error) {
 	defer ts.Close()
 
 	out := &LearningResult{
-		Charts:            names,
+		Charts:            chartNames,
+		SynthWorkloads:    opts.Synth,
 		Seed:              opts.Seed,
 		Concurrency:       opts.Concurrency,
 		CacheSize:         opts.CacheSize,
@@ -396,8 +425,13 @@ func Learning(opts LearningOptions) (*LearningResult, error) {
 func RenderLearning(r *LearningResult) string {
 	var b strings.Builder
 	b.WriteString("Traffic-driven policy learning: shadow → enforce rollout\n\n")
-	fmt.Fprintf(&b, "charts: %s   seed: %d   concurrency: %d   cache: %d   max epochs: %d\n\n",
+	fmt.Fprintf(&b, "charts: %s   seed: %d   concurrency: %d   cache: %d   max epochs: %d\n",
 		strings.Join(r.Charts, ","), r.Seed, r.Concurrency, r.CacheSize, r.MaxEpochs)
+	if r.SynthWorkloads > 0 {
+		fmt.Fprintf(&b, "synthetic fleet: %d generated workloads (internal/synth, seed %d)\n",
+			r.SynthWorkloads, r.Seed)
+	}
+	b.WriteString("\n")
 	fmt.Fprintf(&b, "%-12s %8s %8s %10s %6s %5s %6s %6s %5s %5s\n",
 		"workload", "benign/e", "converge", "requests", "gens", "kinds", "paths", "attacks", "FN", "FP")
 	for _, c := range r.PerChart {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/proxy"
 	"repro/internal/registry"
 	"repro/internal/replay"
+	"repro/internal/synth"
 )
 
 // RobustnessOptions configure the adversarial robustness experiment.
@@ -33,12 +34,17 @@ type RobustnessOptions struct {
 	// instead of the compiled rule program — the differential mode that
 	// proves both engines hold the same 0 FN / 0 FP line end to end.
 	Interpreted bool
+	// Synth adds that many generated workloads (internal/synth, seeded by
+	// Seed) to the chart corpus, scaling the matrix past the five
+	// hand-written charts.
+	Synth int
 }
 
 // RobustnessResult is the machine-readable outcome: the replay scores
 // plus the experiment configuration that produced them.
 type RobustnessResult struct {
 	Charts            []string `json:"charts"`
+	SynthWorkloads    int      `json:"synth_workloads,omitempty"`
 	MaxPerAttackClass int      `json:"max_per_attack_class,omitempty"`
 	CacheSize         int      `json:"cache_size"`
 	CacheHits         uint64   `json:"cache_hits"`
@@ -111,6 +117,42 @@ func Robustness(opts RobustnessOptions) (*RobustnessResult, error) {
 		}
 	}
 
+	// Synthetic corpus extension: each generated workload registers its
+	// own policy and contributes its benign trace plus mutation matrix,
+	// exactly like a chart workload.
+	if opts.Synth > 0 {
+		ws, err := synth.Generate(synth.Options{Seed: opts.Seed, Count: opts.Synth})
+		if err != nil {
+			return nil, err
+		}
+		for i := range ws {
+			w := &ws[i]
+			if _, err := reg.Register(w.Name, registry.Selector{Namespace: w.Name}, w.Policy); err != nil {
+				return nil, err
+			}
+			for _, o := range w.Objects {
+				for _, method := range []string{"POST", "PUT"} {
+					ev, err := replay.BenignEvent(w.Name, o, method)
+					if err != nil {
+						return nil, err
+					}
+					events = append(events, ev)
+				}
+			}
+			scs, err := mutate.ForCatalog(w.Objects, mutate.Options{MaxPerAttackClass: opts.MaxPerAttackClass})
+			if err != nil {
+				return nil, err
+			}
+			for _, sc := range scs {
+				ev, err := replay.AttackEvent(w.Name, sc)
+				if err != nil {
+					return nil, err
+				}
+				events = append(events, ev)
+			}
+		}
+	}
+
 	p, err := proxy.New(proxy.Config{
 		Upstream:  "http://upstream.invalid",
 		Transport: NullTransport{},
@@ -136,6 +178,7 @@ func Robustness(opts RobustnessOptions) (*RobustnessResult, error) {
 	}
 	out := &RobustnessResult{
 		Charts:            names,
+		SynthWorkloads:    opts.Synth,
 		MaxPerAttackClass: opts.MaxPerAttackClass,
 		CacheSize:         opts.CacheSize,
 		Engine:            engine,
@@ -153,6 +196,10 @@ func RenderRobustness(r *RobustnessResult) string {
 	b.WriteString("Adversarial robustness: mutated Table II attacks + benign trace replay\n\n")
 	fmt.Fprintf(&b, "charts: %s   engine: %s   concurrency: %d   seed: %d   cache: %d (hits %d)\n",
 		strings.Join(r.Charts, ","), r.Engine, r.Concurrency, r.Seed, r.CacheSize, r.CacheHits)
+	if r.SynthWorkloads > 0 {
+		fmt.Fprintf(&b, "synthetic corpus: %d generated workloads (internal/synth, seed %d)\n",
+			r.SynthWorkloads, r.Seed)
+	}
 	fmt.Fprintf(&b, "events: %d (%d benign, %d attack scenarios)   %.0f events/sec\n\n",
 		r.Events, r.BenignEvents, r.AttackEvents, r.EventsPerSec)
 	fmt.Fprintf(&b, "%-20s %10s %10s %8s\n", "mutation class", "scenarios", "blocked", "FN")

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/mutate"
 )
 
 // TestRobustnessReducedMatrix is the CI-sized smoke: two workloads,
@@ -64,8 +66,8 @@ func TestRobustnessFullMatrix(t *testing.T) {
 		t.Errorf("full run not clean: FN=%d FP=%d errors=%d mismatches=%v",
 			res.FalseNegatives, res.FalsePositives, res.Errors, res.Mismatches)
 	}
-	if len(res.PerClass) != 5 {
-		t.Errorf("scored %d mutation classes, want 5", len(res.PerClass))
+	if want := len(mutate.AllClasses()); len(res.PerClass) != want {
+		t.Errorf("scored %d mutation classes, want %d", len(res.PerClass), want)
 	}
 }
 

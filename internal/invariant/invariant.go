@@ -1,0 +1,240 @@
+// Package invariant implements cross-resource policy rules — the policy
+// class that constrains relationships *between* a workload's objects
+// rather than the shape of any single one. The motivating example is the
+// multi-service store scenario: the customer-db pod must never mount the
+// store-api's credentials, yet a schema policy cannot express that,
+// because secret names contain the release name and therefore generalize
+// to free strings during policy generation (internal/validator). The
+// rules here plug into the registry beside the schema policy
+// (registry.SetInvariants) and are evaluated by both engines after a
+// clean schema verdict.
+//
+// Every rule is stateless per request: its verdict depends only on the
+// submitted object and the rule's immutable configuration. That makes
+// enforcement independent of admission order by construction — no matter
+// how the three services' objects interleave, and no matter which
+// requests race a policy Swap, an object that violates secret ownership
+// is denied (the property the cross-resource tests verify).
+package invariant
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/object"
+	"repro/internal/validator"
+)
+
+// DefaultComponentLabel is the pod-template label that names the
+// component a pod belongs to, following the Kubernetes recommended
+// label set.
+const DefaultComponentLabel = "app.kubernetes.io/component"
+
+// SecretOwnership is the "the DB pod never mounts the API's secrets"
+// rule class: each listed Secret is owned by exactly one component, and
+// only pods of that component may consume it — as a volume, a projected
+// volume source, an env valueFrom reference, or an envFrom bulk import.
+// Secrets not listed are unconstrained.
+type SecretOwnership struct {
+	// RuleName identifies the rule in diagnostics (default
+	// "secret-ownership").
+	RuleName string
+	// ComponentLabel locates the component name in the pod template's
+	// labels (default DefaultComponentLabel).
+	ComponentLabel string
+	// Owners maps Secret name → owning component name.
+	Owners map[string]string
+}
+
+// Name implements registry.Invariant.
+func (s *SecretOwnership) Name() string {
+	if s.RuleName != "" {
+		return s.RuleName
+	}
+	return "secret-ownership"
+}
+
+// OwnedSecrets lists the constrained secret names, sorted.
+func (s *SecretOwnership) OwnedSecrets() []string {
+	out := make([]string, 0, len(s.Owners))
+	for name := range s.Owners {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// podSpecPath mirrors the REST shape of the pod-bearing kinds this
+// reproduction models (attacks.PodSpecPath, duplicated here so the rule
+// layer does not depend on the attack catalog).
+func podSpecOf(o object.Object) (map[string]any, string, bool) {
+	switch o.Kind() {
+	case "Pod":
+		spec, ok := object.GetMap(o, "spec")
+		return spec, "spec", ok
+	case "Deployment", "StatefulSet", "DaemonSet", "ReplicaSet", "Job":
+		spec, ok := object.GetMap(o, "spec.template.spec")
+		return spec, "spec.template.spec", ok
+	case "CronJob":
+		spec, ok := object.GetMap(o, "spec.jobTemplate.spec.template.spec")
+		return spec, "spec.jobTemplate.spec.template.spec", ok
+	}
+	return nil, "", false
+}
+
+// componentOf extracts the object's component from the pod template
+// labels (falling back to the object's own labels for bare Pods and
+// templates without labels).
+func (s *SecretOwnership) componentOf(o object.Object) string {
+	label := s.ComponentLabel
+	if label == "" {
+		label = DefaultComponentLabel
+	}
+	for _, path := range []string{
+		"spec.template.metadata.labels",
+		"spec.jobTemplate.spec.template.metadata.labels",
+		"metadata.labels",
+	} {
+		if labels, ok := object.GetMap(o, path); ok {
+			if v, ok := labels[label].(string); ok && v != "" {
+				return v
+			}
+		}
+	}
+	return ""
+}
+
+// Check implements registry.Invariant: it walks every way a pod spec can
+// consume a Secret and denies references to secrets owned by another
+// component. Objects without a pod spec are out of scope (the Secret
+// objects themselves, Services, RBAC, ...).
+func (s *SecretOwnership) Check(o object.Object) []validator.Violation {
+	spec, base, ok := podSpecOf(o)
+	if !ok {
+		return nil
+	}
+	component := s.componentOf(o)
+	var out []validator.Violation
+	deny := func(path, secret string) {
+		owner := s.Owners[secret]
+		out = append(out, validator.Violation{
+			Path: path,
+			Got:  secret,
+			Reason: fmt.Sprintf("cross-resource invariant %s: secret %q is owned by component %q and may not be consumed by component %q",
+				s.Name(), secret, owner, orUnlabeled(component)),
+		})
+	}
+	check := func(path, secret string) {
+		if secret == "" {
+			return
+		}
+		owner, constrained := s.Owners[secret]
+		if constrained && owner != component {
+			deny(path, secret)
+		}
+	}
+
+	if vols, ok := spec["volumes"].([]any); ok {
+		for i, v := range vols {
+			vol, ok := v.(map[string]any)
+			if !ok {
+				continue
+			}
+			p := fmt.Sprintf("%s.volumes[%d]", base, i)
+			if sec, ok := vol["secret"].(map[string]any); ok {
+				name, _ := sec["secretName"].(string)
+				check(p+".secret.secretName", name)
+			}
+			if proj, ok := vol["projected"].(map[string]any); ok {
+				if srcs, ok := proj["sources"].([]any); ok {
+					for j, src := range srcs {
+						sm, ok := src.(map[string]any)
+						if !ok {
+							continue
+						}
+						if sec, ok := sm["secret"].(map[string]any); ok {
+							name, _ := sec["name"].(string)
+							check(fmt.Sprintf("%s.projected.sources[%d].secret.name", p, j), name)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	for _, list := range []string{"containers", "initContainers", "ephemeralContainers"} {
+		items, ok := spec[list].([]any)
+		if !ok {
+			continue
+		}
+		for i, it := range items {
+			c, ok := it.(map[string]any)
+			if !ok {
+				continue
+			}
+			cp := fmt.Sprintf("%s.%s[%d]", base, list, i)
+			if envs, ok := c["env"].([]any); ok {
+				for j, e := range envs {
+					em, ok := e.(map[string]any)
+					if !ok {
+						continue
+					}
+					if vf, ok := em["valueFrom"].(map[string]any); ok {
+						if ref, ok := vf["secretKeyRef"].(map[string]any); ok {
+							name, _ := ref["name"].(string)
+							check(fmt.Sprintf("%s.env[%d].valueFrom.secretKeyRef.name", cp, j), name)
+						}
+					}
+				}
+			}
+			if envFroms, ok := c["envFrom"].([]any); ok {
+				for j, e := range envFroms {
+					em, ok := e.(map[string]any)
+					if !ok {
+						continue
+					}
+					if ref, ok := em["secretRef"].(map[string]any); ok {
+						name, _ := ref["name"].(string)
+						check(fmt.Sprintf("%s.envFrom[%d].secretRef.name", cp, j), name)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func orUnlabeled(component string) string {
+	if component == "" {
+		return "(unlabeled)"
+	}
+	return component
+}
+
+// OwnershipFromObjects derives a SecretOwnership rule from rendered
+// manifests: every Secret carrying the component label is owned by that
+// component. This is how the multi-service scenario wires the rule — the
+// chart stamps each credentials Secret with the component it belongs to,
+// and the derived rule then denies any pod of another component that
+// consumes it, regardless of the order the objects are admitted in.
+func OwnershipFromObjects(objs []object.Object, componentLabel string) *SecretOwnership {
+	if componentLabel == "" {
+		componentLabel = DefaultComponentLabel
+	}
+	owners := map[string]string{}
+	for _, o := range objs {
+		if o.Kind() != "Secret" {
+			continue
+		}
+		labels, ok := object.GetMap(o, "metadata.labels")
+		if !ok {
+			continue
+		}
+		component, _ := labels[componentLabel].(string)
+		if component == "" || o.Name() == "" {
+			continue
+		}
+		owners[o.Name()] = component
+	}
+	return &SecretOwnership{ComponentLabel: componentLabel, Owners: owners}
+}

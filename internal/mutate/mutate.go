@@ -6,7 +6,7 @@
 // the field-level policies resist *classes* of attacks rather than
 // single exemplars.
 //
-// Five mutation classes are generated:
+// Seven mutation classes are generated:
 //
 //   - kind-permutation: the same malicious PodSpec re-homed under every
 //     other pod-bearing kind (Pod, Deployment, ..., CronJob), probing
@@ -23,6 +23,20 @@
 //     addressing instead of a plain JSON create.
 //   - camouflage: the malicious field surrounded by benign free-form
 //     decoration (labels, annotations) the policy legitimately allows.
+//   - cron-daemon: the malicious PodSpec delivered through the
+//     scheduling knobs unique to CronJob (aggressive schedules,
+//     unsuspended jobs with generous deadlines — persistence) and
+//     DaemonSet (control-plane tolerations, instant rollout strategies
+//     — fleet-wide spread), the kinds added beyond the paper's Fig. 9
+//     core.
+//   - operator-crd: the malicious PodSpec embedded in operator-style
+//     custom resources (the pattern where a CRD's controller stamps out
+//     pods from a template carried by the CR), probing whether policies
+//     fail closed on API surfaces they never modeled.
+//
+// Every scenario also carries the XI-Commandments SoK category its
+// attack transgresses (CommandmentFor), so matrix results can be rolled
+// up by misconfiguration class as well as by attack and mutation family.
 //
 // Every scenario is expected to be DENIED by the workload policy; a
 // scenario the enforcement point forwards is a false negative of the
@@ -48,11 +62,36 @@ const (
 	SiblingSmuggling Class = "sibling-smuggling"
 	VerbRouting      Class = "verb-routing"
 	Camouflage       Class = "camouflage"
+	CronDaemon       Class = "cron-daemon"
+	OperatorCRD      Class = "operator-crd"
 )
 
 // AllClasses lists every mutation class in generation order.
 func AllClasses() []Class {
-	return []Class{KindPermutation, ValueObfuscation, SiblingSmuggling, VerbRouting, Camouflage}
+	return []Class{KindPermutation, ValueObfuscation, SiblingSmuggling, VerbRouting, Camouflage,
+		CronDaemon, OperatorCRD}
+}
+
+// CommandmentFor maps a Table II attack to the misconfiguration
+// category of the XI-Commandments SoK (Shamim et al., "XI Commandments
+// of Kubernetes Security") it transgresses, so matrix results roll up
+// by security-practice class rather than only by attack ID.
+func CommandmentFor(attackID string) string {
+	switch attackID {
+	case "E1", "M1", "M2":
+		return "enforce-host-isolation"
+	case "E2":
+		return "implement-network-policies"
+	case "E3", "E4", "E6":
+		return "protect-filesystem-boundaries"
+	case "E5":
+		return "apply-resource-limits"
+	case "E7", "E8", "M5", "M6":
+		return "practice-least-privilege"
+	case "M3", "M4", "M7":
+		return "harden-security-context"
+	}
+	return "unmapped"
 }
 
 // Scenario is one generated attack variant.
@@ -75,6 +114,9 @@ type Scenario struct {
 	// OmitBodyNamespace strips metadata.namespace from the wire body so
 	// the namespace is conveyed by the request URL only.
 	OmitBodyNamespace bool
+	// Commandment is the XI-Commandments SoK category the underlying
+	// attack transgresses (see CommandmentFor).
+	Commandment string
 }
 
 // Options configure variant generation.
@@ -131,6 +173,10 @@ func ForAttack(a attacks.Attack, legit []object.Object, opts Options) ([]Scenari
 			scs = g.verbRoutings()
 		case Camouflage:
 			scs, err = g.camouflages()
+		case CronDaemon:
+			scs, err = g.cronDaemons()
+		case OperatorCRD:
+			scs, err = g.operatorCRDs()
 		default:
 			err = fmt.Errorf("mutate: unknown class %q", cl)
 		}
@@ -163,6 +209,10 @@ func classSlug(cl Class) string {
 		return "verb"
 	case Camouflage:
 		return "camo"
+	case CronDaemon:
+		return "cron"
+	case OperatorCRD:
+		return "crd"
 	}
 	return "mut"
 }
@@ -180,6 +230,7 @@ func (g *gen) scenario(cl Class, i int, desc string, o object.Object) Scenario {
 		Description: desc,
 		Object:      o,
 		Method:      http.MethodPost,
+		Commandment: CommandmentFor(g.attack.ID),
 	}
 }
 
@@ -659,6 +710,182 @@ func (g *gen) camouflages() ([]Scenario, error) {
 			return nil, err
 		}
 		out = append(out, g.scenario(Camouflage, i+1, m.desc, o))
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// cron-daemon
+// ---------------------------------------------------------------------
+
+// maliciousPodSpec extracts the crafted attack's pod spec, or reports
+// that the class does not apply (E5 is an absence attack with no payload
+// to re-home; E2 targets Service, which carries no pod spec).
+func (g *gen) maliciousPodSpec() (map[string]any, bool, error) {
+	if g.attack.ID == "E5" {
+		return nil, false, nil
+	}
+	srcPath, ok := attacks.PodSpecPath(g.evil.Kind())
+	if !ok {
+		return nil, false, nil
+	}
+	podSpec, ok := object.GetMap(g.evil, srcPath)
+	if !ok {
+		return nil, false, fmt.Errorf("no pod spec at %s", srcPath)
+	}
+	return podSpec, true, nil
+}
+
+// cronDaemons delivers the malicious pod spec through the scheduling
+// machinery unique to CronJob and DaemonSet: where kind-permutation
+// probes the alias *field paths* of the added kinds, this class probes
+// the kind-specific knobs an insider would tune — a CronJob that
+// re-executes the payload every minute (persistence), a suspended-looking
+// job armed with a generous starting deadline, a DaemonSet tolerating
+// control-plane taints (payload on every node including masters), and a
+// DaemonSet whose update strategy replaces the whole fleet at once.
+func (g *gen) cronDaemons() ([]Scenario, error) {
+	podSpec, ok, err := g.maliciousPodSpec()
+	if err != nil || !ok {
+		return nil, err
+	}
+	ns := g.target.Namespace()
+	copySpec := func() map[string]any {
+		return object.DeepCopyValue(map[string]any(podSpec)).(map[string]any)
+	}
+	cronJob := func(spec map[string]any) object.Object {
+		return object.Object{
+			"apiVersion": "batch/v1",
+			"kind":       "CronJob",
+			"metadata":   map[string]any{"name": "kf-mut", "namespace": ns},
+			"spec":       spec,
+		}
+	}
+	daemonSet := func(extra map[string]any) object.Object {
+		spec := map[string]any{
+			"selector": map[string]any{"matchLabels": map[string]any{"app": "kf-mut"}},
+			"template": map[string]any{
+				"metadata": map[string]any{"labels": map[string]any{"app": "kf-mut"}},
+				"spec":     copySpec(),
+			},
+		}
+		for k, v := range extra {
+			spec[k] = v
+		}
+		return object.Object{
+			"apiVersion": "apps/v1",
+			"kind":       "DaemonSet",
+			"metadata":   map[string]any{"name": "kf-mut", "namespace": ns},
+			"spec":       spec,
+		}
+	}
+	variants := []struct {
+		desc string
+		obj  object.Object
+	}{
+		{"CronJob re-running the payload every minute with overlap allowed",
+			cronJob(map[string]any{
+				"schedule":          "* * * * *",
+				"concurrencyPolicy": "Allow",
+				"jobTemplate": map[string]any{
+					"spec": map[string]any{
+						"template": map[string]any{"spec": copySpec()},
+					},
+				},
+			})},
+		{"CronJob armed with a generous starting deadline and history kept",
+			cronJob(map[string]any{
+				"schedule":                   "*/5 * * * *",
+				"suspend":                    false,
+				"startingDeadlineSeconds":    86400,
+				"successfulJobsHistoryLimit": 100,
+				"jobTemplate": map[string]any{
+					"spec": map[string]any{
+						"template": map[string]any{"spec": copySpec()},
+					},
+				},
+			})},
+		{"DaemonSet tolerating control-plane taints (payload on every node)",
+			func() object.Object {
+				o := daemonSet(nil)
+				tmplSpec, _ := object.GetMap(o, "spec.template.spec")
+				tmplSpec["tolerations"] = []any{
+					map[string]any{"key": "node-role.kubernetes.io/control-plane",
+						"operator": "Exists", "effect": "NoSchedule"},
+					map[string]any{"key": "node-role.kubernetes.io/master",
+						"operator": "Exists", "effect": "NoSchedule"},
+				}
+				return o
+			}()},
+		{"DaemonSet with whole-fleet-at-once rollout strategy",
+			daemonSet(map[string]any{
+				"updateStrategy": map[string]any{
+					"type": "RollingUpdate",
+					"rollingUpdate": map[string]any{
+						"maxUnavailable": "100%",
+					},
+				},
+			})},
+	}
+	var out []Scenario
+	for i, v := range variants {
+		out = append(out, g.scenario(CronDaemon, i+1, v.desc, v.obj))
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------
+// operator-crd
+// ---------------------------------------------------------------------
+
+// operatorCRDs embeds the malicious pod spec in operator-style custom
+// resources — the ubiquitous operator pattern where a controller stamps
+// out pods from a template carried by the CR. No chart policy models
+// these API surfaces, so a correct enforcement point must fail closed
+// ("kind is not used by workload") rather than forward what it cannot
+// validate.
+func (g *gen) operatorCRDs() ([]Scenario, error) {
+	podSpec, ok, err := g.maliciousPodSpec()
+	if err != nil || !ok {
+		return nil, err
+	}
+	ns := g.target.Namespace()
+	copySpec := func() map[string]any {
+		return object.DeepCopyValue(map[string]any(podSpec)).(map[string]any)
+	}
+	variants := []struct {
+		desc string
+		obj  object.Object
+	}{
+		{"payload carried by an operator CR pod template (StoreApp)",
+			object.Object{
+				"apiVersion": "apps.example.com/v1alpha1",
+				"kind":       "StoreApp",
+				"metadata":   map[string]any{"name": "kf-mut", "namespace": ns},
+				"spec": map[string]any{
+					"replicas": 1,
+					"template": map[string]any{
+						"metadata": map[string]any{"labels": map[string]any{"app": "kf-mut"}},
+						"spec":     copySpec(),
+					},
+				},
+			}},
+		{"payload carried by a scheduled operator CR (CronTab)",
+			object.Object{
+				"apiVersion": "stable.example.com/v1",
+				"kind":       "CronTab",
+				"metadata":   map[string]any{"name": "kf-mut", "namespace": ns},
+				"spec": map[string]any{
+					"cronSpec": "* * * * *",
+					"podTemplate": map[string]any{
+						"spec": copySpec(),
+					},
+				},
+			}},
+	}
+	var out []Scenario
+	for i, v := range variants {
+		out = append(out, g.scenario(OperatorCRD, i+1, v.desc, v.obj))
 	}
 	return out, nil
 }

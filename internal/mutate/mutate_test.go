@@ -63,7 +63,7 @@ func TestEveryScenarioDeniedEveryBenignAllowed(t *testing.T) {
 }
 
 // TestScenarioClassesCovered checks that a pod-spec attack fans out into
-// all five mutation classes.
+// every mutation class.
 func TestScenarioClassesCovered(t *testing.T) {
 	_, objs := workloadFixture(t, "nginx")
 	scs, err := ForCatalog(objs, Options{})
@@ -165,6 +165,135 @@ func TestDeterministic(t *testing.T) {
 		if string(ya) != string(yb) {
 			t.Fatalf("scenario %s object differs between runs", a[i].ID)
 		}
+	}
+}
+
+// TestNewKindClasses table-drives the cron-daemon and operator-crd
+// classes added beyond the paper's Fig. 9 core: per-class variant
+// counts, the kinds each class emits, determinism across runs, and that
+// no variant equals its benign source object.
+func TestNewKindClasses(t *testing.T) {
+	_, objs := workloadFixture(t, "nginx")
+	cases := []struct {
+		class        Class
+		perAttack    int // variants per applicable pod-spec attack
+		kinds        map[string]bool
+		commandments bool // every scenario labeled with a SoK category
+	}{
+		{CronDaemon, 4, map[string]bool{"CronJob": true, "DaemonSet": true}, true},
+		{OperatorCRD, 2, map[string]bool{"StoreApp": true, "CronTab": true}, true},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(string(tc.class), func(t *testing.T) {
+			scs, err := ForCatalog(objs, Options{Classes: []Class{tc.class}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(scs) == 0 {
+				t.Fatal("no scenarios generated")
+			}
+			perAttack := map[string]int{}
+			seenKinds := map[string]bool{}
+			for _, sc := range scs {
+				perAttack[sc.AttackID]++
+				seenKinds[sc.Object.Kind()] = true
+				if !tc.kinds[sc.Object.Kind()] {
+					t.Errorf("%s emitted unexpected kind %s", sc.ID, sc.Object.Kind())
+				}
+				if tc.commandments && (sc.Commandment == "" || sc.Commandment == "unmapped") {
+					t.Errorf("%s has no XI-Commandments category", sc.ID)
+				}
+			}
+			for id, n := range perAttack {
+				if n != tc.perAttack {
+					t.Errorf("attack %s generated %d %s variants, want %d", id, n, tc.class, tc.perAttack)
+				}
+			}
+			for k := range tc.kinds {
+				if !seenKinds[k] {
+					t.Errorf("class %s never emitted kind %s", tc.class, k)
+				}
+			}
+			// E5 is an absence attack and E2 has no pod spec: neither can
+			// re-home a payload, so neither may appear.
+			for _, excluded := range []string{"E2", "E5"} {
+				if perAttack[excluded] != 0 {
+					t.Errorf("attack %s must not generate %s variants", excluded, tc.class)
+				}
+			}
+
+			// Determinism: a second generation agrees object for object.
+			again, err := ForCatalog(objs, Options{Classes: []Class{tc.class}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(again) != len(scs) {
+				t.Fatalf("run lengths differ: %d vs %d", len(scs), len(again))
+			}
+			for i := range scs {
+				ya, _ := yaml.Marshal(map[string]any(scs[i].Object))
+				yb, _ := yaml.Marshal(map[string]any(again[i].Object))
+				if scs[i].ID != again[i].ID || string(ya) != string(yb) {
+					t.Fatalf("scenario %s differs between runs", scs[i].ID)
+				}
+			}
+
+			// No variant equals its benign source: every emitted object
+			// must differ from every rendered manifest.
+			for _, sc := range scs {
+				for _, o := range objs {
+					if object.Equal(map[string]any(sc.Object), map[string]any(o)) {
+						t.Errorf("%s equals benign object %s/%s", sc.ID, o.Kind(), o.Name())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNewKindScenariosHaveRESTMappings: every object the new classes
+// emit must resolve to a REST endpoint, or the replay harness could
+// never put it on the wire.
+func TestNewKindScenariosHaveRESTMappings(t *testing.T) {
+	_, objs := workloadFixture(t, "mlflow")
+	scs, err := ForCatalog(objs, Options{Classes: []Class{CronDaemon, OperatorCRD}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		ri, ok := object.LookupKind(sc.Object.Kind())
+		if !ok {
+			t.Errorf("%s: kind %s has no REST mapping", sc.ID, sc.Object.Kind())
+			continue
+		}
+		if ri.GVK.APIVersion() != sc.Object["apiVersion"] {
+			t.Errorf("%s: apiVersion %v does not match REST mapping %s",
+				sc.ID, sc.Object["apiVersion"], ri.GVK.APIVersion())
+		}
+	}
+}
+
+// TestCommandmentMapping pins the attack → XI-Commandments category
+// mapping: every Table II attack maps to a category, and the categories
+// partition the catalog the way the SoK groups misconfiguration classes.
+func TestCommandmentMapping(t *testing.T) {
+	want := map[string]string{
+		"E1": "enforce-host-isolation", "M1": "enforce-host-isolation", "M2": "enforce-host-isolation",
+		"E2": "implement-network-policies",
+		"E3": "protect-filesystem-boundaries", "E4": "protect-filesystem-boundaries", "E6": "protect-filesystem-boundaries",
+		"E5": "apply-resource-limits",
+		"E7": "practice-least-privilege", "E8": "practice-least-privilege",
+		"M5": "practice-least-privilege", "M6": "practice-least-privilege",
+		"M3": "harden-security-context", "M4": "harden-security-context", "M7": "harden-security-context",
+	}
+	for id, cat := range want {
+		if got := CommandmentFor(id); got != cat {
+			t.Errorf("CommandmentFor(%s) = %q, want %q", id, got, cat)
+		}
+	}
+	if got := CommandmentFor("E99"); got != "unmapped" {
+		t.Errorf("CommandmentFor(E99) = %q, want unmapped", got)
 	}
 }
 

@@ -67,6 +67,11 @@ var knownResources = []ResourceInfo{
 	{GVK{"rbac.authorization.k8s.io", "v1", "RoleBinding"}, "rolebindings", true},
 	{GVK{"rbac.authorization.k8s.io", "v1", "ClusterRole"}, "clusterroles", false},
 	{GVK{"rbac.authorization.k8s.io", "v1", "ClusterRoleBinding"}, "clusterrolebindings", false},
+	// Operator-style custom resources served by the simulated cluster:
+	// the mutation matrix's operator-crd class submits pod templates
+	// through these API surfaces (internal/mutate).
+	{GVK{"apps.example.com", "v1alpha1", "StoreApp"}, "storeapps", true},
+	{GVK{"stable.example.com", "v1", "CronTab"}, "crontabs", true},
 }
 
 var (

@@ -131,6 +131,27 @@ func (s Selector) specificity() int {
 	return score
 }
 
+// Invariant is a cross-resource policy rule attached to a workload
+// entry beside its schema policy: where the schema validator constrains
+// the *shape* of a single object, an invariant constrains a relationship
+// the schema cannot express (e.g. "the DB pod never mounts the API's
+// secrets" — secret names generalize to free strings in schema
+// policies, so ownership must be checked as a separate rule class).
+//
+// Check is called only for objects whose schema verdict is clean, and
+// MUST be stateless with respect to admission order: its verdict may
+// depend only on the submitted object and the invariant's own immutable
+// configuration, so concurrent admissions and arbitrary arrival
+// interleavings cannot change what is allowed (the property the
+// cross-resource tests verify).
+type Invariant interface {
+	// Name identifies the rule in diagnostics.
+	Name() string
+	// Check returns the violations the object commits against the rule
+	// (empty/nil = clean).
+	Check(obj object.Object) []validator.Violation
+}
+
 // Record is one denied request attributed to a workload, for auditing.
 type Record struct {
 	Time       time.Time
@@ -211,7 +232,13 @@ type Entry struct {
 type policyVersion struct {
 	policy  *validator.Validator
 	program *compile.Program
-	gen     uint64
+	// invariants are the entry's cross-resource rules, evaluated after a
+	// clean schema verdict. Part of the snapshot so a SetInvariants can
+	// never be observed torn against a concurrent policy swap, and part
+	// of the generation so cached decisions made without the rules are
+	// invalidated when rules arrive.
+	invariants []Invariant
+	gen        uint64
 }
 
 // Workload names the entry's workload.
@@ -238,6 +265,10 @@ func (e *Entry) CacheStats() (size, capacity int) {
 // Generation returns the policy generation: an opaque registry-unique
 // value that changes on every swap.
 func (e *Entry) Generation() uint64 { return e.version.Load().gen }
+
+// Invariants returns the entry's cross-resource rules (nil when none
+// are attached).
+func (e *Entry) Invariants() []Invariant { return e.version.Load().invariants }
 
 // Metrics returns a snapshot of the entry's counters.
 func (e *Entry) Metrics() Metrics {
@@ -396,9 +427,33 @@ func (r *Registry) Swap(workload string, v *validator.Validator) error {
 	// The mode lock serializes the publish against Promote's
 	// generation-pinned shadow→enforce transition (see mode.go): a swap
 	// can land before the gate check (stale gen, promotion refused) or
-	// after the promotion completes, never in between.
+	// after the promotion completes, never in between. The entry's
+	// cross-resource invariants carry over — a policy refresh must not
+	// silently drop the rules attached beside it.
 	e.modeMu.Lock()
-	e.version.Store(&policyVersion{policy: v, program: prog, gen: r.gens.Add(1)})
+	cur := e.version.Load()
+	e.version.Store(&policyVersion{policy: v, program: prog,
+		invariants: cur.invariants, gen: r.gens.Add(1)})
+	e.modeMu.Unlock()
+	return nil
+}
+
+// SetInvariants attaches (or, with nil, clears) the cross-resource
+// rules of a registered workload, preserving its current schema policy.
+// Published as a fresh snapshot with a new generation: decisions cached
+// without the rules can never satisfy a request made under them, and a
+// concurrent Swap can never be observed torn against the rule change.
+func (r *Registry) SetInvariants(workload string, invs []Invariant) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[workload]
+	if !ok {
+		return fmt.Errorf("registry: workload %s is not registered", workload)
+	}
+	e.modeMu.Lock()
+	cur := e.version.Load()
+	e.version.Store(&policyVersion{policy: cur.policy, program: cur.program,
+		invariants: invs, gen: r.gens.Add(1)})
 	e.modeMu.Unlock()
 	return nil
 }
@@ -559,7 +614,12 @@ func (r *Registry) validateRaw(e *Entry, body []byte, meta compile.RawMeta, scan
 			return vs, true
 		}
 	}
-	if !scanOK || e.interpreted || ver.program == nil {
+	// Entries carrying cross-resource invariants never decide on the raw
+	// view: the streaming pass vouches only for schema conformance, and
+	// an invariant needs the decoded object. The cache short-circuit
+	// above is still sound — cached verdicts were computed by the decode
+	// path WITH the invariants, under the same generation.
+	if !scanOK || e.interpreted || ver.program == nil || len(ver.invariants) > 0 {
 		return nil, false
 	}
 	start := time.Now()
@@ -612,6 +672,16 @@ func (r *Registry) validateVersion(e *Entry, ver *policyVersion, body []byte, ob
 		vs = ver.policy.Validate(obj)
 	} else {
 		vs = ver.program.Validate(obj)
+	}
+	// Cross-resource invariants judge only schema-clean objects: a
+	// schema violation already denies the request, and running the rules
+	// on top would blur which layer caught it. Both engines and the
+	// shadow path share this function, so verdicts stay identical across
+	// compiled, interpreted, and shadow validation.
+	if len(vs) == 0 {
+		for _, inv := range ver.invariants {
+			vs = append(vs, inv.Check(obj)...)
+		}
 	}
 	e.valNanos.Add(int64(time.Since(start)))
 	if cached {

@@ -1,0 +1,245 @@
+package tmpl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestConversionEdges pins the numeric coercion rules charts rely on:
+// every scalar kind toInt64/toFloat64 accept, plus the rejection of
+// inconvertible values.
+func TestConversionEdges(t *testing.T) {
+	tests := []struct {
+		src  string
+		data any
+		want string
+	}{
+		{`{{ int64 .v }}`, map[string]any{"v": int32(7)}, "7"},
+		{`{{ int64 3.9 }}`, nil, "3"},
+		{`{{ int64 "12" }}`, nil, "12"},
+		{`{{ int64 .v }}`, map[string]any{"v": nil}, "0"},
+		{`{{ int64 true }}`, nil, "1"},
+		{`{{ int64 false }}`, nil, "0"},
+		{`{{ int 9 }}`, nil, "9"},
+		{`{{ float64 .v }}`, map[string]any{"v": int64(4)}, "4"},
+		{`{{ float64 "2.5" }}`, nil, "2.5"},
+		{`{{ float64 .v }}`, map[string]any{"v": nil}, "0"},
+		{`{{ floor 2.9 }}`, nil, "2"},
+		{`{{ ceil 2.1 }}`, nil, "3"},
+		{`{{ round 2.5 }}`, nil, "3"},
+	}
+	for _, tt := range tests {
+		if got := render(t, tt.src, tt.data); got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+	for _, src := range []string{
+		`{{ int64 (list 1) }}`, // unsupported int conversion
+		`{{ int64 "nope" }}`,
+		`{{ sub (list) 1 }}`, `{{ sub 1 (list) }}`,
+		`{{ div 1 0 }}`, `{{ div (list) 1 }}`, `{{ div 1 (list) }}`,
+		`{{ mod 1 0 }}`, `{{ mod (list) 1 }}`, `{{ mod 1 (list) }}`,
+		`{{ max }}`, `{{ max (list) }}`, `{{ max 1 (list) }}`,
+		`{{ min }}`, `{{ min (list) }}`, `{{ min 1 (list) }}`,
+		`{{ add (list) }}`, `{{ mul (list) }}`,
+	} {
+		if _, err := tryRender(src, nil); err == nil {
+			t.Errorf("%s should error", src)
+		}
+	}
+}
+
+// TestStringEdges: trunc with negative widths, substr clamping, and
+// untitle on empty/non-empty input.
+func TestStringEdges(t *testing.T) {
+	tests := []struct {
+		src  string
+		want string
+	}{
+		{`{{ trunc -3 "abcdef" }}`, "def"},
+		{`{{ trunc -9 "abc" }}`, "abc"},
+		{`{{ trunc 9 "abc" }}`, "abc"},
+		{`{{ substr -2 3 "abcdef" }}`, "abc"},
+		{`{{ substr 2 99 "abcdef" }}`, "cdef"},
+		{`{{ substr 4 2 "abcdef" }}`, ""},
+		{`{{ untitle "Hello" }}`, "hello"},
+		{`{{ untitle "" }}`, ""},
+	}
+	for _, tt := range tests {
+		if got := render(t, tt.src, nil); got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+// TestEmptinessEdges: every type isEmpty understands, via the empty
+// and compact funcs.
+func TestEmptinessEdges(t *testing.T) {
+	tests := []struct {
+		src  string
+		data any
+		want string
+	}{
+		{`{{ empty .v }}`, map[string]any{"v": nil}, "true"},
+		{`{{ empty false }}`, nil, "true"},
+		{`{{ empty true }}`, nil, "false"},
+		{`{{ empty 0 }}`, nil, "true"},
+		{`{{ empty .v }}`, map[string]any{"v": int64(0)}, "true"},
+		{`{{ empty 0.0 }}`, nil, "true"},
+		{`{{ empty (list) }}`, nil, "true"},
+		{`{{ empty .v }}`, map[string]any{"v": []string{}}, "true"},
+		{`{{ empty .v }}`, map[string]any{"v": []string{"x"}}, "false"},
+		{`{{ empty (dict) }}`, nil, "true"},
+		{`{{ empty .v }}`, map[string]any{"v": struct{}{}}, "false"},
+		{`{{ len (compact (list "" 0 "x" false)) }}`, nil, "1"},
+	}
+	for _, tt := range tests {
+		if got := render(t, tt.src, tt.data); got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+// TestListEdges: empty-list accessors, scalar promotion in toAnySlice,
+// and membership checks.
+func TestListEdges(t *testing.T) {
+	tests := []struct {
+		src  string
+		data any
+		want string
+	}{
+		{`{{ kindOf (first (list)) }}`, nil, "invalid"},
+		{`{{ len (rest (list)) }}`, nil, "0"},
+		{`{{ kindOf (last (list)) }}`, nil, "invalid"},
+		{`{{ len (initial (list)) }}`, nil, "0"},
+		{`{{ first 7 }}`, nil, "7"}, // scalar promoted to 1-element list
+		{`{{ join "," .v }}`, map[string]any{"v": nil}, ""},
+		{`{{ has "b" (list "a" "b") }}`, nil, "true"},
+		{`{{ has "z" (list "a" "b") }}`, nil, "false"},
+		{`{{ len .v }}`, map[string]any{"v": nil}, "0"},
+		{`{{ len .v }}`, map[string]any{"v": []string{"a", "b"}}, "2"},
+		{`{{ len (dict "a" 1) }}`, nil, "1"},
+	}
+	for _, tt := range tests {
+		if got := render(t, tt.src, tt.data); got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+}
+
+// TestDictEdges: unset, merge conflict resolution in both directions,
+// deepCopy of nested slices, and dig fallbacks.
+func TestDictEdges(t *testing.T) {
+	tests := []struct {
+		src  string
+		data any
+		want string
+	}{
+		{`{{ len (unset (dict "a" 1 "b" 2) "a") }}`, nil, "1"},
+		// merge: dst wins; mergeOverwrite: src wins; nested maps recurse.
+		{`{{ get (merge (dict "k" "dst") (dict "k" "src")) "k" }}`, nil, "dst"},
+		{`{{ get (mergeOverwrite (dict "k" "dst") (dict "k" "src")) "k" }}`, nil, "src"},
+		{`{{ dig "a" "b" 0 (merge (dict "a" (dict "b" 1)) (dict "a" (dict "b" 2 "c" 3))) }}`, nil, "1"},
+		{`{{ dig "a" "c" 0 (mergeOverwrite (dict "a" (dict "b" 1)) (dict "a" (dict "c" 3))) }}`, nil, "3"},
+		{`{{ index (deepCopy .v) "xs" }}`, map[string]any{"v": map[string]any{"xs": []any{1, 2}}}, "[1 2]"},
+		{`{{ dig "missing" "deep" "fallback" (dict "a" 1) }}`, nil, "fallback"},
+		{`{{ dig "a" "deep" "fallback" (dict "a" 1) }}`, nil, "fallback"}, // descend into scalar
+	}
+	for _, tt := range tests {
+		if got := render(t, tt.src, tt.data); got != tt.want {
+			t.Errorf("%s = %q, want %q", tt.src, got, tt.want)
+		}
+	}
+	for _, src := range []string{
+		`{{ dig "a" (dict) }}`,    // too few args
+		`{{ dig "a" "b" "str" }}`, // last arg not a dict
+	} {
+		if _, err := tryRender(src, nil); err == nil {
+			t.Errorf("%s should error", src)
+		}
+	}
+}
+
+// TestKindOfVariants: the full kindOf switch, including the %T
+// fallback for types templates never construct themselves.
+func TestKindOfVariants(t *testing.T) {
+	tests := []struct {
+		data any
+		want string
+	}{
+		{nil, "invalid"},
+		{true, "bool"},
+		{"s", "string"},
+		{int32(1), "int64"},
+		{int64(1), "int64"},
+		{1.5, "float64"},
+		{[]string{"a"}, "slice"},
+		{map[string]any{}, "map"},
+		{time.Second, "time.Duration"},
+	}
+	for _, tt := range tests {
+		if got := render(t, `{{ kindOf .v }}`, map[string]any{"v": tt.data}); got != tt.want {
+			t.Errorf("kindOf %#v = %q, want %q", tt.data, got, tt.want)
+		}
+	}
+	if got := render(t, `{{ kindIs "map" (dict) }}`, nil); got != "true" {
+		t.Errorf("kindIs = %q", got)
+	}
+}
+
+// TestEncodingErrors: serialization helpers surface errors instead of
+// emitting garbage when handed unencodable values or bad input.
+func TestEncodingErrors(t *testing.T) {
+	bad := map[string]any{"v": make(chan int)}
+	for _, src := range []string{`{{ toYaml .v }}`, `{{ toJson .v }}`} {
+		if _, err := tryRender(src, bad); err == nil {
+			t.Errorf("%s should error on a chan", src)
+		}
+	}
+	if _, err := tryRender(`{{ fromJson "{nope" }}`, nil); err == nil {
+		t.Error("fromJson should reject malformed input")
+	}
+	if got := render(t, `{{ (fromJson "{\"a\":1}").a }}`, nil); got != "1" {
+		t.Errorf("fromJson = %q", got)
+	}
+	// toString: error and Stringer variants reach their dedicated arms.
+	data := map[string]any{"err": errors.New("boom"), "str": time.Duration(2e9)}
+	if got := render(t, `{{ toString .err }}/{{ toString .str }}`, data); got != "boom/2s" {
+		t.Errorf("toString = %q", got)
+	}
+}
+
+// TestRegexErrors: invalid patterns propagate from the regex helpers.
+func TestRegexErrors(t *testing.T) {
+	for _, src := range []string{
+		`{{ regexReplaceAll "(" "s" "r" }}`,
+		`{{ regexSplit "(" "s" -1 }}`,
+	} {
+		if _, err := tryRender(src, nil); err == nil {
+			t.Errorf("%s should reject an invalid pattern", src)
+		}
+	}
+	if got := render(t, `{{ regexSplit "," "a,b" -1 }}`, nil); got != "[a b]" {
+		t.Errorf("regexSplit = %q", got)
+	}
+}
+
+// TestNowUsesEngineClock: a pinned Engine.Now wins over the reference
+// time, keeping chart output reproducible.
+func TestNowUsesEngineClock(t *testing.T) {
+	eng := &Engine{Now: time.Date(2031, 5, 4, 3, 2, 1, 0, time.UTC)}
+	root := eng.New("root")
+	tt, err := root.New("main").Parse(`{{ date "2006-01-02" now }}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tt.Execute(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "2031-05-04" {
+		t.Errorf("now with pinned clock = %q", b.String())
+	}
+}

@@ -1,0 +1,160 @@
+package yaml
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestMarshalScalarShapes round-trips every scalar kind the encoder
+// accepts: the encoded form must decode back to an equivalent value
+// (integer widths normalize to int64, floats stay floats).
+func TestMarshalScalarShapes(t *testing.T) {
+	doc := map[string]any{
+		"nil":     nil,
+		"true":    true,
+		"false":   false,
+		"int":     42,
+		"int32":   int32(-7),
+		"int64":   int64(1 << 40),
+		"uint":    uint(3),
+		"uint32":  uint32(4),
+		"uint64":  uint64(5),
+		"f32":     float32(1.5),
+		"f64":     2.25,
+		"whole":   3.0, // must stay recognizable as a float on round trip
+		"exp":     1e300,
+		"str":     "plain",
+		"empty":   "",
+		"yesish":  "no", // YAML-boolean lookalike: must be quoted
+		"numish":  "007",
+		"hexish":  "0xff",
+		"quoted":  "a\"b\\c",
+		"escapes": "line1\nline2\ttab\rcr",
+		"ctl":     "bell\x07del\x7f",
+	}
+	data, err := Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatalf("re-decoding %q: %v", data, err)
+	}
+	m := back.(map[string]any)
+	want := map[string]any{
+		"nil": nil, "true": true, "false": false,
+		"int": int64(42), "int32": int64(-7), "int64": int64(1 << 40),
+		"uint": int64(3), "uint32": int64(4), "uint64": int64(5),
+		"f32": 1.5, "f64": 2.25, "whole": 3.0, "exp": 1e300,
+		"str": "plain", "empty": "", "yesish": "no", "numish": "007",
+		"hexish": "0xff", "quoted": `a"b\c`,
+		"escapes": "line1\nline2\ttab\rcr", "ctl": "bell\x07del\x7f",
+	}
+	for k, w := range want {
+		if got := m[k]; !reflect.DeepEqual(got, w) {
+			t.Errorf("%s: round-tripped to %#v, want %#v", k, got, w)
+		}
+	}
+}
+
+// TestMarshalCollectionShapes covers the collection encodings: empty
+// map/sequence, typed Go slices, nested sequences, and maps inside
+// sequences (the dash-inline form).
+func TestMarshalCollectionShapes(t *testing.T) {
+	doc := map[string]any{
+		"emptyMap": map[string]any{},
+		"emptySeq": []any{},
+		"strs":     []string{"a", "b"},
+		"maps":     []map[string]any{{"k": 1}, {"k": 2}},
+		"nested":   []any{[]any{1, 2}, map[string]any{"deep": []any{"x"}}},
+	}
+	data, err := Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatalf("re-decoding %q: %v", data, err)
+	}
+	m := back.(map[string]any)
+	if v, ok := m["emptyMap"].(map[string]any); !ok || len(v) != 0 {
+		t.Errorf("emptyMap round-tripped to %#v", m["emptyMap"])
+	}
+	if v, ok := m["emptySeq"].([]any); !ok || len(v) != 0 {
+		t.Errorf("emptySeq round-tripped to %#v", m["emptySeq"])
+	}
+	if v := m["strs"]; !reflect.DeepEqual(v, []any{"a", "b"}) {
+		t.Errorf("strs round-tripped to %#v", v)
+	}
+	if v := m["maps"]; !reflect.DeepEqual(v, []any{
+		map[string]any{"k": int64(1)}, map[string]any{"k": int64(2)}}) {
+		t.Errorf("maps round-tripped to %#v", v)
+	}
+	if v := m["nested"]; !reflect.DeepEqual(v, []any{
+		[]any{int64(1), int64(2)}, map[string]any{"deep": []any{"x"}}}) {
+		t.Errorf("nested round-tripped to %#v", v)
+	}
+
+	// Deterministic key ordering: two marshals are byte-identical.
+	again, err := Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Errorf("non-deterministic encoding:\n%q\n%q", data, again)
+	}
+}
+
+// TestMarshalRejectsUnsupportedTypes: the encoder errors on values it
+// cannot represent instead of emitting something undecodable, at the
+// top level and nested inside collections.
+func TestMarshalRejectsUnsupportedTypes(t *testing.T) {
+	if _, err := Marshal(make(chan int)); err == nil {
+		t.Error("chan should not encode")
+	}
+	if _, err := Marshal(map[string]any{"bad": struct{}{}}); err == nil {
+		t.Error("nested struct should not encode")
+	}
+	if _, err := Marshal([]any{1, make(chan int)}); err == nil {
+		t.Error("chan inside a sequence should not encode")
+	}
+	if _, err := MarshalAll([]any{map[string]any{"ok": 1}, make(chan int)}); err == nil {
+		t.Error("MarshalAll should surface nested encode errors")
+	}
+}
+
+// TestMarshalAllDocuments separates documents with --- and DecodeAll
+// reads them back.
+func TestMarshalAllDocuments(t *testing.T) {
+	data, err := MarshalAll([]any{
+		map[string]any{"a": 1},
+		map[string]any{"b": "two"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(string(data), "---") != 1 {
+		t.Errorf("expected one separator:\n%s", data)
+	}
+	docs, err := DecodeAll(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("round-tripped %d documents, want 2", len(docs))
+	}
+}
+
+// TestErrorFormatting pins the 1-based line diagnostics of decode
+// errors.
+func TestErrorFormatting(t *testing.T) {
+	e := &Error{Line: 3, Msg: "boom"}
+	if got := e.Error(); got != "yaml: line 3: boom" {
+		t.Errorf("Error() = %q", got)
+	}
+	_, err := Decode([]byte("a: [1\nb: 2\n"))
+	if err == nil {
+		t.Fatal("unterminated flow sequence should error")
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/proxy"
 	"repro/internal/registry"
 	"repro/internal/schema"
+	"repro/internal/synth"
 	"repro/internal/validator"
 )
 
@@ -531,7 +532,8 @@ func RenderLearningReport(r *LearningReport) string {
 
 // MutationClasses lists the adversarial mutation classes the robustness
 // harness derives from the Table II attack catalog (kind permutation,
-// value obfuscation, sibling smuggling, verb routing, camouflage).
+// value obfuscation, sibling smuggling, verb routing, camouflage,
+// cron/daemon re-homing, operator-CRD embedding).
 func MutationClasses() []string {
 	classes := mutate.AllClasses()
 	out := make([]string, len(classes))
@@ -612,6 +614,57 @@ func RunE2E(opts E2EOptions) (*E2EReport, error) {
 // RenderE2EReport renders an e2e report for humans.
 func RenderE2EReport(r *E2EReport) string {
 	return experiments.RenderE2E(r)
+}
+
+// SynthOptions configure the synthetic workload generator: the corpus
+// seed and size plus the perturbation-probability knobs (cross-chart
+// grafting, value resampling, field subset/superset).
+type SynthOptions = synth.Options
+
+// SynthWorkload is one generated (policy, benign trace) pair: namespaced
+// objects derived from the builtin charts by seeded recombination, and
+// the policy built from them.
+type SynthWorkload = synth.Workload
+
+// GenerateWorkloads derives a deterministic corpus of chart-like
+// workloads from the builtin charts. The corpus is prefix-stable:
+// workload i depends only on (seed, i), so growing the corpus never
+// changes the workloads already generated. Every pair is
+// self-consistent by construction — the policy is built from the
+// perturbed objects — and can be fed to the mutation matrix exactly
+// like a chart workload.
+func GenerateWorkloads(opts SynthOptions) ([]SynthWorkload, error) {
+	return synth.Generate(opts)
+}
+
+// VerifyWorkload independently re-checks one generated pair: the policy
+// compiles, and both engines plus the compiled program agree the benign
+// trace is violation-free.
+func VerifyWorkload(w *SynthWorkload) error { return synth.Verify(w) }
+
+// ScenariosOptions configure RunScenarios: corpus size, seed, replay
+// concurrency, cache size, the attack-variant cap, and the
+// registered-workload counts to measure at.
+type ScenariosOptions = experiments.ScenariosOptions
+
+// ScenariosReport is the measured outcome: one replay cell per
+// (workload count, engine) over the generated corpus, per-engine
+// scaling-flatness ratios, and the corpus configuration (seed and
+// generator knobs) that reproduces it. Committed as BENCH_scenarios.json
+// and enforced by the CI bench gate (benchgate -kind scenarios).
+type ScenariosReport = experiments.ScenariosResult
+
+// RunScenarios generates the synthetic corpus, verifies every pair, and
+// replays each prefix's interleaved benign + adversarial trace through
+// the raw fast path, the compiled engine, and the interpreted engine at
+// increasing registered-workload counts.
+func RunScenarios(opts ScenariosOptions) (*ScenariosReport, error) {
+	return experiments.Scenarios(opts)
+}
+
+// RenderScenariosReport renders a scenarios report for humans.
+func RenderScenariosReport(r *ScenariosReport) string {
+	return experiments.RenderScenarios(r)
 }
 
 // RenderChart renders a chart with user value overrides into manifests,

@@ -28,7 +28,7 @@ func TestRunRobustnessFacade(t *testing.T) {
 	if out := RenderRobustnessReport(report); out == "" {
 		t.Error("empty rendered report")
 	}
-	if classes := MutationClasses(); len(classes) != 5 {
-		t.Errorf("MutationClasses() = %v, want 5 classes", classes)
+	if classes := MutationClasses(); len(classes) != 7 {
+		t.Errorf("MutationClasses() = %v, want 7 classes", classes)
 	}
 }

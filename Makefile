@@ -101,6 +101,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzValidate -fuzztime=10s -run '^$$' ./internal/validator
 	$(GO) test -fuzz=FuzzCompiledEquivalence -fuzztime=10s -run '^$$' ./internal/compile
 	$(GO) test -fuzz=FuzzRawEquivalence -fuzztime=10s -run '^$$' ./internal/compile
+	$(GO) test -fuzz=FuzzRawYAMLEquivalence -fuzztime=10s -run '^$$' ./internal/compile
 	$(GO) test -fuzz=FuzzSynthSelfConsistency -fuzztime=10s -run '^$$' ./internal/synth
 
 robustness-json:

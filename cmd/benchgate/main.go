@@ -286,65 +286,82 @@ func gateE2E(baselinePath, freshPath string, tol, minSpeedup, minAllocReduction 
 		failures = append(failures, msg)
 		return "FAIL"
 	}
-	fmt.Fprintf(out, "%-10s %-8s %-6s %-12s %-12s %-10s %-12s %-12s %s\n",
-		"workloads", "path", "mode", "base ns/op", "fresh ns/op", "delta", "base allocs", "fresh allocs", "verdict")
+	enc := func(e string) string {
+		if e == "" {
+			return "json"
+		}
+		return e
+	}
+	fmt.Fprintf(out, "%-10s %-8s %-6s %-6s %-12s %-12s %-10s %-12s %-12s %s\n",
+		"workloads", "path", "mode", "enc", "base ns/op", "fresh ns/op", "delta", "base allocs", "fresh allocs", "verdict")
 	for _, base := range baseline.Results {
-		fr := fresh.Result(base.Workloads, base.Path, base.Mode)
+		fr := fresh.Result(base.Workloads, base.Path, base.Mode, base.Encoding)
 		if fr == nil {
 			failures = append(failures, fmt.Sprintf(
-				"workloads=%d path=%s mode=%s missing from fresh results",
-				base.Workloads, base.Path, base.Mode))
+				"workloads=%d path=%s mode=%s encoding=%s missing from fresh results",
+				base.Workloads, base.Path, base.Mode, enc(base.Encoding)))
 			continue
 		}
+		cell := fmt.Sprintf("workloads=%d path=%s mode=%s encoding=%s",
+			base.Workloads, base.Path, base.Mode, enc(base.Encoding))
 		delta := fr.NsPerOp/base.NsPerOp - 1
 		verdict := "ok"
 		if fr.NsPerOp > base.NsPerOp*(1+tol) {
 			verdict = relative(fmt.Sprintf(
-				"workloads=%d path=%s mode=%s ns/op %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
-				base.Workloads, base.Path, base.Mode,
-				base.NsPerOp, fr.NsPerOp, delta*100, tol*100))
+				"%s ns/op %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+				cell, base.NsPerOp, fr.NsPerOp, delta*100, tol*100))
 		}
 		if float64(fr.P99Ns) > float64(base.P99Ns)*(1+tol) {
 			verdict = relative(fmt.Sprintf(
-				"workloads=%d path=%s mode=%s p99 %d -> %d ns (tolerance %.0f%%)",
-				base.Workloads, base.Path, base.Mode, base.P99Ns, fr.P99Ns, tol*100))
+				"%s p99 %d -> %d ns (tolerance %.0f%%)",
+				cell, base.P99Ns, fr.P99Ns, tol*100))
 		}
 		// Allocation counts are machine-independent and gate even under
 		// -advise-relative: the decode-free fast path must never start
-		// allocating more than the committed baseline silently.
+		// allocating more than the committed baseline silently. This
+		// covers the YAML cells identically — the YAML fast pass is held
+		// to its own committed allocation budget.
 		if fr.AllocsPerOp > base.AllocsPerOp*(1+tol)+1 {
 			verdict = "FAIL"
 			failures = append(failures, fmt.Sprintf(
-				"workloads=%d path=%s mode=%s allocs/op %.1f -> %.1f (tolerance %.0f%%)",
-				base.Workloads, base.Path, base.Mode,
-				base.AllocsPerOp, fr.AllocsPerOp, tol*100))
+				"%s allocs/op %.1f -> %.1f (tolerance %.0f%%)",
+				cell, base.AllocsPerOp, fr.AllocsPerOp, tol*100))
 		}
-		fmt.Fprintf(out, "%-10d %-8s %-6s %-12.0f %-12.0f %-+9.1f%% %-12.1f %-12.1f %s\n",
-			base.Workloads, base.Path, base.Mode, base.NsPerOp, fr.NsPerOp, delta*100,
+		fmt.Fprintf(out, "%-10d %-8s %-6s %-6s %-12.0f %-12.0f %-+9.1f%% %-12.1f %-12.1f %s\n",
+			base.Workloads, base.Path, base.Mode, enc(base.Encoding), base.NsPerOp, fr.NsPerOp, delta*100,
 			base.AllocsPerOp, fr.AllocsPerOp, verdict)
 	}
+	yamlSpeedups := 0
 	for _, sp := range fresh.Speedups {
 		if sp.Mode != "cold" {
 			continue
+		}
+		if enc(sp.Encoding) == "yaml" {
+			yamlSpeedups++
 		}
 		verdict := "ok"
 		if sp.Speedup < minSpeedup {
 			verdict = "FAIL"
 			failures = append(failures, fmt.Sprintf(
-				"workloads=%d fast-path cold speedup %.2fx below the %.1fx floor",
-				sp.Workloads, sp.Speedup, minSpeedup))
+				"workloads=%d encoding=%s fast-path cold speedup %.2fx below the %.1fx floor",
+				sp.Workloads, enc(sp.Encoding), sp.Speedup, minSpeedup))
 		}
 		if sp.AllocReduction < minAllocReduction {
 			verdict = "FAIL"
 			failures = append(failures, fmt.Sprintf(
-				"workloads=%d fast-path alloc reduction %.0f%% below the %.0f%% floor",
-				sp.Workloads, sp.AllocReduction*100, minAllocReduction*100))
+				"workloads=%d encoding=%s fast-path alloc reduction %.0f%% below the %.0f%% floor",
+				sp.Workloads, enc(sp.Encoding), sp.AllocReduction*100, minAllocReduction*100))
 		}
-		fmt.Fprintf(out, "workloads=%-3d fast-path cold speedup %.2fx (floor %.1fx), alloc reduction %.0f%% (floor %.0f%%) %s\n",
-			sp.Workloads, sp.Speedup, minSpeedup, sp.AllocReduction*100, minAllocReduction*100, verdict)
+		fmt.Fprintf(out, "workloads=%-3d enc=%-4s fast-path cold speedup %.2fx (floor %.1fx), alloc reduction %.0f%% (floor %.0f%%) %s\n",
+			sp.Workloads, enc(sp.Encoding), sp.Speedup, minSpeedup, sp.AllocReduction*100, minAllocReduction*100, verdict)
 	}
 	if len(fresh.Speedups) == 0 {
 		failures = append(failures, "fresh e2e report carries no speedup summary")
+	}
+	// The YAML decode-path cells must exist and gate: a regeneration that
+	// silently drops them would un-gate the YAML fast pass entirely.
+	if yamlSpeedups == 0 {
+		failures = append(failures, "fresh e2e report carries no YAML-encoding speedup cells")
 	}
 	return failures, advisories, nil
 }

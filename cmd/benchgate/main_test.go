@@ -220,25 +220,54 @@ func TestLearningGateToleratesChartSubset(t *testing.T) {
 }
 
 func e2eReport(fastNs, decodeNs, fastAllocs, decodeAllocs float64) experiments.E2EReport {
-	cell := func(path, mode string, ns, allocs float64) experiments.E2EResult {
+	cell := func(path, mode, enc string, ns, allocs float64) experiments.E2EResult {
 		return experiments.E2EResult{
-			Workloads: 1, Path: path, Mode: mode,
+			Workloads: 1, Path: path, Mode: mode, Encoding: enc,
 			NsPerOp: ns, P50Ns: int64(ns), P99Ns: int64(ns * 3), AllocsPerOp: allocs,
 		}
 	}
-	return experiments.E2EReport{
-		Results: []experiments.E2EResult{
-			cell("fast", "cold", fastNs, fastAllocs),
-			cell("decode", "cold", decodeNs, decodeAllocs),
-			cell("fast", "hot", fastNs/2, fastAllocs),
-			cell("decode", "hot", decodeNs*0.9, decodeAllocs),
-		},
-		Speedups: []experiments.E2ESpeedup{
-			{Workloads: 1, Mode: "cold", Speedup: decodeNs / fastNs,
-				AllocReduction: 1 - fastAllocs/decodeAllocs},
-			{Workloads: 1, Mode: "hot", Speedup: decodeNs * 0.9 / (fastNs / 2),
-				AllocReduction: 1 - fastAllocs/decodeAllocs},
-		},
+	report := experiments.E2EReport{}
+	for _, enc := range []string{"json", "yaml"} {
+		report.Results = append(report.Results,
+			cell("fast", "cold", enc, fastNs, fastAllocs),
+			cell("decode", "cold", enc, decodeNs, decodeAllocs),
+			cell("fast", "hot", enc, fastNs/2, fastAllocs),
+			cell("decode", "hot", enc, decodeNs*0.9, decodeAllocs),
+		)
+		report.Speedups = append(report.Speedups,
+			experiments.E2ESpeedup{Workloads: 1, Mode: "cold", Encoding: enc,
+				Speedup: decodeNs / fastNs, AllocReduction: 1 - fastAllocs/decodeAllocs},
+			experiments.E2ESpeedup{Workloads: 1, Mode: "hot", Encoding: enc,
+				Speedup: decodeNs * 0.9 / (fastNs / 2), AllocReduction: 1 - fastAllocs/decodeAllocs},
+		)
+	}
+	return report
+}
+
+// TestE2EGateRequiresYAMLCells: a fresh report without YAML-encoding
+// speedup cells (e.g. regenerated by an older binary) must fail — the
+// YAML fast pass would otherwise run ungated.
+func TestE2EGateRequiresYAMLCells(t *testing.T) {
+	dir := t.TempDir()
+	jsonOnly := e2eReport(7000, 18000, 15, 116)
+	var trimmedResults []experiments.E2EResult
+	for _, res := range jsonOnly.Results {
+		if res.Encoding != "yaml" {
+			trimmedResults = append(trimmedResults, res)
+		}
+	}
+	var trimmedSpeedups []experiments.E2ESpeedup
+	for _, sp := range jsonOnly.Speedups {
+		if sp.Encoding != "yaml" {
+			trimmedSpeedups = append(trimmedSpeedups, sp)
+		}
+	}
+	jsonOnly.Results, jsonOnly.Speedups = trimmedResults, trimmedSpeedups
+	base := writeJSON(t, dir, "base.json", jsonOnly)
+	fresh := writeJSON(t, dir, "fresh.json", jsonOnly)
+	err := run([]string{"-kind", "e2e", "-baseline", base, "-fresh", fresh, "-advise-relative"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("fresh report without YAML cells must fail the gate, got %v", err)
 	}
 }
 

@@ -105,6 +105,7 @@ func run(args []string) error {
 	iterations := fs.Int("iterations", 5000, "validations per latency measurement")
 	repeats := fs.Int("repeats", 1, "best-of-N repeats for throughput and latency measurements")
 	engine := fs.String("engine", "compiled", "validation engine for robustness: compiled | interpreted")
+	wire := fs.String("wire", "json", "body encoding for robustness replay: json | yaml (yaml drives the YAML raw pipeline)")
 	maxEpochs := fs.Int("max-epochs", 8, "benign-replay epochs allowed for learning convergence")
 	synthCount := fs.Int("synth", 0, "generated synthetic workloads: corpus size for scenarios (0 = default 100), extra workloads for robustness and learning (0 = none)")
 	if err := fs.Parse(args); err != nil {
@@ -112,6 +113,9 @@ func run(args []string) error {
 	}
 	if *engine != "compiled" && *engine != "interpreted" {
 		return fmt.Errorf("-engine: %q is not compiled or interpreted", *engine)
+	}
+	if *wire != "json" && *wire != "yaml" {
+		return fmt.Errorf("-wire: %q is not json or yaml", *wire)
 	}
 	workloadCounts, err := parseCounts(*counts)
 	if err != nil {
@@ -231,6 +235,7 @@ func run(args []string) error {
 				CacheSize:         *cacheSize,
 				Interpreted:       *engine == "interpreted",
 				Synth:             *synthCount,
+				YAMLWire:          *wire == "yaml",
 			})
 			if err != nil {
 				return err

@@ -19,14 +19,16 @@ func TestRunE2EFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast := report.Result(1, "fast", "cold")
-	decode := report.Result(1, "decode", "cold")
-	if fast == nil || decode == nil {
-		t.Fatal("missing cells in e2e report")
-	}
-	if fast.AllocsPerOp >= decode.AllocsPerOp {
-		t.Errorf("fast path allocs/op %.1f not below decode baseline %.1f",
-			fast.AllocsPerOp, decode.AllocsPerOp)
+	for _, encoding := range []string{"json", "yaml"} {
+		fast := report.Result(1, "fast", "cold", encoding)
+		decode := report.Result(1, "decode", "cold", encoding)
+		if fast == nil || decode == nil {
+			t.Fatalf("missing %s cells in e2e report", encoding)
+		}
+		if fast.AllocsPerOp >= decode.AllocsPerOp {
+			t.Errorf("%s fast path allocs/op %.1f not below decode baseline %.1f",
+				encoding, fast.AllocsPerOp, decode.AllocsPerOp)
+		}
 	}
 	if out := kubefence.RenderE2EReport(report); !strings.Contains(out, "speedup") {
 		t.Errorf("rendered report: %s", out)

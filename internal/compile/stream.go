@@ -26,13 +26,16 @@ import (
 // verdicts and violations bit-identical to the existing engines; the
 // streaming pass only decides how much work an allowed request costs.
 //
-// Soundness under duplicate keys: json.Unmarshal keeps the LAST
-// occurrence of a duplicated key, while the scanner sees every
-// occurrence. The walk validates each occurrence independently, so a
-// true verdict means every occurrence (including the last, the one the
-// decoded document keeps) passed — allow is sound. Required-field bits
-// are idempotent under re-setting. Any occurrence failing falls back,
-// and the decode pass rules on the document Go actually decodes.
+// Soundness under duplicate keys: the decode path
+// (object.ParseJSON) rejects documents that duplicate a key within an
+// object, because last-writer-wins decoding would let an early
+// occurrence smuggle a sibling value past any validator that only sees
+// the decoded map. The scanner therefore tracks the member keys of
+// every open object scope and falls back the moment a key repeats —
+// or the moment a key's decoded spelling is not knowable from its raw
+// bytes (escape sequences, non-ASCII) — so a true verdict still
+// implies the body decodes cleanly. The two passes stay aligned by
+// construction: raw-allow ⇒ no duplicates ⇒ decode succeeds.
 //
 // Equivalence is pinned by the differential fuzz target
 // (FuzzRawEquivalence) and by replaying the full adversarial robustness
@@ -86,6 +89,9 @@ func ScanRawMeta(body []byte) (RawMeta, bool) {
 		if !ok || !clean {
 			// An escaped key could decode to "kind"/"metadata"; the raw
 			// view cannot know, so it must not claim the field is absent.
+			return m, false
+		}
+		if !s.noteKey(0, key, clean) {
 			return m, false
 		}
 		switch string(key) {
@@ -145,8 +151,7 @@ func (s *rawScan) scanMetaString() ([]byte, bool) {
 }
 
 // scanMetadata consumes the metadata member value, extracting
-// namespace and name. Duplicate keys keep the last occurrence, exactly
-// as the decoded map would.
+// namespace and name.
 func (s *rawScan) scanMetadata() (ns, name []byte, ok bool) {
 	s.skipWS()
 	if s.pos >= len(s.data) || s.data[s.pos] != '{' {
@@ -161,9 +166,13 @@ func (s *rawScan) scanMetadata() (ns, name []byte, ok bool) {
 	if s.eat('}') {
 		return nil, nil, true
 	}
+	base := s.nkeys
 	for {
 		key, clean, kok := s.scanKey()
 		if !kok || !clean {
+			return nil, nil, false
+		}
+		if !s.noteKey(base, key, clean) {
 			return nil, nil, false
 		}
 		switch string(key) {
@@ -190,6 +199,7 @@ func (s *rawScan) scanMetadata() (ns, name []byte, ok bool) {
 			continue
 		}
 		if s.eat('}') {
+			s.nkeys = base
 			return ns, name, true
 		}
 		return nil, nil, false
@@ -231,6 +241,12 @@ func (p *Program) MatchRawScanned(meta RawMeta, body []byte) bool {
 	return s.atEnd()
 }
 
+// rawKeyStack sizes the duplicate-key window: the sum of member keys
+// across all OPEN object scopes at any instant. Documents exceeding it
+// fall back to the decode path (vanishingly rare for real manifests) —
+// growing the window would heap-allocate on every scan.
+const rawKeyStack = 64
+
 // rawScan is a single pass over raw JSON bytes. All methods return
 // ok=false to mean "fall back to the decode path" — whether because the
 // document is malformed, denied, or merely undecidable without decoding.
@@ -238,6 +254,49 @@ type rawScan struct {
 	p    *Program
 	data []byte
 	pos  int
+	// khash[:nkeys] is the duplicate-key detection stack: a hash of
+	// every member key of every object scope currently open, each scope
+	// delimited by the base index its opener captured. The decode path
+	// rejects duplicate keys, so the scanner must fall back on them to
+	// keep "raw allow ⇒ body decodes" true. Hashes (not byte slices)
+	// keep the window free of pointers, so it lives in the scanner
+	// struct without forcing a heap allocation per scan: equal keys
+	// always collide (no duplicate is ever missed), and a collision
+	// between distinct keys merely falls back conservatively.
+	nkeys int
+	khash [rawKeyStack]uint32
+}
+
+// hashKey is FNV-1a over the key bytes.
+func hashKey(key []byte) uint32 {
+	h := uint32(2166136261)
+	for _, b := range key {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return h
+}
+
+// noteKey records one member key of the object scope opened at base and
+// reports whether the scan may proceed: false on a (possible) duplicate
+// (the decode path rejects the document) and on a key whose decoded
+// spelling the raw bytes cannot prove (escapes, non-ASCII — such a key
+// could collide with any sibling after decoding).
+func (s *rawScan) noteKey(base int, key []byte, clean bool) bool {
+	if !clean {
+		return false
+	}
+	h := hashKey(key)
+	for _, k := range s.khash[base:s.nkeys] {
+		if k == h {
+			return false
+		}
+	}
+	if s.nkeys >= rawKeyStack {
+		return false // window full: decode path's turn
+	}
+	s.khash[s.nkeys] = h
+	s.nkeys++
+	return true
 }
 
 func (s *rawScan) skipWS() {
@@ -436,8 +495,13 @@ func (s *rawScan) skipValue(depth int) bool {
 		if s.eat('}') {
 			return true
 		}
+		base := s.nkeys
 		for {
-			if _, _, ok := s.scanKey(); !ok {
+			key, clean, ok := s.scanKey()
+			if !ok {
+				return false
+			}
+			if !s.noteKey(base, key, clean) {
 				return false
 			}
 			if !s.skipValue(depth + 1) {
@@ -448,7 +512,11 @@ func (s *rawScan) skipValue(depth int) bool {
 				s.skipWS()
 				continue
 			}
-			return s.eat('}')
+			if !s.eat('}') {
+				return false
+			}
+			s.nkeys = base
+			return true
 		}
 	case '[':
 		s.pos++
@@ -535,9 +603,13 @@ func (s *rawScan) walkMap(n *node, depth int) bool {
 	if s.eat('}') {
 		return seen == n.reqBits
 	}
+	base := s.nkeys
 	for {
 		key, clean, ok := s.scanKey()
 		if !ok || !clean {
+			return false
+		}
+		if !s.noteKey(base, key, clean) {
 			return false
 		}
 		switch {
@@ -569,6 +641,7 @@ func (s *rawScan) walkMap(n *node, depth int) bool {
 		if !s.eat('}') {
 			return false
 		}
+		s.nkeys = base
 		return seen == n.reqBits
 	}
 }

@@ -46,21 +46,13 @@ func TestScanRawMeta(t *testing.T) {
 			body: `{"kind":123,"metadata":{"name":"x"}}`,
 			ok:   true, objName: "x",
 		},
-		{
-			name: "duplicate kind keeps last occurrence",
-			body: `{"kind":"Pod","kind":"Secret"}`,
-			ok:   true, kind: "Secret",
-		},
-		{
-			name: "duplicate kind with non-string last resets",
-			body: `{"kind":"Pod","kind":[1]}`,
-			ok:   true,
-		},
-		{
-			name: "duplicate metadata keeps last occurrence",
-			body: `{"metadata":{"namespace":"a"},"metadata":{"name":"n"}}`,
-			ok:   true, objName: "n",
-		},
+		// Duplicate keys anywhere fail the scan: the decode path rejects
+		// them, and a successful scan promises the body decodes.
+		{name: "duplicate kind is undecodable", body: `{"kind":"Pod","kind":"Secret"}`},
+		{name: "duplicate kind with non-string last is undecodable", body: `{"kind":"Pod","kind":[1]}`},
+		{name: "duplicate metadata is undecodable", body: `{"metadata":{"namespace":"a"},"metadata":{"name":"n"}}`},
+		{name: "duplicate nested metadata key is undecodable", body: `{"metadata":{"name":"a","name":"b"}}`},
+		{name: "duplicate key in skipped subtree is undecodable", body: `{"kind":"Pod","spec":{"a":1,"a":2}}`},
 		{name: "non-object metadata", body: `{"kind":"Pod","metadata":7}`, ok: true, kind: "Pod"},
 		{name: "array root", body: `[1]`},
 		{name: "scalar root", body: `"x"`},
@@ -178,42 +170,57 @@ func TestMatchRawContract(t *testing.T) {
 	}
 }
 
-// TestMatchRawDuplicateKeys exercises the last-occurrence-wins JSON
-// semantics: allow only when every occurrence passes.
+// TestMatchRawDuplicateKeys pins the aligned duplicate-key stance of
+// both pipeline halves: the decode path REJECTS documents that
+// duplicate a key (last-writer-wins decoding would let an early
+// occurrence smuggle a sibling value past the validator), and the raw
+// fast pass must therefore never vouch for a body containing one.
 func TestMatchRawDuplicateKeys(t *testing.T) {
 	manifest := object.Object{
 		"kind": "Pod",
 		"spec": map[string]any{"replicas": int64(1), "hostNetwork": false},
 	}
-	pol, prog := buildProgram(t, manifest)
+	_, prog := buildProgram(t, manifest)
 
-	// Both occurrences valid: allow is sound (last one is what decodes).
-	ok := `{"kind":"Pod","spec":{"replicas":1,"replicas":1}}`
-	if !prog.MatchRaw([]byte(ok)) {
-		t.Errorf("MatchRaw refused duplicate-but-valid keys")
+	for _, body := range []string{
+		// Even duplicate-but-identical occurrences are undecodable.
+		`{"kind":"Pod","spec":{"replicas":1,"replicas":1}}`,
+		`{"kind":"Pod","spec":{"replicas":1,"replicas":"evil"}}`,
+		`{"kind":"Pod","spec":{"replicas":"evil","replicas":1}}`,
+		// The smuggled sibling: a benign-looking first spec carries the
+		// verdict for naive first-wins parsers, while the duplicate
+		// carries hostNetwork for last-wins ones. Neither side of the
+		// pipeline may accept the body.
+		`{"kind":"Pod","spec":{"replicas":1},"spec":{"replicas":1,"hostNetwork":true}}`,
+	} {
+		if prog.MatchRaw([]byte(body)) {
+			t.Errorf("MatchRaw vouched for a duplicate-key body:\n%s", body)
+		}
+		if _, err := object.ParseJSON([]byte(body)); err == nil {
+			t.Errorf("ParseJSON accepted a duplicate-key body:\n%s", body)
+		}
 	}
-	// First valid, last invalid: the decoded document is denied, so the
-	// fast pass must not allow.
-	bad := `{"kind":"Pod","spec":{"replicas":1,"replicas":"evil"}}`
-	if prog.MatchRaw([]byte(bad)) {
-		t.Fatalf("MatchRaw allowed a body whose decoded form is denied")
+}
+
+// TestParseJSONRejectsSmuggledSibling is the regression test for the
+// decode-path half of the duplicate-key divergence: before the decoder
+// rejected duplicates, {"spec":{...benign...},"spec":{...hostile...}}
+// validated as last-writer while first-wins consumers saw the benign
+// spec. Now the body must fail to decode at all.
+func TestParseJSONRejectsSmuggledSibling(t *testing.T) {
+	body := []byte(`{"kind":"Pod","metadata":{"name":"web"},` +
+		`"spec":{"hostNetwork":false},"spec":{"hostNetwork":true}}`)
+	if _, err := object.ParseJSON(body); err == nil {
+		t.Fatal("smuggled-sibling body decoded cleanly")
 	}
-	o, err := object.ParseJSON([]byte(bad))
+	// The same document without the duplicate still decodes.
+	clean := []byte(`{"kind":"Pod","metadata":{"name":"web"},"spec":{"hostNetwork":false}}`)
+	o, err := object.ParseJSON(clean)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if vs := pol.Validate(o); len(vs) == 0 {
-		t.Fatalf("expected the decoded form to be denied")
-	}
-	// First invalid, last valid: decoded allows; fast pass may fall
-	// back (slow) but must not have produced a deny verdict on its own —
-	// MatchRaw=false only ever means "decode and decide".
-	firstBad := `{"kind":"Pod","spec":{"replicas":"evil","replicas":1}}`
-	if prog.MatchRaw([]byte(firstBad)) {
-		// Allowing would also be sound here, but the implementation is
-		// conservative; flag if that ever changes so the comment stays
-		// honest.
-		t.Log("MatchRaw now allows first-bad/last-good duplicates")
+	if o.Kind() != "Pod" {
+		t.Fatalf("Kind = %q, want Pod", o.Kind())
 	}
 }
 

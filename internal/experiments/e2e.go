@@ -50,6 +50,10 @@ type E2EResult struct {
 	// Path is "fast" (streaming raw-bytes pipeline) or "decode"
 	// (classic decode-first baseline, DisableRawFastPath).
 	Path string `json:"path"`
+	// Encoding is the wire encoding of the request bodies: "json" or
+	// "yaml". Empty in baselines committed before the YAML fast path
+	// existed, which consumers treat as "json".
+	Encoding string `json:"encoding,omitempty"`
 	// Mode is "cold" (decision cache off) or "hot" (per-workload shards
 	// on: the reconcile-loop re-apply case).
 	Mode        string  `json:"mode"`
@@ -70,8 +74,10 @@ type E2EResult struct {
 // AllocReduction is the fraction of per-request allocations the fast
 // path eliminates (0.5 = half the allocations gone).
 type E2ESpeedup struct {
-	Workloads      int     `json:"workloads"`
-	Mode           string  `json:"mode"`
+	Workloads int    `json:"workloads"`
+	Mode      string `json:"mode"`
+	// Encoding mirrors E2EResult.Encoding ("" means "json").
+	Encoding       string  `json:"encoding,omitempty"`
 	Speedup        float64 `json:"speedup"`
 	AllocReduction float64 `json:"alloc_reduction"`
 }
@@ -84,22 +90,34 @@ type E2EReport struct {
 	Speedups  []E2ESpeedup `json:"speedups"`
 }
 
-// Result returns the measurement for (workloads, path, mode), or nil.
-func (r *E2EReport) Result(workloads int, path, mode string) *E2EResult {
+// normEncoding maps the pre-YAML baselines' empty encoding to "json".
+func normEncoding(enc string) string {
+	if enc == "" {
+		return "json"
+	}
+	return enc
+}
+
+// Result returns the measurement for (workloads, path, mode, encoding),
+// or nil. An empty encoding selects "json".
+func (r *E2EReport) Result(workloads int, path, mode, encoding string) *E2EResult {
 	for i := range r.Results {
 		res := &r.Results[i]
-		if res.Workloads == workloads && res.Path == path && res.Mode == mode {
+		if res.Workloads == workloads && res.Path == path && res.Mode == mode &&
+			normEncoding(res.Encoding) == normEncoding(encoding) {
 			return res
 		}
 	}
 	return nil
 }
 
-// Speedup returns the summary for (workloads, mode), or nil.
-func (r *E2EReport) Speedup(workloads int, mode string) *E2ESpeedup {
+// Speedup returns the summary for (workloads, mode, encoding), or nil.
+// An empty encoding selects "json".
+func (r *E2EReport) Speedup(workloads int, mode, encoding string) *E2ESpeedup {
 	for i := range r.Speedups {
 		sp := &r.Speedups[i]
-		if sp.Workloads == workloads && sp.Mode == mode {
+		if sp.Workloads == workloads && sp.Mode == mode &&
+			normEncoding(sp.Encoding) == normEncoding(encoding) {
 			return sp
 		}
 	}
@@ -133,29 +151,32 @@ func E2E(opts E2EOptions) (*E2EReport, error) {
 			if mode == "hot" {
 				cache = opts.CacheSize
 			}
-			var cells [2]E2EResult // [fast, decode]
-			for pi, path := range []string{"fast", "decode"} {
-				var best E2EResult
-				for rep := 0; rep < opts.Repeats; rep++ {
-					res, err := measureE2E(n, path, mode, cache, opts, pols)
-					if err != nil {
-						return nil, fmt.Errorf("workloads=%d path=%s mode=%s: %w", n, path, mode, err)
+			for _, encoding := range []string{"json", "yaml"} {
+				var cells [2]E2EResult // [fast, decode]
+				for pi, path := range []string{"fast", "decode"} {
+					var best E2EResult
+					for rep := 0; rep < opts.Repeats; rep++ {
+						res, err := measureE2E(n, path, mode, encoding, cache, opts, pols)
+						if err != nil {
+							return nil, fmt.Errorf("workloads=%d path=%s mode=%s encoding=%s: %w",
+								n, path, mode, encoding, err)
+						}
+						if rep == 0 || res.NsPerOp < best.NsPerOp {
+							best = res
+						}
 					}
-					if rep == 0 || res.NsPerOp < best.NsPerOp {
-						best = res
-					}
+					cells[pi] = best
+					report.Results = append(report.Results, best)
 				}
-				cells[pi] = best
-				report.Results = append(report.Results, best)
+				sp := E2ESpeedup{Workloads: n, Mode: mode, Encoding: encoding}
+				if cells[0].NsPerOp > 0 {
+					sp.Speedup = cells[1].NsPerOp / cells[0].NsPerOp
+				}
+				if cells[1].AllocsPerOp > 0 {
+					sp.AllocReduction = 1 - cells[0].AllocsPerOp/cells[1].AllocsPerOp
+				}
+				report.Speedups = append(report.Speedups, sp)
 			}
-			sp := E2ESpeedup{Workloads: n, Mode: mode}
-			if cells[0].NsPerOp > 0 {
-				sp.Speedup = cells[1].NsPerOp / cells[0].NsPerOp
-			}
-			if cells[1].AllocsPerOp > 0 {
-				sp.AllocReduction = 1 - cells[0].AllocsPerOp/cells[1].AllocsPerOp
-			}
-			report.Speedups = append(report.Speedups, sp)
 		}
 	}
 	return report, nil
@@ -197,7 +218,7 @@ type e2eUnit struct {
 	body []byte
 }
 
-func measureE2E(n int, path, mode string, cache int, opts E2EOptions, pols map[string]*validator.Validator) (E2EResult, error) {
+func measureE2E(n int, path, mode, encoding string, cache int, opts E2EOptions, pols map[string]*validator.Validator) (E2EResult, error) {
 	reg, fleet, err := BuildFleet(n, cache, pols)
 	if err != nil {
 		return E2EResult{}, err
@@ -211,12 +232,20 @@ func measureE2E(n int, path, mode string, cache int, opts E2EOptions, pols map[s
 	if err != nil {
 		return E2EResult{}, err
 	}
+	contentType := "application/json"
+	if encoding == "yaml" {
+		contentType = "application/yaml"
+	}
 	var units []e2eUnit
 	for _, wl := range fleet {
-		for _, body := range wl.Bodies {
+		bodies := wl.Bodies
+		if encoding == "yaml" {
+			bodies = wl.YAMLBodies
+		}
+		for _, body := range bodies {
 			req := httptest.NewRequest(http.MethodPost,
 				"/api/v1/namespaces/"+wl.Namespace+"/resources", nil)
-			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("Content-Type", contentType)
 			req.Header.Set("X-Remote-User", "operator:"+wl.Name)
 			rdr := bytes.NewReader(body)
 			req.Body = resettableBody{rdr}
@@ -270,6 +299,7 @@ func measureE2E(n int, path, mode string, cache int, opts E2EOptions, pols map[s
 		Workloads:   n,
 		Path:        path,
 		Mode:        mode,
+		Encoding:    encoding,
 		Requests:    iters,
 		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
 		P50Ns:       percentile(durs, 0.50).Nanoseconds(),
@@ -298,18 +328,18 @@ func measureE2E(n int, path, mode string, cache int, opts E2EOptions, pols map[s
 func RenderE2E(r *E2EReport) string {
 	var b strings.Builder
 	b.WriteString("End-to-end admission path: streaming raw-bytes pipeline vs decode-first baseline\n\n")
-	fmt.Fprintf(&b, "%-10s %-8s %-6s %-12s %-10s %-10s %-12s %-12s %s\n",
-		"workloads", "path", "mode", "ns/op", "p50", "p99", "allocs/op", "bytes/op", "raw-allowed")
+	fmt.Fprintf(&b, "%-10s %-8s %-6s %-6s %-12s %-10s %-10s %-12s %-12s %s\n",
+		"workloads", "path", "mode", "enc", "ns/op", "p50", "p99", "allocs/op", "bytes/op", "raw-allowed")
 	for _, res := range r.Results {
-		fmt.Fprintf(&b, "%-10d %-8s %-6s %-12.0f %-10s %-10s %-12.1f %-12.0f %d\n",
-			res.Workloads, res.Path, res.Mode, res.NsPerOp,
+		fmt.Fprintf(&b, "%-10d %-8s %-6s %-6s %-12.0f %-10s %-10s %-12.1f %-12.0f %d\n",
+			res.Workloads, res.Path, res.Mode, normEncoding(res.Encoding), res.NsPerOp,
 			time.Duration(res.P50Ns), time.Duration(res.P99Ns),
 			res.AllocsPerOp, res.BytesPerOp, res.RawAllowed)
 	}
 	b.WriteString("\n")
 	for _, sp := range r.Speedups {
-		fmt.Fprintf(&b, "workloads=%-3d mode=%-4s fast-path speedup %.2fx, %.0f%% fewer allocs/op\n",
-			sp.Workloads, sp.Mode, sp.Speedup, sp.AllocReduction*100)
+		fmt.Fprintf(&b, "workloads=%-3d mode=%-4s enc=%-4s fast-path speedup %.2fx, %.0f%% fewer allocs/op\n",
+			sp.Workloads, sp.Mode, normEncoding(sp.Encoding), sp.Speedup, sp.AllocReduction*100)
 	}
 	return strings.TrimRight(b.String(), "\n")
 }

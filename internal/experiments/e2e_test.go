@@ -15,43 +15,47 @@ func TestE2EExperiment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// 1 fleet size x 2 cache modes x 2 paths.
-	if len(report.Results) != 4 {
-		t.Fatalf("results = %d, want 4", len(report.Results))
+	// 1 fleet size x 2 cache modes x 2 paths x 2 encodings.
+	if len(report.Results) != 8 {
+		t.Fatalf("results = %d, want 8", len(report.Results))
 	}
-	for _, path := range []string{"fast", "decode"} {
-		for _, mode := range []string{"cold", "hot"} {
-			res := report.Result(1, path, mode)
-			if res == nil {
-				t.Fatalf("missing cell path=%s mode=%s", path, mode)
-			}
-			if res.NsPerOp <= 0 || res.P99Ns < res.P50Ns {
-				t.Errorf("implausible cell %+v", res)
-			}
-			if path == "fast" && res.RawAllowed == 0 {
-				t.Errorf("fast cell decided nothing raw: %+v", res)
-			}
-			if path == "decode" && res.RawAllowed != 0 {
-				t.Errorf("decode cell used the raw path: %+v", res)
+	for _, encoding := range []string{"json", "yaml"} {
+		for _, path := range []string{"fast", "decode"} {
+			for _, mode := range []string{"cold", "hot"} {
+				res := report.Result(1, path, mode, encoding)
+				if res == nil {
+					t.Fatalf("missing cell path=%s mode=%s encoding=%s", path, mode, encoding)
+				}
+				if res.NsPerOp <= 0 || res.P99Ns < res.P50Ns {
+					t.Errorf("implausible cell %+v", res)
+				}
+				if path == "fast" && res.RawAllowed == 0 {
+					t.Errorf("fast cell decided nothing raw: %+v", res)
+				}
+				if path == "decode" && res.RawAllowed != 0 {
+					t.Errorf("decode cell used the raw path: %+v", res)
+				}
 			}
 		}
-	}
-	// The allowed-request fast path must allocate measurably less than
-	// the decode baseline — the acceptance bar is >=50% fewer allocs on
-	// the cold path; the committed baseline records the real margin.
-	sp := report.Speedup(1, "cold")
-	if sp == nil {
-		t.Fatal("missing cold speedup summary")
-	}
-	if sp.AllocReduction < 0.5 {
-		t.Errorf("cold alloc reduction = %.2f, want >= 0.5", sp.AllocReduction)
-	}
-	// Wall-clock speedup is asserted by benchgate on real measurement
-	// runs, not here: under -race or a noisy CI scheduler a 300-request
-	// sample can invert. Allocation counts are deterministic, so the
-	// reduction check above is the load-bearing one.
-	if sp.Speedup <= 0 {
-		t.Errorf("cold fast-path speedup = %.2fx, want > 0", sp.Speedup)
+		// The allowed-request fast path must allocate measurably less
+		// than the decode baseline — the acceptance bar is >=50% fewer
+		// allocs on the cold path for BOTH encodings; the committed
+		// baseline records the real margins.
+		sp := report.Speedup(1, "cold", encoding)
+		if sp == nil {
+			t.Fatalf("missing cold %s speedup summary", encoding)
+		}
+		if sp.AllocReduction < 0.5 {
+			t.Errorf("cold %s alloc reduction = %.2f, want >= 0.5", encoding, sp.AllocReduction)
+		}
+		// Wall-clock speedup is asserted by benchgate on real
+		// measurement runs, not here: under -race or a noisy CI
+		// scheduler a 300-request sample can invert. Allocation counts
+		// are deterministic, so the reduction check above is the
+		// load-bearing one.
+		if sp.Speedup <= 0 {
+			t.Errorf("cold %s fast-path speedup = %.2fx, want > 0", encoding, sp.Speedup)
+		}
 	}
 
 	// The report round-trips through JSON (BENCH_e2e.json contract).
@@ -63,7 +67,7 @@ func TestE2EExperiment(t *testing.T) {
 	if err := json.Unmarshal(data, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back.Result(1, "fast", "cold") == nil {
+	if back.Result(1, "fast", "cold", "json") == nil || back.Result(1, "fast", "cold", "yaml") == nil {
 		t.Error("JSON round trip lost cells")
 	}
 

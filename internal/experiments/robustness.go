@@ -38,6 +38,12 @@ type RobustnessOptions struct {
 	// Seed) to the chart corpus, scaling the matrix past the five
 	// hand-written charts.
 	Synth int
+	// YAMLWire encodes every event body — benign trace and full
+	// mutation matrix — as a YAML manifest, replaying the whole run
+	// through the proxy's YAML raw pipeline (streaming scan + match,
+	// decode fallback) instead of the JSON one. Encodings are
+	// round-trip-verified so a codec drift cannot score a hollow pass.
+	YAMLWire bool
 }
 
 // RobustnessResult is the machine-readable outcome: the replay scores
@@ -49,6 +55,8 @@ type RobustnessResult struct {
 	CacheSize         int      `json:"cache_size"`
 	CacheHits         uint64   `json:"cache_hits"`
 	Engine            string   `json:"engine"`
+	// Wire is the body encoding the trace traveled as: "json" or "yaml".
+	Wire string `json:"wire"`
 
 	replay.Result
 }
@@ -71,6 +79,10 @@ func Robustness(opts RobustnessOptions) (*RobustnessResult, error) {
 		CacheSize:   opts.CacheSize,
 		Interpreted: opts.Interpreted,
 	})
+	benignEvent, attackEvent := replay.BenignEvent, replay.AttackEvent
+	if opts.YAMLWire {
+		benignEvent, attackEvent = replay.BenignEventYAML, replay.AttackEventYAML
+	}
 	var events []replay.Event
 	for _, name := range names {
 		pol, ok := pols[name]
@@ -97,7 +109,7 @@ func Robustness(opts RobustnessOptions) (*RobustnessResult, error) {
 		// reconcile-loop re-apply (update) of every object.
 		for _, o := range objs {
 			for _, method := range []string{"POST", "PUT"} {
-				ev, err := replay.BenignEvent(name, o, method)
+				ev, err := benignEvent(name, o, method)
 				if err != nil {
 					return nil, err
 				}
@@ -109,7 +121,7 @@ func Robustness(opts RobustnessOptions) (*RobustnessResult, error) {
 			return nil, err
 		}
 		for _, sc := range scs {
-			ev, err := replay.AttackEvent(name, sc)
+			ev, err := attackEvent(name, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -132,7 +144,7 @@ func Robustness(opts RobustnessOptions) (*RobustnessResult, error) {
 			}
 			for _, o := range w.Objects {
 				for _, method := range []string{"POST", "PUT"} {
-					ev, err := replay.BenignEvent(w.Name, o, method)
+					ev, err := benignEvent(w.Name, o, method)
 					if err != nil {
 						return nil, err
 					}
@@ -144,7 +156,7 @@ func Robustness(opts RobustnessOptions) (*RobustnessResult, error) {
 				return nil, err
 			}
 			for _, sc := range scs {
-				ev, err := replay.AttackEvent(w.Name, sc)
+				ev, err := attackEvent(w.Name, sc)
 				if err != nil {
 					return nil, err
 				}
@@ -176,12 +188,17 @@ func Robustness(opts RobustnessOptions) (*RobustnessResult, error) {
 	if opts.Interpreted {
 		engine = "interpreted"
 	}
+	wire := "json"
+	if opts.YAMLWire {
+		wire = "yaml"
+	}
 	out := &RobustnessResult{
 		Charts:            names,
 		SynthWorkloads:    opts.Synth,
 		MaxPerAttackClass: opts.MaxPerAttackClass,
 		CacheSize:         opts.CacheSize,
 		Engine:            engine,
+		Wire:              wire,
 		Result:            *res,
 	}
 	for _, m := range reg.Metrics() {
@@ -194,8 +211,12 @@ func Robustness(opts RobustnessOptions) (*RobustnessResult, error) {
 func RenderRobustness(r *RobustnessResult) string {
 	var b strings.Builder
 	b.WriteString("Adversarial robustness: mutated Table II attacks + benign trace replay\n\n")
-	fmt.Fprintf(&b, "charts: %s   engine: %s   concurrency: %d   seed: %d   cache: %d (hits %d)\n",
-		strings.Join(r.Charts, ","), r.Engine, r.Concurrency, r.Seed, r.CacheSize, r.CacheHits)
+	wire := r.Wire
+	if wire == "" {
+		wire = "json"
+	}
+	fmt.Fprintf(&b, "charts: %s   engine: %s   wire: %s   concurrency: %d   seed: %d   cache: %d (hits %d)\n",
+		strings.Join(r.Charts, ","), r.Engine, wire, r.Concurrency, r.Seed, r.CacheSize, r.CacheHits)
 	if r.SynthWorkloads > 0 {
 		fmt.Fprintf(&b, "synthetic corpus: %d generated workloads (internal/synth, seed %d)\n",
 			r.SynthWorkloads, r.Seed)

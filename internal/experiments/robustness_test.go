@@ -71,6 +71,52 @@ func TestRobustnessFullMatrix(t *testing.T) {
 	}
 }
 
+// TestRobustnessYAMLWireReducedMatrix replays the CI-sized matrix with
+// every body on the YAML wire, exercising the proxy's YAML raw pipeline
+// (streaming scan + match with decode fallback) end to end.
+func TestRobustnessYAMLWireReducedMatrix(t *testing.T) {
+	res, err := Robustness(RobustnessOptions{
+		Charts:            []string{"nginx", "mlflow"},
+		Concurrency:       4,
+		Seed:              7,
+		MaxPerAttackClass: 2,
+		CacheSize:         1024,
+		YAMLWire:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Errorf("YAML-wire reduced run not clean: FN=%d FP=%d errors=%d mismatches=%v",
+			res.FalseNegatives, res.FalsePositives, res.Errors, res.Mismatches)
+	}
+	if res.Wire != "yaml" {
+		t.Errorf("result wire = %q, want yaml", res.Wire)
+	}
+}
+
+// TestRobustnessYAMLWireFullMatrix is the YAML-pipeline acceptance gate:
+// the complete mutation matrix across every builtin chart, every body a
+// YAML manifest, zero false negatives and zero false positives.
+func TestRobustnessYAMLWireFullMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full adversarial matrix")
+	}
+	res, err := Robustness(RobustnessOptions{
+		Concurrency: 8, Seed: 1, CacheSize: 4096, YAMLWire: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AttackEvents < 500 {
+		t.Errorf("full YAML-wire matrix generated %d scenarios, want >= 500", res.AttackEvents)
+	}
+	if !res.Clean() {
+		t.Errorf("full YAML-wire run not clean: FN=%d FP=%d errors=%d mismatches=%v",
+			res.FalseNegatives, res.FalsePositives, res.Errors, res.Mismatches)
+	}
+}
+
 // TestRobustnessUnknownChart rejects typos instead of silently shrinking
 // the matrix.
 func TestRobustnessUnknownChart(t *testing.T) {

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/chart"
 	"repro/internal/charts"
+	"repro/internal/object"
 	"repro/internal/proxy"
 	"repro/internal/registry"
 	"repro/internal/validator"
@@ -82,12 +83,16 @@ func (NullTransport) RoundTrip(r *http.Request) (*http.Response, error) {
 	}, nil
 }
 
-// FleetWorkload is one registered tenant plus its legitimate JSON
+// FleetWorkload is one registered tenant plus its legitimate
 // request corpus, rendered into the tenant's own namespace.
 type FleetWorkload struct {
 	Name      string
 	Namespace string
-	Bodies    [][]byte
+	// Bodies are the workload's rendered objects as JSON request bodies;
+	// YAMLBodies are the same objects on the YAML wire (round-trip
+	// verified), for experiments that drive the YAML raw pipeline.
+	Bodies     [][]byte
+	YAMLBodies [][]byte
 }
 
 // BuildFleet builds a registry of n workload policies (cycling the
@@ -128,18 +133,30 @@ func BuildFleetWith(cfg registry.Config, n int, pols map[string]*validator.Valid
 		if err != nil {
 			return nil, nil, err
 		}
-		var bodies [][]byte
+		var bodies, yamlBodies [][]byte
 		for _, o := range chart.Objects(files) {
 			data, err := json.Marshal(o)
 			if err != nil {
 				return nil, nil, err
 			}
 			bodies = append(bodies, data)
+			ydata, err := o.MarshalYAML()
+			if err != nil {
+				return nil, nil, err
+			}
+			back, err := object.ParseManifest(ydata)
+			if err != nil {
+				return nil, nil, fmt.Errorf("workload %s: YAML reparse: %w", name, err)
+			}
+			if !object.Equal(map[string]any(o), map[string]any(back)) {
+				return nil, nil, fmt.Errorf("workload %s: YAML round trip altered an object", name)
+			}
+			yamlBodies = append(yamlBodies, ydata)
 		}
 		if len(bodies) == 0 {
 			return nil, nil, fmt.Errorf("workload %s rendered no objects", name)
 		}
-		fleet = append(fleet, FleetWorkload{Name: name, Namespace: name, Bodies: bodies})
+		fleet = append(fleet, FleetWorkload{Name: name, Namespace: name, Bodies: bodies, YAMLBodies: yamlBodies})
 	}
 	return reg, fleet, nil
 }

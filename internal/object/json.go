@@ -31,13 +31,25 @@ func ParseJSON(data []byte) (Object, error) {
 	return Object(m), nil
 }
 
+// maxDecodeDepth bounds the nesting the token-stream decoder accepts,
+// matching the limit encoding/json's own Decode enforces.
+const maxDecodeDepth = 10000
+
 // DecodeJSON decodes an arbitrary JSON document with the same
-// precision-preserving number normalization as ParseJSON.
+// precision-preserving number normalization as ParseJSON. Unlike
+// json.Unmarshal it REJECTS duplicate object keys: last-writer-wins
+// decoding would let an early occurrence of a key smuggle a sibling
+// value past any validator that only sees the decoded map (and past
+// upstream parsers that keep the first occurrence instead), so a
+// duplicated key is a decode error — the same stance the YAML decoder
+// takes. The streaming raw matcher relies on this: it falls back on
+// duplicates, and the decode path it falls back TO must not quietly
+// collapse them.
 func DecodeJSON(data []byte) (any, error) {
 	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.UseNumber()
-	var v any
-	if err := dec.Decode(&v); err != nil {
+	v, err := decodeValue(dec, 0)
+	if err != nil {
 		return nil, err
 	}
 	// Mirror json.Unmarshal's strictness: trailing non-space content
@@ -45,32 +57,68 @@ func DecodeJSON(data []byte) (any, error) {
 	if _, err := dec.Token(); err != io.EOF {
 		return nil, fmt.Errorf("object: trailing data after JSON document")
 	}
-	return normalizeNumbers(v)
+	return v, nil
 }
 
-// normalizeNumbers rewrites every json.Number in a decoded tree to
-// int64 (exact integers) or float64 (everything else), in place where
-// possible.
-func normalizeNumbers(v any) (any, error) {
-	switch t := v.(type) {
-	case map[string]any:
-		for k, val := range t {
-			nv, err := normalizeNumbers(val)
-			if err != nil {
+// decodeValue consumes one value from the token stream, normalizing
+// numbers as it goes and rejecting duplicate object keys.
+func decodeValue(dec *json.Decoder, depth int) (any, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("object: unexpected end of JSON document")
+		}
+		return nil, err
+	}
+	return decodeFromToken(dec, tok, depth)
+}
+
+func decodeFromToken(dec *json.Decoder, tok json.Token, depth int) (any, error) {
+	if depth > maxDecodeDepth {
+		return nil, fmt.Errorf("object: JSON document exceeds max nesting depth %d", maxDecodeDepth)
+	}
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '{':
+			m := map[string]any{}
+			for dec.More() {
+				keyTok, err := dec.Token()
+				if err != nil {
+					return nil, err
+				}
+				key, ok := keyTok.(string)
+				if !ok {
+					return nil, fmt.Errorf("object: non-string object key %v", keyTok)
+				}
+				if _, dup := m[key]; dup {
+					return nil, fmt.Errorf("object: duplicate key %q in JSON object", key)
+				}
+				val, err := decodeValue(dec, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				m[key] = val
+			}
+			if _, err := dec.Token(); err != nil { // closing '}'
 				return nil, err
 			}
-			t[k] = nv
-		}
-		return t, nil
-	case []any:
-		for i, val := range t {
-			nv, err := normalizeNumbers(val)
-			if err != nil {
+			return m, nil
+		case '[':
+			a := []any{}
+			for dec.More() {
+				val, err := decodeValue(dec, depth+1)
+				if err != nil {
+					return nil, err
+				}
+				a = append(a, val)
+			}
+			if _, err := dec.Token(); err != nil { // closing ']'
 				return nil, err
 			}
-			t[i] = nv
+			return a, nil
 		}
-		return t, nil
+		return nil, fmt.Errorf("object: unexpected delimiter %v", t)
 	case json.Number:
 		if i, err := t.Int64(); err == nil {
 			return i, nil
@@ -80,7 +128,7 @@ func normalizeNumbers(v any) (any, error) {
 		}
 		return nil, fmt.Errorf("object: number %q overflows every supported numeric type", string(t))
 	default:
-		return v, nil
+		return t, nil // string, bool, or nil
 	}
 }
 

@@ -153,3 +153,53 @@ func TestEmptyContentTypeDefaultsToJSON(t *testing.T) {
 		t.Errorf("forwarded = %d, want 1", *forwarded)
 	}
 }
+
+// TestContentTypeRouting pins the media-type allowlist: real clients
+// attach parameters ("application/json; charset=utf-8") that a proper
+// RFC 2045 parse must not reject, the documented YAML aliases all route
+// to the YAML decoder, and everything else — including types that merely
+// CONTAIN the substring "json", which the old substring match waved
+// through — fails closed with 415.
+func TestContentTypeRouting(t *testing.T) {
+	jsonBody := `{"kind":"ConfigMap","apiVersion":"v1",` +
+		`"metadata":{"name":"kfrel-cm","namespace":"default"},"data":{"key":"v"}}`
+	yamlBody := "apiVersion: v1\nkind: ConfigMap\nmetadata:\n  name: kfrel-cm\n  namespace: default\ndata:\n  key: v\n"
+
+	cases := []struct {
+		name        string
+		contentType string
+		body        string
+		wantCode    int
+	}{
+		{"json bare", "application/json", jsonBody, http.StatusOK},
+		{"json with charset", "application/json; charset=utf-8", jsonBody, http.StatusOK},
+		{"json uppercase type", "Application/JSON", jsonBody, http.StatusOK},
+		{"text json", "text/json", jsonBody, http.StatusOK},
+		{"yaml bare", "application/yaml", yamlBody, http.StatusOK},
+		{"yaml with charset", "application/yaml; charset=utf-8", yamlBody, http.StatusOK},
+		{"text yaml", "text/yaml", yamlBody, http.StatusOK},
+		{"x-yaml", "application/x-yaml", yamlBody, http.StatusOK},
+		{"xml", "application/xml", `<ConfigMap/>`, http.StatusUnsupportedMediaType},
+		{"substring json smuggle", "application/not-json-at-all", jsonBody, http.StatusUnsupportedMediaType},
+		{"substring yaml smuggle", "text/yamlish", yamlBody, http.StatusUnsupportedMediaType},
+		{"protobuf", "application/vnd.kubernetes.protobuf", jsonBody, http.StatusUnsupportedMediaType},
+		{"malformed parameters", "application/json; charset", jsonBody, http.StatusUnsupportedMediaType},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, ts, forwarded := failFixture(t)
+			resp := post(t, ts.URL+"/api/v1/namespaces/default/configmaps", tc.contentType, tc.body)
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("content type %q: code = %d, want %d",
+					tc.contentType, resp.StatusCode, tc.wantCode)
+			}
+			wantForwarded := 0
+			if tc.wantCode == http.StatusOK {
+				wantForwarded = 1
+			}
+			if *forwarded != wantForwarded {
+				t.Errorf("forwarded = %d, want %d", *forwarded, wantForwarded)
+			}
+		})
+	}
+}

@@ -9,17 +9,19 @@
 // the offending field paths and reasons, enabling the auditing and
 // forensics the paper describes.
 //
-// The admission data path is streaming-first: for JSON bodies of
-// enforce-mode workloads, routing metadata (kind, namespace, name) is
-// scanned straight off the wire bytes (compile.ScanRawMeta), the
+// The admission data path is streaming-first: for JSON and YAML bodies
+// of enforce-mode workloads, routing metadata (kind, namespace, name)
+// is scanned straight off the wire bytes (compile.ScanRawMeta /
+// compile.ScanRawYAMLMeta), the workload policy is resolved through the
+// registry's match trie without materializing strings (ResolveRaw), the
 // workload's decision-cache shard is consulted on the body hash, and
 // the compiled program's streaming fast pass walks the raw bytes — so
 // an ALLOWED request is never decoded into a document at all. Request
 // bodies live in pooled buffers returned to the pool when the upstream
 // round trip completes. Only deny verdicts, cache-missed shadow/learn
-// traffic, YAML bodies, tap-equipped proxies, and constructs the
-// scanner cannot vouch for take the classic decode + diagnostic path,
-// whose verdicts and violation lists the raw path reproduces exactly
+// traffic, tap-equipped proxies, and constructs the scanners cannot
+// vouch for take the classic decode + diagnostic path, whose verdicts
+// and violation lists the raw path reproduces exactly
 // (registry.ValidateRaw contract).
 //
 // Identity is propagated upstream via the front-proxy headers
@@ -50,6 +52,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
 	"strings"
 	"sync"
@@ -365,7 +368,8 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if inspectable(r.Method) && len(body) > 0 {
 		p.inspected.Add(1)
 		contentType := r.Header.Get("Content-Type")
-		if !supportedContentType(contentType) {
+		format, ok := bodyFormat(contentType)
+		if !ok {
 			p.deny(w, r, user, nil, "", "", http.StatusUnsupportedMediaType, []validator.Violation{{
 				Reason: fmt.Sprintf("unsupported content type %q for an inspected request", contentType),
 			}})
@@ -374,22 +378,38 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 		start := time.Now()
 
-		// Streaming fast path: decide JSON requests straight off the
-		// wire bytes whenever possible. ScanRawMeta succeeding
-		// guarantees the body decodes and the extracted routing fields
-		// equal the decoded accessors, so resolving before decoding is
-		// observationally identical to the classic order. Taps force the
-		// decode path (they consume the object); non-enforce modes fall
-		// through (learn feeds the miner, shadow records diagnostics).
-		if !p.disableRaw && p.tap == nil && !strings.Contains(contentType, "yaml") {
-			if meta, ok := compile.ScanRawMeta(body); ok {
-				namespace := string(meta.Namespace)
-				if namespace == "" {
-					namespace = requestNamespace(r.URL.Path)
+		// Streaming fast path: decide requests straight off the wire
+		// bytes whenever possible, for both encodings. The scanners
+		// succeeding guarantees the body decodes and the extracted
+		// routing fields equal the decoded accessors, so resolving
+		// before decoding is observationally identical to the classic
+		// order; ResolveRaw probes the registry's match trie on the
+		// scanned byte slices without materializing strings. Taps force
+		// the decode path (they consume the object); non-enforce modes
+		// fall through (learn feeds the miner, shadow records
+		// diagnostics).
+		if !p.disableRaw && p.tap == nil {
+			var meta compile.RawMeta
+			var scanned bool
+			if format == formatYAML {
+				meta, scanned = compile.ScanRawYAMLMeta(body)
+			} else {
+				meta, scanned = compile.ScanRawMeta(body)
+			}
+			if scanned {
+				var entry *registry.Entry
+				var found bool
+				if len(meta.Namespace) > 0 {
+					entry, found = p.registry.ResolveRaw(meta.Namespace, meta.Kind)
+				} else {
+					entry, found = p.registry.Resolve(requestNamespace(r.URL.Path), string(meta.Kind))
 				}
-				kind := string(meta.Kind)
-				entry, found := p.registry.Resolve(namespace, kind)
 				if !found {
+					namespace := string(meta.Namespace)
+					if namespace == "" {
+						namespace = requestNamespace(r.URL.Path)
+					}
+					kind := string(meta.Kind)
 					p.valNanos.Add(int64(time.Since(start)))
 					p.reject(w, r, user, nil, kind, string(meta.Name), []validator.Violation{{
 						Reason: fmt.Sprintf("no KubeFence policy registered for namespace %q kind %q",
@@ -399,12 +419,18 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 					return
 				}
 				if entry.Mode() == registry.ModeEnforce {
-					vs, decided := p.registry.ValidateRawScanned(entry, body, meta)
+					var vs []validator.Violation
+					var decided bool
+					if format == formatYAML {
+						vs, decided = p.registry.ValidateRawYAMLScanned(entry, body, meta)
+					} else {
+						vs, decided = p.registry.ValidateRawScanned(entry, body, meta)
+					}
 					if decided {
 						p.valNanos.Add(int64(time.Since(start)))
 						if len(vs) > 0 {
 							p.rawDenied.Add(1)
-							p.reject(w, r, user, entry, kind, string(meta.Name), vs)
+							p.reject(w, r, user, entry, string(meta.Kind), string(meta.Name), vs)
 							releaseBody()
 							return
 						}
@@ -416,7 +442,7 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 
-		obj, err := decodeObject(body, contentType)
+		obj, err := decodeObject(body, format)
 		if err != nil {
 			p.valNanos.Add(int64(time.Since(start)))
 			p.reject(w, r, user, nil, "", "", []validator.Violation{{
@@ -503,21 +529,47 @@ func inspectable(method string) bool {
 	return false
 }
 
-// supportedContentType reports whether the proxy can parse the body.
-// An empty content type defaults to JSON (kubectl and client-go always
-// set one; bare tooling often doesn't).
-func supportedContentType(contentType string) bool {
-	return contentType == "" ||
-		strings.Contains(contentType, "json") ||
-		strings.Contains(contentType, "yaml")
+// bodyFormat values route an inspected body to its decoder family.
+type bodyFormatKind int
+
+const (
+	formatJSON bodyFormatKind = iota
+	formatYAML
+)
+
+// bodyFormat classifies the Content-Type of an inspected request. The
+// header is parsed as a proper media type (RFC 2045), so parameters a
+// real client attaches ("application/json; charset=utf-8") don't change
+// the verdict — a substring match would also have waved through any
+// type that merely *mentions* json ("application/not-json-at-all"),
+// which is exactly the kind of routing ambiguity an enforcement point
+// cannot afford. Unknown base types stay fail-closed (415): a body the
+// proxy would misparse is a body it must not vouch for. An empty
+// content type defaults to JSON (kubectl and client-go always set one;
+// bare tooling often doesn't).
+func bodyFormat(contentType string) (bodyFormatKind, bool) {
+	if contentType == "" {
+		return formatJSON, true
+	}
+	mediaType, _, err := mime.ParseMediaType(contentType)
+	if err != nil {
+		return 0, false
+	}
+	switch mediaType {
+	case "application/json", "text/json":
+		return formatJSON, true
+	case "application/yaml", "text/yaml", "application/x-yaml":
+		return formatYAML, true
+	}
+	return 0, false
 }
 
 // decodeObject decodes an inspected body. JSON goes through the
 // precision-preserving decoder (object.ParseJSON): numbers normalize to
 // int64 when exact, so large integers survive to the validators instead
 // of being rounded to the nearest float64 before the policy sees them.
-func decodeObject(body []byte, contentType string) (object.Object, error) {
-	if strings.Contains(contentType, "yaml") {
+func decodeObject(body []byte, format bodyFormatKind) (object.Object, error) {
+	if format == formatYAML {
 		return object.ParseManifest(body)
 	}
 	return object.ParseJSON(body)

@@ -229,10 +229,11 @@ func TestPooledBuffersSurviveConcurrency(t *testing.T) {
 	}
 }
 
-// TestRawFastPathYAMLTakesDecodePath: YAML bodies cannot be raw-scanned.
-func TestRawFastPathYAMLTakesDecodePath(t *testing.T) {
-	p := newRawPathProxy(t, nil)
-	y, err := goodDeployment().MarshalYAML()
+// postYAML serializes the object as a YAML manifest and posts it with a
+// YAML content type.
+func postYAML(t *testing.T, p *Proxy, o object.Object) *httptest.ResponseRecorder {
+	t.Helper()
+	y, err := o.MarshalYAML()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,11 +242,56 @@ func TestRawFastPathYAMLTakesDecodePath(t *testing.T) {
 	req.Header.Set("Content-Type", "application/yaml")
 	rec := httptest.NewRecorder()
 	p.ServeHTTP(rec, req)
-	if rec.Code != http.StatusOK {
+	return rec
+}
+
+// TestRawFastPathYAMLVouches: a plain YAML manifest of an enforce-mode
+// workload is decided straight off the wire bytes, never decoded.
+func TestRawFastPathYAMLVouches(t *testing.T) {
+	p := newRawPathProxy(t, nil)
+	o := goodDeployment()
+	// The YAML encoder renders float64(2) as "2.0", which the raw
+	// matcher (correctly) refuses to vouch for against an int-typed
+	// policy cell; an integral literal keeps the body on the fast path.
+	if err := object.Set(o, "spec.replicas", int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	if rec := postYAML(t, p, o); rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	if m := p.Metrics(); m.RawAllowed != 1 {
+		t.Errorf("YAML body was not decided on the raw path: %+v", m)
+	}
+}
+
+// TestRawFastPathYAMLFloatForIntFallsBack: a YAML float literal feeding
+// an int-typed policy cell is undecidable on the raw path — the proxy
+// must fall back to the decode path and still allow the request.
+func TestRawFastPathYAMLFloatForIntFallsBack(t *testing.T) {
+	p := newRawPathProxy(t, nil)
+	if rec := postYAML(t, p, goodDeployment()); rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 	}
 	if m := p.Metrics(); m.RawAllowed != 0 {
-		t.Errorf("YAML body went through the raw path: %+v", m)
+		t.Errorf("undecidable YAML body was vouched for on the raw path: %+v", m)
+	}
+}
+
+// TestRawFastPathYAMLDeniesViaDecode: a violating YAML body is never
+// vouched for by the raw pass; the decode path denies it with full
+// diagnostics.
+func TestRawFastPathYAMLDeniesViaDecode(t *testing.T) {
+	p := newRawPathProxy(t, nil)
+	o := badDeployment()
+	if err := object.Set(o, "spec.replicas", int64(2)); err != nil {
+		t.Fatal(err)
+	}
+	rec := postYAML(t, p, o)
+	if rec.Code != http.StatusForbidden {
+		t.Fatalf("violating YAML body not denied: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if m := p.Metrics(); m.RawAllowed != 0 {
+		t.Errorf("violating YAML body was vouched for: %+v", m)
 	}
 }
 

@@ -319,6 +319,82 @@ type Config struct {
 	ShadowWindow int
 }
 
+// resolveIndex is the registry-wide match trie: entries bucketed by the
+// (namespace, kind) signals resolution consults, rebuilt on every
+// registry mutation. Bucket membership fully determines a selector's
+// specificity (namespace+kind = 3, namespace = 2, kind = 1, wildcard =
+// 0), so a lookup probes at most four buckets in strictly decreasing
+// specificity instead of scanning every registered entry — resolution
+// cost stays flat as the fleet grows to hundreds of workloads. Each
+// bucket holds only its winner (lowest registration order): ties inside
+// a bucket are always same-specificity, so the first entry inserted in
+// resolution order is the one the linear scan would have returned.
+type resolveIndex struct {
+	// nsKind wins for entries selecting both a namespace and kinds.
+	nsKind map[string]map[string]*Entry
+	// nsAny holds namespace-only selectors.
+	nsAny map[string]*Entry
+	// kindOnly holds kind-only selectors, keyed per kind.
+	kindOnly map[string]*Entry
+	// wildcard is the zero-selector catch-all entry, if any.
+	wildcard *Entry
+	// cluster maps a claimed cluster-scoped kind to the single entry
+	// that claimed it (uniqueness is enforced at registration). The
+	// claiming entry competes for namespace-less objects at its own
+	// selector's specificity, exactly as in the linear scan.
+	cluster map[string]*Entry
+}
+
+// lookup resolves (namespace, kind) against the trie with the same
+// semantics as scanning the sorted entry list: most specific match
+// first, registration order breaking ties.
+func (ix *resolveIndex) lookup(namespace, kind string) (*Entry, bool) {
+	if namespace != "" {
+		if e := ix.nsKind[namespace][kind]; e != nil {
+			return e, true
+		}
+		if e := ix.nsAny[namespace]; e != nil {
+			return e, true
+		}
+		if e := ix.kindOnly[kind]; e != nil {
+			return e, true
+		}
+		if ix.wildcard != nil {
+			return ix.wildcard, true
+		}
+		return nil, false
+	}
+	// Namespace-less objects: a cluster-kind claim competes at the
+	// claiming selector's own specificity against kind-only and
+	// wildcard entries (namespace selectors cannot match directly).
+	best := ix.cluster[kind]
+	best = preferEntry(best, ix.kindOnly[kind])
+	best = preferEntry(best, ix.wildcard)
+	return best, best != nil
+}
+
+// preferEntry keeps the candidate the sorted linear scan would see
+// first: higher selector specificity, then lower registration order.
+func preferEntry(a, b *Entry) *Entry {
+	if a == nil {
+		return b
+	}
+	if b == nil || a == b {
+		return a
+	}
+	sa, sb := a.selector.specificity(), b.selector.specificity()
+	if sa != sb {
+		if sa > sb {
+			return a
+		}
+		return b
+	}
+	if a.order <= b.order {
+		return a
+	}
+	return b
+}
+
 // Registry holds the workload policy entries of one enforcement point.
 // Register/Swap/Deregister/Resolve are all safe for concurrent use; the
 // hot path (Resolve + Validate) takes only a read lock plus atomic loads
@@ -327,9 +403,14 @@ type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
 	// resolution is the entry list sorted by (specificity desc, order
-	// asc), rebuilt on every mutation so Resolve is a single scan.
+	// asc). The trie below answers lookups; the sorted list is kept as
+	// the executable specification the trie is differentially tested
+	// against (resolveScan).
 	resolution []*Entry
-	nextOrder  int
+	// index is the registry-wide match trie rebuilt alongside
+	// resolution; Resolve and ResolveRaw probe it instead of scanning.
+	index     resolveIndex
+	nextOrder int
 	// gens issues policy generations for all entries; see Entry.gen.
 	gens atomic.Uint64
 
@@ -471,7 +552,8 @@ func (r *Registry) Deregister(workload string) bool {
 	return true
 }
 
-// rebuildLocked recomputes the resolution order. Callers hold r.mu.
+// rebuildLocked recomputes the resolution order and the match trie.
+// Callers hold r.mu.
 func (r *Registry) rebuildLocked() {
 	res := make([]*Entry, 0, len(r.entries))
 	for _, e := range r.entries {
@@ -485,12 +567,96 @@ func (r *Registry) rebuildLocked() {
 		return res[i].order < res[j].order
 	})
 	r.resolution = res
+
+	ix := resolveIndex{
+		nsKind:   map[string]map[string]*Entry{},
+		nsAny:    map[string]*Entry{},
+		kindOnly: map[string]*Entry{},
+		cluster:  map[string]*Entry{},
+	}
+	// Walking the sorted list and inserting only into empty bucket
+	// slots makes every bucket hold exactly the entry the linear scan
+	// would return for it: all collisions within a bucket are
+	// same-specificity, so resolution order decides.
+	for _, e := range res {
+		sel := e.selector
+		switch {
+		case sel.Namespace != "" && len(sel.Kinds) > 0:
+			byKind := ix.nsKind[sel.Namespace]
+			if byKind == nil {
+				byKind = map[string]*Entry{}
+				ix.nsKind[sel.Namespace] = byKind
+			}
+			for _, k := range sel.Kinds {
+				if byKind[k] == nil {
+					byKind[k] = e
+				}
+			}
+		case sel.Namespace != "":
+			if ix.nsAny[sel.Namespace] == nil {
+				ix.nsAny[sel.Namespace] = e
+			}
+		case len(sel.Kinds) > 0:
+			for _, k := range sel.Kinds {
+				if ix.kindOnly[k] == nil {
+					ix.kindOnly[k] = e
+				}
+			}
+		default:
+			if ix.wildcard == nil {
+				ix.wildcard = e
+			}
+		}
+		for _, k := range sel.ClusterKinds {
+			ix.cluster[k] = e // unique by registration-time check
+		}
+	}
+	r.index = ix
 }
 
 // Resolve returns the most specific entry whose selector matches the
 // namespace and kind, or false if no registered policy governs the
-// request (the enforcement point should fail closed).
+// request (the enforcement point should fail closed). Lookup probes the
+// registry-wide match trie — at most four map probes — so cost is flat
+// in the number of registered workloads.
 func (r *Registry) Resolve(namespace, kind string) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.index.lookup(namespace, kind)
+}
+
+// ResolveRaw is Resolve for wire bytes (e.g. compile.RawMeta fields):
+// the map probes convert the keys without allocating, so routing a
+// request straight off its scanned metadata is allocation-free.
+func (r *Registry) ResolveRaw(namespace, kind []byte) (*Entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ix := &r.index
+	if len(namespace) != 0 {
+		if e := ix.nsKind[string(namespace)][string(kind)]; e != nil {
+			return e, true
+		}
+		if e := ix.nsAny[string(namespace)]; e != nil {
+			return e, true
+		}
+		if e := ix.kindOnly[string(kind)]; e != nil {
+			return e, true
+		}
+		if ix.wildcard != nil {
+			return ix.wildcard, true
+		}
+		return nil, false
+	}
+	best := ix.cluster[string(kind)]
+	best = preferEntry(best, ix.kindOnly[string(kind)])
+	best = preferEntry(best, ix.wildcard)
+	return best, best != nil
+}
+
+// resolveScan is the pre-trie linear resolution over the sorted entry
+// list — the executable specification the trie is differentially
+// tested against.
+func (r *Registry) resolveScan(namespace, kind string) (*Entry, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for _, e := range r.resolution {
@@ -582,7 +748,7 @@ type cacheKey struct {
 // cache short-circuit.
 func (r *Registry) ValidateRaw(e *Entry, body []byte) (vs []validator.Violation, decided bool) {
 	meta, ok := compile.ScanRawMeta(body)
-	return r.validateRaw(e, body, meta, ok)
+	return r.validateRaw(e, body, meta, ok, false)
 }
 
 // ValidateRawScanned is ValidateRaw for a caller that already ran
@@ -590,10 +756,19 @@ func (r *Registry) ValidateRaw(e *Entry, body []byte) (vs []validator.Violation,
 // routing): the streaming pass reuses the scan instead of re-tokenizing
 // the body for metadata. meta MUST be the successful scan of body.
 func (r *Registry) ValidateRawScanned(e *Entry, body []byte, meta compile.RawMeta) (vs []validator.Violation, decided bool) {
-	return r.validateRaw(e, body, meta, true)
+	return r.validateRaw(e, body, meta, true, false)
 }
 
-func (r *Registry) validateRaw(e *Entry, body []byte, meta compile.RawMeta, scanOK bool) (vs []validator.Violation, decided bool) {
+// ValidateRawYAMLScanned is ValidateRawScanned for YAML wire bytes:
+// meta MUST be the successful compile.ScanRawYAMLMeta of body, and the
+// streaming pass runs the YAML matcher against the same compiled
+// program. The cache short-circuit and all gating rules are shared with
+// the JSON path.
+func (r *Registry) ValidateRawYAMLScanned(e *Entry, body []byte, meta compile.RawMeta) (vs []validator.Violation, decided bool) {
+	return r.validateRaw(e, body, meta, true, true)
+}
+
+func (r *Registry) validateRaw(e *Entry, body []byte, meta compile.RawMeta, scanOK, yamlBody bool) (vs []validator.Violation, decided bool) {
 	ver := e.version.Load()
 	if ver.program == nil && ver.policy == nil {
 		e.requests.Add(1)
@@ -623,7 +798,13 @@ func (r *Registry) validateRaw(e *Entry, body []byte, meta compile.RawMeta, scan
 		return nil, false
 	}
 	start := time.Now()
-	if !ver.program.MatchRawScanned(meta, body) {
+	var matched bool
+	if yamlBody {
+		matched = ver.program.MatchRawYAMLScanned(meta, body)
+	} else {
+		matched = ver.program.MatchRawScanned(meta, body)
+	}
+	if !matched {
 		// Undecided: the caller's Validate call does the request
 		// accounting (exactly one count per inspected request).
 		return nil, false

@@ -1,0 +1,118 @@
+package registry
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestResolveTrieMatchesLinearScan differentially tests the match trie
+// against the sorted linear scan it replaced: random registries of up
+// to 40 workloads with arbitrary selector shapes (wildcard, namespace,
+// kind, namespace+kind, cluster-kind claims) are probed on every
+// (namespace, kind) signal pair, and the trie must return exactly the
+// entry the scan returns — including the not-found case.
+func TestResolveTrieMatchesLinearScan(t *testing.T) {
+	namespaces := []string{"", "alpha", "beta", "gamma", "delta"}
+	kinds := []string{"Pod", "Service", "ConfigMap", "Secret", "Deployment"}
+	clusterKinds := []string{"ClusterRole", "PersistentVolume", "StorageClass"}
+
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		r := New(Config{})
+		claimed := map[string]bool{}
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			var sel Selector
+			if rng.Intn(2) == 0 {
+				sel.Namespace = namespaces[1+rng.Intn(len(namespaces)-1)]
+			}
+			for _, k := range kinds {
+				if rng.Intn(4) == 0 {
+					sel.Kinds = append(sel.Kinds, k)
+				}
+			}
+			for _, k := range clusterKinds {
+				if rng.Intn(5) == 0 && !claimed[k] {
+					sel.ClusterKinds = append(sel.ClusterKinds, k)
+					claimed[k] = true
+				}
+			}
+			w := fmt.Sprintf("w%d", i)
+			if _, err := r.Register(w, sel, policy(t, w)); err != nil {
+				t.Fatal(err)
+			}
+			// Churn: occasionally drop an earlier entry so the trie is
+			// exercised across rebuilds, not just monotonic growth.
+			if i > 2 && rng.Intn(8) == 0 {
+				victim := fmt.Sprintf("w%d", rng.Intn(i))
+				if r.Deregister(victim) {
+					for _, k := range clusterKinds {
+						claimed[k] = false
+					}
+					for _, e := range r.resolution {
+						for _, k := range e.selector.ClusterKinds {
+							claimed[k] = true
+						}
+					}
+				}
+			}
+		}
+		probeKinds := append(append([]string{}, kinds...), clusterKinds...)
+		probeKinds = append(probeKinds, "Unregistered")
+		for _, ns := range append(namespaces, "unclaimed") {
+			for _, k := range probeKinds {
+				want, wantOK := r.resolveScan(ns, k)
+				got, gotOK := r.Resolve(ns, k)
+				if gotOK != wantOK || got != want {
+					t.Fatalf("trial %d: Resolve(%q, %q) = (%v, %v), linear scan says (%v, %v)",
+						trial, ns, k, name(got), gotOK, name(want), wantOK)
+				}
+				raw, rawOK := r.ResolveRaw([]byte(ns), []byte(k))
+				if rawOK != wantOK || raw != want {
+					t.Fatalf("trial %d: ResolveRaw(%q, %q) = (%v, %v), linear scan says (%v, %v)",
+						trial, ns, k, name(raw), rawOK, name(want), wantOK)
+				}
+			}
+		}
+	}
+}
+
+func name(e *Entry) string {
+	if e == nil {
+		return "<none>"
+	}
+	return e.workload
+}
+
+// TestResolveRawDoesNotAllocate pins the allocation-free contract of
+// byte-keyed trie probes: routing a request straight off its scanned
+// wire metadata must not allocate.
+func TestResolveRawDoesNotAllocate(t *testing.T) {
+	r := New(Config{})
+	for i, sel := range []Selector{
+		{Namespace: "tenant", Kinds: []string{"ConfigMap"}},
+		{Namespace: "tenant"},
+		{Kinds: []string{"Secret"}},
+		{},
+		{Namespace: "other", ClusterKinds: []string{"ClusterRole"}},
+	} {
+		w := fmt.Sprintf("w%d", i)
+		if _, err := r.Register(w, sel, policy(t, w)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ns, kind := []byte("tenant"), []byte("ConfigMap")
+	cluster := []byte("ClusterRole")
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := r.ResolveRaw(ns, kind); !ok {
+			t.Fatal("tenant/ConfigMap did not resolve")
+		}
+		if _, ok := r.ResolveRaw(nil, cluster); !ok {
+			t.Fatal("cluster kind did not resolve")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ResolveRaw allocates %.1f times per probe pair, want 0", allocs)
+	}
+}

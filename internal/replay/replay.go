@@ -64,11 +64,61 @@ func BenignEvent(workload string, o object.Object, method string) (Event, error)
 	}, nil
 }
 
+// BenignEventYAML is BenignEvent with the body on the YAML wire, driving
+// the proxy's YAML raw fast path. The encoding is round-trip-verified
+// like AttackEvent's YAML mode: a codec drift would otherwise score a
+// pass against an object the proxy never actually saw.
+func BenignEventYAML(workload string, o object.Object, method string) (Event, error) {
+	path, err := restPath(o, method, o.Namespace())
+	if err != nil {
+		return Event{}, err
+	}
+	body, err := yamlBody(o, "benign "+o.Kind()+"/"+o.Name())
+	if err != nil {
+		return Event{}, err
+	}
+	return Event{
+		Workload:    workload,
+		Method:      method,
+		Path:        path,
+		ContentType: "application/yaml",
+		Body:        body,
+	}, nil
+}
+
+// yamlBody encodes an object as a YAML manifest and verifies the round
+// trip preserved it exactly.
+func yamlBody(o object.Object, what string) ([]byte, error) {
+	body, err := o.MarshalYAML()
+	if err != nil {
+		return nil, fmt.Errorf("replay: %s: %w", what, err)
+	}
+	back, err := object.ParseManifest(body)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %s: YAML reparse: %w", what, err)
+	}
+	if !object.Equal(map[string]any(o), map[string]any(back)) {
+		return nil, fmt.Errorf("replay: %s: YAML round trip altered the object", what)
+	}
+	return body, nil
+}
+
 // AttackEvent builds the wire form of a mutation scenario. YAML-encoded
 // scenarios are round-trip-verified: if the codec altered the object the
 // malicious payload might silently vanish and a pass would be scored
 // that never tested anything.
 func AttackEvent(workload string, sc mutate.Scenario) (Event, error) {
+	return attackEvent(workload, sc, sc.YAMLBody)
+}
+
+// AttackEventYAML is AttackEvent with the body forced onto the YAML
+// wire regardless of the scenario's own encoding, so the whole mutation
+// matrix can be replayed through the proxy's YAML raw pipeline.
+func AttackEventYAML(workload string, sc mutate.Scenario) (Event, error) {
+	return attackEvent(workload, sc, true)
+}
+
+func attackEvent(workload string, sc mutate.Scenario, yamlWire bool) (Event, error) {
 	o := sc.Object
 	ns := o.Namespace()
 	path, err := restPath(o, sc.Method, ns)
@@ -83,18 +133,11 @@ func AttackEvent(workload string, sc mutate.Scenario) (Event, error) {
 	}
 	var body []byte
 	contentType := "application/json"
-	if sc.YAMLBody {
+	if yamlWire {
 		contentType = "application/yaml"
-		body, err = o.MarshalYAML()
+		body, err = yamlBody(o, "scenario "+sc.ID)
 		if err != nil {
-			return Event{}, fmt.Errorf("replay: scenario %s: %w", sc.ID, err)
-		}
-		back, err := object.ParseManifest(body)
-		if err != nil {
-			return Event{}, fmt.Errorf("replay: scenario %s: YAML reparse: %w", sc.ID, err)
-		}
-		if !object.Equal(map[string]any(o), map[string]any(back)) {
-			return Event{}, fmt.Errorf("replay: scenario %s: YAML round trip altered the object", sc.ID)
+			return Event{}, err
 		}
 	} else {
 		body, err = json.Marshal(o)

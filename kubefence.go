@@ -184,6 +184,26 @@ func (c *CompiledPolicy) ValidateObject(obj map[string]any) []Violation {
 	return c.program.Validate(object.Object(obj))
 }
 
+// MatchRaw runs the streaming fast pass over a raw JSON body without
+// decoding it. The contract is one-sided: true means the body provably
+// decodes and the policy definitively allows it (identical verdict to
+// ValidateManifest with no violations); false means only "not decided
+// here" — fall back to ValidateManifest for the verdict and the
+// violation diagnostics.
+func (c *CompiledPolicy) MatchRaw(body []byte) bool {
+	return c.program.MatchRaw(body)
+}
+
+// MatchRawYAML is MatchRaw for a raw YAML manifest: the same one-sided
+// contract, fused on the manifest decoder's line discipline. Constructs
+// the streaming matcher cannot prove equivalent to a full decode
+// (anchors, tags, flow collections, block scalars, multi-document
+// streams, duplicate keys, ambiguous scalar literals) return false and
+// take the decode path.
+func (c *CompiledPolicy) MatchRawYAML(body []byte) bool {
+	return c.program.MatchRawYAML(body)
+}
+
 // UnionPolicies combines per-workload policies into one cluster policy: a
 // request is allowed if it conforms to the union of what the member
 // workloads may do. Use this when a single KubeFence proxy fronts an API

@@ -10,6 +10,7 @@
 #   make robustness-json # adversarial robustness baseline -> BENCH_robustness.json
 #   make learning-json   # policy-learning baseline -> BENCH_learning.json
 #   make scenarios-json  # synthetic-corpus baseline -> BENCH_scenarios.json
+#   make plane-json      # distributed-tier baseline -> BENCH_plane.json
 #   make bench-gate      # fresh bench run vs committed BENCH_*.json baselines
 #   make coverage-gate   # coverage profile; fails below COVERAGE_BASELINE
 #   make staticcheck     # pinned staticcheck ./... via go run
@@ -46,6 +47,13 @@ GATE_MAX_PER_CLASS ?= 0
 # events/sec flatness floor across registered-workload counts.
 GATE_SYNTH    ?= 100
 MIN_FLATNESS  ?= 0.5
+# Plane gate knobs: the replica counts for the fresh tier run (CI's PR
+# path sets 1,2 for a fast smoke leg — the efficiency floor only gates
+# when the 4-replica cell is present) and the machine-independent
+# scaling-efficiency floor at 4 replicas (tier ops/sec divided by
+# N x the same run's single-replica ops/sec).
+GATE_REPLICAS        ?= 1,2,4,8
+MIN_PLANE_EFFICIENCY ?= 0.7
 
 # Tier-1 total statement coverage at the time the gate was last raised
 # (PR 6, 84.5%) minus a small buffer for refactoring churn; raise it as
@@ -54,7 +62,7 @@ COVERAGE_BASELINE ?= 84.0
 
 .PHONY: all ci fmt-check vet build test race bench json latency-json \
 	e2e-json fuzz-smoke robustness-json learning-json scenarios-json \
-	bench-gate coverage-gate staticcheck
+	plane-json bench-gate coverage-gate staticcheck
 
 all: ci
 
@@ -119,6 +127,11 @@ scenarios-json:
 		-cache 4096 -seed 1 -json > BENCH_scenarios.json
 	@echo wrote BENCH_scenarios.json
 
+plane-json:
+	$(GO) run ./cmd/kfbench -experiment plane -replicas 1,2,4,8 -synth 32 \
+		-seed 1 -cache 4096 -repeats 3 -json > BENCH_plane.json
+	@echo wrote BENCH_plane.json
+
 # bench-gate measures fresh throughput and latency numbers and compares
 # them against the committed BENCH_*.json baselines; any regression
 # beyond TOLERANCE (or a compiled cold-path speedup below MIN_SPEEDUP,
@@ -155,7 +168,13 @@ bench-gate:
 		-json > "$$tmpdir/scenarios-fresh.json"; \
 	$(GO) run ./cmd/benchgate -kind scenarios -tolerance $(TOLERANCE) $(GATE_FLAGS) \
 		-min-flatness $(MIN_FLATNESS) \
-		-baseline BENCH_scenarios.json -fresh "$$tmpdir/scenarios-fresh.json"
+		-baseline BENCH_scenarios.json -fresh "$$tmpdir/scenarios-fresh.json"; \
+	$(GO) run ./cmd/kfbench -experiment plane -replicas $(GATE_REPLICAS) -synth 32 \
+		-seed 1 -cache 4096 -repeats 3 -max-per-class $(GATE_MAX_PER_CLASS) \
+		-json > "$$tmpdir/plane-fresh.json"; \
+	$(GO) run ./cmd/benchgate -kind plane -tolerance $(TOLERANCE) $(GATE_FLAGS) \
+		-min-plane-efficiency $(MIN_PLANE_EFFICIENCY) \
+		-baseline BENCH_plane.json -fresh "$$tmpdir/plane-fresh.json"
 
 coverage-gate:
 	$(GO) test ./... -coverprofile=coverage.out

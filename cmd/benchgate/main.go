@@ -9,6 +9,7 @@
 //	benchgate -kind learning   -baseline BENCH_learning.json   -fresh fresh.json
 //	benchgate -kind e2e        -baseline BENCH_e2e.json        -fresh fresh.json
 //	benchgate -kind scenarios  -baseline BENCH_scenarios.json  -fresh fresh.json
+//	benchgate -kind plane      -baseline BENCH_plane.json      -fresh fresh.json
 //
 // Two classes of check run:
 //
@@ -61,7 +62,23 @@
 // baseline). Per-cell events/sec comparisons are relative-to-baseline
 // and advisory-able like the other wall-clock checks.
 //
+// The plane kind gates the distributed admission tier. Machine-
+// independent checks always gate: verified pairs, a zero-FN / zero-FP /
+// zero-error correctness matrix, and the scaling-efficiency floor — the
+// fresh run's own ops/sec at 4 replicas over 4x its single-replica
+// per-replica rate must stay at or above -min-plane-efficiency. The
+// efficiency is a same-machine ratio of two latency-bounded
+// measurements from one run, so it gates on any hardware. When the
+// fresh run shares the baseline's corpus inputs, the correctness
+// matrix's event counts must match the baseline exactly. Per-cell
+// ops/sec comparisons are relative-to-baseline and advisory-able; a
+// fresh run that measured only a tier-size subset (the PR smoke leg
+// runs 1 and 2 replicas) gates everything except the 4-replica
+// efficiency floor, which needs the nightly full matrix.
+//
 // Every comparison is printed; failures are marked FAIL and summarized.
+// Gate kinds dispatch over a table of gate functions sharing one
+// options struct — adding a kind means adding a table entry.
 package main
 
 import (
@@ -69,6 +86,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"repro/internal/experiments"
 )
@@ -80,9 +99,59 @@ func main() {
 	}
 }
 
+// gateOptions carries every flag-derived knob the gate functions share.
+type gateOptions struct {
+	baseline, fresh    string
+	tolerance          float64
+	minSpeedup         float64
+	minE2ESpeedup      float64
+	minAllocReduction  float64
+	minFlatness        float64
+	minPlaneEfficiency float64
+	advise             bool
+}
+
+// gateFunc is the common signature every gate kind implements: the
+// returned failures always gate, advisories only report.
+type gateFunc func(o gateOptions, out *os.File) (failures, advisories []string, err error)
+
+// gates is the kind dispatch table.
+var gates = map[string]gateFunc{
+	"throughput": func(o gateOptions, out *os.File) ([]string, []string, error) {
+		return gateThroughput(o.baseline, o.fresh, o.tolerance, o.advise, out)
+	},
+	"latency": func(o gateOptions, out *os.File) ([]string, []string, error) {
+		return gateLatency(o.baseline, o.fresh, o.tolerance, o.minSpeedup, o.advise, out)
+	},
+	"learning": func(o gateOptions, out *os.File) ([]string, []string, error) {
+		failures, err := gateLearning(o.baseline, o.fresh, o.tolerance, out)
+		return failures, nil, err
+	},
+	"e2e": func(o gateOptions, out *os.File) ([]string, []string, error) {
+		return gateE2E(o.baseline, o.fresh, o.tolerance,
+			o.minE2ESpeedup, o.minAllocReduction, o.advise, out)
+	},
+	"scenarios": func(o gateOptions, out *os.File) ([]string, []string, error) {
+		return gateScenarios(o.baseline, o.fresh, o.tolerance,
+			o.minFlatness, o.advise, out)
+	},
+	"plane": gatePlane,
+}
+
+// kindNames lists the dispatch table's keys, sorted for stable usage
+// text.
+func kindNames() []string {
+	names := make([]string, 0, len(gates))
+	for name := range gates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("benchgate", flag.ExitOnError)
-	kind := fs.String("kind", "", "baseline kind: throughput | latency | learning | e2e | scenarios")
+	kind := fs.String("kind", "", "baseline kind: "+strings.Join(kindNames(), " | "))
 	baselinePath := fs.String("baseline", "", "committed BENCH_*.json baseline")
 	freshPath := fs.String("fresh", "", "freshly measured JSON to gate")
 	tolerance := fs.Float64("tolerance", 0.15, "allowed relative regression (0.15 = 15%)")
@@ -90,6 +159,7 @@ func run(args []string, out *os.File) error {
 	minE2ESpeedup := fs.Float64("min-e2e-speedup", 1.5, "e2e: required fast-vs-decode cold speedup")
 	minAllocReduction := fs.Float64("min-alloc-reduction", 0.5, "e2e: required fraction of per-request allocations the fast path eliminates")
 	minFlatness := fs.Float64("min-flatness", 0.5, "scenarios: required per-engine events/sec flatness ratio across workload counts")
+	minPlaneEfficiency := fs.Float64("min-plane-efficiency", 0.7, "plane: required scaling efficiency at 4 replicas")
 	adviseRelative := fs.Bool("advise-relative", false,
 		"report relative-to-baseline regressions without failing (for runs on hardware other than the baseline machine); machine-independent checks still gate")
 	if err := fs.Parse(args); err != nil {
@@ -101,24 +171,21 @@ func run(args []string, out *os.File) error {
 	if *tolerance < 0 {
 		return fmt.Errorf("-tolerance must be >= 0")
 	}
-	var failures, advisories []string
-	var err error
-	switch *kind {
-	case "throughput":
-		failures, advisories, err = gateThroughput(*baselinePath, *freshPath, *tolerance, *adviseRelative, out)
-	case "latency":
-		failures, advisories, err = gateLatency(*baselinePath, *freshPath, *tolerance, *minSpeedup, *adviseRelative, out)
-	case "learning":
-		failures, err = gateLearning(*baselinePath, *freshPath, *tolerance, out)
-	case "e2e":
-		failures, advisories, err = gateE2E(*baselinePath, *freshPath, *tolerance,
-			*minE2ESpeedup, *minAllocReduction, *adviseRelative, out)
-	case "scenarios":
-		failures, advisories, err = gateScenarios(*baselinePath, *freshPath, *tolerance,
-			*minFlatness, *adviseRelative, out)
-	default:
-		return fmt.Errorf("-kind: %q is not throughput, latency, learning, e2e, or scenarios", *kind)
+	gate, ok := gates[*kind]
+	if !ok {
+		return fmt.Errorf("-kind: %q is not one of %s", *kind, strings.Join(kindNames(), ", "))
 	}
+	failures, advisories, err := gate(gateOptions{
+		baseline:           *baselinePath,
+		fresh:              *freshPath,
+		tolerance:          *tolerance,
+		minSpeedup:         *minSpeedup,
+		minE2ESpeedup:      *minE2ESpeedup,
+		minAllocReduction:  *minAllocReduction,
+		minFlatness:        *minFlatness,
+		minPlaneEfficiency: *minPlaneEfficiency,
+		advise:             *adviseRelative,
+	}, out)
 	if err != nil {
 		return err
 	}
@@ -537,6 +604,115 @@ func gateScenarios(baselinePath, freshPath string, tol, minFlatness float64, adv
 	}
 	if len(fresh.Flatness) == 0 {
 		failures = append(failures, "fresh scenarios report carries no flatness summary")
+	}
+	return failures, advisories, nil
+}
+
+// gatePlane gates the distributed admission tier. Machine-independent
+// checks always gate: verified pairs, a zero-FN / zero-FP / zero-error
+// correctness matrix, matrix event-count determinism against the
+// baseline when the corpus inputs match, and the scaling-efficiency
+// floor at 4 replicas — a same-machine ratio of two latency-bounded
+// measurements from the fresh run itself, so it holds on any hardware.
+// Per-cell ops/sec comparisons are relative-to-baseline and
+// advisory-able. A fresh run that measured only a tier-size subset (the
+// PR smoke leg) skips the efficiency floor, which needs the full
+// matrix, but still gates correctness.
+func gatePlane(o gateOptions, out *os.File) (failures, advisories []string, err error) {
+	var baseline, fresh experiments.PlaneResult
+	if err := loadJSON(o.baseline, &baseline); err != nil {
+		return nil, nil, err
+	}
+	if err := loadJSON(o.fresh, &fresh); err != nil {
+		return nil, nil, err
+	}
+	relative := func(msg string) string {
+		if o.advise {
+			advisories = append(advisories, msg)
+			return "ADVISE"
+		}
+		failures = append(failures, msg)
+		return "FAIL"
+	}
+	if !fresh.VerifiedPairs {
+		failures = append(failures, "fresh run did not verify every generated (policy, trace) pair")
+	}
+	if fresh.TotalFalseNegatives != 0 {
+		failures = append(failures, fmt.Sprintf(
+			"tier leaked %d attack scenario(s) (false negatives must be 0)",
+			fresh.TotalFalseNegatives))
+	}
+	if fresh.TotalFalsePositives != 0 {
+		failures = append(failures, fmt.Sprintf(
+			"tier denied %d benign request(s) (false positives must be 0)",
+			fresh.TotalFalsePositives))
+	}
+	if fresh.Errors != 0 {
+		failures = append(failures, fmt.Sprintf("fresh run had %d replay errors", fresh.Errors))
+	}
+	if len(fresh.Cells) == 0 {
+		failures = append(failures, "fresh plane report carries no cells")
+	}
+
+	// Corpus and matrix inputs are deterministic for a given (seed,
+	// generator, corpus size, matrix cap); only compare event counts when
+	// they all match.
+	comparable := fresh.Seed == baseline.Seed && fresh.Generator == baseline.Generator &&
+		fresh.Synth == baseline.Synth && fresh.MaxPerAttackClass == baseline.MaxPerAttackClass
+	if comparable {
+		if fresh.Matrix.Events != baseline.Matrix.Events ||
+			fresh.Matrix.BenignEvents != baseline.Matrix.BenignEvents ||
+			fresh.Matrix.AttackEvents != baseline.Matrix.AttackEvents {
+			failures = append(failures, fmt.Sprintf(
+				"correctness-matrix event counts drifted from baseline: %d/%d/%d -> %d/%d/%d (total/benign/attack; the corpus is deterministic for a fixed seed)",
+				baseline.Matrix.Events, baseline.Matrix.BenignEvents, baseline.Matrix.AttackEvents,
+				fresh.Matrix.Events, fresh.Matrix.BenignEvents, fresh.Matrix.AttackEvents))
+		}
+	} else {
+		fmt.Fprintln(out, "corpus inputs differ from baseline (seed, generator knobs, corpus size, or matrix cap); skipping matrix determinism and ops/sec comparisons")
+	}
+
+	fmt.Fprintf(out, "%-9s %-14s %-14s %-10s %-12s %-6s %s\n",
+		"replicas", "base ops/sec", "fresh ops/sec", "delta", "efficiency", "shed", "verdict")
+	for _, fc := range fresh.Cells {
+		verdict := "ok"
+		delta := 0.0
+		base := baseline.Cell(fc.Replicas)
+		if base != nil && comparable {
+			if base.OpsPerSec > 0 {
+				delta = fc.OpsPerSec/base.OpsPerSec - 1
+			}
+			if fc.OpsPerSec < base.OpsPerSec*(1-o.tolerance) {
+				verdict = relative(fmt.Sprintf(
+					"replicas=%d ops/sec %.0f -> %.0f (%.1f%% drop, tolerance %.0f%%)",
+					fc.Replicas, base.OpsPerSec, fc.OpsPerSec, -delta*100, o.tolerance*100))
+			}
+		}
+		baseOps := 0.0
+		if base != nil {
+			baseOps = base.OpsPerSec
+		}
+		fmt.Fprintf(out, "%-9d %-14.0f %-14.0f %-+9.1f%% %-12.2f %-6d %s\n",
+			fc.Replicas, baseOps, fc.OpsPerSec, delta*100, fc.Efficiency, fc.Shed, verdict)
+	}
+
+	// The efficiency floor is the tier's scaling contract. It gates
+	// whenever the fresh run measured the 4-replica cell; the PR smoke
+	// leg (1 and 2 replicas) legitimately skips it.
+	const floorReplicas = 4
+	if cell := fresh.Cell(floorReplicas); cell != nil {
+		verdict := "ok"
+		if cell.Efficiency < o.minPlaneEfficiency {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"scaling efficiency %.2f at %d replicas below the %.2f floor",
+				cell.Efficiency, floorReplicas, o.minPlaneEfficiency))
+		}
+		fmt.Fprintf(out, "scaling efficiency at %d replicas: %.2f (floor %.2f) %s\n",
+			floorReplicas, cell.Efficiency, o.minPlaneEfficiency, verdict)
+	} else {
+		fmt.Fprintf(out, "fresh run has no %d-replica cell; efficiency floor not applicable (reduced matrix)\n",
+			floorReplicas)
 	}
 	return failures, advisories, nil
 }

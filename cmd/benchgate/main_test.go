@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/replay"
 	"repro/internal/synth"
 )
 
@@ -456,5 +457,102 @@ func TestScenariosGateEventsPerSecAdvisoryOnForeignHardware(t *testing.T) {
 	if err := run([]string{"-kind", "scenarios", "-advise-relative",
 		"-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
 		t.Fatalf("events/sec regression must be advisory on foreign hardware: %v", err)
+	}
+}
+
+// planeResult builds a minimal tier report: a clean correctness matrix
+// and a 1 + 4 replica scaling curve with the given efficiency at 4.
+func planeResult(effAt4 float64) experiments.PlaneResult {
+	return experiments.PlaneResult{
+		ReplicaCounts: []int{1, 4},
+		Synth:         32,
+		Seed:          1,
+		Generator:     synth.Options{Seed: 1, Count: 32},
+		VerifiedPairs: true,
+		Cells: []experiments.PlaneCell{
+			{Replicas: 1, OpsPerSec: 1000, Efficiency: 1.0},
+			{Replicas: 4, OpsPerSec: 4000 * effAt4, Efficiency: effAt4},
+		},
+		MatrixReplicas: 4,
+		Matrix:         replay.Result{Events: 100, BenignEvents: 20, AttackEvents: 80},
+	}
+}
+
+func TestPlaneGatePassesOnCleanRun(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", planeResult(0.85))
+	fresh := writeJSON(t, dir, "fresh.json", planeResult(0.85))
+	if err := run([]string{"-kind", "plane", "-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+		t.Fatalf("clean plane run failed the gate: %v", err)
+	}
+}
+
+func TestPlaneGateEnforcesEfficiencyFloor(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", planeResult(0.85))
+	fresh := writeJSON(t, dir, "fresh.json", planeResult(0.55))
+	// The floor is a same-machine ratio from the fresh run, so it gates
+	// even under -advise-relative.
+	err := run([]string{"-kind", "plane", "-advise-relative",
+		"-baseline", base, "-fresh", fresh}, os.Stdout)
+	if err == nil {
+		t.Fatal("efficiency 0.55 at 4 replicas must fail the 0.7 floor")
+	}
+}
+
+func TestPlaneGateFailsOnFalseNegatives(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", planeResult(0.85))
+	dirty := planeResult(0.85)
+	dirty.TotalFalseNegatives = 3
+	fresh := writeJSON(t, dir, "fresh.json", dirty)
+	if err := run([]string{"-kind", "plane", "-advise-relative",
+		"-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("false negatives must fail the plane gate everywhere")
+	}
+}
+
+func TestPlaneGateToleratesReplicaSubset(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", planeResult(0.85))
+	smoke := planeResult(0.85)
+	smoke.ReplicaCounts = []int{1, 2}
+	smoke.Cells = []experiments.PlaneCell{
+		{Replicas: 1, OpsPerSec: 1000, Efficiency: 1.0},
+		{Replicas: 2, OpsPerSec: 1900, Efficiency: 0.95},
+	}
+	smoke.MatrixReplicas = 2
+	fresh := writeJSON(t, dir, "fresh.json", smoke)
+	if err := run([]string{"-kind", "plane", "-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+		t.Fatalf("PR smoke leg (no 4-replica cell) must pass: %v", err)
+	}
+}
+
+func TestPlaneGateFailsOnMatrixDrift(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", planeResult(0.85))
+	drifted := planeResult(0.85)
+	drifted.Matrix.AttackEvents = 79
+	drifted.Matrix.Events = 99
+	fresh := writeJSON(t, dir, "fresh.json", drifted)
+	if err := run([]string{"-kind", "plane", "-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("matrix event-count drift with matching corpus inputs must fail")
+	}
+}
+
+func TestPlaneGateOpsAdvisoryOnForeignHardware(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", planeResult(0.85))
+	slow := planeResult(0.85)
+	for i := range slow.Cells {
+		slow.Cells[i].OpsPerSec *= 0.5
+	}
+	fresh := writeJSON(t, dir, "fresh.json", slow)
+	if err := run([]string{"-kind", "plane", "-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("50% ops/sec drop must fail on the baseline machine")
+	}
+	if err := run([]string{"-kind", "plane", "-advise-relative",
+		"-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+		t.Fatalf("ops/sec drop must be advisory under -advise-relative: %v", err)
 	}
 }

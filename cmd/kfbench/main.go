@@ -64,15 +64,29 @@
 //	kfbench -experiment scenarios -synth 100 -seed 1 -json > BENCH_scenarios.json
 //	kfbench -experiment scenarios -synth 25 -max-per-class 2   # CI smoke
 //
+// The plane experiment measures the distributed admission tier
+// (internal/plane): benign-traffic scaling efficiency across -replicas
+// tier sizes against capacity-bounded replicas, plus one full benign +
+// adversarial correctness matrix through the sharded tier — the
+// committed BENCH_plane.json baseline, gated by cmd/benchgate -kind
+// plane:
+//
+//	kfbench -experiment plane -replicas 1,2,4,8 -synth 32 -seed 1 \
+//	        -cache 4096 -json > BENCH_plane.json
+//	kfbench -experiment plane -replicas 1,2 -max-per-class 2   # CI smoke
+//
 // The robustness and learning experiments also accept -synth N to extend
 // their matrices with generated workloads:
 //
 //	kfbench -experiment robustness -synth 100
 //	kfbench -experiment learning -synth 10 -max-per-class 2
+//
+// Every experiment implements the experiments.Experiment interface; the
+// command is a thin table dispatch over that surface, and reports whose
+// contract fails (experiments.Gated) exit non-zero in both output modes.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -92,10 +106,10 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("kfbench", flag.ExitOnError)
-	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | throughput | robustness | latency | learning | e2e | scenarios | all")
+	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | throughput | robustness | latency | learning | e2e | scenarios | plane | all")
 	reps := fs.Int("reps", 10, "repetitions for table4 (paper: 10)")
 	counts := fs.String("counts", "1,5,10", "workload counts for throughput (comma-separated)")
-	requests := fs.Int("requests", 2000, "proxied requests per throughput measurement")
+	requests := fs.Int("requests", 2000, "proxied requests per throughput measurement (per replica for plane)")
 	concurrency := fs.Int("concurrency", 8, "client goroutines for throughput and robustness")
 	cacheSize := fs.Int("cache", 0, "decision-cache size for throughput and robustness (0 disables)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON (throughput, robustness)")
@@ -107,7 +121,8 @@ func run(args []string) error {
 	engine := fs.String("engine", "compiled", "validation engine for robustness: compiled | interpreted")
 	wire := fs.String("wire", "json", "body encoding for robustness replay: json | yaml (yaml drives the YAML raw pipeline)")
 	maxEpochs := fs.Int("max-epochs", 8, "benign-replay epochs allowed for learning convergence")
-	synthCount := fs.Int("synth", 0, "generated synthetic workloads: corpus size for scenarios (0 = default 100), extra workloads for robustness and learning (0 = none)")
+	synthCount := fs.Int("synth", 0, "generated synthetic workloads: corpus size for scenarios and plane (0 = default), extra workloads for robustness and learning (0 = none)")
+	replicas := fs.String("replicas", "1,2,4,8", "tier sizes for the plane experiment (comma-separated)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -117,235 +132,210 @@ func run(args []string) error {
 	if *wire != "json" && *wire != "yaml" {
 		return fmt.Errorf("-wire: %q is not json or yaml", *wire)
 	}
-	workloadCounts, err := parseCounts(*counts)
+	workloadCounts, err := parseCounts("-counts", *counts)
 	if err != nil {
 		return err
 	}
-
-	runners := map[string]func() error{
-		"fig5": func() error {
-			fmt.Println(experiments.Fig5())
-			return nil
-		},
-		"fig9": func() error {
-			out, err := experiments.Fig9()
-			if err != nil {
-				return err
-			}
-			fmt.Println(out)
-			return nil
-		},
-		"table1": func() error {
-			out, err := experiments.TableI()
-			if err != nil {
-				return err
-			}
-			fmt.Println(out)
-			return nil
-		},
-		"table2": func() error {
-			fmt.Println(experiments.TableII())
-			return nil
-		},
-		"table3": func() error {
-			rows, err := experiments.TableIII()
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.RenderTableIII(rows))
-			return nil
-		},
-		"table4": func() error {
-			rows, err := experiments.TableIV(*reps)
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.RenderTableIV(rows))
-			return nil
-		},
-		"resources": func() error {
-			usage, err := experiments.Resources()
-			if err != nil {
-				return err
-			}
-			fmt.Println(experiments.RenderResources(usage))
-			return nil
-		},
-		"throughput": func() error {
-			results, err := experiments.Throughput(experiments.ThroughputOptions{
-				WorkloadCounts: workloadCounts,
-				Requests:       *requests,
-				Concurrency:    *concurrency,
-				CacheSize:      *cacheSize,
-				Repeats:        *repeats,
-			})
-			if err != nil {
-				return err
-			}
-			if *jsonOut {
-				enc := json.NewEncoder(os.Stdout)
-				enc.SetIndent("", "  ")
-				return enc.Encode(results)
-			}
-			fmt.Println(experiments.RenderThroughput(results))
-			return nil
-		},
-		"latency": func() error {
-			report, err := experiments.Latency(experiments.LatencyOptions{
-				WorkloadCounts: workloadCounts,
-				Iterations:     *iterations,
-				CacheSize:      *cacheSize,
-				Repeats:        *repeats,
-			})
-			if err != nil {
-				return err
-			}
-			if *jsonOut {
-				enc := json.NewEncoder(os.Stdout)
-				enc.SetIndent("", "  ")
-				return enc.Encode(report)
-			}
-			fmt.Println(experiments.RenderLatency(report))
-			return nil
-		},
-		"e2e": func() error {
-			report, err := experiments.E2E(experiments.E2EOptions{
-				WorkloadCounts: workloadCounts,
-				Requests:       *requests,
-				CacheSize:      *cacheSize,
-				Repeats:        *repeats,
-			})
-			if err != nil {
-				return err
-			}
-			if *jsonOut {
-				enc := json.NewEncoder(os.Stdout)
-				enc.SetIndent("", "  ")
-				return enc.Encode(report)
-			}
-			fmt.Println(experiments.RenderE2E(report))
-			return nil
-		},
-		"robustness": func() error {
-			res, err := experiments.Robustness(experiments.RobustnessOptions{
-				Charts:            splitCharts(*chartList),
-				Concurrency:       *concurrency,
-				Seed:              *seed,
-				MaxPerAttackClass: *maxPerClass,
-				CacheSize:         *cacheSize,
-				Interpreted:       *engine == "interpreted",
-				Synth:             *synthCount,
-				YAMLWire:          *wire == "yaml",
-			})
-			if err != nil {
-				return err
-			}
-			if *jsonOut {
-				enc := json.NewEncoder(os.Stdout)
-				enc.SetIndent("", "  ")
-				if err := enc.Encode(res); err != nil {
-					return err
-				}
-			} else {
-				fmt.Println(experiments.RenderRobustness(res))
-			}
-			// Non-zero exit on a dirty run in BOTH output modes: the CI
-			// smoke step and `make robustness-json` consume the JSON
-			// path, and a baseline with false negatives must never land
-			// silently.
-			if !res.Clean() {
-				return fmt.Errorf("robustness run not clean: %d false negatives, %d false positives, %d errors",
-					res.FalseNegatives, res.FalsePositives, res.Errors)
-			}
-			return nil
-		},
-		"learning": func() error {
-			res, err := experiments.Learning(experiments.LearningOptions{
-				Charts:            splitCharts(*chartList),
-				Concurrency:       *concurrency,
-				Seed:              *seed,
-				MaxPerAttackClass: *maxPerClass,
-				CacheSize:         *cacheSize,
-				MaxEpochs:         *maxEpochs,
-				Synth:             *synthCount,
-			})
-			if err != nil {
-				return err
-			}
-			if *jsonOut {
-				enc := json.NewEncoder(os.Stdout)
-				enc.SetIndent("", "  ")
-				if err := enc.Encode(res); err != nil {
-					return err
-				}
-			} else {
-				fmt.Println(experiments.RenderLearning(res))
-			}
-			// Mirror the robustness contract: a baseline where mined
-			// policies leak attacks (or never converge) must never land
-			// silently.
-			if !res.Clean() {
-				return fmt.Errorf("learning run not clean: converged=%v promoted=%v, %d false negatives, %d enforce FPs, %d errors",
-					res.AllConverged, res.AllPromoted,
-					res.TotalFalseNegatives, res.TotalEnforceFP, res.Errors)
-			}
-			return nil
-		},
-		"scenarios": func() error {
-			res, err := experiments.Scenarios(experiments.ScenariosOptions{
-				Synth:             *synthCount,
-				Seed:              *seed,
-				Concurrency:       *concurrency,
-				CacheSize:         *cacheSize,
-				MaxPerAttackClass: *maxPerClass,
-			})
-			if err != nil {
-				return err
-			}
-			if *jsonOut {
-				enc := json.NewEncoder(os.Stdout)
-				enc.SetIndent("", "  ")
-				if err := enc.Encode(res); err != nil {
-					return err
-				}
-			} else {
-				fmt.Println(experiments.RenderScenarios(res))
-			}
-			// Same contract as robustness: a corpus baseline with false
-			// negatives or unverified pairs must never land silently.
-			if !res.Clean() {
-				return fmt.Errorf("scenarios run not clean: verified=%v, %d false negatives, %d false positives, %d errors",
-					res.VerifiedPairs, res.TotalFalseNegatives, res.TotalFalsePositives, res.Errors)
-			}
-			return nil
-		},
-		"fig11": func() error {
-			out, err := audit.RenderFig11(audit.Event{
-				User: "operator:mlflow", Verb: "create", APIGroup: "apps",
-				Resource: "deployments", Namespace: "default", Name: "mlflow",
-			})
-			if err != nil {
-				return err
-			}
-			fmt.Println(out)
-			return nil
-		},
+	replicaCounts, err := parseCounts("-replicas", *replicas)
+	if err != nil {
+		return err
 	}
+	// The plane experiment sizes its request volume per replica with its
+	// own default; only an explicit -requests overrides it, because the
+	// shared flag's default is tuned for the single-proxy throughput
+	// experiment.
+	planeRequests := 0
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "requests" {
+			planeRequests = *requests
+		}
+	})
+
+	table := experimentTable(tableOptions{
+		reps:           *reps,
+		workloadCounts: workloadCounts,
+		replicaCounts:  replicaCounts,
+		requests:       *requests,
+		planeRequests:  planeRequests,
+		concurrency:    *concurrency,
+		cacheSize:      *cacheSize,
+		seed:           *seed,
+		charts:         splitCharts(*chartList),
+		maxPerClass:    *maxPerClass,
+		iterations:     *iterations,
+		repeats:        *repeats,
+		interpreted:    *engine == "interpreted",
+		yamlWire:       *wire == "yaml",
+		maxEpochs:      *maxEpochs,
+		synth:          *synthCount,
+	})
 
 	if *experiment == "all" {
 		for _, name := range []string{"fig5", "fig9", "fig11", "table1", "table2", "table3", "table4", "resources", "throughput", "latency", "e2e", "robustness", "learning"} {
 			fmt.Printf("================ %s ================\n", name)
-			if err := runners[name](); err != nil {
+			if err := runExperiment(table[name], *jsonOut); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
 		}
 		return nil
 	}
-	runner, ok := runners[*experiment]
+	e, ok := table[*experiment]
 	if !ok {
 		return fmt.Errorf("unknown experiment %q", *experiment)
 	}
-	return runner()
+	return runExperiment(e, *jsonOut)
+}
+
+// runExperiment is the single dispatch path every experiment goes
+// through: run, emit the report in the requested mode, then enforce the
+// report's own pass/fail contract if it carries one.
+func runExperiment(e experiments.Experiment, jsonOut bool) error {
+	rep, err := e.Run()
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if _, err := os.Stdout.Write(data); err != nil {
+			return err
+		}
+	} else {
+		fmt.Println(rep.Render())
+	}
+	// Non-zero exit on a dirty run in BOTH output modes: CI smoke steps
+	// and the make *-json targets consume the JSON path, and a baseline
+	// with false negatives must never land silently.
+	if g, ok := rep.(experiments.Gated); ok {
+		return g.Gate()
+	}
+	return nil
+}
+
+// tableOptions carries every flag-derived knob the experiment table
+// needs.
+type tableOptions struct {
+	reps           int
+	workloadCounts []int
+	replicaCounts  []int
+	requests       int
+	planeRequests  int
+	concurrency    int
+	cacheSize      int
+	seed           int64
+	charts         []string
+	maxPerClass    int
+	iterations     int
+	repeats        int
+	interpreted    bool
+	yamlWire       bool
+	maxEpochs      int
+	synth          int
+}
+
+// experimentTable builds the name -> Experiment dispatch table: the
+// seven measurement experiments behind their options structs, plus the
+// paper figures and tables as text experiments.
+func experimentTable(o tableOptions) map[string]experiments.Experiment {
+	list := []experiments.Experiment{
+		experiments.NewTextExperiment("fig5", func() (string, error) {
+			return experiments.Fig5(), nil
+		}),
+		experiments.NewTextExperiment("fig9", experiments.Fig9),
+		experiments.NewTextExperiment("fig11", func() (string, error) {
+			return audit.RenderFig11(audit.Event{
+				User: "operator:mlflow", Verb: "create", APIGroup: "apps",
+				Resource: "deployments", Namespace: "default", Name: "mlflow",
+			})
+		}),
+		experiments.NewTextExperiment("table1", experiments.TableI),
+		experiments.NewTextExperiment("table2", func() (string, error) {
+			return experiments.TableII(), nil
+		}),
+		experiments.NewTextExperiment("table3", func() (string, error) {
+			rows, err := experiments.TableIII()
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderTableIII(rows), nil
+		}),
+		experiments.NewTextExperiment("table4", func() (string, error) {
+			rows, err := experiments.TableIV(o.reps)
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderTableIV(rows), nil
+		}),
+		experiments.NewTextExperiment("resources", func() (string, error) {
+			usage, err := experiments.Resources()
+			if err != nil {
+				return "", err
+			}
+			return experiments.RenderResources(usage), nil
+		}),
+		experiments.NewThroughputExperiment(experiments.ThroughputOptions{
+			WorkloadCounts: o.workloadCounts,
+			Requests:       o.requests,
+			Concurrency:    o.concurrency,
+			CacheSize:      o.cacheSize,
+			Repeats:        o.repeats,
+		}),
+		experiments.NewLatencyExperiment(experiments.LatencyOptions{
+			WorkloadCounts: o.workloadCounts,
+			Iterations:     o.iterations,
+			CacheSize:      o.cacheSize,
+			Repeats:        o.repeats,
+		}),
+		experiments.NewE2EExperiment(experiments.E2EOptions{
+			WorkloadCounts: o.workloadCounts,
+			Requests:       o.requests,
+			CacheSize:      o.cacheSize,
+			Repeats:        o.repeats,
+		}),
+		experiments.NewRobustnessExperiment(experiments.RobustnessOptions{
+			Charts:            o.charts,
+			Concurrency:       o.concurrency,
+			Seed:              o.seed,
+			MaxPerAttackClass: o.maxPerClass,
+			CacheSize:         o.cacheSize,
+			Interpreted:       o.interpreted,
+			Synth:             o.synth,
+			YAMLWire:          o.yamlWire,
+		}),
+		experiments.NewLearningExperiment(experiments.LearningOptions{
+			Charts:            o.charts,
+			Concurrency:       o.concurrency,
+			Seed:              o.seed,
+			MaxPerAttackClass: o.maxPerClass,
+			CacheSize:         o.cacheSize,
+			MaxEpochs:         o.maxEpochs,
+			Synth:             o.synth,
+		}),
+		experiments.NewScenariosExperiment(experiments.ScenariosOptions{
+			Synth:             o.synth,
+			Seed:              o.seed,
+			Concurrency:       o.concurrency,
+			CacheSize:         o.cacheSize,
+			MaxPerAttackClass: o.maxPerClass,
+		}),
+		experiments.NewPlaneExperiment(experiments.PlaneOptions{
+			ReplicaCounts:      o.replicaCounts,
+			Synth:              o.synth,
+			Seed:               o.seed,
+			RequestsPerReplica: o.planeRequests,
+			CacheSize:          o.cacheSize,
+			MaxPerAttackClass:  o.maxPerClass,
+			Repeats:            o.repeats,
+			Concurrency:        o.concurrency,
+		}),
+	}
+	table := make(map[string]experiments.Experiment, len(list))
+	for _, e := range list {
+		table[e.Name()] = e
+	}
+	return table
 }
 
 // splitCharts parses the -charts flag; empty means every builtin chart.
@@ -359,8 +349,8 @@ func splitCharts(s string) []string {
 	return out
 }
 
-// parseCounts parses the -counts flag ("1,5,10") into workload counts.
-func parseCounts(s string) ([]int, error) {
+// parseCounts parses a comma-separated count flag ("1,5,10").
+func parseCounts(flagName, s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		part = strings.TrimSpace(part)
@@ -369,12 +359,12 @@ func parseCounts(s string) ([]int, error) {
 		}
 		n, err := strconv.Atoi(part)
 		if err != nil || n <= 0 {
-			return nil, fmt.Errorf("-counts: %q is not a positive integer", part)
+			return nil, fmt.Errorf("%s: %q is not a positive integer", flagName, part)
 		}
 		out = append(out, n)
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("-counts: no workload counts given")
+		return nil, fmt.Errorf("%s: no counts given", flagName)
 	}
 	return out, nil
 }

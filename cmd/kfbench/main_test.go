@@ -40,7 +40,7 @@ func TestParseCounts(t *testing.T) {
 		{in: "a,b", wantErr: true},
 	}
 	for _, tt := range tests {
-		got, err := parseCounts(tt.in)
+		got, err := parseCounts("-counts", tt.in)
 		if tt.wantErr {
 			if err == nil {
 				t.Errorf("parseCounts(%q): expected error, got %v", tt.in, got)
@@ -92,6 +92,16 @@ func TestRunScenariosReduced(t *testing.T) {
 	}
 	if err := run([]string{"-experiment", "scenarios", "-synth", "2",
 		"-max-per-class", "1", "-concurrency", "4", "-json"}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunPlaneReduced(t *testing.T) {
+	// Reduced tier matrix in both output modes; kfbench exits non-zero
+	// if the correctness matrix is not clean.
+	if err := run([]string{"-experiment", "plane", "-replicas", "1,2",
+		"-synth", "4", "-max-per-class", "1", "-requests", "200",
+		"-concurrency", "4", "-cache", "64", "-json"}); err != nil {
 		t.Error(err)
 	}
 }

@@ -1,0 +1,230 @@
+package kubefence_test
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	kubefence "repro"
+
+	"repro/internal/mutate"
+	"repro/internal/object"
+	"repro/internal/registry"
+	"repro/internal/replay"
+)
+
+// echoTransport answers every forwarded request in-memory so both
+// proxies under comparison see an identical upstream.
+type echoTransport struct{}
+
+func (echoTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if r.Body != nil {
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+	}
+	return &http.Response{
+		StatusCode: http.StatusOK,
+		Status:     "200 OK",
+		Header:     http.Header{"Content-Type": []string{"application/json"}},
+		Body:       io.NopCloser(bytes.NewReader([]byte(`{"status":"ok"}`))),
+		Request:    r,
+	}, nil
+}
+
+// chartEvents renders a builtin chart and builds its benign trace
+// (create + reconcile re-apply) plus the adversarial mutation matrix.
+func chartEvents(t *testing.T, name string, c *kubefence.Chart, maxPerClass int) []replay.Event {
+	t.Helper()
+	manifests, err := kubefence.RenderChart(c, nil, kubefence.ReleaseOptions{
+		Name: "rel", Namespace: name,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var objs []object.Object
+	for _, m := range manifests {
+		o, err := object.ParseManifest(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		objs = append(objs, o)
+	}
+	var events []replay.Event
+	for _, o := range objs {
+		for _, method := range []string{"POST", "PUT"} {
+			ev, err := replay.BenignEvent(name, o, method)
+			if err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, ev)
+		}
+	}
+	scs, err := mutate.ForCatalog(objs, mutate.Options{MaxPerAttackClass: maxPerClass})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		ev, err := replay.AttackEvent(name, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		t.Fatalf("no replay events generated for %s", name)
+	}
+	return events
+}
+
+func roundTrip(t *testing.T, h http.Handler, ev replay.Event) (int, []byte) {
+	t.Helper()
+	req := httptest.NewRequest(ev.Method, ev.Path, bytes.NewReader(ev.Body))
+	req.Header.Set("Content-Type", ev.ContentType)
+	req.Header.Set("X-Remote-User", "operator:equivalence")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, body
+}
+
+// TestDeprecatedProxyConstructionEquivalence pins the deprecation
+// contract of ProxyConfig.Policy and ProxyConfig.CacheSize: for each
+// builtin chart, a proxy built the legacy way (single Policy plus the
+// proxy-level cache knob) and one built the recommended way (a
+// one-entry registry carrying the same policy and cache size) must
+// produce byte-identical responses — status and body — for the
+// workload's entire benign trace and its full adversarial mutation
+// matrix.
+func TestDeprecatedProxyConstructionEquivalence(t *testing.T) {
+	for _, name := range kubefence.BuiltinCharts() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			c, err := kubefence.LoadBuiltinChart(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			policy, err := kubefence.GeneratePolicy(c, kubefence.Options{Workload: name})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Legacy construction: single Policy + proxy-level CacheSize.
+			oldProxy, err := kubefence.NewProxy(kubefence.ProxyConfig{
+				Upstream:  "http://upstream.invalid",
+				Policy:    policy,
+				CacheSize: 256,
+				Transport: echoTransport{},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Recommended construction: explicit one-entry registry with
+			// the cache configured at the registry.
+			reg := kubefence.NewRegistry(kubefence.RegistryConfig{CacheSize: 256})
+			if err := policy.Register(reg, kubefence.Selector{}); err != nil {
+				t.Fatal(err)
+			}
+			newProxy, err := kubefence.NewProxy(kubefence.ProxyConfig{
+				Upstream:  "http://upstream.invalid",
+				Registry:  reg,
+				Transport: echoTransport{},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for i, ev := range chartEvents(t, name, c, 2) {
+				oldStatus, oldBody := roundTrip(t, oldProxy, ev)
+				newStatus, newBody := roundTrip(t, newProxy, ev)
+				if oldStatus != newStatus || !bytes.Equal(oldBody, newBody) {
+					t.Fatalf("event %d (%s %s): deprecated path %d %q, registry path %d %q",
+						i, ev.Method, ev.Path, oldStatus, oldBody, newStatus, newBody)
+				}
+			}
+		})
+	}
+}
+
+// TestNewPlaneFacade exercises the facade plane surface end to end:
+// construction, RegisterOn/SwapOn propagation, generation visibility,
+// fail-closed enforcement of the mutation matrix, and the tier metrics
+// rollup.
+func TestNewPlaneFacade(t *testing.T) {
+	pl, err := kubefence.NewPlane(kubefence.PlaneConfig{
+		Replicas:  2,
+		Upstream:  "http://upstream.invalid",
+		Transport: echoTransport{},
+		CacheSize: 64,
+		ProxyUser: "kubefence-proxy",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := kubefence.LoadBuiltinChart("nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := kubefence.GeneratePolicy(c, kubefence.Options{Workload: "nginx"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := kubefence.Selector{
+		Namespace:    "nginx",
+		ClusterKinds: registry.ClusterScopedKinds(policy.AllowedKinds()),
+	}
+	if err := policy.RegisterOn(pl, sel); err != nil {
+		t.Fatal(err)
+	}
+	gen1, err := pl.Generation("nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := policy.SwapOn(pl); err != nil {
+		t.Fatal(err)
+	}
+	gen2, err := pl.Generation("nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen2 <= gen1 {
+		t.Errorf("SwapOn did not advance the generation: %d -> %d", gen1, gen2)
+	}
+
+	for _, ev := range chartEvents(t, "nginx", c, 1) {
+		status, _ := roundTrip(t, pl, ev)
+		want := http.StatusOK
+		if ev.ExpectBlocked {
+			want = http.StatusForbidden
+		}
+		if status != want {
+			t.Fatalf("%s %s (attack=%v): got %d, want %d",
+				ev.Method, ev.Path, ev.ExpectBlocked, status, want)
+		}
+	}
+
+	m := pl.Metrics()
+	if m.Requests == 0 {
+		t.Error("tier metrics recorded no requests")
+	}
+	if m.PublishesStarted != m.PublishesCompleted {
+		t.Errorf("publish window not closed: started=%d completed=%d",
+			m.PublishesStarted, m.PublishesCompleted)
+	}
+	if len(m.Replicas) != 2 {
+		t.Fatalf("metrics rollup has %d replicas, want 2", len(m.Replicas))
+	}
+
+	// Permanent-failure sentinels surface through the facade.
+	if err := pl.Swap("ghost", policy.Validator()); !errors.Is(err, kubefence.ErrUnknownWorkload) {
+		t.Errorf("Swap(ghost) = %v, want ErrUnknownWorkload", err)
+	}
+}

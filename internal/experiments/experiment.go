@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Report is the outcome of one experiment run: renderable for humans
+// and serializable as the machine-readable JSON committed to the
+// BENCH_*.json baselines.
+type Report interface {
+	Render() string
+	JSON() ([]byte, error)
+}
+
+// Gated is implemented by reports that carry a pass/fail contract
+// beyond producing numbers — zero false negatives, verified pairs,
+// complete rollouts. CLIs must fail the run when Gate returns an error,
+// in every output mode: a dirty baseline must never land silently.
+type Gated interface {
+	Gate() error
+}
+
+// Experiment is one runnable unit of the evaluation: a stable name for
+// CLI dispatch plus a Run that produces the Report. The Run*/Render*
+// function pairs remain the primary API; Experiment is the uniform
+// surface command-line tables dispatch over.
+type Experiment interface {
+	Name() string
+	Run() (Report, error)
+}
+
+// funcExperiment adapts a (name, closure) pair to Experiment.
+type funcExperiment struct {
+	name string
+	run  func() (Report, error)
+}
+
+func (e funcExperiment) Name() string         { return e.name }
+func (e funcExperiment) Run() (Report, error) { return e.run() }
+
+// NewExperiment wraps a name and a run closure as an Experiment — the
+// adapter for one-off report producers (the paper figures and tables).
+func NewExperiment(name string, run func() (Report, error)) Experiment {
+	return funcExperiment{name: name, run: run}
+}
+
+// marshalReport is the one JSON encoding every report shares, matching
+// the committed BENCH_*.json files byte for byte (two-space indent,
+// trailing newline).
+func marshalReport(v any) ([]byte, error) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// TextReport is a Report for experiments whose outcome is a rendered
+// table or figure rather than a measurement series.
+type TextReport struct {
+	Name string `json:"name"`
+	Text string `json:"text"`
+}
+
+func (r TextReport) Render() string        { return r.Text }
+func (r TextReport) JSON() ([]byte, error) { return marshalReport(r) }
+
+// NewTextExperiment wraps a render-only producer as an Experiment.
+func NewTextExperiment(name string, run func() (string, error)) Experiment {
+	return funcExperiment{name: name, run: func() (Report, error) {
+		text, err := run()
+		if err != nil {
+			return nil, err
+		}
+		return TextReport{Name: name, Text: text}, nil
+	}}
+}
+
+// ThroughputReport adapts the throughput result series to Report. Its
+// JSON is the bare array committed as BENCH_throughput.json.
+type ThroughputReport []ThroughputResult
+
+func (r ThroughputReport) Render() string        { return RenderThroughput(r) }
+func (r ThroughputReport) JSON() ([]byte, error) { return marshalReport([]ThroughputResult(r)) }
+
+func (r *LatencyReport) Render() string        { return RenderLatency(r) }
+func (r *LatencyReport) JSON() ([]byte, error) { return marshalReport(r) }
+
+func (r *E2EReport) Render() string        { return RenderE2E(r) }
+func (r *E2EReport) JSON() ([]byte, error) { return marshalReport(r) }
+
+func (r *RobustnessResult) Render() string        { return RenderRobustness(r) }
+func (r *RobustnessResult) JSON() ([]byte, error) { return marshalReport(r) }
+
+// Gate fails a run with false negatives, false positives, or replay
+// errors — the contract kfbench enforces in both output modes.
+func (r *RobustnessResult) Gate() error {
+	if r.Clean() {
+		return nil
+	}
+	return fmt.Errorf("robustness run not clean: %d false negatives, %d false positives, %d errors",
+		r.FalseNegatives, r.FalsePositives, r.Errors)
+}
+
+func (r *LearningResult) Render() string        { return RenderLearning(r) }
+func (r *LearningResult) JSON() ([]byte, error) { return marshalReport(r) }
+
+// Gate fails a run where mined policies leak attacks, deny benign
+// traffic after promotion, or any chart failed to converge and promote.
+func (r *LearningResult) Gate() error {
+	if r.Clean() {
+		return nil
+	}
+	return fmt.Errorf("learning run not clean: converged=%v promoted=%v, %d false negatives, %d enforce FPs, %d errors",
+		r.AllConverged, r.AllPromoted,
+		r.TotalFalseNegatives, r.TotalEnforceFP, r.Errors)
+}
+
+func (r *ScenariosResult) Render() string        { return RenderScenarios(r) }
+func (r *ScenariosResult) JSON() ([]byte, error) { return marshalReport(r) }
+
+// Gate fails a corpus run with unverified pairs or a non-zero FN / FP /
+// error line in any cell.
+func (r *ScenariosResult) Gate() error {
+	if r.Clean() {
+		return nil
+	}
+	return fmt.Errorf("scenarios run not clean: verified=%v, %d false negatives, %d false positives, %d errors",
+		r.VerifiedPairs, r.TotalFalseNegatives, r.TotalFalsePositives, r.Errors)
+}
+
+func (r *PlaneResult) Render() string        { return RenderPlane(r) }
+func (r *PlaneResult) JSON() ([]byte, error) { return marshalReport(r) }
+
+// Gate fails a tier run with unverified pairs or a dirty correctness
+// matrix. The efficiency floor is benchgate's job — it needs the
+// committed baseline for context; this gate is the run's own
+// correctness contract.
+func (r *PlaneResult) Gate() error {
+	if r.Clean() {
+		return nil
+	}
+	return fmt.Errorf("plane run not clean: verified=%v, %d false negatives, %d false positives, %d errors",
+		r.VerifiedPairs, r.TotalFalseNegatives, r.TotalFalsePositives, r.Errors)
+}
+
+// NewThroughputExperiment builds the multi-workload enforcement
+// throughput experiment.
+func NewThroughputExperiment(opts ThroughputOptions) Experiment {
+	return funcExperiment{name: "throughput", run: func() (Report, error) {
+		res, err := Throughput(opts)
+		if err != nil {
+			return nil, err
+		}
+		return ThroughputReport(res), nil
+	}}
+}
+
+// NewLatencyExperiment builds the single-decision validation-latency
+// experiment.
+func NewLatencyExperiment(opts LatencyOptions) Experiment {
+	return funcExperiment{name: "latency", run: func() (Report, error) {
+		return reportOrErr(Latency(opts))
+	}}
+}
+
+// NewE2EExperiment builds the end-to-end admission-path experiment.
+func NewE2EExperiment(opts E2EOptions) Experiment {
+	return funcExperiment{name: "e2e", run: func() (Report, error) {
+		return reportOrErr(E2E(opts))
+	}}
+}
+
+// NewRobustnessExperiment builds the adversarial mutation-matrix
+// experiment.
+func NewRobustnessExperiment(opts RobustnessOptions) Experiment {
+	return funcExperiment{name: "robustness", run: func() (Report, error) {
+		return reportOrErr(Robustness(opts))
+	}}
+}
+
+// NewLearningExperiment builds the policy-learning rollout experiment.
+func NewLearningExperiment(opts LearningOptions) Experiment {
+	return funcExperiment{name: "learning", run: func() (Report, error) {
+		return reportOrErr(Learning(opts))
+	}}
+}
+
+// NewScenariosExperiment builds the synthetic-corpus scaling
+// experiment.
+func NewScenariosExperiment(opts ScenariosOptions) Experiment {
+	return funcExperiment{name: "scenarios", run: func() (Report, error) {
+		return reportOrErr(Scenarios(opts))
+	}}
+}
+
+// NewPlaneExperiment builds the distributed admission-tier experiment.
+func NewPlaneExperiment(opts PlaneOptions) Experiment {
+	return funcExperiment{name: "plane", run: func() (Report, error) {
+		return reportOrErr(Plane(opts))
+	}}
+}
+
+// reportOrErr narrows a concrete (*T, error) pair to (Report, error)
+// without returning a typed-nil Report on the error path.
+func reportOrErr[T any, PT interface {
+	Report
+	*T
+}](res PT, err error) (Report, error) {
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// runAndCheck drives one experiment through the uniform interface and
+// pins the Report contract: a non-empty human rendering and JSON that
+// ends in exactly one newline (the committed-baseline encoding).
+func runAndCheck(t *testing.T, e Experiment, wantName string) Report {
+	t.Helper()
+	if e.Name() != wantName {
+		t.Fatalf("Name() = %q, want %q", e.Name(), wantName)
+	}
+	rep, err := e.Run()
+	if err != nil {
+		t.Fatalf("%s: %v", wantName, err)
+	}
+	if rep.Render() == "" {
+		t.Errorf("%s: empty Render()", wantName)
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatalf("%s: JSON(): %v", wantName, err)
+	}
+	if len(data) == 0 || data[len(data)-1] != '\n' || data[len(data)-2] == '\n' {
+		t.Errorf("%s: JSON must end in exactly one trailing newline", wantName)
+	}
+	if !json.Valid(data) {
+		t.Errorf("%s: JSON() is not valid JSON", wantName)
+	}
+	if g, ok := rep.(Gated); ok {
+		if err := g.Gate(); err != nil {
+			t.Errorf("%s: clean run failed its gate: %v", wantName, err)
+		}
+	}
+	return rep
+}
+
+func TestExperimentInterfaceFastKinds(t *testing.T) {
+	rep := runAndCheck(t, NewThroughputExperiment(ThroughputOptions{
+		WorkloadCounts: []int{1},
+		Requests:       40,
+		Concurrency:    2,
+		CacheSize:      64,
+	}), "throughput")
+	// ThroughputReport serializes as the bare array the committed
+	// baseline uses, not an object wrapper.
+	if data, _ := rep.JSON(); data[0] != '[' {
+		t.Errorf("throughput JSON starts with %q, want a bare array", data[0])
+	}
+
+	runAndCheck(t, NewLatencyExperiment(LatencyOptions{
+		WorkloadCounts: []int{1},
+		Iterations:     20,
+		CacheSize:      64,
+	}), "latency")
+
+	runAndCheck(t, NewE2EExperiment(E2EOptions{
+		WorkloadCounts: []int{1},
+		Requests:       30,
+		CacheSize:      64,
+	}), "e2e")
+}
+
+func TestExperimentInterfaceGatedKinds(t *testing.T) {
+	rob := runAndCheck(t, NewRobustnessExperiment(RobustnessOptions{
+		Charts:            []string{"nginx"},
+		Concurrency:       4,
+		Seed:              7,
+		MaxPerAttackClass: 1,
+		CacheSize:         256,
+	}), "robustness").(*RobustnessResult)
+	rob.FalseNegatives = 3
+	if err := rob.Gate(); err == nil || !strings.Contains(err.Error(), "false negatives") {
+		t.Errorf("dirty robustness Gate() = %v, want false-negatives error", err)
+	}
+
+	lr := runAndCheck(t, NewLearningExperiment(LearningOptions{
+		Charts:            []string{"nginx"},
+		Concurrency:       4,
+		Seed:              7,
+		MaxPerAttackClass: 1,
+		CacheSize:         256,
+	}), "learning").(*LearningResult)
+	lr.TotalEnforceFP = 1
+	if err := lr.Gate(); err == nil {
+		t.Error("dirty learning Gate() should fail")
+	}
+
+	sc := runAndCheck(t, NewScenariosExperiment(ScenariosOptions{
+		Synth:             2,
+		Seed:              2,
+		Concurrency:       4,
+		MaxPerAttackClass: 1,
+		CacheSize:         64,
+	}), "scenarios").(*ScenariosResult)
+	sc.VerifiedPairs = false
+	if err := sc.Gate(); err == nil || !strings.Contains(err.Error(), "verified=false") {
+		t.Errorf("unverified scenarios Gate() = %v, want verified=false error", err)
+	}
+
+	pr := runAndCheck(t, NewPlaneExperiment(PlaneOptions{
+		ReplicaCounts:      []int{1, 2},
+		Synth:              4,
+		Seed:               1,
+		RequestsPerReplica: 200,
+		UpstreamLatency:    200_000,
+		MaxPerAttackClass:  1,
+		Repeats:            1,
+		Concurrency:        4,
+		CacheSize:          64,
+	}), "plane").(*PlaneResult)
+	pr.TotalFalsePositives = 2
+	if err := pr.Gate(); err == nil || !strings.Contains(err.Error(), "false positives") {
+		t.Errorf("dirty plane Gate() = %v, want false-positives error", err)
+	}
+}
+
+func TestExperimentRunErrorPropagates(t *testing.T) {
+	// reportOrErr must surface the run error as a true nil Report, not a
+	// typed nil that would pass != nil checks.
+	rep, err := NewRobustnessExperiment(RobustnessOptions{
+		Charts: []string{"no-such-chart"},
+	}).Run()
+	if err == nil {
+		t.Fatal("unknown chart should error")
+	}
+	if rep != nil {
+		t.Fatalf("Report on error = %#v, want untyped nil", rep)
+	}
+}
+
+func TestTextAndFuncExperiments(t *testing.T) {
+	e := NewTextExperiment("fig0", func() (string, error) { return "rendered table", nil })
+	rep := runAndCheck(t, e, "fig0")
+	tr, ok := rep.(TextReport)
+	if !ok || tr.Text != "rendered table" {
+		t.Fatalf("TextReport = %#v", rep)
+	}
+
+	boom := errors.New("boom")
+	if _, err := NewTextExperiment("fig0", func() (string, error) { return "", boom }).Run(); !errors.Is(err, boom) {
+		t.Errorf("text experiment error = %v, want boom", err)
+	}
+
+	wrapped := NewExperiment("custom", func() (Report, error) {
+		return TextReport{Name: "custom", Text: "x"}, nil
+	})
+	if _, err := wrapped.Run(); err != nil || wrapped.Name() != "custom" {
+		t.Errorf("NewExperiment: name=%q err=%v", wrapped.Name(), err)
+	}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPlaneExperimentSmoke runs a reduced tier matrix end to end: the
+// scaling cells must complete shed-free and the correctness matrix must
+// hold the zero-FN / zero-FP line through the sharded tier.
+func TestPlaneExperimentSmoke(t *testing.T) {
+	res, err := Plane(PlaneOptions{
+		ReplicaCounts:      []int{1, 2},
+		Synth:              8,
+		RequestsPerReplica: 400,
+		UpstreamLatency:    200 * time.Microsecond,
+		MaxPerAttackClass:  1,
+		Repeats:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Fatalf("plane run not clean: FN=%d FP=%d err=%d verified=%v",
+			res.TotalFalseNegatives, res.TotalFalsePositives, res.Errors, res.VerifiedPairs)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells: got %d, want 2", len(res.Cells))
+	}
+	base := res.Cell(1)
+	if base == nil || base.Efficiency != 1.0 {
+		t.Fatalf("baseline cell efficiency = %+v, want 1.0", base)
+	}
+	two := res.Cell(2)
+	if two == nil {
+		t.Fatal("missing 2-replica cell")
+	}
+	if two.Efficiency <= 0 {
+		t.Fatalf("2-replica efficiency = %f, want > 0", two.Efficiency)
+	}
+	if len(two.RoutedPerReplica) != 2 {
+		t.Fatalf("routed per replica: %v", two.RoutedPerReplica)
+	}
+	for i, routed := range two.RoutedPerReplica {
+		if routed == 0 {
+			t.Errorf("replica %d admitted no traffic: %v", i, two.RoutedPerReplica)
+		}
+	}
+	if res.MatrixReplicas != 2 {
+		t.Fatalf("matrix replicas = %d, want 2", res.MatrixReplicas)
+	}
+	if res.Matrix.AttackEvents == 0 || res.Matrix.BenignEvents == 0 {
+		t.Fatalf("matrix replayed nothing: %+v", res.Matrix)
+	}
+}

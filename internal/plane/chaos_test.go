@@ -1,0 +1,195 @@
+package plane
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+)
+
+// TestChaosKillRestartMidSwap kills and restarts replicas while policy
+// swaps and enforcement traffic run full tilt, and asserts the tier's
+// two distribution invariants under the race detector:
+//
+//  1. No stale-generation decision: once a Swap returns, a request
+//     STARTED afterwards is never judged by the pre-swap policy — not
+//     even by a replica that was killed mid-swap and rejoined, because
+//     rejoin requires a full resync from the control plane's desired
+//     state before the replica re-enters the ring.
+//  2. Fail-closed shedding: whatever the topology does, a request that
+//     violates the current policy is never forwarded. Chaos may turn a
+//     verdict into a 429/503 shed, never into a silent allow.
+//
+// The policy alternates between two generations with DISJOINT benign
+// sets (v1 allows hostNetwork=false, v2 allows hostNetwork=true), so a
+// stale verdict is directly observable as the wrong status code.
+func TestChaosKillRestartMidSwap(t *testing.T) {
+	pl := newTestPlane(t, 3, Config{})
+	v1 := policyFor(t, "wl", false, img)
+	v2 := policyFor(t, "wl", true, img)
+	// Several sibling workloads so the kill always disturbs real
+	// ownership somewhere even as shards move.
+	for _, ns := range []string{"n1", "n2", "n3", "n4", "n5"} {
+		if err := pl.Register("wl-"+ns, registry.Selector{Namespace: ns}, policyFor(t, "wl-"+ns, false, img)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pl.Register("wl", registry.Selector{Namespace: "prod"}, v1); err != nil {
+		t.Fatal(err)
+	}
+
+	// phase is the generation traffic must judge against: even => v1
+	// (false benign), odd => v2 (true benign). It is advanced only
+	// AFTER the corresponding Swap has returned, so a reader that
+	// observes phase N is guaranteed the swap to N's policy completed
+	// before its request started.
+	var phase atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	bodyFalse := podBody(false, img)
+	bodyTrue := podBody(true, img)
+
+	// Swapper: v1 -> v2 -> v1 -> ... as fast as it can.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			next := v2
+			if i%2 == 1 {
+				next = v1
+			}
+			if err := pl.Swap("wl", next); err != nil {
+				t.Errorf("Swap: %v", err)
+				return
+			}
+			phase.Add(1)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Chaos monkey: kill and restart each replica in turn, mid-swap by
+	// construction (the swapper never pauses).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			idx := i % 3
+			if err := pl.Kill(idx); err != nil {
+				t.Errorf("Kill(%d): %v", idx, err)
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+			if err := pl.Restart(idx); err != nil {
+				t.Errorf("Restart(%d): %v", idx, err)
+				return
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	// Traffic: every request snapshots the phase BEFORE it starts, so
+	// the snapshot is a lower bound on the published generation. If the
+	// phase did not advance while the request was in flight, the
+	// verdict must be exactly the snapshot generation's; if it did, any
+	// of the concurrently-published generations' verdicts is legal
+	// (bounded mixed window) — but forwarding a body BOTH generations
+	// deny is fail-open and always fatal.
+	const workers = 4
+	var served, shed atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				before := phase.Load()
+				wantAllow, wantDeny := bodyFalse, bodyTrue
+				if before%2 == 1 {
+					wantAllow, wantDeny = bodyTrue, bodyFalse
+				}
+				for _, probe := range []struct {
+					body  []byte
+					allow bool
+				}{{wantAllow, true}, {wantDeny, false}} {
+					req := httptest.NewRequest(http.MethodPost, "/api/v1/namespaces/prod/pods", bytes.NewReader(probe.body))
+					req.Header.Set("Content-Type", "application/json")
+					rec := httptest.NewRecorder()
+					pl.ServeHTTP(rec, req)
+					after := phase.Load()
+					switch rec.Code {
+					case http.StatusOK, http.StatusForbidden:
+						served.Add(1)
+						stable := before == after
+						if stable && probe.allow && rec.Code != http.StatusOK {
+							t.Errorf("phase %d: allowed body denied (stale generation served): %s", before, rec.Body)
+						}
+						if stable && !probe.allow && rec.Code != http.StatusForbidden {
+							t.Errorf("phase %d: denied body forwarded (stale generation served)", before)
+						}
+					case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+						shed.Add(1) // fail-closed shed, acceptable under chaos
+					default:
+						t.Errorf("unexpected status %d under chaos: %s", rec.Code, rec.Body)
+					}
+				}
+			}
+		}()
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if served.Load() == 0 {
+		t.Fatal("chaos run served zero requests — invariants never exercised")
+	}
+	t.Logf("chaos: %d served, %d shed, %d swaps, %d resyncs",
+		served.Load(), shed.Load(), phase.Load(), pl.Metrics().Resyncs)
+
+	// Quiesce: after the chaos stops and every replica is restored, the
+	// tier must converge to the final generation everywhere.
+	for i := 0; i < 3; i++ {
+		if st, _ := pl.State(i); st == ReplicaDown {
+			if err := pl.Restart(i); err != nil {
+				t.Fatalf("final Restart(%d): %v", i, err)
+			}
+		}
+	}
+	final := phase.Load()
+	wantAllow, wantDeny := bodyFalse, bodyTrue
+	if final%2 == 1 {
+		wantAllow, wantDeny = bodyTrue, bodyFalse
+	}
+	for i := 0; i < 50; i++ {
+		if w := post(t, pl, "/api/v1/namespaces/prod/pods", wantAllow); w.Code != http.StatusOK {
+			t.Fatalf("quiesced benign: code %d body %s", w.Code, w.Body)
+		}
+		if w := post(t, pl, "/api/v1/namespaces/prod/pods", wantDeny); w.Code != http.StatusForbidden {
+			t.Fatalf("quiesced attack: code %d (fail-open after chaos)", w.Code)
+		}
+	}
+	tm := pl.Metrics()
+	if tm.PublishesStarted != tm.PublishesCompleted {
+		t.Errorf("publishes: started %d != completed %d after quiesce", tm.PublishesStarted, tm.PublishesCompleted)
+	}
+}

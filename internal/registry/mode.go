@@ -257,7 +257,7 @@ func (r *Registry) RegisterLearning(workload string, sel Selector, obs Observer)
 func (r *Registry) SetObserver(workload string, obs Observer) error {
 	e, ok := r.Entry(workload)
 	if !ok {
-		return fmt.Errorf("registry: workload %s is not registered", workload)
+		return errUnknown(workload)
 	}
 	if obs == nil {
 		e.observer.Store(nil)
@@ -273,7 +273,7 @@ func (r *Registry) SetObserver(workload string, obs Observer) error {
 func (r *Registry) SetMode(workload string, m Mode) error {
 	e, ok := r.Entry(workload)
 	if !ok {
-		return fmt.Errorf("registry: workload %s is not registered", workload)
+		return errUnknown(workload)
 	}
 	e.modeMu.Lock()
 	defer e.modeMu.Unlock()
@@ -285,7 +285,7 @@ func (r *Registry) SetMode(workload string, m Mode) error {
 func (r *Registry) Mode(workload string) (Mode, error) {
 	e, ok := r.Entry(workload)
 	if !ok {
-		return 0, fmt.Errorf("registry: workload %s is not registered", workload)
+		return 0, errUnknown(workload)
 	}
 	return e.Mode(), nil
 }
@@ -306,19 +306,31 @@ func (r *Registry) Modes() map[string]Mode {
 // enforced.
 var ErrStaleGeneration = fmt.Errorf("registry: policy generation changed since the shadow gate was evaluated")
 
+// ErrNotShadowing reports a promotion addressed to a workload that is
+// not in shadow mode. Promoting an already-enforcing workload is a
+// protocol error, not a race: retrying cannot succeed until the
+// workload re-enters shadow, so distribution layers treat this (like
+// ErrUnknownWorkload) as permanent rather than retryable.
+var ErrNotShadowing = fmt.Errorf("registry: workload is not in shadow mode")
+
 // Promote switches a workload from shadow to enforce, but only if gen is
 // still the entry's current policy generation. The check and the mode
 // store are serialized against Swap (both hold the entry's mode lock),
 // so the workload can never enforce a policy generation it did not
 // finish shadowing: a candidate swapped in after the gate was evaluated
-// must re-earn its own clean shadow window.
+// must re-earn its own clean shadow window. A workload that is not
+// shadowing (already enforcing, or still learning) fails with
+// ErrNotShadowing.
 func (r *Registry) Promote(workload string, gen uint64) error {
 	e, ok := r.Entry(workload)
 	if !ok {
-		return fmt.Errorf("registry: workload %s is not registered", workload)
+		return errUnknown(workload)
 	}
 	e.modeMu.Lock()
 	defer e.modeMu.Unlock()
+	if m := Mode(e.mode.Load()); m != ModeShadow {
+		return fmt.Errorf("%w (workload %s: mode %s)", ErrNotShadowing, workload, m)
+	}
 	ver := e.version.Load()
 	if ver.gen != gen {
 		return fmt.Errorf("%w (workload %s: gated %d, current %d)",
@@ -337,7 +349,7 @@ func (r *Registry) Promote(workload string, gen uint64) error {
 func (r *Registry) Demote(workload string) (Mode, error) {
 	e, ok := r.Entry(workload)
 	if !ok {
-		return 0, fmt.Errorf("registry: workload %s is not registered", workload)
+		return 0, errUnknown(workload)
 	}
 	e.modeMu.Lock()
 	defer e.modeMu.Unlock()

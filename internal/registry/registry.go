@@ -429,6 +429,18 @@ func New(cfg Config) *Registry {
 	}
 }
 
+// ErrUnknownWorkload reports an operation addressed to a workload the
+// registry has never seen (or that was deregistered). For a distribution
+// protocol this is the PERMANENT failure class: retrying the same call
+// cannot succeed until the workload is registered again, unlike
+// ErrStaleGeneration races, which a re-gate resolves.
+var ErrUnknownWorkload = fmt.Errorf("registry: unknown workload")
+
+// errUnknown builds the canonical unknown-workload error.
+func errUnknown(workload string) error {
+	return fmt.Errorf("%w: %s is not registered", ErrUnknownWorkload, workload)
+}
+
 // Register adds a workload policy. The workload name must be unique, and
 // its ClusterKinds must not overlap another entry's: cluster-scoped
 // objects carry no namespace to disambiguate tenants, so an overlapping
@@ -503,7 +515,7 @@ func (r *Registry) Swap(workload string, v *validator.Validator) error {
 	defer r.mu.RUnlock()
 	e, ok := r.entries[workload]
 	if !ok {
-		return fmt.Errorf("registry: workload %s is not registered", workload)
+		return errUnknown(workload)
 	}
 	// The mode lock serializes the publish against Promote's
 	// generation-pinned shadow→enforce transition (see mode.go): a swap
@@ -529,7 +541,7 @@ func (r *Registry) SetInvariants(workload string, invs []Invariant) error {
 	defer r.mu.RUnlock()
 	e, ok := r.entries[workload]
 	if !ok {
-		return fmt.Errorf("registry: workload %s is not registered", workload)
+		return errUnknown(workload)
 	}
 	e.modeMu.Lock()
 	cur := e.version.Load()

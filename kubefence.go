@@ -23,6 +23,7 @@ package kubefence
 import (
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/chart"
 	"repro/internal/charts"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/learn"
 	"repro/internal/mutate"
 	"repro/internal/object"
+	"repro/internal/plane"
 	"repro/internal/proxy"
 	"repro/internal/registry"
 	"repro/internal/schema"
@@ -322,14 +324,25 @@ func GenerateRegistry(cfg RegistryConfig, names ...string) (*Registry, error) {
 type ProxyConfig struct {
 	// Upstream is the API server base URL ("https://host:6443").
 	Upstream string
-	// Policy is a single cluster-wide enforced policy. Exactly one of
-	// Policy or Registry is required.
+	// Policy is a single cluster-wide enforced policy. The proxy wraps
+	// it in a one-entry registry internally, so single-policy and
+	// registry-backed proxies share one enforcement path and one set of
+	// counters. Exactly one of Policy or Registry may be set.
+	//
+	// Deprecated: build the one-entry registry explicitly — NewRegistry
+	// plus Policy.Register with a zero Selector — and set Registry.
+	// Policy keeps working and produces identical verdicts; it is the
+	// legacy spelling of the same construction.
 	Policy *Policy
 	// Registry supplies per-workload policies resolved per request; the
 	// proxy denies requests no registered policy governs (fail closed).
 	Registry *Registry
 	// CacheSize bounds the decision cache built for a single Policy;
 	// ignored when Registry is set (configure its cache instead).
+	//
+	// Deprecated: this duplicates RegistryConfig.CacheSize and is only
+	// honored alongside the deprecated Policy field. Size the registry's
+	// cache instead.
 	CacheSize int
 	// Transport carries requests upstream; holds the mTLS client config
 	// in complete-mediation deployments. Defaults to
@@ -401,6 +414,105 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 	}
 	return proxy.New(pc)
 }
+
+// ---------------------------------------------------------------------
+// Distributed admission plane
+// ---------------------------------------------------------------------
+
+// Plane is a distributed admission tier: N proxy replicas behind one
+// http.Handler front door. Workloads are sharded across replicas by
+// consistent hashing over their selector keys, policy updates propagate
+// atomically to every owning replica (Register, Swap, Promote), and
+// overloaded or unavailable replicas shed load fail-closed (429/503,
+// never a silent allow). See Plane.Metrics for the tier rollup and
+// Drain/Kill/Restart for operational control.
+type Plane = plane.Plane
+
+// PlaneConfig configures a distributed admission plane.
+type PlaneConfig struct {
+	// Replicas is the number of proxy replicas (required, >= 1).
+	Replicas int
+	// Upstream is the API server base URL shared by every replica.
+	Upstream string
+	// Transport carries requests upstream; holds the mTLS client config
+	// in complete-mediation deployments. Defaults to
+	// http.DefaultTransport.
+	Transport http.RoundTripper
+	// CacheSize bounds each replica registry's per-workload decision
+	// cache. Zero disables caching.
+	CacheSize int
+	// MaxInFlight bounds the requests concurrently admitted into one
+	// replica; excess requests wait up to QueueTimeout for a slot and
+	// are then shed with 429. Zero means unbounded.
+	MaxInFlight int
+	// QueueTimeout is how long a request may wait for a replica slot
+	// before being shed. Zero sheds immediately when the replica is
+	// saturated.
+	QueueTimeout time.Duration
+	// VirtualNodes is the consistent-hash virtual-node count per
+	// replica (default 64); raise it to smooth shard balance for small
+	// workload corpora.
+	VirtualNodes int
+	// ProxyUser is the identity each replica asserts upstream over
+	// header-authenticated channels.
+	ProxyUser string
+	// DisableRawFastPath forces every replica through the decode-first
+	// path (ablation/debugging).
+	DisableRawFastPath bool
+}
+
+// ReplicaState is a replica's lifecycle state (active, draining, down).
+type ReplicaState = plane.ReplicaState
+
+// PlaneMetrics is the tier-level metrics rollup: front-door accounting,
+// the publish-window bound, and per-replica detail.
+type PlaneMetrics = plane.TierMetrics
+
+// PlaneReplicaMetrics is one replica's slice of the rollup.
+type PlaneReplicaMetrics = plane.ReplicaMetrics
+
+// NewPlane builds a distributed admission plane. Register policies with
+// Policy.RegisterOn, propagate regenerated ones with Policy.SwapOn, and
+// serve the returned Plane as the cluster's single enforcement front
+// door.
+func NewPlane(cfg PlaneConfig) (*Plane, error) {
+	return plane.New(plane.Config{
+		Replicas:           cfg.Replicas,
+		Upstream:           cfg.Upstream,
+		Transport:          cfg.Transport,
+		CacheSize:          cfg.CacheSize,
+		MaxInFlight:        cfg.MaxInFlight,
+		QueueTimeout:       cfg.QueueTimeout,
+		VirtualNodes:       cfg.VirtualNodes,
+		ProxyUser:          cfg.ProxyUser,
+		DisableRawFastPath: cfg.DisableRawFastPath,
+	})
+}
+
+// RegisterOn adds the policy to a plane under the given selector,
+// installing it atomically on every replica that owns a shard of the
+// selector (the plane analogue of Policy.Register).
+func (p *Policy) RegisterOn(pl *Plane, sel Selector) error {
+	return pl.Register(p.Workload, sel, p.validator)
+}
+
+// SwapOn atomically propagates a regenerated policy for p's workload to
+// every owning replica — no replica ever serves a generation the plane
+// has not finished publishing.
+func (p *Policy) SwapOn(pl *Plane) error {
+	return pl.Swap(p.Workload, p.validator)
+}
+
+// Sentinel errors the registry and plane return for permanent (as
+// opposed to retryable) distribution failures; test with errors.Is.
+var (
+	// ErrUnknownWorkload reports an operation addressed to a workload
+	// that was never registered.
+	ErrUnknownWorkload = registry.ErrUnknownWorkload
+	// ErrNotShadowing reports a promotion addressed to a workload that
+	// is not in shadow mode.
+	ErrNotShadowing = registry.ErrNotShadowing
+)
 
 // ---------------------------------------------------------------------
 // Traffic-driven policy learning & the shadow → enforce rollout
@@ -685,6 +797,31 @@ func RunScenarios(opts ScenariosOptions) (*ScenariosReport, error) {
 // RenderScenariosReport renders a scenarios report for humans.
 func RenderScenariosReport(r *ScenariosReport) string {
 	return experiments.RenderScenarios(r)
+}
+
+// PlaneOptions configure RunPlane: the replica counts to measure, the
+// synthetic corpus (size, seed), per-cell request volume, the
+// backpressure knobs, and the attack-variant cap for the correctness
+// matrix.
+type PlaneOptions = experiments.PlaneOptions
+
+// PlaneReport is the measured outcome: one throughput cell per replica
+// count with scaling efficiency relative to the single-replica
+// baseline, plus the full adversarial mutation matrix replayed through
+// the largest tier. Committed as BENCH_plane.json and enforced by the
+// CI bench gate (benchgate -kind plane).
+type PlaneReport = experiments.PlaneResult
+
+// RunPlane measures the distributed admission tier: capacity-bounded
+// replicas at increasing counts over the synthetic corpus, then the
+// correctness matrix (0 FN / 0 FP required) through the largest tier.
+func RunPlane(opts PlaneOptions) (*PlaneReport, error) {
+	return experiments.Plane(opts)
+}
+
+// RenderPlaneReport renders a plane report for humans.
+func RenderPlaneReport(r *PlaneReport) string {
+	return experiments.RenderPlane(r)
 }
 
 // RenderChart renders a chart with user value overrides into manifests,

@@ -11,6 +11,7 @@
 #   make learning-json   # policy-learning baseline -> BENCH_learning.json
 #   make scenarios-json  # synthetic-corpus baseline -> BENCH_scenarios.json
 #   make plane-json      # distributed-tier baseline -> BENCH_plane.json
+#   make telemetry-json  # telemetry-overhead baseline -> BENCH_telemetry.json
 #   make bench-gate      # fresh bench run vs committed BENCH_*.json baselines
 #   make coverage-gate   # coverage profile; fails below COVERAGE_BASELINE
 #   make staticcheck     # pinned staticcheck ./... via go run
@@ -54,6 +55,12 @@ MIN_FLATNESS  ?= 0.5
 # N x the same run's single-replica ops/sec).
 GATE_REPLICAS        ?= 1,2,4,8
 MIN_PLANE_EFFICIENCY ?= 0.7
+# Telemetry gate ceiling: recording a decision may cost at most this
+# fraction of wall clock over the same run's telemetry-off cell. The
+# on/off ratio comes from two cells measured back to back in one
+# process, so like the other same-machine ratios it gates everywhere;
+# so does the zero-allocs-added budget of the "on" cell.
+MAX_TELEMETRY_OVERHEAD ?= 0.05
 
 # Tier-1 total statement coverage at the time the gate was last raised
 # (PR 6, 84.5%) minus a small buffer for refactoring churn; raise it as
@@ -62,7 +69,7 @@ COVERAGE_BASELINE ?= 84.0
 
 .PHONY: all ci fmt-check vet build test race bench json latency-json \
 	e2e-json fuzz-smoke robustness-json learning-json scenarios-json \
-	plane-json bench-gate coverage-gate staticcheck
+	plane-json telemetry-json bench-gate coverage-gate staticcheck
 
 all: ci
 
@@ -132,6 +139,13 @@ plane-json:
 		-seed 1 -cache 4096 -repeats 3 -json > BENCH_plane.json
 	@echo wrote BENCH_plane.json
 
+# Cache stays off so the overhead ratio is measured against genuine
+# validation work, not cache-hit turnaround.
+telemetry-json:
+	$(GO) run ./cmd/kfbench -experiment telemetry -counts 1,5 \
+		-requests 3000 -sample-every 128 -repeats 3 -json > BENCH_telemetry.json
+	@echo wrote BENCH_telemetry.json
+
 # bench-gate measures fresh throughput and latency numbers and compares
 # them against the committed BENCH_*.json baselines; any regression
 # beyond TOLERANCE (or a compiled cold-path speedup below MIN_SPEEDUP,
@@ -174,7 +188,13 @@ bench-gate:
 		-json > "$$tmpdir/plane-fresh.json"; \
 	$(GO) run ./cmd/benchgate -kind plane -tolerance $(TOLERANCE) $(GATE_FLAGS) \
 		-min-plane-efficiency $(MIN_PLANE_EFFICIENCY) \
-		-baseline BENCH_plane.json -fresh "$$tmpdir/plane-fresh.json"
+		-baseline BENCH_plane.json -fresh "$$tmpdir/plane-fresh.json"; \
+	$(GO) run ./cmd/kfbench -experiment telemetry -counts 1,5 \
+		-requests $(GATE_ITERATIONS) -sample-every 128 -repeats 3 \
+		-json > "$$tmpdir/telemetry-fresh.json"; \
+	$(GO) run ./cmd/benchgate -kind telemetry -tolerance $(TOLERANCE) $(GATE_FLAGS) \
+		-max-telemetry-overhead $(MAX_TELEMETRY_OVERHEAD) \
+		-baseline BENCH_telemetry.json -fresh "$$tmpdir/telemetry-fresh.json"
 
 coverage-gate:
 	$(GO) test ./... -coverprofile=coverage.out

@@ -10,6 +10,7 @@
 //	benchgate -kind e2e        -baseline BENCH_e2e.json        -fresh fresh.json
 //	benchgate -kind scenarios  -baseline BENCH_scenarios.json  -fresh fresh.json
 //	benchgate -kind plane      -baseline BENCH_plane.json      -fresh fresh.json
+//	benchgate -kind telemetry  -baseline BENCH_telemetry.json  -fresh fresh.json
 //
 // Two classes of check run:
 //
@@ -76,6 +77,21 @@
 // runs 1 and 2 replicas) gates everything except the 4-replica
 // efficiency floor, which needs the nightly full matrix.
 //
+// The telemetry kind gates the observability layer's own cost. Machine-
+// independent checks always gate: the fresh run's /metrics rendering
+// must satisfy the exposition grammar, the "on" cell may add at most a
+// rounding sliver of allocs/op over its same-run "off" cell (recording
+// a decision on the allowed fast path must stay allocation-free), and
+// the on/off and scrape/off overhead ratios — same-machine ratios of
+// cells measured back to back in one process — must stay at or below
+// -max-telemetry-overhead (default 5%). Per-cell ns/op and allocs/op
+// comparisons against the committed baseline follow the usual rules:
+// wall clock is relative and advisory-able, allocation counts gate
+// everywhere (the scrape cell's allocs are excluded — the concurrent
+// scraper's own allocations land in the same MemStats window and vary
+// with machine speed). Cells the fresh run did not measure (a reduced
+// CI matrix) are skipped.
+//
 // Every comparison is printed; failures are marked FAIL and summarized.
 // Gate kinds dispatch over a table of gate functions sharing one
 // options struct — adding a kind means adding a table entry.
@@ -108,6 +124,7 @@ type gateOptions struct {
 	minAllocReduction  float64
 	minFlatness        float64
 	minPlaneEfficiency float64
+	maxTelOverhead     float64
 	advise             bool
 }
 
@@ -135,7 +152,8 @@ var gates = map[string]gateFunc{
 		return gateScenarios(o.baseline, o.fresh, o.tolerance,
 			o.minFlatness, o.advise, out)
 	},
-	"plane": gatePlane,
+	"plane":     gatePlane,
+	"telemetry": gateTelemetry,
 }
 
 // kindNames lists the dispatch table's keys, sorted for stable usage
@@ -160,6 +178,7 @@ func run(args []string, out *os.File) error {
 	minAllocReduction := fs.Float64("min-alloc-reduction", 0.5, "e2e: required fraction of per-request allocations the fast path eliminates")
 	minFlatness := fs.Float64("min-flatness", 0.5, "scenarios: required per-engine events/sec flatness ratio across workload counts")
 	minPlaneEfficiency := fs.Float64("min-plane-efficiency", 0.7, "plane: required scaling efficiency at 4 replicas")
+	maxTelOverhead := fs.Float64("max-telemetry-overhead", 0.05, "telemetry: allowed on/off and scrape/off overhead ratio")
 	adviseRelative := fs.Bool("advise-relative", false,
 		"report relative-to-baseline regressions without failing (for runs on hardware other than the baseline machine); machine-independent checks still gate")
 	if err := fs.Parse(args); err != nil {
@@ -184,6 +203,7 @@ func run(args []string, out *os.File) error {
 		minAllocReduction:  *minAllocReduction,
 		minFlatness:        *minFlatness,
 		minPlaneEfficiency: *minPlaneEfficiency,
+		maxTelOverhead:     *maxTelOverhead,
 		advise:             *adviseRelative,
 	}, out)
 	if err != nil {
@@ -713,6 +733,107 @@ func gatePlane(o gateOptions, out *os.File) (failures, advisories []string, err 
 	} else {
 		fmt.Fprintf(out, "fresh run has no %d-replica cell; efficiency floor not applicable (reduced matrix)\n",
 			floorReplicas)
+	}
+	return failures, advisories, nil
+}
+
+// gateTelemetry gates the observability layer's own cost. Machine-
+// independent checks always gate: the exposition grammar, the
+// allocation budget of the "on" cell over its same-run "off" cell
+// (recording must stay alloc-free on the allowed fast path), and the
+// overhead ratios — on/off and scrape/off are cells measured back to
+// back in one process, so the ratio holds on any hardware. Per-cell
+// ns/op against the committed baseline is relative and advisory-able;
+// per-cell allocs/op gates everywhere except the scrape cell, whose
+// MemStats window also contains the concurrent scraper's allocations
+// (their count varies with how many scrapes the hardware fit into the
+// measurement). Cells the fresh run did not measure are skipped.
+func gateTelemetry(o gateOptions, out *os.File) (failures, advisories []string, err error) {
+	var baseline, fresh experiments.TelemetryReport
+	if err := loadJSON(o.baseline, &baseline); err != nil {
+		return nil, nil, err
+	}
+	if err := loadJSON(o.fresh, &fresh); err != nil {
+		return nil, nil, err
+	}
+	relative := func(msg string) string {
+		if o.advise {
+			advisories = append(advisories, msg)
+			return "ADVISE"
+		}
+		failures = append(failures, msg)
+		return "FAIL"
+	}
+	if !fresh.ExpositionValid {
+		failures = append(failures, "fresh run's /metrics rendering failed exposition validation")
+	}
+	if len(fresh.Results) == 0 {
+		failures = append(failures, "fresh telemetry report carries no cells")
+	}
+	fmt.Fprintf(out, "%-10s %-10s %-12s %-12s %-10s %-12s %-12s %s\n",
+		"workloads", "telemetry", "base ns/op", "fresh ns/op", "delta", "base allocs", "fresh allocs", "verdict")
+	for _, base := range baseline.Results {
+		fr := fresh.Result(base.Workloads, base.Telemetry)
+		if fr == nil {
+			// The fresh run may legitimately measure a fleet-size subset
+			// (the CI smoke path); only gate the cells it ran.
+			continue
+		}
+		cell := fmt.Sprintf("workloads=%d telemetry=%s", base.Workloads, base.Telemetry)
+		delta := 0.0
+		if base.NsPerOp > 0 {
+			delta = fr.NsPerOp/base.NsPerOp - 1
+		}
+		verdict := "ok"
+		if fr.NsPerOp > base.NsPerOp*(1+o.tolerance) {
+			verdict = relative(fmt.Sprintf(
+				"%s ns/op %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+				cell, base.NsPerOp, fr.NsPerOp, delta*100, o.tolerance*100))
+		}
+		// Allocation counts are machine-independent and gate even under
+		// -advise-relative — except for the scrape cell, whose MemStats
+		// window includes the concurrent scraper's own allocations, a
+		// count that scales with machine speed rather than code path.
+		if base.Telemetry != "scrape" && fr.AllocsPerOp > base.AllocsPerOp*(1+o.tolerance)+1 {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"%s allocs/op %.1f -> %.1f (tolerance %.0f%%)",
+				cell, base.AllocsPerOp, fr.AllocsPerOp, o.tolerance*100))
+		}
+		fmt.Fprintf(out, "%-10d %-10s %-12.0f %-12.0f %-+9.1f%% %-12.1f %-12.1f %s\n",
+			base.Workloads, base.Telemetry, base.NsPerOp, fr.NsPerOp, delta*100,
+			base.AllocsPerOp, fr.AllocsPerOp, verdict)
+	}
+	// The overhead ratio and allocation budget come from the fresh run
+	// itself (on/off/scrape cells measured back to back in one process),
+	// so they gate on any hardware — this is the layer's core contract:
+	// recording a decision costs at most -max-telemetry-overhead of wall
+	// clock and zero allocations on the allowed fast path.
+	onCells := 0
+	for _, ov := range fresh.Overheads {
+		verdict := "ok"
+		if ov.Telemetry == "on" {
+			onCells++
+			// Half an alloc/op of slack absorbs GC-accounting jitter; a
+			// real per-request allocation would add a full 1.0.
+			if ov.AllocsAdded > 0.5 {
+				verdict = "FAIL"
+				failures = append(failures, fmt.Sprintf(
+					"workloads=%d telemetry=on adds %.1f allocs/op (recording must stay allocation-free)",
+					ov.Workloads, ov.AllocsAdded))
+			}
+		}
+		if ov.Overhead > o.maxTelOverhead {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"workloads=%d telemetry=%s overhead %.2f%% above the %.1f%% ceiling",
+				ov.Workloads, ov.Telemetry, ov.Overhead*100, o.maxTelOverhead*100))
+		}
+		fmt.Fprintf(out, "workloads=%-3d telemetry=%-7s overhead %+.2f%% (ceiling %.1f%%), allocs/op added %+.1f %s\n",
+			ov.Workloads, ov.Telemetry, ov.Overhead*100, o.maxTelOverhead*100, ov.AllocsAdded, verdict)
+	}
+	if onCells == 0 {
+		failures = append(failures, "fresh telemetry report carries no on-vs-off overhead cells")
 	}
 	return failures, advisories, nil
 }

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// telemetryReport builds a two-state report (off/on at one fleet size)
+// with the given on-cell overhead ratio and allocs added.
+func telemetryReport(nsOff, nsOn, allocsAdded float64, expoValid bool) experiments.TelemetryReport {
+	return experiments.TelemetryReport{
+		CacheSize:       0,
+		SampleEvery:     128,
+		ExpositionValid: expoValid,
+		Results: []experiments.TelemetryResult{
+			{Workloads: 1, Telemetry: "off", Requests: 3000, NsPerOp: nsOff, AllocsPerOp: 20},
+			{Workloads: 1, Telemetry: "on", Requests: 3000, NsPerOp: nsOn, AllocsPerOp: 20 + allocsAdded},
+		},
+		Overheads: []experiments.TelemetryOverhead{
+			{Workloads: 1, Telemetry: "on", Overhead: nsOn/nsOff - 1, AllocsAdded: allocsAdded},
+		},
+	}
+}
+
+func TestTelemetryGatePassesWithinCeiling(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", telemetryReport(4000, 4080, 0, true))
+	fresh := writeJSON(t, dir, "fresh.json", telemetryReport(4100, 4150, 0, true))
+	if err := run([]string{"-kind", "telemetry", "-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+		t.Fatalf("2%% overhead run failed: %v", err)
+	}
+}
+
+func TestTelemetryGateFailsAboveOverheadCeiling(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", telemetryReport(4000, 4080, 0, true))
+	fresh := writeJSON(t, dir, "fresh.json", telemetryReport(4000, 4400, 0, true))
+	err := run([]string{"-kind", "telemetry", "-baseline", base, "-fresh", fresh}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("10%% overhead must fail the 5%% ceiling, got %v", err)
+	}
+}
+
+func TestTelemetryGateFailsOnAddedAllocations(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", telemetryReport(4000, 4080, 0, true))
+	// Overhead fine, but recording started allocating.
+	fresh := writeJSON(t, dir, "fresh.json", telemetryReport(4000, 4080, 2, true))
+	err := run([]string{"-kind", "telemetry", "-baseline", base, "-fresh", fresh, "-advise-relative"}, os.Stdout)
+	if err == nil {
+		t.Fatal("allocating recording must fail the gate even under -advise-relative")
+	}
+}
+
+func TestTelemetryGateFailsOnInvalidExposition(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", telemetryReport(4000, 4080, 0, true))
+	fresh := writeJSON(t, dir, "fresh.json", telemetryReport(4000, 4080, 0, false))
+	err := run([]string{"-kind", "telemetry", "-baseline", base, "-fresh", fresh, "-advise-relative"}, os.Stdout)
+	if err == nil {
+		t.Fatal("invalid exposition must fail the gate even under -advise-relative")
+	}
+}
+
+func TestTelemetryGateAdvisesRelativeOnForeignHardware(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", telemetryReport(4000, 4080, 0, true))
+	// Both cells 2x slower (foreign hardware), overhead ratio still 2%:
+	// wall-clock comparisons must downgrade to advisory, the ratio holds.
+	fresh := writeJSON(t, dir, "fresh.json", telemetryReport(8000, 8160, 0, true))
+	if err := run([]string{"-kind", "telemetry", "-baseline", base, "-fresh", fresh, "-advise-relative"}, os.Stdout); err != nil {
+		t.Fatalf("same-ratio run on slower hardware failed under -advise-relative: %v", err)
+	}
+	// Without -advise-relative the same run fails on the ns/op cells.
+	if err := run([]string{"-kind", "telemetry", "-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("2x ns/op regression must fail without -advise-relative")
+	}
+}
+
+func TestTelemetryGateCustomCeiling(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", telemetryReport(4000, 4120, 0, true))
+	fresh := writeJSON(t, dir, "fresh.json", telemetryReport(4000, 4120, 0, true))
+	// 3% overhead passes the default ceiling but not a 1% one.
+	if err := run([]string{"-kind", "telemetry", "-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+		t.Fatalf("3%% overhead failed the default ceiling: %v", err)
+	}
+	if err := run([]string{"-kind", "telemetry", "-baseline", base, "-fresh", fresh,
+		"-max-telemetry-overhead", "0.01"}, os.Stdout); err == nil {
+		t.Fatal("3% overhead must fail a 1% ceiling")
+	}
+}

@@ -64,6 +64,15 @@
 //	kfbench -experiment scenarios -synth 100 -seed 1 -json > BENCH_scenarios.json
 //	kfbench -experiment scenarios -synth 25 -max-per-class 2   # CI smoke
 //
+// The telemetry experiment prices the observability layer: the allowed
+// fast path measured with the telemetry hub off, on, and on under a
+// concurrent /metrics scraper — the committed BENCH_telemetry.json
+// baseline, gated by cmd/benchgate -kind telemetry (overhead ≤ 5%, no
+// allocations added on the fast path):
+//
+//	kfbench -experiment telemetry -counts 1,5 -requests 3000 \
+//	        -sample-every 128 -json > BENCH_telemetry.json
+//
 // The plane experiment measures the distributed admission tier
 // (internal/plane): benign-traffic scaling efficiency across -replicas
 // tier sizes against capacity-bounded replicas, plus one full benign +
@@ -106,7 +115,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("kfbench", flag.ExitOnError)
-	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | throughput | robustness | latency | learning | e2e | scenarios | plane | all")
+	experiment := fs.String("experiment", "all", "fig5 | fig9 | fig11 | table1 | table2 | table3 | table4 | resources | throughput | robustness | latency | learning | e2e | scenarios | plane | telemetry | all")
 	reps := fs.Int("reps", 10, "repetitions for table4 (paper: 10)")
 	counts := fs.String("counts", "1,5,10", "workload counts for throughput (comma-separated)")
 	requests := fs.Int("requests", 2000, "proxied requests per throughput measurement (per replica for plane)")
@@ -123,6 +132,7 @@ func run(args []string) error {
 	maxEpochs := fs.Int("max-epochs", 8, "benign-replay epochs allowed for learning convergence")
 	synthCount := fs.Int("synth", 0, "generated synthetic workloads: corpus size for scenarios and plane (0 = default), extra workloads for robustness and learning (0 = none)")
 	replicas := fs.String("replicas", "1,2,4,8", "tier sizes for the plane experiment (comma-separated)")
+	sampleEvery := fs.Int("sample-every", 128, "trace sampling rate for the telemetry experiment (1/N decisions)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -168,6 +178,7 @@ func run(args []string) error {
 		yamlWire:       *wire == "yaml",
 		maxEpochs:      *maxEpochs,
 		synth:          *synthCount,
+		sampleEvery:    *sampleEvery,
 	})
 
 	if *experiment == "all" {
@@ -204,6 +215,14 @@ func runExperiment(e experiments.Experiment, jsonOut bool) error {
 		}
 	} else {
 		fmt.Println(rep.Render())
+		// Every baselined report footers its committed JSON path, regen
+		// command, and gate, so regenerating a baseline is copy-paste in
+		// every experiment, not just the ones that happened to print it.
+		if b, ok := rep.(experiments.Baselined); ok {
+			info := b.BaselineInfo()
+			fmt.Printf("\nbaseline: %s\n  regen:  %s\n  gate:   %s\n",
+				info.Path, info.Regen, info.GateCommand)
+		}
 	}
 	// Non-zero exit on a dirty run in BOTH output modes: CI smoke steps
 	// and the make *-json targets consume the JSON path, and a baseline
@@ -233,6 +252,7 @@ type tableOptions struct {
 	yamlWire       bool
 	maxEpochs      int
 	synth          int
+	sampleEvery    int
 }
 
 // experimentTable builds the name -> Experiment dispatch table: the
@@ -329,6 +349,13 @@ func experimentTable(o tableOptions) map[string]experiments.Experiment {
 			MaxPerAttackClass:  o.maxPerClass,
 			Repeats:            o.repeats,
 			Concurrency:        o.concurrency,
+		}),
+		experiments.NewTelemetryExperiment(experiments.TelemetryOptions{
+			WorkloadCounts: o.workloadCounts,
+			Requests:       o.requests,
+			CacheSize:      o.cacheSize,
+			SampleEvery:    o.sampleEvery,
+			Repeats:        o.repeats,
 		}),
 	}
 	table := make(map[string]experiments.Experiment, len(list))

@@ -28,6 +28,13 @@
 // chart-generated policies but rehearses them against live traffic
 // before they deny anything. -trace-out additionally records every
 // inspected request as JSONL for offline mining and audit.
+//
+// -telemetry-addr serves the observability surface on a second listener,
+// separate from the enforcement path: Prometheus text-format /metrics
+// (per-workload decision counters and latency histograms), JSON /varz,
+// /healthz, and the net/http/pprof handlers under /debug/pprof/:
+//
+//	kubefence proxy -workloads all -upstream ... -telemetry-addr :9090
 package main
 
 import (
@@ -51,6 +58,7 @@ import (
 	"repro/internal/proxy"
 	"repro/internal/registry"
 	"repro/internal/schema"
+	"repro/internal/telemetry"
 	"repro/internal/validator"
 )
 
@@ -84,6 +92,7 @@ func usage() {
   kubefence proxy    [-chart DIR | -workload NAME | -workloads A,B,..|all] -upstream URL
                      [-listen ADDR] [-proxy-user USER] [-cache N]
                      [-rollout learn|shadow|enforce] [-rollout-interval D] [-trace-out FILE]
+                     [-telemetry-addr ADDR] [-telemetry-sample N]
 
 In -workloads mode one proxy enforces every listed builtin policy
 concurrently: each workload's policy governs the namespace named after
@@ -97,7 +106,12 @@ recorded, nothing is blocked) and auto-promotes once they hold a clean
 window, and "learn" starts with NO policies at all and mines them from
 observed traffic before shadowing and promoting them the same way.
 -trace-out appends every inspected request to a JSONL admission trace
-for offline mining (kubefence and audit tooling read it back).`)
+for offline mining (kubefence and audit tooling read it back).
+
+-telemetry-addr serves /metrics (Prometheus text format), /varz (JSON),
+/healthz, and /debug/pprof/ on a separate listener, so scrapes and
+profiles never share the enforcement listener. -telemetry-sample traces
+one decision per N onto a bounded in-memory ring, readable via /varz.`)
 }
 
 // lockedWriter serializes writes to the shared trace buffer against the
@@ -234,6 +248,8 @@ func runProxy(args []string) error {
 	rollout := fs.String("rollout", "enforce", "initial workload lifecycle: learn | shadow | enforce")
 	rolloutInterval := fs.Duration("rollout-interval", 15*time.Second, "promotion-gate evaluation interval for learn/shadow rollouts")
 	traceOut := fs.String("trace-out", "", "append inspected requests to a JSONL admission trace (offline mining input)")
+	telemetryAddr := fs.String("telemetry-addr", "", "serve /metrics, /varz, /healthz, and /debug/pprof/ on this address (off when empty)")
+	telemetrySample := fs.Int("telemetry-sample", 128, "trace one decision per N onto the telemetry ring")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -264,6 +280,11 @@ func runProxy(args []string) error {
 		ProxyUser:   *proxyUser,
 		CacheSize:   *cacheSize,
 		OnViolation: onViolation,
+	}
+	var hub *telemetry.Hub
+	if *telemetryAddr != "" {
+		hub = telemetry.New(telemetry.Config{SampleEvery: *telemetrySample})
+		cfg.Telemetry = hub
 	}
 	if *traceOut != "" {
 		f, err := os.OpenFile(*traceOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -384,6 +405,29 @@ func runProxy(args []string) error {
 				}
 			}
 		}()
+	}
+	if hub != nil {
+		// The telemetry surface gets its own listener and server: scrapes
+		// and pprof captures allocate freely and must never contend with
+		// admission traffic for the enforcement listener.
+		mux := telemetry.Mux(telemetry.MuxConfig{
+			Snapshot:    hub.Snapshot,
+			Traces:      hub.Traces,
+			Varz:        func() any { return p.Metrics() },
+			EnablePprof: true,
+		})
+		tsrv := &http.Server{
+			Addr:              *telemetryAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := tsrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "kubefence: telemetry:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "kubefence: telemetry on %s (/metrics /varz /healthz /debug/pprof/)\n",
+			*telemetryAddr)
 	}
 	fmt.Fprintf(os.Stderr, "kubefence: enforcing %s, %s -> %s\n",
 		enforcing, *listen, *upstream)

@@ -21,6 +21,36 @@ type Gated interface {
 	Gate() error
 }
 
+// BaselineInfo points a report at its committed baseline: where the
+// JSON lives, the command that regenerates it, and the gate that judges
+// a fresh run against it. Rendered in every human-readable footer so
+// regenerating a baseline is copy-paste, not archaeology.
+type BaselineInfo struct {
+	// Path is the repo-relative committed baseline file.
+	Path string
+	// Regen is the command that rewrites the baseline from a fresh run.
+	Regen string
+	// GateCommand is the benchgate invocation that judges a run against
+	// the committed baseline.
+	GateCommand string
+}
+
+// Baselined is implemented by reports whose JSON form is committed as a
+// BENCH_*.json baseline and regression-gated by benchgate.
+type Baselined interface {
+	BaselineInfo() BaselineInfo
+}
+
+// baseline builds the standard BaselineInfo for an experiment name
+// whose baseline follows the BENCH_<name>.json convention.
+func baseline(name string) BaselineInfo {
+	return BaselineInfo{
+		Path:        "BENCH_" + name + ".json",
+		Regen:       "go run ./cmd/kfbench -experiment " + name + " -json > BENCH_" + name + ".json",
+		GateCommand: "go run ./cmd/benchgate -kind " + name,
+	}
+}
+
 // Experiment is one runnable unit of the evaluation: a stable name for
 // CLI dispatch plus a Run that produces the Report. The Run*/Render*
 // function pairs remain the primary API; Experiment is the uniform
@@ -130,6 +160,17 @@ func (r *ScenariosResult) Gate() error {
 		r.VerifiedPairs, r.TotalFalseNegatives, r.TotalFalsePositives, r.Errors)
 }
 
+// BaselineInfo implementations: every report with a committed
+// BENCH_*.json names its baseline, regen command, and gate.
+func (r ThroughputReport) BaselineInfo() BaselineInfo  { return baseline("throughput") }
+func (r *LatencyReport) BaselineInfo() BaselineInfo    { return baseline("latency") }
+func (r *E2EReport) BaselineInfo() BaselineInfo        { return baseline("e2e") }
+func (r *RobustnessResult) BaselineInfo() BaselineInfo { return baseline("robustness") }
+func (r *LearningResult) BaselineInfo() BaselineInfo   { return baseline("learning") }
+func (r *ScenariosResult) BaselineInfo() BaselineInfo  { return baseline("scenarios") }
+func (r *PlaneResult) BaselineInfo() BaselineInfo      { return baseline("plane") }
+func (r *TelemetryReport) BaselineInfo() BaselineInfo  { return baseline("telemetry") }
+
 func (r *PlaneResult) Render() string        { return RenderPlane(r) }
 func (r *PlaneResult) JSON() ([]byte, error) { return marshalReport(r) }
 
@@ -199,6 +240,16 @@ func NewScenariosExperiment(opts ScenariosOptions) Experiment {
 func NewPlaneExperiment(opts PlaneOptions) Experiment {
 	return funcExperiment{name: "plane", run: func() (Report, error) {
 		return reportOrErr(Plane(opts))
+	}}
+}
+
+func (r *TelemetryReport) Render() string        { return RenderTelemetry(r) }
+func (r *TelemetryReport) JSON() ([]byte, error) { return marshalReport(r) }
+
+// NewTelemetryExperiment builds the telemetry-overhead experiment.
+func NewTelemetryExperiment(opts TelemetryOptions) Experiment {
+	return funcExperiment{name: "telemetry", run: func() (Report, error) {
+		return reportOrErr(Telemetry(opts))
 	}}
 }
 

@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proxy"
+	"repro/internal/telemetry"
+	"repro/internal/validator"
+)
+
+// The telemetry experiment prices the observability layer itself: the
+// same allowed-request corpus the e2e experiment replays, measured with
+// telemetry off (no hub), on (every decision recorded into counters and
+// histograms), and on while a scraper concurrently snapshots and
+// renders /metrics — the production shape. The contract it defends:
+// recording a decision on the allowed fast path adds no allocations and
+// at most a few percent of wall clock, even under concurrent scrapes.
+//
+// Results are committed as BENCH_telemetry.json and gated by
+// `benchgate -kind telemetry`: allocs-added is machine-independent and
+// gates everywhere; the on/off overhead ratio is same-machine and also
+// always gates (both cells run in one process back to back).
+
+// TelemetryOptions configure the telemetry-overhead experiment.
+type TelemetryOptions struct {
+	// WorkloadCounts lists the fleet sizes to measure (default 1, 5).
+	WorkloadCounts []int
+	// Requests is the number of proxied requests per measurement
+	// (default 3000).
+	Requests int
+	// CacheSize bounds each workload's decision-cache shard. The default
+	// 0 (cache off) makes every allowed request do real raw-match work,
+	// so the overhead ratio is measured against genuine validation cost
+	// rather than cache-hit turnaround.
+	CacheSize int
+	// SampleEvery is the trace sampling rate the hub runs with
+	// (default 128 — one traced decision per 128).
+	SampleEvery int
+	// Repeats measures each cell this many times and keeps the fastest
+	// run (default 1).
+	Repeats int
+}
+
+// TelemetryResult is one measurement cell: the cost of an allowed
+// request through the full proxy handler with the given telemetry
+// state. Latencies are nanoseconds.
+type TelemetryResult struct {
+	Workloads int `json:"workloads"`
+	// Telemetry is the cell's observability state: "off" (no hub), "on"
+	// (recording, nobody scraping), or "scrape" (recording under a
+	// concurrent scraper rendering the Prometheus exposition).
+	Telemetry   string  `json:"telemetry"`
+	Requests    int     `json:"requests"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	P50Ns       int64   `json:"p50_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// RawAllowed counts requests decided on the streaming fast path (the
+	// cell must exercise it — the gate protects that path specifically).
+	RawAllowed uint64 `json:"raw_allowed"`
+	// Decisions is the hub's recorded decision count (0 when off); the
+	// driver checks it equals every inspected request, warmup included.
+	Decisions uint64 `json:"decisions"`
+	// TracesSampled counts decisions traced onto the ring.
+	TracesSampled uint64 `json:"traces_sampled"`
+	// Scrapes counts full snapshot+render passes completed concurrently
+	// with the measurement (scrape cell only).
+	Scrapes uint64 `json:"scrapes"`
+}
+
+// TelemetryOverhead summarizes one cell against its same-fleet "off"
+// baseline: Overhead is (cell ns/op ÷ off ns/op) − 1, AllocsAdded is
+// the absolute allocs/op the cell added.
+type TelemetryOverhead struct {
+	Workloads   int     `json:"workloads"`
+	Telemetry   string  `json:"telemetry"`
+	Overhead    float64 `json:"overhead"`
+	AllocsAdded float64 `json:"allocs_added"`
+}
+
+// TelemetryReport is the machine-readable experiment outcome committed
+// as BENCH_telemetry.json.
+type TelemetryReport struct {
+	CacheSize   int `json:"cache_size"`
+	SampleEvery int `json:"sample_every"`
+	// ExpositionValid records that the /metrics rendering of the loaded
+	// hub passed ValidateExposition (the expfmt-style line rules).
+	ExpositionValid bool                `json:"exposition_valid"`
+	Results         []TelemetryResult   `json:"results"`
+	Overheads       []TelemetryOverhead `json:"overheads"`
+}
+
+// Result returns the measurement for (workloads, telemetry), or nil.
+func (r *TelemetryReport) Result(workloads int, tel string) *TelemetryResult {
+	for i := range r.Results {
+		res := &r.Results[i]
+		if res.Workloads == workloads && res.Telemetry == tel {
+			return res
+		}
+	}
+	return nil
+}
+
+// Overhead returns the summary for (workloads, telemetry), or nil.
+func (r *TelemetryReport) Overhead(workloads int, tel string) *TelemetryOverhead {
+	for i := range r.Overheads {
+		ov := &r.Overheads[i]
+		if ov.Workloads == workloads && ov.Telemetry == tel {
+			return ov
+		}
+	}
+	return nil
+}
+
+// Telemetry measures enforcement throughput with the observability
+// layer off, on, and on-under-scrape, across fleet sizes.
+func Telemetry(opts TelemetryOptions) (*TelemetryReport, error) {
+	if len(opts.WorkloadCounts) == 0 {
+		opts.WorkloadCounts = []int{1, 5}
+	}
+	if opts.Requests <= 0 {
+		opts.Requests = 3000
+	}
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 128
+	}
+	if opts.Repeats <= 0 {
+		opts.Repeats = 1
+	}
+	pols, err := Policies()
+	if err != nil {
+		return nil, err
+	}
+	report := &TelemetryReport{
+		CacheSize:       opts.CacheSize,
+		SampleEvery:     opts.SampleEvery,
+		ExpositionValid: true,
+	}
+	for _, n := range opts.WorkloadCounts {
+		cells := map[string]TelemetryResult{}
+		for _, tel := range []string{"off", "on", "scrape"} {
+			var best TelemetryResult
+			for rep := 0; rep < opts.Repeats; rep++ {
+				res, expoValid, err := measureTelemetry(n, tel, opts, pols)
+				if err != nil {
+					return nil, fmt.Errorf("workloads=%d telemetry=%s: %w", n, tel, err)
+				}
+				if !expoValid {
+					report.ExpositionValid = false
+				}
+				if rep == 0 || res.NsPerOp < best.NsPerOp {
+					best = res
+				}
+			}
+			cells[tel] = best
+			report.Results = append(report.Results, best)
+		}
+		off := cells["off"]
+		for _, tel := range []string{"on", "scrape"} {
+			cell := cells[tel]
+			ov := TelemetryOverhead{Workloads: n, Telemetry: tel,
+				AllocsAdded: cell.AllocsPerOp - off.AllocsPerOp}
+			if off.NsPerOp > 0 {
+				ov.Overhead = cell.NsPerOp/off.NsPerOp - 1
+			}
+			report.Overheads = append(report.Overheads, ov)
+		}
+	}
+	return report, nil
+}
+
+// Gate fails a run whose /metrics rendering broke the exposition
+// grammar or whose instrumented cells lost decisions. Overhead and
+// allocs-added thresholds are benchgate's job (they need the committed
+// baseline and tolerance knobs); this is the run's own contract.
+func (r *TelemetryReport) Gate() error {
+	if !r.ExpositionValid {
+		return fmt.Errorf("telemetry run not clean: /metrics output failed exposition validation")
+	}
+	return nil
+}
+
+// scrapeInterval paces the concurrent scraper: fast enough to overlap
+// the measurement loop many times, slow enough to be a scrape, not a
+// spin.
+const scrapeInterval = 200 * time.Microsecond
+
+func measureTelemetry(n int, tel string, opts TelemetryOptions, pols map[string]*validator.Validator) (TelemetryResult, bool, error) {
+	reg, fleet, err := BuildFleet(n, opts.CacheSize, pols)
+	if err != nil {
+		return TelemetryResult{}, true, err
+	}
+	var hub *telemetry.Hub
+	if tel != "off" {
+		hub = telemetry.New(telemetry.Config{SampleEvery: opts.SampleEvery})
+	}
+	p, err := proxy.New(proxy.Config{
+		Upstream:  "http://upstream.invalid",
+		Transport: e2eTransport{},
+		Registry:  reg,
+		Telemetry: hub,
+	})
+	if err != nil {
+		return TelemetryResult{}, true, err
+	}
+	var units []e2eUnit
+	for _, wl := range fleet {
+		for _, body := range wl.Bodies {
+			req := httptest.NewRequest(http.MethodPost,
+				"/api/v1/namespaces/"+wl.Namespace+"/resources", nil)
+			req.Header.Set("Content-Type", "application/json")
+			req.Header.Set("X-Remote-User", "operator:"+wl.Name)
+			rdr := bytes.NewReader(body)
+			req.Body = resettableBody{rdr}
+			req.ContentLength = int64(len(body))
+			units = append(units, e2eUnit{req: req, rdr: rdr, body: body})
+		}
+	}
+	if len(units) == 0 {
+		return TelemetryResult{}, true, fmt.Errorf("fleet rendered no request units")
+	}
+	w := &nullResponseWriter{h: http.Header{}}
+	run := func(i int) error {
+		u := &units[i%len(units)]
+		u.rdr.Reset(u.body)
+		w.code = 0
+		p.ServeHTTP(w, u.req)
+		if w.code != http.StatusOK {
+			return fmt.Errorf("request %d: status %d (legitimate corpus must pass)", i, w.code)
+		}
+		return nil
+	}
+	warm := len(units)
+	if min := opts.Requests / 10; warm < min {
+		warm = min
+	}
+	for i := 0; i < warm; i++ {
+		if err := run(i); err != nil {
+			return TelemetryResult{}, true, err
+		}
+	}
+
+	// The scrape cell runs a concurrent scraper doing exactly what a
+	// Prometheus server drives through the Mux: snapshot, render the
+	// text exposition, read the trace ring.
+	var scrapes atomic.Uint64
+	stopScraper := make(chan struct{})
+	scraperDone := make(chan struct{})
+	expoValid := true
+	if tel == "scrape" {
+		go func() {
+			defer close(scraperDone)
+			var buf bytes.Buffer
+			for {
+				select {
+				case <-stopScraper:
+					return
+				case <-time.After(scrapeInterval):
+				}
+				buf.Reset()
+				if err := telemetry.WriteMetrics(&buf, hub.Snapshot()); err == nil {
+					scrapes.Add(1)
+				}
+				hub.Traces()
+			}
+		}()
+	}
+
+	iters := opts.Requests
+	durs := make([]time.Duration, iters)
+	runtime.GC()
+	var m1, m2 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		if err := run(i); err != nil {
+			return TelemetryResult{}, true, err
+		}
+		durs[i] = time.Since(t0)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m2)
+	if tel == "scrape" {
+		close(stopScraper)
+		<-scraperDone
+	}
+	sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+
+	res := TelemetryResult{
+		Workloads:   n,
+		Telemetry:   tel,
+		Requests:    iters,
+		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
+		P50Ns:       percentile(durs, 0.50).Nanoseconds(),
+		P99Ns:       percentile(durs, 0.99).Nanoseconds(),
+		AllocsPerOp: float64(m2.Mallocs-m1.Mallocs) / float64(iters),
+		BytesPerOp:  float64(m2.TotalAlloc-m1.TotalAlloc) / float64(iters),
+		Scrapes:     scrapes.Load(),
+	}
+	pm := p.Metrics()
+	res.RawAllowed = pm.RawAllowed
+	if pm.Denied != 0 {
+		return TelemetryResult{}, true, fmt.Errorf("%d legitimate requests denied", pm.Denied)
+	}
+	if pm.RawAllowed == 0 {
+		return TelemetryResult{}, true, fmt.Errorf("corpus never exercised the raw fast path")
+	}
+	if tel != "off" {
+		snap := hub.Snapshot()
+		res.Decisions = snap.Decisions()
+		res.TracesSampled = snap.Sampled
+		// Accounting: every inspected request (warmup included) records
+		// exactly one decision; a mismatch means a verdict site lost its
+		// instrumentation.
+		if want := uint64(warm + iters); res.Decisions != want {
+			return TelemetryResult{}, true, fmt.Errorf(
+				"hub recorded %d decisions for %d inspected requests", res.Decisions, want)
+		}
+		// One authoritative scrape after quiescing: the exposition of a
+		// fully loaded hub must satisfy the text-format grammar.
+		var buf bytes.Buffer
+		if err := telemetry.WriteMetrics(&buf, snap); err != nil {
+			return TelemetryResult{}, true, err
+		}
+		if err := telemetry.ValidateExposition(buf.Bytes()); err != nil {
+			expoValid = false
+		}
+		if tel == "scrape" && res.Scrapes == 0 {
+			// The measurement outran the scraper entirely; the final
+			// scrape above still validated the exposition, but the cell
+			// must witness at least one concurrent scrape to mean
+			// anything — count the post-quiesce one.
+			res.Scrapes = 1
+		}
+	}
+	return res, expoValid, nil
+}
+
+// RenderTelemetry renders a report as an aligned human-readable table.
+func RenderTelemetry(r *TelemetryReport) string {
+	var b strings.Builder
+	b.WriteString("Telemetry plane overhead: allowed fast path with recording off / on / on-under-scrape\n\n")
+	fmt.Fprintf(&b, "%-10s %-10s %-12s %-10s %-10s %-12s %-12s %-12s %-10s %s\n",
+		"workloads", "telemetry", "ns/op", "p50", "p99", "allocs/op", "bytes/op", "decisions", "traces", "scrapes")
+	for _, res := range r.Results {
+		fmt.Fprintf(&b, "%-10d %-10s %-12.0f %-10s %-10s %-12.1f %-12.0f %-12d %-10d %d\n",
+			res.Workloads, res.Telemetry, res.NsPerOp,
+			time.Duration(res.P50Ns), time.Duration(res.P99Ns),
+			res.AllocsPerOp, res.BytesPerOp, res.Decisions, res.TracesSampled, res.Scrapes)
+	}
+	b.WriteString("\n")
+	for _, ov := range r.Overheads {
+		fmt.Fprintf(&b, "workloads=%-3d telemetry=%-7s overhead %+.2f%%, allocs/op added %+.1f\n",
+			ov.Workloads, ov.Telemetry, ov.Overhead*100, ov.AllocsAdded)
+	}
+	fmt.Fprintf(&b, "\nsample rate 1/%d, exposition valid: %v\n", r.SampleEvery, r.ExpositionValid)
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTelemetryExperiment(t *testing.T) {
+	report, err := Telemetry(TelemetryOptions{
+		WorkloadCounts: []int{1},
+		Requests:       400,
+		SampleEvery:    16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 fleet size x 3 telemetry states.
+	if len(report.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(report.Results))
+	}
+	if !report.ExpositionValid {
+		t.Error("/metrics exposition did not validate")
+	}
+	if err := report.Gate(); err != nil {
+		t.Errorf("clean run failed its own gate: %v", err)
+	}
+	for _, tel := range []string{"off", "on", "scrape"} {
+		res := report.Result(1, tel)
+		if res == nil {
+			t.Fatalf("missing cell telemetry=%s", tel)
+		}
+		if res.NsPerOp <= 0 || res.P99Ns < res.P50Ns {
+			t.Errorf("implausible cell %+v", res)
+		}
+		if res.RawAllowed == 0 {
+			t.Errorf("telemetry=%s cell never exercised the raw fast path", tel)
+		}
+		if tel == "off" {
+			if res.Decisions != 0 {
+				t.Errorf("off cell recorded %d decisions", res.Decisions)
+			}
+			continue
+		}
+		// The driver itself errors when decisions != inspected requests;
+		// here just pin that recording and sampling happened at all.
+		if res.Decisions == 0 {
+			t.Errorf("telemetry=%s cell recorded no decisions", tel)
+		}
+		if res.TracesSampled == 0 {
+			t.Errorf("telemetry=%s cell sampled no traces at 1/16", tel)
+		}
+		if tel == "scrape" && res.Scrapes == 0 {
+			t.Errorf("scrape cell witnessed no scrapes")
+		}
+	}
+	// One overhead summary per instrumented state. The ratio itself is
+	// benchgate's job on real measurement runs — under -race or a noisy
+	// scheduler a 400-request sample can invert — but the summary must
+	// exist and be self-consistent with its cells.
+	if len(report.Overheads) != 2 {
+		t.Fatalf("overheads = %d, want 2", len(report.Overheads))
+	}
+	for _, tel := range []string{"on", "scrape"} {
+		ov := report.Overhead(1, tel)
+		if ov == nil {
+			t.Fatalf("missing overhead summary telemetry=%s", tel)
+		}
+		off, cell := report.Result(1, "off"), report.Result(1, tel)
+		wantAdded := cell.AllocsPerOp - off.AllocsPerOp
+		if ov.AllocsAdded != wantAdded {
+			t.Errorf("telemetry=%s allocs added %.2f, want %.2f", tel, ov.AllocsAdded, wantAdded)
+		}
+	}
+
+	rendered := RenderTelemetry(report)
+	for _, want := range []string{"workloads", "telemetry", "overhead", "exposition valid: true"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("rendered report missing %q:\n%s", want, rendered)
+		}
+	}
+
+	// The report is its own baseline format: JSON must round-trip.
+	data, err := report.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TelemetryReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(report.Results) || back.SampleEvery != report.SampleEvery {
+		t.Errorf("JSON round trip drifted: %+v", back)
+	}
+	if info := report.BaselineInfo(); info.Path != "BENCH_telemetry.json" {
+		t.Errorf("baseline path %q", info.Path)
+	}
+}

@@ -36,6 +36,7 @@ package plane
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -50,6 +51,7 @@ import (
 	"repro/internal/object"
 	"repro/internal/proxy"
 	"repro/internal/registry"
+	"repro/internal/telemetry"
 	"repro/internal/validator"
 )
 
@@ -114,6 +116,12 @@ type Config struct {
 	// DisableRawFastPath forces every replica through the decode-first
 	// path (ablation/debugging).
 	DisableRawFastPath bool
+	// Telemetry, when non-nil, equips every replica proxy with its own
+	// telemetry hub plus a front-door hub for routing outcomes
+	// (routed/shed/unavailable). Hubs are created once and survive
+	// Restart, so counters span replica generations; Plane.Telemetry()
+	// merges them into one tier snapshot.
+	Telemetry *telemetry.Config
 }
 
 // workloadState is the control plane's desired state for one workload —
@@ -153,6 +161,11 @@ type replica struct {
 	// inflight is the backpressure semaphore (nil when unbounded).
 	inflight chan struct{}
 
+	// hub is the replica's telemetry recorder (nil when the tier runs
+	// without telemetry). Created once; survives Restart so decision
+	// counters span replica generations.
+	hub *telemetry.Hub
+
 	routed      atomic.Uint64
 	shed        atomic.Uint64
 	unavailable atomic.Uint64
@@ -187,6 +200,10 @@ type Plane struct {
 	publishesStarted   atomic.Uint64
 	publishesCompleted atomic.Uint64
 	resyncs            atomic.Uint64
+
+	// front records routing outcomes at the front door (nil when the
+	// tier runs without telemetry).
+	front *telemetry.Hub
 }
 
 // New builds the tier: Replicas proxy replicas, each with its own
@@ -203,10 +220,16 @@ func New(cfg Config) (*Plane, error) {
 		workloads: map[string]*workloadState{},
 		pins:      map[string]int{},
 	}
+	if cfg.Telemetry != nil {
+		pl.front = telemetry.New(*cfg.Telemetry)
+	}
 	for i := 0; i < cfg.Replicas; i++ {
 		rep := &replica{index: i, installed: map[string]uint64{}}
 		if cfg.MaxInFlight > 0 {
 			rep.inflight = make(chan struct{}, cfg.MaxInFlight)
+		}
+		if cfg.Telemetry != nil {
+			rep.hub = telemetry.New(*cfg.Telemetry)
 		}
 		if err := pl.bootReplica(rep); err != nil {
 			return nil, err
@@ -227,6 +250,7 @@ func (pl *Plane) bootReplica(rep *replica) error {
 		Registry:           reg,
 		ProxyUser:          pl.cfg.ProxyUser,
 		DisableRawFastPath: pl.cfg.DisableRawFastPath,
+		Telemetry:          rep.hub,
 	})
 	if err != nil {
 		return err
@@ -794,7 +818,24 @@ func putBody(buf *bytes.Buffer) {
 // unreadable body 400, saturated replica 429, dead or missing replica
 // 503 — never a silent allow.
 func (pl *Plane) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Observability endpoints ride the front door so replica state is
+	// visible without linking the Go API; they are answered before the
+	// request counter and body read (a scrape is not admission traffic).
+	if r.Method == http.MethodGet {
+		switch r.URL.Path {
+		case "/healthz":
+			pl.serveHealthz(w)
+			return
+		case "/varz":
+			pl.serveVarz(w)
+			return
+		}
+	}
 	pl.requests.Add(1)
+	var start time.Time
+	if pl.front != nil {
+		start = time.Now()
+	}
 
 	var body []byte
 	var buf *bytes.Buffer
@@ -820,6 +861,7 @@ func (pl *Plane) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	if !ok {
 		pl.unavailableTotal.Add(1)
+		pl.recordFront(telemetry.VerdictUnavailable, start)
 		pl.writeStatus(w, http.StatusServiceUnavailable, "KubeFenceReplicaUnavailable",
 			"no active admission replica for this request")
 		return
@@ -828,6 +870,7 @@ func (pl *Plane) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if ReplicaState(rep.state.Load()) == ReplicaDown {
 		rep.unavailable.Add(1)
 		pl.unavailableTotal.Add(1)
+		pl.recordFront(telemetry.VerdictUnavailable, start)
 		pl.writeStatus(w, http.StatusServiceUnavailable, "KubeFenceReplicaUnavailable",
 			fmt.Sprintf("admission replica %d is down", idx))
 		return
@@ -837,6 +880,7 @@ func (pl *Plane) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		if !rep.acquire(pl.cfg.QueueTimeout) {
 			rep.shed.Add(1)
 			pl.shedTotal.Add(1)
+			pl.recordFront(telemetry.VerdictShed, start)
 			pl.writeStatus(w, http.StatusTooManyRequests, "KubeFenceTierOverloaded",
 				fmt.Sprintf("admission replica %d is saturated", idx))
 			return
@@ -848,15 +892,67 @@ func (pl *Plane) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if px == nil {
 		rep.unavailable.Add(1)
 		pl.unavailableTotal.Add(1)
+		pl.recordFront(telemetry.VerdictUnavailable, start)
 		pl.writeStatus(w, http.StatusServiceUnavailable, "KubeFenceReplicaUnavailable",
 			fmt.Sprintf("admission replica %d is restarting", idx))
 		return
 	}
 	rep.routed.Add(1)
+	// The front-door record covers routing overhead only; the replica's
+	// own hub times the admission decision itself.
+	pl.recordFront(telemetry.VerdictRouted, start)
 	if body != nil {
 		r.Body = io.NopCloser(bytes.NewReader(body))
 	}
 	px.ServeHTTP(w, r)
+}
+
+// FrontDoorWorkload is the telemetry workload label the front door
+// records its routing outcomes under.
+const FrontDoorWorkload = "_frontdoor"
+
+// recordFront records one routing outcome on the front-door hub; a
+// no-op when the tier runs without telemetry.
+func (pl *Plane) recordFront(v telemetry.Verdict, start time.Time) {
+	if pl.front != nil {
+		pl.front.RecordDecision(FrontDoorWorkload, v, telemetry.PathRaw, time.Since(start))
+	}
+}
+
+// serveHealthz reports liveness as seen by the router: 200 while at
+// least one replica is active (the tier can admit), 503 otherwise —
+// with the per-state replica counts either way, so a drained or killed
+// replica is visible to a probe without the Go API.
+func (pl *Plane) serveHealthz(w http.ResponseWriter) {
+	counts := map[string]int{}
+	for _, rep := range pl.replicas {
+		counts[ReplicaState(rep.state.Load()).String()]++
+	}
+	code := http.StatusOK
+	status := "ok"
+	if counts["active"] == 0 {
+		code = http.StatusServiceUnavailable
+		status = "no active replicas"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(map[string]any{"status": status, "replicas": counts})
+}
+
+// serveVarz serves the full tier rollup as JSON: TierMetrics (replica
+// states, front-door accounting, summed proxy counters), the merged
+// telemetry snapshot, and the sampled traces when telemetry is on.
+func (pl *Plane) serveVarz(w http.ResponseWriter) {
+	out := map[string]any{"tier": pl.Metrics()}
+	if pl.front != nil {
+		out["telemetry"] = pl.Telemetry()
+		out["traces"] = pl.Traces()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
 }
 
 // acquire takes a backpressure slot, waiting up to timeout.
@@ -1066,4 +1162,45 @@ func (pl *Plane) Metrics() TierMetrics {
 		tm.Proxy.ValidationTime += rm.Proxy.ValidationTime
 	}
 	return tm
+}
+
+// Telemetry merges the front-door hub and every replica hub into one
+// tier snapshot: each (workload, verdict, path) cell's counters and
+// histogram buckets are the sums across replicas (telemetry.Merge), so
+// tier-level quantiles derive from the same bucket math as a single
+// proxy's. Zero-valued when the tier runs without telemetry.
+func (pl *Plane) Telemetry() telemetry.Snapshot {
+	if pl.front == nil {
+		return telemetry.Snapshot{}
+	}
+	snaps := make([]telemetry.Snapshot, 0, len(pl.replicas)+1)
+	snaps = append(snaps, pl.front.Snapshot())
+	for _, rep := range pl.replicas {
+		snaps = append(snaps, rep.hub.Snapshot())
+	}
+	return telemetry.Merge(snaps...)
+}
+
+// ReplicaTelemetry returns replica i's telemetry hub (nil when out of
+// range or when the tier runs without telemetry) — per-replica
+// snapshots let an operator see which replica a tier-level anomaly
+// lives on.
+func (pl *Plane) ReplicaTelemetry(i int) *telemetry.Hub {
+	if i < 0 || i >= len(pl.replicas) {
+		return nil
+	}
+	return pl.replicas[i].hub
+}
+
+// Traces returns the sampled decision traces across the tier: every
+// replica's ring followed by the front door's routing records.
+func (pl *Plane) Traces() []telemetry.Trace {
+	var out []telemetry.Trace
+	for _, rep := range pl.replicas {
+		out = append(out, rep.hub.Traces()...)
+	}
+	if pl.front != nil {
+		out = append(out, pl.front.Traces()...)
+	}
+	return out
 }

@@ -62,6 +62,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/object"
 	"repro/internal/registry"
+	"repro/internal/telemetry"
 	"repro/internal/validator"
 )
 
@@ -133,6 +134,11 @@ type Config struct {
 	// the tap sees the object. With SinkBuffer > 0 the callback itself
 	// still runs off the request goroutine.
 	Tap func(workload, user, method, path string, obj object.Object)
+	// Telemetry, when non-nil, records every decision (counter +
+	// latency histogram per workload × verdict × path) and samples
+	// decision traces into the hub. Recording is lock-free and
+	// allocation-free; a nil hub costs one predictable branch.
+	Telemetry *telemetry.Hub
 }
 
 // Proxy is the enforcement handler.
@@ -149,6 +155,7 @@ type Proxy struct {
 	onShadow   func(ViolationRecord)
 	tap        func(workload, user, method, path string, obj object.Object)
 	sink       *asyncSink
+	telemetry  *telemetry.Hub
 
 	violations *registry.BoundedLog
 	requests   atomic.Uint64
@@ -188,6 +195,7 @@ func New(cfg Config) (*Proxy, error) {
 		onViolate:  cfg.OnViolation,
 		onShadow:   cfg.OnShadowViolation,
 		tap:        cfg.Tap,
+		telemetry:  cfg.Telemetry,
 		violations: registry.NewBoundedLog(registry.MaxRecords),
 	}
 	if p.transport == nil {
@@ -234,6 +242,15 @@ func (p *Proxy) SetValidator(v *validator.Validator) {
 // Registry exposes the proxy's policy registry for per-workload metrics,
 // violation records, and live policy management.
 func (p *Proxy) Registry() *registry.Registry { return p.registry }
+
+// Telemetry exposes the proxy's telemetry hub (nil when the proxy was
+// built without one).
+func (p *Proxy) Telemetry() *telemetry.Hub { return p.telemetry }
+
+// UnresolvedWorkload is the telemetry workload label for decisions the
+// proxy could not attribute to a registered workload: undecodable
+// bodies and requests no policy governs (fail-closed rejections).
+const UnresolvedWorkload = "_unresolved"
 
 // Violations returns a snapshot of all denial records.
 func (p *Proxy) Violations() []ViolationRecord {
@@ -377,6 +394,10 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		start := time.Now()
+		// tc is nil for all but 1/N decisions (telemetry sampling); every
+		// method on a nil ctx is a no-op, so the stage marks below cost
+		// nothing on the unsampled hot path.
+		tc := p.telemetry.Sample()
 
 		// Streaming fast path: decide requests straight off the wire
 		// bytes whenever possible, for both encodings. The scanners
@@ -404,13 +425,19 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				} else {
 					entry, found = p.registry.Resolve(requestNamespace(r.URL.Path), string(meta.Kind))
 				}
+				tc.Stage("resolve")
 				if !found {
 					namespace := string(meta.Namespace)
 					if namespace == "" {
 						namespace = requestNamespace(r.URL.Path)
 					}
 					kind := string(meta.Kind)
-					p.valNanos.Add(int64(time.Since(start)))
+					el := time.Since(start)
+					p.valNanos.Add(int64(el))
+					p.telemetry.RecordDecision(UnresolvedWorkload, telemetry.VerdictRejected, telemetry.PathRaw, el)
+					if tc != nil {
+						tc.Finish(UnresolvedWorkload, telemetry.VerdictRejected, telemetry.PathRaw, kind, string(meta.Name))
+					}
 					p.reject(w, r, user, nil, kind, string(meta.Name), []validator.Violation{{
 						Reason: fmt.Sprintf("no KubeFence policy registered for namespace %q kind %q",
 							namespace, kind),
@@ -427,14 +454,27 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 						vs, decided = p.registry.ValidateRawScanned(entry, body, meta)
 					}
 					if decided {
-						p.valNanos.Add(int64(time.Since(start)))
+						tc.Stage("raw-match")
+						el := time.Since(start)
+						p.valNanos.Add(int64(el))
 						if len(vs) > 0 {
 							p.rawDenied.Add(1)
+							p.telemetry.RecordDecision(entry.Workload(), telemetry.VerdictDenied, telemetry.PathRaw, el)
+							if tc != nil {
+								tc.Finish(entry.Workload(), telemetry.VerdictDenied, telemetry.PathRaw, string(meta.Kind), string(meta.Name))
+							}
 							p.reject(w, r, user, entry, string(meta.Kind), string(meta.Name), vs)
 							releaseBody()
 							return
 						}
 						p.rawAllowed.Add(1)
+						p.telemetry.RecordDecision(entry.Workload(), telemetry.VerdictAllowed, telemetry.PathRaw, el)
+						// Guarded: the string conversions in the Finish
+						// arguments must not run (allocate) on the unsampled
+						// fast path.
+						if tc != nil {
+							tc.Finish(entry.Workload(), telemetry.VerdictAllowed, telemetry.PathRaw, string(meta.Kind), string(meta.Name))
+						}
 						p.forward(w, r, user, groups, body, releaseBody)
 						return
 					}
@@ -443,8 +483,12 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 
 		obj, err := decodeObject(body, format)
+		tc.Stage("decode")
 		if err != nil {
-			p.valNanos.Add(int64(time.Since(start)))
+			el := time.Since(start)
+			p.valNanos.Add(int64(el))
+			p.telemetry.RecordDecision(UnresolvedWorkload, telemetry.VerdictRejected, telemetry.PathDecoded, el)
+			tc.Finish(UnresolvedWorkload, telemetry.VerdictRejected, telemetry.PathDecoded, "", "")
 			p.reject(w, r, user, nil, "", "", []validator.Violation{{
 				Reason: "request body is not a valid Kubernetes object: " + err.Error(),
 			}})
@@ -456,8 +500,12 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			namespace = requestNamespace(r.URL.Path)
 		}
 		entry, ok := p.registry.Resolve(namespace, obj.Kind())
+		tc.Stage("resolve")
 		if !ok {
-			p.valNanos.Add(int64(time.Since(start)))
+			el := time.Since(start)
+			p.valNanos.Add(int64(el))
+			p.telemetry.RecordDecision(UnresolvedWorkload, telemetry.VerdictRejected, telemetry.PathDecoded, el)
+			tc.Finish(UnresolvedWorkload, telemetry.VerdictRejected, telemetry.PathDecoded, obj.Kind(), obj.Name())
 			p.reject(w, r, user, nil, obj.Kind(), obj.Name(), []validator.Violation{{
 				Reason: fmt.Sprintf("no KubeFence policy registered for namespace %q kind %q",
 					namespace, obj.Kind()),
@@ -474,11 +522,21 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		switch entry.Mode() {
 		case registry.ModeLearn:
 			entry.ObserveLearn(obj)
-			p.valNanos.Add(int64(time.Since(start)))
+			tc.Stage("validate")
+			el := time.Since(start)
+			p.valNanos.Add(int64(el))
+			p.telemetry.RecordDecision(entry.Workload(), telemetry.VerdictLearned, telemetry.PathDecoded, el)
+			tc.Finish(entry.Workload(), telemetry.VerdictLearned, telemetry.PathDecoded, obj.Kind(), obj.Name())
 		case registry.ModeShadow:
 			violations, _ := p.registry.ShadowValidate(entry, body, obj)
-			p.valNanos.Add(int64(time.Since(start)))
+			tc.Stage("validate")
+			el := time.Since(start)
+			p.valNanos.Add(int64(el))
+			// A clean shadow validation is an allowed decision; only a
+			// would-deny records as shadowed.
 			if len(violations) > 0 {
+				p.telemetry.RecordDecision(entry.Workload(), telemetry.VerdictShadowed, telemetry.PathDecoded, el)
+				tc.Finish(entry.Workload(), telemetry.VerdictShadowed, telemetry.PathDecoded, obj.Kind(), obj.Name())
 				p.recordShadow(r, user, entry, obj, violations)
 				// Pre-enforcement traffic is trusted by definition of the
 				// rollout, so a would-deny is a learning opportunity:
@@ -487,15 +545,24 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				if obs := entry.Observer(); obs != nil {
 					obs.Observe(obj)
 				}
+			} else {
+				p.telemetry.RecordDecision(entry.Workload(), telemetry.VerdictAllowed, telemetry.PathDecoded, el)
+				tc.Finish(entry.Workload(), telemetry.VerdictAllowed, telemetry.PathDecoded, obj.Kind(), obj.Name())
 			}
 		default: // registry.ModeEnforce
 			violations := p.registry.Validate(entry, body, obj)
-			p.valNanos.Add(int64(time.Since(start)))
+			tc.Stage("validate")
+			el := time.Since(start)
+			p.valNanos.Add(int64(el))
 			if len(violations) > 0 {
+				p.telemetry.RecordDecision(entry.Workload(), telemetry.VerdictDenied, telemetry.PathDecoded, el)
+				tc.Finish(entry.Workload(), telemetry.VerdictDenied, telemetry.PathDecoded, obj.Kind(), obj.Name())
 				p.reject(w, r, user, entry, obj.Kind(), obj.Name(), violations)
 				releaseBody()
 				return
 			}
+			p.telemetry.RecordDecision(entry.Workload(), telemetry.VerdictAllowed, telemetry.PathDecoded, el)
+			tc.Finish(entry.Workload(), telemetry.VerdictAllowed, telemetry.PathDecoded, obj.Kind(), obj.Name())
 		}
 	}
 

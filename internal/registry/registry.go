@@ -166,6 +166,11 @@ type Record struct {
 
 // Metrics aggregates per-workload enforcement counters.
 type Metrics struct {
+	// Generation is the policy generation the snapshot was taken under
+	// (see Entry.Generation). Entry.Metrics reads all counters within
+	// one stable generation window, so a snapshot never mixes counts
+	// observed across a concurrent Swap with the wrong generation.
+	Generation uint64
 	// Requests counts inspected requests resolved to this workload.
 	Requests uint64
 	// Denied counts requests rejected by this workload's policy.
@@ -270,16 +275,30 @@ func (e *Entry) Generation() uint64 { return e.version.Load().gen }
 // are attached).
 func (e *Entry) Invariants() []Invariant { return e.version.Load().invariants }
 
-// Metrics returns a snapshot of the entry's counters.
+// Metrics returns a snapshot of the entry's counters, read under the
+// same atomic scheme as the policy itself: a seqlock-style loop keyed
+// on the entry's published version pointer. The counter loads only
+// count if the version observed before and after them is the same one,
+// so a snapshot can never interleave with a concurrent Swap and report
+// counters from two policy generations as one; Generation records the
+// generation the stable read happened under.
 func (e *Entry) Metrics() Metrics {
-	return Metrics{
-		Requests:       e.requests.Load(),
-		Denied:         e.denied.Load(),
-		CacheHits:      e.cacheHits.Load(),
-		ValidationTime: time.Duration(e.valNanos.Load()),
-		Learned:        e.learned.Load(),
-		ShadowRequests: e.shadowReqs.Load(),
-		ShadowDenied:   e.shadowDenied.Load(),
+	for {
+		before := e.version.Load()
+		m := Metrics{
+			Generation:     before.gen,
+			Requests:       e.requests.Load(),
+			Denied:         e.denied.Load(),
+			CacheHits:      e.cacheHits.Load(),
+			ValidationTime: time.Duration(e.valNanos.Load()),
+			Learned:        e.learned.Load(),
+			ShadowRequests: e.shadowReqs.Load(),
+			ShadowDenied:   e.shadowDenied.Load(),
+		}
+		if e.version.Load() == before {
+			return m
+		}
+		// A Swap landed mid-read; retry against the new version.
 	}
 }
 

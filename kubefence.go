@@ -38,6 +38,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/schema"
 	"repro/internal/synth"
+	"repro/internal/telemetry"
 	"repro/internal/validator"
 )
 
@@ -371,6 +372,11 @@ type ProxyConfig struct {
 	// offline policy mining (learn traces). Keep it cheap; it runs on
 	// the request path.
 	Tap func(workload, user, method, path string, obj map[string]any)
+	// Telemetry, when non-nil, records every admission decision into the
+	// hub's counters and latency histograms (and samples decisions onto
+	// its trace ring). Recording is lock-free and allocation-free on the
+	// request path; serve the hub with NewTelemetryMux.
+	Telemetry *Telemetry
 }
 
 // Proxy is the runtime enforcement point; it implements http.Handler.
@@ -402,6 +408,7 @@ func NewProxy(cfg ProxyConfig) (*Proxy, error) {
 		SinkBuffer:         cfg.SinkBuffer,
 		OnViolation:        cfg.OnViolation,
 		OnShadowViolation:  cfg.OnShadowViolation,
+		Telemetry:          cfg.Telemetry,
 	}
 	if cfg.Tap != nil {
 		tap := cfg.Tap
@@ -459,6 +466,11 @@ type PlaneConfig struct {
 	// DisableRawFastPath forces every replica through the decode-first
 	// path (ablation/debugging).
 	DisableRawFastPath bool
+	// Telemetry, when non-nil, gives the front door and every replica a
+	// decision hub with this configuration. Hubs survive replica
+	// restarts; read the tier-wide rollup with Plane.Telemetry and the
+	// operational endpoints /healthz and /varz on the front door.
+	Telemetry *TelemetryConfig
 }
 
 // ReplicaState is a replica's lifecycle state (active, draining, down).
@@ -486,6 +498,7 @@ func NewPlane(cfg PlaneConfig) (*Plane, error) {
 		VirtualNodes:       cfg.VirtualNodes,
 		ProxyUser:          cfg.ProxyUser,
 		DisableRawFastPath: cfg.DisableRawFastPath,
+		Telemetry:          cfg.Telemetry,
 	})
 }
 
@@ -513,6 +526,73 @@ var (
 	// is not in shadow mode.
 	ErrNotShadowing = registry.ErrNotShadowing
 )
+
+// ---------------------------------------------------------------------
+// Telemetry: hot-path histograms, decision traces, /metrics
+// ---------------------------------------------------------------------
+
+// Telemetry is an observability hub: sharded atomic decision counters,
+// fixed-bucket latency histograms per (workload, verdict, pipeline
+// path), and a bounded ring of sampled per-decision traces. Recording
+// is lock-free and allocation-free; a nil hub is valid and records
+// nothing, so instrumented code needs no guards.
+type Telemetry = telemetry.Hub
+
+// TelemetryConfig sizes a hub: trace sampling rate, trace-ring
+// capacity, and histogram shard count.
+type TelemetryConfig = telemetry.Config
+
+// TelemetrySnapshot is a consistent point-in-time view of a hub (or a
+// merged view of several — see Plane.Telemetry), with per-cell
+// quantiles derivable from the histogram buckets.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// TelemetryTrace is one sampled decision: the stage timings from
+// resolve through verdict.
+type TelemetryTrace = telemetry.Trace
+
+// NewTelemetry builds an observability hub. Set it on ProxyConfig (or
+// let PlaneConfig build per-replica hubs) and serve it with
+// NewTelemetryMux.
+func NewTelemetry(cfg TelemetryConfig) *Telemetry { return telemetry.New(cfg) }
+
+// MergeTelemetry combines several snapshots into one rollup
+// (cell-by-cell counter and bucket sums) — the fleet view a scrape of
+// many enforcement points wants.
+func MergeTelemetry(snaps ...TelemetrySnapshot) TelemetrySnapshot {
+	return telemetry.Merge(snaps...)
+}
+
+// TelemetryMuxConfig configures the telemetry HTTP surface.
+type TelemetryMuxConfig = telemetry.MuxConfig
+
+// NewTelemetryMux builds the observability endpoint: Prometheus
+// text-format /metrics, JSON /varz, /healthz, and optionally the
+// net/http/pprof handlers. Serve it on a listener separate from the
+// enforcement path (see cmd/kubefence's -telemetry-addr).
+func NewTelemetryMux(cfg TelemetryMuxConfig) *http.ServeMux { return telemetry.Mux(cfg) }
+
+// TelemetryOptions configure RunTelemetry: fleet sizes, requests per
+// cell, cache size, trace sampling rate, and repeats.
+type TelemetryOptions = experiments.TelemetryOptions
+
+// TelemetryReport is the measured outcome: the cost of an allowed
+// request with telemetry off, on, and on-under-scrape, with overhead
+// and allocs-added summaries per fleet size. Committed as
+// BENCH_telemetry.json and enforced by the CI bench gate
+// (benchgate -kind telemetry).
+type TelemetryReport = experiments.TelemetryReport
+
+// RunTelemetry measures the observability layer's own cost on the
+// allowed fast path, including under a concurrent Prometheus scraper.
+func RunTelemetry(opts TelemetryOptions) (*TelemetryReport, error) {
+	return experiments.Telemetry(opts)
+}
+
+// RenderTelemetryReport renders a telemetry report for humans.
+func RenderTelemetryReport(r *TelemetryReport) string {
+	return experiments.RenderTelemetry(r)
+}
 
 // ---------------------------------------------------------------------
 // Traffic-driven policy learning & the shadow → enforce rollout

@@ -50,11 +50,16 @@ GATE_SYNTH    ?= 100
 MIN_FLATNESS  ?= 0.5
 # Plane gate knobs: the replica counts for the fresh tier run (CI's PR
 # path sets 1,2 for a fast smoke leg — the efficiency floor only gates
-# when the 4-replica cell is present) and the machine-independent
-# scaling-efficiency floor at 4 replicas (tier ops/sec divided by
-# N x the same run's single-replica ops/sec).
+# when the 8-replica cell is present), the machine-independent
+# scaling-efficiency floor for the weighted-placement zipf cell at 8
+# replicas (tier ops/sec divided by N x the same run's single-replica
+# ops/sec), and the post-rebalance cache-retention floor (fraction of
+# migrated-workload probes the destination answers from the handed-off
+# decision cache). Weighted-vs-hash zipf dominance gates implicitly as
+# a mean over every measured fleet size of 2+ replicas.
 GATE_REPLICAS        ?= 1,2,4,8
 MIN_PLANE_EFFICIENCY ?= 0.7
+MIN_CACHE_RETENTION  ?= 0.5
 # Telemetry gate ceiling: recording a decision may cost at most this
 # fraction of wall clock over the same run's telemetry-off cell. The
 # on/off ratio comes from two cells measured back to back in one
@@ -188,6 +193,7 @@ bench-gate:
 		-json > "$$tmpdir/plane-fresh.json"; \
 	$(GO) run ./cmd/benchgate -kind plane -tolerance $(TOLERANCE) $(GATE_FLAGS) \
 		-min-plane-efficiency $(MIN_PLANE_EFFICIENCY) \
+		-min-cache-retention $(MIN_CACHE_RETENTION) \
 		-baseline BENCH_plane.json -fresh "$$tmpdir/plane-fresh.json"; \
 	$(GO) run ./cmd/kfbench -experiment telemetry -counts 1,5 \
 		-requests $(GATE_ITERATIONS) -sample-every 128 -repeats 3 \

@@ -65,16 +65,23 @@
 //
 // The plane kind gates the distributed admission tier. Machine-
 // independent checks always gate: verified pairs, a zero-FN / zero-FP /
-// zero-error correctness matrix, and the scaling-efficiency floor — the
-// fresh run's own ops/sec at 4 replicas over 4x its single-replica
-// per-replica rate must stay at or above -min-plane-efficiency. The
-// efficiency is a same-machine ratio of two latency-bounded
+// zero-error correctness matrix (replayed through the rebalanced
+// weighted tier), the scaling-efficiency floor — the fresh run's own
+// ops/sec in the weighted-placement zipf cell at 8 replicas over 8x
+// its single-replica per-replica rate must stay at or above
+// -min-plane-efficiency — the weighted-vs-hash dominance check (the
+// weighted placer's mean zipf efficiency across the measured fleet
+// sizes of 2+ replicas may not fall more than two points below blind
+// hashing's mean), and the
+// post-rebalance cache-retention floor (-min-cache-retention): the
+// fraction of migrated-workload probes the destination replica answers
+// from the handed-off decision cache. Each is a same-machine ratio of
 // measurements from one run, so it gates on any hardware. When the
 // fresh run shares the baseline's corpus inputs, the correctness
 // matrix's event counts must match the baseline exactly. Per-cell
 // ops/sec comparisons are relative-to-baseline and advisory-able; a
 // fresh run that measured only a tier-size subset (the PR smoke leg
-// runs 1 and 2 replicas) gates everything except the 4-replica
+// runs 1 and 2 replicas) gates everything except the 8-replica
 // efficiency floor, which needs the nightly full matrix.
 //
 // The telemetry kind gates the observability layer's own cost. Machine-
@@ -106,6 +113,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/plane"
 )
 
 func main() {
@@ -124,6 +132,7 @@ type gateOptions struct {
 	minAllocReduction  float64
 	minFlatness        float64
 	minPlaneEfficiency float64
+	minCacheRetention  float64
 	maxTelOverhead     float64
 	advise             bool
 }
@@ -177,7 +186,8 @@ func run(args []string, out *os.File) error {
 	minE2ESpeedup := fs.Float64("min-e2e-speedup", 1.5, "e2e: required fast-vs-decode cold speedup")
 	minAllocReduction := fs.Float64("min-alloc-reduction", 0.5, "e2e: required fraction of per-request allocations the fast path eliminates")
 	minFlatness := fs.Float64("min-flatness", 0.5, "scenarios: required per-engine events/sec flatness ratio across workload counts")
-	minPlaneEfficiency := fs.Float64("min-plane-efficiency", 0.7, "plane: required scaling efficiency at 4 replicas")
+	minPlaneEfficiency := fs.Float64("min-plane-efficiency", 0.7, "plane: required weighted-placement zipf scaling efficiency at 8 replicas")
+	minCacheRetention := fs.Float64("min-cache-retention", 0.5, "plane: required post-rebalance decision-cache retention for migrated workloads")
 	maxTelOverhead := fs.Float64("max-telemetry-overhead", 0.05, "telemetry: allowed on/off and scrape/off overhead ratio")
 	adviseRelative := fs.Bool("advise-relative", false,
 		"report relative-to-baseline regressions without failing (for runs on hardware other than the baseline machine); machine-independent checks still gate")
@@ -203,6 +213,7 @@ func run(args []string, out *os.File) error {
 		minAllocReduction:  *minAllocReduction,
 		minFlatness:        *minFlatness,
 		minPlaneEfficiency: *minPlaneEfficiency,
+		minCacheRetention:  *minCacheRetention,
 		maxTelOverhead:     *maxTelOverhead,
 		advise:             *adviseRelative,
 	}, out)
@@ -630,14 +641,17 @@ func gateScenarios(baselinePath, freshPath string, tol, minFlatness float64, adv
 
 // gatePlane gates the distributed admission tier. Machine-independent
 // checks always gate: verified pairs, a zero-FN / zero-FP / zero-error
-// correctness matrix, matrix event-count determinism against the
-// baseline when the corpus inputs match, and the scaling-efficiency
-// floor at 4 replicas — a same-machine ratio of two latency-bounded
-// measurements from the fresh run itself, so it holds on any hardware.
-// Per-cell ops/sec comparisons are relative-to-baseline and
-// advisory-able. A fresh run that measured only a tier-size subset (the
-// PR smoke leg) skips the efficiency floor, which needs the full
-// matrix, but still gates correctness.
+// correctness matrix (through the rebalanced weighted tier), matrix
+// event-count determinism against the baseline when the corpus inputs
+// match, the weighted-zipf scaling-efficiency floor at 8 replicas, the
+// weighted-vs-hash dominance check per measured tier size under zipf
+// skew, and the post-rebalance cache-retention floor — each a
+// same-machine ratio of measurements from the fresh run itself, so
+// they hold on any hardware. Per-cell ops/sec comparisons are
+// relative-to-baseline and advisory-able. A fresh run that measured
+// only a tier-size subset (the PR smoke leg) skips the 8-replica
+// efficiency floor, which needs the full matrix, but still gates
+// correctness, dominance at the sizes it did measure, and retention.
 func gatePlane(o gateOptions, out *os.File) (failures, advisories []string, err error) {
 	var baseline, fresh experiments.PlaneResult
 	if err := loadJSON(o.baseline, &baseline); err != nil {
@@ -692,47 +706,119 @@ func gatePlane(o gateOptions, out *os.File) (failures, advisories []string, err 
 		fmt.Fprintln(out, "corpus inputs differ from baseline (seed, generator knobs, corpus size, or matrix cap); skipping matrix determinism and ops/sec comparisons")
 	}
 
-	fmt.Fprintf(out, "%-9s %-14s %-14s %-10s %-12s %-6s %s\n",
-		"replicas", "base ops/sec", "fresh ops/sec", "delta", "efficiency", "shed", "verdict")
-	for _, fc := range fresh.Cells {
+	fmt.Fprintf(out, "%-10s %-8s %-9s %-14s %-14s %-10s %-12s %-6s %s\n",
+		"placement", "skew", "replicas", "base ops/sec", "fresh ops/sec", "delta", "efficiency", "shed", "verdict")
+	for i := range fresh.Cells {
+		fc := &fresh.Cells[i]
 		verdict := "ok"
 		delta := 0.0
-		base := baseline.Cell(fc.Replicas)
+		base := baseline.CellFor(fc.Placement, fc.Skew, fc.Replicas)
 		if base != nil && comparable {
 			if base.OpsPerSec > 0 {
 				delta = fc.OpsPerSec/base.OpsPerSec - 1
 			}
 			if fc.OpsPerSec < base.OpsPerSec*(1-o.tolerance) {
 				verdict = relative(fmt.Sprintf(
-					"replicas=%d ops/sec %.0f -> %.0f (%.1f%% drop, tolerance %.0f%%)",
-					fc.Replicas, base.OpsPerSec, fc.OpsPerSec, -delta*100, o.tolerance*100))
+					"placement=%s skew=%s replicas=%d ops/sec %.0f -> %.0f (%.1f%% drop, tolerance %.0f%%)",
+					fc.Placement, fc.Skew, fc.Replicas, base.OpsPerSec, fc.OpsPerSec,
+					-delta*100, o.tolerance*100))
 			}
 		}
 		baseOps := 0.0
 		if base != nil {
 			baseOps = base.OpsPerSec
 		}
-		fmt.Fprintf(out, "%-9d %-14.0f %-14.0f %-+9.1f%% %-12.2f %-6d %s\n",
-			fc.Replicas, baseOps, fc.OpsPerSec, delta*100, fc.Efficiency, fc.Shed, verdict)
+		fmt.Fprintf(out, "%-10s %-8s %-9d %-14.0f %-14.0f %-+9.1f%% %-12.2f %-6d %s\n",
+			fc.Placement, fc.Skew, fc.Replicas, baseOps, fc.OpsPerSec, delta*100,
+			fc.Efficiency, fc.Shed, verdict)
 	}
 
-	// The efficiency floor is the tier's scaling contract. It gates
-	// whenever the fresh run measured the 4-replica cell; the PR smoke
-	// leg (1 and 2 replicas) legitimately skips it.
-	const floorReplicas = 4
-	if cell := fresh.Cell(floorReplicas); cell != nil {
+	weighted := string(plane.PlacementWeighted)
+	hash := string(plane.PlacementHash)
+
+	// The efficiency floor is the tier's scaling contract: the weighted
+	// placer under zipf skew at 8 replicas. It gates whenever the fresh
+	// run measured that cell; the PR smoke leg (1 and 2 replicas)
+	// legitimately skips it.
+	const floorReplicas = 8
+	if cell := fresh.CellFor(weighted, experiments.SkewZipf, floorReplicas); cell != nil {
 		verdict := "ok"
 		if cell.Efficiency < o.minPlaneEfficiency {
 			verdict = "FAIL"
 			failures = append(failures, fmt.Sprintf(
-				"scaling efficiency %.2f at %d replicas below the %.2f floor",
+				"weighted zipf scaling efficiency %.2f at %d replicas below the %.2f floor",
 				cell.Efficiency, floorReplicas, o.minPlaneEfficiency))
 		}
-		fmt.Fprintf(out, "scaling efficiency at %d replicas: %.2f (floor %.2f) %s\n",
+		fmt.Fprintf(out, "weighted zipf scaling efficiency at %d replicas: %.2f (floor %.2f) %s\n",
 			floorReplicas, cell.Efficiency, o.minPlaneEfficiency, verdict)
 	} else {
-		fmt.Fprintf(out, "fresh run has no %d-replica cell; efficiency floor not applicable (reduced matrix)\n",
+		fmt.Fprintf(out, "fresh run has no weighted zipf %d-replica cell; efficiency floor not applicable (reduced matrix)\n",
 			floorReplicas)
+	}
+
+	// Dominance: load-aware placement must never lose to blind hashing
+	// under the skew it exists to fix. Both efficiencies are same-run
+	// ratios, so the check is machine-independent. It compares the MEAN
+	// efficiency across every measured fleet size of 2+ replicas: on
+	// small, luckily-balanced tiers the two policies are a coin flip
+	// around zero and a per-size check would flake on queueing noise,
+	// while averaging keeps the structural signal (hash collapses as the
+	// tier grows, weighted holds). Single replicas never count — with
+	// nothing to place, both policies route every request to the same
+	// proxy. The two-point slack absorbs residual noise.
+	const dominanceSlack = 0.02
+	var wSum, hSum float64
+	var dominanceCells int
+	for _, n := range fresh.ReplicaCounts {
+		if n < 2 {
+			continue
+		}
+		wc := fresh.CellFor(weighted, experiments.SkewZipf, n)
+		hc := fresh.CellFor(hash, experiments.SkewZipf, n)
+		if wc == nil || hc == nil {
+			continue
+		}
+		wSum += wc.Efficiency
+		hSum += hc.Efficiency
+		dominanceCells++
+		fmt.Fprintf(out, "zipf efficiency at %d replicas: weighted %.2f vs hash %.2f\n",
+			n, wc.Efficiency, hc.Efficiency)
+	}
+	if dominanceCells > 0 {
+		wMean := wSum / float64(dominanceCells)
+		hMean := hSum / float64(dominanceCells)
+		verdict := "ok"
+		if wMean < hMean-dominanceSlack {
+			verdict = "FAIL"
+			failures = append(failures, fmt.Sprintf(
+				"mean weighted zipf efficiency %.2f across %d fleet sizes below hash placement's %.2f (slack %.2f)",
+				wMean, dominanceCells, hMean, dominanceSlack))
+		}
+		fmt.Fprintf(out, "zipf dominance over %d fleet size(s): weighted mean %.2f vs hash mean %.2f (slack %.2f) %s\n",
+			dominanceCells, wMean, hMean, dominanceSlack, verdict)
+	}
+
+	// Cache retention: the handoff contract. Migrated workloads must
+	// keep at least -min-cache-retention of their probed decisions warm
+	// at the destination — without the handoff this fraction is zero,
+	// because every moved shard restarts cold.
+	if rc := fresh.Rebalance; rc != nil {
+		if rc.Probes > 0 {
+			verdict := "ok"
+			if rc.Retention < o.minCacheRetention {
+				verdict = "FAIL"
+				failures = append(failures, fmt.Sprintf(
+					"post-rebalance cache retention %.2f (%d/%d probes) below the %.2f floor",
+					rc.Retention, rc.RetainedHits, rc.Probes, o.minCacheRetention))
+			}
+			fmt.Fprintf(out, "post-rebalance cache retention at %d replicas: %d/%d probes warm (%.2f, floor %.2f) %s\n",
+				rc.Replicas, rc.RetainedHits, rc.Probes, rc.Retention, o.minCacheRetention, verdict)
+		} else {
+			fmt.Fprintf(out, "rebalance at %d replicas moved no shards; cache-retention floor not applicable\n",
+				rc.Replicas)
+		}
+	} else {
+		fmt.Fprintln(out, "fresh run measured no rebalance cell (weighted placement or cache disabled); cache-retention floor not applicable")
 	}
 	return failures, advisories, nil
 }

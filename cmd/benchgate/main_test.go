@@ -460,21 +460,31 @@ func TestScenariosGateEventsPerSecAdvisoryOnForeignHardware(t *testing.T) {
 	}
 }
 
-// planeResult builds a minimal tier report: a clean correctness matrix
-// and a 1 + 4 replica scaling curve with the given efficiency at 4.
-func planeResult(effAt4 float64) experiments.PlaneResult {
+// planeResult builds a minimal tier report: a clean correctness matrix,
+// hash + weighted zipf scaling curves at 1 and 8 replicas with the
+// given weighted efficiency at 8, and a healthy cache-handoff cell.
+func planeResult(effAt8 float64) experiments.PlaneResult {
 	return experiments.PlaneResult{
-		ReplicaCounts: []int{1, 4},
+		ReplicaCounts: []int{1, 8},
+		Placements:    []string{"hash", "weighted"},
+		Skews:         []string{"zipf"},
 		Synth:         32,
 		Seed:          1,
 		Generator:     synth.Options{Seed: 1, Count: 32},
 		VerifiedPairs: true,
 		Cells: []experiments.PlaneCell{
-			{Replicas: 1, OpsPerSec: 1000, Efficiency: 1.0},
-			{Replicas: 4, OpsPerSec: 4000 * effAt4, Efficiency: effAt4},
+			{Placement: "hash", Skew: "zipf", Replicas: 1, OpsPerSec: 1000, Efficiency: 1.0},
+			{Placement: "hash", Skew: "zipf", Replicas: 8, OpsPerSec: 4200, Efficiency: 0.52},
+			{Placement: "weighted", Skew: "zipf", Replicas: 1, OpsPerSec: 1000, Efficiency: 1.0},
+			{Placement: "weighted", Skew: "zipf", Replicas: 8, OpsPerSec: 8000 * effAt8, Efficiency: effAt8},
 		},
-		MatrixReplicas: 4,
-		Matrix:         replay.Result{Events: 100, BenignEvents: 20, AttackEvents: 80},
+		Rebalance: &experiments.PlaneRebalanceCell{
+			Replicas: 8, Skew: "zipf", Moves: 3, MovedWorkloads: 4,
+			HandoffEntries: 40, Probes: 20, RetainedHits: 18, Retention: 0.9,
+		},
+		MatrixReplicas:  8,
+		MatrixPlacement: "weighted",
+		Matrix:          replay.Result{Events: 100, BenignEvents: 20, AttackEvents: 80},
 	}
 }
 
@@ -496,7 +506,46 @@ func TestPlaneGateEnforcesEfficiencyFloor(t *testing.T) {
 	err := run([]string{"-kind", "plane", "-advise-relative",
 		"-baseline", base, "-fresh", fresh}, os.Stdout)
 	if err == nil {
-		t.Fatal("efficiency 0.55 at 4 replicas must fail the 0.7 floor")
+		t.Fatal("weighted zipf efficiency 0.55 at 8 replicas must fail the 0.7 floor")
+	}
+}
+
+func TestPlaneGateEnforcesDominance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", planeResult(0.85))
+	losing := planeResult(0.72)
+	losing.CellFor("hash", "zipf", 8).Efficiency = 0.80
+	fresh := writeJSON(t, dir, "fresh.json", losing)
+	// 0.72 clears the floor but trails hash's 0.80 by more than the
+	// 0.02 slack; dominance is a same-run ratio, so it gates even under
+	// -advise-relative.
+	if err := run([]string{"-kind", "plane", "-advise-relative",
+		"-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("weighted placement losing to hash under zipf must fail the gate")
+	}
+}
+
+func TestPlaneGateEnforcesCacheRetention(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", planeResult(0.85))
+	cold := planeResult(0.85)
+	cold.Rebalance.RetainedHits = 4
+	cold.Rebalance.Retention = 0.2
+	fresh := writeJSON(t, dir, "fresh.json", cold)
+	if err := run([]string{"-kind", "plane", "-advise-relative",
+		"-baseline", base, "-fresh", fresh}, os.Stdout); err == nil {
+		t.Fatal("post-rebalance retention 0.2 must fail the 0.5 floor")
+	}
+}
+
+func TestPlaneGateSkipsRetentionWithoutMoves(t *testing.T) {
+	dir := t.TempDir()
+	base := writeJSON(t, dir, "base.json", planeResult(0.85))
+	still := planeResult(0.85)
+	still.Rebalance = &experiments.PlaneRebalanceCell{Replicas: 8, Skew: "zipf"}
+	fresh := writeJSON(t, dir, "fresh.json", still)
+	if err := run([]string{"-kind", "plane", "-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
+		t.Fatalf("a rebalance that moved nothing must not fail the retention floor: %v", err)
 	}
 }
 
@@ -518,13 +567,16 @@ func TestPlaneGateToleratesReplicaSubset(t *testing.T) {
 	smoke := planeResult(0.85)
 	smoke.ReplicaCounts = []int{1, 2}
 	smoke.Cells = []experiments.PlaneCell{
-		{Replicas: 1, OpsPerSec: 1000, Efficiency: 1.0},
-		{Replicas: 2, OpsPerSec: 1900, Efficiency: 0.95},
+		{Placement: "hash", Skew: "zipf", Replicas: 1, OpsPerSec: 1000, Efficiency: 1.0},
+		{Placement: "hash", Skew: "zipf", Replicas: 2, OpsPerSec: 1800, Efficiency: 0.90},
+		{Placement: "weighted", Skew: "zipf", Replicas: 1, OpsPerSec: 1000, Efficiency: 1.0},
+		{Placement: "weighted", Skew: "zipf", Replicas: 2, OpsPerSec: 1900, Efficiency: 0.95},
 	}
+	smoke.Rebalance.Replicas = 2
 	smoke.MatrixReplicas = 2
 	fresh := writeJSON(t, dir, "fresh.json", smoke)
 	if err := run([]string{"-kind", "plane", "-baseline", base, "-fresh", fresh}, os.Stdout); err != nil {
-		t.Fatalf("PR smoke leg (no 4-replica cell) must pass: %v", err)
+		t.Fatalf("PR smoke leg (no 8-replica cell) must pass: %v", err)
 	}
 }
 

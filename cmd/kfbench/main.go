@@ -75,14 +75,17 @@
 //
 // The plane experiment measures the distributed admission tier
 // (internal/plane): benign-traffic scaling efficiency across -replicas
-// tier sizes against capacity-bounded replicas, plus one full benign +
-// adversarial correctness matrix through the sharded tier — the
-// committed BENCH_plane.json baseline, gated by cmd/benchgate -kind
-// plane:
+// tier sizes against capacity-bounded replicas for every -placements x
+// -skews cell family (hash vs load-aware weighted placement, uniform vs
+// zipf -zipf-s traffic), the post-rebalance decision-cache retention of
+// migrated workloads, plus one full benign + adversarial correctness
+// matrix through the rebalanced tier — the committed BENCH_plane.json
+// baseline, gated by cmd/benchgate -kind plane:
 //
 //	kfbench -experiment plane -replicas 1,2,4,8 -synth 32 -seed 1 \
 //	        -cache 4096 -json > BENCH_plane.json
-//	kfbench -experiment plane -replicas 1,2 -max-per-class 2   # CI smoke
+//	kfbench -experiment plane -replicas 1,2 -skews zipf \
+//	        -max-per-class 2 -cache 1024                       # CI smoke
 //
 // The robustness and learning experiments also accept -synth N to extend
 // their matrices with generated workloads:
@@ -132,6 +135,9 @@ func run(args []string) error {
 	maxEpochs := fs.Int("max-epochs", 8, "benign-replay epochs allowed for learning convergence")
 	synthCount := fs.Int("synth", 0, "generated synthetic workloads: corpus size for scenarios and plane (0 = default), extra workloads for robustness and learning (0 = none)")
 	replicas := fs.String("replicas", "1,2,4,8", "tier sizes for the plane experiment (comma-separated)")
+	placements := fs.String("placements", "hash,weighted", "shard-placement policies for the plane experiment (comma-separated)")
+	skews := fs.String("skews", "uniform,zipf", "traffic shapes for the plane experiment (comma-separated: uniform, zipf)")
+	zipfS := fs.Float64("zipf-s", 0.6, "zipf exponent for the plane experiment's skewed cells")
 	sampleEvery := fs.Int("sample-every", 128, "trace sampling rate for the telemetry experiment (1/N decisions)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -165,6 +171,9 @@ func run(args []string) error {
 		reps:           *reps,
 		workloadCounts: workloadCounts,
 		replicaCounts:  replicaCounts,
+		placements:     splitList(*placements),
+		skews:          splitList(*skews),
+		zipfS:          *zipfS,
 		requests:       *requests,
 		planeRequests:  planeRequests,
 		concurrency:    *concurrency,
@@ -239,6 +248,9 @@ type tableOptions struct {
 	reps           int
 	workloadCounts []int
 	replicaCounts  []int
+	placements     []string
+	skews          []string
+	zipfS          float64
 	requests       int
 	planeRequests  int
 	concurrency    int
@@ -342,6 +354,9 @@ func experimentTable(o tableOptions) map[string]experiments.Experiment {
 		}),
 		experiments.NewPlaneExperiment(experiments.PlaneOptions{
 			ReplicaCounts:      o.replicaCounts,
+			Placements:         o.placements,
+			Skews:              o.skews,
+			ZipfExponent:       o.zipfS,
 			Synth:              o.synth,
 			Seed:               o.seed,
 			RequestsPerReplica: o.planeRequests,
@@ -367,6 +382,12 @@ func experimentTable(o tableOptions) map[string]experiments.Experiment {
 
 // splitCharts parses the -charts flag; empty means every builtin chart.
 func splitCharts(s string) []string {
+	return splitList(s)
+}
+
+// splitList parses a comma-separated string flag into its trimmed,
+// non-empty parts.
+func splitList(s string) []string {
 	var out []string
 	for _, part := range strings.Split(s, ",") {
 		if p := strings.TrimSpace(part); p != "" {

@@ -228,3 +228,110 @@ func TestNewPlaneFacade(t *testing.T) {
 		t.Errorf("Swap(ghost) = %v, want ErrUnknownWorkload", err)
 	}
 }
+
+// TestNewPlaneWeightedPlacementFacade exercises the load-aware
+// placement surface end to end through the facade: construction with
+// PlacementWeighted, an explicit Rebalance after skewed traffic, the
+// report types, and the placement fields in the metrics rollup.
+func TestNewPlaneWeightedPlacementFacade(t *testing.T) {
+	pl, err := kubefence.NewPlane(kubefence.PlaneConfig{
+		Replicas:           2,
+		Upstream:           "http://upstream.invalid",
+		Transport:          echoTransport{},
+		CacheSize:          64,
+		ProxyUser:          "kubefence-proxy",
+		Placement:          kubefence.PlacementWeighted,
+		RebalanceThreshold: 0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pl.Close()
+	c, err := kubefence.LoadBuiltinChart("nginx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	namespaces := []string{"team-a", "team-b", "team-c", "team-d", "team-e", "team-f"}
+	events := make(map[string][]replay.Event, len(namespaces))
+	for _, ns := range namespaces {
+		policy, err := kubefence.GeneratePolicy(c, kubefence.Options{Workload: ns})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pl.Register(ns, kubefence.Selector{Namespace: ns}, policy.Validator()); err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range chartEvents(t, ns, c, 1) {
+			if !ev.ExpectBlocked {
+				events[ns] = append(events[ns], ev)
+			}
+		}
+	}
+
+	// Skew the load hard onto one namespace, then rebalance.
+	for i := 0; i < 40; i++ {
+		for _, ns := range namespaces {
+			reps := 1
+			if ns == namespaces[0] {
+				reps = 8
+			}
+			for r := 0; r < reps; r++ {
+				ev := events[ns][i%len(events[ns])]
+				if status, body := roundTrip(t, pl, ev); status != http.StatusOK {
+					t.Fatalf("benign %s %s: got %d: %s", ev.Method, ev.Path, status, body)
+				}
+			}
+		}
+	}
+	var report kubefence.RebalanceReport
+	report, err = pl.Rebalance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Placement != kubefence.PlacementWeighted {
+		t.Errorf("report placement = %q, want weighted", report.Placement)
+	}
+	if report.ImbalanceAfter > report.ImbalanceBefore {
+		t.Errorf("rebalance worsened imbalance: %.2f -> %.2f",
+			report.ImbalanceBefore, report.ImbalanceAfter)
+	}
+	var moved kubefence.ShardMove
+	if len(report.Moves) > 0 {
+		moved = report.Moves[0]
+		if moved.From == moved.To || len(moved.Workloads) == 0 {
+			t.Errorf("malformed shard move: %+v", moved)
+		}
+	}
+
+	m := pl.Metrics()
+	if m.Placement != string(kubefence.PlacementWeighted) {
+		t.Errorf("tier metrics placement = %q, want weighted", m.Placement)
+	}
+	if m.Rebalances == 0 {
+		t.Error("tier metrics recorded no rebalance")
+	}
+	if m.PublishesStarted != m.PublishesCompleted {
+		t.Errorf("publish window not closed: started=%d completed=%d",
+			m.PublishesStarted, m.PublishesCompleted)
+	}
+	shards := 0
+	for _, rm := range m.Replicas {
+		shards += rm.AssignedShards
+	}
+	if shards != len(namespaces) {
+		t.Errorf("assigned shards sum to %d, want %d", shards, len(namespaces))
+	}
+
+	// Enforcement still holds on the rebalanced tier.
+	for _, ev := range chartEvents(t, namespaces[0], c, 1) {
+		status, _ := roundTrip(t, pl, ev)
+		want := http.StatusOK
+		if ev.ExpectBlocked {
+			want = http.StatusForbidden
+		}
+		if status != want {
+			t.Fatalf("%s %s (attack=%v): got %d, want %d",
+				ev.Method, ev.Path, ev.ExpectBlocked, status, want)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package experiments
 import (
 	"bytes"
 	"fmt"
+	"math"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"sort"
@@ -17,21 +19,52 @@ import (
 	"repro/internal/synth"
 )
 
+// Traffic-skew shapes for the plane experiment's measurement cells.
+const (
+	// SkewUniform offers every workload the same request share.
+	SkewUniform = "uniform"
+	// SkewZipf offers workload shares proportional to 1/rank^s — the
+	// hot-set shape real admission traffic has, and the one that
+	// punishes blind placement: whichever replica hash-owns the hot
+	// workloads becomes the tier bottleneck.
+	SkewZipf = "zipf"
+)
+
 // PlaneOptions configure the distributed-admission-tier experiment.
 type PlaneOptions struct {
 	// ReplicaCounts lists the tier sizes to measure (default 1, 2, 4, 8).
 	// The count 1 (or the smallest count given) is the scaling baseline.
 	ReplicaCounts []int
+	// Placements lists the shard-placement policies to measure (default
+	// "hash", "weighted"). Each (placement, skew) pair is an independent
+	// scaling-curve family with its own efficiency baseline.
+	Placements []string
+	// Skews lists the traffic shapes to measure (default "uniform",
+	// "zipf").
+	Skews []string
+	// ZipfExponent is the skew exponent s for zipf cells (default 0.6).
+	// At the default 32-workload corpus the hottest workload's share is
+	// ~12.3% — deliberately just under one replica's 1/8 capacity share,
+	// so a balanced placement can still scale to 8 replicas while an
+	// unlucky hash placement cannot.
+	ZipfExponent float64
+	// RebalanceThreshold is the weighted placer's hysteresis band for
+	// this experiment (default 0.05 — tighter than the plane's own 0.2
+	// default, because the cells exist to measure how balanced the
+	// placer can get, not to damp production churn).
+	RebalanceThreshold float64
 	// Synth is the generated workload-corpus size — one namespace-scoped
 	// shard key per workload (default 32).
 	Synth int
-	// Seed drives corpus generation and trace interleaving (default 1).
+	// Seed drives corpus generation, trace interleaving, and the zipf
+	// rank shuffle (default 1).
 	Seed int64
 	// RequestsPerReplica is the benign-request volume per replica in the
 	// throughput phase (default 2000); the total at tier size N is
 	// N * RequestsPerReplica, so every cell runs the same wall-clock
 	// shape and a perfectly-scaling tier finishes every cell in the same
-	// time.
+	// time. A quarter of that volume again is spent as an untimed warm
+	// phase (cache fill + load observation) before the clock starts.
 	RequestsPerReplica int
 	// MaxInFlight bounds each replica's concurrent admissions in the
 	// throughput phase (default 8). Together with UpstreamLatency it
@@ -46,15 +79,18 @@ type PlaneOptions struct {
 	// shed counts measure genuine overload).
 	QueueTimeout time.Duration
 	// UpstreamLatency is the simulated API-server round-trip injected by
-	// the throughput phase's transport (default 5ms — large enough that timer-wakeup jitter is noise).
+	// the throughput phase's transport (default 10ms — large enough
+	// that timer-wakeup jitter is noise and that the tier's own CPU
+	// work stays well under one core even at the largest tier size, so
+	// constrained runners measure placement, not host scheduling).
 	UpstreamLatency time.Duration
 	// CacheSize bounds each replica's per-workload decision cache
-	// (0 disables).
+	// (0 disables, which also skips the cache-retention cell).
 	CacheSize int
 	// MaxPerAttackClass caps mutation variants per (attack, class) pair
 	// in the correctness phase (0 = full matrix).
 	MaxPerAttackClass int
-	// Repeats measures each tier size this many times, keeping the best
+	// Repeats measures each cell this many times, keeping the best
 	// run (default 2) — same best-of-N rationale as ThroughputOptions.
 	Repeats int
 	// Concurrency is the replaying-client count for the correctness
@@ -70,6 +106,18 @@ type PlaneOptions struct {
 func (o *PlaneOptions) defaults() {
 	if len(o.ReplicaCounts) == 0 {
 		o.ReplicaCounts = []int{1, 2, 4, 8}
+	}
+	if len(o.Placements) == 0 {
+		o.Placements = []string{string(plane.PlacementHash), string(plane.PlacementWeighted)}
+	}
+	if len(o.Skews) == 0 {
+		o.Skews = []string{SkewUniform, SkewZipf}
+	}
+	if o.ZipfExponent <= 0 {
+		o.ZipfExponent = 0.6
+	}
+	if o.RebalanceThreshold <= 0 {
+		o.RebalanceThreshold = 0.05
 	}
 	if o.Synth <= 0 {
 		o.Synth = 32
@@ -87,7 +135,7 @@ func (o *PlaneOptions) defaults() {
 		o.QueueTimeout = 250 * time.Millisecond
 	}
 	if o.UpstreamLatency <= 0 {
-		o.UpstreamLatency = 5 * time.Millisecond
+		o.UpstreamLatency = 10 * time.Millisecond
 	}
 	if o.Repeats <= 0 {
 		o.Repeats = 2
@@ -100,12 +148,21 @@ func (o *PlaneOptions) defaults() {
 	}
 }
 
-// PlaneCell is one tier-size throughput measurement.
+// PlaneCell is one (placement, skew, tier-size) throughput measurement.
 type PlaneCell struct {
+	// Placement is the shard-placement policy the cell ran under
+	// ("hash" or "weighted"); Skew is the offered traffic shape
+	// ("uniform" or "zipf").
+	Placement string `json:"placement"`
+	Skew      string `json:"skew"`
 	// Replicas is the tier size; Clients is Replicas * MaxInFlight, so
 	// offered concurrency tracks tier capacity.
 	Replicas int `json:"replicas"`
 	Clients  int `json:"clients"`
+	// WarmRequests is the untimed warm-phase volume (cache fill and, for
+	// weighted cells, load observation feeding the pre-measurement
+	// rebalance).
+	WarmRequests int `json:"warm_requests"`
 	// Requests counts benign admissions that completed with 200; Shed
 	// counts fail-closed 429s under the bounded replicas.
 	Requests  int     `json:"requests"`
@@ -114,20 +171,58 @@ type PlaneCell struct {
 	OpsPerSec float64 `json:"ops_per_sec"`
 	P50Ns     int64   `json:"p50_ns"`
 	P99Ns     int64   `json:"p99_ns"`
-	// Efficiency is OpsPerSec / (Replicas * baseline per-replica
-	// OpsPerSec) — 1.0 is perfect linear scaling. The baseline cell's
-	// own efficiency is 1.0 by construction.
+	// Efficiency is OpsPerSec / (Replicas * the skew's per-replica
+	// baseline rate) — 1.0 is perfect linear scaling. The baseline rate
+	// is the fastest smallest-tier cell among the skew's placements: at
+	// the smallest tier every key lands on the same replica whatever
+	// the placement, so the placements share one capacity and a single
+	// noisy baseline cell cannot skew its placement's curve. Skews keep
+	// separate baselines (a skewed mix has its own per-request cost).
 	Efficiency float64 `json:"efficiency"`
+	// RebalanceMoves / ImbalanceBefore / ImbalanceAfter describe the
+	// pre-measurement rebalance of a weighted cell (zero-valued for
+	// hash cells, which never move shards).
+	RebalanceMoves  int     `json:"rebalance_moves,omitempty"`
+	ImbalanceBefore float64 `json:"imbalance_before,omitempty"`
+	ImbalanceAfter  float64 `json:"imbalance_after,omitempty"`
 	// RoutedPerReplica proves the shard map spread traffic: index i is
-	// how many requests replica i admitted.
+	// how many requests replica i admitted (timed phase plus warm).
 	RoutedPerReplica []uint64 `json:"routed_per_replica"`
 }
 
+// PlaneRebalanceCell measures hot-set cache handoff: a weighted tier is
+// warmed under zipf traffic, rebalanced mid-run, and then every workload
+// a shard move carried is probed once per benign object on its new
+// owner. Retention is the fraction of those probes the destination
+// answered from the migrated decision cache — without handoff it would
+// be 0 (every probe a cold re-validation).
+type PlaneRebalanceCell struct {
+	Replicas        int     `json:"replicas"`
+	Skew            string  `json:"skew"`
+	WarmRequests    int     `json:"warm_requests"`
+	Moves           int     `json:"moves"`
+	MovedWorkloads  int     `json:"moved_workloads"`
+	HandoffEntries  int     `json:"handoff_entries"`
+	ImbalanceBefore float64 `json:"imbalance_before"`
+	ImbalanceAfter  float64 `json:"imbalance_after"`
+	// Probes is the post-rebalance benign replay count against moved
+	// workloads; RetainedHits of them were served from the destination
+	// replica's cache.
+	Probes       int     `json:"probes"`
+	RetainedHits int     `json:"retained_hits"`
+	Retention    float64 `json:"retention"`
+}
+
 // PlaneResult is the machine-readable outcome committed as
-// BENCH_plane.json: the scaling curve plus one full benign + adversarial
-// correctness matrix replayed through the largest tier.
+// BENCH_plane.json: one scaling curve per (placement, skew) family, the
+// post-rebalance cache-retention cell, and one full benign + adversarial
+// correctness matrix replayed through the largest rebalanced tier.
 type PlaneResult struct {
 	ReplicaCounts      []int         `json:"replica_counts"`
+	Placements         []string      `json:"placements"`
+	Skews              []string      `json:"skews"`
+	ZipfExponent       float64       `json:"zipf_exponent"`
+	RebalanceThreshold float64       `json:"rebalance_threshold"`
 	Synth              int           `json:"synth_workloads"`
 	Seed               int64         `json:"seed"`
 	CacheSize          int           `json:"cache_size"`
@@ -145,10 +240,20 @@ type PlaneResult struct {
 
 	Cells []PlaneCell `json:"cells"`
 
+	// Rebalance is the cache-handoff retention measurement at the
+	// largest tier size (nil when the weighted placement or the
+	// decision cache is disabled).
+	Rebalance *PlaneRebalanceCell `json:"rebalance,omitempty"`
+
 	// MatrixReplicas is the tier size the correctness matrix ran at
-	// (the largest count); Matrix is the full replay scorecard.
-	MatrixReplicas int           `json:"matrix_replicas"`
-	Matrix         replay.Result `json:"matrix"`
+	// (the largest count); MatrixPlacement is the placement it ran
+	// under — "weighted" (after a live rebalance) when measured, so the
+	// zero-FN/zero-FP contract covers migrated shards, not just the
+	// static hash layout. Matrix is the full replay scorecard.
+	MatrixReplicas       int           `json:"matrix_replicas"`
+	MatrixPlacement      string        `json:"matrix_placement"`
+	MatrixRebalanceMoves int           `json:"matrix_rebalance_moves"`
+	Matrix               replay.Result `json:"matrix"`
 
 	TotalFalseNegatives int   `json:"total_false_negatives"`
 	TotalFalsePositives int   `json:"total_false_positives"`
@@ -163,11 +268,13 @@ func (r *PlaneResult) Clean() bool {
 		r.TotalFalsePositives == 0 && r.Errors == 0
 }
 
-// Cell returns the measurement for a tier size, or nil.
-func (r *PlaneResult) Cell(replicas int) *PlaneCell {
+// CellFor returns the measurement for a (placement, skew, tier size)
+// triple, or nil.
+func (r *PlaneResult) CellFor(placement, skew string, replicas int) *PlaneCell {
 	for i := range r.Cells {
-		if r.Cells[i].Replicas == replicas {
-			return &r.Cells[i]
+		c := &r.Cells[i]
+		if c.Placement == placement && c.Skew == skew && c.Replicas == replicas {
+			return c
 		}
 	}
 	return nil
@@ -191,9 +298,106 @@ type planeRequest struct {
 	body []byte
 }
 
-// Plane measures the distributed admission tier: scaling efficiency of
-// benign-traffic throughput across ReplicaCounts tier sizes, then one
-// full benign + adversarial correctness matrix through the largest tier.
+// planeCorpus is the precomputed benign admission set, grouped by
+// workload so schedules can weight workloads independently.
+type planeCorpus struct {
+	ws []synth.Workload
+	// byWorkload[i] holds workload i's benign requests (one per object).
+	byWorkload [][]planeRequest
+	total      int
+}
+
+func newPlaneCorpus(ws []synth.Workload) (*planeCorpus, error) {
+	c := &planeCorpus{ws: ws, byWorkload: make([][]planeRequest, len(ws))}
+	for i := range ws {
+		w := &ws[i]
+		for _, o := range w.Objects {
+			ev, err := replay.BenignEvent(w.Name, o, "POST")
+			if err != nil {
+				return nil, err
+			}
+			c.byWorkload[i] = append(c.byWorkload[i], planeRequest{path: ev.Path, body: ev.Body})
+		}
+		c.total += len(c.byWorkload[i])
+	}
+	if c.total == 0 {
+		return nil, fmt.Errorf("experiments: plane: corpus rendered no objects")
+	}
+	return c, nil
+}
+
+// fullPass returns one request per corpus object — a coverage pass that
+// guarantees every decision is validated (and cached) once before any
+// timed measurement, so cold-validation CPU spikes never land inside a
+// measured window regardless of how skewed the schedule is.
+func (c *planeCorpus) fullPass() []planeRequest {
+	out := make([]planeRequest, 0, c.total)
+	for _, reqs := range c.byWorkload {
+		out = append(out, reqs...)
+	}
+	return out
+}
+
+// weightsFor returns per-workload request shares for a skew. Uniform is
+// all-equal. Zipf assigns share 1/(rank+1)^s with ranks dealt by a
+// seeded shuffle, so the hot set is decorrelated from generation order
+// (and therefore from hash placement) but identical across runs with
+// the same seed.
+func (c *planeCorpus) weightsFor(skew string, s float64, seed int64) ([]float64, error) {
+	w := make([]float64, len(c.ws))
+	switch skew {
+	case SkewUniform:
+		for i := range w {
+			w[i] = 1
+		}
+	case SkewZipf:
+		perm := rand.New(rand.NewSource(seed)).Perm(len(c.ws))
+		for rank, i := range perm {
+			w[i] = 1 / math.Pow(float64(rank+1), s)
+		}
+	default:
+		return nil, fmt.Errorf("experiments: plane: unknown skew %q (want %q or %q)",
+			skew, SkewUniform, SkewZipf)
+	}
+	return w, nil
+}
+
+// schedule builds a deterministic request sequence of the given length:
+// smooth weighted round-robin across workloads (each workload's
+// instantaneous share tracks its weight — no bursts), each pick cycling
+// that workload's own benign objects. Workers consume contiguous chunks
+// of the result, so every chunk carries the family's offered mix.
+func (c *planeCorpus) schedule(weights []float64, total int) []planeRequest {
+	n := len(c.byWorkload)
+	cur := make([]float64, n)
+	next := make([]int, n)
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	out := make([]planeRequest, 0, total)
+	for len(out) < total {
+		best := 0
+		for i := 1; i < n; i++ {
+			if cur[i]+weights[i] > cur[best]+weights[best] {
+				best = i
+			}
+		}
+		for i := range cur {
+			cur[i] += weights[i]
+		}
+		cur[best] -= sum
+		reqs := c.byWorkload[best]
+		out = append(out, reqs[next[best]%len(reqs)])
+		next[best]++
+	}
+	return out
+}
+
+// Plane measures the distributed admission tier: benign-traffic scaling
+// efficiency across ReplicaCounts tier sizes for every (placement, skew)
+// family, the post-rebalance cache-retention cell, and one full benign +
+// adversarial correctness matrix through the largest (rebalanced) tier.
 // The corpus is the same seeded synthetic workload set the scenarios
 // experiment uses, one namespace shard key per workload.
 func Plane(opts PlaneOptions) (*PlaneResult, error) {
@@ -203,6 +407,13 @@ func Plane(opts PlaneOptions) (*PlaneResult, error) {
 	counts = dedupCounts(counts, 1<<20)
 	if len(counts) == 0 {
 		return nil, fmt.Errorf("experiments: plane: no valid replica counts")
+	}
+	for _, p := range opts.Placements {
+		switch plane.PlacementPolicy(p) {
+		case plane.PlacementHash, plane.PlacementWeighted:
+		default:
+			return nil, fmt.Errorf("experiments: plane: unknown placement %q", p)
+		}
 	}
 
 	genOpts := synth.Options{Seed: opts.Seed, Count: opts.Synth}
@@ -215,25 +426,17 @@ func Plane(opts PlaneOptions) (*PlaneResult, error) {
 			return nil, err
 		}
 	}
-
-	// Benign admission set for the throughput phase, precomputed once.
-	var benign []planeRequest
-	for i := range ws {
-		w := &ws[i]
-		for _, o := range w.Objects {
-			ev, err := replay.BenignEvent(w.Name, o, "POST")
-			if err != nil {
-				return nil, err
-			}
-			benign = append(benign, planeRequest{path: ev.Path, body: ev.Body})
-		}
-	}
-	if len(benign) == 0 {
-		return nil, fmt.Errorf("experiments: plane: corpus rendered no objects")
+	corpus, err := newPlaneCorpus(ws)
+	if err != nil {
+		return nil, err
 	}
 
 	out := &PlaneResult{
 		ReplicaCounts:      counts,
+		Placements:         append([]string(nil), opts.Placements...),
+		Skews:              append([]string(nil), opts.Skews...),
+		ZipfExponent:       opts.ZipfExponent,
+		RebalanceThreshold: opts.RebalanceThreshold,
 		Synth:              opts.Synth,
 		Seed:               opts.Seed,
 		CacheSize:          opts.CacheSize,
@@ -249,40 +452,106 @@ func Plane(opts PlaneOptions) (*PlaneResult, error) {
 	}
 	start := time.Now()
 
-	for _, n := range counts {
-		var best PlaneCell
-		for rep := 0; rep < opts.Repeats; rep++ {
-			cell, err := measurePlaneCell(n, ws, benign, opts)
-			if err != nil {
-				return nil, fmt.Errorf("replicas=%d: %w", n, err)
-			}
-			if rep == 0 || cell.OpsPerSec > best.OpsPerSec {
-				best = *cell
+	// Placements are interleaved inside every (skew, tier size, repeat)
+	// so the cells the gate compares head to head (weighted vs hash at
+	// the same fleet size) are measured back to back under the same
+	// machine conditions — a mid-run CPU throttle then shifts both
+	// numbers, not the ratio between them.
+	type cellKey struct {
+		placement, skew string
+		replicas        int
+	}
+	best := make(map[cellKey]*PlaneCell)
+	for _, skew := range opts.Skews {
+		weights, err := corpus.weightsFor(skew, opts.ZipfExponent, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range counts {
+			for rep := 0; rep < opts.Repeats; rep++ {
+				for _, placement := range opts.Placements {
+					cell, err := measurePlaneCell(n, placement, skew, corpus, weights, opts)
+					if err != nil {
+						return nil, fmt.Errorf("placement=%s skew=%s replicas=%d: %w",
+							placement, skew, n, err)
+					}
+					k := cellKey{placement, skew, n}
+					if prev, ok := best[k]; !ok || cell.OpsPerSec > prev.OpsPerSec {
+						best[k] = cell
+					}
+				}
 			}
 		}
-		out.Cells = append(out.Cells, best)
+	}
+	// Families sharing a skew are normalized against one per-replica
+	// baseline: the fastest smallest-tier cell among that skew's
+	// placements. At the smallest tier every key lands on the same
+	// replica whatever the placement, so the placements' baselines
+	// measure the same capacity and differ only by scheduling noise —
+	// taking the max is the same best-of-N reasoning the repeats use,
+	// and it keeps one slow baseline cell from inflating its
+	// placement's curve. Skews keep separate baselines because a skewed
+	// request mix has its own genuine per-request cost profile.
+	for _, skew := range opts.Skews {
+		perReplica := 0.0
+		for _, placement := range opts.Placements {
+			base := best[cellKey{placement, skew, counts[0]}]
+			if r := base.OpsPerSec / float64(base.Replicas); r > perReplica {
+				perReplica = r
+			}
+		}
+		for _, placement := range opts.Placements {
+			for _, n := range counts {
+				c := *best[cellKey{placement, skew, n}]
+				if perReplica > 0 {
+					c.Efficiency = c.OpsPerSec / (float64(c.Replicas) * perReplica)
+				}
+				best[cellKey{placement, skew, n}] = &c
+			}
+		}
+	}
+	for _, placement := range opts.Placements {
+		for _, skew := range opts.Skews {
+			for _, n := range counts {
+				out.Cells = append(out.Cells, *best[cellKey{placement, skew, n}])
+			}
+		}
 	}
 
-	// Scaling efficiency against the smallest tier's per-replica rate.
-	base := out.Cells[0]
-	perReplica := base.OpsPerSec / float64(base.Replicas)
-	for i := range out.Cells {
-		c := &out.Cells[i]
-		if perReplica > 0 {
-			c.Efficiency = c.OpsPerSec / (float64(c.Replicas) * perReplica)
+	matrixN := counts[len(counts)-1]
+	weighted := false
+	for _, p := range opts.Placements {
+		if plane.PlacementPolicy(p) == plane.PlacementWeighted {
+			weighted = true
 		}
+	}
+
+	// Cache-retention cell: only meaningful with the weighted placer and
+	// a live decision cache.
+	if weighted && opts.CacheSize > 0 {
+		rc, err := measurePlaneRebalance(matrixN, corpus, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.Rebalance = rc
 	}
 
 	// Correctness matrix: full benign + adversarial replay through the
 	// largest tier, unbounded (MaxInFlight 0) and with the in-memory
 	// transport, so replay.Run's zero-error contract holds — any shed or
-	// misroute shows up as a scored error, never a silent pass.
-	matrixN := counts[len(counts)-1]
-	matrix, err := runPlaneMatrix(matrixN, ws, opts)
+	// misroute shows up as a scored error, never a silent pass. When the
+	// weighted placer is under test the tier is warmed and rebalanced
+	// first, so the matrix scores the migrated layout.
+	matrix, moves, err := runPlaneMatrix(matrixN, weighted, corpus, opts)
 	if err != nil {
 		return nil, err
 	}
 	out.MatrixReplicas = matrixN
+	out.MatrixPlacement = string(plane.PlacementHash)
+	if weighted {
+		out.MatrixPlacement = string(plane.PlacementWeighted)
+	}
+	out.MatrixRebalanceMoves = moves
 	out.Matrix = *matrix
 	out.TotalFalseNegatives = matrix.FalseNegatives
 	out.TotalFalsePositives = matrix.FalsePositives
@@ -307,48 +576,27 @@ func newCorpusPlane(cfg plane.Config, ws []synth.Workload) (*plane.Plane, error)
 	return pl, nil
 }
 
-func measurePlaneCell(n int, ws []synth.Workload, benign []planeRequest, opts PlaneOptions) (*PlaneCell, error) {
-	pl, err := newCorpusPlane(plane.Config{
-		Replicas:     n,
-		Upstream:     "http://upstream.invalid",
-		Transport:    latencyTransport{d: opts.UpstreamLatency},
-		CacheSize:    opts.CacheSize,
-		MaxInFlight:  opts.MaxInFlight,
-		QueueTimeout: opts.QueueTimeout,
-		VirtualNodes: opts.VirtualNodes,
-		ProxyUser:    "kubefence-proxy",
-	}, ws)
-	if err != nil {
-		return nil, err
-	}
-
-	clients := n * opts.MaxInFlight
-	perWorker := opts.RequestsPerReplica * n / clients
-	if perWorker == 0 {
-		perWorker = 1
-	}
-	total := perWorker * clients
-
-	latencies := make([][]time.Duration, clients)
+// runPlaneSchedule drives a request schedule through the tier with the
+// given client count, each client owning a contiguous chunk. When timed,
+// it returns sorted completed-admission latencies; sheds (429) are
+// counted either way, any other status is an error.
+func runPlaneSchedule(pl *plane.Plane, schedule []planeRequest, clients int, timed bool) (latencies []time.Duration, shed uint64, elapsed time.Duration, err error) {
+	perClient := make([][]time.Duration, clients)
 	sheds := make([]uint64, clients)
-	workerErrs := make([]error, clients)
+	errs := make([]error, clients)
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < clients; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			samples := make([]time.Duration, 0, perWorker)
-			// Deterministic spread: every client cycles the whole corpus,
-			// with starting offsets spaced evenly across it. The benign
-			// list is grouped by workload, so adjacent offsets (like the
-			// single-proxy experiment's w+i) would convoy every client
-			// onto the same namespace — and therefore the same replica —
-			// at each instant; even spacing keeps the instantaneous
-			// offered load proportional to shard-ownership share.
-			offset := w * len(benign) / clients
-			for i := 0; i < perWorker; i++ {
-				pr := benign[(offset+i)%len(benign)]
+			lo := w * len(schedule) / clients
+			hi := (w + 1) * len(schedule) / clients
+			var samples []time.Duration
+			if timed {
+				samples = make([]time.Duration, 0, hi-lo)
+			}
+			for _, pr := range schedule[lo:hi] {
 				req := httptest.NewRequest(http.MethodPost, pr.path, bytes.NewReader(pr.body))
 				req.Header.Set("Content-Type", "application/json")
 				req.Header.Set("X-Remote-User", "operator:plane")
@@ -357,47 +605,106 @@ func measurePlaneCell(n int, ws []synth.Workload, benign []planeRequest, opts Pl
 				pl.ServeHTTP(rec, req)
 				switch rec.Code {
 				case http.StatusOK:
-					samples = append(samples, time.Since(t0))
+					if timed {
+						samples = append(samples, time.Since(t0))
+					}
 				case http.StatusTooManyRequests:
 					// Fail-closed shed under saturation: recorded, not an
 					// error — the efficiency number only counts completed
 					// admissions.
 					sheds[w]++
 				default:
-					workerErrs[w] = fmt.Errorf("benign admission: unexpected status %d: %s",
+					errs[w] = fmt.Errorf("benign admission: unexpected status %d: %s",
 						rec.Code, rec.Body.String())
 					return
 				}
 			}
-			latencies[w] = samples
+			perClient[w] = samples
 		}(w)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
-	for _, err := range workerErrs {
+	elapsed = time.Since(start)
+	for _, e := range errs {
+		if e != nil {
+			return nil, 0, 0, e
+		}
+	}
+	for i, s := range perClient {
+		latencies = append(latencies, s...)
+		shed += sheds[i]
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	return latencies, shed, elapsed, nil
+}
+
+func measurePlaneCell(n int, placement, skew string, corpus *planeCorpus, weights []float64, opts PlaneOptions) (*PlaneCell, error) {
+	pl, err := newCorpusPlane(plane.Config{
+		Replicas:           n,
+		Upstream:           "http://upstream.invalid",
+		Transport:          latencyTransport{d: opts.UpstreamLatency},
+		CacheSize:          opts.CacheSize,
+		MaxInFlight:        opts.MaxInFlight,
+		QueueTimeout:       opts.QueueTimeout,
+		VirtualNodes:       opts.VirtualNodes,
+		ProxyUser:          "kubefence-proxy",
+		Placement:          plane.PlacementPolicy(placement),
+		RebalanceThreshold: opts.RebalanceThreshold,
+	}, corpus.ws)
+	if err != nil {
+		return nil, err
+	}
+
+	clients := n * opts.MaxInFlight
+	total := opts.RequestsPerReplica * n
+	if total < clients {
+		total = clients
+	}
+	warm := total / 4
+	if warm < corpus.total {
+		warm = corpus.total
+	}
+	schedule := corpus.schedule(weights, warm+total)
+
+	cell := &PlaneCell{
+		Placement:    placement,
+		Skew:         skew,
+		Replicas:     n,
+		Clients:      clients,
+		WarmRequests: warm + corpus.total,
+	}
+
+	// Warm phase (untimed): a full coverage pass validates and caches
+	// every object once, then a prefix of the skewed schedule fills the
+	// hot set and, for the weighted placer, feeds the load scores the
+	// pre-measurement rebalance consumes. Hash cells get the identical
+	// warm so the families differ only in placement.
+	if _, _, _, err := runPlaneSchedule(pl, corpus.fullPass(), clients, false); err != nil {
+		return nil, err
+	}
+	if _, _, _, err := runPlaneSchedule(pl, schedule[:warm], clients, false); err != nil {
+		return nil, err
+	}
+	if plane.PlacementPolicy(placement) == plane.PlacementWeighted {
+		report, err := pl.Rebalance()
 		if err != nil {
 			return nil, err
 		}
+		cell.RebalanceMoves = len(report.Moves)
+		cell.ImbalanceBefore = report.ImbalanceBefore
+		cell.ImbalanceAfter = report.ImbalanceAfter
 	}
 
-	var all []time.Duration
-	var shed uint64
-	for i, s := range latencies {
-		all = append(all, s...)
-		shed += sheds[i]
+	all, shed, elapsed, err := runPlaneSchedule(pl, schedule[warm:], clients, true)
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 
-	cell := &PlaneCell{
-		Replicas:  n,
-		Clients:   clients,
-		Requests:  total - int(shed),
-		Shed:      shed,
-		ElapsedNs: elapsed.Nanoseconds(),
-		OpsPerSec: float64(len(all)) / elapsed.Seconds(),
-		P50Ns:     percentile(all, 0.50).Nanoseconds(),
-		P99Ns:     percentile(all, 0.99).Nanoseconds(),
-	}
+	cell.Requests = total - int(shed)
+	cell.Shed = shed
+	cell.ElapsedNs = elapsed.Nanoseconds()
+	cell.OpsPerSec = float64(len(all)) / elapsed.Seconds()
+	cell.P50Ns = percentile(all, 0.50).Nanoseconds()
+	cell.P99Ns = percentile(all, 0.99).Nanoseconds()
 	tm := pl.Metrics()
 	for _, rm := range tm.Replicas {
 		cell.RoutedPerReplica = append(cell.RoutedPerReplica, rm.Routed)
@@ -405,21 +712,131 @@ func measurePlaneCell(n int, ws []synth.Workload, benign []planeRequest, opts Pl
 	return cell, nil
 }
 
-// runPlaneMatrix replays the corpus's full benign + mutation event set
-// through an httptest server fronting the tier.
-func runPlaneMatrix(n int, ws []synth.Workload, opts PlaneOptions) (*replay.Result, error) {
+// measurePlaneRebalance measures hot-set cache handoff on a fresh
+// weighted tier: warm under zipf traffic (in-memory transport — this
+// cell is about cache state, not throughput), rebalance, then probe
+// every moved workload's benign objects once each on their new owner
+// and count how many the migrated cache answered.
+func measurePlaneRebalance(n int, corpus *planeCorpus, opts PlaneOptions) (*PlaneRebalanceCell, error) {
 	pl, err := newCorpusPlane(plane.Config{
+		Replicas:           n,
+		Upstream:           "http://upstream.invalid",
+		Transport:          NullTransport{},
+		CacheSize:          opts.CacheSize,
+		VirtualNodes:       opts.VirtualNodes,
+		ProxyUser:          "kubefence-proxy",
+		Placement:          plane.PlacementWeighted,
+		RebalanceThreshold: opts.RebalanceThreshold,
+	}, corpus.ws)
+	if err != nil {
+		return nil, err
+	}
+	weights, err := corpus.weightsFor(SkewZipf, opts.ZipfExponent, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	warm := 4 * corpus.total
+	if _, _, _, err := runPlaneSchedule(pl, corpus.fullPass(), opts.Concurrency, false); err != nil {
+		return nil, err
+	}
+	if _, _, _, err := runPlaneSchedule(pl, corpus.schedule(weights, warm), opts.Concurrency, false); err != nil {
+		return nil, err
+	}
+
+	report, err := pl.Rebalance()
+	if err != nil {
+		return nil, err
+	}
+	cell := &PlaneRebalanceCell{
+		Replicas:        n,
+		Skew:            SkewZipf,
+		WarmRequests:    warm,
+		Moves:           len(report.Moves),
+		HandoffEntries:  report.HandoffEntries,
+		ImbalanceBefore: report.ImbalanceBefore,
+		ImbalanceAfter:  report.ImbalanceAfter,
+	}
+
+	byName := make(map[string]int, len(corpus.ws))
+	for i := range corpus.ws {
+		byName[corpus.ws[i].Name] = i
+	}
+	probed := make(map[string]bool)
+	for _, mv := range report.Moves {
+		for _, wname := range mv.Workloads {
+			if probed[wname] {
+				continue
+			}
+			probed[wname] = true
+			cell.MovedWorkloads++
+			wi, ok := byName[wname]
+			if !ok {
+				continue
+			}
+			before, _ := pl.ReplicaWorkloadMetrics(mv.To, wname)
+			for _, pr := range corpus.byWorkload[wi] {
+				req := httptest.NewRequest(http.MethodPost, pr.path, bytes.NewReader(pr.body))
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set("X-Remote-User", "operator:plane")
+				rec := httptest.NewRecorder()
+				pl.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					return nil, fmt.Errorf("experiments: plane: post-rebalance probe of %s: status %d: %s",
+						wname, rec.Code, rec.Body.String())
+				}
+				cell.Probes++
+			}
+			after, _ := pl.ReplicaWorkloadMetrics(mv.To, wname)
+			cell.RetainedHits += int(after.CacheHits - before.CacheHits)
+		}
+	}
+	if cell.Probes > 0 {
+		cell.Retention = float64(cell.RetainedHits) / float64(cell.Probes)
+	}
+	return cell, nil
+}
+
+// runPlaneMatrix replays the corpus's full benign + mutation event set
+// through an httptest server fronting the tier. With the weighted placer
+// under test, the tier is first warmed (zipf) and rebalanced so the
+// matrix exercises migrated shard ownership and handed-off caches.
+func runPlaneMatrix(n int, weighted bool, corpus *planeCorpus, opts PlaneOptions) (*replay.Result, int, error) {
+	cfg := plane.Config{
 		Replicas:     n,
 		Upstream:     "http://upstream.invalid",
 		Transport:    NullTransport{},
 		CacheSize:    opts.CacheSize,
 		VirtualNodes: opts.VirtualNodes,
 		ProxyUser:    "kubefence-proxy",
-	}, ws)
+	}
+	if weighted {
+		cfg.Placement = plane.PlacementWeighted
+		cfg.RebalanceThreshold = opts.RebalanceThreshold
+	}
+	pl, err := newCorpusPlane(cfg, corpus.ws)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
+	}
+	moves := 0
+	if weighted {
+		weights, err := corpus.weightsFor(SkewZipf, opts.ZipfExponent, opts.Seed)
+		if err != nil {
+			return nil, 0, err
+		}
+		if _, _, _, err := runPlaneSchedule(pl, corpus.fullPass(), opts.Concurrency, false); err != nil {
+			return nil, 0, err
+		}
+		if _, _, _, err := runPlaneSchedule(pl, corpus.schedule(weights, 4*corpus.total), opts.Concurrency, false); err != nil {
+			return nil, 0, err
+		}
+		report, err := pl.Rebalance()
+		if err != nil {
+			return nil, 0, err
+		}
+		moves = len(report.Moves)
 	}
 
+	ws := corpus.ws
 	var events []replay.Event
 	for i := range ws {
 		w := &ws[i]
@@ -427,19 +844,19 @@ func runPlaneMatrix(n int, ws []synth.Workload, opts PlaneOptions) (*replay.Resu
 			for _, method := range []string{"POST", "PUT"} {
 				ev, err := replay.BenignEvent(w.Name, o, method)
 				if err != nil {
-					return nil, err
+					return nil, 0, err
 				}
 				events = append(events, ev)
 			}
 		}
 		scs, err := mutate.ForCatalog(w.Objects, mutate.Options{MaxPerAttackClass: opts.MaxPerAttackClass})
 		if err != nil {
-			return nil, err
+			return nil, 0, err
 		}
 		for _, sc := range scs {
 			ev, err := replay.AttackEvent(w.Name, sc)
 			if err != nil {
-				return nil, err
+				return nil, 0, err
 			}
 			events = append(events, ev)
 		}
@@ -447,34 +864,45 @@ func runPlaneMatrix(n int, ws []synth.Workload, opts PlaneOptions) (*replay.Resu
 
 	ts := httptest.NewServer(pl)
 	defer ts.Close()
-	return replay.Run(ts.URL, events, replay.Options{
+	res, err := replay.Run(ts.URL, events, replay.Options{
 		Concurrency: opts.Concurrency,
 		Seed:        opts.Seed,
 	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, moves, nil
 }
 
 // RenderPlane renders the result for humans.
 func RenderPlane(r *PlaneResult) string {
 	var b strings.Builder
 	b.WriteString("Distributed admission plane: scaling efficiency + correctness matrix\n\n")
-	fmt.Fprintf(&b, "corpus: %d workloads (seed %d)   verified pairs: %v   cache: %d\n",
-		r.Synth, r.Seed, r.VerifiedPairs, r.CacheSize)
+	fmt.Fprintf(&b, "corpus: %d workloads (seed %d)   verified pairs: %v   cache: %d   zipf s: %.2f\n",
+		r.Synth, r.Seed, r.VerifiedPairs, r.CacheSize, r.ZipfExponent)
 	fmt.Fprintf(&b, "per-replica capacity: %d in flight x %s upstream latency   queue timeout: %s   repeats: %d\n",
 		r.MaxInFlight, time.Duration(r.UpstreamLatencyNs), time.Duration(r.QueueTimeoutNs), r.Repeats)
-	fmt.Fprintf(&b, "\n%-9s %-8s %-10s %-6s %-12s %-10s %-10s %-11s %s\n",
-		"replicas", "clients", "requests", "shed", "ops/sec", "p50", "p99", "efficiency", "routed/replica")
+	fmt.Fprintf(&b, "\n%-10s %-8s %-9s %-10s %-6s %-12s %-10s %-10s %-11s %-6s %s\n",
+		"placement", "skew", "replicas", "requests", "shed", "ops/sec", "p50", "p99", "efficiency", "moves", "routed/replica")
 	for _, c := range r.Cells {
 		routed := make([]string, len(c.RoutedPerReplica))
 		for i, v := range c.RoutedPerReplica {
 			routed[i] = fmt.Sprintf("%d", v)
 		}
-		fmt.Fprintf(&b, "%-9d %-8d %-10d %-6d %-12.0f %-10s %-10s %-11.2f %s\n",
-			c.Replicas, c.Clients, c.Requests, c.Shed, c.OpsPerSec,
+		fmt.Fprintf(&b, "%-10s %-8s %-9d %-10d %-6d %-12.0f %-10s %-10s %-11.2f %-6d %s\n",
+			c.Placement, c.Skew, c.Replicas, c.Requests, c.Shed, c.OpsPerSec,
 			time.Duration(c.P50Ns), time.Duration(c.P99Ns), c.Efficiency,
-			strings.Join(routed, " "))
+			c.RebalanceMoves, strings.Join(routed, " "))
 	}
-	fmt.Fprintf(&b, "\ncorrectness matrix at %d replicas: %d events (%d benign, %d attacks)\n",
-		r.MatrixReplicas, r.Matrix.Events, r.Matrix.BenignEvents, r.Matrix.AttackEvents)
+	if rc := r.Rebalance; rc != nil {
+		fmt.Fprintf(&b, "\ncache handoff at %d replicas (%s warm): %d move(s), %d workload(s), %d handed-off entrie(s)\n",
+			rc.Replicas, rc.Skew, rc.Moves, rc.MovedWorkloads, rc.HandoffEntries)
+		fmt.Fprintf(&b, "imbalance %.2f -> %.2f   retention: %d/%d probes answered warm (%.2f)\n",
+			rc.ImbalanceBefore, rc.ImbalanceAfter, rc.RetainedHits, rc.Probes, rc.Retention)
+	}
+	fmt.Fprintf(&b, "\ncorrectness matrix at %d replicas (%s placement, %d rebalance move(s)): %d events (%d benign, %d attacks)\n",
+		r.MatrixReplicas, r.MatrixPlacement, r.MatrixRebalanceMoves,
+		r.Matrix.Events, r.Matrix.BenignEvents, r.Matrix.AttackEvents)
 	fmt.Fprintf(&b, "false negatives: %d   false positives: %d   errors: %d   clean: %v\n",
 		r.TotalFalseNegatives, r.TotalFalsePositives, r.Errors, r.Clean())
 	return b.String()

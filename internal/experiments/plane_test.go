@@ -5,9 +5,10 @@ import (
 	"time"
 )
 
-// TestPlaneExperimentSmoke runs a reduced tier matrix end to end: the
-// scaling cells must complete shed-free and the correctness matrix must
-// hold the zero-FN / zero-FP line through the sharded tier.
+// TestPlaneExperimentSmoke runs a reduced tier matrix end to end: every
+// (placement, skew) family must complete shed-free with its own
+// efficiency baseline, and the correctness matrix must hold the
+// zero-FN / zero-FP line through the rebalanced sharded tier.
 func TestPlaneExperimentSmoke(t *testing.T) {
 	res, err := Plane(PlaneOptions{
 		ReplicaCounts:      []int{1, 2},
@@ -24,32 +25,99 @@ func TestPlaneExperimentSmoke(t *testing.T) {
 		t.Fatalf("plane run not clean: FN=%d FP=%d err=%d verified=%v",
 			res.TotalFalseNegatives, res.TotalFalsePositives, res.Errors, res.VerifiedPairs)
 	}
-	if len(res.Cells) != 2 {
-		t.Fatalf("cells: got %d, want 2", len(res.Cells))
+	// 2 placements x 2 skews x 2 tier sizes.
+	if len(res.Cells) != 8 {
+		t.Fatalf("cells: got %d, want 8", len(res.Cells))
 	}
-	base := res.Cell(1)
-	if base == nil || base.Efficiency != 1.0 {
-		t.Fatalf("baseline cell efficiency = %+v, want 1.0", base)
-	}
-	two := res.Cell(2)
-	if two == nil {
-		t.Fatal("missing 2-replica cell")
-	}
-	if two.Efficiency <= 0 {
-		t.Fatalf("2-replica efficiency = %f, want > 0", two.Efficiency)
-	}
-	if len(two.RoutedPerReplica) != 2 {
-		t.Fatalf("routed per replica: %v", two.RoutedPerReplica)
-	}
-	for i, routed := range two.RoutedPerReplica {
-		if routed == 0 {
-			t.Errorf("replica %d admitted no traffic: %v", i, two.RoutedPerReplica)
+	bestBase := 0.0
+	for _, placement := range res.Placements {
+		for _, skew := range res.Skews {
+			base := res.CellFor(placement, skew, 1)
+			if base == nil || base.Efficiency <= 0 || base.Efficiency > 1.0 {
+				t.Fatalf("placement=%s skew=%s baseline cell efficiency = %+v, want (0, 1]",
+					placement, skew, base)
+			}
+			if base.Efficiency > bestBase {
+				bestBase = base.Efficiency
+			}
+			two := res.CellFor(placement, skew, 2)
+			if two == nil {
+				t.Fatalf("placement=%s skew=%s: missing 2-replica cell", placement, skew)
+			}
+			if two.Efficiency <= 0 {
+				t.Fatalf("placement=%s skew=%s 2-replica efficiency = %f, want > 0",
+					placement, skew, two.Efficiency)
+			}
+			if len(two.RoutedPerReplica) != 2 {
+				t.Fatalf("routed per replica: %v", two.RoutedPerReplica)
+			}
+			for i, routed := range two.RoutedPerReplica {
+				if routed == 0 {
+					t.Errorf("placement=%s skew=%s replica %d admitted no traffic: %v",
+						placement, skew, i, two.RoutedPerReplica)
+				}
+			}
+			if placement == "hash" && two.RebalanceMoves != 0 {
+				t.Fatalf("hash cell reports %d rebalance moves", two.RebalanceMoves)
+			}
 		}
+	}
+	if bestBase != 1.0 {
+		t.Fatalf("fastest family baseline efficiency = %f, want exactly 1.0", bestBase)
 	}
 	if res.MatrixReplicas != 2 {
 		t.Fatalf("matrix replicas = %d, want 2", res.MatrixReplicas)
 	}
+	if res.MatrixPlacement != "weighted" {
+		t.Fatalf("matrix placement = %q, want weighted", res.MatrixPlacement)
+	}
 	if res.Matrix.AttackEvents == 0 || res.Matrix.BenignEvents == 0 {
 		t.Fatalf("matrix replayed nothing: %+v", res.Matrix)
+	}
+	if res.Rebalance != nil {
+		t.Fatalf("rebalance cell measured with the cache disabled: %+v", res.Rebalance)
+	}
+}
+
+// TestPlaneExperimentRebalanceCell enables the decision cache so the
+// hot-set handoff cell runs: any migrated workload must be answered warm
+// at its destination (the probes replay objects validated moments
+// earlier, so anything below full retention means the handoff dropped
+// entries).
+func TestPlaneExperimentRebalanceCell(t *testing.T) {
+	res, err := Plane(PlaneOptions{
+		ReplicaCounts:      []int{1, 2},
+		Synth:              8,
+		RequestsPerReplica: 200,
+		UpstreamLatency:    200 * time.Microsecond,
+		CacheSize:          256,
+		MaxPerAttackClass:  1,
+		Repeats:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Clean() {
+		t.Fatalf("plane run not clean: FN=%d FP=%d err=%d",
+			res.TotalFalseNegatives, res.TotalFalsePositives, res.Errors)
+	}
+	rc := res.Rebalance
+	if rc == nil {
+		t.Fatal("no rebalance cell despite weighted placement and a live cache")
+	}
+	if rc.Replicas != 2 || rc.Skew != SkewZipf {
+		t.Fatalf("rebalance cell ran at %d replicas under %q", rc.Replicas, rc.Skew)
+	}
+	if rc.RetainedHits > rc.Probes {
+		t.Fatalf("retained %d of %d probes", rc.RetainedHits, rc.Probes)
+	}
+	if rc.Probes > 0 {
+		if rc.HandoffEntries == 0 {
+			t.Fatalf("shards moved (%d moves) but no cache entries handed off", rc.Moves)
+		}
+		if rc.Retention < 0.5 {
+			t.Fatalf("retention %.2f (%d/%d) below 0.5 right after warmup",
+				rc.Retention, rc.RetainedHits, rc.Probes)
+		}
 	}
 }

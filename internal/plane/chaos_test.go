@@ -193,3 +193,194 @@ func TestChaosKillRestartMidSwap(t *testing.T) {
 		t.Errorf("publishes: started %d != completed %d after quiesce", tm.PublishesStarted, tm.PublishesCompleted)
 	}
 }
+
+// TestChaosRebalanceMidSwap races weighted rebalances against policy
+// swaps and enforcement traffic: a rotating hot namespace keeps the
+// load imbalanced so shards (and their workloads' hot caches) migrate
+// continuously while a swapper alternates the probed workload's policy
+// between two generations with disjoint benign sets. The invariants
+// are the publish window's, extended to migrations:
+//
+//  1. No stale-generation verdict: a request started after a Swap
+//     returned is never judged by the pre-swap policy, even when its
+//     shard is mid-migration — the destination is installed at the
+//     current generation before routing flips, and the source is a live
+//     holder kept current by the swap itself.
+//  2. No silent allow during a move: a body the current policy denies
+//     is either denied or shed, never forwarded, whatever the placer is
+//     doing to the routing table underneath.
+func TestChaosRebalanceMidSwap(t *testing.T) {
+	pl := newTestPlane(t, 3, Config{
+		CacheSize:          128,
+		Placement:          PlacementWeighted,
+		RebalanceThreshold: 0.05,
+		LoadSmoothing:      0.9,
+	})
+	v1 := policyFor(t, "wl", false, img)
+	v2 := policyFor(t, "wl", true, img)
+	siblings := []string{"n1", "n2", "n3", "n4", "n5", "n6"}
+	for _, ns := range siblings {
+		if err := pl.Register("wl-"+ns, registry.Selector{Namespace: ns}, policyFor(t, "wl-"+ns, false, img)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pl.Register("wl", registry.Selector{Namespace: "prod"}, v1); err != nil {
+		t.Fatal(err)
+	}
+
+	var phase atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	bodyFalse := podBody(false, img)
+	bodyTrue := podBody(true, img)
+
+	// Swapper: v1 -> v2 -> v1 -> ...
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			next := v2
+			if i%2 == 1 {
+				next = v1
+			}
+			if err := pl.Swap("wl", next); err != nil {
+				t.Errorf("Swap: %v", err)
+				return
+			}
+			phase.Add(1)
+			time.Sleep(200 * time.Microsecond)
+		}
+	}()
+
+	// Placer: rebalance as fast as it can; the rotating hot namespace
+	// below keeps handing it fresh imbalance to chase.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := pl.Rebalance(); err != nil {
+				t.Errorf("Rebalance: %v", err)
+				return
+			}
+			time.Sleep(300 * time.Microsecond)
+		}
+	}()
+
+	const workers = 4
+	var served, shed atomic.Uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Hammer a rotating hot namespace so the placer keeps
+				// migrating shards under the probes. Benign sibling
+				// traffic must never be denied; attacks never allowed.
+				hot := siblings[(i/32)%len(siblings)]
+				hotPath := "/api/v1/namespaces/" + hot + "/pods"
+				for _, probe := range []struct {
+					body  []byte
+					allow bool
+				}{{bodyFalse, true}, {bodyTrue, false}} {
+					req := httptest.NewRequest(http.MethodPost, hotPath, bytes.NewReader(probe.body))
+					req.Header.Set("Content-Type", "application/json")
+					rec := httptest.NewRecorder()
+					pl.ServeHTTP(rec, req)
+					switch {
+					case probe.allow && rec.Code == http.StatusOK,
+						!probe.allow && rec.Code == http.StatusForbidden:
+						served.Add(1)
+					case rec.Code == http.StatusServiceUnavailable || rec.Code == http.StatusTooManyRequests:
+						shed.Add(1)
+					case !probe.allow:
+						t.Errorf("sibling attack forwarded mid-rebalance: status %d", rec.Code)
+					default:
+						t.Errorf("sibling benign denied mid-rebalance: status %d body %s", rec.Code, rec.Body)
+					}
+				}
+
+				// The swapped workload: phase snapshot bounds the legal
+				// generations exactly as in TestChaosKillRestartMidSwap.
+				before := phase.Load()
+				wantAllow, wantDeny := bodyFalse, bodyTrue
+				if before%2 == 1 {
+					wantAllow, wantDeny = bodyTrue, bodyFalse
+				}
+				for _, probe := range []struct {
+					body  []byte
+					allow bool
+				}{{wantAllow, true}, {wantDeny, false}} {
+					req := httptest.NewRequest(http.MethodPost, "/api/v1/namespaces/prod/pods", bytes.NewReader(probe.body))
+					req.Header.Set("Content-Type", "application/json")
+					rec := httptest.NewRecorder()
+					pl.ServeHTTP(rec, req)
+					after := phase.Load()
+					switch rec.Code {
+					case http.StatusOK, http.StatusForbidden:
+						served.Add(1)
+						stable := before == after
+						if stable && probe.allow && rec.Code != http.StatusOK {
+							t.Errorf("phase %d: allowed body denied mid-rebalance (stale generation): %s", before, rec.Body)
+						}
+						if stable && !probe.allow && rec.Code != http.StatusForbidden {
+							t.Errorf("phase %d: denied body forwarded mid-rebalance (stale generation)", before)
+						}
+					case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+						shed.Add(1)
+					default:
+						t.Errorf("unexpected status %d under rebalance chaos: %s", rec.Code, rec.Body)
+					}
+				}
+			}
+		}()
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	tm := pl.Metrics()
+	if served.Load() == 0 {
+		t.Fatal("rebalance chaos served zero requests — invariants never exercised")
+	}
+	if tm.ShardMigrations == 0 {
+		t.Fatal("rebalance chaos migrated zero shards — the mid-move window was never exercised")
+	}
+	if tm.PublishesStarted != tm.PublishesCompleted {
+		t.Errorf("publish window open after rebalance chaos: %d started, %d completed",
+			tm.PublishesStarted, tm.PublishesCompleted)
+	}
+	t.Logf("rebalance chaos: %d served, %d shed, %d swaps, %d rebalances, %d migrations, %d handoff entries",
+		served.Load(), shed.Load(), phase.Load(), tm.Rebalances, tm.ShardMigrations, tm.HandoffEntries)
+
+	// Quiesce: the tier converges to the final generation everywhere.
+	final := phase.Load()
+	wantAllow, wantDeny := bodyFalse, bodyTrue
+	if final%2 == 1 {
+		wantAllow, wantDeny = bodyTrue, bodyFalse
+	}
+	for i := 0; i < 50; i++ {
+		if w := post(t, pl, "/api/v1/namespaces/prod/pods", wantAllow); w.Code != http.StatusOK {
+			t.Fatalf("quiesced benign: code %d body %s", w.Code, w.Body)
+		}
+		if w := post(t, pl, "/api/v1/namespaces/prod/pods", wantDeny); w.Code != http.StatusForbidden {
+			t.Fatalf("quiesced attack: code %d (fail-open after rebalance chaos)", w.Code)
+		}
+	}
+}

@@ -122,6 +122,23 @@ type Config struct {
 	// Restart, so counters span replica generations; Plane.Telemetry()
 	// merges them into one tier snapshot.
 	Telemetry *telemetry.Config
+	// Placement selects the shard placement policy: PlacementHash (the
+	// default) places shard keys by consistent hashing alone;
+	// PlacementWeighted overlays load-aware assignment — Rebalance
+	// migrates the heaviest keys (and their hot decision caches) off
+	// overloaded replicas.
+	Placement PlacementPolicy
+	// RebalanceThreshold is the weighted placement's hysteresis band: a
+	// rebalance only moves shards while the most loaded replica exceeds
+	// the mean load by this fraction (default 0.2).
+	RebalanceThreshold float64
+	// RebalanceInterval, when > 0 on a weighted-placement tier, runs
+	// Rebalance on a background ticker until Close.
+	RebalanceInterval time.Duration
+	// LoadSmoothing is the EWMA coefficient for per-workload load
+	// scores (0 < alpha <= 1, default 0.5); higher weights the latest
+	// epoch more.
+	LoadSmoothing float64
 }
 
 // workloadState is the control plane's desired state for one workload —
@@ -177,6 +194,23 @@ type replica struct {
 type routeTable struct {
 	ring *ring
 	pins map[string]int
+	// assign is the weighted placement overlay: shard keys explicitly
+	// homed by the last rebalance. Resolution order is pins, then
+	// assign, then the ring.
+	assign map[string]int
+}
+
+// owner resolves a shard key to its replica: explicit pin first, then
+// the weighted assignment, then consistent hashing. ok is false only
+// when the ring is empty (every replica drained or down).
+func (rt *routeTable) owner(key string) (int, bool) {
+	if idx, ok := rt.pins[key]; ok {
+		return idx, true
+	}
+	if idx, ok := rt.assign[key]; ok {
+		return idx, true
+	}
+	return rt.ring.lookup(key)
 }
 
 // Plane is the distributed admission tier.
@@ -194,12 +228,26 @@ type Plane struct {
 	pins      map[string]int
 	gens      atomic.Uint64
 
+	// assign and loads are the weighted placer's state: the committed
+	// shard-key assignment and the per-workload EWMA bookkeeping. Both
+	// under mu.
+	assign map[string]int
+	loads  map[string]loadState
+
 	requests           atomic.Uint64
 	shedTotal          atomic.Uint64
 	unavailableTotal   atomic.Uint64
 	publishesStarted   atomic.Uint64
 	publishesCompleted atomic.Uint64
 	resyncs            atomic.Uint64
+	rebalances         atomic.Uint64
+	migrations         atomic.Uint64
+	handoffTotal       atomic.Uint64
+
+	// rebalanceStop ends the periodic rebalancer (nil unless
+	// Config.RebalanceInterval started one).
+	rebalanceStop chan struct{}
+	closeOnce     sync.Once
 
 	// front records routing outcomes at the front door (nil when the
 	// tier runs without telemetry).
@@ -215,10 +263,17 @@ func New(cfg Config) (*Plane, error) {
 	if cfg.Upstream == "" {
 		return nil, fmt.Errorf("plane: Config.Upstream is required")
 	}
+	switch cfg.Placement {
+	case "", PlacementHash, PlacementWeighted:
+	default:
+		return nil, fmt.Errorf("plane: unknown placement policy %q", cfg.Placement)
+	}
 	pl := &Plane{
 		cfg:       cfg,
 		workloads: map[string]*workloadState{},
 		pins:      map[string]int{},
+		assign:    map[string]int{},
+		loads:     map[string]loadState{},
 	}
 	if cfg.Telemetry != nil {
 		pl.front = telemetry.New(*cfg.Telemetry)
@@ -237,6 +292,10 @@ func New(cfg Config) (*Plane, error) {
 		pl.replicas = append(pl.replicas, rep)
 	}
 	pl.publishRoutesLocked()
+	if pl.placement() == PlacementWeighted && cfg.RebalanceInterval > 0 {
+		pl.rebalanceStop = make(chan struct{})
+		go pl.rebalanceLoop(cfg.RebalanceInterval)
+	}
 	return pl, nil
 }
 
@@ -273,9 +332,10 @@ func (pl *Plane) activeIndices() []int {
 }
 
 // publishRoutesLocked rebuilds the routing snapshot from the current
-// ring membership and pins, and publishes it to the data path. Pins
-// whose target replica is not active are omitted — routing falls back
-// to the ring exactly like ownership does, so a pinned workload keeps
+// ring membership, pins, and weighted assignments, and publishes it to
+// the data path. Pins and assignments whose target replica is not
+// active are omitted — routing falls back to the ring exactly like
+// ownership does, so a pinned or weighted-placed workload keeps
 // receiving (correctly re-homed) traffic while its replica is out.
 // Caller holds pl.mu (or is inside New, before the plane escapes).
 func (pl *Plane) publishRoutesLocked() {
@@ -285,9 +345,16 @@ func (pl *Plane) publishRoutesLocked() {
 			pins[k] = v
 		}
 	}
+	assign := make(map[string]int, len(pl.assign))
+	for k, v := range pl.assign {
+		if ReplicaState(pl.replicas[v].state.Load()) == ReplicaActive {
+			assign[k] = v
+		}
+	}
 	pl.routes.Store(&routeTable{
-		ring: buildRing(pl.activeIndices(), pl.cfg.VirtualNodes),
-		pins: pins,
+		ring:   buildRing(pl.activeIndices(), pl.cfg.VirtualNodes),
+		pins:   pins,
+		assign: assign,
 	})
 }
 
@@ -314,10 +381,10 @@ func shardKeys(sel registry.Selector) []string {
 }
 
 // ownersLocked computes the replica set a workload must be published
-// to under the current ring and pins.
+// to under the current ring, pins, and weighted assignments.
 func (pl *Plane) ownersLocked(ws *workloadState) []int {
 	rt := pl.routes.Load()
-	return ownersOn(rt.ring, pl.pins, ws, func(i int) ReplicaState {
+	return ownersOn(rt.ring, pl.pins, pl.assign, ws, func(i int) ReplicaState {
 		return ReplicaState(pl.replicas[i].state.Load())
 	})
 }
@@ -674,13 +741,22 @@ func (pl *Plane) State(replicaIndex int) (ReplicaState, error) {
 // the workload's published generation are skipped, so an unchanged
 // shard costs nothing. Caller holds pl.mu.
 func (pl *Plane) rebalanceLocked() error {
+	// Weighted assignments whose replica left the active set fall back
+	// to hashed placement until the next weighted rebalance re-places
+	// them by load.
+	for key, idx := range pl.assign {
+		if ReplicaState(pl.replicas[idx].state.Load()) != ReplicaActive {
+			delete(pl.assign, key)
+		}
+	}
 	future := buildRing(pl.activeIndices(), pl.cfg.VirtualNodes)
 	stateOf := func(i int) ReplicaState {
 		return ReplicaState(pl.replicas[i].state.Load())
 	}
 	var firstErr error
 	for w, ws := range pl.workloads {
-		owners := ownersOn(future, pl.pins, ws, stateOf)
+		owners := ownersOn(future, pl.pins, pl.assign, ws, stateOf)
+		prev := ws.owners
 		for _, rep := range pl.replicas {
 			if ReplicaState(rep.state.Load()) == ReplicaDown {
 				continue
@@ -694,6 +770,21 @@ func (pl *Plane) rebalanceLocked() error {
 			}
 			if err := pl.installLocked(rep, w, ws, ws.gen); err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("plane: replica %d: %w", rep.index, err)
+			}
+		}
+		// A replica gaining this workload inherits the hot decision set
+		// from a live previous owner (drain handoff; a killed source has
+		// nothing left to export) — installed above, primed here, and
+		// only then routed to by the table published below.
+		for _, idx := range owners {
+			if containsInt(prev, idx) {
+				continue
+			}
+			for _, old := range prev {
+				if n := pl.handoffLocked(old, pl.replicas[idx], w, ws); n > 0 {
+					pl.handoffTotal.Add(uint64(n))
+					break
+				}
 			}
 		}
 		ws.owners = owners
@@ -761,10 +852,11 @@ func (pl *Plane) Restart(replicaIndex int) error {
 
 // ownersOn is the ownership function over an explicit ring and state
 // view, shared by live publishes (ownersLocked) and the future-topology
-// computation during resync. Pins only bind while their replica is
-// active; otherwise the shard falls back to hashed placement, matching
-// publishRoutesLocked's filtered routing pins.
-func ownersOn(rg *ring, pins map[string]int, ws *workloadState, stateOf func(int) ReplicaState) []int {
+// computation during resync. Pins and weighted assignments only bind
+// while their replica is active; otherwise the shard falls back to
+// hashed placement, matching publishRoutesLocked's filtered routing.
+// Resolution order is the data path's: pin, then assignment, then ring.
+func ownersOn(rg *ring, pins, assign map[string]int, ws *workloadState, stateOf func(int) ReplicaState) []int {
 	if ws.pin >= 0 && stateOf(ws.pin) == ReplicaActive {
 		return []int{ws.pin}
 	}
@@ -785,6 +877,9 @@ func ownersOn(rg *ring, pins map[string]int, ws *workloadState, stateOf func(int
 		idx, ok := rg.lookup(key)
 		if !ok {
 			continue
+		}
+		if assigned, ok := assign[key]; ok && stateOf(assigned) == ReplicaActive {
+			idx = assigned
 		}
 		if pinned, ok := pins[key]; ok && stateOf(pinned) == ReplicaActive {
 			idx = pinned
@@ -855,10 +950,7 @@ func (pl *Plane) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 
 	key := routeKey(r, body)
 	rt := pl.routes.Load()
-	idx, ok := rt.pins[key]
-	if !ok {
-		idx, ok = rt.ring.lookup(key)
-	}
+	idx, ok := rt.owner(key)
 	if !ok {
 		pl.unavailableTotal.Add(1)
 		pl.recordFront(telemetry.VerdictUnavailable, start)
@@ -1100,8 +1192,13 @@ type ReplicaMetrics struct {
 	Shed        uint64 `json:"shed"`
 	Unavailable uint64 `json:"unavailable"`
 	// Workloads is the number of policies currently installed.
-	Workloads int           `json:"workloads"`
-	Proxy     proxy.Metrics `json:"proxy"`
+	Workloads int `json:"workloads"`
+	// AssignedShards and LoadScore describe placement: how many shard
+	// keys currently route to this replica and the EWMA load score they
+	// carry (pinned shards are placed by fiat and not scored).
+	AssignedShards int           `json:"assigned_shards"`
+	LoadScore      float64       `json:"load_score"`
+	Proxy          proxy.Metrics `json:"proxy"`
 }
 
 // TierMetrics is the tier-level rollup: front-door accounting,
@@ -1119,7 +1216,15 @@ type TierMetrics struct {
 	// Generations maps each workload to the plane generation of its
 	// last completed publish.
 	Generations map[string]uint64 `json:"generations"`
-	Replicas    []ReplicaMetrics  `json:"replicas"`
+	// Placement names the shard placement policy; Rebalances counts
+	// rebalance epochs, ShardMigrations the shard keys they moved, and
+	// HandoffEntries the cached decisions that travelled with migrating
+	// shards (rebalances and drains both).
+	Placement       string           `json:"placement"`
+	Rebalances      uint64           `json:"rebalances"`
+	ShardMigrations uint64           `json:"shard_migrations"`
+	HandoffEntries  uint64           `json:"handoff_entries"`
+	Replicas        []ReplicaMetrics `json:"replicas"`
 	// Proxy sums the per-replica proxy counters.
 	Proxy proxy.Metrics `json:"proxy"`
 }
@@ -1136,18 +1241,38 @@ func (pl *Plane) Metrics() TierMetrics {
 		PublishesCompleted: pl.publishesCompleted.Load(),
 		Resyncs:            pl.resyncs.Load(),
 		Generations:        make(map[string]uint64, len(pl.workloads)),
+		Placement:          string(pl.placement()),
+		Rebalances:         pl.rebalances.Load(),
+		ShardMigrations:    pl.migrations.Load(),
+		HandoffEntries:     pl.handoffTotal.Load(),
 	}
 	for w, ws := range pl.workloads {
 		tm.Generations[w] = ws.gen
 	}
+	// Per-replica placement detail: fold a read-only score preview onto
+	// shard keys and resolve each key against the live route table.
+	scores := pl.loadScoresLocked(false)
+	rt := pl.routes.Load()
+	shardsBy := make(map[int]int, len(pl.replicas))
+	loadBy := make(map[int]float64, len(pl.replicas))
+	for _, kl := range pl.keyLoadsLocked(scores) {
+		idx, ok := rt.owner(kl.key)
+		if !ok {
+			continue
+		}
+		shardsBy[idx]++
+		loadBy[idx] += kl.score
+	}
 	for _, rep := range pl.replicas {
 		rm := ReplicaMetrics{
-			Index:       rep.index,
-			State:       ReplicaState(rep.state.Load()).String(),
-			Routed:      rep.routed.Load(),
-			Shed:        rep.shed.Load(),
-			Unavailable: rep.unavailable.Load(),
-			Workloads:   len(rep.installed),
+			Index:          rep.index,
+			State:          ReplicaState(rep.state.Load()).String(),
+			Routed:         rep.routed.Load(),
+			Shed:           rep.shed.Load(),
+			Unavailable:    rep.unavailable.Load(),
+			Workloads:      len(rep.installed),
+			AssignedShards: shardsBy[rep.index],
+			LoadScore:      loadBy[rep.index],
 		}
 		if px := rep.proxy.Load(); px != nil {
 			rm.Proxy = px.Metrics()

@@ -63,3 +63,22 @@ func (c *lruCache) stats() (size, capacity int) {
 	defer c.mu.Unlock()
 	return c.ll.Len(), c.capacity
 }
+
+// export copies the shard's decisions made under one policy generation,
+// ordered least- to most-recently used so an import replayed through
+// put() reproduces the source's recency order. Decisions cached under
+// any other generation are already unreachable (probes key on the
+// current generation) and are dropped here rather than shipped.
+func (c *lruCache) export(gen uint64) []CacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CacheEntry, 0, c.ll.Len())
+	for el := c.ll.Back(); el != nil; el = el.Prev() {
+		item := el.Value.(*lruItem)
+		if item.key.gen != gen {
+			continue
+		}
+		out = append(out, CacheEntry{BodyHash: item.key.bodyHash, Violations: item.vs})
+	}
+	return out
+}

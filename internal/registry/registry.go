@@ -902,6 +902,99 @@ func (r *Registry) validateVersion(e *Entry, ver *policyVersion, body []byte, ob
 	return vs
 }
 
+// CacheEntry is one exported decision: the body hash it was keyed by
+// and the violation list it answered with (nil = allowed).
+type CacheEntry struct {
+	BodyHash   [sha256.Size]byte
+	Violations []validator.Violation
+}
+
+// CacheSnapshot is a transferable copy of one workload's decision-cache
+// shard, taken by ExportCache for handoff to another registry (the
+// plane moves a workload's hot set with it when a shard migrates
+// between replicas). The snapshot is generation-checked twice: export
+// keeps only decisions made under the source entry's current
+// generation, and import re-keys them to the destination's current
+// generation only while the destination provably serves the identical
+// policy — otherwise every entry is dropped as stale. Entries are
+// ordered least- to most-recently used so recency survives the move.
+type CacheSnapshot struct {
+	Workload string
+	// Generation is the source entry's policy generation at export —
+	// every entry in the snapshot was decided under it.
+	Generation uint64
+	Entries    []CacheEntry
+
+	// policy pins the identity of the validator the decisions were
+	// computed by. Generations are registry-local (each registry issues
+	// its own), so cross-registry staleness cannot be judged by number:
+	// ImportCache accepts the snapshot only while the destination's
+	// current version holds this exact policy object. In-process handoff
+	// only; a wire-format handoff needs a content hash here instead.
+	policy *validator.Validator
+	// hasInvariants records whether the source decided with
+	// cross-resource invariants attached. Verdicts made with and without
+	// invariants are not interchangeable, so import requires both sides
+	// invariant-free.
+	hasInvariants bool
+}
+
+// ExportCache snapshots a workload's decision-cache shard for handoff.
+// Decisions cached under superseded generations are dropped at export;
+// a registry without caching exports an empty (but valid) snapshot.
+func (r *Registry) ExportCache(workload string) (CacheSnapshot, error) {
+	e, ok := r.Entry(workload)
+	if !ok {
+		return CacheSnapshot{}, errUnknown(workload)
+	}
+	ver := e.version.Load()
+	snap := CacheSnapshot{
+		Workload:      workload,
+		Generation:    ver.gen,
+		policy:        ver.policy,
+		hasInvariants: len(ver.invariants) > 0,
+	}
+	if e.cache != nil {
+		snap.Entries = e.cache.export(ver.gen)
+	}
+	return snap, nil
+}
+
+// ImportCache merges an exported shard into the destination entry's
+// cache, re-keyed to the destination's current generation, and reports
+// how many decisions were imported. Stale snapshots import nothing: if
+// the destination's current version does not hold the exact policy
+// object the snapshot was exported under (a swap landed on either side
+// since), or either side carries cross-resource invariants, every entry
+// is dropped — an imported decision must be byte-for-byte the decision
+// the destination would compute itself. Entries are replayed in LRU
+// order through the shard's own bounded put, so the import can never
+// grow the shard past its capacity.
+func (r *Registry) ImportCache(snap CacheSnapshot) (int, error) {
+	e, ok := r.Entry(snap.Workload)
+	if !ok {
+		return 0, errUnknown(snap.Workload)
+	}
+	if e.cache == nil {
+		return 0, nil
+	}
+	// Serialized against Swap/SetInvariants via modeMu: the generation
+	// read here cannot be superseded while the entries are keyed to it,
+	// so an import can never resurrect decisions across a concurrent
+	// policy change.
+	e.modeMu.Lock()
+	defer e.modeMu.Unlock()
+	ver := e.version.Load()
+	if ver.policy == nil || ver.policy != snap.policy ||
+		snap.hasInvariants || len(ver.invariants) > 0 {
+		return 0, nil
+	}
+	for _, ce := range snap.Entries {
+		e.cache.put(cacheKey{gen: ver.gen, bodyHash: ce.BodyHash}, ce.Violations)
+	}
+	return len(snap.Entries), nil
+}
+
 // CacheStats reports the aggregate decision-cache occupancy: the sum of
 // all per-workload shard sizes and the sum of their capacities (zeros
 // when caching is disabled).

@@ -276,6 +276,32 @@ func (h *Hub) RecordDecision(workload string, v Verdict, p Path, d time.Duration
 	sh.bucket[ci][bucketIndex(d)].Add(1)
 }
 
+// Load sums one workload's decision cells — decisions recorded and
+// total decision nanoseconds across every (verdict, path) cell —
+// without building a snapshot. This is the load-cell read path: the
+// plane's weighted placer derives per-workload load scores (request
+// share × mean decision cost) from these totals on every rebalance
+// tick, so the read is lock-free and allocation-free. A nil hub and an
+// unrecorded workload both report zero load.
+func (h *Hub) Load(workload string) (count, sumNs uint64) {
+	if h == nil {
+		return 0, 0
+	}
+	m := *h.workloads.Load()
+	wt, ok := m[workload]
+	if !ok {
+		return 0, 0
+	}
+	for i := range wt.shards {
+		sh := &wt.shards[i]
+		for ci := 0; ci < numCells; ci++ {
+			count += sh.count[ci].Load()
+			sumNs += sh.sumNs[ci].Load()
+		}
+	}
+	return count, sumNs
+}
+
 // --- snapshots ---------------------------------------------------------
 
 // CellSnapshot is the summed state of one (workload, verdict, path)

@@ -88,6 +88,37 @@ func TestRecordAndSnapshot(t *testing.T) {
 	}
 }
 
+func TestLoadSumsAllCells(t *testing.T) {
+	h := New(Config{Shards: 4})
+	h.RecordDecision("api", VerdictAllowed, PathRaw, 300*time.Nanosecond)
+	h.RecordDecision("api", VerdictAllowed, PathRaw, 900*time.Nanosecond)
+	h.RecordDecision("api", VerdictDenied, PathDecoded, 5*time.Microsecond)
+	h.RecordDecision("batch", VerdictShadowed, PathDecoded, 2*time.Microsecond)
+
+	count, sumNs := h.Load("api")
+	if count != 3 || sumNs != 300+900+5000 {
+		t.Fatalf("Load(api) = (%d, %d), want (3, 6200)", count, sumNs)
+	}
+	// The read path agrees with the snapshot's cell sums.
+	var snapCount, snapSum uint64
+	snap := h.Snapshot()
+	for _, cell := range snap.Workload("api").Cells {
+		snapCount += cell.Count
+		snapSum += cell.SumNs
+	}
+	if count != snapCount || sumNs != snapSum {
+		t.Fatalf("Load(api) = (%d, %d) disagrees with snapshot (%d, %d)",
+			count, sumNs, snapCount, snapSum)
+	}
+	if c, s := h.Load("ghost"); c != 0 || s != 0 {
+		t.Fatalf("Load(ghost) = (%d, %d), want zero", c, s)
+	}
+	var nilHub *Hub
+	if c, s := nilHub.Load("api"); c != 0 || s != 0 {
+		t.Fatalf("nil hub Load = (%d, %d), want zero", c, s)
+	}
+}
+
 func TestQuantile(t *testing.T) {
 	h := New(Config{Shards: 1})
 	// 90 fast decisions (<= 256ns), 10 slow (~1ms).

@@ -471,7 +471,45 @@ type PlaneConfig struct {
 	// restarts; read the tier-wide rollup with Plane.Telemetry and the
 	// operational endpoints /healthz and /varz on the front door.
 	Telemetry *TelemetryConfig
+	// Placement selects the shard-placement policy: PlacementHash
+	// (default) routes purely by consistent hash; PlacementWeighted
+	// overlays load-aware shard assignments rebalanced by
+	// Plane.Rebalance, moving each shard's hot decision-cache entries
+	// with it.
+	Placement PlacementPolicy
+	// RebalanceThreshold is the weighted placer's hysteresis band: a
+	// rebalance only moves shards while the most loaded replica exceeds
+	// the tier mean by this fraction (default 0.2).
+	RebalanceThreshold float64
+	// RebalanceInterval, when positive with PlacementWeighted, runs
+	// Plane.Rebalance on this period until Plane.Close.
+	RebalanceInterval time.Duration
+	// LoadSmoothing is the EWMA factor for per-workload load scores in
+	// (0, 1]; higher weights recent traffic more (default 0.5).
+	LoadSmoothing float64
 }
+
+// PlacementPolicy selects how the plane maps shard keys to replicas.
+type PlacementPolicy = plane.PlacementPolicy
+
+// Shard-placement policies for PlaneConfig.Placement.
+const (
+	// PlacementHash is blind consistent hashing (the default).
+	PlacementHash = plane.PlacementHash
+	// PlacementWeighted is hash placement plus load-aware shard
+	// assignments: Plane.Rebalance scores workloads by observed request
+	// volume and validation cost, packs shards onto replicas to level
+	// the load, and hands each moved shard's decision cache to its new
+	// owner so migrated hot sets stay warm.
+	PlacementWeighted = plane.PlacementWeighted
+)
+
+// RebalanceReport describes one Plane.Rebalance pass: the shard moves
+// it committed and the load imbalance before and after.
+type RebalanceReport = plane.RebalanceReport
+
+// ShardMove is one shard migration within a RebalanceReport.
+type ShardMove = plane.ShardMove
 
 // ReplicaState is a replica's lifecycle state (active, draining, down).
 type ReplicaState = plane.ReplicaState
@@ -499,6 +537,10 @@ func NewPlane(cfg PlaneConfig) (*Plane, error) {
 		ProxyUser:          cfg.ProxyUser,
 		DisableRawFastPath: cfg.DisableRawFastPath,
 		Telemetry:          cfg.Telemetry,
+		Placement:          cfg.Placement,
+		RebalanceThreshold: cfg.RebalanceThreshold,
+		RebalanceInterval:  cfg.RebalanceInterval,
+		LoadSmoothing:      cfg.LoadSmoothing,
 	})
 }
 
